@@ -1,0 +1,858 @@
+//! A from-scratch convolutional network trainer.
+//!
+//! [`TrainedAccuracy`](crate::TrainedAccuracy) approximates training with an
+//! MLP; this module closes the remaining gap to the paper's protocol by
+//! actually training the *sampled architecture's convolutional structure*:
+//! forward and backward passes for Conv2d (+ReLU), MaxPool2d, Flatten, and
+//! Dense (+ReLU/softmax) layers, SGD with momentum, on procedurally
+//! generated image tensors. It is deliberately small and dependency-free —
+//! CHW `f64` tensors and direct loops — sized so a search-space candidate
+//! at 32×32×3 trains in seconds, not hours.
+//!
+//! [`CnnTrainedAccuracy`] is the third [`AccuracyEstimator`] backend: a
+//! real CNN training loop behind the same trait the surrogate uses.
+
+use crate::{AccuracyError, AccuracyEstimator};
+use lens_nn::{Activation, LayerKind, Network, TensorShape};
+use lens_num::dist;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A CHW tensor with contiguous storage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    shape: TensorShape,
+    data: Vec<f64>,
+}
+
+impl Tensor {
+    /// Zero tensor of a shape.
+    pub fn zeros(shape: TensorShape) -> Self {
+        Tensor {
+            data: vec![0.0; shape.num_elements() as usize],
+            shape,
+        }
+    }
+
+    /// Wraps existing data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not match the shape.
+    pub fn from_data(shape: TensorShape, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            shape.num_elements() as usize,
+            "tensor data length mismatch"
+        );
+        Tensor { shape, data }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> TensorShape {
+        self.shape
+    }
+
+    /// Raw data in CHW order.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    #[inline]
+    fn idx(&self, c: u32, y: u32, x: u32) -> usize {
+        ((c * self.shape.height() + y) * self.shape.width() + x) as usize
+    }
+
+    #[inline]
+    fn get(&self, c: u32, y: i64, x: i64) -> f64 {
+        if y < 0 || x < 0 || y >= self.shape.height() as i64 || x >= self.shape.width() as i64 {
+            0.0 // zero padding
+        } else {
+            self.data[self.idx(c, y as u32, x as u32)]
+        }
+    }
+}
+
+/// Clamps a gradient component; a handful of huge early steps is what
+/// kills small ReLU nets (dead units -> uniform predictions).
+#[inline]
+fn clip(g: f64) -> f64 {
+    g.clamp(-1.0, 1.0)
+}
+
+fn layer_groups(kind: &LayerKind) -> u32 {
+    match kind {
+        LayerKind::Conv2d { groups, .. } => *groups,
+        _ => 1,
+    }
+}
+
+/// One trainable CNN layer with its parameters and momentum buffers.
+#[derive(Debug, Clone)]
+enum CnnLayer {
+    Conv {
+        out_ch: u32,
+        kernel: u32,
+        padding: u32,
+        relu: bool,
+        /// `[out_ch][in_ch * k * k]`
+        weights: Vec<Vec<f64>>,
+        bias: Vec<f64>,
+        vel_w: Vec<Vec<f64>>,
+        vel_b: Vec<f64>,
+    },
+    MaxPool {
+        kernel: u32,
+        stride: u32,
+    },
+    AvgPool {
+        kernel: u32,
+        stride: u32,
+    },
+    Flatten,
+    Dense {
+        out_features: u32,
+        relu: bool,
+        /// `[out][in]`
+        weights: Vec<Vec<f64>>,
+        bias: Vec<f64>,
+        vel_w: Vec<Vec<f64>>,
+        vel_b: Vec<f64>,
+    },
+}
+
+/// A small trainable CNN mirroring a [`Network`]'s structure.
+#[derive(Debug, Clone)]
+pub struct Cnn {
+    input: TensorShape,
+    layers: Vec<CnnLayer>,
+}
+
+impl Cnn {
+    /// Builds a trainable CNN from a network description, He-initialized.
+    ///
+    /// Stride-1 convolutions with "same"-style padding (as the search space
+    /// produces) are supported; batch-norm/LRN/dropout are ignored at this
+    /// fidelity. To keep candidate training tractable, channel/width counts
+    /// are capped at `channel_cap`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccuracyError::Untrainable`] for strided convolutions or
+    /// unsupported layer kinds.
+    pub fn from_network(
+        network: &Network,
+        channel_cap: u32,
+        seed: u64,
+    ) -> Result<Self, AccuracyError> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut layers = Vec::new();
+        let mut current = network.input();
+        for layer in network.layers() {
+            match layer.kind() {
+                LayerKind::Conv2d {
+                    out_channels,
+                    kernel,
+                    stride,
+                    padding,
+                    activation,
+                    ..
+                } => {
+                    if *stride != 1 {
+                        return Err(AccuracyError::Untrainable(format!(
+                            "layer `{}`: strided convolutions are not supported by the trainer",
+                            layer.name()
+                        )));
+                    }
+                    if layer_groups(layer.kind()) != 1 {
+                        return Err(AccuracyError::Untrainable(format!(
+                            "layer `{}`: grouped convolutions are not supported by the trainer",
+                            layer.name()
+                        )));
+                    }
+                    let out_ch = (*out_channels).min(channel_cap);
+                    let in_ch = current.channels();
+                    let fan_in = (in_ch * kernel * kernel) as f64;
+                    let scale = (2.0 / fan_in).sqrt();
+                    let weights: Vec<Vec<f64>> = (0..out_ch)
+                        .map(|_| {
+                            (0..in_ch * kernel * kernel)
+                                .map(|_| dist::normal(&mut rng, 0.0, scale))
+                                .collect()
+                        })
+                        .collect();
+                    let vel_w = weights.iter().map(|w| vec![0.0; w.len()]).collect();
+                    layers.push(CnnLayer::Conv {
+                        out_ch,
+                        kernel: *kernel,
+                        padding: *padding,
+                        relu: *activation == Activation::Relu,
+                        bias: vec![0.0; out_ch as usize],
+                        vel_b: vec![0.0; out_ch as usize],
+                        weights,
+                        vel_w,
+                    });
+                    current = TensorShape::new(out_ch, current.height(), current.width());
+                }
+                LayerKind::MaxPool2d { kernel, stride } => {
+                    layers.push(CnnLayer::MaxPool {
+                        kernel: *kernel,
+                        stride: *stride,
+                    });
+                    let h = (current.height() - kernel) / stride + 1;
+                    let w = (current.width() - kernel) / stride + 1;
+                    current = TensorShape::new(current.channels(), h, w);
+                }
+                LayerKind::AvgPool2d { kernel, stride } => {
+                    layers.push(CnnLayer::AvgPool {
+                        kernel: *kernel,
+                        stride: *stride,
+                    });
+                    let h = (current.height() - kernel) / stride + 1;
+                    let w = (current.width() - kernel) / stride + 1;
+                    current = TensorShape::new(current.channels(), h, w);
+                }
+                LayerKind::Flatten => {
+                    layers.push(CnnLayer::Flatten);
+                    current = current.flattened();
+                }
+                LayerKind::Dense {
+                    out_features,
+                    activation,
+                } => {
+                    let is_last_like = *activation == Activation::Softmax;
+                    let out = if is_last_like {
+                        *out_features
+                    } else {
+                        (*out_features).min(channel_cap * 4)
+                    };
+                    let fan_in = current.num_elements() as f64;
+                    let scale = (2.0 / fan_in).sqrt();
+                    let weights: Vec<Vec<f64>> = (0..out)
+                        .map(|_| {
+                            (0..current.num_elements())
+                                .map(|_| dist::normal(&mut rng, 0.0, scale))
+                                .collect()
+                        })
+                        .collect();
+                    let vel_w = weights.iter().map(|w| vec![0.0; w.len()]).collect();
+                    layers.push(CnnLayer::Dense {
+                        out_features: out,
+                        relu: *activation == Activation::Relu,
+                        bias: vec![0.0; out as usize],
+                        vel_b: vec![0.0; out as usize],
+                        weights,
+                        vel_w,
+                    });
+                    current = TensorShape::flat(out);
+                }
+                LayerKind::Dropout { .. } => { /* inference-free; skip */ }
+            }
+        }
+        if layers.is_empty() {
+            return Err(AccuracyError::Untrainable("network has no layers".into()));
+        }
+        Ok(Cnn {
+            input: network.input(),
+            layers,
+        })
+    }
+
+    /// The expected input shape.
+    pub fn input(&self) -> TensorShape {
+        self.input
+    }
+
+    /// Forward pass returning the activations entering each layer plus the
+    /// final logits. For max-pool layers the argmax indices are recorded
+    /// for the backward pass.
+    fn forward(&self, x: &Tensor) -> (Vec<Tensor>, Vec<Vec<usize>>) {
+        let mut acts = vec![x.clone()];
+        let mut pool_argmax: Vec<Vec<usize>> = Vec::new();
+        for layer in &self.layers {
+            let input = acts.last().expect("non-empty activations");
+            let out = match layer {
+                CnnLayer::Conv {
+                    out_ch,
+                    kernel,
+                    padding,
+                    relu,
+                    weights,
+                    bias,
+                    ..
+                } => {
+                    let (h, w) = (input.shape.height(), input.shape.width());
+                    let mut out = Tensor::zeros(TensorShape::new(*out_ch, h, w));
+                    let in_ch = input.shape.channels();
+                    let k = *kernel;
+                    let pad = *padding as i64;
+                    for oc in 0..*out_ch {
+                        let wrow = &weights[oc as usize];
+                        for y in 0..h {
+                            for x2 in 0..w {
+                                let mut sum = bias[oc as usize];
+                                let mut wi = 0usize;
+                                for ic in 0..in_ch {
+                                    for ky in 0..k {
+                                        for kx in 0..k {
+                                            let sy = y as i64 + ky as i64 - pad;
+                                            let sx = x2 as i64 + kx as i64 - pad;
+                                            sum += wrow[wi] * input.get(ic, sy, sx);
+                                            wi += 1;
+                                        }
+                                    }
+                                }
+                                if *relu && sum < 0.0 {
+                                    sum = 0.0;
+                                }
+                                let idx = out.idx(oc, y, x2);
+                                out.data[idx] = sum;
+                            }
+                        }
+                    }
+                    out
+                }
+                CnnLayer::MaxPool { kernel, stride } => {
+                    let ch = input.shape.channels();
+                    let oh = (input.shape.height() - kernel) / stride + 1;
+                    let ow = (input.shape.width() - kernel) / stride + 1;
+                    let mut out = Tensor::zeros(TensorShape::new(ch, oh, ow));
+                    let mut argmax = vec![0usize; out.data.len()];
+                    for c in 0..ch {
+                        for y in 0..oh {
+                            for x2 in 0..ow {
+                                let mut best = f64::NEG_INFINITY;
+                                let mut best_idx = 0usize;
+                                for ky in 0..*kernel {
+                                    for kx in 0..*kernel {
+                                        let sy = y * stride + ky;
+                                        let sx = x2 * stride + kx;
+                                        let idx = input.idx(c, sy, sx);
+                                        if input.data[idx] > best {
+                                            best = input.data[idx];
+                                            best_idx = idx;
+                                        }
+                                    }
+                                }
+                                let oidx = out.idx(c, y, x2);
+                                out.data[oidx] = best;
+                                argmax[oidx] = best_idx;
+                            }
+                        }
+                    }
+                    pool_argmax.push(argmax);
+                    out
+                }
+                CnnLayer::AvgPool { kernel, stride } => {
+                    let ch = input.shape.channels();
+                    let oh = (input.shape.height() - kernel) / stride + 1;
+                    let ow = (input.shape.width() - kernel) / stride + 1;
+                    let mut out = Tensor::zeros(TensorShape::new(ch, oh, ow));
+                    let window = (*kernel * *kernel) as f64;
+                    for c in 0..ch {
+                        for y in 0..oh {
+                            for x2 in 0..ow {
+                                let mut sum = 0.0;
+                                for ky in 0..*kernel {
+                                    for kx in 0..*kernel {
+                                        sum += input.data
+                                            [input.idx(c, y * stride + ky, x2 * stride + kx)];
+                                    }
+                                }
+                                let oidx = out.idx(c, y, x2);
+                                out.data[oidx] = sum / window;
+                            }
+                        }
+                    }
+                    out
+                }
+                CnnLayer::Flatten => {
+                    Tensor::from_data(input.shape.flattened(), input.data.clone())
+                }
+                CnnLayer::Dense {
+                    out_features,
+                    relu,
+                    weights,
+                    bias,
+                    ..
+                } => {
+                    let mut out = Tensor::zeros(TensorShape::flat(*out_features));
+                    for (o, (wrow, b)) in weights.iter().zip(bias).enumerate() {
+                        let mut sum = *b;
+                        for (wi, xi) in wrow.iter().zip(&input.data) {
+                            sum += wi * xi;
+                        }
+                        out.data[o] = if *relu { sum.max(0.0) } else { sum };
+                    }
+                    out
+                }
+            };
+            acts.push(out);
+        }
+        (acts, pool_argmax)
+    }
+
+    /// Predicted class for one image.
+    pub fn predict(&self, x: &Tensor) -> usize {
+        let (acts, _) = self.forward(x);
+        let logits = &acts.last().expect("non-empty activations").data;
+        let mut best = 0;
+        for (i, v) in logits.iter().enumerate() {
+            if *v > logits[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Classification accuracy over labelled images.
+    pub fn accuracy(&self, samples: &[(Tensor, usize)]) -> f64 {
+        if samples.is_empty() {
+            return 0.0;
+        }
+        let correct = samples
+            .iter()
+            .filter(|(x, y)| self.predict(x) == *y)
+            .count();
+        correct as f64 / samples.len() as f64
+    }
+
+    /// One SGD-with-momentum step; returns the cross-entropy loss.
+    pub fn train_step(&mut self, x: &Tensor, label: usize, lr: f64, momentum: f64) -> f64 {
+        let (acts, pool_argmax) = self.forward(x);
+        let logits = &acts.last().expect("non-empty").data;
+
+        // Softmax cross-entropy.
+        let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let exps: Vec<f64> = logits.iter().map(|v| (v - max).exp()).collect();
+        let sum: f64 = exps.iter().sum();
+        let loss = -(exps[label] / sum).max(1e-12).ln();
+        let mut delta: Vec<f64> = exps.iter().map(|e| e / sum).collect();
+        delta[label] -= 1.0;
+
+        let mut pool_cursor = pool_argmax.len();
+        for l in (0..self.layers.len()).rev() {
+            let input = &acts[l];
+            let output = &acts[l + 1];
+            match &mut self.layers[l] {
+                CnnLayer::Dense {
+                    relu,
+                    weights,
+                    bias,
+                    vel_w,
+                    vel_b,
+                    ..
+                } => {
+                    if *relu {
+                        for (d, o) in delta.iter_mut().zip(&output.data) {
+                            if *o <= 0.0 {
+                                *d = 0.0;
+                            }
+                        }
+                    }
+                    let mut prev = vec![0.0; input.data.len()];
+                    for (o, wrow) in weights.iter_mut().enumerate() {
+                        let d = delta[o];
+                        for (i, wi) in wrow.iter_mut().enumerate() {
+                            prev[i] += *wi * d;
+                            let v = &mut vel_w[o][i];
+                            *v = momentum * *v - lr * clip(d * input.data[i]);
+                            *wi += *v;
+                        }
+                        let vb = &mut vel_b[o];
+                        *vb = momentum * *vb - lr * clip(d);
+                        bias[o] += *vb;
+                    }
+                    delta = prev;
+                }
+                CnnLayer::Flatten => { /* gradient passes through unchanged */ }
+                CnnLayer::MaxPool { .. } => {
+                    pool_cursor -= 1;
+                    let argmax = &pool_argmax[pool_cursor];
+                    let mut prev = vec![0.0; input.data.len()];
+                    for (oidx, &iidx) in argmax.iter().enumerate() {
+                        prev[iidx] += delta[oidx];
+                    }
+                    delta = prev;
+                }
+                CnnLayer::AvgPool { kernel, stride } => {
+                    let ch = input.shape.channels();
+                    let oh = output.shape.height();
+                    let ow = output.shape.width();
+                    let window = (*kernel * *kernel) as f64;
+                    let mut prev = vec![0.0; input.data.len()];
+                    for c in 0..ch {
+                        for y in 0..oh {
+                            for x2 in 0..ow {
+                                let d = delta[((c * oh + y) * ow + x2) as usize] / window;
+                                for ky in 0..*kernel {
+                                    for kx in 0..*kernel {
+                                        prev[input
+                                            .idx(c, y * *stride + ky, x2 * *stride + kx)] += d;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    delta = prev;
+                }
+                CnnLayer::Conv {
+                    out_ch,
+                    kernel,
+                    padding,
+                    relu,
+                    weights,
+                    bias,
+                    vel_w,
+                    vel_b,
+                } => {
+                    if *relu {
+                        for (d, o) in delta.iter_mut().zip(&output.data) {
+                            if *o <= 0.0 {
+                                *d = 0.0;
+                            }
+                        }
+                    }
+                    let (h, w) = (input.shape.height(), input.shape.width());
+                    let in_ch = input.shape.channels();
+                    let k = *kernel;
+                    let pad = *padding as i64;
+                    let mut prev = vec![0.0; input.data.len()];
+                    for oc in 0..*out_ch {
+                        let wrow = &mut weights[oc as usize];
+                        let vrow = &mut vel_w[oc as usize];
+                        // Accumulate the full gradient over all output
+                        // positions first; one momentum update per step.
+                        let mut w_grad = vec![0.0; wrow.len()];
+                        let mut bias_grad = 0.0;
+                        for y in 0..h {
+                            for x2 in 0..w {
+                                let d = delta[((oc * h + y) * w + x2) as usize];
+                                if d == 0.0 {
+                                    continue;
+                                }
+                                bias_grad += d;
+                                let mut wi = 0usize;
+                                for ic in 0..in_ch {
+                                    for ky in 0..k {
+                                        for kx in 0..k {
+                                            let sy = y as i64 + ky as i64 - pad;
+                                            let sx = x2 as i64 + kx as i64 - pad;
+                                            if sy >= 0
+                                                && sx >= 0
+                                                && (sy as u32) < h
+                                                && (sx as u32) < w
+                                            {
+                                                let iidx = ((ic * h + sy as u32) * w
+                                                    + sx as u32)
+                                                    as usize;
+                                                prev[iidx] += wrow[wi] * d;
+                                                w_grad[wi] += d * input.data[iidx];
+                                            }
+                                            wi += 1;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        for ((wi, v), g) in wrow.iter_mut().zip(vrow.iter_mut()).zip(&w_grad) {
+                            *v = momentum * *v - lr * clip(*g);
+                            *wi += *v;
+                        }
+                        let vb = &mut vel_b[oc as usize];
+                        *vb = momentum * *vb - lr * clip(bias_grad);
+                        bias[oc as usize] += *vb;
+                    }
+                    delta = prev;
+                }
+            }
+        }
+        loss
+    }
+}
+
+/// A labelled image set: `(image, class)` pairs.
+pub type LabelledImages = Vec<(Tensor, usize)>;
+
+/// Generates a deterministic synthetic *image* dataset: each class has a
+/// prototype pattern (oriented gradients + blobs); samples are noisy,
+/// shifted copies.
+pub fn synthetic_images(
+    seed: u64,
+    shape: TensorShape,
+    num_classes: usize,
+    train_per_class: usize,
+    test_per_class: usize,
+) -> (LabelledImages, LabelledImages) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let prototypes: Vec<Tensor> = (0..num_classes)
+        .map(|class| {
+            let mut t = Tensor::zeros(shape);
+            let fx = (class % 4 + 1) as f64;
+            let fy = (class / 4 + 1) as f64;
+            for c in 0..shape.channels() {
+                for y in 0..shape.height() {
+                    for x in 0..shape.width() {
+                        let u = x as f64 / shape.width() as f64;
+                        let v = y as f64 / shape.height() as f64;
+                        let idx = t.idx(c, y, x);
+                        t.data[idx] = (fx * u * std::f64::consts::TAU).sin()
+                            * (fy * v * std::f64::consts::TAU).cos()
+                            + 0.3 * (c as f64 - 1.0);
+                    }
+                }
+            }
+            t
+        })
+        .collect();
+    let split = |per_class: usize, rng: &mut StdRng| {
+        let mut out = Vec::new();
+        for (label, proto) in prototypes.iter().enumerate() {
+            for _ in 0..per_class {
+                let mut data = proto.data.clone();
+                for v in &mut data {
+                    *v += dist::normal(rng, 0.0, 0.4);
+                }
+                out.push((Tensor::from_data(shape, data), label));
+            }
+        }
+        for i in (1..out.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            out.swap(i, j);
+        }
+        out
+    };
+    let train = split(train_per_class, &mut rng);
+    let test = split(test_per_class, &mut rng);
+    (train, test)
+}
+
+/// Accuracy estimator that *really trains the candidate CNN* (downscaled)
+/// on synthetic images — the closest this reproduction gets to the paper's
+/// "each sampled architectural model is trained for 10 epochs".
+///
+/// # Examples
+///
+/// ```no_run
+/// use lens_accuracy::cnn::CnnTrainedAccuracy;
+/// use lens_accuracy::AccuracyEstimator;
+/// use lens_space::{SearchSpace, VggSpace};
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let space = VggSpace::for_cifar10();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+/// let net = space.decode(&space.sample(&mut rng))?;
+/// let estimator = CnnTrainedAccuracy::new(42, 3);
+/// let err = estimator.test_error(&net)?;
+/// assert!((0.0..=100.0).contains(&err));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CnnTrainedAccuracy {
+    seed: u64,
+    epochs: usize,
+    channel_cap: u32,
+    image_side: u32,
+    learning_rate: f64,
+    momentum: f64,
+    train_per_class: usize,
+    test_per_class: usize,
+}
+
+impl CnnTrainedAccuracy {
+    /// Creates the estimator; `epochs` mirrors the paper's 10-epoch budget.
+    pub fn new(seed: u64, epochs: usize) -> Self {
+        CnnTrainedAccuracy {
+            seed,
+            epochs,
+            channel_cap: 8,
+            image_side: 32,
+            learning_rate: 0.005,
+            momentum: 0.8,
+            train_per_class: 20,
+            test_per_class: 8,
+        }
+    }
+
+    /// Overrides the per-class train/test sample counts (smaller = faster).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either count is zero.
+    pub fn with_dataset_size(mut self, train_per_class: usize, test_per_class: usize) -> Self {
+        assert!(train_per_class > 0 && test_per_class > 0, "counts must be positive");
+        self.train_per_class = train_per_class;
+        self.test_per_class = test_per_class;
+        self
+    }
+
+    /// Overrides the per-layer channel cap (higher = slower, closer to the
+    /// true architecture).
+    pub fn with_channel_cap(mut self, cap: u32) -> Self {
+        assert!(cap > 0, "channel cap must be positive");
+        self.channel_cap = cap;
+        self
+    }
+}
+
+impl AccuracyEstimator for CnnTrainedAccuracy {
+    fn test_error(&self, network: &Network) -> Result<f64, AccuracyError> {
+        // Rebuild the architecture at a reduced image size so training is
+        // tractable: same layer structure, capped channels.
+        let analysis = network.analyze()?;
+        let num_classes = analysis.output_shape().num_elements() as usize;
+
+        // Re-express the network at the training image size by cloning the
+        // layer stack onto a smaller input. Pools shrink 16 -> 1 after 4,
+        // so cap pools the same way VggSpace guarantees validity.
+        let side = self.image_side;
+        let train_net = network
+            .with_input(TensorShape::new(3, side, side))
+            .map_err(AccuracyError::Network)?;
+
+        let mut cnn = Cnn::from_network(&train_net, self.channel_cap, self.seed)?;
+        let (train, test) = synthetic_images(
+            self.seed ^ 0xDA7A,
+            TensorShape::new(3, side, side),
+            num_classes.min(10),
+            self.train_per_class,
+            self.test_per_class,
+        );
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x0DD);
+        let mut order: Vec<usize> = (0..train.len()).collect();
+        for _ in 0..self.epochs {
+            for i in (1..order.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                order.swap(i, j);
+            }
+            for &i in &order {
+                let (x, y) = &train[i];
+                if *y < num_classes {
+                    cnn.train_step(x, *y, self.learning_rate, self.momentum);
+                }
+            }
+        }
+        Ok(100.0 * (1.0 - cnn.accuracy(&test)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lens_nn::{Layer, NetworkBuilder};
+
+    fn tiny_cnn_network() -> Network {
+        NetworkBuilder::new("tiny", TensorShape::new(3, 8, 8))
+            .layer(Layer::conv("c1", 4, 3, 1))
+            .layer(Layer::max_pool2("p1"))
+            .layer(Layer::conv("c2", 8, 3, 1))
+            .layer(Layer::max_pool2("p2"))
+            .flatten()
+            .layer(Layer::dense("fc", 16))
+            .layer(Layer::new(
+                "cls",
+                LayerKind::Dense {
+                    out_features: 3,
+                    activation: Activation::Softmax,
+                },
+            ))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn forward_shapes_follow_network() {
+        let net = tiny_cnn_network();
+        let cnn = Cnn::from_network(&net, 64, 1).unwrap();
+        let x = Tensor::zeros(TensorShape::new(3, 8, 8));
+        let (acts, _) = cnn.forward(&x);
+        assert_eq!(acts.last().unwrap().shape(), TensorShape::flat(3));
+    }
+
+    #[test]
+    fn training_reduces_loss_on_one_example() {
+        let net = tiny_cnn_network();
+        let mut cnn = Cnn::from_network(&net, 64, 2).unwrap();
+        let (train, _) = synthetic_images(3, TensorShape::new(3, 8, 8), 3, 2, 1);
+        let (x, y) = &train[0];
+        let first = cnn.train_step(x, *y, 0.02, 0.0);
+        let mut last = first;
+        for _ in 0..30 {
+            last = cnn.train_step(x, *y, 0.02, 0.0);
+        }
+        assert!(last < first * 0.5, "loss {first} -> {last}");
+    }
+
+    #[test]
+    fn cnn_learns_synthetic_images_above_chance() {
+        let net = tiny_cnn_network();
+        let mut cnn = Cnn::from_network(&net, 64, 5).unwrap();
+        let (train, test) = synthetic_images(7, TensorShape::new(3, 8, 8), 3, 20, 8);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut order: Vec<usize> = (0..train.len()).collect();
+        for _ in 0..6 {
+            for i in (1..order.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                order.swap(i, j);
+            }
+            for &i in &order {
+                let (x, y) = &train[i];
+                cnn.train_step(x, *y, 0.005, 0.8);
+            }
+        }
+        let acc = cnn.accuracy(&test);
+        assert!(acc > 0.5, "accuracy {acc} barely above 1/3 chance");
+    }
+
+    #[test]
+    fn strided_convs_are_rejected() {
+        let net = NetworkBuilder::new("strided", TensorShape::new(3, 8, 8))
+            .layer(Layer::new(
+                "c",
+                LayerKind::Conv2d {
+                    out_channels: 4,
+                    kernel: 3,
+                    stride: 2,
+                    padding: 1,
+                    groups: 1,
+                    activation: Activation::Relu,
+                    batch_norm: false,
+                    local_response_norm: false,
+                },
+            ))
+            .flatten()
+            .layer(Layer::dense("fc", 4))
+            .build()
+            .unwrap();
+        assert!(matches!(
+            Cnn::from_network(&net, 8, 0),
+            Err(AccuracyError::Untrainable(_))
+        ));
+    }
+
+    #[test]
+    fn synthetic_images_are_deterministic_and_labelled() {
+        let (a_train, a_test) = synthetic_images(9, TensorShape::new(3, 8, 8), 4, 3, 2);
+        let (b_train, _) = synthetic_images(9, TensorShape::new(3, 8, 8), 4, 3, 2);
+        assert_eq!(a_train, b_train);
+        assert_eq!(a_train.len(), 12);
+        assert_eq!(a_test.len(), 8);
+        assert!(a_train.iter().all(|(_, y)| *y < 4));
+    }
+
+    #[test]
+    fn estimator_runs_on_space_architecture() {
+        use lens_space::{SearchSpace, VggSpace};
+        let space = VggSpace::for_cifar10();
+        let mut rng = StdRng::seed_from_u64(11);
+        let net = space.decode(&space.sample(&mut rng)).unwrap();
+        let est = CnnTrainedAccuracy::new(5, 1)
+            .with_channel_cap(4)
+            .with_dataset_size(3, 2);
+        let err = est.test_error(&net).unwrap();
+        assert!((0.0..=100.0).contains(&err));
+        assert_eq!(err, est.test_error(&net).unwrap(), "deterministic");
+    }
+}

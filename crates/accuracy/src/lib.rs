@@ -1,0 +1,111 @@
+//! Accuracy-objective substrate.
+//!
+//! In the paper, every sampled architecture is trained on CIFAR-10 for 10
+//! epochs (with moderate augmentation, 45 k train / 5 k val / 10 k test) and
+//! its *test error* is the first objective of the multi-objective search.
+//! Training 300 CNNs needs a GPU deep-learning stack — the reproduction gate
+//! flagged in the calibration bands (`repro_why`: "tch-rs bindings thin") —
+//! so this crate substitutes per DESIGN.md #2:
+//!
+//! * [`SurrogateAccuracy`] — the default: a deterministic, architecture-
+//!   seeded model of "CIFAR-10 test error after 10 epochs". Error falls with
+//!   capacity (log conv parameters) with diminishing returns, improves
+//!   mildly with depth, degrades with oversized kernels and with
+//!   under-trained giant FC heads, and carries seeded training noise. It
+//!   preserves the property the search actually exercises: an expensive,
+//!   noisy, black-box error objective in tension with latency/energy.
+//! * [`TrainedAccuracy`] — a genuine (small) trainer: a from-scratch MLP
+//!   with softmax cross-entropy and SGD-with-momentum, trained on a
+//!   procedurally generated classification dataset, wired through the same
+//!   [`AccuracyEstimator`] trait to prove the search is estimator-agnostic.
+//!
+//! # Examples
+//!
+//! ```
+//! use lens_accuracy::{AccuracyEstimator, SurrogateAccuracy};
+//! use lens_space::{SearchSpace, VggSpace};
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let space = VggSpace::for_cifar10();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+//! let net = space.decode(&space.sample(&mut rng))?;
+//! let estimator = SurrogateAccuracy::cifar10();
+//! let err = estimator.test_error(&net)?;
+//! assert!((5.0..=90.0).contains(&err));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod cnn;
+pub mod dataset;
+pub mod surrogate;
+pub mod train;
+
+pub use cnn::CnnTrainedAccuracy;
+pub use dataset::SyntheticDataset;
+pub use surrogate::SurrogateAccuracy;
+pub use train::{Mlp, TrainedAccuracy};
+
+use lens_nn::{Network, NnError};
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by accuracy estimation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AccuracyError {
+    /// The network could not be analyzed.
+    Network(NnError),
+    /// The network has no trainable layers to map onto the trainer.
+    Untrainable(String),
+}
+
+impl fmt::Display for AccuracyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccuracyError::Network(e) => write!(f, "network analysis failed: {e}"),
+            AccuracyError::Untrainable(why) => write!(f, "untrainable network: {why}"),
+        }
+    }
+}
+
+impl Error for AccuracyError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AccuracyError::Network(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NnError> for AccuracyError {
+    fn from(e: NnError) -> Self {
+        AccuracyError::Network(e)
+    }
+}
+
+/// Estimates the test error (in percent, `0..=100`) of a candidate network
+/// — the paper's accuracy objective. Implementations must be deterministic
+/// per network so the search is reproducible.
+pub trait AccuracyEstimator {
+    /// Returns the estimated test error in percent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccuracyError`] when the network cannot be evaluated.
+    fn test_error(&self, network: &Network) -> Result<f64, AccuracyError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The trait stays object-safe: heterogeneous estimators behind dyn.
+    #[test]
+    fn estimator_is_object_safe() {
+        let estimators: Vec<Box<dyn AccuracyEstimator>> =
+            vec![Box::new(SurrogateAccuracy::cifar10())];
+        assert_eq!(estimators.len(), 1);
+    }
+}

@@ -1,0 +1,250 @@
+//! The deterministic CIFAR-10 test-error surrogate.
+//!
+//! Shape of the model (all constants calibrated to land in the ranges
+//! visible in the paper's Fig 6/7, i.e. ~12–65 % error after 10 epochs):
+//!
+//! * **Capacity**: error decays exponentially in `log10` of the
+//!   convolutional parameter count (feature extraction drives CIFAR-10
+//!   accuracy); FC parameters contribute with a small weight.
+//! * **Depth**: each conv layer beyond the minimum five buys a small
+//!   improvement, saturating — deep stacks train slightly better features.
+//! * **Kernel size**: kernels above 3×3 on 32×32 inputs waste parameters;
+//!   mild penalty per unit of mean kernel size.
+//! * **Under-training**: with only 10 epochs, architectures with enormous
+//!   FC heads (≥ several million parameters) are not converged; smooth
+//!   penalty in `log10(total params)`.
+//! * **Training noise**: a seeded, per-architecture Gaussian perturbation —
+//!   two different architectures get independent noise, the same
+//!   architecture always gets the same value.
+
+use crate::{AccuracyError, AccuracyEstimator};
+use lens_nn::{LayerKind, Network, NetworkAnalysis};
+use lens_num::dist;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Deterministic surrogate for "CIFAR-10 test error (%) after 10 epochs".
+///
+/// See the [crate docs](crate) and DESIGN.md substitution #2 for why this
+/// stands in for real training.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SurrogateAccuracy {
+    noise_std: f64,
+    seed_salt: u64,
+}
+
+impl SurrogateAccuracy {
+    /// The calibrated CIFAR-10 surrogate with default training noise.
+    pub fn cifar10() -> Self {
+        SurrogateAccuracy {
+            noise_std: 1.2,
+            seed_salt: 0x1e25,
+        }
+    }
+
+    /// Overrides the training-noise standard deviation (percentage points).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `noise_std` is negative.
+    pub fn with_noise(mut self, noise_std: f64) -> Self {
+        assert!(noise_std >= 0.0, "noise_std must be non-negative");
+        self.noise_std = noise_std;
+        self
+    }
+
+    /// Overrides the seed salt, giving an independent "training run".
+    pub fn with_seed_salt(mut self, salt: u64) -> Self {
+        self.seed_salt = salt;
+        self
+    }
+
+    /// The noise-free part of the surrogate (exposed for tests/ablations).
+    pub fn deterministic_error(&self, analysis: &NetworkAnalysis) -> f64 {
+        let stats = ArchStats::of(analysis);
+
+        // Capacity: conv parameters dominate; FC contributes weakly.
+        let effective_params = stats.conv_params as f64 + 0.15 * stats.fc_params as f64;
+        let c = effective_params.max(1.0).log10();
+        let capacity_err = 52.0 * (-(0.9 * (c - 4.0).max(0.0))).exp();
+
+        // Depth: up to ~4.5 points for very deep conv stacks.
+        let depth_bonus = 1.1 * (stats.conv_layers as f64 - 5.0).clamp(0.0, 4.0);
+
+        // Kernel penalty: mean kernel above 3 wastes capacity on 32x32.
+        let kernel_penalty = 0.6 * (stats.mean_kernel - 3.0).max(0.0);
+
+        // Under-training of giant models in 10 epochs: smooth logistic in
+        // log10(total params), ~+7 points for ~100M-parameter FC heads.
+        let total = (stats.conv_params + stats.fc_params) as f64;
+        let t = total.max(1.0).log10();
+        let under_train = 7.0 / (1.0 + (-(t - 7.0) / 0.35).exp());
+
+        (10.0 + capacity_err - depth_bonus + kernel_penalty + under_train).clamp(5.0, 90.0)
+    }
+}
+
+impl AccuracyEstimator for SurrogateAccuracy {
+    fn test_error(&self, network: &Network) -> Result<f64, AccuracyError> {
+        let analysis = network.analyze()?;
+        let base = self.deterministic_error(&analysis);
+        // Architecture-keyed noise: hash the structure, not the name.
+        let mut seed = self.seed_salt;
+        for l in analysis.layers() {
+            seed = seed
+                .wrapping_mul(0x100000001B3)
+                .wrapping_add(l.macs ^ (l.params << 1) ^ l.output_bytes.get());
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let noise = dist::normal(&mut rng, 0.0, self.noise_std);
+        Ok((base + noise).clamp(5.0, 90.0))
+    }
+}
+
+/// Aggregate statistics the surrogate consumes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct ArchStats {
+    conv_params: u64,
+    fc_params: u64,
+    conv_layers: usize,
+    mean_kernel: f64,
+}
+
+impl ArchStats {
+    fn of(analysis: &NetworkAnalysis) -> ArchStats {
+        let mut conv_params = 0;
+        let mut fc_params = 0;
+        let mut conv_layers = 0;
+        let mut kernel_sum = 0.0;
+        for l in analysis.layers() {
+            match &l.kind {
+                LayerKind::Conv2d { kernel, .. } => {
+                    conv_params += l.params;
+                    conv_layers += 1;
+                    kernel_sum += *kernel as f64;
+                }
+                LayerKind::Dense { .. } => fc_params += l.params,
+                _ => {}
+            }
+        }
+        ArchStats {
+            conv_params,
+            fc_params,
+            conv_layers,
+            mean_kernel: if conv_layers > 0 {
+                kernel_sum / conv_layers as f64
+            } else {
+                3.0
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lens_space::{Architecture, BlockChoice, FcStack, SearchSpace, VggSpace};
+    use lens_nn::TensorShape;
+    use proptest::prelude::*;
+    use rand::Rng;
+
+    fn arch(filters: u16, layers: u8, kernel: u8, fc: u32) -> Network {
+        let blocks = (0..5)
+            .map(|_| BlockChoice {
+                num_layers: layers,
+                kernel,
+                filters,
+                pool: true,
+            })
+            .collect();
+        Architecture::new(blocks, FcStack::One { width: fc })
+            .to_network("t", TensorShape::new(3, 32, 32), 10)
+            .unwrap()
+    }
+
+    #[test]
+    fn bigger_conv_capacity_reduces_error() {
+        let s = SurrogateAccuracy::cifar10();
+        let small = s.deterministic_error(&arch(24, 1, 3, 256).analyze().unwrap());
+        let large = s.deterministic_error(&arch(128, 2, 3, 256).analyze().unwrap());
+        assert!(
+            large < small - 3.0,
+            "large {large} should beat small {small} clearly"
+        );
+    }
+
+    #[test]
+    fn depth_helps_at_fixed_kernel() {
+        let s = SurrogateAccuracy::cifar10();
+        let shallow = s.deterministic_error(&arch(64, 1, 3, 512).analyze().unwrap());
+        let deep = s.deterministic_error(&arch(64, 3, 3, 512).analyze().unwrap());
+        assert!(deep < shallow, "deep {deep} vs shallow {shallow}");
+    }
+
+    #[test]
+    fn huge_kernels_penalized() {
+        let s = SurrogateAccuracy::cifar10();
+        let k3 = s.deterministic_error(&arch(64, 2, 3, 512).analyze().unwrap());
+        let k7 = s.deterministic_error(&arch(64, 2, 7, 512).analyze().unwrap());
+        // k7 has many more parameters (capacity gain) but pays the kernel
+        // penalty; the net effect must not be a dramatic win.
+        assert!(k7 > k3 - 6.0, "k7 {k7} vs k3 {k3}");
+    }
+
+    #[test]
+    fn giant_fc_heads_under_train() {
+        let s = SurrogateAccuracy::cifar10();
+        // At 224x224 the flattened conv output is large: an 8192-wide FC
+        // head crosses 100M params and triggers the under-training term.
+        let blocks: Vec<BlockChoice> = (0..5)
+            .map(|_| BlockChoice { num_layers: 2, kernel: 3, filters: 128, pool: true })
+            .collect();
+        let big_fc = Architecture::new(blocks.clone(), FcStack::Two { first: 8192, second: 8192 })
+            .to_network("big", TensorShape::new(3, 224, 224), 10)
+            .unwrap();
+        let small_fc = Architecture::new(blocks, FcStack::One { width: 256 })
+            .to_network("small", TensorShape::new(3, 224, 224), 10)
+            .unwrap();
+        let e_big = s.deterministic_error(&big_fc.analyze().unwrap());
+        let e_small = s.deterministic_error(&small_fc.analyze().unwrap());
+        assert!(e_big > e_small, "big-FC {e_big} vs small-FC {e_small}");
+    }
+
+    #[test]
+    fn noise_is_deterministic_per_architecture() {
+        let s = SurrogateAccuracy::cifar10();
+        let net = arch(64, 2, 3, 1024);
+        let a = s.test_error(&net).unwrap();
+        let b = s.test_error(&net).unwrap();
+        assert_eq!(a, b);
+        // A different seed salt gives a different "training run".
+        let other = SurrogateAccuracy::cifar10().with_seed_salt(99);
+        assert_ne!(a, other.test_error(&net).unwrap());
+    }
+
+    #[test]
+    fn zero_noise_equals_deterministic() {
+        let s = SurrogateAccuracy::cifar10().with_noise(0.0);
+        let net = arch(96, 2, 3, 2048);
+        let a = s.test_error(&net).unwrap();
+        let d = s.deterministic_error(&net.analyze().unwrap());
+        assert!((a - d).abs() < 1e-12);
+    }
+
+    proptest! {
+        /// Every architecture in the space gets an error in the calibrated
+        /// range, deterministically.
+        #[test]
+        fn prop_error_in_range(seed in 0u64..300) {
+            let space = VggSpace::for_cifar10();
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let enc = space.sample(&mut rng);
+            let net = space.decode(&enc).unwrap();
+            let s = SurrogateAccuracy::cifar10();
+            let e = s.test_error(&net).unwrap();
+            prop_assert!((5.0..=90.0).contains(&e), "error {e}");
+            prop_assert_eq!(e, s.test_error(&net).unwrap());
+            let _ = rng.gen::<u32>();
+        }
+    }
+}

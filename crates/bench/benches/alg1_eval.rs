@@ -1,0 +1,68 @@
+//! Criterion bench: Algorithm 1's performance-objective evaluation.
+//!
+//! §IV.D claims the per-candidate cost is O(l) in the number of layers and
+//! "minuscule compared to the O(n³) cost of a single Bayesian optimization
+//! instance". This bench measures it directly — on AlexNet, on deep
+//! search-space candidates, across layer counts — and includes the
+//! partition-within vs edge-only ablation (the extra cost LENS pays over
+//! the Traditional objective evaluation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lens::core::{PartitionPolicy, PerfEvaluator};
+use lens::prelude::*;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn evaluator(policy: PartitionPolicy) -> PerfEvaluator {
+    PerfEvaluator::new(
+        WirelessLink::new(WirelessTechnology::Wifi, Mbps::new(3.0)),
+        Arc::new(DeviceProfile::jetson_tx2_gpu()),
+        policy,
+    )
+}
+
+/// A deep synthetic network with `blocks` conv blocks.
+fn deep_network(blocks: usize) -> Network {
+    let mut builder = NetworkBuilder::new("deep", TensorShape::new(3, 224, 224));
+    let mut pools = 0;
+    for b in 0..blocks {
+        builder = builder.layer(lens::nn::Layer::conv(format!("c{b}"), 32, 3, 1));
+        if pools < 5 && b % 2 == 1 {
+            builder = builder.layer(lens::nn::Layer::max_pool2(format!("p{b}")));
+            pools += 1;
+        }
+    }
+    builder
+        .flatten()
+        .layer(lens::nn::Layer::dense("fc", 256))
+        .build()
+        .expect("deep network is valid")
+}
+
+fn bench_alg1(c: &mut Criterion) {
+    let alexnet = zoo::alexnet().analyze().expect("alexnet analyzes");
+    let lens_eval = evaluator(PartitionPolicy::WithinOptimization);
+    let edge_eval = evaluator(PartitionPolicy::EdgeOnly);
+
+    let mut group = c.benchmark_group("alg1");
+    group.bench_function("alexnet_partition_within", |b| {
+        b.iter(|| lens_eval.evaluate(black_box(&alexnet)).expect("evaluates"))
+    });
+    group.bench_function("alexnet_edge_only", |b| {
+        b.iter(|| edge_eval.evaluate(black_box(&alexnet)).expect("evaluates"))
+    });
+
+    // O(l) scaling: evaluation time should grow ~linearly in layer count.
+    for blocks in [5usize, 10, 20, 40] {
+        let analysis = deep_network(blocks).analyze().expect("analyzes");
+        group.bench_with_input(
+            BenchmarkId::new("layers", analysis.layers().len()),
+            &analysis,
+            |b, a| b.iter(|| lens_eval.evaluate(black_box(a)).expect("evaluates")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_alg1);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion bench: Gaussian-process fit and predict — the O(n³) per-
+//! iteration cost of the Bayesian search (§IV.D), measured over the data
+//! sizes a 300-iteration run passes through.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lens::gp::kernel::Matern52;
+use lens::gp::GpRegressor;
+use std::hint::black_box;
+
+/// Deterministic pseudo-random points in [0,1]^23 (the VGG-space embedding
+/// dimension) without pulling an RNG into the measured region.
+fn training_data(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let dim = 23;
+    let xs: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            (0..dim)
+                .map(|j| {
+                    let v = ((i * 31 + j * 17) % 97) as f64 / 96.0;
+                    (v * 1.3).fract()
+                })
+                .collect()
+        })
+        .collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|x| x.iter().map(|v| (v * 3.0).sin()).sum::<f64>())
+        .collect();
+    (xs, ys)
+}
+
+fn bench_gp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gp");
+    group.sample_size(20);
+    for n in [50usize, 100, 200, 300] {
+        let (xs, ys) = training_data(n);
+        group.bench_with_input(BenchmarkId::new("fit", n), &n, |b, _| {
+            b.iter(|| {
+                GpRegressor::fit(
+                    black_box(xs.clone()),
+                    black_box(ys.clone()),
+                    Matern52::new(0.8, 1.0),
+                    1e-4,
+                )
+                .expect("fit succeeds")
+            })
+        });
+    }
+
+    // Posterior prediction over a 192-candidate pool at n=200.
+    let (xs, ys) = training_data(200);
+    let gp = GpRegressor::fit(xs, ys, Matern52::new(0.8, 1.0), 1e-4).expect("fit succeeds");
+    let (pool, _) = training_data(192);
+    group.bench_function("predict_pool_192_at_n200", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for cand in &pool {
+                let (m, v) = gp.predict(black_box(cand));
+                acc += m + v;
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gp);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion bench: Pareto-frontier maintenance (`Pareto_update` of
+//! Algorithm 2) and the §V.A frontier-comparison metrics.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lens::pareto::{combined_composition, coverage, hypervolume, ParetoFront};
+use std::hint::black_box;
+
+/// Deterministic 3-objective point stream.
+fn points(n: usize) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|i| {
+            let a = ((i * 37) % 101) as f64 / 100.0;
+            let b = ((i * 53) % 103) as f64 / 102.0;
+            vec![a, b, (2.0 - a - b).max(0.0)]
+        })
+        .collect()
+}
+
+fn bench_pareto(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pareto");
+    for n in [100usize, 1000, 5000] {
+        let pts = points(n);
+        group.bench_with_input(BenchmarkId::new("build_front", n), &pts, |b, pts| {
+            b.iter(|| {
+                let front: ParetoFront<usize> =
+                    pts.iter().cloned().enumerate().collect();
+                black_box(front.len())
+            })
+        });
+    }
+
+    let front_a: ParetoFront<usize> = points(2000).into_iter().enumerate().collect();
+    let front_b: ParetoFront<usize> = points(2000)
+        .into_iter()
+        .map(|p| p.iter().map(|x| x + 0.05).collect())
+        .enumerate()
+        .collect();
+    let a = front_a.objectives();
+    let b = front_b.objectives();
+    group.bench_function("coverage", |bch| {
+        bch.iter(|| coverage(black_box(&a), black_box(&b)))
+    });
+    group.bench_function("combined_composition", |bch| {
+        bch.iter(|| combined_composition(black_box(&a), black_box(&b)))
+    });
+    group.bench_function("hypervolume_3d", |bch| {
+        bch.iter(|| hypervolume(black_box(&a), &[2.0, 2.0, 2.0]))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pareto);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Criterion bench: the runtime option switch.
+//!
+//! §IV.E claims the deployed model can "switch between different deployment
+//! options based on the t_u value in real-time O(1)". The switch is a
+//! binary search over a handful of precomputed thresholds; this bench
+//! measures both the one-off design-time map construction and the per-
+//! inference lookup.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lens::prelude::*;
+use std::hint::black_box;
+
+fn build_inputs() -> (Vec<lens::runtime::DeploymentOption>, DominanceMap) {
+    let analysis = zoo::alexnet().analyze().expect("alexnet analyzes");
+    let perf = profile_network(&analysis, &DeviceProfile::jetson_tx2_cpu());
+    let planner = DeploymentPlanner::new(WirelessLink::new(
+        WirelessTechnology::Lte,
+        Mbps::new(8.0),
+    ));
+    let options = planner.enumerate(&analysis, &perf).expect("options enumerate");
+    let map = DominanceMap::build(&options, Metric::Latency).expect("map builds");
+    (options, map)
+}
+
+fn bench_switch(c: &mut Criterion) {
+    let (options, map) = build_inputs();
+    let mut group = c.benchmark_group("runtime");
+
+    group.bench_function("design_time_map_build", |b| {
+        b.iter(|| DominanceMap::build(black_box(&options), Metric::Latency).expect("builds"))
+    });
+
+    let throughputs: Vec<Mbps> = (1..=64).map(|i| Mbps::new(i as f64 * 0.7)).collect();
+    group.bench_function("best_at_lookup_x64", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for tu in &throughputs {
+                acc += map.best_at(black_box(*tu));
+            }
+            acc
+        })
+    });
+
+    group.bench_function("tracker_observe_estimate", |b| {
+        let mut tracker = ThroughputTracker::new(0.6);
+        b.iter(|| {
+            tracker.observe(black_box(Mbps::new(9.2)));
+            tracker.estimate().expect("observed").get()
+        })
+    });
+
+    // End-to-end trace replay (40-sample Fig 8 workload).
+    let trace = TraceGenerator::lte_like(Mbps::new(8.0)).generate(1);
+    let sim = RuntimeSimulator::new(options).expect("options non-empty");
+    group.bench_function("fig8_trace_replay", |b| {
+        b.iter(|| {
+            sim.run(
+                black_box(&trace),
+                Metric::Energy,
+                ThroughputTracker::last_sample(),
+            )
+            .expect("simulation runs")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_switch);
+criterion_main!(benches);

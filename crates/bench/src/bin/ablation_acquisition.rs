@@ -1,0 +1,95 @@
+//! **Ablation** — acquisition rules for the MOBO scalarization: LCB
+//! (Dragonfly-style default) vs expected improvement vs Thompson sampling.
+//!
+//! Same budget and seed per rule; quality measured by the 3-D dominated
+//! hypervolume of the final frontier (reference point at the nadir of the
+//! pooled explorations) and by the frontier size.
+
+use lens::gp::{AcquisitionKind, MoboConfig};
+use lens::prelude::*;
+use lens_bench::{print_table, save_csv, ExpArgs};
+
+fn run(args: &ExpArgs, kind: AcquisitionKind) -> SearchOutcome {
+    let mobo = MoboConfig {
+        acquisition: kind,
+        ..MoboConfig::default()
+    };
+    Lens::builder()
+        .technology(WirelessTechnology::Wifi)
+        .expected_throughput(Mbps::new(3.0))
+        .device(DeviceProfile::jetson_tx2_gpu())
+        .use_predictor(!args.use_truth)
+        .iterations(args.iters)
+        .initial_samples(args.init)
+        .seed(args.seed)
+        .mobo(mobo)
+        .build()
+        .expect("lens builds")
+        .search()
+        .expect("search runs")
+}
+
+fn main() {
+    let args = ExpArgs::parse();
+    let kinds = [
+        ("LCB (default)", AcquisitionKind::LowerConfidenceBound),
+        ("ExpectedImprovement", AcquisitionKind::ExpectedImprovement),
+        ("ThompsonSampling", AcquisitionKind::ThompsonSampling),
+    ];
+
+    let mut outcomes = Vec::new();
+    for (label, kind) in kinds {
+        eprintln!("[ablation] running {label}...");
+        outcomes.push((label, run(&args, kind)));
+    }
+
+    // Shared nadir reference over every explored point of every run.
+    let mut nadir = [f64::MIN; 3];
+    for (_, outcome) in &outcomes {
+        for c in outcome.explored() {
+            let v = c.objectives.to_vec();
+            for (n, x) in nadir.iter_mut().zip(&v) {
+                *n = n.max(*x * 1.01);
+            }
+        }
+    }
+
+    let rows: Vec<Vec<String>> = outcomes
+        .iter()
+        .map(|(label, outcome)| {
+            let front = outcome.pareto_front();
+            let hv = lens::pareto::hypervolume(&front.objectives(), &nadir);
+            vec![
+                label.to_string(),
+                front.len().to_string(),
+                format!("{hv:.3e}"),
+                format!(
+                    "{:.2}",
+                    outcome
+                        .explored()
+                        .iter()
+                        .map(|c| c.objectives.error_pct)
+                        .fold(f64::INFINITY, f64::min)
+                ),
+                format!(
+                    "{:.1}",
+                    outcome
+                        .explored()
+                        .iter()
+                        .map(|c| c.objectives.energy_mj)
+                        .fold(f64::INFINITY, f64::min)
+                ),
+            ]
+        })
+        .collect();
+
+    let header = [
+        "acquisition",
+        "front size",
+        "hypervolume",
+        "best err (%)",
+        "best energy (mJ)",
+    ];
+    print_table("Ablation: acquisition rules (same seed & budget)", &header, &rows);
+    save_csv(&args.artifact("ablation_acquisition.csv"), &header, &rows);
+}

@@ -1,0 +1,82 @@
+//! **Ablation** — searching on fitted regression predictors (the paper's
+//! pipeline, §IV.C) vs searching on the analytic ground truth.
+//!
+//! The LENS search only ever observes `L_Predict`/`P_Predict`; this
+//! ablation quantifies how much the prediction error moves the resulting
+//! frontier: same budget and seed, two searches, and the frontier of each
+//! re-scored under the *ground truth* for a fair comparison.
+
+use lens::prelude::*;
+use lens_bench::{print_table, save_csv, ExpArgs, ENERGY_OBJECTIVE, ERROR_OBJECTIVE};
+
+fn build(args: &ExpArgs, use_predictor: bool) -> Lens {
+    Lens::builder()
+        .technology(WirelessTechnology::Wifi)
+        .expected_throughput(Mbps::new(3.0))
+        .device(DeviceProfile::jetson_tx2_gpu())
+        .use_predictor(use_predictor)
+        .iterations(args.iters)
+        .initial_samples(args.init)
+        .seed(args.seed)
+        .build()
+        .expect("lens builds")
+}
+
+fn main() {
+    let args = ExpArgs::parse();
+
+    eprintln!("[ablation] search on trained predictors...");
+    let with_pred = build(&args, true);
+    let pred_outcome = with_pred.search().expect("predictor search");
+
+    eprintln!("[ablation] search on analytic ground truth...");
+    let with_truth = build(&args, false);
+    let truth_outcome = with_truth.search().expect("truth search");
+
+    // Re-score the predictor-guided frontier under the ground truth so both
+    // frontiers live in the same (true) objective space.
+    let rescored: Vec<lens::core::CandidateEvaluation> = pred_outcome
+        .pareto_candidates()
+        .iter()
+        .map(|c| {
+            with_truth
+                .evaluator()
+                .evaluate(&c.encoding)
+                .expect("re-scoring succeeds")
+        })
+        .collect();
+    let rescored_front =
+        lens::core::traditional::front_of_2d(&rescored, ERROR_OBJECTIVE, ENERGY_OBJECTIVE);
+    let truth_front = truth_outcome.front_2d(ERROR_OBJECTIVE, ENERGY_OBJECTIVE);
+
+    let cmp = FrontierComparison::between(
+        &truth_front.objectives(),
+        &rescored_front.objectives(),
+    );
+    println!("\n=== Ablation: predictor-guided vs truth-guided search ===");
+    println!("(energy-error plane; predictor frontier re-scored under ground truth)\n{cmp}");
+
+    // Prediction-quality context.
+    let predictor = PerformancePredictor::train(&DeviceProfile::jetson_tx2_gpu(), 0.05, args.seed ^ 0x0DE51CE5)
+        .expect("predictor trains");
+    println!("\npredictor quality vs noise-free truth:\n{}", predictor.report());
+
+    let rows = vec![vec![
+        format!("{:.2}", cmp.lens_dominates_pct),
+        format!("{:.2}", cmp.baseline_dominates_pct),
+        format!("{:.2}", cmp.combined.percent_from_a()),
+        format!("{:.4}", predictor.report().worst_latency_r2()),
+    ]];
+    let header = [
+        "truth_dominates_pct",
+        "predictor_dominates_pct",
+        "combined_truth_pct",
+        "worst_latency_r2",
+    ];
+    print_table("Ablation summary", &header, &rows);
+    save_csv(&args.artifact("ablation_predictors.csv"), &header, &rows);
+    println!(
+        "\nInterpretation: the closer the two frontiers, the less the paper's reliance \
+         on per-layer regression (rather than exhaustive measurement) costs."
+    );
+}

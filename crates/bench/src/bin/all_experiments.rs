@@ -1,0 +1,34 @@
+//! Runs every experiment binary in sequence, regenerating all tables and
+//! figures into `results/`. Pass `--quick` for a fast smoke run; without
+//! it the search experiments use the paper's 300-iteration budget (use
+//! `--release`).
+
+use std::process::Command;
+
+fn main() {
+    let forwarded: Vec<String> = std::env::args().skip(1).collect();
+    let bins = [
+        "fig1_alexnet",
+        "fig2_deployment",
+        "table1_regions",
+        "table2_features",
+        "fig6_pareto",
+        "fig7_criteria",
+        "fig8_runtime",
+        "ablation_cloud",
+        "ablation_predictors",
+        "ablation_acquisition",
+        "ext_sensitivity",
+    ];
+    let self_path = std::env::current_exe().expect("current exe resolves");
+    let bin_dir = self_path.parent().expect("exe has a directory");
+    for bin in bins {
+        println!("\n################ {bin} ################");
+        let status = Command::new(bin_dir.join(bin))
+            .args(&forwarded)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        assert!(status.success(), "{bin} failed with {status}");
+    }
+    println!("\nAll experiments complete; CSV artifacts are under results/.");
+}

@@ -1,0 +1,128 @@
+//! **Extension** — design-time throughput sensitivity.
+//!
+//! The paper's central argument is that the *expected* wireless conditions
+//! belong in the design loop. This extension quantifies that end to end:
+//! run LENS at several design-time `t_u` values and measure (a) how the
+//! composition of best deployment options shifts across the explored
+//! population and (b) how much a frontier tuned for one region degrades
+//! when deployed in another (cross-deployment regret) — the Table I story,
+//! but over searched frontiers instead of a fixed AlexNet.
+
+use lens::prelude::*;
+use lens_bench::{print_table, save_csv, ExpArgs};
+
+fn search_at(args: &ExpArgs, tu: f64) -> (Lens, SearchOutcome) {
+    let lens = Lens::builder()
+        .technology(WirelessTechnology::Wifi)
+        .expected_throughput(Mbps::new(tu))
+        .device(DeviceProfile::jetson_tx2_gpu())
+        .use_predictor(!args.use_truth)
+        .iterations(args.iters)
+        .initial_samples(args.init)
+        .seed(args.seed)
+        .build()
+        .expect("lens builds");
+    let outcome = lens.search().expect("search runs");
+    (lens, outcome)
+}
+
+/// Mean best-deployment energy of a frontier's encodings when re-evaluated
+/// at a different throughput.
+fn mean_energy_at(lens_at_target: &Lens, encodings: &[&Encoding]) -> f64 {
+    let total: f64 = encodings
+        .iter()
+        .map(|enc| {
+            lens_at_target
+                .evaluator()
+                .evaluate(enc)
+                .expect("re-evaluation")
+                .objectives
+                .energy_mj
+        })
+        .sum();
+    total / encodings.len() as f64
+}
+
+fn main() {
+    let args = ExpArgs::parse();
+    let design_points = [0.7, 3.0, 7.5, 16.1];
+
+    eprintln!("[ext] running {} searches...", design_points.len());
+    let runs: Vec<(f64, Lens, SearchOutcome)> = design_points
+        .iter()
+        .map(|&tu| {
+            let (lens, outcome) = search_at(&args, tu);
+            (tu, lens, outcome)
+        })
+        .collect();
+
+    // (a) Deployment-option composition of the explored population.
+    let mut comp_rows = Vec::new();
+    for (tu, _, outcome) in &runs {
+        let total = outcome.explored().len() as f64;
+        let count = |pred: &dyn Fn(&DeploymentKind) -> bool| {
+            outcome
+                .explored()
+                .iter()
+                .filter(|c| pred(&c.best_energy_option))
+                .count() as f64
+        };
+        comp_rows.push(vec![
+            format!("{tu}"),
+            format!("{:.1}%", 100.0 * count(&|k| *k == DeploymentKind::AllEdge) / total),
+            format!(
+                "{:.1}%",
+                100.0 * count(&|k| matches!(k, DeploymentKind::Split { .. })) / total
+            ),
+            format!("{:.1}%", 100.0 * count(&|k| *k == DeploymentKind::AllCloud) / total),
+        ]);
+    }
+    let comp_header = ["design t_u", "All-Edge", "Split", "All-Cloud"];
+    print_table(
+        "Extension: best-energy deployment mix of explored architectures",
+        &comp_header,
+        &comp_rows,
+    );
+    save_csv(&args.artifact("ext_sensitivity_mix.csv"), &comp_header, &comp_rows);
+
+    // (b) Cross-deployment regret matrix: frontier designed at tu_d,
+    // deployed at tu_t. Restricted to comparable-accuracy members
+    // (err < 25%) so the comparison isn't confounded by frontiers that
+    // simply contain more tiny/inaccurate models.
+    let mut regret_rows = Vec::new();
+    for (tu_d, _, outcome_d) in &runs {
+        let members = outcome_d.pareto_candidates();
+        let mut encodings: Vec<&Encoding> = members
+            .iter()
+            .filter(|c| c.objectives.error_pct < 25.0)
+            .map(|c| &c.encoding)
+            .collect();
+        if encodings.is_empty() {
+            encodings = members.iter().map(|c| &c.encoding).collect();
+        }
+        let mut row = vec![format!("designed@{tu_d}")];
+        for (tu_t, lens_t, _) in &runs {
+            let mean = mean_energy_at(lens_t, &encodings);
+            row.push(format!("{mean:.1}"));
+            let _ = tu_t;
+        }
+        regret_rows.push(row);
+    }
+    let mut regret_header: Vec<String> = vec!["frontier".into()];
+    regret_header.extend(design_points.iter().map(|tu| format!("deployed@{tu} (mJ)")));
+    let regret_refs: Vec<&str> = regret_header.iter().map(|s| s.as_str()).collect();
+    print_table(
+        "Extension: mean frontier energy under cross-deployment",
+        &regret_refs,
+        &regret_rows,
+    );
+    save_csv(&args.artifact("ext_sensitivity_regret.csv"), &regret_refs, &regret_rows);
+
+    println!(
+        "\nReading: rows are frontiers (err<25% members) designed for one expected t_u, \
+         columns are the t_u actually experienced at deployment. Mis-matched \
+         expectations pay real energy — the paper's design-time argument, generalized \
+         from one AlexNet to whole searched frontiers. (Residual accuracy differences \
+         between frontiers still matter; compare within a column.)"
+    );
+}

@@ -1,0 +1,66 @@
+//! **Figure 1** — Changes in the output feature maps' size and percentage
+//! of total latency for each layer in AlexNet.
+//!
+//! Regenerates the per-layer analysis of §II.A on the simulated TX2 GPU:
+//! output feature-map size (kB, f32), size relative to the 147 kB input,
+//! per-layer latency and its share of the total, and whether the layer is a
+//! viable partition point.
+
+use lens::prelude::*;
+use lens_bench::{print_table, save_csv, ExpArgs};
+
+fn main() {
+    let args = ExpArgs::parse();
+    let network = zoo::alexnet();
+    let analysis = network.analyze().expect("alexnet analyzes");
+    let gpu = DeviceProfile::jetson_tx2_gpu();
+    let perf = profile_network(&analysis, &gpu);
+    let total = perf.total_latency().get();
+    let input_kb = analysis.input_bytes().kib();
+    let viable = analysis.viable_partition_indices();
+
+    let mut rows = Vec::new();
+    rows.push(vec![
+        "input".into(),
+        format!("{input_kb:.1}"),
+        "1.00".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+    ]);
+    for (layer, lp) in analysis.layers().iter().zip(perf.layers()) {
+        rows.push(vec![
+            layer.name.clone(),
+            format!("{:.1}", layer.output_bytes.kib()),
+            format!("{:.2}", layer.output_bytes.kib() / input_kb),
+            format!("{:.3}", lp.latency.get()),
+            format!("{:.1}", 100.0 * lp.latency.get() / total),
+            if viable.contains(&layer.index) { "yes" } else { "no" }.into(),
+        ]);
+    }
+    let header = [
+        "layer",
+        "out fmap (kB)",
+        "vs input",
+        "latency (ms)",
+        "% latency",
+        "viable split",
+    ];
+    print_table(
+        "Figure 1: AlexNet per-layer feature maps and latency (TX2 GPU)",
+        &header,
+        &rows,
+    );
+
+    let fc_share = 100.0 * perf.latency_share(|n| n.starts_with("fc"));
+    println!(
+        "\nFC layers take {fc_share:.1}% of total latency ({:.2} ms); paper: \"around 50%\".",
+        total
+    );
+    println!(
+        "First viable partition point: {} (paper: pool5 — everything earlier is larger than the input).",
+        analysis.layers()[viable[0]].name
+    );
+
+    save_csv(&args.artifact("fig1_alexnet.csv"), &header, &rows);
+}

@@ -1,0 +1,148 @@
+//! **Figure 6** — The Pareto frontiers formed by LENS, the Traditional
+//! solution, and the Traditional frontier after post-hoc partitioning —
+//! plus §V.A's headline dominance/composition percentages.
+//!
+//! Paper values for the energy↔error plane: LENS dominates 60 % of the
+//! partitioned-Traditional frontier, 15.38 % of LENS's frontier is
+//! dominated, and the combined frontier is 76.47 % LENS. For the
+//! latency↔error plane: 66.67 % / 14.28 % / 75 %.
+//!
+//! Run with `--release` (two 300-iteration Bayesian searches).
+
+use lens::prelude::*;
+use lens_bench::plot::{AsciiScatter, Series};
+use lens_bench::{
+    print_table, run_paired_searches, save_csv, ExpArgs, ENERGY_OBJECTIVE, ERROR_OBJECTIVE,
+    LATENCY_OBJECTIVE,
+};
+
+fn main() {
+    let args = ExpArgs::parse();
+    let paired = run_paired_searches(&args).expect("searches run");
+
+    // Dump full exploration histories.
+    save_csv(
+        &args.artifact("fig6_lens_explored.csv"),
+        &lens::core::report::OUTCOME_HEADER,
+        &lens::core::report::outcome_rows(&paired.lens_outcome),
+    );
+    save_csv(
+        &args.artifact("fig6_traditional_explored.csv"),
+        &lens::core::report::OUTCOME_HEADER,
+        &lens::core::report::outcome_rows(&paired.traditional_outcome),
+    );
+    save_csv(
+        &args.artifact("fig6_traditional_partitioned_front.csv"),
+        &lens::core::report::OUTCOME_HEADER,
+        &lens::core::report::evaluation_rows(&paired.partitioned_traditional),
+    );
+
+    // The Fig 6 picture: energy-error plane, explored clouds + frontiers.
+    let cloud = |outcome: &SearchOutcome| -> Vec<(f64, f64)> {
+        outcome
+            .explored()
+            .iter()
+            .map(|c| (c.objectives.energy_mj, c.objectives.error_pct))
+            .collect()
+    };
+    let front_points = |front: &lens::pareto::ParetoFront<usize>| -> Vec<(f64, f64)> {
+        front.iter().map(|(_, o)| (o[1], o[0])).collect()
+    };
+    let lens_front2d = paired.lens_outcome.front_2d(ERROR_OBJECTIVE, ENERGY_OBJECTIVE);
+    let part_front2d = lens::core::traditional::front_of_2d(
+        &paired.partitioned_traditional,
+        ERROR_OBJECTIVE,
+        ENERGY_OBJECTIVE,
+    );
+    let picture = AsciiScatter::new(
+        "Figure 6 (energy vs error): . LENS explored  , Traditional explored  O LENS front  T Trad+part front",
+        "energy (mJ)",
+        "test error (%)",
+    )
+    .log_x()
+    .series(Series::new("LENS explored", '.', cloud(&paired.lens_outcome)))
+    .series(Series::new("Traditional explored", ',', cloud(&paired.traditional_outcome)))
+    .series(Series::new("partitioned Traditional front", 'T', front_points(&part_front2d)))
+    .series(Series::new("LENS front", 'O', front_points(&lens_front2d)));
+    println!("\n{picture}");
+
+    let mut summary_rows = Vec::new();
+    for (plane, a, b) in [
+        ("energy-error", ERROR_OBJECTIVE, ENERGY_OBJECTIVE),
+        ("latency-error", ERROR_OBJECTIVE, LATENCY_OBJECTIVE),
+    ] {
+        let lens_front = paired.lens_outcome.front_2d(a, b);
+        let trad_front = paired.traditional_outcome.front_2d(a, b);
+        let part_front = lens::core::traditional::front_of_2d(
+            &paired.partitioned_traditional,
+            a,
+            b,
+        );
+
+        let cmp_raw = FrontierComparison::between(
+            &lens_front.objectives(),
+            &trad_front.objectives(),
+        );
+        let cmp_part = FrontierComparison::between(
+            &lens_front.objectives(),
+            &part_front.objectives(),
+        );
+
+        println!("\n=== Figure 6 ({plane} plane) ===");
+        println!(
+            "LENS frontier: {} members; Traditional: {}; Traditional+partitioning: {}",
+            lens_front.len(),
+            trad_front.len(),
+            part_front.len()
+        );
+        println!("vs raw Traditional:\n{cmp_raw}");
+        println!("vs partitioned Traditional:\n{cmp_part}");
+        let paper = if plane == "energy-error" {
+            ("60.00", "15.38", "76.47")
+        } else {
+            ("66.67", "14.28", "75.00")
+        };
+        println!(
+            "paper (partitioned): LENS dominates {}%, dominated {}%, combined {}% LENS",
+            paper.0, paper.1, paper.2
+        );
+
+        summary_rows.push(vec![
+            plane.to_string(),
+            format!("{:.2}", cmp_part.lens_dominates_pct),
+            format!("{:.2}", cmp_part.baseline_dominates_pct),
+            format!("{:.2}", cmp_part.combined.percent_from_a()),
+            paper.0.into(),
+            paper.1.into(),
+            paper.2.into(),
+        ]);
+    }
+
+    // Energy floors: the paper notes the Traditional search finds no
+    // architecture below 207 mJ while LENS does, thanks to partitioning.
+    let min_energy = |outcome: &SearchOutcome| {
+        outcome
+            .explored()
+            .iter()
+            .map(|c| c.objectives.energy_mj)
+            .fold(f64::INFINITY, f64::min)
+    };
+    println!(
+        "\nMinimum explored energy: LENS {:.1} mJ vs Traditional {:.1} mJ \
+         (paper: Traditional never got below 207 mJ).",
+        min_energy(&paired.lens_outcome),
+        min_energy(&paired.traditional_outcome)
+    );
+
+    let header = [
+        "plane",
+        "lens_dominates_pct",
+        "lens_dominated_pct",
+        "combined_lens_pct",
+        "paper_dominates",
+        "paper_dominated",
+        "paper_combined",
+    ];
+    print_table("Figure 6 summary (vs partitioned Traditional)", &header, &summary_rows);
+    save_csv(&args.artifact("fig6_summary.csv"), &header, &summary_rows);
+}

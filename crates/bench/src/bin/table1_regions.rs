@@ -1,0 +1,75 @@
+//! **Table I** — Variability of deployment options across different
+//! regions, device capabilities, and performance metrics.
+//!
+//! Reproduces all twelve cells: {S. Korea, USA, Afghanistan} ×
+//! {GPU/WiFi, CPU/LTE} × {latency, energy} → preferred AlexNet deployment.
+
+use lens::prelude::*;
+use lens_bench::{print_table, save_csv, ExpArgs};
+
+/// The paper's Table I, for pass/fail comparison.
+fn paper_expectation(region: &str, scenario: &str, metric: Metric) -> &'static str {
+    match (region, scenario, metric) {
+        (_, "GPU/WiFi", Metric::Latency) => "All-Edge",
+        ("S. Korea", "GPU/WiFi", Metric::Energy) => "Split@pool5",
+        ("USA", "GPU/WiFi", Metric::Energy) => "Split@pool5",
+        ("Afghanistan", "GPU/WiFi", Metric::Energy) => "All-Edge",
+        ("S. Korea", "CPU/LTE", Metric::Latency) => "All-Cloud",
+        ("USA", "CPU/LTE", Metric::Latency) => "Split@pool5",
+        ("Afghanistan", "CPU/LTE", Metric::Latency) => "All-Edge",
+        ("S. Korea", "CPU/LTE", Metric::Energy) => "All-Cloud",
+        ("USA", "CPU/LTE", Metric::Energy) => "All-Cloud",
+        ("Afghanistan", "CPU/LTE", Metric::Energy) => "Split@pool5",
+        _ => unreachable!("unknown Table I cell"),
+    }
+}
+
+fn main() {
+    let args = ExpArgs::parse();
+    let analysis = zoo::alexnet().analyze().expect("alexnet analyzes");
+    let scenarios = [
+        ("GPU/WiFi", DeviceProfile::jetson_tx2_gpu(), WirelessTechnology::Wifi),
+        ("CPU/LTE", DeviceProfile::jetson_tx2_cpu(), WirelessTechnology::Lte),
+    ];
+
+    let mut rows = Vec::new();
+    let mut matches = 0;
+    let mut cells = 0;
+    for region in Region::opensignal_2020() {
+        let mut row = vec![region.name().to_string(), format!("{:.1}", region.uplink().get())];
+        for (label, profile, tech) in &scenarios {
+            let perf = profile_network(&analysis, profile);
+            let planner = DeploymentPlanner::new(WirelessLink::new(*tech, Mbps::new(3.0)));
+            let options = planner.enumerate(&analysis, &perf).expect("options enumerate");
+            for metric in [Metric::Latency, Metric::Energy] {
+                let (best, _) =
+                    DeploymentPlanner::best_at(&options, metric, region.uplink())
+                        .expect("non-empty options");
+                let ours = best.to_string();
+                let paper = paper_expectation(region.name(), label, metric);
+                cells += 1;
+                if ours == paper {
+                    matches += 1;
+                }
+                row.push(format!(
+                    "{ours}{}",
+                    if ours == paper { "" } else { " (paper: ...)"}
+                ));
+            }
+        }
+        rows.push(row);
+    }
+
+    let header = [
+        "Region",
+        "t_u (Mbps)",
+        "GPU/WiFi lat",
+        "GPU/WiFi energy",
+        "CPU/LTE lat",
+        "CPU/LTE energy",
+    ];
+    print_table("Table I: preferred deployment per region", &header, &rows);
+    println!("\n{matches}/{cells} cells match the paper's Table I.");
+
+    save_csv(&args.artifact("table1_regions.csv"), &header, &rows);
+}

@@ -1,0 +1,257 @@
+//! Terminal scatter plots for frontier figures.
+//!
+//! The experiment binaries regenerate the paper's *numbers*; this module
+//! regenerates the *pictures* — an ASCII scatter of explored populations
+//! and Pareto frontiers (Fig 6) that renders anywhere, with distinct glyphs
+//! per series and log-scale support for the heavy-tailed energy axis.
+
+use std::fmt;
+
+/// One plotted series: points plus the glyph that renders them. Later
+/// series overdraw earlier ones where cells collide.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Glyph used for the series' points.
+    pub glyph: char,
+    /// `(x, y)` data points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series.
+    pub fn new(label: impl Into<String>, glyph: char, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            label: label.into(),
+            glyph,
+            points,
+        }
+    }
+}
+
+/// An ASCII scatter plot.
+#[derive(Debug, Clone)]
+pub struct AsciiScatter {
+    title: String,
+    x_label: String,
+    y_label: String,
+    width: usize,
+    height: usize,
+    log_x: bool,
+    series: Vec<Series>,
+}
+
+impl AsciiScatter {
+    /// Creates an empty plot with default 72×22 cells.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        AsciiScatter {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            width: 72,
+            height: 22,
+            log_x: false,
+            series: Vec::new(),
+        }
+    }
+
+    /// Plots the x axis on a log10 scale (useful for energy spans).
+    pub fn log_x(mut self) -> Self {
+        self.log_x = true;
+        self
+    }
+
+    /// Overrides the canvas size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is smaller than 8 cells.
+    pub fn size(mut self, width: usize, height: usize) -> Self {
+        assert!(width >= 8 && height >= 8, "canvas too small");
+        self.width = width;
+        self.height = height;
+        self
+    }
+
+    /// Adds a series (drawn over earlier ones).
+    pub fn series(mut self, series: Series) -> Self {
+        self.series.push(series);
+        self
+    }
+
+    fn x_transform(&self, x: f64) -> f64 {
+        if self.log_x {
+            x.max(f64::MIN_POSITIVE).log10()
+        } else {
+            x
+        }
+    }
+
+    /// Renders the plot to a string. Returns a placeholder message when no
+    /// finite points exist.
+    pub fn render(&self) -> String {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for s in &self.series {
+            for &(x, y) in &s.points {
+                let tx = self.x_transform(x);
+                if tx.is_finite() && y.is_finite() {
+                    xs.push(tx);
+                    ys.push(y);
+                }
+            }
+        }
+        if xs.is_empty() {
+            return format!("{}: (no data)\n", self.title);
+        }
+        let (x_lo, x_hi) = bounds(&xs);
+        let (y_lo, y_hi) = bounds(&ys);
+
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for s in &self.series {
+            for &(x, y) in &s.points {
+                let tx = self.x_transform(x);
+                if !tx.is_finite() || !y.is_finite() {
+                    continue;
+                }
+                let cx = scale(tx, x_lo, x_hi, self.width - 1);
+                // y axis points up: row 0 is the max.
+                let cy = self.height - 1 - scale(y, y_lo, y_hi, self.height - 1);
+                grid[cy][cx] = s.glyph;
+            }
+        }
+
+        let mut out = String::new();
+        out.push_str(&format!("{}\n", self.title));
+        let y_hi_label = format!("{y_hi:.4}");
+        let y_lo_label = format!("{y_lo:.4}");
+        let margin = y_hi_label.len().max(y_lo_label.len());
+        for (row_index, row) in grid.iter().enumerate() {
+            let label = if row_index == 0 {
+                y_hi_label.as_str()
+            } else if row_index == self.height - 1 {
+                y_lo_label.as_str()
+            } else {
+                ""
+            };
+            out.push_str(&format!("{label:>margin$} |"));
+            out.extend(row.iter());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{:>margin$} +{}\n",
+            "",
+            "-".repeat(self.width)
+        ));
+        let x_lo_disp = if self.log_x { 10f64.powf(x_lo) } else { x_lo };
+        let x_hi_disp = if self.log_x { 10f64.powf(x_hi) } else { x_hi };
+        out.push_str(&format!(
+            "{:>margin$}  {:<.4} {} {:>width$.4}{}\n",
+            "",
+            x_lo_disp,
+            self.x_label,
+            x_hi_disp,
+            if self.log_x { " (log)" } else { "" },
+            width = self.width.saturating_sub(self.x_label.len() + 12),
+        ));
+        out.push_str(&format!("y: {}\n", self.y_label));
+        for s in &self.series {
+            out.push_str(&format!("  {}  {}\n", s.glyph, s.label));
+        }
+        out
+    }
+}
+
+impl fmt::Display for AsciiScatter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+fn bounds(values: &[f64]) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &v in values {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    if (hi - lo).abs() < 1e-12 {
+        (lo - 0.5, hi + 0.5)
+    } else {
+        (lo, hi)
+    }
+}
+
+fn scale(v: f64, lo: f64, hi: f64, cells: usize) -> usize {
+    (((v - lo) / (hi - lo)) * cells as f64).round() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_points_at_corners() {
+        let plot = AsciiScatter::new("t", "x", "y")
+            .size(10, 8)
+            .series(Series::new("s", '*', vec![(0.0, 0.0), (1.0, 1.0)]));
+        let text = plot.render();
+        assert!(text.contains('*'));
+        // Two points, two glyph cells.
+        assert_eq!(text.matches('*').count() - 1, 2); // -1: legend glyph
+    }
+
+    #[test]
+    fn later_series_overdraw() {
+        let plot = AsciiScatter::new("t", "x", "y")
+            .size(10, 8)
+            .series(Series::new("a", 'a', vec![(0.5, 0.5)]))
+            .series(Series::new("b", 'b', vec![(0.5, 0.5)]));
+        let text = plot.render();
+        // The shared cell shows 'b'; 'a' only remains in the legend.
+        let grid_part: String = text.lines().take(9).collect();
+        assert!(grid_part.contains('b'));
+        assert!(!grid_part.contains('a'));
+    }
+
+    #[test]
+    fn empty_plot_is_graceful() {
+        let plot = AsciiScatter::new("empty", "x", "y");
+        assert!(plot.render().contains("(no data)"));
+        let nan_only = AsciiScatter::new("n", "x", "y")
+            .series(Series::new("s", '*', vec![(f64::NAN, 1.0)]));
+        assert!(nan_only.render().contains("(no data)"));
+    }
+
+    #[test]
+    fn log_scale_compresses_tails() {
+        let plot = AsciiScatter::new("t", "x", "y")
+            .size(40, 8)
+            .log_x()
+            .series(Series::new("s", '*', vec![(1.0, 0.0), (10.0, 0.5), (100.0, 1.0)]));
+        let text = plot.render();
+        assert!(text.contains("(log)"));
+        // All three points render (middle point is mid-canvas on log scale).
+        assert_eq!(text.matches('*').count() - 1, 3);
+    }
+
+    #[test]
+    fn degenerate_range_padded() {
+        let plot = AsciiScatter::new("t", "x", "y")
+            .size(10, 8)
+            .series(Series::new("s", '*', vec![(2.0, 3.0), (2.0, 3.0)]));
+        let text = plot.render();
+        assert!(text.contains('*'));
+    }
+
+    #[test]
+    #[should_panic(expected = "canvas too small")]
+    fn tiny_canvas_rejected() {
+        AsciiScatter::new("t", "x", "y").size(4, 4);
+    }
+}

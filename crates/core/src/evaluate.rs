@@ -1,0 +1,188 @@
+//! The full candidate evaluation `Evaluate(x, F, Tech, t_u)` used by
+//! Algorithm 2: decode the encoding, estimate test error on the training
+//! view, evaluate latency/energy on the deployment view via Algorithm 1.
+
+use crate::objectives::{PerfEvaluation, PerfEvaluator};
+use crate::LensError;
+use lens_accuracy::AccuracyEstimator;
+use lens_space::{Encoding, SearchSpace};
+use std::fmt;
+use std::sync::Arc;
+
+/// The three minimized objectives of the search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Objectives {
+    /// Estimated test error, percent.
+    pub error_pct: f64,
+    /// Minimal end-to-end latency, ms.
+    pub latency_ms: f64,
+    /// Minimal edge energy, mJ.
+    pub energy_mj: f64,
+}
+
+impl Objectives {
+    /// The objectives as a minimization vector `[error, latency, energy]`.
+    pub fn to_vec(self) -> Vec<f64> {
+        vec![self.error_pct, self.latency_ms, self.energy_mj]
+    }
+
+    /// Number of objectives.
+    pub const COUNT: usize = 3;
+}
+
+impl fmt::Display for Objectives {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "err {:.2}%, lat {:.2} ms, energy {:.2} mJ",
+            self.error_pct, self.latency_ms, self.energy_mj
+        )
+    }
+}
+
+/// A fully evaluated candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidateEvaluation {
+    /// The genotype.
+    pub encoding: Encoding,
+    /// The three objective values.
+    pub objectives: Objectives,
+    /// The Algorithm 1 details (best options, affine costs).
+    pub perf: PerfEvaluation,
+}
+
+/// Evaluates encodings into objective vectors.
+#[derive(Clone)]
+pub struct LensEvaluator {
+    deploy_space: Arc<dyn SearchSpace + Send + Sync>,
+    train_space: Arc<dyn SearchSpace + Send + Sync>,
+    accuracy: Arc<dyn AccuracyEstimator + Send + Sync>,
+    perf: PerfEvaluator,
+}
+
+impl LensEvaluator {
+    /// Wires the two space views, the accuracy estimator, and the
+    /// performance evaluator together.
+    pub fn new(
+        deploy_space: Arc<dyn SearchSpace + Send + Sync>,
+        train_space: Arc<dyn SearchSpace + Send + Sync>,
+        accuracy: Arc<dyn AccuracyEstimator + Send + Sync>,
+        perf: PerfEvaluator,
+    ) -> Self {
+        LensEvaluator {
+            deploy_space,
+            train_space,
+            accuracy,
+            perf,
+        }
+    }
+
+    /// The deployment-view search space.
+    pub fn space(&self) -> &Arc<dyn SearchSpace + Send + Sync> {
+        &self.deploy_space
+    }
+
+    /// The performance evaluator (Algorithm 1).
+    pub fn perf(&self) -> &PerfEvaluator {
+        &self.perf
+    }
+
+    /// Evaluates one candidate.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decode, accuracy, and performance failures.
+    pub fn evaluate(&self, encoding: &Encoding) -> Result<CandidateEvaluation, LensError> {
+        // Accuracy objective: decoded at the training input (CIFAR-10).
+        let train_net = self.train_space.decode(encoding)?;
+        let error_pct = self.accuracy.test_error(&train_net)?;
+
+        // Performance objectives: decoded at the deployment input
+        // (224x224x3, "to reflect realistic scenarios").
+        let deploy_net = self.deploy_space.decode(encoding)?;
+        let analysis = deploy_net.analyze()?;
+        let perf = self.perf.evaluate(&analysis)?;
+
+        Ok(CandidateEvaluation {
+            encoding: encoding.clone(),
+            objectives: Objectives {
+                error_pct,
+                latency_ms: perf.latency.get(),
+                energy_mj: perf.energy.get(),
+            },
+            perf,
+        })
+    }
+}
+
+impl fmt::Debug for LensEvaluator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LensEvaluator")
+            .field("perf", &self.perf)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objectives::PartitionPolicy;
+    use lens_accuracy::SurrogateAccuracy;
+    use lens_device::DeviceProfile;
+    use lens_nn::units::Mbps;
+    use lens_space::VggSpace;
+    use lens_wireless::{WirelessLink, WirelessTechnology};
+    use rand::SeedableRng;
+
+    fn evaluator(policy: PartitionPolicy) -> LensEvaluator {
+        LensEvaluator::new(
+            Arc::new(VggSpace::for_deployment()),
+            Arc::new(VggSpace::for_cifar10()),
+            Arc::new(SurrogateAccuracy::cifar10()),
+            PerfEvaluator::new(
+                WirelessLink::new(WirelessTechnology::Wifi, Mbps::new(3.0)),
+                Arc::new(DeviceProfile::jetson_tx2_gpu()),
+                policy,
+            ),
+        )
+    }
+
+    #[test]
+    fn evaluation_produces_finite_objectives() {
+        let e = evaluator(PartitionPolicy::WithinOptimization);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            let enc = e.space().sample(&mut rng);
+            let c = e.evaluate(&enc).unwrap();
+            let v = c.objectives.to_vec();
+            assert_eq!(v.len(), Objectives::COUNT);
+            assert!(v.iter().all(|x| x.is_finite() && *x > 0.0), "{:?}", v);
+        }
+    }
+
+    #[test]
+    fn lens_objectives_dominate_or_match_traditional() {
+        let lens = evaluator(PartitionPolicy::WithinOptimization);
+        let trad = evaluator(PartitionPolicy::EdgeOnly);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        for _ in 0..10 {
+            let enc = lens.space().sample(&mut rng);
+            let a = lens.evaluate(&enc).unwrap().objectives;
+            let b = trad.evaluate(&enc).unwrap().objectives;
+            assert_eq!(a.error_pct, b.error_pct); // same accuracy objective
+            assert!(a.latency_ms <= b.latency_ms + 1e-9);
+            assert!(a.energy_mj <= b.energy_mj + 1e-9);
+        }
+    }
+
+    #[test]
+    fn display_formats_objectives() {
+        let o = Objectives {
+            error_pct: 20.5,
+            latency_ms: 120.0,
+            energy_mj: 250.0,
+        };
+        let s = format!("{o}");
+        assert!(s.contains("20.50%") && s.contains("120.00 ms"));
+    }
+}

@@ -1,0 +1,200 @@
+//! Algorithm 1: performance-objective evaluation with layer distribution.
+//!
+//! For a candidate model, per-layer latency/power are predicted
+//! (`L_Predict`/`P_Predict`), viable partition points identified
+//! (`Identify` — output smaller than the input), each option's accumulated
+//! cost computed (on-device prefix + communication), and the minima across
+//! options returned per metric (`Minimal`). The All-Edge and All-Cloud
+//! options are always in the comparison set, matching §III.A's "an
+//! application can perform computations locally on the edge or offload
+//! part, if not all, of it to the cloud".
+
+use crate::LensError;
+use lens_device::{profile_network, LayerPerformanceModel};
+use lens_nn::units::{Mbps, Millijoules, Millis};
+use lens_nn::NetworkAnalysis;
+use lens_runtime::{DeploymentKind, DeploymentOption, DeploymentPlanner, Metric};
+use lens_wireless::WirelessLink;
+use std::fmt;
+use std::sync::Arc;
+
+/// Whether candidates may be distributed across the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PartitionPolicy {
+    /// LENS: evaluate each candidate at its best deployment option.
+    WithinOptimization,
+    /// The Traditional baseline: candidates are scored All-Edge only
+    /// (platform-aware NAS for the edge device).
+    EdgeOnly,
+}
+
+impl fmt::Display for PartitionPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartitionPolicy::WithinOptimization => write!(f, "partition-within-optimization"),
+            PartitionPolicy::EdgeOnly => write!(f, "all-edge-only"),
+        }
+    }
+}
+
+/// The result of Algorithm 1 on one candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfEvaluation {
+    /// Minimal latency across allowed deployment options (`L`).
+    pub latency: Millis,
+    /// Minimal energy across allowed deployment options (`E`).
+    pub energy: Millijoules,
+    /// The option achieving the minimal latency (`index_L`).
+    pub best_latency_option: DeploymentKind,
+    /// The option achieving the minimal energy (`index_E`).
+    pub best_energy_option: DeploymentKind,
+    /// Every option that was compared, with its affine costs — reused by
+    /// the runtime analysis (thresholds, Fig 8).
+    pub options: Vec<DeploymentOption>,
+}
+
+impl PerfEvaluation {
+    /// `true` if the best deployment (for either metric) communicates with
+    /// the cloud — i.e. partitioning actually won.
+    pub fn benefits_from_distribution(&self) -> bool {
+        self.best_latency_option != DeploymentKind::AllEdge
+            || self.best_energy_option != DeploymentKind::AllEdge
+    }
+}
+
+/// Evaluates the performance objectives of candidate networks (Algorithm 1).
+#[derive(Clone)]
+pub struct PerfEvaluator {
+    link: WirelessLink,
+    model: Arc<dyn LayerPerformanceModel + Send + Sync>,
+    policy: PartitionPolicy,
+}
+
+impl PerfEvaluator {
+    /// Creates the evaluator from the design-time wireless expectation, a
+    /// per-layer performance model, and the partition policy.
+    pub fn new(
+        link: WirelessLink,
+        model: Arc<dyn LayerPerformanceModel + Send + Sync>,
+        policy: PartitionPolicy,
+    ) -> Self {
+        PerfEvaluator {
+            link,
+            model,
+            policy,
+        }
+    }
+
+    /// The configured link (technology, `t_u`, RTT).
+    pub fn link(&self) -> &WirelessLink {
+        &self.link
+    }
+
+    /// The partition policy.
+    pub fn policy(&self) -> PartitionPolicy {
+        self.policy
+    }
+
+    /// The expected throughput the objectives are evaluated at.
+    pub fn throughput(&self) -> Mbps {
+        self.link.throughput()
+    }
+
+    /// Runs Algorithm 1 on an analyzed network.
+    ///
+    /// # Errors
+    ///
+    /// Propagates deployment-enumeration failures.
+    pub fn evaluate(&self, analysis: &NetworkAnalysis) -> Result<PerfEvaluation, LensError> {
+        let perf = profile_network(analysis, self.model.as_ref());
+        let planner = DeploymentPlanner::new(self.link);
+        let mut options = planner.enumerate(analysis, &perf)?;
+        if self.policy == PartitionPolicy::EdgeOnly {
+            options.retain(|o| o.kind() == &DeploymentKind::AllEdge);
+        }
+        let tu = self.link.throughput();
+        let (best_lat, latency) = DeploymentPlanner::best_at(&options, Metric::Latency, tu)?;
+        let (best_en, energy) = DeploymentPlanner::best_at(&options, Metric::Energy, tu)?;
+        Ok(PerfEvaluation {
+            latency: Millis::new(latency),
+            energy: Millijoules::new(energy),
+            best_latency_option: best_lat.kind().clone(),
+            best_energy_option: best_en.kind().clone(),
+            options,
+        })
+    }
+}
+
+impl fmt::Debug for PerfEvaluator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PerfEvaluator")
+            .field("link", &self.link)
+            .field("policy", &self.policy)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lens_device::DeviceProfile;
+    use lens_nn::zoo;
+    use lens_wireless::WirelessTechnology;
+
+    fn evaluator(policy: PartitionPolicy, tu: f64) -> PerfEvaluator {
+        PerfEvaluator::new(
+            WirelessLink::new(WirelessTechnology::Wifi, Mbps::new(tu)),
+            Arc::new(DeviceProfile::jetson_tx2_gpu()),
+            policy,
+        )
+    }
+
+    #[test]
+    fn lens_never_worse_than_edge_only() {
+        let a = zoo::alexnet().analyze().unwrap();
+        for tu in [0.5, 3.0, 7.5, 16.1, 30.0] {
+            let lens = evaluator(PartitionPolicy::WithinOptimization, tu)
+                .evaluate(&a)
+                .unwrap();
+            let edge = evaluator(PartitionPolicy::EdgeOnly, tu).evaluate(&a).unwrap();
+            assert!(lens.latency <= edge.latency, "tu={tu}");
+            assert!(lens.energy <= edge.energy, "tu={tu}");
+        }
+    }
+
+    #[test]
+    fn edge_only_reports_all_edge() {
+        let a = zoo::alexnet().analyze().unwrap();
+        let edge = evaluator(PartitionPolicy::EdgeOnly, 3.0).evaluate(&a).unwrap();
+        assert_eq!(edge.best_latency_option, DeploymentKind::AllEdge);
+        assert_eq!(edge.best_energy_option, DeploymentKind::AllEdge);
+        assert_eq!(edge.options.len(), 1);
+        assert!(!edge.benefits_from_distribution());
+    }
+
+    #[test]
+    fn alexnet_gpu_wifi_energy_prefers_pool5_at_moderate_tu() {
+        // Table I: GPU/WiFi energy at 7.5 and 16.1 Mbps -> Pool5 split.
+        // Use the ground-truth model (no predictor noise) for exactness.
+        let a = zoo::alexnet().analyze().unwrap();
+        for tu in [7.5, 16.1] {
+            let eval = evaluator(PartitionPolicy::WithinOptimization, tu)
+                .evaluate(&a)
+                .unwrap();
+            match &eval.best_energy_option {
+                DeploymentKind::Split { layer_name, .. } => {
+                    assert_eq!(layer_name, "pool5", "tu={tu}")
+                }
+                other => panic!("expected Split@pool5 at tu={tu}, got {other}"),
+            }
+            assert!(eval.benefits_from_distribution());
+        }
+    }
+
+    #[test]
+    fn evaluation_is_deterministic() {
+        let a = zoo::alexnet().analyze().unwrap();
+        let e = evaluator(PartitionPolicy::WithinOptimization, 3.0);
+        assert_eq!(e.evaluate(&a).unwrap(), e.evaluate(&a).unwrap());
+    }
+}

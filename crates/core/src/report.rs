@@ -1,0 +1,254 @@
+//! Reporting utilities: the Fig 7 criteria counts, the Fig 6 frontier
+//! comparison numbers, and CSV output for the experiment harness.
+
+use crate::evaluate::{CandidateEvaluation, Objectives};
+use crate::search::SearchOutcome;
+use lens_pareto::{combined_composition, coverage, CombinedComposition};
+use std::fmt;
+use std::io::Write;
+use std::path::Path;
+
+/// The Fig 7 architecture-count criteria (error in %, energy in mJ).
+///
+/// The thresholds default to the paper's (`Err<20`, `Err<25`, `Ergy<200`,
+/// `Ergy<250`) but are configurable because our simulated testbed's energy
+/// scale differs from the authors' physical TX2 (DESIGN.md #1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CriteriaCounts {
+    /// The error threshold pair `(tight, loose)`, e.g. (20, 25).
+    pub error_thresholds: (f64, f64),
+    /// The energy threshold pair `(tight, loose)`, e.g. (200, 250).
+    pub energy_thresholds: (f64, f64),
+    /// `# {Err < tight}`.
+    pub err_tight: usize,
+    /// `# {Err < loose}`.
+    pub err_loose: usize,
+    /// `# {Ergy < tight}`.
+    pub energy_tight: usize,
+    /// `# {Ergy < loose}`.
+    pub energy_loose: usize,
+    /// `# {Err < loose ∧ Ergy < loose}` (the paper's hardest criterion).
+    pub combined: usize,
+}
+
+impl CriteriaCounts {
+    /// Counts the explored architectures of a search outcome against the
+    /// given thresholds.
+    pub fn of(
+        outcome: &SearchOutcome,
+        error_thresholds: (f64, f64),
+        energy_thresholds: (f64, f64),
+    ) -> Self {
+        let count = |pred: &dyn Fn(&Objectives) -> bool| outcome.count_where(pred);
+        CriteriaCounts {
+            error_thresholds,
+            energy_thresholds,
+            err_tight: count(&|o| o.error_pct < error_thresholds.0),
+            err_loose: count(&|o| o.error_pct < error_thresholds.1),
+            energy_tight: count(&|o| o.energy_mj < energy_thresholds.0),
+            energy_loose: count(&|o| o.energy_mj < energy_thresholds.1),
+            combined: count(&|o| {
+                o.error_pct < error_thresholds.1 && o.energy_mj < energy_thresholds.1
+            }),
+        }
+    }
+}
+
+impl fmt::Display for CriteriaCounts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (et, el) = self.error_thresholds;
+        let (gt, gl) = self.energy_thresholds;
+        writeln!(f, "Err<{et}: {}", self.err_tight)?;
+        writeln!(f, "Err<{el}: {}", self.err_loose)?;
+        writeln!(f, "Ergy<{gt}: {}", self.energy_tight)?;
+        writeln!(f, "Ergy<{gl}: {}", self.energy_loose)?;
+        write!(f, "Err<{el} & Ergy<{gl}: {}", self.combined)
+    }
+}
+
+/// The §V.A frontier-versus-frontier metrics between LENS and the
+/// (partitioned) Traditional baseline, in one 2-D objective plane.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrontierComparison {
+    /// Fraction of the baseline frontier dominated by LENS (C-metric), %.
+    pub lens_dominates_pct: f64,
+    /// Fraction of the LENS frontier dominated by the baseline, %.
+    pub baseline_dominates_pct: f64,
+    /// Composition of the combined frontier.
+    pub combined: CombinedComposition,
+}
+
+impl FrontierComparison {
+    /// Compares two frontiers given as objective-vector slices (LENS
+    /// first).
+    pub fn between(lens: &[&[f64]], baseline: &[&[f64]]) -> Self {
+        FrontierComparison {
+            lens_dominates_pct: 100.0 * coverage(lens, baseline),
+            baseline_dominates_pct: 100.0 * coverage(baseline, lens),
+            combined: combined_composition(lens, baseline),
+        }
+    }
+}
+
+impl fmt::Display for FrontierComparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "LENS dominates {:.2}% of baseline frontier",
+            self.lens_dominates_pct
+        )?;
+        writeln!(
+            f,
+            "baseline dominates {:.2}% of LENS frontier",
+            self.baseline_dominates_pct
+        )?;
+        write!(
+            f,
+            "combined frontier: {:.2}% LENS / {:.2}% baseline ({} members)",
+            self.combined.percent_from_a(),
+            self.combined.percent_from_b(),
+            self.combined.total()
+        )
+    }
+}
+
+/// Writes rows of `(header, rows)` as CSV to `path`, creating parent
+/// directories as needed.
+///
+/// # Errors
+///
+/// Returns any I/O error encountered.
+pub fn write_csv<P: AsRef<Path>>(
+    path: P,
+    header: &[&str],
+    rows: &[Vec<String>],
+) -> std::io::Result<()> {
+    if let Some(parent) = path.as_ref().parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut file = std::fs::File::create(path)?;
+    writeln!(file, "{}", header.join(","))?;
+    for row in rows {
+        writeln!(file, "{}", row.join(","))?;
+    }
+    Ok(())
+}
+
+/// Serializes a search outcome's exploration history into CSV rows
+/// (`index,error_pct,latency_ms,energy_mj,best_latency_option,best_energy_option,encoding`).
+pub fn outcome_rows(outcome: &SearchOutcome) -> Vec<Vec<String>> {
+    outcome
+        .explored()
+        .iter()
+        .map(|c| {
+            vec![
+                c.index.to_string(),
+                format!("{:.4}", c.objectives.error_pct),
+                format!("{:.4}", c.objectives.latency_ms),
+                format!("{:.4}", c.objectives.energy_mj),
+                c.best_latency_option.to_string(),
+                c.best_energy_option.to_string(),
+                format!("\"{}\"", c.encoding),
+            ]
+        })
+        .collect()
+}
+
+/// Header matching [`outcome_rows`].
+pub const OUTCOME_HEADER: [&str; 7] = [
+    "index",
+    "error_pct",
+    "latency_ms",
+    "energy_mj",
+    "best_latency_option",
+    "best_energy_option",
+    "encoding",
+];
+
+/// Serializes re-evaluated candidates (e.g. a partitioned frontier).
+pub fn evaluation_rows(evaluations: &[CandidateEvaluation]) -> Vec<Vec<String>> {
+    evaluations
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            vec![
+                i.to_string(),
+                format!("{:.4}", c.objectives.error_pct),
+                format!("{:.4}", c.objectives.latency_ms),
+                format!("{:.4}", c.objectives.energy_mj),
+                c.perf.best_latency_option.to_string(),
+                c.perf.best_energy_option.to_string(),
+                format!("\"{}\"", c.encoding),
+            ]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Lens;
+    use lens_nn::units::Mbps;
+    use lens_wireless::WirelessTechnology;
+
+    fn outcome() -> SearchOutcome {
+        Lens::builder()
+            .technology(WirelessTechnology::Wifi)
+            .expected_throughput(Mbps::new(3.0))
+            .iterations(4)
+            .initial_samples(6)
+            .seed(3)
+            .use_predictor(false)
+            .build()
+            .unwrap()
+            .search()
+            .unwrap()
+    }
+
+    #[test]
+    fn criteria_counts_are_monotone_in_thresholds() {
+        let o = outcome();
+        let c = CriteriaCounts::of(&o, (20.0, 25.0), (200.0, 250.0));
+        assert!(c.err_tight <= c.err_loose);
+        assert!(c.energy_tight <= c.energy_loose);
+        assert!(c.combined <= c.err_loose);
+        assert!(c.combined <= c.energy_loose);
+        let all = CriteriaCounts::of(&o, (1e9, 1e9), (1e9, 1e9));
+        assert_eq!(all.err_tight, o.explored().len());
+    }
+
+    #[test]
+    fn frontier_comparison_percentages_consistent() {
+        let a: Vec<Vec<f64>> = vec![vec![1.0, 2.0], vec![2.0, 1.0]];
+        let b: Vec<Vec<f64>> = vec![vec![3.0, 3.0]];
+        let ar: Vec<&[f64]> = a.iter().map(|v| v.as_slice()).collect();
+        let br: Vec<&[f64]> = b.iter().map(|v| v.as_slice()).collect();
+        let cmp = FrontierComparison::between(&ar, &br);
+        assert_eq!(cmp.lens_dominates_pct, 100.0);
+        assert_eq!(cmp.baseline_dominates_pct, 0.0);
+        assert_eq!(cmp.combined.percent_from_a(), 100.0);
+        assert!(format!("{cmp}").contains("100.00%"));
+    }
+
+    #[test]
+    fn csv_round_trip_via_filesystem() {
+        let o = outcome();
+        let rows = outcome_rows(&o);
+        assert_eq!(rows.len(), o.explored().len());
+        let dir = std::env::temp_dir().join("lens-report-test");
+        let path = dir.join("outcome.csv");
+        write_csv(&path, &OUTCOME_HEADER, &rows).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("index,error_pct"));
+        assert_eq!(text.lines().count(), rows.len() + 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn criteria_display_mentions_thresholds() {
+        let o = outcome();
+        let c = CriteriaCounts::of(&o, (20.0, 25.0), (200.0, 250.0));
+        let s = format!("{c}");
+        assert!(s.contains("Err<20") && s.contains("Ergy<250"));
+    }
+}

@@ -1,0 +1,101 @@
+//! The Traditional baseline's post-processing (§V.A).
+//!
+//! The paper's comparison target is "performing platform-aware NAS for the
+//! target edge device, and then applying the optimal distribution of layers
+//! between the edge and cloud for its optimal set of architectures": run
+//! the same MOBO search with All-Edge objectives, then *afterwards* give
+//! each frontier member the benefit of partitioning.
+
+use crate::evaluate::{CandidateEvaluation, LensEvaluator};
+use crate::search::SearchOutcome;
+use crate::LensError;
+use lens_pareto::ParetoFront;
+
+/// Re-evaluates a search outcome's Pareto frontier with partitioning
+/// enabled (`evaluator` must have the `WithinOptimization` policy), i.e.
+/// builds "the new Traditional frontier" of Fig 6.
+///
+/// # Errors
+///
+/// Propagates evaluation failures.
+pub fn partition_frontier(
+    evaluator: &LensEvaluator,
+    outcome: &SearchOutcome,
+) -> Result<Vec<CandidateEvaluation>, LensError> {
+    let mut out = Vec::new();
+    for candidate in outcome.pareto_candidates() {
+        out.push(evaluator.evaluate(&candidate.encoding)?);
+    }
+    Ok(out)
+}
+
+/// Builds a [`ParetoFront`] over re-evaluated candidates (indices into the
+/// input slice).
+pub fn front_of(evaluations: &[CandidateEvaluation]) -> ParetoFront<usize> {
+    evaluations
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (i, c.objectives.to_vec()))
+        .collect()
+}
+
+/// 2-D front (objective indices as in
+/// [`SearchOutcome::front_2d`](crate::search::SearchOutcome::front_2d)).
+pub fn front_of_2d(
+    evaluations: &[CandidateEvaluation],
+    objective_a: usize,
+    objective_b: usize,
+) -> ParetoFront<usize> {
+    evaluations
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            let v = c.objectives.to_vec();
+            (i, vec![v[objective_a], v[objective_b]])
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Lens;
+    use lens_nn::units::Mbps;
+    use lens_wireless::WirelessTechnology;
+
+    fn lens() -> Lens {
+        Lens::builder()
+            .technology(WirelessTechnology::Wifi)
+            .expected_throughput(Mbps::new(3.0))
+            .iterations(6)
+            .initial_samples(6)
+            .seed(11)
+            .use_predictor(false)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn partitioning_never_hurts_the_frontier() {
+        let l = lens();
+        let traditional = l.traditional_search().unwrap();
+        let partitioned = l.partition_frontier(&traditional).unwrap();
+        let members = traditional.pareto_candidates();
+        assert_eq!(partitioned.len(), members.len());
+        for (before, after) in members.iter().zip(&partitioned) {
+            assert_eq!(before.encoding, after.encoding);
+            assert_eq!(before.objectives.error_pct, after.objectives.error_pct);
+            assert!(after.objectives.latency_ms <= before.objectives.latency_ms + 1e-9);
+            assert!(after.objectives.energy_mj <= before.objectives.energy_mj + 1e-9);
+        }
+    }
+
+    #[test]
+    fn fronts_over_reevaluations_are_antichains() {
+        let l = lens();
+        let traditional = l.traditional_search().unwrap();
+        let partitioned = l.partition_frontier(&traditional).unwrap();
+        assert!(front_of(&partitioned).is_antichain());
+        assert!(front_of_2d(&partitioned, 0, 2).is_antichain());
+    }
+}

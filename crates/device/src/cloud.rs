@@ -1,0 +1,191 @@
+//! Cloud-tier execution model.
+//!
+//! The paper (and our default cost model) neglects `L_cloud` and `E_cloud`
+//! entirely: "as the cloud contains much more computation capabilities,
+//! E_cloud and L_cloud can be neglected with respect to the other factors"
+//! (§III.A). This module makes that assumption *checkable* instead of
+//! implicit: a [`CloudProfile`] models a finite-throughput cloud, and the
+//! `cloud_ablation` experiment quantifies how much the neglect distorts the
+//! deployment decisions.
+
+use crate::LayerPerformanceModel;
+use lens_nn::units::{Millis};
+use lens_nn::NetworkAnalysis;
+use std::fmt;
+
+/// A finite cloud: effective convolution throughput and dense-layer
+/// bandwidth, both far above the edge device's.
+///
+/// Only latency is modelled — cloud *energy* is never charged to the edge
+/// (Eq. 2 cares about the edge's battery either way).
+///
+/// # Examples
+///
+/// ```
+/// use lens_device::cloud::CloudProfile;
+/// use lens_nn::zoo;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let cloud = CloudProfile::datacenter_gpu();
+/// let analysis = zoo::alexnet().analyze()?;
+/// let total = cloud.suffix_latency(&analysis, 0); // run everything remotely
+/// assert!(total.get() < 5.0); // milliseconds, ~negligible vs comm
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CloudProfile {
+    name: String,
+    conv_gflops: f64,
+    dense_gbps: f64,
+}
+
+impl CloudProfile {
+    /// A datacenter-class accelerator: ~50× the TX2 GPU on convolutions,
+    /// ~40× on memory-bound dense layers.
+    pub fn datacenter_gpu() -> Self {
+        CloudProfile {
+            name: "datacenter-gpu".into(),
+            conv_gflops: 3000.0,
+            dense_gbps: 450.0,
+        }
+    }
+
+    /// The paper's idealization: infinitely fast cloud (`L_cloud = 0`).
+    pub fn infinite() -> Self {
+        CloudProfile {
+            name: "infinite-cloud".into(),
+            conv_gflops: f64::INFINITY,
+            dense_gbps: f64::INFINITY,
+        }
+    }
+
+    /// A custom cloud capability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either throughput is not positive.
+    pub fn custom(name: impl Into<String>, conv_gflops: f64, dense_gbps: f64) -> Self {
+        assert!(conv_gflops > 0.0, "conv_gflops must be positive");
+        assert!(dense_gbps > 0.0, "dense_gbps must be positive");
+        CloudProfile {
+            name: name.into(),
+            conv_gflops,
+            dense_gbps,
+        }
+    }
+
+    /// Profile name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Cloud execution latency for layers `from_index..` of the network
+    /// (the part shipped to the cloud when splitting after
+    /// `from_index - 1`; `from_index = 0` is All-Cloud).
+    pub fn suffix_latency(&self, analysis: &NetworkAnalysis, from_index: usize) -> Millis {
+        if self.conv_gflops.is_infinite() {
+            return Millis::ZERO;
+        }
+        let mut total = 0.0;
+        for layer in &analysis.layers()[from_index.min(analysis.layers().len())..] {
+            let compute = 2.0 * layer.macs as f64 / (self.conv_gflops * 1e6);
+            let bytes = 4.0
+                * (layer.params
+                    + layer.input_shape.num_elements()
+                    + layer.output_shape.num_elements()) as f64;
+            let memory = bytes / (self.dense_gbps * 1e6);
+            total += compute.max(memory);
+        }
+        Millis::new(total)
+    }
+}
+
+impl fmt::Display for CloudProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} GFLOP/s, {} GB/s)",
+            self.name, self.conv_gflops, self.dense_gbps
+        )
+    }
+}
+
+/// Extension of [`LayerPerformanceModel`]-based profiling that also
+/// computes cloud-side suffix latencies — consumed by the cloud-cost
+/// ablation.
+pub fn cloud_suffix_latencies(
+    analysis: &NetworkAnalysis,
+    cloud: &CloudProfile,
+) -> Vec<Millis> {
+    (0..=analysis.layers().len())
+        .map(|i| cloud.suffix_latency(analysis, i))
+        .collect()
+}
+
+/// A no-op impl so a `CloudProfile` can be queried through the same trait
+/// in generic code paths that only care about latency. Power is zero: cloud
+/// energy is not charged to the edge (Eq. 2).
+impl LayerPerformanceModel for CloudProfile {
+    fn layer_latency(&self, layer: &lens_nn::LayerAnalysis) -> Millis {
+        if self.conv_gflops.is_infinite() {
+            return Millis::ZERO;
+        }
+        let compute = 2.0 * layer.macs as f64 / (self.conv_gflops * 1e6);
+        let bytes = 4.0
+            * (layer.params
+                + layer.input_shape.num_elements()
+                + layer.output_shape.num_elements()) as f64;
+        Millis::new(compute.max(bytes / (self.dense_gbps * 1e6)))
+    }
+
+    fn layer_power(&self, _layer: &lens_nn::LayerAnalysis) -> lens_nn::units::Milliwatts {
+        lens_nn::units::Milliwatts::ZERO
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lens_nn::zoo;
+
+    #[test]
+    fn infinite_cloud_is_free() {
+        let analysis = zoo::alexnet().analyze().unwrap();
+        let cloud = CloudProfile::infinite();
+        assert_eq!(cloud.suffix_latency(&analysis, 0), Millis::ZERO);
+    }
+
+    #[test]
+    fn datacenter_cloud_is_much_faster_than_edge() {
+        use crate::{profile_network, DeviceProfile};
+        let analysis = zoo::alexnet().analyze().unwrap();
+        let cloud = CloudProfile::datacenter_gpu();
+        let edge = profile_network(&analysis, &DeviceProfile::jetson_tx2_gpu());
+        let cloud_total = cloud.suffix_latency(&analysis, 0);
+        assert!(cloud_total.get() * 20.0 < edge.total_latency().get());
+    }
+
+    #[test]
+    fn suffix_latencies_decrease_monotonically() {
+        let analysis = zoo::alexnet().analyze().unwrap();
+        let cloud = CloudProfile::datacenter_gpu();
+        let suffixes = cloud_suffix_latencies(&analysis, &cloud);
+        assert_eq!(suffixes.len(), analysis.layers().len() + 1);
+        for w in suffixes.windows(2) {
+            assert!(w[0] >= w[1], "suffix latency must shrink as the split moves later");
+        }
+        assert_eq!(suffixes.last().copied(), Some(Millis::ZERO));
+    }
+
+    #[test]
+    #[should_panic(expected = "conv_gflops must be positive")]
+    fn custom_rejects_zero() {
+        CloudProfile::custom("bad", 0.0, 1.0);
+    }
+
+    #[test]
+    fn display_mentions_name() {
+        assert!(format!("{}", CloudProfile::datacenter_gpu()).contains("datacenter"));
+    }
+}

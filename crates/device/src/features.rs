@@ -1,0 +1,156 @@
+//! Layer classification and feature engineering for the prediction models.
+//!
+//! "Each prediction model would have its input features constructed as in
+//! \[3\]" (§IV.C) — Neurosurgeon builds one regression per layer *type* with
+//! features derived from the layer's configuration. We use the same scheme:
+//! a [`LayerClass`] per type and a fixed feature vector per class.
+
+use lens_nn::{LayerAnalysis, LayerKind};
+use std::fmt;
+
+/// The layer classes that get their own prediction model.
+///
+/// `Free` layers (flatten, dropout at inference) cost nothing and are not
+/// modeled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayerClass {
+    /// Convolutions (with fused activation/normalization).
+    Conv,
+    /// Max pooling.
+    Pool,
+    /// Fully connected layers.
+    Dense,
+    /// Zero-cost structural layers.
+    Free,
+}
+
+impl LayerClass {
+    /// Classifies a layer.
+    pub fn of(kind: &LayerKind) -> LayerClass {
+        match kind {
+            LayerKind::Conv2d { .. } => LayerClass::Conv,
+            LayerKind::MaxPool2d { .. } | LayerKind::AvgPool2d { .. } => LayerClass::Pool,
+            LayerKind::Dense { .. } => LayerClass::Dense,
+            LayerKind::Flatten | LayerKind::Dropout { .. } => LayerClass::Free,
+        }
+    }
+
+    /// The classes that carry a prediction model.
+    pub fn modeled() -> [LayerClass; 3] {
+        [LayerClass::Conv, LayerClass::Pool, LayerClass::Dense]
+    }
+
+    /// Width of this class's feature vector.
+    pub fn feature_width(self) -> usize {
+        match self {
+            LayerClass::Conv => 6,
+            LayerClass::Pool => 4,
+            LayerClass::Dense => 4,
+            LayerClass::Free => 0,
+        }
+    }
+}
+
+impl fmt::Display for LayerClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LayerClass::Conv => write!(f, "conv"),
+            LayerClass::Pool => write!(f, "pool"),
+            LayerClass::Dense => write!(f, "dense"),
+            LayerClass::Free => write!(f, "free"),
+        }
+    }
+}
+
+/// Builds the Neurosurgeon-style feature vector for a layer.
+///
+/// As in Neurosurgeon, the features are chosen because they are the known
+/// physical drivers of layer cost — arithmetic work (MACs) and data
+/// movement (bytes of activations + weights) — plus shape descriptors:
+///
+/// * **Conv**: MACs, moved bytes, input elements, output elements, kernel²,
+///   output channels.
+/// * **Pool**: moved bytes, input elements, output elements, kernel².
+/// * **Dense**: MACs, moved bytes, input features, output features.
+/// * **Free**: empty (zero cost).
+pub fn layer_features(layer: &LayerAnalysis) -> Vec<f64> {
+    let moved_bytes = 4.0
+        * (layer.params + layer.input_shape.num_elements() + layer.output_shape.num_elements())
+            as f64;
+    match &layer.kind {
+        LayerKind::Conv2d { kernel, .. } => vec![
+            layer.macs as f64,
+            moved_bytes,
+            layer.input_shape.num_elements() as f64,
+            layer.output_shape.num_elements() as f64,
+            (*kernel as f64) * (*kernel as f64),
+            layer.output_shape.channels() as f64,
+        ],
+        LayerKind::MaxPool2d { kernel, .. } | LayerKind::AvgPool2d { kernel, .. } => vec![
+            moved_bytes,
+            layer.input_shape.num_elements() as f64,
+            layer.output_shape.num_elements() as f64,
+            (*kernel as f64) * (*kernel as f64),
+        ],
+        LayerKind::Dense { .. } => vec![
+            layer.macs as f64,
+            moved_bytes,
+            layer.input_shape.num_elements() as f64,
+            layer.output_shape.num_elements() as f64,
+        ],
+        LayerKind::Flatten | LayerKind::Dropout { .. } => vec![],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lens_nn::zoo;
+
+    #[test]
+    fn classes_cover_alexnet() {
+        let a = zoo::alexnet().analyze().unwrap();
+        let mut conv = 0;
+        let mut pool = 0;
+        let mut dense = 0;
+        let mut free = 0;
+        for l in a.layers() {
+            match LayerClass::of(&l.kind) {
+                LayerClass::Conv => conv += 1,
+                LayerClass::Pool => pool += 1,
+                LayerClass::Dense => dense += 1,
+                LayerClass::Free => free += 1,
+            }
+        }
+        assert_eq!((conv, pool, dense, free), (5, 3, 3, 1));
+    }
+
+    #[test]
+    fn feature_widths_match_declared() {
+        let a = zoo::alexnet().analyze().unwrap();
+        for l in a.layers() {
+            let class = LayerClass::of(&l.kind);
+            assert_eq!(
+                layer_features(l).len(),
+                class.feature_width(),
+                "layer {} class {class}",
+                l.name
+            );
+        }
+    }
+
+    #[test]
+    fn conv_features_reflect_macs() {
+        let a = zoo::alexnet().analyze().unwrap();
+        let conv1 = a.layer("conv1").unwrap();
+        let f = layer_features(conv1);
+        assert_eq!(f[0], conv1.macs as f64);
+        assert_eq!(f[4], 121.0); // 11x11 kernel
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(format!("{}", LayerClass::Conv), "conv");
+        assert_eq!(LayerClass::modeled().len(), 3);
+    }
+}

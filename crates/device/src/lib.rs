@@ -1,0 +1,238 @@
+//! Edge-device performance substrate: the paper's "Layer Performance
+//! Prediction Models" (§IV.C), rebuilt without the physical testbed.
+//!
+//! The paper profiles every layer type with Caffe on an NVIDIA Jetson TX2
+//! (latency from Caffe timing, power from the board's INA3221 sensing
+//! circuit), then fits per-layer-type regression models whose features
+//! follow Neurosurgeon. This crate reproduces that *methodology* on top of a
+//! simulated testbed (DESIGN.md substitution #1):
+//!
+//! 1. [`profile`] — calibrated [`DeviceProfile`]s for the TX2's GPU and CPU.
+//! 2. [`ground_truth`] — an analytic roofline-style model (compute-bound
+//!    convolutions, memory-bound dense layers, per-layer overhead) standing
+//!    in for the physical measurements. Its constants are calibrated so that
+//!    AlexNet reproduces the paper's motivational facts (Fig 1 latency
+//!    breakdown, all twelve Table I deployment preferences).
+//! 3. [`measure`] — a synthetic measurement campaign: ground truth ×
+//!    log-normal noise over a grid of layer configurations, emulating the
+//!    profiling runs.
+//! 4. [`predictor`] — per-layer-type ridge regressions trained on the
+//!    campaign, the `L_Predict`/`P_Predict` of Algorithm 1. The search only
+//!    ever sees these predictions, exactly as in the paper.
+//!
+//! # Examples
+//!
+//! ```
+//! use lens_device::{profile_network, DeviceProfile};
+//! use lens_nn::zoo;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let gpu = DeviceProfile::jetson_tx2_gpu();
+//! let perf = profile_network(&zoo::alexnet().analyze()?, &gpu);
+//! // The paper's Fig 1: the three FC layers are ~50% of AlexNet's latency.
+//! let fc_share = perf.latency_share(|name| name.starts_with("fc"));
+//! assert!((0.35..0.65).contains(&fc_share));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod cloud;
+pub mod features;
+pub mod ground_truth;
+pub mod measure;
+pub mod predictor;
+pub mod profile;
+
+pub use cloud::CloudProfile;
+pub use features::{layer_features, LayerClass};
+pub use ground_truth::GroundTruthModel;
+pub use measure::{Measurement, MeasurementCampaign};
+pub use predictor::{PerformancePredictor, PredictorReport};
+pub use profile::DeviceProfile;
+
+use lens_nn::units::{Millijoules, Milliwatts, Millis};
+use lens_nn::{LayerAnalysis, NetworkAnalysis};
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the device substrate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DeviceError {
+    /// The measurement campaign produced no samples for a layer class.
+    NoMeasurements(LayerClass),
+    /// Regression fitting failed.
+    Fit(lens_num::NumError),
+    /// A prediction was requested for a layer class with no trained model.
+    UntrainedClass(LayerClass),
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::NoMeasurements(c) => write!(f, "no measurements for layer class {c}"),
+            DeviceError::Fit(e) => write!(f, "regression fit failed: {e}"),
+            DeviceError::UntrainedClass(c) => write!(f, "no trained model for layer class {c}"),
+        }
+    }
+}
+
+impl Error for DeviceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DeviceError::Fit(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<lens_num::NumError> for DeviceError {
+    fn from(e: lens_num::NumError) -> Self {
+        DeviceError::Fit(e)
+    }
+}
+
+/// Anything that can estimate a layer's on-device execution latency and
+/// power draw: the analytic [`GroundTruthModel`] (via [`DeviceProfile`]) or
+/// the fitted [`PerformancePredictor`].
+pub trait LayerPerformanceModel {
+    /// Execution latency of the layer on the device.
+    fn layer_latency(&self, layer: &LayerAnalysis) -> Millis;
+
+    /// Average power draw while the layer executes.
+    fn layer_power(&self, layer: &LayerAnalysis) -> Milliwatts;
+}
+
+/// Per-layer performance record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayerPerformance {
+    /// Layer index within the network.
+    pub index: usize,
+    /// Execution latency.
+    pub latency: Millis,
+    /// Average power draw during execution.
+    pub power: Milliwatts,
+    /// Energy = power × latency.
+    pub energy: Millijoules,
+}
+
+/// Whole-network performance profile: per-layer latency/power/energy plus
+/// the cumulative views Algorithm 1 accumulates (`sum(L_list[0:i])`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkPerformance {
+    names: Vec<String>,
+    layers: Vec<LayerPerformance>,
+}
+
+impl NetworkPerformance {
+    /// The per-layer records in execution order.
+    pub fn layers(&self) -> &[LayerPerformance] {
+        &self.layers
+    }
+
+    /// Layer names, parallel to [`layers`](Self::layers).
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Total on-device latency (the All-Edge latency).
+    pub fn total_latency(&self) -> Millis {
+        self.layers.iter().map(|l| l.latency).sum()
+    }
+
+    /// Total on-device energy (the All-Edge energy).
+    pub fn total_energy(&self) -> Millijoules {
+        self.layers.iter().map(|l| l.energy).sum()
+    }
+
+    /// Latency of layers `0..=index` (inclusive prefix).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn latency_through(&self, index: usize) -> Millis {
+        self.layers[..=index].iter().map(|l| l.latency).sum()
+    }
+
+    /// Energy of layers `0..=index` (inclusive prefix).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn energy_through(&self, index: usize) -> Millijoules {
+        self.layers[..=index].iter().map(|l| l.energy).sum()
+    }
+
+    /// Fraction of total latency spent in layers whose name satisfies the
+    /// predicate (used for the Fig 1 "FC layers ≈ 50%" check).
+    pub fn latency_share<F: Fn(&str) -> bool>(&self, pred: F) -> f64 {
+        let total = self.total_latency().get();
+        if total == 0.0 {
+            return 0.0;
+        }
+        let selected: f64 = self
+            .names
+            .iter()
+            .zip(&self.layers)
+            .filter(|(n, _)| pred(n))
+            .map(|(_, l)| l.latency.get())
+            .sum();
+        selected / total
+    }
+}
+
+/// Profiles every layer of an analyzed network under the given performance
+/// model.
+pub fn profile_network<M: LayerPerformanceModel + ?Sized>(
+    analysis: &NetworkAnalysis,
+    model: &M,
+) -> NetworkPerformance {
+    let mut names = Vec::with_capacity(analysis.layers().len());
+    let mut layers = Vec::with_capacity(analysis.layers().len());
+    for layer in analysis.layers() {
+        let latency = model.layer_latency(layer);
+        let power = model.layer_power(layer);
+        names.push(layer.name.clone());
+        layers.push(LayerPerformance {
+            index: layer.index,
+            latency,
+            power,
+            energy: power * latency,
+        });
+    }
+    NetworkPerformance { names, layers }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lens_nn::zoo;
+
+    #[test]
+    fn network_performance_prefixes_are_consistent() {
+        let gpu = DeviceProfile::jetson_tx2_gpu();
+        let a = zoo::alexnet().analyze().unwrap();
+        let perf = profile_network(&a, &gpu);
+        let n = perf.layers().len();
+        assert_eq!(n, a.layers().len());
+        assert_eq!(perf.latency_through(n - 1), perf.total_latency());
+        assert_eq!(perf.energy_through(n - 1), perf.total_energy());
+        // Prefixes are monotone non-decreasing.
+        let mut prev = Millis::ZERO;
+        for i in 0..n {
+            let cur = perf.latency_through(i);
+            assert!(cur >= prev);
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn latency_share_partitions() {
+        let gpu = DeviceProfile::jetson_tx2_gpu();
+        let a = zoo::alexnet().analyze().unwrap();
+        let perf = profile_network(&a, &gpu);
+        let fc = perf.latency_share(|n| n.starts_with("fc"));
+        let rest = perf.latency_share(|n| !n.starts_with("fc"));
+        assert!((fc + rest - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,92 @@
+//! DNN architecture representation for the LENS reproduction.
+//!
+//! This crate is the substrate everything else stands on: it models a deep
+//! neural network as an ordered list of layers, propagates tensor shapes
+//! through them, and computes the quantities the LENS methodology consumes —
+//! per-layer output feature-map sizes (the partition-point criterion of
+//! §IV.B), MAC/parameter counts (inputs to the performance predictors of
+//! §IV.C), and reference models (AlexNet for the motivational analysis of
+//! §II, VGG16 as the ancestor of the search space of Fig 4).
+//!
+//! Activation and normalization layers are *fused* into their preceding
+//! compute layers, exactly as the paper does for its per-layer analysis
+//! ("any activation or normalization layers ... are fused with their
+//! preceding layers as they incur relatively small latency, and the size of
+//! feature maps does not change between them").
+//!
+//! Data-size convention (matches the paper's numbers): the *input image* is
+//! transmitted as `u8` (224×224×3 = 147 kB), while intermediate feature maps
+//! are `f32`. This is what makes "Pool5 output ≈ 4× smaller than the input"
+//! and "everything before Pool5 is larger than the input" both true for
+//! AlexNet.
+//!
+//! # Examples
+//!
+//! ```
+//! use lens_nn::zoo;
+//!
+//! # fn main() -> Result<(), lens_nn::NnError> {
+//! let alexnet = zoo::alexnet();
+//! let analysis = alexnet.analyze()?;
+//! // FC6's input (Pool5's output) is about 4x smaller than the 147 kB image.
+//! let pool5 = analysis.layer("pool5").expect("alexnet has pool5");
+//! assert!(pool5.output_bytes < analysis.input_bytes());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod layer;
+pub mod network;
+pub mod tensor;
+pub mod units;
+pub mod zoo;
+
+pub use layer::{Activation, Layer, LayerKind};
+pub use network::{LayerAnalysis, Network, NetworkAnalysis, NetworkBuilder};
+pub use tensor::{DType, TensorShape};
+pub use units::{Bytes, Mbps, Millijoules, Millis, Milliwatts};
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing or analyzing networks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NnError {
+    /// A layer could not consume the shape produced by its predecessor.
+    ShapeMismatch {
+        /// Name of the offending layer.
+        layer: String,
+        /// The incoming shape.
+        input: TensorShape,
+        /// Why the shape is unusable.
+        reason: String,
+    },
+    /// A layer parameter is invalid (zero kernel, zero stride, ...).
+    InvalidLayer {
+        /// Name of the offending layer.
+        layer: String,
+        /// Description of the invalid parameter.
+        reason: String,
+    },
+    /// The network has no layers.
+    EmptyNetwork,
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::ShapeMismatch {
+                layer,
+                input,
+                reason,
+            } => write!(f, "shape mismatch at layer `{layer}` (input {input}): {reason}"),
+            NnError::InvalidLayer { layer, reason } => {
+                write!(f, "invalid layer `{layer}`: {reason}")
+            }
+            NnError::EmptyNetwork => write!(f, "network has no layers"),
+        }
+    }
+}
+
+impl Error for NnError {}

@@ -1,0 +1,181 @@
+//! Tensor shapes and element types.
+//!
+//! Shapes are channel-height-width (CHW); fully connected activations are
+//! represented as `(features, 1, 1)` so every layer boundary has a
+//! well-defined feature-map size — the quantity Algorithm 1 compares against
+//! the input size when identifying candidate partition points.
+
+use crate::units::Bytes;
+use std::fmt;
+
+/// Element type of a tensor, determining its wire size.
+///
+/// The paper's sizes imply the camera image is shipped as `u8` (147 kB for
+/// 224×224×3) while intermediate feature maps are `f32`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DType {
+    /// 8-bit unsigned integer (1 byte/element) — raw input images.
+    U8,
+    /// 32-bit float (4 bytes/element) — feature maps and weights.
+    #[default]
+    F32,
+}
+
+impl DType {
+    /// Bytes per element.
+    pub const fn size_of(self) -> u64 {
+        match self {
+            DType::U8 => 1,
+            DType::F32 => 4,
+        }
+    }
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DType::U8 => write!(f, "u8"),
+            DType::F32 => write!(f, "f32"),
+        }
+    }
+}
+
+/// A channel-height-width tensor shape.
+///
+/// # Examples
+///
+/// ```
+/// use lens_nn::tensor::{DType, TensorShape};
+///
+/// let image = TensorShape::new(3, 224, 224);
+/// assert_eq!(image.num_elements(), 150_528);
+/// assert_eq!(image.size_bytes(DType::U8).get(), 150_528);   // 147 kB
+/// assert_eq!(image.size_bytes(DType::F32).get(), 602_112);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TensorShape {
+    channels: u32,
+    height: u32,
+    width: u32,
+}
+
+impl TensorShape {
+    /// Creates a CHW shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(channels: u32, height: u32, width: u32) -> Self {
+        assert!(
+            channels > 0 && height > 0 && width > 0,
+            "tensor dimensions must be positive, got {channels}x{height}x{width}"
+        );
+        TensorShape {
+            channels,
+            height,
+            width,
+        }
+    }
+
+    /// Creates a flat feature-vector shape `(features, 1, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features` is zero.
+    pub fn flat(features: u32) -> Self {
+        TensorShape::new(features, 1, 1)
+    }
+
+    /// Number of channels.
+    pub const fn channels(&self) -> u32 {
+        self.channels
+    }
+
+    /// Spatial height.
+    pub const fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Spatial width.
+    pub const fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// `true` if the shape is a flat vector `(n, 1, 1)`.
+    pub const fn is_flat(&self) -> bool {
+        self.height == 1 && self.width == 1
+    }
+
+    /// Total element count.
+    pub fn num_elements(&self) -> u64 {
+        self.channels as u64 * self.height as u64 * self.width as u64
+    }
+
+    /// Size on the wire for the given element type.
+    pub fn size_bytes(&self, dtype: DType) -> Bytes {
+        Bytes::new(self.num_elements() * dtype.size_of())
+    }
+
+    /// Returns the flattened version of this shape.
+    pub fn flattened(&self) -> TensorShape {
+        TensorShape::flat(self.num_elements() as u32)
+    }
+}
+
+impl fmt::Display for TensorShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}", self.channels, self.height, self.width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_input_size_is_147_kb() {
+        let image = TensorShape::new(3, 224, 224);
+        assert_eq!(image.size_bytes(DType::U8).get(), 150_528);
+        assert!((image.size_bytes(DType::U8).kib() - 147.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flat_shapes() {
+        let v = TensorShape::flat(4096);
+        assert!(v.is_flat());
+        assert_eq!(v.num_elements(), 4096);
+        assert_eq!(v.size_bytes(DType::F32).get(), 16_384);
+    }
+
+    #[test]
+    fn flattened_preserves_elements() {
+        let t = TensorShape::new(256, 6, 6);
+        assert_eq!(t.flattened().num_elements(), t.num_elements());
+        assert!(t.flattened().is_flat());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_dimension_panics() {
+        TensorShape::new(0, 4, 4);
+    }
+
+    #[test]
+    fn display_shows_chw() {
+        assert_eq!(format!("{}", TensorShape::new(96, 55, 55)), "96x55x55");
+        assert_eq!(format!("{}", DType::F32), "f32");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_size_scales_with_dtype(c in 1u32..64, h in 1u32..64, w in 1u32..64) {
+            let t = TensorShape::new(c, h, w);
+            prop_assert_eq!(
+                t.size_bytes(DType::F32).get(),
+                4 * t.size_bytes(DType::U8).get()
+            );
+            prop_assert_eq!(t.size_bytes(DType::U8).get(), t.num_elements());
+        }
+    }
+}

@@ -1,0 +1,333 @@
+//! Unit-bearing newtypes used throughout the workspace.
+//!
+//! The LENS cost equations (§III.A) mix data sizes, throughputs, latencies,
+//! powers, and energies; newtypes keep those from being confused (C-NEWTYPE)
+//! and centralize the unit conventions:
+//!
+//! * [`Bytes`] — data sizes; transmission converts at 8 bits/byte.
+//! * [`Mbps`] — uplink throughput `t_u`, in 10⁶ bits per second.
+//! * [`Millis`] — latency, milliseconds.
+//! * [`Milliwatts`] — power.
+//! * [`Millijoules`] — energy (1 mW·s = 1 mJ).
+//!
+//! # Examples
+//!
+//! ```
+//! use lens_nn::units::{Bytes, Mbps};
+//!
+//! // L_Tx = Size(data) / t_u   (Eq. 5)
+//! let image = Bytes::new(150_528);           // 224*224*3 at u8
+//! let latency = image.tx_latency(Mbps::new(1.0));
+//! assert!((latency.get() - 1_204.224).abs() < 1e-9); // ~1.2 s at 1 Mbps
+//! ```
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+macro_rules! float_unit {
+    ($(#[$doc:meta])* $name:ident, $suffix:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// Wraps a raw value.
+            ///
+            /// # Panics
+            ///
+            /// Panics if the value is negative or not finite.
+            pub fn new(value: f64) -> Self {
+                assert!(
+                    value.is_finite() && value >= 0.0,
+                    concat!(stringify!($name), " must be finite and non-negative, got {}"),
+                    value
+                );
+                $name(value)
+            }
+
+            /// The zero quantity.
+            pub const ZERO: $name = $name(0.0);
+
+            /// Returns the raw value.
+            pub fn get(self) -> f64 {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                if let Some(prec) = f.precision() {
+                    write!(f, "{:.*} {}", prec, self.0, $suffix)
+                } else {
+                    write!(f, "{:.3} {}", self.0, $suffix)
+                }
+            }
+        }
+
+        impl Add for $name {
+            type Output = $name;
+            fn add(self, rhs: $name) -> $name {
+                $name(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: $name) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = $name;
+            /// Saturating at zero: these quantities are non-negative.
+            fn sub(self, rhs: $name) -> $name {
+                $name((self.0 - rhs.0).max(0.0))
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = $name;
+            fn mul(self, s: f64) -> $name {
+                $name::new(self.0 * s)
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = $name>>(iter: I) -> $name {
+                iter.fold($name::ZERO, |acc, x| acc + x)
+            }
+        }
+    };
+}
+
+float_unit!(
+    /// Latency in milliseconds.
+    Millis,
+    "ms"
+);
+float_unit!(
+    /// Energy in millijoules (1 mW·s = 1 mJ).
+    Millijoules,
+    "mJ"
+);
+float_unit!(
+    /// Power in milliwatts.
+    Milliwatts,
+    "mW"
+);
+
+impl Mul<Millis> for Milliwatts {
+    type Output = Millijoules;
+
+    /// Energy = power × time. `mW × ms = µJ`, so divide by 1000 for mJ.
+    fn mul(self, t: Millis) -> Millijoules {
+        Millijoules::new(self.0 * t.get() / 1000.0)
+    }
+}
+
+impl Mul<Milliwatts> for Millis {
+    type Output = Millijoules;
+
+    fn mul(self, p: Milliwatts) -> Millijoules {
+        p * self
+    }
+}
+
+/// Uplink throughput `t_u` in megabits per second (10⁶ bit/s).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Mbps(f64);
+
+impl Mbps {
+    /// Wraps a raw throughput.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not finite or not strictly positive — a zero
+    /// throughput would make transmission latency infinite.
+    pub fn new(value: f64) -> Self {
+        assert!(
+            value.is_finite() && value > 0.0,
+            "Mbps must be finite and positive, got {value}"
+        );
+        Mbps(value)
+    }
+
+    /// Returns the raw value in Mbit/s.
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Mbps {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(prec) = f.precision() {
+            write!(f, "{:.*} Mbps", prec, self.0)
+        } else {
+            write!(f, "{:.2} Mbps", self.0)
+        }
+    }
+}
+
+/// A data size in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Bytes(u64);
+
+impl Bytes {
+    /// The zero size.
+    pub const ZERO: Bytes = Bytes(0);
+
+    /// Wraps a raw byte count.
+    pub const fn new(bytes: u64) -> Self {
+        Bytes(bytes)
+    }
+
+    /// Returns the raw byte count.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Size in bits.
+    pub const fn bits(self) -> u64 {
+        self.0 * 8
+    }
+
+    /// Size in megabits (10⁶ bits), the unit `t_u` divides.
+    pub fn megabits(self) -> f64 {
+        self.bits() as f64 / 1e6
+    }
+
+    /// Size in kilobytes (1024 bytes), the unit the paper quotes (147 kB).
+    pub fn kib(self) -> f64 {
+        self.0 as f64 / 1024.0
+    }
+
+    /// Transmission latency `L_Tx = Size(data)/t_u` (Eq. 5).
+    pub fn tx_latency(self, throughput: Mbps) -> Millis {
+        Millis::new(self.megabits() / throughput.get() * 1000.0)
+    }
+}
+
+impl fmt::Display for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1024 * 1024 {
+            write!(f, "{:.1} MiB", self.0 as f64 / (1024.0 * 1024.0))
+        } else if self.0 >= 1024 {
+            write!(f, "{:.1} KiB", self.kib())
+        } else {
+            write!(f, "{} B", self.0)
+        }
+    }
+}
+
+impl Add for Bytes {
+    type Output = Bytes;
+    fn add(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Bytes {
+    fn add_assign(&mut self, rhs: Bytes) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sum for Bytes {
+    fn sum<I: Iterator<Item = Bytes>>(iter: I) -> Bytes {
+        iter.fold(Bytes::ZERO, |acc, x| acc + x)
+    }
+}
+
+impl Mul<u64> for Bytes {
+    type Output = Bytes;
+    fn mul(self, s: u64) -> Bytes {
+        Bytes(self.0 * s)
+    }
+}
+
+impl Div<Mbps> for Bytes {
+    type Output = Millis;
+
+    /// Shorthand for [`Bytes::tx_latency`].
+    fn div(self, t: Mbps) -> Millis {
+        self.tx_latency(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tx_latency_matches_eq5() {
+        // 147 kB image at 1 Mbps: 150528 B * 8 / 1e6 = 1.204224 s.
+        let image = Bytes::new(150_528);
+        let l = image.tx_latency(Mbps::new(1.0));
+        assert!((l.get() - 1204.224).abs() < 1e-9);
+        // Division operator is the same computation.
+        assert_eq!(l, image / Mbps::new(1.0));
+    }
+
+    #[test]
+    fn energy_is_power_times_time() {
+        let e = Milliwatts::new(2000.0) * Millis::new(500.0);
+        assert!((e.get() - 1000.0).abs() < 1e-12); // 2 W for 0.5 s = 1 J
+        let e2 = Millis::new(500.0) * Milliwatts::new(2000.0);
+        assert_eq!(e, e2);
+    }
+
+    #[test]
+    fn units_add_and_sum() {
+        let total: Millis = [Millis::new(1.0), Millis::new(2.5)].into_iter().sum();
+        assert!((total.get() - 3.5).abs() < 1e-12);
+        let mut acc = Millijoules::ZERO;
+        acc += Millijoules::new(2.0);
+        assert_eq!(acc, Millijoules::new(2.0));
+    }
+
+    #[test]
+    fn sub_saturates_at_zero() {
+        let d = Millis::new(1.0) - Millis::new(5.0);
+        assert_eq!(d, Millis::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite and non-negative")]
+    fn negative_latency_panics() {
+        Millis::new(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite and positive")]
+    fn zero_throughput_panics() {
+        Mbps::new(0.0);
+    }
+
+    #[test]
+    fn bytes_conversions() {
+        let b = Bytes::new(150_528);
+        assert_eq!(b.bits(), 1_204_224);
+        assert!((b.kib() - 147.0).abs() < 1e-12);
+        assert!((b.megabits() - 1.204224).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Bytes::new(512)), "512 B");
+        assert_eq!(format!("{}", Bytes::new(150_528)), "147.0 KiB");
+        assert_eq!(format!("{}", Bytes::new(3 * 1024 * 1024)), "3.0 MiB");
+        assert_eq!(format!("{:.1}", Millis::new(1.25)), "1.2 ms");
+        assert_eq!(format!("{}", Mbps::new(3.0)), "3.00 Mbps");
+        assert_eq!(format!("{:.0}", Milliwatts::new(1288.04)), "1288 mW");
+    }
+
+    #[test]
+    fn bytes_ordering_and_arithmetic() {
+        assert!(Bytes::new(1) < Bytes::new(2));
+        assert_eq!(Bytes::new(3) + Bytes::new(4), Bytes::new(7));
+        assert_eq!(Bytes::new(3) * 4, Bytes::new(12));
+        let total: Bytes = [Bytes::new(1), Bytes::new(2)].into_iter().sum();
+        assert_eq!(total, Bytes::new(3));
+    }
+}

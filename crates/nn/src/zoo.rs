@@ -1,0 +1,282 @@
+//! Reference architectures: AlexNet (the motivational example of §II) and
+//! VGG16 (the ancestor of the Fig 4 search space).
+//!
+//! Layer granularity follows the paper's Fig 1: activation / normalization /
+//! dropout are fused, so AlexNet appears as
+//! `conv1, pool1, conv2, pool2, conv3, conv4, conv5, pool5, fc6, fc7, fc8`
+//! (plus an explicit zero-cost `flatten` before `fc6`).
+
+use crate::layer::{Activation, Layer, LayerKind};
+use crate::network::{Network, NetworkBuilder};
+use crate::tensor::TensorShape;
+
+fn conv(
+    name: &str,
+    out_channels: u32,
+    kernel: u32,
+    stride: u32,
+    padding: u32,
+    groups: u32,
+    lrn: bool,
+) -> Layer {
+    Layer::new(
+        name,
+        LayerKind::Conv2d {
+            out_channels,
+            kernel,
+            stride,
+            padding,
+            groups,
+            activation: Activation::Relu,
+            batch_norm: false,
+            local_response_norm: lrn,
+        },
+    )
+}
+
+fn pool3_2(name: &str) -> Layer {
+    Layer::new(
+        name,
+        LayerKind::MaxPool2d {
+            kernel: 3,
+            stride: 2,
+        },
+    )
+}
+
+fn fc(name: &str, out_features: u32, softmax: bool) -> Layer {
+    Layer::new(
+        name,
+        LayerKind::Dense {
+            out_features,
+            activation: if softmax {
+                Activation::Softmax
+            } else {
+                Activation::Relu
+            },
+        },
+    )
+}
+
+/// AlexNet (Krizhevsky et al., 2012) with the paper's fused-layer
+/// granularity and a 224×224×3 `u8` input (147 kB on the wire).
+///
+/// # Examples
+///
+/// ```
+/// let net = lens_nn::zoo::alexnet();
+/// let a = net.analyze().expect("alexnet is valid");
+/// // Pool5's output feature map is ~4x smaller than the input image.
+/// assert_eq!(a.layer("pool5").unwrap().output_bytes.get(), 36_864);
+/// assert_eq!(a.input_bytes().get(), 150_528);
+/// ```
+pub fn alexnet() -> Network {
+    NetworkBuilder::new("alexnet", TensorShape::new(3, 224, 224))
+        .layer(conv("conv1", 96, 11, 4, 2, 1, true))
+        .layer(pool3_2("pool1"))
+        .layer(conv("conv2", 256, 5, 1, 2, 2, true))
+        .layer(pool3_2("pool2"))
+        .layer(conv("conv3", 384, 3, 1, 1, 1, false))
+        .layer(conv("conv4", 384, 3, 1, 1, 2, false))
+        .layer(conv("conv5", 256, 3, 1, 1, 2, false))
+        .layer(pool3_2("pool5"))
+        .flatten()
+        .layer(fc("fc6", 4096, false))
+        .layer(fc("fc7", 4096, false))
+        .layer(fc("fc8", 1000, true))
+        .build()
+        .expect("alexnet definition is valid")
+}
+
+/// VGG16 (Simonyan & Zisserman, 2015): 13 convolutions in 5 blocks plus 3
+/// fully connected layers, 224×224×3 `u8` input.
+pub fn vgg16() -> Network {
+    let c = |name: &str, ch: u32| conv(name, ch, 3, 1, 1, 1, false);
+    let p = |name: &str| Layer::max_pool2(name);
+    NetworkBuilder::new("vgg16", TensorShape::new(3, 224, 224))
+        .layer(c("conv1_1", 64))
+        .layer(c("conv1_2", 64))
+        .layer(p("pool1"))
+        .layer(c("conv2_1", 128))
+        .layer(c("conv2_2", 128))
+        .layer(p("pool2"))
+        .layer(c("conv3_1", 256))
+        .layer(c("conv3_2", 256))
+        .layer(c("conv3_3", 256))
+        .layer(p("pool3"))
+        .layer(c("conv4_1", 512))
+        .layer(c("conv4_2", 512))
+        .layer(c("conv4_3", 512))
+        .layer(p("pool4"))
+        .layer(c("conv5_1", 512))
+        .layer(c("conv5_2", 512))
+        .layer(c("conv5_3", 512))
+        .layer(p("pool5"))
+        .flatten()
+        .layer(fc("fc6", 4096, false))
+        .layer(fc("fc7", 4096, false))
+        .layer(fc("fc8", 1000, true))
+        .build()
+        .expect("vgg16 definition is valid")
+}
+
+/// A Network-in-Network-style model: all-convolutional with 1×1
+/// "mlpconv" layers and a global-average-pooling classifier head — no
+/// fully connected layers at all. Included because GAP heads shrink the
+/// feature map to a few kilobytes, giving the partition analysis a very
+/// different profile from the FC-heavy AlexNet/VGG16.
+pub fn nin() -> Network {
+    let mlpconv = |builder: NetworkBuilder, b: u32, ch: u32, k: u32, stride: u32| {
+        let conv_main = Layer::new(
+            format!("conv{b}"),
+            LayerKind::Conv2d {
+                out_channels: ch,
+                kernel: k,
+                stride,
+                padding: k / 2,
+                groups: 1,
+                activation: Activation::Relu,
+                batch_norm: false,
+                local_response_norm: false,
+            },
+        );
+        builder
+            .layer(conv_main)
+            .layer(conv(&format!("cccp{b}a"), ch, 1, 1, 0, 1, false))
+            .layer(conv(&format!("cccp{b}b"), ch, 1, 1, 0, 1, false))
+    };
+    let mut builder = NetworkBuilder::new("nin", TensorShape::new(3, 224, 224));
+    builder = mlpconv(builder, 1, 96, 11, 4);
+    builder = builder.layer(pool3_2("pool1"));
+    builder = mlpconv(builder, 2, 256, 5, 1);
+    builder = builder.layer(pool3_2("pool2"));
+    builder = mlpconv(builder, 3, 384, 3, 1);
+    builder = builder.layer(pool3_2("pool3"));
+    // Classifier block maps straight to class scores, then GAP + softmax.
+    builder = builder
+        .layer(conv("conv4-cls", 1000, 3, 1, 1, 1, false))
+        .layer(Layer::global_avg_pool("gap", 6))
+        .flatten();
+    builder.build().expect("nin definition is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::Bytes;
+
+    #[test]
+    fn alexnet_shapes_match_reference() {
+        let a = alexnet().analyze().unwrap();
+        let shape = |n: &str| a.layer(n).unwrap().output_shape;
+        assert_eq!(shape("conv1"), TensorShape::new(96, 55, 55));
+        assert_eq!(shape("pool1"), TensorShape::new(96, 27, 27));
+        assert_eq!(shape("conv2"), TensorShape::new(256, 27, 27));
+        assert_eq!(shape("pool2"), TensorShape::new(256, 13, 13));
+        assert_eq!(shape("conv3"), TensorShape::new(384, 13, 13));
+        assert_eq!(shape("conv5"), TensorShape::new(256, 13, 13));
+        assert_eq!(shape("pool5"), TensorShape::new(256, 6, 6));
+        assert_eq!(shape("fc6"), TensorShape::flat(4096));
+        assert_eq!(shape("fc8"), TensorShape::flat(1000));
+    }
+
+    #[test]
+    fn alexnet_param_count_close_to_61m() {
+        // Canonical AlexNet has ~60.97M parameters (no BN in this model).
+        let a = alexnet().analyze().unwrap();
+        let params = a.total_params();
+        assert!(
+            (60_000_000..62_000_000).contains(&params),
+            "unexpected AlexNet parameter count {params}"
+        );
+    }
+
+    #[test]
+    fn alexnet_fc_layers_dominate_weight_bytes() {
+        let a = alexnet().analyze().unwrap();
+        let fc_params: u64 = ["fc6", "fc7", "fc8"]
+            .iter()
+            .map(|n| a.layer(n).unwrap().params)
+            .sum();
+        assert!(fc_params * 10 > a.total_params() * 9, "FCs hold >90% of params");
+    }
+
+    #[test]
+    fn alexnet_feature_map_sizes_match_paper_claims() {
+        // §II.A: every layer before pool5 has output >= input (147 kB);
+        // pool5 and later are smaller; pool5 is ~4x smaller.
+        let a = alexnet().analyze().unwrap();
+        let input = a.input_bytes();
+        assert_eq!(input, Bytes::new(150_528));
+        for l in a.layers() {
+            let before_pool5 = l.index < a.layer("pool5").unwrap().index;
+            if before_pool5 {
+                assert!(
+                    l.output_bytes >= input,
+                    "{} should be >= input ({} vs {})",
+                    l.name,
+                    l.output_bytes,
+                    input
+                );
+            }
+        }
+        let pool5 = a.layer("pool5").unwrap().output_bytes;
+        let ratio = input.get() as f64 / pool5.get() as f64;
+        assert!((3.5..4.5).contains(&ratio), "pool5 ratio {ratio}");
+        // Hence the viable partition points are pool5 and everything after.
+        let viable = a.viable_partition_indices();
+        assert_eq!(viable.first(), Some(&a.layer("pool5").unwrap().index));
+    }
+
+    #[test]
+    fn alexnet_conv_macs_reference_values() {
+        let a = alexnet().analyze().unwrap();
+        let macs = |n: &str| a.layer(n).unwrap().macs;
+        assert_eq!(macs("conv1"), 105_415_200);
+        assert_eq!(macs("conv2"), 223_948_800); // grouped
+        assert_eq!(macs("conv3"), 149_520_384);
+        assert_eq!(macs("fc6"), 37_748_736);
+        assert_eq!(macs("fc7"), 16_777_216);
+        assert_eq!(macs("fc8"), 4_096_000);
+    }
+
+    #[test]
+    fn nin_is_fc_free_with_tiny_tail() {
+        let a = nin().analyze().unwrap();
+        // No dense layers at all.
+        assert!(a
+            .layers()
+            .iter()
+            .all(|l| !matches!(l.kind, crate::layer::LayerKind::Dense { .. })));
+        // The GAP output is 1000 floats = ~3.9 kB, far below the input.
+        let gap = a.layer("gap").unwrap();
+        assert_eq!(gap.output_shape, TensorShape::new(1000, 1, 1));
+        assert!(gap.output_bytes < Bytes::new(5000));
+        // Late layers are viable partition points.
+        let viable = a.viable_partition_indices();
+        assert!(viable.contains(&gap.index));
+        // All-conv models are an order of magnitude lighter than AlexNet.
+        let params = a.total_params();
+        assert!((4_000_000..9_000_000).contains(&params), "params {params}");
+        assert!(params * 10 < alexnet().analyze().unwrap().total_params());
+    }
+
+    #[test]
+    fn vgg16_shapes_and_params() {
+        let a = vgg16().analyze().unwrap();
+        assert_eq!(a.layer("pool5").unwrap().output_shape, TensorShape::new(512, 7, 7));
+        assert_eq!(a.output_shape(), TensorShape::flat(1000));
+        // Canonical VGG16: ~138.36M params.
+        let params = a.total_params();
+        assert!(
+            (137_000_000..140_000_000).contains(&params),
+            "unexpected VGG16 parameter count {params}"
+        );
+        // ~15.5G MACs.
+        let macs = a.total_macs();
+        assert!(
+            (15_000_000_000..16_000_000_000).contains(&macs),
+            "unexpected VGG16 MAC count {macs}"
+        );
+    }
+}

@@ -1,0 +1,89 @@
+//! Numeric substrate for the LENS reproduction.
+//!
+//! The offline dependency whitelist for this repository intentionally
+//! excludes heavyweight numeric crates (`nalgebra`, `ndarray`, `rand_distr`),
+//! so the pieces the rest of the workspace needs are implemented here from
+//! scratch and kept small and auditable:
+//!
+//! * [`linalg`] — a dense row-major [`Matrix`](linalg::Matrix) with the
+//!   operations Gaussian-process regression requires (products, Cholesky
+//!   factorization, triangular solves).
+//! * [`ridge`] — closed-form ridge regression used by the per-layer
+//!   performance predictors of `lens-device`.
+//! * [`dist`] — seeded Gaussian / log-normal sampling via Box–Muller, used
+//!   for measurement noise and wireless throughput traces.
+//! * [`stats`] — summary statistics and error metrics (R², MAPE) used when
+//!   validating fitted predictors.
+//!
+//! # Examples
+//!
+//! ```
+//! use lens_num::linalg::Matrix;
+//!
+//! # fn main() -> Result<(), lens_num::NumError> {
+//! // Solve the SPD system A x = b through a Cholesky factorization.
+//! let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]])?;
+//! let chol = a.cholesky()?;
+//! let x = chol.solve(&[2.0, 1.0]);
+//! assert!((4.0 * x[0] + 2.0 * x[1] - 2.0).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod dist;
+pub mod linalg;
+pub mod ridge;
+pub mod stats;
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the numeric substrate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NumError {
+    /// A matrix was constructed from rows of inconsistent lengths.
+    RaggedRows {
+        /// Length of the first row.
+        expected: usize,
+        /// Length of the offending row.
+        found: usize,
+    },
+    /// Dimensions of two operands do not line up for the requested operation.
+    DimensionMismatch {
+        /// Human-readable description of the operation.
+        op: &'static str,
+        /// Shape of the left operand.
+        lhs: (usize, usize),
+        /// Shape of the right operand.
+        rhs: (usize, usize),
+    },
+    /// Cholesky factorization failed: the matrix is not positive definite.
+    NotPositiveDefinite {
+        /// Index of the pivot that became non-positive.
+        pivot: usize,
+    },
+    /// An operation that requires a non-empty data set received none.
+    EmptyInput(&'static str),
+}
+
+impl fmt::Display for NumError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumError::RaggedRows { expected, found } => {
+                write!(f, "ragged rows: expected length {expected}, found {found}")
+            }
+            NumError::DimensionMismatch { op, lhs, rhs } => write!(
+                f,
+                "dimension mismatch in {op}: {}x{} vs {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            NumError::NotPositiveDefinite { pivot } => {
+                write!(f, "matrix is not positive definite (pivot {pivot})")
+            }
+            NumError::EmptyInput(what) => write!(f, "empty input for {what}"),
+        }
+    }
+}
+
+impl Error for NumError {}

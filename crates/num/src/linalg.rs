@@ -1,0 +1,560 @@
+//! Dense row-major matrices with the operations needed for Gaussian-process
+//! regression: products, transpose, Cholesky factorization and triangular
+//! solves.
+//!
+//! The implementation favours clarity over blocked performance; the matrices
+//! handled by the LENS search (kernel Grams of a few hundred points) are
+//! small enough that a straightforward `O(n^3)` Cholesky is more than fast
+//! enough, and a Criterion bench (`gp_fit`) tracks the cubic scaling the
+//! paper refers to in §IV.D.
+
+use crate::NumError;
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+/// A dense, row-major, `f64` matrix.
+///
+/// # Examples
+///
+/// ```
+/// use lens_num::linalg::Matrix;
+///
+/// # fn main() -> Result<(), lens_num::NumError> {
+/// let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]])?;
+/// let b = a.transpose();
+/// assert_eq!(b[(0, 1)], 3.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a zero-filled matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n`-by-`n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::RaggedRows`] if the rows have differing lengths.
+    pub fn from_rows<R: AsRef<[f64]>>(rows: &[R]) -> Result<Self, NumError> {
+        let ncols = rows.first().map_or(0, |r| r.as_ref().len());
+        let mut data = Vec::with_capacity(rows.len() * ncols);
+        for r in rows {
+            let r = r.as_ref();
+            if r.len() != ncols {
+                return Err(NumError::RaggedRows {
+                    expected: ncols,
+                    found: r.len(),
+                });
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(Matrix {
+            rows: rows.len(),
+            cols: ncols,
+            data,
+        })
+    }
+
+    /// Builds a matrix from a closure over `(row, col)` indices.
+    pub fn from_fn<F: FnMut(usize, usize) -> f64>(rows: usize, cols: usize, mut f: F) -> Self {
+        let mut m = Matrix::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Shape as `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Returns `true` if the matrix has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrows row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.rows, "row index {i} out of bounds ({})", self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Returns the underlying data in row-major order.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::DimensionMismatch`] when the inner dimensions
+    /// differ.
+    pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix, NumError> {
+        if self.cols != rhs.rows {
+            return Err(NumError::DimensionMismatch {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self[(i, k)];
+                if aik == 0.0 {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out[(i, j)] += aik * rhs[(k, j)];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix-vector product `self * v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::DimensionMismatch`] when `v.len() != cols`.
+    pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>, NumError> {
+        if v.len() != self.cols {
+            return Err(NumError::DimensionMismatch {
+                op: "matvec",
+                lhs: self.shape(),
+                rhs: (v.len(), 1),
+            });
+        }
+        Ok((0..self.rows)
+            .map(|i| dot(self.row(i), v))
+            .collect())
+    }
+
+    /// Adds `value` to every diagonal element (in place), returning `self`.
+    ///
+    /// Used to apply jitter / noise variance to kernel Gram matrices.
+    pub fn add_diagonal(mut self, value: f64) -> Matrix {
+        let n = self.rows.min(self.cols);
+        for i in 0..n {
+            self[(i, i)] += value;
+        }
+        self
+    }
+
+    /// Computes the Cholesky factorization `A = L Lᵀ` of a symmetric
+    /// positive-definite matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::NotPositiveDefinite`] if a pivot is not strictly
+    /// positive, and [`NumError::DimensionMismatch`] if the matrix is not
+    /// square. Only the lower triangle of `self` is read.
+    pub fn cholesky(&self) -> Result<Cholesky, NumError> {
+        if self.rows != self.cols {
+            return Err(NumError::DimensionMismatch {
+                op: "cholesky",
+                lhs: self.shape(),
+                rhs: self.shape(),
+            });
+        }
+        let n = self.rows;
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = self[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 {
+                        return Err(NumError::NotPositiveDefinite { pivot: i });
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                if j > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{:>12.6}", self[(i, j)])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+impl Add for &Matrix {
+    type Output = Matrix;
+
+    fn add(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "matrix add shape mismatch");
+        Matrix::from_fn(self.rows, self.cols, |i, j| self[(i, j)] + rhs[(i, j)])
+    }
+}
+
+impl Sub for &Matrix {
+    type Output = Matrix;
+
+    fn sub(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "matrix sub shape mismatch");
+        Matrix::from_fn(self.rows, self.cols, |i, j| self[(i, j)] - rhs[(i, j)])
+    }
+}
+
+impl Mul<f64> for &Matrix {
+    type Output = Matrix;
+
+    fn mul(self, s: f64) -> Matrix {
+        Matrix::from_fn(self.rows, self.cols, |i, j| self[(i, j)] * s)
+    }
+}
+
+/// The lower-triangular Cholesky factor of a symmetric positive-definite
+/// matrix, together with the solve routines GP regression needs.
+///
+/// # Examples
+///
+/// ```
+/// use lens_num::linalg::Matrix;
+///
+/// # fn main() -> Result<(), lens_num::NumError> {
+/// let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]])?;
+/// let chol = a.cholesky()?;
+/// // log|A| = 2 * sum(log diag(L)); |A| = 3 here.
+/// assert!((chol.log_det() - 3f64.ln()).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+#[allow(clippy::needless_range_loop)]
+impl Cholesky {
+    /// Borrows the lower-triangular factor `L`.
+    pub fn factor(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows
+    }
+
+    /// Solves `L y = b` by forward substitution.
+    ///
+    /// (Indexed loops are intentional: triangular solves read `L` by
+    /// (row, col) and the textbook form is clearer than iterator chains.)
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` differs from the factor dimension.
+    pub fn solve_lower(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "rhs length mismatch in solve_lower");
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= self.l[(i, k)] * y[k];
+            }
+            y[i] = sum / self.l[(i, i)];
+        }
+        y
+    }
+
+    /// Solves `Lᵀ x = y` by backward substitution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y.len()` differs from the factor dimension.
+    pub fn solve_upper_transpose(&self, y: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        assert_eq!(y.len(), n, "rhs length mismatch in solve_upper_transpose");
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for k in i + 1..n {
+                sum -= self.l[(k, i)] * x[k];
+            }
+            x[i] = sum / self.l[(i, i)];
+        }
+        x
+    }
+
+    /// Solves `A x = b` where `A = L Lᵀ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` differs from the factor dimension.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        self.solve_upper_transpose(&self.solve_lower(b))
+    }
+
+    /// Log-determinant of the factored matrix, `log |A| = 2 Σ log L_ii`.
+    pub fn log_det(&self) -> f64 {
+        (0..self.dim()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+}
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot product length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Squared Euclidean distance between two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "distance length mismatch");
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identity_matmul_is_identity() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let i = Matrix::identity(2);
+        assert_eq!(a.matmul(&i).unwrap(), a);
+        assert_eq!(i.matmul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[7.0, 8.0], &[9.0, 10.0], &[11.0, 12.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c, Matrix::from_rows(&[&[58.0, 64.0], &[139.0, 154.0]]).unwrap());
+    }
+
+    #[test]
+    fn matmul_dimension_mismatch_errors() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(matches!(
+            a.matmul(&b),
+            Err(NumError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn ragged_rows_error() {
+        let r = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0]]);
+        assert_eq!(
+            r.unwrap_err(),
+            NumError::RaggedRows {
+                expected: 2,
+                found: 1
+            }
+        );
+    }
+
+    #[test]
+    fn cholesky_reconstructs_matrix() {
+        let a = Matrix::from_rows(&[
+            &[4.0, 12.0, -16.0],
+            &[12.0, 37.0, -43.0],
+            &[-16.0, -43.0, 98.0],
+        ])
+        .unwrap();
+        let l = a.cholesky().unwrap();
+        let reconstructed = l.factor().matmul(&l.factor().transpose()).unwrap();
+        assert!((&reconstructed - &a).frobenius_norm() < 1e-9);
+        // Known factor from the classic example.
+        assert_eq!(l.factor()[(0, 0)], 2.0);
+        assert_eq!(l.factor()[(1, 0)], 6.0);
+        assert_eq!(l.factor()[(2, 2)], 3.0);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap();
+        assert!(matches!(
+            a.cholesky(),
+            Err(NumError::NotPositiveDefinite { pivot: 1 })
+        ));
+    }
+
+    #[test]
+    fn cholesky_rejects_non_square() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            a.cholesky(),
+            Err(NumError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]).unwrap();
+        let chol = a.cholesky().unwrap();
+        let x = chol.solve(&[10.0, 8.0]);
+        let back = a.matvec(&x).unwrap();
+        assert!((back[0] - 10.0).abs() < 1e-12);
+        assert!((back[1] - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_det_matches_direct_computation() {
+        let a = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 8.0]]).unwrap();
+        let chol = a.cholesky().unwrap();
+        assert!((chol.log_det() - 16f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_diagonal_adds_jitter() {
+        let a = Matrix::zeros(3, 3).add_diagonal(0.5);
+        for i in 0..3 {
+            assert_eq!(a[(i, i)], 0.5);
+        }
+        assert_eq!(a[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let a = Matrix::identity(2);
+        assert!(!format!("{a}").is_empty());
+    }
+
+    proptest! {
+        /// For random SPD matrices A = BᵀB + εI, Cholesky must succeed and
+        /// solving must invert the product.
+        #[test]
+        fn prop_cholesky_solves_spd(seed_rows in proptest::collection::vec(
+            proptest::collection::vec(-3.0f64..3.0, 4), 4..=8)) {
+            let b = Matrix::from_rows(&seed_rows).unwrap();
+            let a = b.transpose().matmul(&b).unwrap().add_diagonal(1e-3);
+            // a is 4x4 SPD.
+            let chol = a.cholesky().unwrap();
+            let rhs: Vec<f64> = (0..4).map(|i| i as f64 - 1.5).collect();
+            let x = chol.solve(&rhs);
+            let back = a.matvec(&x).unwrap();
+            for (bi, ri) in back.iter().zip(&rhs) {
+                prop_assert!((bi - ri).abs() < 1e-6, "residual too large: {} vs {}", bi, ri);
+            }
+        }
+
+        /// (AB)ᵀ = BᵀAᵀ for conforming random matrices.
+        #[test]
+        fn prop_transpose_of_product(
+            a_rows in proptest::collection::vec(proptest::collection::vec(-5.0f64..5.0, 3), 2..=5),
+            b_cols in 1usize..4,
+        ) {
+            let a = Matrix::from_rows(&a_rows).unwrap();
+            let b = Matrix::from_fn(3, b_cols, |i, j| (i * 7 + j * 3) as f64 * 0.25 - 1.0);
+            let left = a.matmul(&b).unwrap().transpose();
+            let right = b.transpose().matmul(&a.transpose()).unwrap();
+            prop_assert!((&left - &right).frobenius_norm() < 1e-9);
+        }
+
+        /// matvec agrees with matmul against a column matrix.
+        #[test]
+        fn prop_matvec_matches_matmul(
+            rows in proptest::collection::vec(proptest::collection::vec(-5.0f64..5.0, 3), 1..=5),
+            v in proptest::collection::vec(-5.0f64..5.0, 3),
+        ) {
+            let a = Matrix::from_rows(&rows).unwrap();
+            let col = Matrix::from_fn(3, 1, |i, _| v[i]);
+            let by_matmul = a.matmul(&col).unwrap();
+            let by_matvec = a.matvec(&v).unwrap();
+            for i in 0..a.rows() {
+                prop_assert!((by_matmul[(i, 0)] - by_matvec[i]).abs() < 1e-9);
+            }
+        }
+    }
+}

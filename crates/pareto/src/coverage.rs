@@ -1,0 +1,164 @@
+//! Frontier-comparison metrics — the quantities §V.A reports.
+//!
+//! * [`coverage`] — the fraction of frontier B dominated by frontier A
+//!   (Zitzler's C-metric): "LENS's frontier dominates 60 % of the new
+//!   Traditional's frontier".
+//! * [`combined_composition`] — merge two frontiers and report what share of
+//!   the merged frontier came from each: "a combined frontier ... would
+//!   constitute 76.47 % candidates from LENS's optimal set".
+
+use crate::front::ParetoFront;
+use crate::dominates;
+
+/// Fraction of points in `b` that are dominated by at least one point of
+/// `a` (the C-metric `C(a, b)`). Returns 0 when `b` is empty.
+pub fn coverage(a: &[&[f64]], b: &[&[f64]]) -> f64 {
+    if b.is_empty() {
+        return 0.0;
+    }
+    let dominated = b
+        .iter()
+        .filter(|p| a.iter().any(|q| dominates(q, p)))
+        .count();
+    dominated as f64 / b.len() as f64
+}
+
+/// Composition of the combined (merged, re-filtered) frontier of two sets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CombinedComposition {
+    /// Members of the combined frontier that came from set A.
+    pub from_a: usize,
+    /// Members of the combined frontier that came from set B.
+    pub from_b: usize,
+}
+
+impl CombinedComposition {
+    /// Total size of the combined frontier.
+    pub fn total(&self) -> usize {
+        self.from_a + self.from_b
+    }
+
+    /// Share of the combined frontier contributed by A, in percent.
+    pub fn percent_from_a(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        100.0 * self.from_a as f64 / self.total() as f64
+    }
+
+    /// Share of the combined frontier contributed by B, in percent.
+    pub fn percent_from_b(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        100.0 - self.percent_from_a()
+    }
+}
+
+/// Merges two frontiers and reports how many survivors each contributed.
+/// Points surviving from both sets with identical objectives are credited
+/// to A (ties are rare and the paper does not specify a rule).
+pub fn combined_composition(a: &[&[f64]], b: &[&[f64]]) -> CombinedComposition {
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    enum Source {
+        A,
+        B,
+    }
+    let mut front: ParetoFront<Source> = ParetoFront::new();
+    for p in a {
+        front.insert(Source::A, p.to_vec());
+    }
+    for p in b {
+        front.insert(Source::B, p.to_vec());
+    }
+    let from_a = front.items().iter().filter(|s| ***s == Source::A).count();
+    let from_b = front.len() - from_a;
+    CombinedComposition { from_a, from_b }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn refs(v: &[Vec<f64>]) -> Vec<&[f64]> {
+        v.iter().map(|x| x.as_slice()).collect()
+    }
+
+    #[test]
+    fn coverage_basic() {
+        let a = vec![vec![1.0, 1.0]];
+        let b = vec![vec![2.0, 2.0], vec![0.5, 0.5], vec![3.0, 0.9]];
+        // a dominates b[0] only (b[1] dominates a; b[2] incomparable).
+        let c = coverage(&refs(&a), &refs(&b));
+        assert!((c - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(coverage(&refs(&a), &[]), 0.0);
+        assert_eq!(coverage(&[], &refs(&b)), 0.0);
+    }
+
+    #[test]
+    fn composition_disjoint_frontiers() {
+        // A strictly better everywhere: combined frontier is 100% A.
+        let a = vec![vec![1.0, 2.0], vec![2.0, 1.0]];
+        let b = vec![vec![3.0, 4.0], vec![4.0, 3.0]];
+        let comp = combined_composition(&refs(&a), &refs(&b));
+        assert_eq!(comp.from_a, 2);
+        assert_eq!(comp.from_b, 0);
+        assert_eq!(comp.percent_from_a(), 100.0);
+    }
+
+    #[test]
+    fn composition_interleaved() {
+        let a = vec![vec![1.0, 9.0], vec![5.0, 5.0]];
+        let b = vec![vec![9.0, 1.0], vec![4.0, 6.0]];
+        let comp = combined_composition(&refs(&a), &refs(&b));
+        assert_eq!(comp.total(), 4); // all mutually incomparable
+        assert_eq!(comp.from_a, 2);
+        assert!((comp.percent_from_a() - 50.0).abs() < 1e-12);
+        assert!((comp.percent_from_b() - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn composition_ties_credit_a() {
+        let a = vec![vec![1.0, 1.0]];
+        let b = vec![vec![1.0, 1.0]];
+        let comp = combined_composition(&refs(&a), &refs(&b));
+        assert_eq!(comp.from_a, 1);
+        assert_eq!(comp.from_b, 0);
+    }
+
+    #[test]
+    fn empty_composition() {
+        let comp = combined_composition(&[], &[]);
+        assert_eq!(comp.total(), 0);
+        assert_eq!(comp.percent_from_a(), 0.0);
+    }
+
+    proptest! {
+        /// Coverage is within [0,1]; a frontier never covers itself (no
+        /// member dominates another member).
+        #[test]
+        fn prop_coverage_bounds(points in proptest::collection::vec(
+            proptest::collection::vec(0.0f64..50.0, 2), 1..40)) {
+            let front: ParetoFront<usize> = points.iter().cloned().enumerate().collect();
+            let objs = front.objectives();
+            let self_cov = coverage(&objs, &objs);
+            prop_assert_eq!(self_cov, 0.0);
+        }
+
+        /// Combined composition counts only antichain survivors and
+        /// percentages always sum to 100 for non-empty results.
+        #[test]
+        fn prop_composition_sums(
+            a_pts in proptest::collection::vec(proptest::collection::vec(0.0f64..50.0, 2), 1..20),
+            b_pts in proptest::collection::vec(proptest::collection::vec(0.0f64..50.0, 2), 1..20),
+        ) {
+            let fa: ParetoFront<usize> = a_pts.iter().cloned().enumerate().collect();
+            let fb: ParetoFront<usize> = b_pts.iter().cloned().enumerate().collect();
+            let comp = combined_composition(&fa.objectives(), &fb.objectives());
+            prop_assert!(comp.total() >= 1);
+            prop_assert!((comp.percent_from_a() + comp.percent_from_b() - 100.0).abs() < 1e-9);
+            prop_assert!(comp.total() <= fa.len() + fb.len());
+        }
+    }
+}

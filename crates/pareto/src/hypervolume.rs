@@ -1,0 +1,169 @@
+//! Hypervolume indicator (minimization, w.r.t. a reference point).
+//!
+//! Used by the search-quality ablations: a larger dominated hypervolume
+//! means a better frontier. 2-D uses the classic sweep; higher dimensions
+//! use the WFG-style recursive slicing, which is fine for the frontier
+//! sizes a 300-iteration search produces.
+
+/// Computes the hypervolume dominated by `points` (minimization) relative to
+/// `reference`. Points not strictly dominating the reference contribute
+/// nothing.
+///
+/// # Panics
+///
+/// Panics if dimensionalities disagree or `reference` is empty.
+pub fn hypervolume(points: &[&[f64]], reference: &[f64]) -> f64 {
+    assert!(!reference.is_empty(), "reference point must be non-empty");
+    for p in points {
+        assert_eq!(
+            p.len(),
+            reference.len(),
+            "point dimensionality must match reference"
+        );
+    }
+    // Keep only points that strictly dominate the reference box corner.
+    let pts: Vec<Vec<f64>> = points
+        .iter()
+        .filter(|p| p.iter().zip(reference).all(|(x, r)| x < r))
+        .map(|p| p.to_vec())
+        .collect();
+    if pts.is_empty() {
+        return 0.0;
+    }
+    match reference.len() {
+        1 => {
+            let best = pts
+                .iter()
+                .map(|p| p[0])
+                .fold(f64::INFINITY, f64::min);
+            reference[0] - best
+        }
+        2 => hv2d(&pts, reference),
+        _ => hv_recursive(&pts, reference),
+    }
+}
+
+/// Classic 2-D sweep: sort by first objective, accumulate rectangles.
+fn hv2d(points: &[Vec<f64>], reference: &[f64]) -> f64 {
+    let mut pts = points.to_vec();
+    pts.sort_by(|a, b| a[0].partial_cmp(&b[0]).expect("finite objectives"));
+    let mut volume = 0.0;
+    let mut prev_y = reference[1];
+    for p in &pts {
+        if p[1] < prev_y {
+            volume += (reference[0] - p[0]) * (prev_y - p[1]);
+            prev_y = p[1];
+        }
+    }
+    volume
+}
+
+/// WFG-style inclusion–exclusion by slicing on the last objective.
+fn hv_recursive(points: &[Vec<f64>], reference: &[f64]) -> f64 {
+    let dim = reference.len();
+    // Collect slice boundaries on the last axis.
+    let mut cuts: Vec<f64> = points.iter().map(|p| p[dim - 1]).collect();
+    cuts.push(reference[dim - 1]);
+    cuts.sort_by(|a, b| a.partial_cmp(b).expect("finite objectives"));
+    cuts.dedup();
+    let mut volume = 0.0;
+    for w in cuts.windows(2) {
+        let (lo, hi) = (w[0], w[1]);
+        if hi <= lo {
+            continue;
+        }
+        // Points active in this slice (their last coord is <= lo).
+        let active: Vec<Vec<f64>> = points
+            .iter()
+            .filter(|p| p[dim - 1] <= lo)
+            .map(|p| p[..dim - 1].to_vec())
+            .collect();
+        if active.is_empty() {
+            continue;
+        }
+        let active_refs: Vec<&[f64]> = active.iter().map(|p| p.as_slice()).collect();
+        let base = hypervolume(&active_refs, &reference[..dim - 1]);
+        volume += base * (hi - lo);
+    }
+    volume
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn single_point_2d() {
+        let hv = hypervolume(&[&[1.0, 1.0]], &[2.0, 2.0]);
+        assert!((hv - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_staircase_points() {
+        // Rectangles: (0.5..2)x(1.5..2)=0.75 plus (1..2)x(1..1.5)... compute:
+        // sorted by x: (0.5,1.5): (2-0.5)*(2-1.5)=0.75; (1.0,1.0): (2-1)*(1.5-1)=0.5.
+        let hv = hypervolume(&[&[0.5, 1.5], &[1.0, 1.0]], &[2.0, 2.0]);
+        assert!((hv - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dominated_point_adds_nothing() {
+        let base = hypervolume(&[&[1.0, 1.0]], &[3.0, 3.0]);
+        let extra = hypervolume(&[&[1.0, 1.0], &[2.0, 2.0]], &[3.0, 3.0]);
+        assert!((base - extra).abs() < 1e-12);
+    }
+
+    #[test]
+    fn point_outside_reference_ignored() {
+        assert_eq!(hypervolume(&[&[5.0, 1.0]], &[2.0, 2.0]), 0.0);
+        assert_eq!(hypervolume(&[], &[2.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn one_dimensional() {
+        assert!((hypervolume(&[&[1.0], &[3.0]], &[4.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn three_dimensional_box() {
+        // One point at (1,1,1) vs reference (2,3,4): volume 1*2*3 = 6.
+        let hv = hypervolume(&[&[1.0, 1.0, 1.0]], &[2.0, 3.0, 4.0]);
+        assert!((hv - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn three_dimensional_union() {
+        // Two unit-ish boxes overlapping: inclusion-exclusion check.
+        // p1=(0,0,1), p2=(1,1,0), ref=(2,2,2).
+        // vol(p1)=2*2*1=4; vol(p2)=1*1*2=2; overlap box corner max(p1,p2)=(1,1,1): 1*1*1=1.
+        // union = 4+2-1 = 5.
+        let hv = hypervolume(&[&[0.0, 0.0, 1.0], &[1.0, 1.0, 0.0]], &[2.0, 2.0, 2.0]);
+        assert!((hv - 5.0).abs() < 1e-9, "hv {hv}");
+    }
+
+    proptest! {
+        /// Monotonicity: adding a point never decreases hypervolume, and 2-D
+        /// volume is bounded by the reference box.
+        #[test]
+        fn prop_hv_monotone(points in proptest::collection::vec(
+            proptest::collection::vec(0.0f64..1.0, 2), 1..15)) {
+            let reference = [1.0, 1.0];
+            let all: Vec<&[f64]> = points.iter().map(|p| p.as_slice()).collect();
+            let hv_all = hypervolume(&all, &reference);
+            prop_assert!(hv_all <= 1.0 + 1e-9);
+            let fewer: Vec<&[f64]> = all[..all.len() - 1].to_vec();
+            let hv_fewer = hypervolume(&fewer, &reference);
+            prop_assert!(hv_all + 1e-9 >= hv_fewer);
+        }
+
+        /// 3-D hypervolume of one point equals its box volume.
+        #[test]
+        fn prop_hv3d_single_box(p in proptest::collection::vec(0.0f64..0.9, 3)) {
+            let reference = [1.0, 1.0, 1.0];
+            let expected: f64 = p.iter().map(|x| 1.0 - x).product();
+            let hv = hypervolume(&[p.as_slice()], &reference);
+            prop_assert!((hv - expected).abs() < 1e-9);
+        }
+    }
+}

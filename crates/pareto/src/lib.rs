@@ -1,0 +1,107 @@
+//! Pareto-dominance machinery for multi-objective optimization.
+//!
+//! The paper's §III.B definition: a solution `x*` is Pareto optimal when
+//! `f_k(x*) ≤ f_k(x)` for all objectives `k` and all `x`, with strict
+//! inequality for at least one objective against every other `x`. All
+//! objectives are *minimized*.
+//!
+//! Besides the frontier container used inside the search loop
+//! (`Pareto_update` in Algorithm 2), this crate computes the evaluation
+//! metrics of §V.A: the fraction of one frontier dominated by another and
+//! the composition of a combined frontier — the paper's "LENS dominates
+//! 60 % of the partitioned Traditional frontier" and "a combined frontier is
+//! 76.47 % formed by LENS's models" numbers — plus hypervolume indicators.
+//!
+//! # Examples
+//!
+//! ```
+//! use lens_pareto::{dominates, ParetoFront};
+//!
+//! let mut front = ParetoFront::new();
+//! front.insert("a", vec![1.0, 4.0]);
+//! front.insert("b", vec![2.0, 3.0]);
+//! front.insert("c", vec![1.5, 5.0]); // dominated by "a"
+//! assert_eq!(front.len(), 2);
+//! assert!(dominates(&[1.0, 4.0], &[1.5, 5.0]));
+//! ```
+
+pub mod coverage;
+pub mod front;
+pub mod hypervolume;
+
+pub use coverage::{combined_composition, coverage, CombinedComposition};
+pub use front::{InsertOutcome, ParetoFront};
+pub use hypervolume::hypervolume;
+
+/// `true` if `a` Pareto-dominates `b` (minimization): `a` is no worse in
+/// every objective and strictly better in at least one.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    assert_eq!(a.len(), b.len(), "objective vectors must have equal length");
+    assert!(!a.is_empty(), "objective vectors must be non-empty");
+    let mut strictly_better = false;
+    for (x, y) in a.iter().zip(b) {
+        if x > y {
+            return false;
+        }
+        if x < y {
+            strictly_better = true;
+        }
+    }
+    strictly_better
+}
+
+/// `true` if the two objective vectors are mutually non-dominating (neither
+/// dominates the other, including the equal case).
+pub fn incomparable(a: &[f64], b: &[f64]) -> bool {
+    !dominates(a, b) && !dominates(b, a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn dominance_basic_cases() {
+        assert!(dominates(&[1.0, 2.0], &[2.0, 3.0]));
+        assert!(dominates(&[1.0, 3.0], &[2.0, 3.0]));
+        assert!(!dominates(&[1.0, 4.0], &[2.0, 3.0]));
+        assert!(!dominates(&[2.0, 3.0], &[2.0, 3.0])); // equal: not strict
+        assert!(!dominates(&[3.0, 2.0], &[2.0, 3.0]));
+    }
+
+    #[test]
+    fn incomparable_cases() {
+        assert!(incomparable(&[1.0, 4.0], &[2.0, 3.0]));
+        assert!(incomparable(&[2.0, 3.0], &[2.0, 3.0]));
+        assert!(!incomparable(&[1.0, 2.0], &[2.0, 3.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_lengths_panic() {
+        dominates(&[1.0], &[1.0, 2.0]);
+    }
+
+    proptest! {
+        /// Dominance is irreflexive, asymmetric, and transitive.
+        #[test]
+        fn prop_dominance_partial_order(
+            a in proptest::collection::vec(0.0f64..10.0, 3),
+            b in proptest::collection::vec(0.0f64..10.0, 3),
+            c in proptest::collection::vec(0.0f64..10.0, 3),
+        ) {
+            prop_assert!(!dominates(&a, &a));
+            if dominates(&a, &b) {
+                prop_assert!(!dominates(&b, &a));
+            }
+            if dominates(&a, &b) && dominates(&b, &c) {
+                prop_assert!(dominates(&a, &c));
+            }
+        }
+    }
+}

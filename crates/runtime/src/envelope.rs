@@ -1,0 +1,280 @@
+//! Dominance maps: which deployment option wins on which `t_u` interval.
+//!
+//! §IV.E: "each deployment option is compared in a pairwise manner to its
+//! counterparts, and the intersection of `t_u` ranges over which it
+//! dominates all other options is determined". Because every cost is affine
+//! in `x = 1/t_u`, that intersection structure is exactly the lower
+//! envelope of a pencil of lines. The envelope is computed once at design
+//! time; at runtime a throughput estimate maps to the dominant option with
+//! a binary search over the precomputed thresholds — the paper's "O(1)"
+//! switch.
+
+use crate::options::{DeploymentOption, Metric};
+use crate::RuntimeError;
+use lens_nn::units::Mbps;
+use std::fmt;
+
+/// A maximal `t_u` interval on which one option is optimal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Segment {
+    /// Inclusive lower end of the throughput interval (0 = "down to no
+    /// bandwidth").
+    pub from_mbps: f64,
+    /// Exclusive upper end (`f64::INFINITY` for the last segment).
+    pub to_mbps: f64,
+    /// Index into the planner's option list.
+    pub option_index: usize,
+}
+
+/// The precomputed option-dominance structure for one metric.
+///
+/// # Examples
+///
+/// ```
+/// use lens_device::{profile_network, DeviceProfile};
+/// use lens_nn::{units::Mbps, zoo};
+/// use lens_runtime::{DeploymentPlanner, DominanceMap, Metric};
+/// use lens_wireless::{WirelessLink, WirelessTechnology};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let analysis = zoo::alexnet().analyze()?;
+/// let perf = profile_network(&analysis, &DeviceProfile::jetson_tx2_gpu());
+/// let planner = DeploymentPlanner::new(
+///     WirelessLink::new(WirelessTechnology::Wifi, Mbps::new(3.0)));
+/// let options = planner.enumerate(&analysis, &perf)?;
+/// let map = DominanceMap::build(&options, Metric::Latency)?;
+/// // Low throughput favours All-Edge for latency on the GPU.
+/// let best = map.best_at(Mbps::new(0.7));
+/// assert_eq!(options[best].to_string(), "All-Edge");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DominanceMap {
+    metric: Metric,
+    segments: Vec<Segment>,
+}
+
+impl DominanceMap {
+    /// Builds the dominance map for a metric over `t_u ∈ (0, ∞)`.
+    ///
+    /// Complexity is `O(n² log n)` in the number of options (n is ≤ a dozen
+    /// for realistic networks; robustness beats asymptotics here).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::NoOptions`] when `options` is empty.
+    pub fn build(options: &[DeploymentOption], metric: Metric) -> Result<Self, RuntimeError> {
+        if options.is_empty() {
+            return Err(RuntimeError::NoOptions);
+        }
+        // Candidate breakpoints: all positive pairwise crossovers.
+        let mut cuts: Vec<f64> = Vec::new();
+        for (i, a) in options.iter().enumerate() {
+            for b in options.iter().skip(i + 1) {
+                if let Some(tu) = a.cost(metric).crossover(&b.cost(metric)) {
+                    cuts.push(tu.get());
+                }
+            }
+        }
+        cuts.sort_by(|a, b| a.partial_cmp(b).expect("finite crossovers"));
+        cuts.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+
+        // Probe the open interval between consecutive cuts (and the two
+        // unbounded ends) at its midpoint and record the argmin.
+        let mut probes: Vec<(f64, f64, f64)> = Vec::new(); // (lo, hi, probe)
+        let mut lo = 0.0;
+        for &cut in &cuts {
+            let probe = if lo == 0.0 { cut / 2.0 } else { (lo + cut) / 2.0 };
+            probes.push((lo, cut, probe));
+            lo = cut;
+        }
+        probes.push((lo, f64::INFINITY, if lo == 0.0 { 1.0 } else { lo * 2.0 }));
+
+        let mut segments: Vec<Segment> = Vec::new();
+        for (from, to, probe) in probes {
+            let best = argmin_at(options, metric, probe);
+            match segments.last_mut() {
+                Some(last) if last.option_index == best => last.to_mbps = to,
+                _ => segments.push(Segment {
+                    from_mbps: from,
+                    to_mbps: to,
+                    option_index: best,
+                }),
+            }
+        }
+        Ok(DominanceMap { metric, segments })
+    }
+
+    /// The metric this map describes.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// The dominance segments in ascending throughput order.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// The thresholds (segment boundaries), ascending, excluding 0 and ∞ —
+    /// the values §IV.E computes by pairwise comparison.
+    pub fn thresholds(&self) -> Vec<Mbps> {
+        self.segments
+            .iter()
+            .skip(1)
+            .map(|s| Mbps::new(s.from_mbps))
+            .collect()
+    }
+
+    /// Index of the optimal option at a throughput (binary search over the
+    /// precomputed segments — the O(1)-per-inference runtime switch).
+    pub fn best_at(&self, throughput: Mbps) -> usize {
+        let tu = throughput.get();
+        let mut lo = 0usize;
+        let mut hi = self.segments.len();
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if self.segments[mid].from_mbps <= tu {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        self.segments[lo].option_index
+    }
+}
+
+impl fmt::Display for DominanceMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "dominance map ({}):", self.metric)?;
+        for s in &self.segments {
+            if s.to_mbps.is_infinite() {
+                writeln!(f, "  t_u > {:.3} Mbps -> option {}", s.from_mbps, s.option_index)?;
+            } else {
+                writeln!(
+                    f,
+                    "  {:.3}..{:.3} Mbps -> option {}",
+                    s.from_mbps, s.to_mbps, s.option_index
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn argmin_at(options: &[DeploymentOption], metric: Metric, tu: f64) -> usize {
+    let tu = Mbps::new(tu);
+    let mut best = 0;
+    let mut best_cost = options[0].cost(metric).at(tu);
+    for (i, o) in options.iter().enumerate().skip(1) {
+        let c = o.cost(metric).at(tu);
+        if c < best_cost {
+            best = i;
+            best_cost = c;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::DeploymentPlanner;
+    use lens_device::{profile_network, DeviceProfile};
+    use lens_nn::zoo;
+    use lens_wireless::{WirelessLink, WirelessTechnology};
+    use proptest::prelude::*;
+
+    fn alexnet_map(metric: Metric) -> (Vec<DeploymentOption>, DominanceMap) {
+        let a = zoo::alexnet().analyze().unwrap();
+        let perf = profile_network(&a, &DeviceProfile::jetson_tx2_gpu());
+        let planner =
+            DeploymentPlanner::new(WirelessLink::new(WirelessTechnology::Wifi, Mbps::new(3.0)));
+        let options = planner.enumerate(&a, &perf).unwrap();
+        let map = DominanceMap::build(&options, metric).unwrap();
+        (options, map)
+    }
+
+    #[test]
+    fn segments_partition_the_throughput_axis() {
+        let (_, map) = alexnet_map(Metric::Latency);
+        let segs = map.segments();
+        assert!(!segs.is_empty());
+        assert_eq!(segs[0].from_mbps, 0.0);
+        assert!(segs.last().unwrap().to_mbps.is_infinite());
+        for w in segs.windows(2) {
+            assert_eq!(w[0].to_mbps, w[1].from_mbps);
+            assert_ne!(w[0].option_index, w[1].option_index, "segments merged");
+        }
+    }
+
+    #[test]
+    fn map_agrees_with_brute_force() {
+        for metric in [Metric::Latency, Metric::Energy] {
+            let (options, map) = alexnet_map(metric);
+            for i in 1..400 {
+                let tu = i as f64 * 0.1;
+                let by_map = map.best_at(Mbps::new(tu));
+                let brute = argmin_at(&options, metric, tu);
+                let map_cost = options[by_map].cost(metric).at(Mbps::new(tu));
+                let brute_cost = options[brute].cost(metric).at(Mbps::new(tu));
+                assert!(
+                    (map_cost - brute_cost).abs() < 1e-9,
+                    "{metric} at {tu}: map gave {map_cost}, brute {brute_cost}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn low_throughput_always_all_edge() {
+        // As t_u -> 0 every communicating option diverges.
+        for metric in [Metric::Latency, Metric::Energy] {
+            let (options, map) = alexnet_map(metric);
+            let best = map.best_at(Mbps::new(0.01));
+            assert_eq!(options[best].to_string(), "All-Edge", "{metric}");
+        }
+    }
+
+    #[test]
+    fn thresholds_are_sorted_and_interior() {
+        let (_, map) = alexnet_map(Metric::Energy);
+        let th = map.thresholds();
+        for w in th.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        for t in th {
+            assert!(t.get() > 0.0 && t.get().is_finite());
+        }
+    }
+
+    #[test]
+    fn empty_options_rejected() {
+        assert!(matches!(
+            DominanceMap::build(&[], Metric::Latency),
+            Err(RuntimeError::NoOptions)
+        ));
+    }
+
+    #[test]
+    fn display_renders_segments() {
+        let (_, map) = alexnet_map(Metric::Latency);
+        let s = format!("{map}");
+        assert!(s.contains("dominance map (latency)"));
+        assert!(s.contains("Mbps"));
+    }
+
+    proptest! {
+        /// best_at is consistent with the brute-force argmin at arbitrary
+        /// throughputs (including near thresholds).
+        #[test]
+        fn prop_best_at_matches_argmin(tu in 0.01f64..200.0) {
+            let (options, map) = alexnet_map(Metric::Energy);
+            let by_map = map.best_at(Mbps::new(tu));
+            let brute = argmin_at(&options, Metric::Energy, tu);
+            let a = options[by_map].cost(Metric::Energy).at(Mbps::new(tu));
+            let b = options[brute].cost(Metric::Energy).at(Mbps::new(tu));
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Deployment options and runtime adaptation (§IV.E, Fig 5, Fig 8).
+//!
+//! A two-tier system can run a DNN **All-Edge**, **All-Cloud**, or
+//! **partitioned** at any viable layer boundary. For a fixed architecture
+//! and device, both total latency and total edge energy of every option are
+//! *affine in `1/t_u`*:
+//!
+//! * latency: `L(t_u) = L_exec + L_RT + S·8/t_u`
+//! * energy:  `E(t_u) = E_exec + α·S_mbit + β·S_mbit/t_u`
+//!   (because `E_Tx = (α·t_u + β)·S/t_u`)
+//!
+//! which is what makes the paper's pairwise-threshold analysis exact: the
+//! `t_u` ranges where each option dominates come from equating affine
+//! functions (§IV.E), and the full dominance structure is the lower
+//! envelope of a pencil of lines in `x = 1/t_u`.
+//!
+//! Modules:
+//! * [`options`] — enumerate the deployment options of a profiled network
+//!   and their affine costs (this is also the engine of Algorithm 1).
+//! * [`envelope`] — dominance maps: which option is best on which `t_u`
+//!   interval, with O(log n) (effectively O(1)) lookup.
+//! * [`tracker`] — the online throughput tracker of Fig 5.
+//! * [`simulator`] — replay a throughput trace and compare fixed deployment
+//!   options against dynamic switching (Fig 8).
+
+pub mod envelope;
+pub mod options;
+pub mod simulator;
+pub mod thresholds;
+pub mod tracker;
+
+pub use envelope::{DominanceMap, Segment};
+pub use options::{AffineCost, DeploymentKind, DeploymentOption, DeploymentPlanner, Metric};
+pub use simulator::{RuntimeSimulator, SimulationReport};
+pub use thresholds::{dominant_range, pairwise_thresholds, PairwiseThreshold};
+pub use tracker::ThroughputTracker;
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the runtime substrate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RuntimeError {
+    /// No deployment options were provided.
+    NoOptions,
+    /// The network/performance inputs disagree.
+    InconsistentInputs(String),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::NoOptions => write!(f, "no deployment options to compare"),
+            RuntimeError::InconsistentInputs(why) => write!(f, "inconsistent inputs: {why}"),
+        }
+    }
+}
+
+impl Error for RuntimeError {}

@@ -1,0 +1,462 @@
+//! Deployment options and their affine `1/t_u` cost forms.
+//!
+//! [`DeploymentPlanner::enumerate`] is the shared engine behind Algorithm 1
+//! (lines 9–14: identify viable partition points, accumulate on-device
+//! costs, add communication) and the runtime analysis of §IV.E.
+
+use crate::RuntimeError;
+use lens_nn::units::{Mbps, Millijoules, Millis};
+use lens_nn::NetworkAnalysis;
+use lens_device::NetworkPerformance;
+use lens_wireless::WirelessLink;
+use std::fmt;
+
+/// Which metric a cost/dominance computation refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Metric {
+    /// End-to-end single-inference latency.
+    Latency,
+    /// Edge-device energy per inference.
+    Energy,
+}
+
+impl fmt::Display for Metric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Metric::Latency => write!(f, "latency"),
+            Metric::Energy => write!(f, "energy"),
+        }
+    }
+}
+
+/// How the network is distributed between edge and cloud.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum DeploymentKind {
+    /// Send the raw input to the cloud.
+    AllCloud,
+    /// Execute layers `0..=layer_index` on the edge, ship that layer's
+    /// output feature map, finish in the cloud.
+    Split {
+        /// Index of the last edge-side layer.
+        layer_index: usize,
+        /// Name of that layer (e.g. `pool5`).
+        layer_name: String,
+    },
+    /// Execute everything on the edge.
+    AllEdge,
+}
+
+impl fmt::Display for DeploymentKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeploymentKind::AllCloud => write!(f, "All-Cloud"),
+            DeploymentKind::Split { layer_name, .. } => write!(f, "Split@{layer_name}"),
+            DeploymentKind::AllEdge => write!(f, "All-Edge"),
+        }
+    }
+}
+
+/// An affine cost `f(t_u) = fixed + per_inverse / t_u`.
+///
+/// Latency in ms, energy in mJ; `t_u` in Mbps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AffineCost {
+    /// The throughput-independent part.
+    pub fixed: f64,
+    /// The coefficient of `1/t_u`.
+    pub per_inverse: f64,
+}
+
+impl AffineCost {
+    /// Evaluates the cost at a throughput.
+    pub fn at(&self, throughput: Mbps) -> f64 {
+        self.fixed + self.per_inverse / throughput.get()
+    }
+
+    /// The throughput at which `self` and `other` cost the same, if one
+    /// exists at a positive finite throughput. For `t_u` above the
+    /// threshold, the option with the larger `per_inverse` is cheaper...
+    /// or rather: the option that is worse at low `t_u` becomes better.
+    pub fn crossover(&self, other: &AffineCost) -> Option<Mbps> {
+        let db = self.per_inverse - other.per_inverse;
+        let da = other.fixed - self.fixed;
+        if db.abs() < 1e-15 || da.abs() < 1e-15 {
+            return None;
+        }
+        let tu = db / da;
+        if tu.is_finite() && tu > 0.0 {
+            Some(Mbps::new(tu))
+        } else {
+            None
+        }
+    }
+}
+
+/// One deployment option with its latency and energy cost forms.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeploymentOption {
+    kind: DeploymentKind,
+    latency: AffineCost,
+    energy: AffineCost,
+}
+
+impl DeploymentOption {
+    /// The distribution scheme.
+    pub fn kind(&self) -> &DeploymentKind {
+        &self.kind
+    }
+
+    /// The affine cost for a metric.
+    pub fn cost(&self, metric: Metric) -> AffineCost {
+        match metric {
+            Metric::Latency => self.latency,
+            Metric::Energy => self.energy,
+        }
+    }
+
+    /// Latency at a given throughput.
+    pub fn latency_at(&self, throughput: Mbps) -> Millis {
+        Millis::new(self.latency.at(throughput))
+    }
+
+    /// Edge energy at a given throughput.
+    pub fn energy_at(&self, throughput: Mbps) -> Millijoules {
+        Millijoules::new(self.energy.at(throughput))
+    }
+}
+
+impl fmt::Display for DeploymentOption {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.kind)
+    }
+}
+
+/// Enumerates the deployment options of a profiled network on a link.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeploymentPlanner {
+    link: WirelessLink,
+    cloud: Option<lens_device::CloudProfile>,
+}
+
+impl DeploymentPlanner {
+    /// Creates a planner for the given link (the throughput stored in the
+    /// link is irrelevant here — costs are functions of `t_u`; only the
+    /// technology's power model and RTT are used). The cloud tier is
+    /// idealized as infinitely fast, as in the paper (`L_cloud = 0`).
+    pub fn new(link: WirelessLink) -> Self {
+        DeploymentPlanner { link, cloud: None }
+    }
+
+    /// A planner that charges a *finite* cloud execution latency to the
+    /// cloud-side suffix of every option — the cloud-cost ablation of
+    /// DESIGN.md §5. Cloud energy is still not charged to the edge (Eq. 2).
+    pub fn with_cloud(link: WirelessLink, cloud: lens_device::CloudProfile) -> Self {
+        DeploymentPlanner {
+            link,
+            cloud: Some(cloud),
+        }
+    }
+
+    /// The link this planner models.
+    pub fn link(&self) -> &WirelessLink {
+        &self.link
+    }
+
+    /// The finite cloud profile, if the idealization is disabled.
+    pub fn cloud(&self) -> Option<&lens_device::CloudProfile> {
+        self.cloud.as_ref()
+    }
+
+    /// Enumerates All-Cloud, every viable split (layers whose output is
+    /// smaller than the network input — §IV.B), and All-Edge.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InconsistentInputs`] if `perf` does not
+    /// cover the same layers as `analysis`.
+    pub fn enumerate(
+        &self,
+        analysis: &NetworkAnalysis,
+        perf: &NetworkPerformance,
+    ) -> Result<Vec<DeploymentOption>, RuntimeError> {
+        if analysis.layers().len() != perf.layers().len() {
+            return Err(RuntimeError::InconsistentInputs(format!(
+                "analysis has {} layers, performance profile has {}",
+                analysis.layers().len(),
+                perf.layers().len()
+            )));
+        }
+        let model = self.link.technology().power_model();
+        let (alpha, beta) = (model.alpha_mw_per_mbps(), model.beta_mw());
+        let rtt = self.link.round_trip().get();
+
+        let mut options = Vec::new();
+        let cloud_suffix = |from_index: usize| -> f64 {
+            self.cloud
+                .as_ref()
+                .map(|c| c.suffix_latency(analysis, from_index).get())
+                .unwrap_or(0.0)
+        };
+
+        // All-Cloud: ship the input image.
+        let s_in = analysis.input_bytes().megabits();
+        options.push(DeploymentOption {
+            kind: DeploymentKind::AllCloud,
+            latency: AffineCost {
+                fixed: rtt + cloud_suffix(0),
+                per_inverse: s_in * 1000.0,
+            },
+            // E_Tx = (α·t_u + β)·S/t_u [mW·s] = α·S + β·S/t_u [mJ].
+            energy: AffineCost {
+                fixed: alpha * s_in,
+                per_inverse: beta * s_in,
+            },
+        });
+
+        // Splits at every viable partition point (Identify, Alg 1 line 9).
+        for &i in &analysis.viable_partition_indices() {
+            let layer = &analysis.layers()[i];
+            // Splitting after the final layer is just All-Edge plus an
+            // unnecessary transmission; skip it.
+            if i + 1 == analysis.layers().len() {
+                continue;
+            }
+            let s = layer.output_bytes.megabits();
+            options.push(DeploymentOption {
+                kind: DeploymentKind::Split {
+                    layer_index: i,
+                    layer_name: layer.name.clone(),
+                },
+                latency: AffineCost {
+                    fixed: perf.latency_through(i).get() + rtt + cloud_suffix(i + 1),
+                    per_inverse: s * 1000.0,
+                },
+                energy: AffineCost {
+                    fixed: perf.energy_through(i).get() + alpha * s,
+                    per_inverse: beta * s,
+                },
+            });
+        }
+
+        // All-Edge: no communication at all.
+        options.push(DeploymentOption {
+            kind: DeploymentKind::AllEdge,
+            latency: AffineCost {
+                fixed: perf.total_latency().get(),
+                per_inverse: 0.0,
+            },
+            energy: AffineCost {
+                fixed: perf.total_energy().get(),
+                per_inverse: 0.0,
+            },
+        });
+
+        Ok(options)
+    }
+
+    /// The best option and its cost for a metric at a specific throughput —
+    /// Algorithm 1's `Minimal` over the accumulated candidates.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RuntimeError`] from [`enumerate`](Self::enumerate), or
+    /// [`RuntimeError::NoOptions`] if `options` is empty.
+    pub fn best_at(
+        options: &[DeploymentOption],
+        metric: Metric,
+        throughput: Mbps,
+    ) -> Result<(&DeploymentOption, f64), RuntimeError> {
+        options
+            .iter()
+            .map(|o| (o, o.cost(metric).at(throughput)))
+            .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite costs"))
+            .ok_or(RuntimeError::NoOptions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lens_device::{profile_network, DeviceProfile};
+    use lens_nn::zoo;
+    use lens_wireless::WirelessTechnology;
+    use proptest::prelude::*;
+
+    fn alexnet_options(tech: WirelessTechnology) -> Vec<DeploymentOption> {
+        let a = zoo::alexnet().analyze().unwrap();
+        let profile = match tech {
+            WirelessTechnology::Wifi => DeviceProfile::jetson_tx2_gpu(),
+            _ => DeviceProfile::jetson_tx2_cpu(),
+        };
+        let perf = profile_network(&a, &profile);
+        let planner = DeploymentPlanner::new(WirelessLink::new(tech, Mbps::new(3.0)));
+        planner.enumerate(&a, &perf).unwrap()
+    }
+
+    #[test]
+    fn alexnet_option_set_matches_paper() {
+        // §II.A: pool5 and fc6 are the viable interior partitions (plus
+        // fc7; fc8 is the last layer and is excluded), All-Cloud, All-Edge.
+        let options = alexnet_options(WirelessTechnology::Wifi);
+        let labels: Vec<String> = options.iter().map(|o| o.to_string()).collect();
+        assert!(labels.contains(&"All-Cloud".to_string()));
+        assert!(labels.contains(&"All-Edge".to_string()));
+        assert!(labels.contains(&"Split@pool5".to_string()));
+        assert!(labels.contains(&"Split@fc6".to_string()));
+        assert!(labels.contains(&"Split@fc7".to_string()));
+        assert!(!labels.contains(&"Split@fc8".to_string()));
+        // No conv layer is viable (feature maps bigger than the input).
+        assert!(!labels.iter().any(|l| l.contains("conv")));
+        // flatten has the same size as pool5 (< input) and is interior, so
+        // it may appear; everything else is covered above.
+        assert!(options.len() >= 5);
+    }
+
+    #[test]
+    fn all_edge_is_throughput_independent() {
+        let options = alexnet_options(WirelessTechnology::Wifi);
+        let all_edge = options
+            .iter()
+            .find(|o| o.kind() == &DeploymentKind::AllEdge)
+            .unwrap();
+        let slow = all_edge.latency_at(Mbps::new(0.1));
+        let fast = all_edge.latency_at(Mbps::new(100.0));
+        assert_eq!(slow, fast);
+        assert_eq!(all_edge.cost(Metric::Latency).per_inverse, 0.0);
+    }
+
+    #[test]
+    fn all_cloud_latency_matches_link_formula() {
+        let options = alexnet_options(WirelessTechnology::Wifi);
+        let all_cloud = options
+            .iter()
+            .find(|o| o.kind() == &DeploymentKind::AllCloud)
+            .unwrap();
+        let tu = Mbps::new(3.0);
+        let link = WirelessLink::new(WirelessTechnology::Wifi, tu);
+        let expected = link.comm_latency(lens_nn::Bytes::new(150_528));
+        assert!((all_cloud.latency_at(tu).get() - expected.get()).abs() < 1e-9);
+        let expected_e = link.comm_energy(lens_nn::Bytes::new(150_528));
+        assert!((all_cloud.energy_at(tu).get() - expected_e.get()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn split_cost_accumulates_prefix_plus_comm() {
+        let a = zoo::alexnet().analyze().unwrap();
+        let perf = profile_network(&a, &DeviceProfile::jetson_tx2_gpu());
+        let planner =
+            DeploymentPlanner::new(WirelessLink::new(WirelessTechnology::Wifi, Mbps::new(3.0)));
+        let options = planner.enumerate(&a, &perf).unwrap();
+        let pool5 = options
+            .iter()
+            .find(|o| o.to_string() == "Split@pool5")
+            .unwrap();
+        let tu = Mbps::new(7.5);
+        let idx = a.layer("pool5").unwrap().index;
+        let link = WirelessLink::new(WirelessTechnology::Wifi, tu);
+        let expected = perf.latency_through(idx)
+            + link.comm_latency(a.layer("pool5").unwrap().output_bytes);
+        assert!((pool5.latency_at(tu).get() - expected.get()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn crossover_matches_manual_algebra() {
+        let a = AffineCost {
+            fixed: 10.0,
+            per_inverse: 0.0,
+        };
+        let b = AffineCost {
+            fixed: 4.0,
+            per_inverse: 30.0,
+        };
+        // 10 = 4 + 30/tu -> tu = 5.
+        let tu = a.crossover(&b).unwrap();
+        assert!((tu.get() - 5.0).abs() < 1e-12);
+        // Parallel lines and identical fixed parts have no crossover.
+        assert!(a.crossover(&a).is_none());
+    }
+
+    #[test]
+    fn best_at_is_pointwise_min() {
+        let options = alexnet_options(WirelessTechnology::Lte);
+        for tu in [0.5, 3.0, 7.5, 16.1, 30.0] {
+            let tu = Mbps::new(tu);
+            let (_, best) =
+                DeploymentPlanner::best_at(&options, Metric::Energy, tu).unwrap();
+            for o in &options {
+                assert!(best <= o.cost(Metric::Energy).at(tu) + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_options_error() {
+        assert!(matches!(
+            DeploymentPlanner::best_at(&[], Metric::Latency, Mbps::new(1.0)),
+            Err(RuntimeError::NoOptions)
+        ));
+    }
+
+    #[test]
+    fn finite_cloud_raises_offloaded_latency_only() {
+        let a = zoo::alexnet().analyze().unwrap();
+        let perf = profile_network(&a, &DeviceProfile::jetson_tx2_gpu());
+        let link = WirelessLink::new(WirelessTechnology::Wifi, Mbps::new(3.0));
+        let ideal = DeploymentPlanner::new(link).enumerate(&a, &perf).unwrap();
+        let finite = DeploymentPlanner::with_cloud(link, lens_device::CloudProfile::datacenter_gpu())
+            .enumerate(&a, &perf)
+            .unwrap();
+        let tu = Mbps::new(7.5);
+        for (i_opt, f_opt) in ideal.iter().zip(&finite) {
+            assert_eq!(i_opt.kind(), f_opt.kind());
+            // Energy is untouched (cloud energy is not the edge's problem).
+            assert_eq!(
+                i_opt.cost(Metric::Energy).at(tu),
+                f_opt.cost(Metric::Energy).at(tu)
+            );
+            match i_opt.kind() {
+                DeploymentKind::AllEdge => assert_eq!(
+                    i_opt.cost(Metric::Latency).at(tu),
+                    f_opt.cost(Metric::Latency).at(tu)
+                ),
+                _ => assert!(
+                    f_opt.cost(Metric::Latency).at(tu) > i_opt.cost(Metric::Latency).at(tu),
+                    "offloaded option {} must pay cloud latency",
+                    i_opt
+                ),
+            }
+        }
+        // The infinite profile reproduces the idealization exactly.
+        let infinite = DeploymentPlanner::with_cloud(link, lens_device::CloudProfile::infinite())
+            .enumerate(&a, &perf)
+            .unwrap();
+        for (i_opt, inf_opt) in ideal.iter().zip(&infinite) {
+            assert_eq!(
+                i_opt.cost(Metric::Latency).at(tu),
+                inf_opt.cost(Metric::Latency).at(tu)
+            );
+        }
+    }
+
+    proptest! {
+        /// Affine evaluation agrees with the explicit formula everywhere.
+        #[test]
+        fn prop_affine_eval(fixed in 0.0f64..100.0, per in 0.0f64..100.0, tu in 0.1f64..100.0) {
+            let c = AffineCost { fixed, per_inverse: per };
+            prop_assert!((c.at(Mbps::new(tu)) - (fixed + per / tu)).abs() < 1e-12);
+        }
+
+        /// At the crossover throughput the two costs agree.
+        #[test]
+        fn prop_crossover_equalizes(
+            a_fixed in 0.0f64..50.0, a_per in 0.0f64..50.0,
+            b_fixed in 0.0f64..50.0, b_per in 0.0f64..50.0,
+        ) {
+            let a = AffineCost { fixed: a_fixed, per_inverse: a_per };
+            let b = AffineCost { fixed: b_fixed, per_inverse: b_per };
+            if let Some(tu) = a.crossover(&b) {
+                prop_assert!((a.at(tu) - b.at(tu)).abs() < 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,316 @@
+//! Trace-driven comparison of fixed vs dynamic deployment (Fig 8).
+//!
+//! §V.C replays measured LTE throughput traces and compares, per model,
+//! the accumulated energy/latency of (a) each fixed deployment option and
+//! (b) the dynamic policy that re-selects the dominant option from the
+//! tracked throughput before every inference batch.
+
+use crate::envelope::DominanceMap;
+use crate::options::{DeploymentOption, Metric};
+use crate::tracker::ThroughputTracker;
+use crate::RuntimeError;
+use lens_wireless::ThroughputTrace;
+use std::fmt;
+
+/// Cumulative cost series for one deployment policy over a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CumulativeSeries {
+    /// Policy label (option name or "Dynamic").
+    pub label: String,
+    /// Cumulative cost after each trace sample.
+    pub cumulative: Vec<f64>,
+}
+
+impl CumulativeSeries {
+    /// Final accumulated cost.
+    ///
+    /// # Panics
+    ///
+    /// Never panics: the simulator always produces ≥ 1 sample.
+    pub fn total(&self) -> f64 {
+        *self.cumulative.last().expect("non-empty series")
+    }
+}
+
+/// Result of simulating one metric over one trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulationReport {
+    metric: Metric,
+    fixed: Vec<CumulativeSeries>,
+    dynamic: CumulativeSeries,
+    switches: usize,
+}
+
+impl SimulationReport {
+    /// The metric simulated.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// Cumulative series of every fixed option (same order as the
+    /// simulator's option list).
+    pub fn fixed(&self) -> &[CumulativeSeries] {
+        &self.fixed
+    }
+
+    /// Cumulative series of the dynamic policy.
+    pub fn dynamic(&self) -> &CumulativeSeries {
+        &self.dynamic
+    }
+
+    /// How many times the dynamic policy changed option mid-trace.
+    pub fn switches(&self) -> usize {
+        self.switches
+    }
+
+    /// Percent improvement of the dynamic policy over the given fixed
+    /// option: positive means dynamic is cheaper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fixed_index` is out of range.
+    pub fn gain_over(&self, fixed_index: usize) -> f64 {
+        let fixed = self.fixed[fixed_index].total();
+        if fixed == 0.0 {
+            return 0.0;
+        }
+        100.0 * (fixed - self.dynamic.total()) / fixed
+    }
+
+    /// The best (cheapest) fixed option index.
+    pub fn best_fixed(&self) -> usize {
+        let mut best = 0;
+        for (i, s) in self.fixed.iter().enumerate() {
+            if s.total() < self.fixed[best].total() {
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+impl fmt::Display for SimulationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "simulation ({}):", self.metric)?;
+        for s in &self.fixed {
+            writeln!(f, "  fixed   {:<14} total {:.2}", s.label, s.total())?;
+        }
+        writeln!(
+            f,
+            "  dynamic ({} switches) total {:.2}",
+            self.switches,
+            self.dynamic.total()
+        )
+    }
+}
+
+/// Replays throughput traces against a set of deployment options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeSimulator {
+    options: Vec<DeploymentOption>,
+    /// Inferences performed per trace sample interval.
+    inferences_per_sample: u32,
+}
+
+impl RuntimeSimulator {
+    /// Creates a simulator over the given options, one inference per trace
+    /// sample by default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::NoOptions`] if `options` is empty.
+    pub fn new(options: Vec<DeploymentOption>) -> Result<Self, RuntimeError> {
+        if options.is_empty() {
+            return Err(RuntimeError::NoOptions);
+        }
+        Ok(RuntimeSimulator {
+            options,
+            inferences_per_sample: 1,
+        })
+    }
+
+    /// Sets how many inferences run during each trace-sample interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn with_inferences_per_sample(mut self, n: u32) -> Self {
+        assert!(n > 0, "inferences_per_sample must be positive");
+        self.inferences_per_sample = n;
+        self
+    }
+
+    /// The options under comparison.
+    pub fn options(&self) -> &[DeploymentOption] {
+        &self.options
+    }
+
+    /// Simulates one metric over a trace. The dynamic policy observes each
+    /// sample through `tracker` *before* the interval's inferences (the
+    /// Fig 5 tracker-then-switch loop) and selects via the dominance map.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RuntimeError`] from dominance-map construction.
+    pub fn run(
+        &self,
+        trace: &ThroughputTrace,
+        metric: Metric,
+        mut tracker: ThroughputTracker,
+    ) -> Result<SimulationReport, RuntimeError> {
+        let map = DominanceMap::build(&self.options, metric)?;
+        let n = self.inferences_per_sample as f64;
+
+        let mut fixed: Vec<CumulativeSeries> = self
+            .options
+            .iter()
+            .map(|o| CumulativeSeries {
+                label: o.to_string(),
+                cumulative: Vec::with_capacity(trace.len()),
+            })
+            .collect();
+        let mut dynamic = CumulativeSeries {
+            label: "Dynamic".into(),
+            cumulative: Vec::with_capacity(trace.len()),
+        };
+
+        let mut totals = vec![0.0; self.options.len()];
+        let mut dyn_total = 0.0;
+        let mut switches = 0usize;
+        let mut last_choice: Option<usize> = None;
+
+        for &tu in trace.samples() {
+            for (i, option) in self.options.iter().enumerate() {
+                totals[i] += option.cost(metric).at(tu) * n;
+                fixed[i].cumulative.push(totals[i]);
+            }
+            tracker.observe(tu);
+            let estimate = tracker.estimate().expect("observed at least one sample");
+            let choice = map.best_at(estimate);
+            if let Some(prev) = last_choice {
+                if prev != choice {
+                    switches += 1;
+                }
+            }
+            last_choice = Some(choice);
+            dyn_total += self.options[choice].cost(metric).at(tu) * n;
+            dynamic.cumulative.push(dyn_total);
+        }
+
+        Ok(SimulationReport {
+            metric,
+            fixed,
+            dynamic,
+            switches,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::DeploymentPlanner;
+    use lens_device::{profile_network, DeviceProfile};
+    use lens_nn::units::Mbps;
+    use lens_nn::zoo;
+    use lens_wireless::{TraceGenerator, WirelessLink, WirelessTechnology};
+
+    fn simulator() -> RuntimeSimulator {
+        let a = zoo::alexnet().analyze().unwrap();
+        let perf = profile_network(&a, &DeviceProfile::jetson_tx2_cpu());
+        let planner =
+            DeploymentPlanner::new(WirelessLink::new(WirelessTechnology::Lte, Mbps::new(3.0)));
+        RuntimeSimulator::new(planner.enumerate(&a, &perf).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn dynamic_with_instant_tracker_beats_every_fixed_option() {
+        // With a last-sample tracker the dynamic policy is the pointwise
+        // argmin, so it can never lose to any fixed option.
+        let sim = simulator();
+        let trace = TraceGenerator::lte_like(Mbps::new(8.0)).generate(42);
+        for metric in [Metric::Latency, Metric::Energy] {
+            let report = sim
+                .run(&trace, metric, ThroughputTracker::last_sample())
+                .unwrap();
+            for i in 0..report.fixed().len() {
+                assert!(
+                    report.gain_over(i) >= -1e-9,
+                    "{metric}: dynamic lost to {}",
+                    report.fixed()[i].label
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cumulative_series_are_monotone() {
+        let sim = simulator();
+        let trace = TraceGenerator::lte_like(Mbps::new(5.0)).generate(7);
+        let report = sim
+            .run(&trace, Metric::Energy, ThroughputTracker::last_sample())
+            .unwrap();
+        for series in report.fixed().iter().chain(std::iter::once(report.dynamic())) {
+            for w in series.cumulative.windows(2) {
+                assert!(w[1] >= w[0], "series {} not monotone", series.label);
+            }
+            assert_eq!(series.cumulative.len(), trace.len());
+        }
+    }
+
+    #[test]
+    fn volatile_trace_causes_switches() {
+        let sim = simulator();
+        // Very bursty trace around a threshold region.
+        let trace = TraceGenerator::new(
+            Mbps::new(10.0),
+            1.0,
+            0.1,
+            60,
+            lens_nn::units::Millis::new(60_000.0),
+        )
+        .generate(3);
+        let report = sim
+            .run(&trace, Metric::Latency, ThroughputTracker::last_sample())
+            .unwrap();
+        assert!(report.switches() > 0, "no switches on a volatile trace");
+    }
+
+    #[test]
+    fn inferences_per_sample_scales_costs() {
+        let sim1 = simulator();
+        let sim10 = simulator().with_inferences_per_sample(10);
+        let trace = TraceGenerator::lte_like(Mbps::new(8.0)).generate(1);
+        let r1 = sim1
+            .run(&trace, Metric::Energy, ThroughputTracker::last_sample())
+            .unwrap();
+        let r10 = sim10
+            .run(&trace, Metric::Energy, ThroughputTracker::last_sample())
+            .unwrap();
+        assert!((r10.dynamic().total() - 10.0 * r1.dynamic().total()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn best_fixed_identifies_minimum() {
+        let sim = simulator();
+        let trace = TraceGenerator::lte_like(Mbps::new(8.0)).generate(5);
+        let report = sim
+            .run(&trace, Metric::Latency, ThroughputTracker::last_sample())
+            .unwrap();
+        let best = report.best_fixed();
+        for (i, s) in report.fixed().iter().enumerate() {
+            assert!(report.fixed()[best].total() <= s.total() + 1e-12, "{i}");
+        }
+    }
+
+    #[test]
+    fn display_summarizes_policies() {
+        let sim = simulator();
+        let trace = TraceGenerator::lte_like(Mbps::new(8.0)).generate(2);
+        let report = sim
+            .run(&trace, Metric::Energy, ThroughputTracker::last_sample())
+            .unwrap();
+        let s = format!("{report}");
+        assert!(s.contains("dynamic") && s.contains("All-Edge"));
+    }
+}

@@ -1,0 +1,252 @@
+//! Pairwise `t_u` thresholds — the paper's §IV.E procedure, verbatim.
+//!
+//! "Each deployment option is compared in a pairwise manner to its
+//! counterparts, and the intersection of `t_u` ranges over which it
+//! dominates all other options is determined and associated with it."
+//! [`pairwise_thresholds`] produces exactly those pairwise crossovers
+//! (e.g. the paper's "model A favors the partitioned over All-Edge ...
+//! whenever `t_u > 6.77 Mbps`"), and [`dominant_range`] intersects them per
+//! option. The results provably agree with the lower-envelope construction
+//! of [`DominanceMap`](crate::DominanceMap) — a property test in this
+//! module checks it.
+
+use crate::options::{DeploymentOption, Metric};
+use lens_nn::units::Mbps;
+use std::fmt;
+
+/// A pairwise crossover: below `threshold`, `cheaper_below` wins; above it,
+/// `cheaper_above` wins (indices into the option list).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairwiseThreshold {
+    /// Option index that is cheaper for `t_u` below the threshold.
+    pub cheaper_below: usize,
+    /// Option index that is cheaper for `t_u` above the threshold.
+    pub cheaper_above: usize,
+    /// The crossover throughput.
+    pub threshold: Mbps,
+}
+
+impl fmt::Display for PairwiseThreshold {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "option {} -> option {} at {}",
+            self.cheaper_below, self.cheaper_above, self.threshold
+        )
+    }
+}
+
+/// All pairwise crossovers between deployment options for a metric, in
+/// ascending threshold order.
+///
+/// Because every cost is `a + b/t_u` with `b ≥ 0`, each pair crosses at
+/// most once, and the option with the *smaller* `b` (less data to ship)
+/// wins above the threshold.
+pub fn pairwise_thresholds(options: &[DeploymentOption], metric: Metric) -> Vec<PairwiseThreshold> {
+    let mut out = Vec::new();
+    for (i, a) in options.iter().enumerate() {
+        for (j, b) in options.iter().enumerate().skip(i + 1) {
+            let ca = a.cost(metric);
+            let cb = b.cost(metric);
+            if let Some(threshold) = ca.crossover(&cb) {
+                // Above the threshold the 1/t_u term vanishes faster for
+                // the smaller per_inverse coefficient.
+                let (cheaper_below, cheaper_above) = if ca.per_inverse > cb.per_inverse {
+                    (j, i)
+                } else {
+                    (i, j)
+                };
+                // Orientation check: which is actually cheaper above?
+                let probe = Mbps::new(threshold.get() * 2.0);
+                let (cheaper_below, cheaper_above) =
+                    if options[cheaper_above].cost(metric).at(probe)
+                        <= options[cheaper_below].cost(metric).at(probe)
+                    {
+                        (cheaper_below, cheaper_above)
+                    } else {
+                        (cheaper_above, cheaper_below)
+                    };
+                out.push(PairwiseThreshold {
+                    cheaper_below,
+                    cheaper_above,
+                    threshold,
+                });
+            }
+        }
+    }
+    out.sort_by(|x, y| {
+        x.threshold
+            .get()
+            .partial_cmp(&y.threshold.get())
+            .expect("finite thresholds")
+    });
+    out
+}
+
+/// The `t_u` interval over which `option_index` dominates *all* other
+/// options (the paper's per-option "intersection of t_u ranges"), or `None`
+/// if it is never simultaneously best. Bounds are `(lo, hi)` with
+/// `hi = ∞` for the last interval and `lo = 0` for the first.
+pub fn dominant_range(
+    options: &[DeploymentOption],
+    metric: Metric,
+    option_index: usize,
+) -> Option<(f64, f64)> {
+    let mut lo: f64 = 0.0;
+    let mut hi: f64 = f64::INFINITY;
+    let own = options[option_index].cost(metric);
+    for (j, other) in options.iter().enumerate() {
+        if j == option_index {
+            continue;
+        }
+        let oc = other.cost(metric);
+        match own.crossover(&oc) {
+            Some(threshold) => {
+                // Which side of the crossover do we win on?
+                let probe = Mbps::new(threshold.get() * 2.0);
+                if own.at(probe) <= oc.at(probe) {
+                    lo = lo.max(threshold.get());
+                } else {
+                    hi = hi.min(threshold.get());
+                }
+            }
+            None => {
+                // No crossover: one option dominates everywhere (or ties).
+                let probe = Mbps::new(1.0);
+                if own.at(probe) > oc.at(probe) {
+                    return None;
+                }
+            }
+        }
+    }
+    if lo < hi {
+        Some((lo, hi))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::envelope::DominanceMap;
+    use crate::options::DeploymentPlanner;
+    use lens_device::{profile_network, DeviceProfile};
+    use lens_nn::zoo;
+    use lens_wireless::{WirelessLink, WirelessTechnology};
+    use proptest::prelude::*;
+
+    fn alexnet_options() -> Vec<DeploymentOption> {
+        let a = zoo::alexnet().analyze().unwrap();
+        let perf = profile_network(&a, &DeviceProfile::jetson_tx2_cpu());
+        DeploymentPlanner::new(WirelessLink::new(WirelessTechnology::Lte, Mbps::new(3.0)))
+            .enumerate(&a, &perf)
+            .unwrap()
+    }
+
+    #[test]
+    fn thresholds_are_sorted_and_oriented() {
+        let options = alexnet_options();
+        for metric in [Metric::Latency, Metric::Energy] {
+            let pairs = pairwise_thresholds(&options, metric);
+            assert!(!pairs.is_empty());
+            for w in pairs.windows(2) {
+                assert!(w[0].threshold <= w[1].threshold);
+            }
+            for p in &pairs {
+                // Just below the threshold, cheaper_below really is cheaper.
+                let below = Mbps::new(p.threshold.get() * 0.99);
+                let above = Mbps::new(p.threshold.get() * 1.01);
+                let c_below = options[p.cheaper_below].cost(metric);
+                let c_above = options[p.cheaper_above].cost(metric);
+                assert!(c_below.at(below) <= c_above.at(below) + 1e-9, "{p}");
+                assert!(c_above.at(above) <= c_below.at(above) + 1e-9, "{p}");
+            }
+        }
+    }
+
+    #[test]
+    fn dominant_ranges_match_the_envelope() {
+        let options = alexnet_options();
+        for metric in [Metric::Latency, Metric::Energy] {
+            let map = DominanceMap::build(&options, metric).unwrap();
+            for segment in map.segments() {
+                let range = dominant_range(&options, metric, segment.option_index)
+                    .unwrap_or_else(|| {
+                        panic!("option {} has an envelope segment but no range", segment.option_index)
+                    });
+                // The envelope segment must sit inside the pairwise range.
+                assert!(range.0 <= segment.from_mbps + 1e-9);
+                assert!(range.1 >= segment.to_mbps - 1e-9 || segment.to_mbps.is_infinite());
+            }
+            // Options without envelope segments either never dominate or
+            // exactly tie the envelope winner over their claimed range
+            // (e.g. Split@pool5 and Split@flatten have identical costs —
+            // flatten is free and ships the same bytes).
+            let on_envelope: std::collections::HashSet<usize> =
+                map.segments().iter().map(|s| s.option_index).collect();
+            for i in 0..options.len() {
+                if !on_envelope.contains(&i) {
+                    if let Some((lo, hi)) = dominant_range(&options, metric, i) {
+                        let probe = Mbps::new(if hi.is_infinite() {
+                            lo + 1.0
+                        } else {
+                            (lo + hi) / 2.0
+                        });
+                        let winner = &options[map.best_at(probe)];
+                        let diff = options[i].cost(metric).at(probe)
+                            - winner.cost(metric).at(probe);
+                        assert!(
+                            diff.abs() < 1e-9,
+                            "option {i} claims {lo}..{hi} but differs from the envelope winner by {diff}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn model_a_style_statement_reconstructable() {
+        // The paper's §V.C statement has the shape "partitioned beats
+        // All-Edge for energy whenever t_u > X". Reconstruct such a
+        // statement for AlexNet on CPU/LTE.
+        let options = alexnet_options();
+        let pairs = pairwise_thresholds(&options, Metric::Energy);
+        let all_edge = options.len() - 1; // planner pushes All-Edge last
+        let vs_edge: Vec<&PairwiseThreshold> = pairs
+            .iter()
+            .filter(|p| p.cheaper_below == all_edge || p.cheaper_above == all_edge)
+            .collect();
+        assert!(
+            !vs_edge.is_empty(),
+            "All-Edge must cross at least one offloaded option"
+        );
+        // All-Edge always wins at very low t_u: it must be cheaper_below.
+        for p in vs_edge {
+            assert_eq!(p.cheaper_below, all_edge, "{p}");
+        }
+    }
+
+    proptest! {
+        /// dominant_range agrees with brute-force sampling.
+        #[test]
+        fn prop_dominant_range_matches_sampling(tu in 0.05f64..100.0) {
+            let options = alexnet_options();
+            let metric = Metric::Energy;
+            let tu_m = Mbps::new(tu);
+            // Brute-force winner at tu:
+            let mut winner = 0;
+            for (i, o) in options.iter().enumerate() {
+                if o.cost(metric).at(tu_m) < options[winner].cost(metric).at(tu_m) {
+                    winner = i;
+                }
+            }
+            let range = dominant_range(&options, metric, winner);
+            prop_assert!(range.is_some(), "winner at {tu} has no dominant range");
+            let (lo, hi) = range.unwrap();
+            prop_assert!(lo - 1e-9 <= tu && tu <= hi + 1e-9,
+                "tu {tu} outside winner's range {lo}..{hi}");
+        }
+    }
+}

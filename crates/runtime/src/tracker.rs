@@ -1,0 +1,130 @@
+//! The online throughput tracker of Fig 5.
+//!
+//! "An online throughput tracker can be exploited on the edge device to
+//! switch between different deployment options based on the `t_u` value in
+//! real-time." The tracker smooths observed uplink samples with an EWMA
+//! (α = 1 reduces to last-sample tracking).
+
+use lens_nn::units::Mbps;
+
+/// Exponentially weighted moving-average throughput estimator.
+///
+/// # Examples
+///
+/// ```
+/// use lens_nn::units::Mbps;
+/// use lens_runtime::ThroughputTracker;
+///
+/// let mut tracker = ThroughputTracker::new(0.5);
+/// assert!(tracker.estimate().is_none());
+/// tracker.observe(Mbps::new(10.0));
+/// tracker.observe(Mbps::new(20.0));
+/// let est = tracker.estimate().expect("has observations");
+/// assert!((est.get() - 15.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThroughputTracker {
+    alpha: f64,
+    estimate: Option<f64>,
+    observations: usize,
+}
+
+impl ThroughputTracker {
+    /// Creates a tracker with smoothing factor `alpha ∈ (0, 1]`; 1 means
+    /// "trust the latest sample completely".
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "alpha must be in (0, 1], got {alpha}"
+        );
+        ThroughputTracker {
+            alpha,
+            estimate: None,
+            observations: 0,
+        }
+    }
+
+    /// A last-sample tracker (α = 1).
+    pub fn last_sample() -> Self {
+        ThroughputTracker::new(1.0)
+    }
+
+    /// Feeds one measured uplink sample.
+    pub fn observe(&mut self, sample: Mbps) {
+        self.observations += 1;
+        self.estimate = Some(match self.estimate {
+            None => sample.get(),
+            Some(prev) => self.alpha * sample.get() + (1.0 - self.alpha) * prev,
+        });
+    }
+
+    /// The current throughput estimate, if any sample has been observed.
+    pub fn estimate(&self) -> Option<Mbps> {
+        self.estimate.map(Mbps::new)
+    }
+
+    /// Number of samples observed.
+    pub fn observations(&self) -> usize {
+        self.observations
+    }
+
+    /// Clears the tracker.
+    pub fn reset(&mut self) {
+        self.estimate = None;
+        self.observations = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn last_sample_mode_tracks_exactly() {
+        let mut t = ThroughputTracker::last_sample();
+        t.observe(Mbps::new(3.0));
+        t.observe(Mbps::new(8.0));
+        assert_eq!(t.estimate().unwrap().get(), 8.0);
+        assert_eq!(t.observations(), 2);
+    }
+
+    #[test]
+    fn ewma_converges_to_constant_input() {
+        let mut t = ThroughputTracker::new(0.3);
+        for _ in 0..100 {
+            t.observe(Mbps::new(5.0));
+        }
+        assert!((t.estimate().unwrap().get() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ewma_smooths_spikes() {
+        let mut t = ThroughputTracker::new(0.2);
+        for _ in 0..10 {
+            t.observe(Mbps::new(10.0));
+        }
+        t.observe(Mbps::new(100.0));
+        let est = t.estimate().unwrap().get();
+        assert!(est < 30.0, "estimate {est} jumped too hard");
+        assert!(est > 10.0);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut t = ThroughputTracker::new(0.5);
+        t.observe(Mbps::new(1.0));
+        t.reset();
+        assert!(t.estimate().is_none());
+        assert_eq!(t.observations(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in")]
+    fn zero_alpha_panics() {
+        ThroughputTracker::new(0.0);
+    }
+}

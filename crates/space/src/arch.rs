@@ -1,0 +1,234 @@
+//! Typed view of a search-space architecture (Fig 4).
+//!
+//! [`Architecture`] is the decoded, human-meaningful form of an
+//! [`Encoding`](crate::Encoding): per-block layer/kernel/filter/pool choices
+//! plus the fully connected stack. It converts to a concrete
+//! [`Network`] for cost evaluation and renders compactly for reports
+//! (e.g. the "model A / model B" descriptions of §V.C).
+
+use lens_nn::{Activation, Layer, LayerKind, Network, NetworkBuilder, TensorShape};
+use std::fmt;
+
+/// One convolutional block: `num_layers` convolutions (same kernel/filters)
+/// followed by an optional 2×2 max pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BlockChoice {
+    /// Number of stacked convolutions, 1–3 in the paper's space.
+    pub num_layers: u8,
+    /// Square kernel side, {3,5,7} in the paper's space.
+    pub kernel: u8,
+    /// Filter count, {24,36,64,96,128,256} in the paper's space.
+    pub filters: u16,
+    /// Whether the optional 2×2 max pool is present.
+    pub pool: bool,
+}
+
+impl fmt::Display for BlockChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}xconv{}-{}{}",
+            self.num_layers,
+            self.kernel,
+            self.filters,
+            if self.pool { "+P" } else { "" }
+        )
+    }
+}
+
+/// The fully connected stack: one or two hidden FC layers ("at least one of
+/// two fully connected layers can exist", §IV.B). The final softmax
+/// classifier is appended separately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FcStack {
+    /// A single hidden FC layer.
+    One {
+        /// Width of the layer.
+        width: u32,
+    },
+    /// Two hidden FC layers.
+    Two {
+        /// Width of the first layer.
+        first: u32,
+        /// Width of the second layer.
+        second: u32,
+    },
+}
+
+impl FcStack {
+    /// Widths in order.
+    pub fn widths(&self) -> Vec<u32> {
+        match self {
+            FcStack::One { width } => vec![*width],
+            FcStack::Two { first, second } => vec![*first, *second],
+        }
+    }
+}
+
+impl fmt::Display for FcStack {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FcStack::One { width } => write!(f, "FC:{width}"),
+            FcStack::Two { first, second } => write!(f, "FC:{first}-{second}"),
+        }
+    }
+}
+
+/// A fully specified architecture from the Fig 4 space.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Architecture {
+    blocks: Vec<BlockChoice>,
+    fc: FcStack,
+}
+
+impl Architecture {
+    /// Creates an architecture from block choices and an FC stack.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks` is empty.
+    pub fn new(blocks: Vec<BlockChoice>, fc: FcStack) -> Self {
+        assert!(!blocks.is_empty(), "architecture needs at least one block");
+        Architecture { blocks, fc }
+    }
+
+    /// The convolutional blocks.
+    pub fn blocks(&self) -> &[BlockChoice] {
+        &self.blocks
+    }
+
+    /// The fully connected stack.
+    pub fn fc(&self) -> &FcStack {
+        &self.fc
+    }
+
+    /// Number of pooling layers present.
+    pub fn num_pools(&self) -> usize {
+        self.blocks.iter().filter(|b| b.pool).count()
+    }
+
+    /// Total convolution layer count.
+    pub fn num_conv_layers(&self) -> usize {
+        self.blocks.iter().map(|b| b.num_layers as usize).sum()
+    }
+
+    /// Builds the concrete network for a given input and class count.
+    ///
+    /// Every conv layer gets "same" padding (`kernel/2`), ReLU and batch
+    /// norm; hidden FCs get ReLU; the classifier gets softmax — exactly the
+    /// Fig 4 conventions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`lens_nn::NnError`] if the input is too small for the
+    /// pooling stack (e.g. more pools than `log2(input)` allows).
+    pub fn to_network(
+        &self,
+        name: impl Into<String>,
+        input: TensorShape,
+        num_classes: u32,
+    ) -> Result<Network, lens_nn::NnError> {
+        let mut builder = NetworkBuilder::new(name, input);
+        for (bi, block) in self.blocks.iter().enumerate() {
+            for li in 0..block.num_layers {
+                builder = builder.layer(Layer::conv(
+                    format!("b{}c{}", bi + 1, li + 1),
+                    block.filters as u32,
+                    block.kernel as u32,
+                    block.kernel as u32 / 2,
+                ));
+            }
+            if block.pool {
+                builder = builder.layer(Layer::max_pool2(format!("pool{}", bi + 1)));
+            }
+        }
+        builder = builder.flatten();
+        for (fi, width) in self.fc.widths().into_iter().enumerate() {
+            builder = builder.layer(Layer::dense(format!("fc{}", fi + 1), width));
+        }
+        builder = builder.layer(Layer::new(
+            "classifier",
+            LayerKind::Dense {
+                out_features: num_classes,
+                activation: Activation::Softmax,
+            },
+        ));
+        builder.build()
+    }
+}
+
+impl fmt::Display for Architecture {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, b) in self.blocks.iter().enumerate() {
+            if i > 0 {
+                write!(f, " | ")?;
+            }
+            write!(f, "{b}")?;
+        }
+        write!(f, " | {}", self.fc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_arch() -> Architecture {
+        Architecture::new(
+            vec![
+                BlockChoice { num_layers: 2, kernel: 3, filters: 64, pool: true },
+                BlockChoice { num_layers: 1, kernel: 5, filters: 96, pool: true },
+                BlockChoice { num_layers: 3, kernel: 3, filters: 128, pool: true },
+                BlockChoice { num_layers: 1, kernel: 3, filters: 128, pool: false },
+                BlockChoice { num_layers: 2, kernel: 3, filters: 256, pool: true },
+            ],
+            FcStack::Two { first: 1024, second: 512 },
+        )
+    }
+
+    #[test]
+    fn counts() {
+        let a = sample_arch();
+        assert_eq!(a.num_pools(), 4);
+        assert_eq!(a.num_conv_layers(), 9);
+        assert_eq!(a.fc().widths(), vec![1024, 512]);
+    }
+
+    #[test]
+    fn to_network_layer_structure() {
+        let net = sample_arch()
+            .to_network("test", TensorShape::new(3, 224, 224), 10)
+            .unwrap();
+        // 9 convs + 4 pools + flatten + 2 fc + classifier = 17 layers.
+        assert_eq!(net.num_layers(), 17);
+        let a = net.analyze().unwrap();
+        // 4 pools: 224 -> 14 spatial; final conv block has 256 filters.
+        assert_eq!(a.layer("b5c2").unwrap().output_shape.channels(), 256);
+        assert_eq!(a.output_shape(), TensorShape::flat(10));
+    }
+
+    #[test]
+    fn to_network_works_on_cifar_input() {
+        let net = sample_arch()
+            .to_network("cifar", TensorShape::new(3, 32, 32), 10)
+            .unwrap();
+        let a = net.analyze().unwrap();
+        // 4 pools: 32 -> 2 spatial.
+        assert_eq!(a.layer("pool5").unwrap().output_shape.height(), 2);
+    }
+
+    #[test]
+    fn display_round_trips_structure() {
+        let s = format!("{}", sample_arch());
+        assert!(s.contains("2xconv3-64+P"));
+        assert!(s.contains("FC:1024-512"));
+        let one = FcStack::One { width: 256 };
+        assert_eq!(format!("{one}"), "FC:256");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn empty_blocks_panic() {
+        Architecture::new(vec![], FcStack::One { width: 256 });
+    }
+}

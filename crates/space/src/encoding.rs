@@ -1,0 +1,224 @@
+//! Genotype encoding and the object-safe [`SearchSpace`] abstraction.
+//!
+//! An [`Encoding`] is a fixed-length vector of categorical gene indices. The
+//! MOBO surrogate models of `lens-gp` operate on the unit-cube embedding
+//! produced by [`SearchSpace::to_unit_vec`], while decoding produces the
+//! concrete [`Network`] whose objectives Algorithm 1 evaluates.
+
+use crate::SpaceError;
+use lens_nn::Network;
+use rand::{Rng, RngCore};
+use std::fmt;
+
+/// A fixed-length categorical genotype.
+///
+/// # Examples
+///
+/// ```
+/// use lens_space::Encoding;
+///
+/// let enc = Encoding::new(vec![0, 2, 1]);
+/// assert_eq!(enc.len(), 3);
+/// assert_eq!(enc[1], 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Encoding(Vec<usize>);
+
+impl Encoding {
+    /// Wraps a gene vector.
+    pub fn new(genes: Vec<usize>) -> Self {
+        Encoding(genes)
+    }
+
+    /// Number of genes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// `true` when there are no genes.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Borrows the genes.
+    pub fn genes(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Mutably borrows the genes.
+    pub fn genes_mut(&mut self) -> &mut [usize] {
+        &mut self.0
+    }
+
+    /// Consumes the encoding, returning the gene vector.
+    pub fn into_inner(self) -> Vec<usize> {
+        self.0
+    }
+
+    /// A stable 64-bit hash of the genes, used to derive per-architecture
+    /// seeds (e.g. for the deterministic accuracy surrogate). FNV-1a.
+    pub fn stable_hash(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &g in &self.0 {
+            for b in (g as u64).to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+        h
+    }
+
+    /// Checks every gene against the per-position cardinalities.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpaceError::WrongLength`] or [`SpaceError::GeneOutOfRange`].
+    pub fn check_dims(&self, dims: &[usize]) -> Result<(), SpaceError> {
+        if self.0.len() != dims.len() {
+            return Err(SpaceError::WrongLength {
+                expected: dims.len(),
+                found: self.0.len(),
+            });
+        }
+        for (position, (&value, &cardinality)) in self.0.iter().zip(dims).enumerate() {
+            if value >= cardinality {
+                return Err(SpaceError::GeneOutOfRange {
+                    position,
+                    value,
+                    cardinality,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::ops::Index<usize> for Encoding {
+    type Output = usize;
+
+    fn index(&self, i: usize) -> &usize {
+        &self.0[i]
+    }
+}
+
+impl fmt::Display for Encoding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, g) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{g}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl FromIterator<usize> for Encoding {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        Encoding(iter.into_iter().collect())
+    }
+}
+
+/// A categorical architecture search space.
+///
+/// Implementations define the gene cardinalities, the structural validity
+/// predicate, decoding to a [`Network`], and the random sampling / mutation
+/// operators the optimizer uses to propose candidates. The trait is
+/// object-safe so heterogeneous spaces can be plugged into the LENS driver.
+pub trait SearchSpace {
+    /// Cardinality of each gene position.
+    fn dims(&self) -> &[usize];
+
+    /// Human-readable space name (used in reports).
+    fn name(&self) -> &str {
+        "search-space"
+    }
+
+    /// Structural validity (e.g. the ≥4-pools constraint of Fig 4).
+    fn is_valid(&self, encoding: &Encoding) -> bool;
+
+    /// Decodes an encoding into a concrete network.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return [`SpaceError`] for malformed or constraint-
+    /// violating encodings.
+    fn decode(&self, encoding: &Encoding) -> Result<Network, SpaceError>;
+
+    /// Draws a uniformly random *valid* encoding.
+    fn sample(&self, rng: &mut dyn RngCore) -> Encoding;
+
+    /// Returns a valid neighbor of `encoding` (one or a few genes changed).
+    fn mutate(&self, encoding: &Encoding, rng: &mut dyn RngCore) -> Encoding;
+
+    /// Embeds an encoding into `[0,1]^d` for the GP surrogates: each gene is
+    /// mapped to `value / (cardinality - 1)` (0.5 for singleton genes).
+    fn to_unit_vec(&self, encoding: &Encoding) -> Vec<f64> {
+        encoding
+            .genes()
+            .iter()
+            .zip(self.dims())
+            .map(|(&g, &card)| {
+                if card <= 1 {
+                    0.5
+                } else {
+                    g as f64 / (card - 1) as f64
+                }
+            })
+            .collect()
+    }
+
+    /// Number of raw encodings (ignoring validity), as an `f64` because the
+    /// product overflows integers for realistic spaces.
+    fn encoding_count(&self) -> f64 {
+        self.dims().iter().map(|&d| d as f64).product()
+    }
+}
+
+/// Uniformly samples one gene index of cardinality `card`.
+pub(crate) fn random_gene(rng: &mut dyn RngCore, card: usize) -> usize {
+    debug_assert!(card > 0);
+    rng.gen_range(0..card)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_dims_accepts_and_rejects() {
+        let enc = Encoding::new(vec![0, 1, 2]);
+        assert!(enc.check_dims(&[1, 2, 3]).is_ok());
+        assert_eq!(
+            enc.check_dims(&[1, 2]),
+            Err(SpaceError::WrongLength {
+                expected: 2,
+                found: 3
+            })
+        );
+        assert_eq!(
+            enc.check_dims(&[1, 2, 2]),
+            Err(SpaceError::GeneOutOfRange {
+                position: 2,
+                value: 2,
+                cardinality: 2
+            })
+        );
+    }
+
+    #[test]
+    fn stable_hash_distinguishes_and_repeats() {
+        let a = Encoding::new(vec![1, 2, 3]);
+        let b = Encoding::new(vec![1, 2, 4]);
+        assert_ne!(a.stable_hash(), b.stable_hash());
+        assert_eq!(a.stable_hash(), Encoding::new(vec![1, 2, 3]).stable_hash());
+    }
+
+    #[test]
+    fn display_and_collect() {
+        let enc: Encoding = [1usize, 0, 2].into_iter().collect();
+        assert_eq!(format!("{enc}"), "[1,0,2]");
+        assert_eq!(enc.into_inner(), vec![1, 0, 2]);
+    }
+}

@@ -1,0 +1,104 @@
+//! Search-space definitions for the LENS reproduction.
+//!
+//! The paper demonstrates LENS on a VGG16-derived space (Fig 4): five
+//! convolutional blocks, each with 1–3 convolution layers (kernel ∈ {3,5,7},
+//! filters ∈ {24,36,64,96,128,256}, ReLU + batch-norm) followed by an
+//! *optional* 2×2 max-pool, then one or two fully connected layers with
+//! width ∈ {256,512,1024,2048,4096,8192}, a softmax classifier, and the
+//! constraint that at least four of the five pools are present (so that
+//! enough feature-map shrinkage occurs for layer distribution to pay off).
+//!
+//! LENS itself "can be adapted to any search space", so the space is behind
+//! the object-safe [`SearchSpace`] trait; [`VggSpace`] is the paper's
+//! instantiation and `examples/custom_search_space.rs` shows a different
+//! one.
+//!
+//! # Examples
+//!
+//! ```
+//! use lens_space::{SearchSpace, VggSpace};
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), lens_space::SpaceError> {
+//! let space = VggSpace::for_cifar10();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let enc = space.sample(&mut rng);
+//! assert!(space.is_valid(&enc));
+//! let net = space.decode(&enc)?;
+//! assert!(net.num_layers() >= 7); // >=5 conv, >=4 pools, fc stack
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod arch;
+pub mod encoding;
+pub mod vgg;
+
+pub use arch::{Architecture, BlockChoice, FcStack};
+pub use encoding::{Encoding, SearchSpace};
+pub use vgg::VggSpace;
+
+use lens_nn::NnError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while encoding, decoding, or validating architectures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SpaceError {
+    /// The encoding has the wrong number of genes.
+    WrongLength {
+        /// Expected gene count.
+        expected: usize,
+        /// Actual gene count.
+        found: usize,
+    },
+    /// A gene value exceeds its cardinality.
+    GeneOutOfRange {
+        /// Gene position.
+        position: usize,
+        /// Offending value.
+        value: usize,
+        /// Cardinality at that position.
+        cardinality: usize,
+    },
+    /// The encoding violates a structural constraint of the space.
+    ConstraintViolated(String),
+    /// Decoding produced an invalid network.
+    Network(NnError),
+}
+
+impl fmt::Display for SpaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpaceError::WrongLength { expected, found } => {
+                write!(f, "encoding has {found} genes, expected {expected}")
+            }
+            SpaceError::GeneOutOfRange {
+                position,
+                value,
+                cardinality,
+            } => write!(
+                f,
+                "gene {position} has value {value}, cardinality is {cardinality}"
+            ),
+            SpaceError::ConstraintViolated(why) => write!(f, "constraint violated: {why}"),
+            SpaceError::Network(e) => write!(f, "decoded network invalid: {e}"),
+        }
+    }
+}
+
+impl Error for SpaceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SpaceError::Network(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NnError> for SpaceError {
+    fn from(e: NnError) -> Self {
+        SpaceError::Network(e)
+    }
+}

@@ -1,0 +1,397 @@
+//! The paper's VGG16-derived experimental search space (Fig 4).
+//!
+//! Five convolutional blocks, each with:
+//! * number of layers ∈ {1, 2, 3}
+//! * kernel size ∈ {3, 5, 7}
+//! * filters ∈ {24, 36, 64, 96, 128, 256}
+//! * an optional trailing 2×2 max pool
+//!
+//! followed by at least one of two fully connected layers with width ∈
+//! {256, 512, 1024, 2048, 4096, 8192}, a softmax classifier, and the
+//! structural constraint that **at least 4 pooling layers** are present —
+//! the paper adds it "to highlight cases that can benefit from layer
+//! distribution".
+
+use crate::arch::{Architecture, BlockChoice, FcStack};
+use crate::encoding::{random_gene, Encoding, SearchSpace};
+use crate::SpaceError;
+use lens_nn::{Network, TensorShape};
+use rand::{Rng, RngCore};
+
+/// Number of convolutional blocks.
+pub const NUM_BLOCKS: usize = 5;
+/// Genes per block: layers, kernel, filters, pool.
+const GENES_PER_BLOCK: usize = 4;
+/// Total genes: 5 blocks × 4 + (fc config, fc1 width, fc2 width).
+pub const NUM_GENES: usize = NUM_BLOCKS * GENES_PER_BLOCK + 3;
+
+/// Layer-count choices per block.
+pub const LAYER_CHOICES: [u8; 3] = [1, 2, 3];
+/// Kernel-size choices per block.
+pub const KERNEL_CHOICES: [u8; 3] = [3, 5, 7];
+/// Filter-count choices per block.
+pub const FILTER_CHOICES: [u16; 6] = [24, 36, 64, 96, 128, 256];
+/// FC width choices.
+pub const FC_WIDTH_CHOICES: [u32; 6] = [256, 512, 1024, 2048, 4096, 8192];
+/// Minimum number of pooling layers (of the 5 optional ones).
+pub const MIN_POOLS: usize = 4;
+
+/// FC-configuration gene values: which of the two optional FC layers exist.
+const FC_FIRST_ONLY: usize = 0;
+const FC_SECOND_ONLY: usize = 1;
+const FC_BOTH: usize = 2;
+
+/// The paper's experimental search space.
+///
+/// The configured input shape and class count determine what
+/// [`decode`](SearchSpace::decode) produces; use [`VggSpace::for_cifar10`]
+/// for the accuracy objective (32×32×3, 10 classes) and
+/// [`VggSpace::for_deployment`] for the performance objectives (224×224×3,
+/// the paper's "realistic scenario" image size).
+///
+/// # Examples
+///
+/// ```
+/// use lens_space::{SearchSpace, VggSpace};
+///
+/// let space = VggSpace::for_deployment();
+/// assert_eq!(space.dims().len(), lens_space::vgg::NUM_GENES);
+/// // ~1.6e12 raw encodings.
+/// assert!(space.encoding_count() > 1e12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct VggSpace {
+    input: TensorShape,
+    num_classes: u32,
+    dims: Vec<usize>,
+    name: String,
+}
+
+impl VggSpace {
+    /// Creates the space for a given input shape and class count.
+    pub fn new(input: TensorShape, num_classes: u32) -> Self {
+        let mut dims = Vec::with_capacity(NUM_GENES);
+        for _ in 0..NUM_BLOCKS {
+            dims.push(LAYER_CHOICES.len());
+            dims.push(KERNEL_CHOICES.len());
+            dims.push(FILTER_CHOICES.len());
+            dims.push(2); // pool off/on
+        }
+        dims.push(3); // fc config
+        dims.push(FC_WIDTH_CHOICES.len());
+        dims.push(FC_WIDTH_CHOICES.len());
+        VggSpace {
+            input,
+            num_classes,
+            dims,
+            name: format!("vgg-space({input})"),
+        }
+    }
+
+    /// The space instantiated for CIFAR-10 training (32×32×3, 10 classes) —
+    /// the accuracy-objective view.
+    pub fn for_cifar10() -> Self {
+        VggSpace::new(TensorShape::new(3, 32, 32), 10)
+    }
+
+    /// The space instantiated for deployment-cost evaluation (224×224×3
+    /// input, the paper's performance-objective image size).
+    pub fn for_deployment() -> Self {
+        VggSpace::new(TensorShape::new(3, 224, 224), 10)
+    }
+
+    /// The configured input shape.
+    pub fn input(&self) -> TensorShape {
+        self.input
+    }
+
+    /// The configured class count.
+    pub fn num_classes(&self) -> u32 {
+        self.num_classes
+    }
+
+    /// Interprets an encoding as a typed [`Architecture`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpaceError`] if the encoding is malformed or violates the
+    /// ≥4-pools constraint.
+    pub fn architecture(&self, encoding: &Encoding) -> Result<Architecture, SpaceError> {
+        encoding.check_dims(&self.dims)?;
+        let mut blocks = Vec::with_capacity(NUM_BLOCKS);
+        for b in 0..NUM_BLOCKS {
+            let g = &encoding.genes()[b * GENES_PER_BLOCK..(b + 1) * GENES_PER_BLOCK];
+            blocks.push(BlockChoice {
+                num_layers: LAYER_CHOICES[g[0]],
+                kernel: KERNEL_CHOICES[g[1]],
+                filters: FILTER_CHOICES[g[2]],
+                pool: g[3] == 1,
+            });
+        }
+        let pools = blocks.iter().filter(|b| b.pool).count();
+        if pools < MIN_POOLS {
+            return Err(SpaceError::ConstraintViolated(format!(
+                "{pools} pooling layers present, at least {MIN_POOLS} required"
+            )));
+        }
+        let fc_cfg = encoding[NUM_BLOCKS * GENES_PER_BLOCK];
+        let w1 = FC_WIDTH_CHOICES[encoding[NUM_BLOCKS * GENES_PER_BLOCK + 1]];
+        let w2 = FC_WIDTH_CHOICES[encoding[NUM_BLOCKS * GENES_PER_BLOCK + 2]];
+        let fc = match fc_cfg {
+            FC_FIRST_ONLY => FcStack::One { width: w1 },
+            FC_SECOND_ONLY => FcStack::One { width: w2 },
+            FC_BOTH => FcStack::Two {
+                first: w1,
+                second: w2,
+            },
+            _ => unreachable!("fc gene cardinality is 3"),
+        };
+        Ok(Architecture::new(blocks, fc))
+    }
+
+    /// Number of *valid* encodings (those satisfying the pools constraint):
+    /// `54^5 · 6 · 108` ≈ 2.98e11.
+    pub fn valid_encoding_count(&self) -> f64 {
+        let per_block_non_pool =
+            (LAYER_CHOICES.len() * KERNEL_CHOICES.len() * FILTER_CHOICES.len()) as f64;
+        let pool_patterns = (NUM_BLOCKS + 1) as f64; // C(5,4) + C(5,5) = 6
+        let fc = (3 * FC_WIDTH_CHOICES.len() * FC_WIDTH_CHOICES.len()) as f64;
+        per_block_non_pool.powi(NUM_BLOCKS as i32) * pool_patterns * fc
+    }
+
+    fn pool_gene_positions() -> [usize; NUM_BLOCKS] {
+        let mut out = [0usize; NUM_BLOCKS];
+        for (b, slot) in out.iter_mut().enumerate() {
+            *slot = b * GENES_PER_BLOCK + 3;
+        }
+        out
+    }
+
+    /// Flips pool genes on at random until the ≥4-pools constraint holds.
+    fn repair_pools(&self, encoding: &mut Encoding, rng: &mut dyn RngCore) {
+        let positions = Self::pool_gene_positions();
+        loop {
+            let on = positions
+                .iter()
+                .filter(|&&p| encoding[p] == 1)
+                .count();
+            if on >= MIN_POOLS {
+                return;
+            }
+            let off: Vec<usize> = positions
+                .iter()
+                .copied()
+                .filter(|&p| encoding[p] == 0)
+                .collect();
+            let pick = off[rng.gen_range(0..off.len())];
+            encoding.genes_mut()[pick] = 1;
+        }
+    }
+}
+
+impl Default for VggSpace {
+    fn default() -> Self {
+        VggSpace::for_deployment()
+    }
+}
+
+impl SearchSpace for VggSpace {
+    fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn is_valid(&self, encoding: &Encoding) -> bool {
+        if encoding.check_dims(&self.dims).is_err() {
+            return false;
+        }
+        Self::pool_gene_positions()
+            .iter()
+            .filter(|&&p| encoding[p] == 1)
+            .count()
+            >= MIN_POOLS
+    }
+
+    fn decode(&self, encoding: &Encoding) -> Result<Network, SpaceError> {
+        let arch = self.architecture(encoding)?;
+        let name = format!("arch-{:016x}", encoding.stable_hash());
+        arch.to_network(name, self.input, self.num_classes)
+            .map_err(SpaceError::from)
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> Encoding {
+        let mut enc: Encoding = self
+            .dims
+            .iter()
+            .map(|&card| random_gene(rng, card))
+            .collect();
+        self.repair_pools(&mut enc, rng);
+        enc
+    }
+
+    fn mutate(&self, encoding: &Encoding, rng: &mut dyn RngCore) -> Encoding {
+        let mut out = encoding.clone();
+        let position = rng.gen_range(0..self.dims.len());
+        let card = self.dims[position];
+        if card > 1 {
+            let mut value = random_gene(rng, card);
+            while value == out[position] {
+                value = random_gene(rng, card);
+            }
+            out.genes_mut()[position] = value;
+        }
+        self.repair_pools(&mut out, rng);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dims_match_fig4() {
+        let s = VggSpace::for_deployment();
+        assert_eq!(s.dims().len(), 23);
+        assert_eq!(&s.dims()[0..4], &[3, 3, 6, 2]);
+        assert_eq!(&s.dims()[20..23], &[3, 6, 6]);
+    }
+
+    #[test]
+    fn encoding_count_matches_closed_form() {
+        let s = VggSpace::for_deployment();
+        // 108^5 raw block configs * 2^0... full product: (3*3*6*2)^5 * 3*6*6.
+        let expected = 108f64.powi(5) * 108.0;
+        assert!((s.encoding_count() - expected).abs() / expected < 1e-12);
+        let valid = 54f64.powi(5) * 6.0 * 108.0;
+        assert!((s.valid_encoding_count() - valid).abs() / valid < 1e-12);
+        assert!(s.valid_encoding_count() < s.encoding_count());
+    }
+
+    #[test]
+    fn sampled_encodings_are_valid_and_decode() {
+        let s = VggSpace::for_cifar10();
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let enc = s.sample(&mut rng);
+            assert!(s.is_valid(&enc));
+            let net = s.decode(&enc).expect("sampled encodings decode");
+            let a = net.analyze().unwrap();
+            assert_eq!(a.output_shape(), lens_nn::TensorShape::flat(10));
+        }
+    }
+
+    #[test]
+    fn pool_constraint_enforced() {
+        let s = VggSpace::for_deployment();
+        // All pools off.
+        let mut genes = vec![0usize; NUM_GENES];
+        genes[20] = 0;
+        let enc = Encoding::new(genes);
+        assert!(!s.is_valid(&enc));
+        assert!(matches!(
+            s.decode(&enc),
+            Err(SpaceError::ConstraintViolated(_))
+        ));
+    }
+
+    #[test]
+    fn fc_config_decodes_all_three_ways() {
+        let s = VggSpace::for_deployment();
+        let mut genes = vec![0usize; NUM_GENES];
+        for b in 0..NUM_BLOCKS {
+            genes[b * 4 + 3] = 1; // all pools on
+        }
+        genes[21] = 0; // fc1 = 256
+        genes[22] = 5; // fc2 = 8192
+
+        genes[20] = 0;
+        let a = s.architecture(&Encoding::new(genes.clone())).unwrap();
+        assert_eq!(a.fc(), &FcStack::One { width: 256 });
+
+        genes[20] = 1;
+        let a = s.architecture(&Encoding::new(genes.clone())).unwrap();
+        assert_eq!(a.fc(), &FcStack::One { width: 8192 });
+
+        genes[20] = 2;
+        let a = s.architecture(&Encoding::new(genes)).unwrap();
+        assert_eq!(
+            a.fc(),
+            &FcStack::Two {
+                first: 256,
+                second: 8192
+            }
+        );
+    }
+
+    #[test]
+    fn mutate_changes_little_and_stays_valid() {
+        let s = VggSpace::for_deployment();
+        let mut rng = StdRng::seed_from_u64(3);
+        let enc = s.sample(&mut rng);
+        for _ in 0..50 {
+            let m = s.mutate(&enc, &mut rng);
+            assert!(s.is_valid(&m));
+            let diff = enc
+                .genes()
+                .iter()
+                .zip(m.genes())
+                .filter(|(a, b)| a != b)
+                .count();
+            // One mutated gene plus at most the pool repairs.
+            assert!(diff <= 1 + NUM_BLOCKS, "diff {diff}");
+        }
+    }
+
+    #[test]
+    fn unit_vec_is_in_unit_cube() {
+        let s = VggSpace::for_deployment();
+        let mut rng = StdRng::seed_from_u64(11);
+        let enc = s.sample(&mut rng);
+        let v = s.to_unit_vec(&enc);
+        assert_eq!(v.len(), NUM_GENES);
+        assert!(v.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn deployment_and_cifar_views_share_dims() {
+        let d = VggSpace::for_deployment();
+        let c = VggSpace::for_cifar10();
+        assert_eq!(d.dims(), c.dims());
+        assert_ne!(d.input(), c.input());
+    }
+
+    proptest! {
+        /// Any valid sampled encoding decodes on both the CIFAR and the
+        /// deployment views, and the pool count matches the genes.
+        #[test]
+        fn prop_sample_decode_both_views(seed in 0u64..500) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let dep = VggSpace::for_deployment();
+            let cif = VggSpace::for_cifar10();
+            let enc = dep.sample(&mut rng);
+            let arch = dep.architecture(&enc).unwrap();
+            prop_assert!(arch.num_pools() >= MIN_POOLS);
+            prop_assert!(dep.decode(&enc).is_ok());
+            prop_assert!(cif.decode(&enc).is_ok());
+        }
+
+        /// Mutation never leaves the valid region.
+        #[test]
+        fn prop_mutation_closure(seed in 0u64..200) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let s = VggSpace::for_cifar10();
+            let mut enc = s.sample(&mut rng);
+            for _ in 0..10 {
+                enc = s.mutate(&enc, &mut rng);
+                prop_assert!(s.is_valid(&enc));
+            }
+        }
+    }
+}

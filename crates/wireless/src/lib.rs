@@ -1,0 +1,60 @@
+//! Wireless communication substrate for the LENS reproduction.
+//!
+//! Implements the paper's §III.A cost model:
+//!
+//! * `L_comm = L_Tx + L_RT` (Eq. 3) — transmission plus round-trip latency,
+//! * `E_comm = E_Tx` (Eq. 4) — only transmission energy is charged to the
+//!   edge device,
+//! * `L_Tx = Size(data)/t_u` (Eq. 5),
+//! * `E_Tx = P_Tx · L_Tx` (Eq. 6),
+//!
+//! with the uplink power model `P_Tx = α_u·t_u + β` taken from Huang et al.,
+//! ["A close examination of performance and power characteristics of 4G LTE
+//! networks"](https://doi.org/10.1145/2307636.2307658) (MobiSys 2012), the
+//! reference the paper cites for `P_Tx`.
+//!
+//! It also provides the design-time context LENS needs: per-region expected
+//! uplink throughputs (Opensignal 2020, the paper's Table I source) and a
+//! seeded throughput-trace generator standing in for the paper's TestMyNet
+//! LTE measurements (§V.C) — see DESIGN.md substitution #3.
+
+pub mod link;
+pub mod region;
+pub mod technology;
+pub mod trace;
+
+pub use link::WirelessLink;
+pub use region::Region;
+pub use technology::{UplinkPowerModel, WirelessTechnology};
+pub use trace::{ThroughputTrace, TraceGenerator};
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the wireless substrate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum WirelessError {
+    /// A throughput trace was empty or otherwise malformed.
+    InvalidTrace(String),
+    /// Failed to parse a trace from CSV text.
+    ParseTrace {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for WirelessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WirelessError::InvalidTrace(why) => write!(f, "invalid trace: {why}"),
+            WirelessError::ParseTrace { line, reason } => {
+                write!(f, "trace parse error at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for WirelessError {}

@@ -1,0 +1,210 @@
+//! A configured edge→cloud wireless link and the Eq. 3–6 cost computations.
+
+use crate::technology::{UplinkPowerModel, WirelessTechnology};
+use lens_nn::units::{Bytes, Mbps, Millijoules, Milliwatts, Millis};
+use std::fmt;
+
+/// An uplink from the edge device to the cloud: technology, expected
+/// throughput `t_u`, and round-trip latency `L_RT`.
+///
+/// This is the design-time wireless expectation the user hands to LENS
+/// (Fig 3's "Supported Wireless Technology" + "Expected Wireless
+/// Conditions" inputs).
+///
+/// # Examples
+///
+/// ```
+/// use lens_nn::units::{Bytes, Mbps};
+/// use lens_wireless::{WirelessLink, WirelessTechnology};
+///
+/// // The paper's search setting: WiFi at t_u = 3 Mbps.
+/// let link = WirelessLink::new(WirelessTechnology::Wifi, Mbps::new(3.0));
+/// let image = Bytes::new(150_528); // 147 kB input image
+/// let l = link.comm_latency(image);
+/// // 1.204224 Mbit / 3 Mbps ≈ 401 ms, + 10 ms RTT.
+/// assert!((l.get() - 411.408).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WirelessLink {
+    technology: WirelessTechnology,
+    throughput: Mbps,
+    round_trip: Millis,
+}
+
+impl WirelessLink {
+    /// Creates a link with the technology's default round-trip latency.
+    pub fn new(technology: WirelessTechnology, throughput: Mbps) -> Self {
+        WirelessLink {
+            technology,
+            throughput,
+            round_trip: technology.default_round_trip(),
+        }
+    }
+
+    /// Creates a link with an explicitly measured round-trip latency.
+    pub fn with_round_trip(
+        technology: WirelessTechnology,
+        throughput: Mbps,
+        round_trip: Millis,
+    ) -> Self {
+        WirelessLink {
+            technology,
+            throughput,
+            round_trip,
+        }
+    }
+
+    /// Returns this link at a different throughput (same technology/RTT) —
+    /// used by the runtime analysis when sweeping `t_u`.
+    pub fn at_throughput(&self, throughput: Mbps) -> WirelessLink {
+        WirelessLink {
+            throughput,
+            ..*self
+        }
+    }
+
+    /// The radio technology.
+    pub fn technology(&self) -> WirelessTechnology {
+        self.technology
+    }
+
+    /// The expected uplink throughput `t_u`.
+    pub fn throughput(&self) -> Mbps {
+        self.throughput
+    }
+
+    /// The round-trip latency `L_RT`.
+    pub fn round_trip(&self) -> Millis {
+        self.round_trip
+    }
+
+    /// The technology's uplink power model.
+    pub fn power_model(&self) -> UplinkPowerModel {
+        self.technology.power_model()
+    }
+
+    /// Transmission power at this link's throughput, `P_Tx = α_u·t_u + β`.
+    pub fn tx_power(&self) -> Milliwatts {
+        self.power_model().power_at(self.throughput)
+    }
+
+    /// Transmission latency `L_Tx = Size(data)/t_u` (Eq. 5).
+    pub fn tx_latency(&self, data: Bytes) -> Millis {
+        data.tx_latency(self.throughput)
+    }
+
+    /// Transmission energy `E_Tx = P_Tx · L_Tx` (Eq. 6).
+    pub fn tx_energy(&self, data: Bytes) -> Millijoules {
+        self.tx_power() * self.tx_latency(data)
+    }
+
+    /// Communication latency `L_comm = L_Tx + L_RT` (Eq. 3).
+    pub fn comm_latency(&self, data: Bytes) -> Millis {
+        self.tx_latency(data) + self.round_trip
+    }
+
+    /// Communication energy `E_comm = E_Tx` (Eq. 4): the edge pays only for
+    /// transmission; reception of the tiny result is neglected, as in the
+    /// paper.
+    pub fn comm_energy(&self, data: Bytes) -> Millijoules {
+        self.tx_energy(data)
+    }
+}
+
+impl fmt::Display for WirelessLink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} @ {} (RTT {})",
+            self.technology, self.throughput, self.round_trip
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn comm_latency_decomposes() {
+        let link = WirelessLink::with_round_trip(
+            WirelessTechnology::Lte,
+            Mbps::new(2.0),
+            Millis::new(50.0),
+        );
+        let data = Bytes::new(250_000); // 2 Mbit
+        assert!((link.tx_latency(data).get() - 1000.0).abs() < 1e-9);
+        assert!((link.comm_latency(data).get() - 1050.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tx_energy_matches_hand_computation() {
+        let link = WirelessLink::new(WirelessTechnology::Lte, Mbps::new(10.0));
+        let data = Bytes::new(1_250_000); // 10 Mbit -> 1 s at 10 Mbps
+        let p = 438.39 * 10.0 + 1288.04; // mW
+        let e = link.tx_energy(data);
+        assert!((e.get() - p).abs() < 1e-6, "1 second at {p} mW = {p} mJ");
+    }
+
+    #[test]
+    fn energy_closed_form_is_affine_in_inverse_throughput() {
+        // E(t_u) = alpha*S_mbit + beta*S_mbit/t_u — check at two rates.
+        let tech = WirelessTechnology::Wifi;
+        let data = Bytes::new(36_864); // pool5-sized
+        let s_mbit = data.megabits();
+        let m = tech.power_model();
+        for tu in [0.7, 3.0, 16.1, 30.0] {
+            let link = WirelessLink::new(tech, Mbps::new(tu));
+            let expected = m.alpha_mw_per_mbps() * s_mbit + m.beta_mw() * s_mbit / tu;
+            assert!((link.tx_energy(data).get() - expected).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn at_throughput_preserves_tech_and_rtt() {
+        let base = WirelessLink::with_round_trip(
+            WirelessTechnology::Wifi,
+            Mbps::new(3.0),
+            Millis::new(12.0),
+        );
+        let fast = base.at_throughput(Mbps::new(30.0));
+        assert_eq!(fast.technology(), WirelessTechnology::Wifi);
+        assert_eq!(fast.round_trip(), Millis::new(12.0));
+        assert_eq!(fast.throughput(), Mbps::new(30.0));
+    }
+
+    #[test]
+    fn display_mentions_everything() {
+        let link = WirelessLink::new(WirelessTechnology::Wifi, Mbps::new(3.0));
+        let s = format!("{link}");
+        assert!(s.contains("WiFi") && s.contains("3.00 Mbps"));
+    }
+
+    proptest! {
+        /// Monotonicity: more data never costs less, higher throughput
+        /// never has higher transmission latency.
+        #[test]
+        fn prop_link_monotonicity(
+            small in 1_000u64..100_000,
+            extra in 1u64..100_000,
+            tu_lo in 0.5f64..10.0,
+            tu_hi_mult in 1.01f64..10.0,
+        ) {
+            let tech = WirelessTechnology::Lte;
+            let slow = WirelessLink::new(tech, Mbps::new(tu_lo));
+            let fast = WirelessLink::new(tech, Mbps::new(tu_lo * tu_hi_mult));
+            let a = Bytes::new(small);
+            let b = Bytes::new(small + extra);
+            prop_assert!(slow.tx_latency(b) > slow.tx_latency(a));
+            prop_assert!(slow.tx_energy(b) > slow.tx_energy(a));
+            prop_assert!(fast.tx_latency(a) < slow.tx_latency(a));
+            // Energy is NOT monotone in throughput in general (power grows
+            // with t_u) but the beta-term always shrinks:
+            let m = tech.power_model();
+            let beta_part_slow = m.beta_mw() * a.megabits() / tu_lo;
+            let beta_part_fast = m.beta_mw() * a.megabits() / (tu_lo * tu_hi_mult);
+            prop_assert!(beta_part_fast < beta_part_slow);
+        }
+    }
+}

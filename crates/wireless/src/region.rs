@@ -1,0 +1,97 @@
+//! Regional expected-throughput profiles.
+//!
+//! The paper's Table I motivates design-time wireless awareness with the
+//! average user-experienced uplink throughputs reported by Opensignal's
+//! "State of Mobile Network Experience 2020": the same AlexNet prefers
+//! different deployment options in South Korea (16.1 Mbps), the USA
+//! (7.5 Mbps), and Afghanistan (0.7 Mbps).
+
+use lens_nn::units::Mbps;
+use std::fmt;
+
+/// A deployment region with its expected average uplink throughput.
+///
+/// # Examples
+///
+/// ```
+/// use lens_wireless::Region;
+///
+/// let regions = Region::opensignal_2020();
+/// let usa = regions.iter().find(|r| r.name() == "USA").expect("USA profile");
+/// assert_eq!(usa.uplink().get(), 7.5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Region {
+    name: String,
+    uplink: Mbps,
+}
+
+impl Region {
+    /// Creates a region profile.
+    pub fn new(name: impl Into<String>, uplink: Mbps) -> Self {
+        Region {
+            name: name.into(),
+            uplink,
+        }
+    }
+
+    /// The region's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The expected average uplink throughput.
+    pub fn uplink(&self) -> Mbps {
+        self.uplink
+    }
+
+    /// The three regions the paper's Table I uses, with the Opensignal 2020
+    /// average experienced upload throughputs it quotes.
+    pub fn opensignal_2020() -> Vec<Region> {
+        vec![
+            Region::new("S. Korea", Mbps::new(16.1)),
+            Region::new("USA", Mbps::new(7.5)),
+            Region::new("Afghanistan", Mbps::new(0.7)),
+        ]
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.name, self.uplink)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_one_regions_present() {
+        let regions = Region::opensignal_2020();
+        assert_eq!(regions.len(), 3);
+        let by_name = |n: &str| {
+            regions
+                .iter()
+                .find(|r| r.name() == n)
+                .unwrap_or_else(|| panic!("missing region {n}"))
+        };
+        assert_eq!(by_name("S. Korea").uplink().get(), 16.1);
+        assert_eq!(by_name("USA").uplink().get(), 7.5);
+        assert_eq!(by_name("Afghanistan").uplink().get(), 0.7);
+    }
+
+    #[test]
+    fn regions_ordered_fast_to_slow() {
+        let regions = Region::opensignal_2020();
+        for pair in regions.windows(2) {
+            assert!(pair[0].uplink() > pair[1].uplink());
+        }
+    }
+
+    #[test]
+    fn display_includes_throughput() {
+        let r = Region::new("Testland", Mbps::new(2.5));
+        assert_eq!(format!("{r}"), "Testland (2.50 Mbps)");
+    }
+}

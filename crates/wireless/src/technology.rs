@@ -1,0 +1,184 @@
+//! Wireless technologies and their uplink power models.
+//!
+//! The paper determines `P_Tx` "using the power models proposed in \[13\]"
+//! (Huang et al., MobiSys 2012), which fit the radio's transmission power as
+//! an affine function of uplink throughput: `P_Tx(t_u) = α_u · t_u + β`.
+//! The α/β values below are the published fits (Table 4 of that paper).
+
+use lens_nn::units::{Mbps, Milliwatts, Millis};
+use std::fmt;
+
+/// The affine uplink power model `P_Tx = α_u · t_u + β`.
+///
+/// # Examples
+///
+/// ```
+/// use lens_nn::units::Mbps;
+/// use lens_wireless::WirelessTechnology;
+///
+/// let lte = WirelessTechnology::Lte.power_model();
+/// let p = lte.power_at(Mbps::new(10.0));
+/// // 438.39 * 10 + 1288.04 ≈ 5672 mW
+/// assert!((p.get() - 5671.94).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UplinkPowerModel {
+    alpha_mw_per_mbps: f64,
+    beta_mw: f64,
+}
+
+impl UplinkPowerModel {
+    /// Creates a power model from its affine coefficients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either coefficient is negative or non-finite.
+    pub fn new(alpha_mw_per_mbps: f64, beta_mw: f64) -> Self {
+        assert!(
+            alpha_mw_per_mbps.is_finite() && alpha_mw_per_mbps >= 0.0,
+            "alpha must be finite and non-negative"
+        );
+        assert!(
+            beta_mw.is_finite() && beta_mw >= 0.0,
+            "beta must be finite and non-negative"
+        );
+        UplinkPowerModel {
+            alpha_mw_per_mbps,
+            beta_mw,
+        }
+    }
+
+    /// Throughput-proportional coefficient `α_u` in mW per Mbps.
+    pub fn alpha_mw_per_mbps(&self) -> f64 {
+        self.alpha_mw_per_mbps
+    }
+
+    /// Base transmission power `β` in mW.
+    pub fn beta_mw(&self) -> f64 {
+        self.beta_mw
+    }
+
+    /// Transmission power at the given uplink throughput.
+    pub fn power_at(&self, throughput: Mbps) -> Milliwatts {
+        Milliwatts::new(self.alpha_mw_per_mbps * throughput.get() + self.beta_mw)
+    }
+}
+
+/// Supported radio technologies — the `Tech` input of Algorithms 1 and 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum WirelessTechnology {
+    /// IEEE 802.11 WiFi.
+    Wifi,
+    /// 4G LTE.
+    Lte,
+    /// 3G (WCDMA).
+    ThreeG,
+}
+
+impl WirelessTechnology {
+    /// The published Huang et al. (MobiSys 2012) uplink power fit for this
+    /// technology — the paper's `Select(Tech)` returning `(α_u, β)`.
+    pub fn power_model(self) -> UplinkPowerModel {
+        match self {
+            WirelessTechnology::Wifi => UplinkPowerModel::new(283.17, 132.86),
+            WirelessTechnology::Lte => UplinkPowerModel::new(438.39, 1288.04),
+            WirelessTechnology::ThreeG => UplinkPowerModel::new(868.98, 817.88),
+        }
+    }
+
+    /// A typical round-trip network latency `L_RT` for the technology. The
+    /// paper measures it with ping ("the average TRT is determined from the
+    /// average of multiple ping requests"); these defaults are in the range
+    /// such measurements give and can be overridden per
+    /// [`WirelessLink`](crate::WirelessLink).
+    pub fn default_round_trip(self) -> Millis {
+        match self {
+            WirelessTechnology::Wifi => Millis::new(10.0),
+            WirelessTechnology::Lte => Millis::new(70.0),
+            WirelessTechnology::ThreeG => Millis::new(200.0),
+        }
+    }
+
+    /// All supported technologies.
+    pub fn all() -> [WirelessTechnology; 3] {
+        [
+            WirelessTechnology::Wifi,
+            WirelessTechnology::Lte,
+            WirelessTechnology::ThreeG,
+        ]
+    }
+}
+
+impl fmt::Display for WirelessTechnology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WirelessTechnology::Wifi => write!(f, "WiFi"),
+            WirelessTechnology::Lte => write!(f, "LTE"),
+            WirelessTechnology::ThreeG => write!(f, "3G"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn published_parameters() {
+        let wifi = WirelessTechnology::Wifi.power_model();
+        assert_eq!(wifi.alpha_mw_per_mbps(), 283.17);
+        assert_eq!(wifi.beta_mw(), 132.86);
+        let lte = WirelessTechnology::Lte.power_model();
+        assert_eq!(lte.alpha_mw_per_mbps(), 438.39);
+        assert_eq!(lte.beta_mw(), 1288.04);
+        let three_g = WirelessTechnology::ThreeG.power_model();
+        assert_eq!(three_g.alpha_mw_per_mbps(), 868.98);
+        assert_eq!(three_g.beta_mw(), 817.88);
+    }
+
+    #[test]
+    fn power_is_affine_in_throughput() {
+        let m = UplinkPowerModel::new(100.0, 50.0);
+        assert_eq!(m.power_at(Mbps::new(1.0)).get(), 150.0);
+        assert_eq!(m.power_at(Mbps::new(2.0)).get(), 250.0);
+    }
+
+    #[test]
+    fn lte_radio_costs_more_than_wifi_at_same_rate() {
+        // One of the paper's implicit premises: LTE transmission is far more
+        // power-hungry than WiFi, shifting Table I's preferences.
+        for tu in [0.7, 3.0, 7.5, 16.1] {
+            let tu = Mbps::new(tu);
+            let wifi = WirelessTechnology::Wifi.power_model().power_at(tu);
+            let lte = WirelessTechnology::Lte.power_model().power_at(tu);
+            assert!(lte > wifi);
+        }
+    }
+
+    #[test]
+    fn default_rtt_ordering() {
+        assert!(
+            WirelessTechnology::Wifi.default_round_trip()
+                < WirelessTechnology::Lte.default_round_trip()
+        );
+        assert!(
+            WirelessTechnology::Lte.default_round_trip()
+                < WirelessTechnology::ThreeG.default_round_trip()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be finite")]
+    fn negative_alpha_panics() {
+        UplinkPowerModel::new(-1.0, 0.0);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(format!("{}", WirelessTechnology::Wifi), "WiFi");
+        assert_eq!(format!("{}", WirelessTechnology::Lte), "LTE");
+        assert_eq!(format!("{}", WirelessTechnology::ThreeG), "3G");
+        assert_eq!(WirelessTechnology::all().len(), 3);
+    }
+}

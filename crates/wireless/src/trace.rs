@@ -1,0 +1,325 @@
+//! Throughput traces and their synthetic generator.
+//!
+//! §V.C of the paper collects LTE uplink throughput with TestMyNet, "every
+//! 5 minutes for 40 samples", and replays it through the runtime switcher.
+//! We cannot rerun those phone measurements, so [`TraceGenerator`] produces
+//! a statistically similar stand-in: a stationary log-AR(1) process (bursty,
+//! positive, heavy-tailed — the standard shape of measured cellular uplink
+//! rates), fully determined by a seed. Real measurements can be loaded with
+//! [`ThroughputTrace::from_csv`].
+
+use crate::WirelessError;
+use lens_nn::units::{Mbps, Millis};
+use lens_num::dist;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// A sequence of uplink-throughput samples at a fixed interval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThroughputTrace {
+    samples: Vec<Mbps>,
+    interval: Millis,
+}
+
+impl ThroughputTrace {
+    /// Creates a trace from samples and the sampling interval.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WirelessError::InvalidTrace`] if `samples` is empty.
+    pub fn new(samples: Vec<Mbps>, interval: Millis) -> Result<Self, WirelessError> {
+        if samples.is_empty() {
+            return Err(WirelessError::InvalidTrace("no samples".into()));
+        }
+        Ok(ThroughputTrace { samples, interval })
+    }
+
+    /// The samples in time order.
+    pub fn samples(&self) -> &[Mbps] {
+        &self.samples
+    }
+
+    /// The interval between consecutive samples.
+    pub fn interval(&self) -> Millis {
+        self.interval
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `false` by construction (empty traces cannot be built).
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Mean throughput over the trace.
+    pub fn mean(&self) -> Mbps {
+        let raw: Vec<f64> = self.samples.iter().map(|m| m.get()).collect();
+        Mbps::new(lens_num::stats::mean(&raw).expect("trace is non-empty"))
+    }
+
+    /// Minimum and maximum sample.
+    pub fn min_max(&self) -> (Mbps, Mbps) {
+        let raw: Vec<f64> = self.samples.iter().map(|m| m.get()).collect();
+        let (lo, hi) = lens_num::stats::min_max(&raw).expect("trace is non-empty");
+        (Mbps::new(lo), Mbps::new(hi))
+    }
+
+    /// Fraction of samples strictly above `threshold` — used to sanity-check
+    /// that a trace actually crosses a switching threshold.
+    pub fn fraction_above(&self, threshold: Mbps) -> f64 {
+        let above = self.samples.iter().filter(|&&s| s > threshold).count();
+        above as f64 / self.samples.len() as f64
+    }
+
+    /// Serializes to a two-column CSV (`minutes,mbps`) with a header.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("minutes,mbps\n");
+        for (i, s) in self.samples.iter().enumerate() {
+            let minutes = self.interval.get() * i as f64 / 60_000.0;
+            out.push_str(&format!("{:.2},{:.4}\n", minutes, s.get()));
+        }
+        out
+    }
+
+    /// Parses the [`to_csv`](Self::to_csv) format (header optional). The
+    /// interval is inferred from the first two timestamps, defaulting to
+    /// 5 minutes for single-sample traces.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WirelessError::ParseTrace`] for malformed rows and
+    /// [`WirelessError::InvalidTrace`] when no samples are present.
+    pub fn from_csv(text: &str) -> Result<Self, WirelessError> {
+        let mut times = Vec::new();
+        let mut samples = Vec::new();
+        for (idx, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || (idx == 0 && line.starts_with("minutes")) {
+                continue;
+            }
+            let mut parts = line.split(',');
+            let parse = |s: Option<&str>, what: &str| -> Result<f64, WirelessError> {
+                s.ok_or_else(|| WirelessError::ParseTrace {
+                    line: idx + 1,
+                    reason: format!("missing {what}"),
+                })?
+                .trim()
+                .parse::<f64>()
+                .map_err(|e| WirelessError::ParseTrace {
+                    line: idx + 1,
+                    reason: format!("bad {what}: {e}"),
+                })
+            };
+            let minutes = parse(parts.next(), "timestamp")?;
+            let mbps = parse(parts.next(), "throughput")?;
+            if !mbps.is_finite() || mbps <= 0.0 {
+                return Err(WirelessError::ParseTrace {
+                    line: idx + 1,
+                    reason: format!("throughput must be positive, got {mbps}"),
+                });
+            }
+            times.push(minutes);
+            samples.push(Mbps::new(mbps));
+        }
+        if samples.is_empty() {
+            return Err(WirelessError::InvalidTrace("no samples in CSV".into()));
+        }
+        let interval = if times.len() >= 2 {
+            Millis::new(((times[1] - times[0]) * 60_000.0).max(1.0))
+        } else {
+            Millis::new(5.0 * 60_000.0)
+        };
+        ThroughputTrace::new(samples, interval)
+    }
+}
+
+impl fmt::Display for ThroughputTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (lo, hi) = self.min_max();
+        write!(
+            f,
+            "{} samples @ {:.1} min, mean {}, range [{}, {}]",
+            self.len(),
+            self.interval.get() / 60_000.0,
+            self.mean(),
+            lo,
+            hi
+        )
+    }
+}
+
+/// Seeded generator of synthetic uplink-throughput traces (log-AR(1)).
+///
+/// # Examples
+///
+/// ```
+/// use lens_nn::units::Mbps;
+/// use lens_wireless::TraceGenerator;
+///
+/// // A TestMyNet-like LTE trace: 40 samples, 5-minute interval.
+/// let trace = TraceGenerator::lte_like(Mbps::new(10.0)).generate(42);
+/// assert_eq!(trace.len(), 40);
+/// assert!(trace.mean().get() > 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceGenerator {
+    median: Mbps,
+    log_sigma: f64,
+    ar_coefficient: f64,
+    num_samples: usize,
+    interval: Millis,
+}
+
+impl TraceGenerator {
+    /// Creates a generator with explicit parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `log_sigma` is negative, `ar_coefficient` is outside
+    /// `[0, 1)`, or `num_samples` is zero.
+    pub fn new(
+        median: Mbps,
+        log_sigma: f64,
+        ar_coefficient: f64,
+        num_samples: usize,
+        interval: Millis,
+    ) -> Self {
+        assert!(log_sigma >= 0.0, "log_sigma must be non-negative");
+        assert!(
+            (0.0..1.0).contains(&ar_coefficient),
+            "ar_coefficient must be in [0,1)"
+        );
+        assert!(num_samples > 0, "num_samples must be positive");
+        TraceGenerator {
+            median,
+            log_sigma,
+            ar_coefficient,
+            num_samples,
+            interval,
+        }
+    }
+
+    /// The paper's measurement protocol: 40 LTE samples at 5-minute
+    /// intervals, moderately bursty around the given median.
+    pub fn lte_like(median: Mbps) -> Self {
+        TraceGenerator::new(median, 0.55, 0.45, 40, Millis::new(5.0 * 60_000.0))
+    }
+
+    /// Overrides the number of samples.
+    pub fn with_samples(mut self, num_samples: usize) -> Self {
+        assert!(num_samples > 0, "num_samples must be positive");
+        self.num_samples = num_samples;
+        self
+    }
+
+    /// Generates a trace deterministically from `seed`.
+    pub fn generate(&self, seed: u64) -> ThroughputTrace {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mu = self.median.get().ln();
+        // Stationary AR(1) in log space.
+        let mut y = mu + self.log_sigma * dist::standard_normal(&mut rng);
+        let innovation_scale = self.log_sigma * (1.0 - self.ar_coefficient.powi(2)).sqrt();
+        let samples = (0..self.num_samples)
+            .map(|_| {
+                let sample = y.exp().clamp(0.05, 200.0);
+                y = mu
+                    + self.ar_coefficient * (y - mu)
+                    + innovation_scale * dist::standard_normal(&mut rng);
+                Mbps::new(sample)
+            })
+            .collect();
+        ThroughputTrace::new(samples, self.interval).expect("generator produces >=1 sample")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn lte_like_matches_paper_protocol() {
+        let t = TraceGenerator::lte_like(Mbps::new(8.0)).generate(1);
+        assert_eq!(t.len(), 40);
+        assert_eq!(t.interval(), Millis::new(300_000.0));
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let g = TraceGenerator::lte_like(Mbps::new(8.0));
+        assert_eq!(g.generate(5), g.generate(5));
+        assert_ne!(g.generate(5), g.generate(6));
+    }
+
+    #[test]
+    fn median_roughly_controls_level() {
+        let slow = TraceGenerator::lte_like(Mbps::new(2.0)).with_samples(400).generate(9);
+        let fast = TraceGenerator::lte_like(Mbps::new(20.0)).with_samples(400).generate(9);
+        assert!(fast.mean() > slow.mean());
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let t = TraceGenerator::lte_like(Mbps::new(8.0)).generate(3);
+        let csv = t.to_csv();
+        let parsed = ThroughputTrace::from_csv(&csv).unwrap();
+        assert_eq!(parsed.len(), t.len());
+        assert_eq!(parsed.interval(), t.interval());
+        for (a, b) in parsed.samples().iter().zip(t.samples()) {
+            assert!((a.get() - b.get()).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn csv_parse_errors_carry_line_numbers() {
+        let err = ThroughputTrace::from_csv("minutes,mbps\n0.0,not-a-number\n").unwrap_err();
+        assert!(matches!(err, WirelessError::ParseTrace { line: 2, .. }));
+        let err = ThroughputTrace::from_csv("minutes,mbps\n0.0,-3.0\n").unwrap_err();
+        assert!(matches!(err, WirelessError::ParseTrace { line: 2, .. }));
+        let err = ThroughputTrace::from_csv("minutes,mbps\n").unwrap_err();
+        assert!(matches!(err, WirelessError::InvalidTrace(_)));
+    }
+
+    #[test]
+    fn fraction_above_is_consistent() {
+        let t = ThroughputTrace::new(
+            vec![Mbps::new(1.0), Mbps::new(5.0), Mbps::new(10.0), Mbps::new(20.0)],
+            Millis::new(1000.0),
+        )
+        .unwrap();
+        assert_eq!(t.fraction_above(Mbps::new(7.0)), 0.5);
+        assert_eq!(t.fraction_above(Mbps::new(0.5)), 1.0);
+        assert_eq!(t.fraction_above(Mbps::new(50.0)), 0.0);
+    }
+
+    #[test]
+    fn empty_trace_rejected() {
+        assert!(matches!(
+            ThroughputTrace::new(vec![], Millis::new(1.0)),
+            Err(WirelessError::InvalidTrace(_))
+        ));
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let t = TraceGenerator::lte_like(Mbps::new(8.0)).generate(3);
+        let s = format!("{t}");
+        assert!(s.contains("40 samples"));
+    }
+
+    proptest! {
+        /// Every generated sample is positive and bounded; traces of any
+        /// seed/median combination stay valid.
+        #[test]
+        fn prop_generated_traces_valid(seed in 0u64..1000, median in 0.5f64..50.0) {
+            let t = TraceGenerator::lte_like(Mbps::new(median)).generate(seed);
+            for s in t.samples() {
+                prop_assert!(s.get() >= 0.05 && s.get() <= 200.0);
+            }
+        }
+    }
+}

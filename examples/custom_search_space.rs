@@ -1,0 +1,139 @@
+//! Adapting LENS to a different search space and a *real* trainer.
+//!
+//! §IV.B: "Although LENS can be adapted to any search space, we demonstrate
+//! its merit through an experimental search space derived from VGG16." This
+//! example does the adaptation: a small LeNet-style space (two conv blocks,
+//! one FC) is defined from scratch against the [`SearchSpace`] trait, and
+//! the accuracy objective is evaluated by actually *training each sampled
+//! CNN* (`CnnTrainedAccuracy`, a from-scratch conv/pool/dense
+//! backpropagation loop) instead of the CIFAR-10 surrogate — the paper's
+//! "each sampled architectural model is trained for 10 epochs", scaled to
+//! laptop seconds.
+//!
+//! ```sh
+//! cargo run --release -p lens --example custom_search_space
+//! ```
+
+use lens::prelude::*;
+use lens::space::SpaceError;
+use rand::{Rng, RngCore};
+use std::sync::Arc;
+
+/// A tiny LeNet-ish space: 2 conv blocks (filters ∈ {8,16,32}, kernel ∈
+/// {3,5}) each followed by a mandatory pool, plus one FC ∈ {32,64,128}.
+#[derive(Debug, Clone)]
+struct LenetSpace {
+    input: TensorShape,
+    dims: Vec<usize>,
+}
+
+impl LenetSpace {
+    const FILTERS: [u32; 3] = [8, 16, 32];
+    const KERNELS: [u32; 2] = [3, 5];
+    const FC: [u32; 3] = [32, 64, 128];
+
+    fn new(input: TensorShape) -> Self {
+        // Genes: [b1 filters, b1 kernel, b2 filters, b2 kernel, fc width].
+        LenetSpace {
+            input,
+            dims: vec![3, 2, 3, 2, 3],
+        }
+    }
+}
+
+impl SearchSpace for LenetSpace {
+    fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    fn name(&self) -> &str {
+        "lenet-space"
+    }
+
+    fn is_valid(&self, encoding: &Encoding) -> bool {
+        encoding.check_dims(&self.dims).is_ok()
+    }
+
+    fn decode(&self, encoding: &Encoding) -> Result<Network, SpaceError> {
+        encoding.check_dims(&self.dims)?;
+        let g = encoding.genes();
+        let net = NetworkBuilder::new("lenet-candidate", self.input)
+            .layer(lens::nn::Layer::conv(
+                "conv1",
+                Self::FILTERS[g[0]],
+                Self::KERNELS[g[1]],
+                Self::KERNELS[g[1]] / 2,
+            ))
+            .layer(lens::nn::Layer::max_pool2("pool1"))
+            .layer(lens::nn::Layer::conv(
+                "conv2",
+                Self::FILTERS[g[2]],
+                Self::KERNELS[g[3]],
+                Self::KERNELS[g[3]] / 2,
+            ))
+            .layer(lens::nn::Layer::max_pool2("pool2"))
+            .flatten()
+            .layer(lens::nn::Layer::dense("fc1", Self::FC[g[4]]))
+            .layer(lens::nn::Layer::new(
+                "classifier",
+                lens::nn::LayerKind::Dense {
+                    out_features: 10,
+                    activation: lens::nn::Activation::Softmax,
+                },
+            ))
+            .build()?;
+        Ok(net)
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> Encoding {
+        self.dims.iter().map(|&c| rng.gen_range(0..c)).collect()
+    }
+
+    fn mutate(&self, encoding: &Encoding, rng: &mut dyn RngCore) -> Encoding {
+        let mut out = encoding.clone();
+        let pos = rng.gen_range(0..self.dims.len());
+        out.genes_mut()[pos] = rng.gen_range(0..self.dims[pos]);
+        out
+    }
+}
+
+fn main() -> Result<(), LensError> {
+    // Deployment view: QVGA-ish camera frames; training view: 32x32.
+    let deploy = Arc::new(LenetSpace::new(TensorShape::new(3, 224, 224)));
+    let train = Arc::new(LenetSpace::new(TensorShape::new(3, 32, 32)));
+
+    // Real training: every candidate CNN is trained for 3 epochs on a
+    // procedurally generated image dataset (see lens_accuracy::cnn docs).
+    let estimator = Arc::new(
+        lens::accuracy::CnnTrainedAccuracy::new(1234, 1).with_dataset_size(6, 4),
+    );
+
+    let lens = Lens::builder()
+        .spaces(deploy, train)
+        .accuracy_estimator(estimator)
+        .technology(WirelessTechnology::ThreeG) // constrained backhaul
+        .expected_throughput(Mbps::new(1.5))
+        .device(DeviceProfile::jetson_tx2_cpu())
+        .iterations(12)
+        .initial_samples(6)
+        .seed(7)
+        .build()?;
+
+    println!("searching the custom LeNet space, really training each candidate CNN...");
+    let outcome = lens.search()?;
+
+    println!("\nPareto frontier:");
+    for c in outcome.pareto_candidates() {
+        println!(
+            "  {}: {} (latency via {}, energy via {})",
+            c.encoding, c.objectives, c.best_latency_option, c.best_energy_option
+        );
+    }
+    println!(
+        "\nLENS ran unmodified on a user-defined space and a genuine CNN training loop — \
+         the search only ever sees the SearchSpace and AccuracyEstimator traits. \
+         (Swap in `TrainedAccuracy` for MLP-only training, or \
+         `SurrogateAccuracy::cifar10()` for the paper-scale experiments.)"
+    );
+    Ok(())
+}

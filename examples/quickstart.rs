@@ -1,0 +1,65 @@
+//! Quickstart: run a small LENS search and inspect its Pareto frontier.
+//!
+//! ```sh
+//! cargo run --release -p lens --example quickstart
+//! ```
+//!
+//! This mirrors the Fig 3 flow: specify the wireless technology and the
+//! expected conditions, run the multi-objective search, and receive a
+//! Pareto-optimal set of architectures — each annotated with its best
+//! deployment option.
+
+use lens::prelude::*;
+
+fn main() -> Result<(), LensError> {
+    // Design-time inputs (Fig 3): radio, expected t_u, target device.
+    // 30 iterations keeps the example snappy; the paper runs 300.
+    let lens = Lens::builder()
+        .technology(WirelessTechnology::Wifi)
+        .expected_throughput(Mbps::new(3.0))
+        .device(DeviceProfile::jetson_tx2_gpu())
+        .iterations(30)
+        .initial_samples(10)
+        .seed(2021)
+        .build()?;
+
+    println!("running LENS (10 random + 30 MOBO iterations)...");
+    let outcome = lens.search()?;
+
+    println!(
+        "\nexplored {} architectures; Pareto frontier has {} members:\n",
+        outcome.explored().len(),
+        outcome.pareto_front().len()
+    );
+    println!(
+        "{:>5}  {:>8}  {:>10}  {:>10}  {:<14} {:<14}",
+        "idx", "err (%)", "lat (ms)", "E (mJ)", "best-latency", "best-energy"
+    );
+    for c in outcome.pareto_candidates() {
+        println!(
+            "{:>5}  {:>8.2}  {:>10.1}  {:>10.1}  {:<14} {:<14}",
+            c.index,
+            c.objectives.error_pct,
+            c.objectives.latency_ms,
+            c.objectives.energy_mj,
+            c.best_latency_option.to_string(),
+            c.best_energy_option.to_string(),
+        );
+    }
+
+    // How many frontier members actually exploit the edge-cloud hierarchy?
+    let distributed = outcome
+        .pareto_candidates()
+        .iter()
+        .filter(|c| {
+            c.best_latency_option != DeploymentKind::AllEdge
+                || c.best_energy_option != DeploymentKind::AllEdge
+        })
+        .count();
+    println!(
+        "\n{distributed} of {} frontier members prefer a distributed deployment — \
+         the opportunities the Traditional (edge-only) search cannot see.",
+        outcome.pareto_front().len()
+    );
+    Ok(())
+}

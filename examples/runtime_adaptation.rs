@@ -1,0 +1,65 @@
+//! Runtime adaptation (Fig 5 + Fig 8): deploy a model with its design-time
+//! best option, then let the online throughput tracker switch between
+//! deployment options as the LTE uplink fluctuates.
+//!
+//! ```sh
+//! cargo run --release -p lens --example runtime_adaptation
+//! ```
+
+use lens::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The deployed model: AlexNet on the TX2 CPU over LTE (the scenario
+    // with the richest switching structure in Table I).
+    let analysis = zoo::alexnet().analyze()?;
+    let perf = profile_network(&analysis, &DeviceProfile::jetson_tx2_cpu());
+    let planner = DeploymentPlanner::new(WirelessLink::new(
+        WirelessTechnology::Lte,
+        Mbps::new(8.0),
+    ));
+    let options = planner.enumerate(&analysis, &perf)?;
+
+    // Design-time analysis: the t_u intervals where each option dominates.
+    let map = DominanceMap::build(&options, Metric::Latency)?;
+    println!("{map}");
+    for (i, o) in options.iter().enumerate() {
+        println!("  option {i}: {o}");
+    }
+
+    // A measured-looking LTE trace (synthetic stand-in for TestMyNet;
+    // 40 samples at 5-minute intervals, as in §V.C).
+    let trace = TraceGenerator::lte_like(Mbps::new(9.0)).generate(77);
+    println!("\nreplaying: {trace}\n");
+
+    let simulator = RuntimeSimulator::new(options)?;
+    for metric in [Metric::Latency, Metric::Energy] {
+        let report = simulator.run(&trace, metric, ThroughputTracker::last_sample())?;
+        println!("{report}");
+        let best_fixed = report.best_fixed();
+        println!(
+            "dynamic gains {:.2}% over the best fixed option ({}), {:.2}% over the worst\n",
+            report.gain_over(best_fixed),
+            report.fixed()[best_fixed].label,
+            report
+                .fixed()
+                .iter()
+                .enumerate()
+                .map(|(i, _)| report.gain_over(i))
+                .fold(f64::MIN, f64::max),
+        );
+    }
+
+    // The tracker itself is tiny — the O(1) runtime component of Fig 5.
+    let mut tracker = ThroughputTracker::new(0.6);
+    for sample in trace.samples().iter().take(5) {
+        tracker.observe(*sample);
+        let est = tracker.estimate().expect("observed");
+        println!(
+            "observed {:>7.2} -> estimate {:>7.2} -> option {}",
+            sample.get(),
+            est.get(),
+            map.best_at(est)
+        );
+    }
+    Ok(())
+}

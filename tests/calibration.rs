@@ -1,0 +1,153 @@
+//! Calibration tests: the simulated testbed must reproduce the paper's
+//! motivational analysis — Fig 1 (AlexNet per-layer structure), Fig 2 (the
+//! effect of `t_u` on the best deployment option), and **all twelve cells
+//! of Table I** (region × device/radio × metric → preferred option).
+//!
+//! These tests pin the behaviour that DESIGN.md substitution #1 promises;
+//! if the device profiles are retuned, these are the tests that must stay
+//! green.
+
+use lens::prelude::*;
+
+/// Enumerate AlexNet's deployment options on a device/technology pair.
+fn alexnet_options(profile: &DeviceProfile, tech: WirelessTechnology) -> Vec<lens::runtime::DeploymentOption> {
+    let analysis = zoo::alexnet().analyze().expect("alexnet analyzes");
+    let perf = profile_network(&analysis, profile);
+    let planner = DeploymentPlanner::new(WirelessLink::new(tech, Mbps::new(3.0)));
+    planner.enumerate(&analysis, &perf).expect("options enumerate")
+}
+
+/// The label of the best option for a metric at a throughput.
+fn best(profile: &DeviceProfile, tech: WirelessTechnology, metric: Metric, tu: f64) -> String {
+    let options = alexnet_options(profile, tech);
+    let (opt, _) = DeploymentPlanner::best_at(&options, metric, Mbps::new(tu)).expect("non-empty");
+    opt.to_string()
+}
+
+/// Table I, GPU/WiFi column pair: latency prefers All-Edge in all three
+/// regions; energy prefers Pool5 in S. Korea and the USA but All-Edge in
+/// Afghanistan.
+#[test]
+fn table1_gpu_wifi_cells() {
+    let gpu = DeviceProfile::jetson_tx2_gpu();
+    let wifi = WirelessTechnology::Wifi;
+    for region in Region::opensignal_2020() {
+        let tu = region.uplink().get();
+        assert_eq!(
+            best(&gpu, wifi, Metric::Latency, tu),
+            "All-Edge",
+            "GPU/WiFi latency in {region}"
+        );
+        let expected_energy = if region.name() == "Afghanistan" {
+            "All-Edge"
+        } else {
+            "Split@pool5"
+        };
+        assert_eq!(
+            best(&gpu, wifi, Metric::Energy, tu),
+            expected_energy,
+            "GPU/WiFi energy in {region}"
+        );
+    }
+}
+
+/// Table I, CPU/LTE column pair: latency All-Cloud (16.1) / Pool5 (7.5) /
+/// All-Edge (0.7); energy All-Cloud / All-Cloud / Pool5.
+#[test]
+fn table1_cpu_lte_cells() {
+    let cpu = DeviceProfile::jetson_tx2_cpu();
+    let lte = WirelessTechnology::Lte;
+    let expectations = [
+        ("S. Korea", "All-Cloud", "All-Cloud"),
+        ("USA", "Split@pool5", "All-Cloud"),
+        ("Afghanistan", "All-Edge", "Split@pool5"),
+    ];
+    for (name, latency_expected, energy_expected) in expectations {
+        let region = Region::opensignal_2020()
+            .into_iter()
+            .find(|r| r.name() == name)
+            .expect("region exists");
+        let tu = region.uplink().get();
+        assert_eq!(
+            best(&cpu, lte, Metric::Latency, tu),
+            latency_expected,
+            "CPU/LTE latency in {name}"
+        );
+        assert_eq!(
+            best(&cpu, lte, Metric::Energy, tu),
+            energy_expected,
+            "CPU/LTE energy in {name}"
+        );
+    }
+}
+
+/// Fig 2's headline crossover: for GPU/WiFi *latency*, 30 Mbps prefers the
+/// Pool5 split, "contrary to other cases which prefer the All-Edge option".
+#[test]
+fn fig2_gpu_wifi_latency_crossover_at_high_throughput() {
+    let gpu = DeviceProfile::jetson_tx2_gpu();
+    let wifi = WirelessTechnology::Wifi;
+    assert_eq!(best(&gpu, wifi, Metric::Latency, 30.0), "Split@pool5");
+    for tu in [0.5, 1.0, 3.0, 7.5, 16.1] {
+        assert_eq!(best(&gpu, wifi, Metric::Latency, tu), "All-Edge", "tu={tu}");
+    }
+}
+
+/// Fig 1 structure: FC layers are ~50% of AlexNet latency on the TX2 GPU,
+/// feature maps shrink below the input only from pool5 onward, and pool5's
+/// output is ~4x smaller than the 147 kB input.
+#[test]
+fn fig1_alexnet_structure() {
+    let analysis = zoo::alexnet().analyze().unwrap();
+    assert_eq!(analysis.input_bytes().get(), 150_528);
+
+    let pool5 = analysis.layer("pool5").unwrap();
+    let ratio = analysis.input_bytes().get() as f64 / pool5.output_bytes.get() as f64;
+    assert!((3.5..4.5).contains(&ratio), "pool5 shrink ratio {ratio}");
+
+    let viable = analysis.viable_partition_indices();
+    assert_eq!(viable.first(), Some(&pool5.index), "pool5 is the first viable split");
+
+    let perf = profile_network(&analysis, &DeviceProfile::jetson_tx2_gpu());
+    let fc_share = perf.latency_share(|n| n.starts_with("fc"));
+    assert!((0.40..0.60).contains(&fc_share), "FC latency share {fc_share}");
+}
+
+/// The dominance-map thresholds are consistent with the per-point bests:
+/// sweeping Table I's throughputs through the precomputed map gives the
+/// same answers as brute-force minimization.
+#[test]
+fn dominance_map_consistent_with_pointwise_best() {
+    let cpu = DeviceProfile::jetson_tx2_cpu();
+    let options = alexnet_options(&cpu, WirelessTechnology::Lte);
+    for metric in [Metric::Latency, Metric::Energy] {
+        let map = DominanceMap::build(&options, metric).unwrap();
+        for tu in [0.7, 3.0, 7.5, 16.1, 22.8, 30.0] {
+            let by_map = &options[map.best_at(Mbps::new(tu))];
+            let (by_scan, _) =
+                DeploymentPlanner::best_at(&options, metric, Mbps::new(tu)).unwrap();
+            assert_eq!(by_map.to_string(), by_scan.to_string(), "{metric} at {tu}");
+        }
+    }
+}
+
+/// The trained regression predictors preserve every Table I preference —
+/// the search sees predictions, not ground truth, so the preferences must
+/// survive the modelling error.
+#[test]
+fn table1_survives_the_performance_predictors() {
+    let analysis = zoo::alexnet().analyze().unwrap();
+    for (profile, tech, metric, tu, expected) in [
+        (DeviceProfile::jetson_tx2_gpu(), WirelessTechnology::Wifi, Metric::Energy, 7.5, "Split@pool5"),
+        (DeviceProfile::jetson_tx2_gpu(), WirelessTechnology::Wifi, Metric::Latency, 7.5, "All-Edge"),
+        (DeviceProfile::jetson_tx2_cpu(), WirelessTechnology::Lte, Metric::Energy, 16.1, "All-Cloud"),
+        (DeviceProfile::jetson_tx2_cpu(), WirelessTechnology::Lte, Metric::Latency, 0.7, "All-Edge"),
+    ] {
+        let predictor = PerformancePredictor::train(&profile, 0.05, 7).unwrap();
+        let perf = profile_network(&analysis, &predictor);
+        let planner = DeploymentPlanner::new(WirelessLink::new(tech, Mbps::new(3.0)));
+        let options = planner.enumerate(&analysis, &perf).unwrap();
+        let (opt, _) = DeploymentPlanner::best_at(&options, metric, Mbps::new(tu)).unwrap();
+        assert_eq!(opt.to_string(), expected, "{tech} {metric} at {tu} (predicted)");
+    }
+}

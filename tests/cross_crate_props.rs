@@ -1,0 +1,115 @@
+//! Cross-crate property tests: invariants that span the whole stack.
+
+use lens::core::{PartitionPolicy, PerfEvaluator};
+use lens::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn perf(policy: PartitionPolicy, tu: f64) -> PerfEvaluator {
+    PerfEvaluator::new(
+        WirelessLink::new(WirelessTechnology::Wifi, Mbps::new(tu)),
+        Arc::new(DeviceProfile::jetson_tx2_gpu()),
+        policy,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any sampled architecture: decodes on both views, has finite strictly
+    /// positive objectives, and the partition-aware evaluation never loses
+    /// to the edge-only evaluation on either performance metric.
+    #[test]
+    fn prop_partition_within_never_worse(seed in 0u64..5000, tu in 0.5f64..40.0) {
+        let deploy = VggSpace::for_deployment();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let enc = deploy.sample(&mut rng);
+        let analysis = deploy.decode(&enc).unwrap().analyze().unwrap();
+
+        let lens = perf(PartitionPolicy::WithinOptimization, tu).evaluate(&analysis).unwrap();
+        let edge = perf(PartitionPolicy::EdgeOnly, tu).evaluate(&analysis).unwrap();
+
+        prop_assert!(lens.latency.get().is_finite() && lens.latency.get() > 0.0);
+        prop_assert!(lens.energy.get().is_finite() && lens.energy.get() > 0.0);
+        prop_assert!(lens.latency <= edge.latency);
+        prop_assert!(lens.energy <= edge.energy);
+    }
+
+    /// The Algorithm 1 minimum equals the brute-force minimum over the
+    /// enumerated options at the evaluation throughput.
+    #[test]
+    fn prop_alg1_min_is_true_min(seed in 0u64..5000, tu in 0.5f64..40.0) {
+        let deploy = VggSpace::for_deployment();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let enc = deploy.sample(&mut rng);
+        let analysis = deploy.decode(&enc).unwrap().analyze().unwrap();
+        let eval = perf(PartitionPolicy::WithinOptimization, tu).evaluate(&analysis).unwrap();
+
+        let tu_m = Mbps::new(tu);
+        for metric in [Metric::Latency, Metric::Energy] {
+            let brute = eval.perf_min(metric, tu_m);
+            let reported = match metric {
+                Metric::Latency => eval.latency.get(),
+                Metric::Energy => eval.energy.get(),
+            };
+            prop_assert!((brute - reported).abs() < 1e-9,
+                "{metric}: brute {brute} vs reported {reported}");
+        }
+    }
+
+    /// The dominance map over a sampled architecture's options agrees with
+    /// pointwise minimization at arbitrary throughputs.
+    #[test]
+    fn prop_dominance_map_matches_best_at(seed in 0u64..2000, tu in 0.1f64..80.0) {
+        let deploy = VggSpace::for_deployment();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let enc = deploy.sample(&mut rng);
+        let analysis = deploy.decode(&enc).unwrap().analyze().unwrap();
+        let eval = perf(PartitionPolicy::WithinOptimization, 3.0).evaluate(&analysis).unwrap();
+
+        let map = DominanceMap::build(&eval.options, Metric::Energy).unwrap();
+        let tu_m = Mbps::new(tu);
+        let by_map = eval.options[map.best_at(tu_m)].cost(Metric::Energy).at(tu_m);
+        let (_, brute) =
+            DeploymentPlanner::best_at(&eval.options, Metric::Energy, tu_m).unwrap();
+        prop_assert!((by_map - brute).abs() < 1e-9);
+    }
+
+    /// Trace CSV round-trip composed with the simulator: same trace, same
+    /// totals.
+    #[test]
+    fn prop_trace_round_trip_stable_simulation(seed in 0u64..500, median in 1.0f64..30.0) {
+        let analysis = zoo::alexnet().analyze().unwrap();
+        let perf_profile = profile_network(&analysis, &DeviceProfile::jetson_tx2_cpu());
+        let planner = DeploymentPlanner::new(
+            WirelessLink::new(WirelessTechnology::Lte, Mbps::new(median)));
+        let options = planner.enumerate(&analysis, &perf_profile).unwrap();
+        let sim = RuntimeSimulator::new(options).unwrap();
+
+        let trace = TraceGenerator::lte_like(Mbps::new(median)).generate(seed);
+        let reparsed = ThroughputTrace::from_csv(&trace.to_csv()).unwrap();
+
+        let a = sim.run(&trace, Metric::Energy, ThroughputTracker::last_sample()).unwrap();
+        let b = sim.run(&reparsed, Metric::Energy, ThroughputTracker::last_sample()).unwrap();
+        // CSV keeps 4 decimal places of Mbps; totals agree to ~0.1%.
+        let rel = (a.dynamic().total() - b.dynamic().total()).abs() / a.dynamic().total();
+        prop_assert!(rel < 1e-3, "relative deviation {rel}");
+    }
+}
+
+/// Helper trait used by `prop_alg1_min_is_true_min`: brute-force minimum
+/// over the enumerated options.
+trait PerfMin {
+    fn perf_min(&self, metric: Metric, tu: Mbps) -> f64;
+}
+
+impl PerfMin for lens::core::PerfEvaluation {
+    fn perf_min(&self, metric: Metric, tu: Mbps) -> f64 {
+        self.options
+            .iter()
+            .map(|o| o.cost(metric).at(tu))
+            .fold(f64::INFINITY, f64::min)
+    }
+}
