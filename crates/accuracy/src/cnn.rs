@@ -366,9 +366,7 @@ impl Cnn {
                     }
                     out
                 }
-                CnnLayer::Flatten => {
-                    Tensor::from_data(input.shape.flattened(), input.data.clone())
-                }
+                CnnLayer::Flatten => Tensor::from_data(input.shape.flattened(), input.data.clone()),
                 CnnLayer::Dense {
                     out_features,
                     relu,
@@ -487,8 +485,8 @@ impl Cnn {
                                 let d = delta[((c * oh + y) * ow + x2) as usize] / window;
                                 for ky in 0..*kernel {
                                     for kx in 0..*kernel {
-                                        prev[input
-                                            .idx(c, y * *stride + ky, x2 * *stride + kx)] += d;
+                                        prev[input.idx(c, y * *stride + ky, x2 * *stride + kx)] +=
+                                            d;
                                     }
                                 }
                             }
@@ -543,9 +541,8 @@ impl Cnn {
                                                 && (sy as u32) < h
                                                 && (sx as u32) < w
                                             {
-                                                let iidx = ((ic * h + sy as u32) * w
-                                                    + sx as u32)
-                                                    as usize;
+                                                let iidx =
+                                                    ((ic * h + sy as u32) * w + sx as u32) as usize;
                                                 prev[iidx] += wrow[wi] * d;
                                                 w_grad[wi] += d * input.data[iidx];
                                             }
@@ -682,7 +679,10 @@ impl CnnTrainedAccuracy {
     ///
     /// Panics if either count is zero.
     pub fn with_dataset_size(mut self, train_per_class: usize, test_per_class: usize) -> Self {
-        assert!(train_per_class > 0 && test_per_class > 0, "counts must be positive");
+        assert!(
+            train_per_class > 0 && test_per_class > 0,
+            "counts must be positive"
+        );
         self.train_per_class = train_per_class;
         self.test_per_class = test_per_class;
         self

@@ -66,8 +66,7 @@ impl SyntheticDataset {
                         .iter()
                         .zip(&raw)
                         .map(|(row, &r)| {
-                            let mixed: f64 =
-                                row.iter().zip(&raw).map(|(m, x)| m * x).sum();
+                            let mixed: f64 = row.iter().zip(&raw).map(|(m, x)| m * x).sum();
                             mixed.tanh() + 0.5 * r
                         })
                         .collect();

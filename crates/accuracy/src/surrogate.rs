@@ -143,8 +143,8 @@ impl ArchStats {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lens_space::{Architecture, BlockChoice, FcStack, SearchSpace, VggSpace};
     use lens_nn::TensorShape;
+    use lens_space::{Architecture, BlockChoice, FcStack, SearchSpace, VggSpace};
     use proptest::prelude::*;
     use rand::Rng;
 
@@ -197,11 +197,22 @@ mod tests {
         // At 224x224 the flattened conv output is large: an 8192-wide FC
         // head crosses 100M params and triggers the under-training term.
         let blocks: Vec<BlockChoice> = (0..5)
-            .map(|_| BlockChoice { num_layers: 2, kernel: 3, filters: 128, pool: true })
+            .map(|_| BlockChoice {
+                num_layers: 2,
+                kernel: 3,
+                filters: 128,
+                pool: true,
+            })
             .collect();
-        let big_fc = Architecture::new(blocks.clone(), FcStack::Two { first: 8192, second: 8192 })
-            .to_network("big", TensorShape::new(3, 224, 224), 10)
-            .unwrap();
+        let big_fc = Architecture::new(
+            blocks.clone(),
+            FcStack::Two {
+                first: 8192,
+                second: 8192,
+            },
+        )
+        .to_network("big", TensorShape::new(3, 224, 224), 10)
+        .unwrap();
         let small_fc = Architecture::new(blocks, FcStack::One { width: 256 })
             .to_network("small", TensorShape::new(3, 224, 224), 10)
             .unwrap();

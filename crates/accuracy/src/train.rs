@@ -81,9 +81,7 @@ impl Mlp {
             let mut z: Vec<f64> = w
                 .iter()
                 .zip(b)
-                .map(|(row, bias)| {
-                    row.iter().zip(prev).map(|(wi, xi)| wi * xi).sum::<f64>() + bias
-                })
+                .map(|(row, bias)| row.iter().zip(prev).map(|(wi, xi)| wi * xi).sum::<f64>() + bias)
                 .collect();
             if l < last {
                 for v in &mut z {
@@ -255,6 +253,7 @@ impl TrainedAccuracy {
             ));
         }
         hidden.pop(); // the classifier layer is added by the trainer
+
         // Feature view: richer conv stacks "extract" more of the feature
         // space (8..=64 dims on a log scale).
         let view = ((conv_params.max(1) as f64).log10() * 8.0) as usize;

@@ -22,8 +22,7 @@ fn bench_pareto(c: &mut Criterion) {
         let pts = points(n);
         group.bench_with_input(BenchmarkId::new("build_front", n), &pts, |b, pts| {
             b.iter(|| {
-                let front: ParetoFront<usize> =
-                    pts.iter().cloned().enumerate().collect();
+                let front: ParetoFront<usize> = pts.iter().cloned().enumerate().collect();
                 black_box(front.len())
             })
         });

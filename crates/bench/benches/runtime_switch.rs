@@ -13,11 +13,11 @@ use std::hint::black_box;
 fn build_inputs() -> (Vec<lens::runtime::DeploymentOption>, DominanceMap) {
     let analysis = zoo::alexnet().analyze().expect("alexnet analyzes");
     let perf = profile_network(&analysis, &DeviceProfile::jetson_tx2_cpu());
-    let planner = DeploymentPlanner::new(WirelessLink::new(
-        WirelessTechnology::Lte,
-        Mbps::new(8.0),
-    ));
-    let options = planner.enumerate(&analysis, &perf).expect("options enumerate");
+    let planner =
+        DeploymentPlanner::new(WirelessLink::new(WirelessTechnology::Lte, Mbps::new(8.0)));
+    let options = planner
+        .enumerate(&analysis, &perf)
+        .expect("options enumerate");
     let map = DominanceMap::build(&options, Metric::Latency).expect("map builds");
     (options, map)
 }

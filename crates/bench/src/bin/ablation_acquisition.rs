@@ -90,6 +90,10 @@ fn main() {
         "best err (%)",
         "best energy (mJ)",
     ];
-    print_table("Ablation: acquisition rules (same seed & budget)", &header, &rows);
+    print_table(
+        "Ablation: acquisition rules (same seed & budget)",
+        &header,
+        &rows,
+    );
     save_csv(&args.artifact("ablation_acquisition.csv"), &header, &rows);
 }

@@ -13,13 +13,24 @@ fn main() {
     let args = ExpArgs::parse();
     let analysis = zoo::alexnet().analyze().expect("alexnet analyzes");
     let scenarios = [
-        ("GPU/WiFi", DeviceProfile::jetson_tx2_gpu(), WirelessTechnology::Wifi),
-        ("CPU/LTE", DeviceProfile::jetson_tx2_cpu(), WirelessTechnology::Lte),
+        (
+            "GPU/WiFi",
+            DeviceProfile::jetson_tx2_gpu(),
+            WirelessTechnology::Wifi,
+        ),
+        (
+            "CPU/LTE",
+            DeviceProfile::jetson_tx2_cpu(),
+            WirelessTechnology::Lte,
+        ),
     ];
     let clouds = [
         ("infinite (paper)", CloudProfile::infinite()),
         ("datacenter GPU", CloudProfile::datacenter_gpu()),
-        ("modest server", CloudProfile::custom("modest-server", 300.0, 40.0)),
+        (
+            "modest server",
+            CloudProfile::custom("modest-server", 300.0, 40.0),
+        ),
     ];
 
     let mut rows = Vec::new();
@@ -35,9 +46,8 @@ fn main() {
                     let link = WirelessLink::new(*tech, Mbps::new(3.0));
                     let planner = DeploymentPlanner::with_cloud(link, cloud.clone());
                     let options = planner.enumerate(&analysis, &perf).expect("enumerate");
-                    let (best, _) =
-                        DeploymentPlanner::best_at(&options, metric, Mbps::new(tu))
-                            .expect("non-empty");
+                    let (best, _) = DeploymentPlanner::best_at(&options, metric, Mbps::new(tu))
+                        .expect("non-empty");
                     let name = best.to_string();
                     match &baseline {
                         None => baseline = Some(name.clone()),
@@ -63,11 +73,19 @@ fn main() {
         "datacenter GPU",
         "modest server",
     ];
-    print_table("Ablation: finite-cloud latency vs the paper's idealization", &header, &rows);
+    print_table(
+        "Ablation: finite-cloud latency vs the paper's idealization",
+        &header,
+        &rows,
+    );
     println!(
         "\n{flips}/{cells} decisions flip when the cloud is finite — the paper's \
          neglect of L_cloud is {} for these scenarios.",
-        if flips == 0 { "harmless" } else { "load-bearing" }
+        if flips == 0 {
+            "harmless"
+        } else {
+            "load-bearing"
+        }
     );
     save_csv(&args.artifact("ablation_cloud.csv"), &header, &rows);
 }

@@ -49,17 +49,21 @@ fn main() {
         lens::core::traditional::front_of_2d(&rescored, ERROR_OBJECTIVE, ENERGY_OBJECTIVE);
     let truth_front = truth_outcome.front_2d(ERROR_OBJECTIVE, ENERGY_OBJECTIVE);
 
-    let cmp = FrontierComparison::between(
-        &truth_front.objectives(),
-        &rescored_front.objectives(),
-    );
+    let cmp = FrontierComparison::between(&truth_front.objectives(), &rescored_front.objectives());
     println!("\n=== Ablation: predictor-guided vs truth-guided search ===");
     println!("(energy-error plane; predictor frontier re-scored under ground truth)\n{cmp}");
 
     // Prediction-quality context.
-    let predictor = PerformancePredictor::train(&DeviceProfile::jetson_tx2_gpu(), 0.05, args.seed ^ 0x0DE51CE5)
-        .expect("predictor trains");
-    println!("\npredictor quality vs noise-free truth:\n{}", predictor.report());
+    let predictor = PerformancePredictor::train(
+        &DeviceProfile::jetson_tx2_gpu(),
+        0.05,
+        args.seed ^ 0x0DE51CE5,
+    )
+    .expect("predictor trains");
+    println!(
+        "\npredictor quality vs noise-free truth:\n{}",
+        predictor.report()
+    );
 
     let rows = vec![vec![
         format!("{:.2}", cmp.lens_dominates_pct),

@@ -69,12 +69,18 @@ fn main() {
         };
         comp_rows.push(vec![
             format!("{tu}"),
-            format!("{:.1}%", 100.0 * count(&|k| *k == DeploymentKind::AllEdge) / total),
+            format!(
+                "{:.1}%",
+                100.0 * count(&|k| *k == DeploymentKind::AllEdge) / total
+            ),
             format!(
                 "{:.1}%",
                 100.0 * count(&|k| matches!(k, DeploymentKind::Split { .. })) / total
             ),
-            format!("{:.1}%", 100.0 * count(&|k| *k == DeploymentKind::AllCloud) / total),
+            format!(
+                "{:.1}%",
+                100.0 * count(&|k| *k == DeploymentKind::AllCloud) / total
+            ),
         ]);
     }
     let comp_header = ["design t_u", "All-Edge", "Split", "All-Cloud"];
@@ -83,7 +89,11 @@ fn main() {
         &comp_header,
         &comp_rows,
     );
-    save_csv(&args.artifact("ext_sensitivity_mix.csv"), &comp_header, &comp_rows);
+    save_csv(
+        &args.artifact("ext_sensitivity_mix.csv"),
+        &comp_header,
+        &comp_rows,
+    );
 
     // (b) Cross-deployment regret matrix: frontier designed at tu_d,
     // deployed at tu_t. Restricted to comparable-accuracy members
@@ -116,7 +126,11 @@ fn main() {
         &regret_refs,
         &regret_rows,
     );
-    save_csv(&args.artifact("ext_sensitivity_regret.csv"), &regret_refs, &regret_rows);
+    save_csv(
+        &args.artifact("ext_sensitivity_regret.csv"),
+        &regret_refs,
+        &regret_rows,
+    );
 
     println!(
         "\nReading: rows are frontiers (err<25% members) designed for one expected t_u, \

@@ -35,7 +35,12 @@ fn main() {
             format!("{:.2}", layer.output_bytes.kib() / input_kb),
             format!("{:.3}", lp.latency.get()),
             format!("{:.1}", 100.0 * lp.latency.get() / total),
-            if viable.contains(&layer.index) { "yes" } else { "no" }.into(),
+            if viable.contains(&layer.index) {
+                "yes"
+            } else {
+                "no"
+            }
+            .into(),
         ]);
     }
     let header = [

@@ -15,15 +15,25 @@ fn main() {
     let analysis = zoo::alexnet().analyze().expect("alexnet analyzes");
 
     let scenarios = [
-        ("GPU/WiFi", DeviceProfile::jetson_tx2_gpu(), WirelessTechnology::Wifi),
-        ("CPU/LTE", DeviceProfile::jetson_tx2_cpu(), WirelessTechnology::Lte),
+        (
+            "GPU/WiFi",
+            DeviceProfile::jetson_tx2_gpu(),
+            WirelessTechnology::Wifi,
+        ),
+        (
+            "CPU/LTE",
+            DeviceProfile::jetson_tx2_cpu(),
+            WirelessTechnology::Lte,
+        ),
     ];
 
     let mut csv_rows: Vec<Vec<String>> = Vec::new();
     for (label, profile, tech) in scenarios {
         let perf = profile_network(&analysis, &profile);
         let planner = DeploymentPlanner::new(WirelessLink::new(tech, Mbps::new(3.0)));
-        let options = planner.enumerate(&analysis, &perf).expect("options enumerate");
+        let options = planner
+            .enumerate(&analysis, &perf)
+            .expect("options enumerate");
 
         for metric in [Metric::Latency, Metric::Energy] {
             let unit = match metric {
@@ -33,12 +43,16 @@ fn main() {
             let mut rows = Vec::new();
             for tu in THROUGHPUTS {
                 let tu_m = Mbps::new(tu);
-                let (best, _) = DeploymentPlanner::best_at(&options, metric, tu_m)
-                    .expect("non-empty options");
+                let (best, _) =
+                    DeploymentPlanner::best_at(&options, metric, tu_m).expect("non-empty options");
                 let mut row = vec![format!("{tu}")];
                 for option in &options {
                     let value = option.cost(metric).at(tu_m);
-                    let marker = if option.kind() == best.kind() { "*" } else { "" };
+                    let marker = if option.kind() == best.kind() {
+                        "*"
+                    } else {
+                        ""
+                    };
                     row.push(format!("{value:.1}{marker}"));
                     csv_rows.push(vec![
                         label.into(),
@@ -69,7 +83,9 @@ fn main() {
     );
     save_csv(
         &args.artifact("fig2_deployment.csv"),
-        &["scenario", "metric", "tu_mbps", "option", "value", "is_best"],
+        &[
+            "scenario", "metric", "tu_mbps", "option", "value", "is_best",
+        ],
         &csv_rows,
     );
 }

@@ -48,7 +48,9 @@ fn main() {
     let front_points = |front: &lens::pareto::ParetoFront<usize>| -> Vec<(f64, f64)> {
         front.iter().map(|(_, o)| (o[1], o[0])).collect()
     };
-    let lens_front2d = paired.lens_outcome.front_2d(ERROR_OBJECTIVE, ENERGY_OBJECTIVE);
+    let lens_front2d = paired
+        .lens_outcome
+        .front_2d(ERROR_OBJECTIVE, ENERGY_OBJECTIVE);
     let part_front2d = lens::core::traditional::front_of_2d(
         &paired.partitioned_traditional,
         ERROR_OBJECTIVE,
@@ -73,20 +75,13 @@ fn main() {
     ] {
         let lens_front = paired.lens_outcome.front_2d(a, b);
         let trad_front = paired.traditional_outcome.front_2d(a, b);
-        let part_front = lens::core::traditional::front_of_2d(
-            &paired.partitioned_traditional,
-            a,
-            b,
-        );
+        let part_front =
+            lens::core::traditional::front_of_2d(&paired.partitioned_traditional, a, b);
 
-        let cmp_raw = FrontierComparison::between(
-            &lens_front.objectives(),
-            &trad_front.objectives(),
-        );
-        let cmp_part = FrontierComparison::between(
-            &lens_front.objectives(),
-            &part_front.objectives(),
-        );
+        let cmp_raw =
+            FrontierComparison::between(&lens_front.objectives(), &trad_front.objectives());
+        let cmp_part =
+            FrontierComparison::between(&lens_front.objectives(), &part_front.objectives());
 
         println!("\n=== Figure 6 ({plane} plane) ===");
         println!(
@@ -143,6 +138,10 @@ fn main() {
         "paper_dominated",
         "paper_combined",
     ];
-    print_table("Figure 6 summary (vs partitioned Traditional)", &header, &summary_rows);
+    print_table(
+        "Figure 6 summary (vs partitioned Traditional)",
+        &header,
+        &summary_rows,
+    );
     save_csv(&args.artifact("fig6_summary.csv"), &header, &summary_rows);
 }

@@ -83,8 +83,7 @@ fn main() {
             energy_q,
         ),
     ] {
-        let lens_counts =
-            partitioned_counts(&lens_points, error_thresholds, energy_thresholds);
+        let lens_counts = partitioned_counts(&lens_points, error_thresholds, energy_thresholds);
         let trad_counts =
             partitioned_counts(&trad_partitioned, error_thresholds, energy_thresholds);
         let names = [

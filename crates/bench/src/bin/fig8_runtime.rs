@@ -24,7 +24,11 @@ fn pick_model<'a>(
     evaluator: &lens::core::LensEvaluator,
     metric: Metric,
     target_tu: f64,
-) -> Option<(&'a lens::core::ExploredCandidate, Vec<lens::runtime::DeploymentOption>, Mbps)> {
+) -> Option<(
+    &'a lens::core::ExploredCandidate,
+    Vec<lens::runtime::DeploymentOption>,
+    Mbps,
+)> {
     let mut best: Option<(&lens::core::ExploredCandidate, Vec<_>, Mbps, f64)> = None;
     for c in candidates {
         let eval = evaluator.evaluate(&c.encoding).ok()?;
@@ -34,7 +38,10 @@ fn pick_model<'a>(
                 continue;
             }
             let distance = (threshold.get().ln() - target_tu.ln()).abs();
-            let better = best.as_ref().map(|(_, _, _, d)| distance < *d).unwrap_or(true);
+            let better = best
+                .as_ref()
+                .map(|(_, _, _, d)| distance < *d)
+                .unwrap_or(true);
             if better {
                 best = Some((c, eval.perf.options.clone(), threshold, distance));
             }
@@ -61,7 +68,10 @@ fn main() {
     let frontier = paired.lens_outcome.pareto_candidates();
     let everything: Vec<&lens::core::ExploredCandidate> =
         paired.lens_outcome.explored().iter().collect();
-    eprintln!("[fig8] selecting models A and B from a {}-member frontier...", frontier.len());
+    eprintln!(
+        "[fig8] selecting models A and B from a {}-member frontier...",
+        frontier.len()
+    );
 
     let mut csv_rows: Vec<Vec<String>> = Vec::new();
     for (model_label, metric, target) in [("A", Metric::Energy, 7.0), ("B", Metric::Latency, 20.0)]
@@ -86,7 +96,8 @@ fn main() {
         );
 
         // Trace centered near the threshold so both regimes occur.
-        let trace = TraceGenerator::lte_like(Mbps::new(threshold.get())).generate(args.seed ^ 0xF18);
+        let trace =
+            TraceGenerator::lte_like(Mbps::new(threshold.get())).generate(args.seed ^ 0xF18);
         println!("trace: {trace}");
 
         let simulator = RuntimeSimulator::new(options).expect("non-empty options");
@@ -142,7 +153,14 @@ fn main() {
 
     save_csv(
         &args.artifact("fig8_runtime.csv"),
-        &["model", "metric", "step", "tu_mbps", "dynamic_cumulative", "fixed_options..."],
+        &[
+            "model",
+            "metric",
+            "step",
+            "tu_mbps",
+            "dynamic_cumulative",
+            "fixed_options...",
+        ],
         &csv_rows,
     );
     println!(

@@ -28,23 +28,35 @@ fn main() {
     let args = ExpArgs::parse();
     let analysis = zoo::alexnet().analyze().expect("alexnet analyzes");
     let scenarios = [
-        ("GPU/WiFi", DeviceProfile::jetson_tx2_gpu(), WirelessTechnology::Wifi),
-        ("CPU/LTE", DeviceProfile::jetson_tx2_cpu(), WirelessTechnology::Lte),
+        (
+            "GPU/WiFi",
+            DeviceProfile::jetson_tx2_gpu(),
+            WirelessTechnology::Wifi,
+        ),
+        (
+            "CPU/LTE",
+            DeviceProfile::jetson_tx2_cpu(),
+            WirelessTechnology::Lte,
+        ),
     ];
 
     let mut rows = Vec::new();
     let mut matches = 0;
     let mut cells = 0;
     for region in Region::opensignal_2020() {
-        let mut row = vec![region.name().to_string(), format!("{:.1}", region.uplink().get())];
+        let mut row = vec![
+            region.name().to_string(),
+            format!("{:.1}", region.uplink().get()),
+        ];
         for (label, profile, tech) in &scenarios {
             let perf = profile_network(&analysis, profile);
             let planner = DeploymentPlanner::new(WirelessLink::new(*tech, Mbps::new(3.0)));
-            let options = planner.enumerate(&analysis, &perf).expect("options enumerate");
+            let options = planner
+                .enumerate(&analysis, &perf)
+                .expect("options enumerate");
             for metric in [Metric::Latency, Metric::Energy] {
-                let (best, _) =
-                    DeploymentPlanner::best_at(&options, metric, region.uplink())
-                        .expect("non-empty options");
+                let (best, _) = DeploymentPlanner::best_at(&options, metric, region.uplink())
+                    .expect("non-empty options");
                 let ours = best.to_string();
                 let paper = paper_expectation(region.name(), label, metric);
                 cells += 1;
@@ -53,7 +65,7 @@ fn main() {
                 }
                 row.push(format!(
                     "{ours}{}",
-                    if ours == paper { "" } else { " (paper: ...)"}
+                    if ours == paper { "" } else { " (paper: ...)" }
                 ));
             }
         }

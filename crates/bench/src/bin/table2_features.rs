@@ -10,16 +10,72 @@ use lens_bench::{print_table, save_csv, ExpArgs};
 
 fn main() {
     let args = ExpArgs::parse();
-    let header = ["Supported feature", "LENS", "NS [3]", "SIEVE [1]", "RNN [2]", "implemented by"];
+    let header = [
+        "Supported feature",
+        "LENS",
+        "NS [3]",
+        "SIEVE [1]",
+        "RNN [2]",
+        "implemented by",
+    ];
     let rows: Vec<Vec<String>> = [
-        ("Design automation", "yes", "-", "yes", "-", "lens-core::search (Alg 2)"),
+        (
+            "Design automation",
+            "yes",
+            "-",
+            "yes",
+            "-",
+            "lens-core::search (Alg 2)",
+        ),
         ("NAS support", "yes", "-", "-", "-", "lens-gp + lens-space"),
-        ("Wireless expectancy at design time", "yes", "-", "-", "-", "lens-core::objectives (Alg 1) + lens-wireless"),
-        ("Multi-objective optimization", "yes", "-", "yes", "-", "lens-gp::mobo + lens-pareto"),
-        ("Runtime optimization", "yes", "yes", "yes", "yes", "lens-runtime (tracker + dominance map)"),
-        ("E-C layer-partitioning", "yes", "yes", "-", "-", "lens-runtime::options"),
-        ("Compression", "-", "-", "yes", "-", "not in LENS (SIEVE-specific)"),
-        ("Hardware optimization", "-", "-", "yes", "-", "not in LENS (SIEVE-specific)"),
+        (
+            "Wireless expectancy at design time",
+            "yes",
+            "-",
+            "-",
+            "-",
+            "lens-core::objectives (Alg 1) + lens-wireless",
+        ),
+        (
+            "Multi-objective optimization",
+            "yes",
+            "-",
+            "yes",
+            "-",
+            "lens-gp::mobo + lens-pareto",
+        ),
+        (
+            "Runtime optimization",
+            "yes",
+            "yes",
+            "yes",
+            "yes",
+            "lens-runtime (tracker + dominance map)",
+        ),
+        (
+            "E-C layer-partitioning",
+            "yes",
+            "yes",
+            "-",
+            "-",
+            "lens-runtime::options",
+        ),
+        (
+            "Compression",
+            "-",
+            "-",
+            "yes",
+            "-",
+            "not in LENS (SIEVE-specific)",
+        ),
+        (
+            "Hardware optimization",
+            "-",
+            "-",
+            "yes",
+            "-",
+            "not in LENS (SIEVE-specific)",
+        ),
     ]
     .iter()
     .map(|(f, a, b, c, d, m)| {

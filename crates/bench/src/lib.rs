@@ -64,9 +64,7 @@ impl ExpArgs {
                     out.out_dir = PathBuf::from(args.next().unwrap_or_else(|| usage("--out")))
                 }
                 "--help" | "-h" => {
-                    eprintln!(
-                        "flags: --seed N  --iters N  --init N  --quick  --truth  --out DIR"
-                    );
+                    eprintln!("flags: --seed N  --iters N  --init N  --quick  --truth  --out DIR");
                     std::process::exit(0);
                 }
                 other => usage(other),
@@ -111,7 +109,10 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     };
     let header_cells: Vec<String> = header.iter().map(|h| h.to_string()).collect();
     println!("{}", fmt_row(&header_cells));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }

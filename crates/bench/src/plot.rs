@@ -143,11 +143,7 @@ impl AsciiScatter {
             out.extend(row.iter());
             out.push('\n');
         }
-        out.push_str(&format!(
-            "{:>margin$} +{}\n",
-            "",
-            "-".repeat(self.width)
-        ));
+        out.push_str(&format!("{:>margin$} +{}\n", "", "-".repeat(self.width)));
         let x_lo_disp = if self.log_x { 10f64.powf(x_lo) } else { x_lo };
         let x_hi_disp = if self.log_x { 10f64.powf(x_hi) } else { x_hi };
         out.push_str(&format!(
@@ -223,8 +219,8 @@ mod tests {
     fn empty_plot_is_graceful() {
         let plot = AsciiScatter::new("empty", "x", "y");
         assert!(plot.render().contains("(no data)"));
-        let nan_only = AsciiScatter::new("n", "x", "y")
-            .series(Series::new("s", '*', vec![(f64::NAN, 1.0)]));
+        let nan_only =
+            AsciiScatter::new("n", "x", "y").series(Series::new("s", '*', vec![(f64::NAN, 1.0)]));
         assert!(nan_only.render().contains("(no data)"));
     }
 
@@ -233,7 +229,11 @@ mod tests {
         let plot = AsciiScatter::new("t", "x", "y")
             .size(40, 8)
             .log_x()
-            .series(Series::new("s", '*', vec![(1.0, 0.0), (10.0, 0.5), (100.0, 1.0)]));
+            .series(Series::new(
+                "s",
+                '*',
+                vec![(1.0, 0.0), (10.0, 0.5), (100.0, 1.0)],
+            ));
         let text = plot.render();
         assert!(text.contains("(log)"));
         // All three points render (middle point is mid-canvas on log scale).

@@ -385,7 +385,11 @@ impl LensBuilder {
             None => WirelessLink::new(self.technology, self.throughput),
         };
 
-        let perf = PerfEvaluator::new(link, Arc::clone(&model), PartitionPolicy::WithinOptimization);
+        let perf = PerfEvaluator::new(
+            link,
+            Arc::clone(&model),
+            PartitionPolicy::WithinOptimization,
+        );
         let perf_edge = PerfEvaluator::new(link, model, PartitionPolicy::EdgeOnly);
 
         let evaluator = LensEvaluator::new(

@@ -156,7 +156,9 @@ mod tests {
             let lens = evaluator(PartitionPolicy::WithinOptimization, tu)
                 .evaluate(&a)
                 .unwrap();
-            let edge = evaluator(PartitionPolicy::EdgeOnly, tu).evaluate(&a).unwrap();
+            let edge = evaluator(PartitionPolicy::EdgeOnly, tu)
+                .evaluate(&a)
+                .unwrap();
             assert!(lens.latency <= edge.latency, "tu={tu}");
             assert!(lens.energy <= edge.energy, "tu={tu}");
         }
@@ -165,7 +167,9 @@ mod tests {
     #[test]
     fn edge_only_reports_all_edge() {
         let a = zoo::alexnet().analyze().unwrap();
-        let edge = evaluator(PartitionPolicy::EdgeOnly, 3.0).evaluate(&a).unwrap();
+        let edge = evaluator(PartitionPolicy::EdgeOnly, 3.0)
+            .evaluate(&a)
+            .unwrap();
         assert_eq!(edge.best_latency_option, DeploymentKind::AllEdge);
         assert_eq!(edge.best_energy_option, DeploymentKind::AllEdge);
         assert_eq!(edge.options.len(), 1);

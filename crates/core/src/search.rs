@@ -109,10 +109,7 @@ impl SearchOutcome {
 
     /// How many explored candidates satisfy an arbitrary predicate.
     pub fn count_where<F: Fn(&Objectives) -> bool>(&self, pred: F) -> usize {
-        self.explored
-            .iter()
-            .filter(|c| pred(&c.objectives))
-            .count()
+        self.explored.iter().filter(|c| pred(&c.objectives)).count()
     }
 }
 
@@ -130,16 +127,13 @@ pub(crate) fn run_search(
     let mut front: ParetoFront<usize> = ParetoFront::new();
 
     let record = |enc: Encoding,
-                      evaluation: CandidateEvaluation,
-                      explored: &mut Vec<ExploredCandidate>,
-                      front: &mut ParetoFront<usize>,
-                      optimizer: &mut MultiObjectiveOptimizer|
+                  evaluation: CandidateEvaluation,
+                  explored: &mut Vec<ExploredCandidate>,
+                  front: &mut ParetoFront<usize>,
+                  optimizer: &mut MultiObjectiveOptimizer|
      -> Result<(), LensError> {
         let index = explored.len();
-        optimizer.tell(
-            space.to_unit_vec(&enc),
-            evaluation.objectives.to_vec(),
-        )?;
+        optimizer.tell(space.to_unit_vec(&enc), evaluation.objectives.to_vec())?;
         front.insert(index, evaluation.objectives.to_vec());
         explored.push(ExploredCandidate {
             index,
@@ -160,7 +154,8 @@ pub(crate) fn run_search(
 
     // Lines 7-14: the MOBO loop.
     for _ in 0..config.iterations {
-        let mut pool: Vec<Encoding> = Vec::with_capacity(config.pool_random + config.pool_mutations);
+        let mut pool: Vec<Encoding> =
+            Vec::with_capacity(config.pool_random + config.pool_mutations);
         let mut pool_seen: HashSet<Encoding> = HashSet::new();
         for _ in 0..config.pool_random {
             let enc = space.sample(&mut rng);

@@ -9,7 +9,7 @@
 //! deployment decisions.
 
 use crate::LayerPerformanceModel;
-use lens_nn::units::{Millis};
+use lens_nn::units::Millis;
 use lens_nn::NetworkAnalysis;
 use std::fmt;
 
@@ -114,10 +114,7 @@ impl fmt::Display for CloudProfile {
 /// Extension of [`LayerPerformanceModel`]-based profiling that also
 /// computes cloud-side suffix latencies — consumed by the cloud-cost
 /// ablation.
-pub fn cloud_suffix_latencies(
-    analysis: &NetworkAnalysis,
-    cloud: &CloudProfile,
-) -> Vec<Millis> {
+pub fn cloud_suffix_latencies(analysis: &NetworkAnalysis, cloud: &CloudProfile) -> Vec<Millis> {
     (0..=analysis.layers().len())
         .map(|i| cloud.suffix_latency(analysis, i))
         .collect()
@@ -133,9 +130,8 @@ impl LayerPerformanceModel for CloudProfile {
         }
         let compute = 2.0 * layer.macs as f64 / (self.conv_gflops * 1e6);
         let bytes = 4.0
-            * (layer.params
-                + layer.input_shape.num_elements()
-                + layer.output_shape.num_elements()) as f64;
+            * (layer.params + layer.input_shape.num_elements() + layer.output_shape.num_elements())
+                as f64;
         Millis::new(compute.max(bytes / (self.dense_gbps * 1e6)))
     }
 
@@ -173,7 +169,10 @@ mod tests {
         let suffixes = cloud_suffix_latencies(&analysis, &cloud);
         assert_eq!(suffixes.len(), analysis.layers().len() + 1);
         for w in suffixes.windows(2) {
-            assert!(w[0] >= w[1], "suffix latency must shrink as the split moves later");
+            assert!(
+                w[0] >= w[1],
+                "suffix latency must shrink as the split moves later"
+            );
         }
         assert_eq!(suffixes.last().copied(), Some(Millis::ZERO));
     }

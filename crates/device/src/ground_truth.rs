@@ -13,7 +13,7 @@
 use crate::features::LayerClass;
 use crate::profile::DeviceProfile;
 use crate::LayerPerformanceModel;
-use lens_nn::units::{Milliwatts, Millis};
+use lens_nn::units::{Millis, Milliwatts};
 use lens_nn::{LayerAnalysis, LayerKind};
 
 /// The analytic model, parameterized by a [`DeviceProfile`].
@@ -63,8 +63,7 @@ impl LayerPerformanceModel for GroundTruthModel {
             }
             LayerKind::MaxPool2d { .. } | LayerKind::AvgPool2d { .. } => {
                 let bytes = 4.0
-                    * (layer.input_shape.num_elements() + layer.output_shape.num_elements())
-                        as f64;
+                    * (layer.input_shape.num_elements() + layer.output_shape.num_elements()) as f64;
                 self.memory_ms(bytes, p.activation_gbps()) + p.layer_overhead_ms()
             }
             LayerKind::Dense { .. } => {
@@ -189,7 +188,11 @@ mod tests {
         let a = zoo::alexnet().analyze().unwrap();
         for l in a.layers() {
             if l.macs > 0 {
-                assert!(cpu.layer_latency(l) > gpu.layer_latency(l), "layer {}", l.name);
+                assert!(
+                    cpu.layer_latency(l) > gpu.layer_latency(l),
+                    "layer {}",
+                    l.name
+                );
             }
         }
     }

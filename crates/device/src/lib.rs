@@ -50,7 +50,7 @@ pub use measure::{Measurement, MeasurementCampaign};
 pub use predictor::{PerformancePredictor, PredictorReport};
 pub use profile::DeviceProfile;
 
-use lens_nn::units::{Millijoules, Milliwatts, Millis};
+use lens_nn::units::{Millijoules, Millis, Milliwatts};
 use lens_nn::{LayerAnalysis, NetworkAnalysis};
 use std::error::Error;
 use std::fmt;

@@ -11,7 +11,7 @@ use crate::features::{layer_features, LayerClass};
 use crate::measure::MeasurementCampaign;
 use crate::profile::DeviceProfile;
 use crate::{DeviceError, LayerPerformanceModel};
-use lens_nn::units::{Milliwatts, Millis};
+use lens_nn::units::{Millis, Milliwatts};
 use lens_nn::LayerAnalysis;
 use lens_num::ridge::RidgeRegression;
 use lens_num::stats;

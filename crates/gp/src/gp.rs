@@ -75,13 +75,12 @@ impl GpRegressor {
             )));
         }
 
-        let standardizer =
-            Standardizer::fit(&ys).map_err(GpError::from)?;
+        let standardizer = Standardizer::fit(&ys).map_err(GpError::from)?;
         let z: Vec<f64> = ys.iter().map(|&y| standardizer.transform(y)).collect();
 
         let n = xs.len();
-        let gram = Matrix::from_fn(n, n, |i, j| kernel.eval(&xs[i], &xs[j]))
-            .add_diagonal(noise + 1e-8);
+        let gram =
+            Matrix::from_fn(n, n, |i, j| kernel.eval(&xs[i], &xs[j])).add_diagonal(noise + 1e-8);
         let chol = gram.cholesky()?;
         let alpha = chol.solve(&z);
 
@@ -263,7 +262,12 @@ mod tests {
             Err(GpError::InvalidTrainingData(_))
         ));
         assert!(matches!(
-            GpRegressor::fit(vec![vec![1.0]], vec![1.0, 2.0], Matern52::new(1.0, 1.0), 1e-6),
+            GpRegressor::fit(
+                vec![vec![1.0]],
+                vec![1.0, 2.0],
+                Matern52::new(1.0, 1.0),
+                1e-6
+            ),
             Err(GpError::InvalidTrainingData(_))
         ));
         assert!(matches!(
@@ -276,7 +280,12 @@ mod tests {
             Err(GpError::InvalidTrainingData(_))
         ));
         assert!(matches!(
-            GpRegressor::fit(vec![vec![1.0]], vec![1.0], Matern52::new(1.0, 1.0), f64::NAN),
+            GpRegressor::fit(
+                vec![vec![1.0]],
+                vec![1.0],
+                Matern52::new(1.0, 1.0),
+                f64::NAN
+            ),
             Err(GpError::InvalidTrainingData(_))
         ));
     }

@@ -153,11 +153,7 @@ impl MultiObjectiveOptimizer {
     /// The Pareto front of the observations, as indices into the telling
     /// order plus their objective vectors.
     pub fn pareto_front(&self) -> ParetoFront<usize> {
-        self.ys
-            .iter()
-            .cloned()
-            .enumerate()
-            .collect()
+        self.ys.iter().cloned().enumerate().collect()
     }
 
     /// Fits the per-objective GPs (ML-II grid search when due, otherwise the
@@ -225,11 +221,7 @@ impl MultiObjectiveOptimizer {
 
         let mut combined = vec![0.0; candidates.len()];
         for (k, gp) in gps.iter().enumerate() {
-            let incumbent = self
-                .ys
-                .iter()
-                .map(|y| y[k])
-                .fold(f64::INFINITY, f64::min);
+            let incumbent = self.ys.iter().map(|y| y[k]).fold(f64::INFINITY, f64::min);
             let acq = Acquisition::new(gp, self.config.acquisition, self.config.beta, incumbent);
             let scores: Vec<f64> = candidates.iter().map(|c| acq.score(c, rng)).collect();
             let normalized = z_normalize(&scores);

@@ -61,7 +61,7 @@ pub mod prelude {
     pub use lens_device::{
         profile_network, DeviceProfile, LayerPerformanceModel, PerformancePredictor,
     };
-    pub use lens_nn::units::{Bytes, Mbps, Millijoules, Milliwatts, Millis};
+    pub use lens_nn::units::{Bytes, Mbps, Millijoules, Millis, Milliwatts};
     pub use lens_nn::{zoo, Network, NetworkBuilder, TensorShape};
     pub use lens_pareto::ParetoFront;
     pub use lens_runtime::{

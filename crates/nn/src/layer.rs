@@ -215,8 +215,7 @@ impl Layer {
                     )));
                 }
             }
-            LayerKind::MaxPool2d { kernel, stride }
-            | LayerKind::AvgPool2d { kernel, stride } => {
+            LayerKind::MaxPool2d { kernel, stride } | LayerKind::AvgPool2d { kernel, stride } => {
                 if *kernel == 0 {
                     return Err(invalid("zero kernel".into()));
                 }
@@ -276,8 +275,7 @@ impl Layer {
                     .ok_or_else(|| mismatch(format!("kernel {kernel} exceeds padded width")))?;
                 Ok(TensorShape::new(*out_channels, h, w))
             }
-            LayerKind::MaxPool2d { kernel, stride }
-            | LayerKind::AvgPool2d { kernel, stride } => {
+            LayerKind::MaxPool2d { kernel, stride } | LayerKind::AvgPool2d { kernel, stride } => {
                 let h = conv_out_dim(input.height(), *kernel, *stride, 0)
                     .ok_or_else(|| mismatch(format!("pool kernel {kernel} exceeds height")))?;
                 let w = conv_out_dim(input.width(), *kernel, *stride, 0)
@@ -303,9 +301,7 @@ impl Layer {
     /// captured by the performance models through data-movement features.
     pub fn macs(&self, input: &TensorShape) -> u64 {
         match &self.kind {
-            LayerKind::Conv2d {
-                kernel, groups, ..
-            } => {
+            LayerKind::Conv2d { kernel, groups, .. } => {
                 let out = match self.output_shape(input) {
                     Ok(s) => s,
                     Err(_) => return 0,
@@ -313,9 +309,7 @@ impl Layer {
                 let in_ch_per_group = (input.channels() / groups) as u64;
                 out.num_elements() * in_ch_per_group * (*kernel as u64) * (*kernel as u64)
             }
-            LayerKind::Dense { out_features, .. } => {
-                input.num_elements() * (*out_features as u64)
-            }
+            LayerKind::Dense { out_features, .. } => input.num_elements() * (*out_features as u64),
             LayerKind::MaxPool2d { .. }
             | LayerKind::AvgPool2d { .. }
             | LayerKind::Flatten
@@ -565,18 +559,33 @@ mod tests {
     fn avg_pool_shapes_and_costs() {
         let gap = Layer::global_avg_pool("gap", 6);
         let input = TensorShape::new(256, 6, 6);
-        assert_eq!(gap.output_shape(&input).unwrap(), TensorShape::new(256, 1, 1));
+        assert_eq!(
+            gap.output_shape(&input).unwrap(),
+            TensorShape::new(256, 1, 1)
+        );
         assert_eq!(gap.macs(&input), 0);
         assert_eq!(gap.params(&input), 0);
         assert!(format!("{gap}").contains("avgpool"));
-        let avg = Layer::new("a", LayerKind::AvgPool2d { kernel: 2, stride: 2 });
+        let avg = Layer::new(
+            "a",
+            LayerKind::AvgPool2d {
+                kernel: 2,
+                stride: 2,
+            },
+        );
         assert_eq!(
             avg.output_shape(&TensorShape::new(8, 8, 8)).unwrap(),
             TensorShape::new(8, 4, 4)
         );
-        assert!(Layer::new("bad", LayerKind::AvgPool2d { kernel: 0, stride: 1 })
-            .validate()
-            .is_err());
+        assert!(Layer::new(
+            "bad",
+            LayerKind::AvgPool2d {
+                kernel: 0,
+                stride: 1
+            }
+        )
+        .validate()
+        .is_err());
     }
 
     #[test]

@@ -80,7 +80,10 @@ impl fmt::Display for NnError {
                 layer,
                 input,
                 reason,
-            } => write!(f, "shape mismatch at layer `{layer}` (input {input}): {reason}"),
+            } => write!(
+                f,
+                "shape mismatch at layer `{layer}` (input {input}): {reason}"
+            ),
             NnError::InvalidLayer { layer, reason } => {
                 write!(f, "invalid layer `{layer}`: {reason}")
             }

@@ -125,7 +125,11 @@ impl Network {
 
 impl fmt::Display for Network {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{} (input {} {})", self.name, self.input, self.input_dtype)?;
+        writeln!(
+            f,
+            "{} (input {} {})",
+            self.name, self.input, self.input_dtype
+        )?;
         for layer in &self.layers {
             writeln!(f, "  {layer}")?;
         }
@@ -306,9 +310,18 @@ mod tests {
     #[test]
     fn shapes_propagate() {
         let a = tiny().analyze().unwrap();
-        assert_eq!(a.layer("conv1").unwrap().output_shape, TensorShape::new(16, 32, 32));
-        assert_eq!(a.layer("pool2").unwrap().output_shape, TensorShape::new(32, 8, 8));
-        assert_eq!(a.layer("flatten").unwrap().output_shape, TensorShape::flat(2048));
+        assert_eq!(
+            a.layer("conv1").unwrap().output_shape,
+            TensorShape::new(16, 32, 32)
+        );
+        assert_eq!(
+            a.layer("pool2").unwrap().output_shape,
+            TensorShape::new(32, 8, 8)
+        );
+        assert_eq!(
+            a.layer("flatten").unwrap().output_shape,
+            TensorShape::flat(2048)
+        );
         assert_eq!(a.output_shape(), TensorShape::flat(10));
     }
 

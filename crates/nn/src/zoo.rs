@@ -198,7 +198,10 @@ mod tests {
             .iter()
             .map(|n| a.layer(n).unwrap().params)
             .sum();
-        assert!(fc_params * 10 > a.total_params() * 9, "FCs hold >90% of params");
+        assert!(
+            fc_params * 10 > a.total_params() * 9,
+            "FCs hold >90% of params"
+        );
     }
 
     #[test]
@@ -264,7 +267,10 @@ mod tests {
     #[test]
     fn vgg16_shapes_and_params() {
         let a = vgg16().analyze().unwrap();
-        assert_eq!(a.layer("pool5").unwrap().output_shape, TensorShape::new(512, 7, 7));
+        assert_eq!(
+            a.layer("pool5").unwrap().output_shape,
+            TensorShape::new(512, 7, 7)
+        );
         assert_eq!(a.output_shape(), TensorShape::flat(1000));
         // Canonical VGG16: ~138.36M params.
         let params = a.total_params();

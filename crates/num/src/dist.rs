@@ -125,10 +125,15 @@ mod tests {
     #[test]
     fn log_normal_median_is_exp_log_mean() {
         let mut rng = StdRng::seed_from_u64(3);
-        let mut samples: Vec<f64> = (0..20_001).map(|_| log_normal(&mut rng, 2.0, 0.5)).collect();
+        let mut samples: Vec<f64> = (0..20_001)
+            .map(|_| log_normal(&mut rng, 2.0, 0.5))
+            .collect();
         samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = samples[samples.len() / 2];
-        assert!((median - 2f64.exp()).abs() / 2f64.exp() < 0.05, "median {median}");
+        assert!(
+            (median - 2f64.exp()).abs() / 2f64.exp() < 0.05,
+            "median {median}"
+        );
     }
 
     #[test]

@@ -170,9 +170,7 @@ impl Matrix {
                 rhs: (v.len(), 1),
             });
         }
-        Ok((0..self.rows)
-            .map(|i| dot(self.row(i), v))
-            .collect())
+        Ok((0..self.rows).map(|i| dot(self.row(i), v)).collect())
     }
 
     /// Adds `value` to every diagonal element (in place), returning `self`.
@@ -413,7 +411,10 @@ mod tests {
         let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
         let b = Matrix::from_rows(&[&[7.0, 8.0], &[9.0, 10.0], &[11.0, 12.0]]).unwrap();
         let c = a.matmul(&b).unwrap();
-        assert_eq!(c, Matrix::from_rows(&[&[58.0, 64.0], &[139.0, 154.0]]).unwrap());
+        assert_eq!(
+            c,
+            Matrix::from_rows(&[&[58.0, 64.0], &[139.0, 154.0]]).unwrap()
+        );
     }
 
     #[test]

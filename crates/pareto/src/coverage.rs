@@ -7,8 +7,8 @@
 //!   the merged frontier came from each: "a combined frontier ... would
 //!   constitute 76.47 % candidates from LENS's optimal set".
 
-use crate::front::ParetoFront;
 use crate::dominates;
+use crate::front::ParetoFront;
 
 /// Fraction of points in `b` that are dominated by at least one point of
 /// `a` (the C-metric `C(a, b)`). Returns 0 when `b` is empty.

@@ -32,10 +32,7 @@ pub fn hypervolume(points: &[&[f64]], reference: &[f64]) -> f64 {
     }
     match reference.len() {
         1 => {
-            let best = pts
-                .iter()
-                .map(|p| p[0])
-                .fold(f64::INFINITY, f64::min);
+            let best = pts.iter().map(|p| p[0]).fold(f64::INFINITY, f64::min);
             reference[0] - best
         }
         2 => hv2d(&pts, reference),

@@ -85,7 +85,11 @@ impl DominanceMap {
         let mut probes: Vec<(f64, f64, f64)> = Vec::new(); // (lo, hi, probe)
         let mut lo = 0.0;
         for &cut in &cuts {
-            let probe = if lo == 0.0 { cut / 2.0 } else { (lo + cut) / 2.0 };
+            let probe = if lo == 0.0 {
+                cut / 2.0
+            } else {
+                (lo + cut) / 2.0
+            };
             probes.push((lo, cut, probe));
             lo = cut;
         }
@@ -149,7 +153,11 @@ impl fmt::Display for DominanceMap {
         writeln!(f, "dominance map ({}):", self.metric)?;
         for s in &self.segments {
             if s.to_mbps.is_infinite() {
-                writeln!(f, "  t_u > {:.3} Mbps -> option {}", s.from_mbps, s.option_index)?;
+                writeln!(
+                    f,
+                    "  t_u > {:.3} Mbps -> option {}",
+                    s.from_mbps, s.option_index
+                )?;
             } else {
                 writeln!(
                     f,

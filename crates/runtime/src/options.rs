@@ -5,9 +5,9 @@
 //! costs, add communication) and the runtime analysis of §IV.E.
 
 use crate::RuntimeError;
+use lens_device::NetworkPerformance;
 use lens_nn::units::{Mbps, Millijoules, Millis};
 use lens_nn::NetworkAnalysis;
-use lens_device::NetworkPerformance;
 use lens_wireless::WirelessLink;
 use std::fmt;
 
@@ -354,8 +354,8 @@ mod tests {
         let tu = Mbps::new(7.5);
         let idx = a.layer("pool5").unwrap().index;
         let link = WirelessLink::new(WirelessTechnology::Wifi, tu);
-        let expected = perf.latency_through(idx)
-            + link.comm_latency(a.layer("pool5").unwrap().output_bytes);
+        let expected =
+            perf.latency_through(idx) + link.comm_latency(a.layer("pool5").unwrap().output_bytes);
         assert!((pool5.latency_at(tu).get() - expected.get()).abs() < 1e-9);
     }
 
@@ -381,8 +381,7 @@ mod tests {
         let options = alexnet_options(WirelessTechnology::Lte);
         for tu in [0.5, 3.0, 7.5, 16.1, 30.0] {
             let tu = Mbps::new(tu);
-            let (_, best) =
-                DeploymentPlanner::best_at(&options, Metric::Energy, tu).unwrap();
+            let (_, best) = DeploymentPlanner::best_at(&options, Metric::Energy, tu).unwrap();
             for o in &options {
                 assert!(best <= o.cost(Metric::Energy).at(tu) + 1e-12);
             }
@@ -403,9 +402,10 @@ mod tests {
         let perf = profile_network(&a, &DeviceProfile::jetson_tx2_gpu());
         let link = WirelessLink::new(WirelessTechnology::Wifi, Mbps::new(3.0));
         let ideal = DeploymentPlanner::new(link).enumerate(&a, &perf).unwrap();
-        let finite = DeploymentPlanner::with_cloud(link, lens_device::CloudProfile::datacenter_gpu())
-            .enumerate(&a, &perf)
-            .unwrap();
+        let finite =
+            DeploymentPlanner::with_cloud(link, lens_device::CloudProfile::datacenter_gpu())
+                .enumerate(&a, &perf)
+                .unwrap();
         let tu = Mbps::new(7.5);
         for (i_opt, f_opt) in ideal.iter().zip(&finite) {
             assert_eq!(i_opt.kind(), f_opt.kind());

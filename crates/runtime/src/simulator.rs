@@ -250,7 +250,11 @@ mod tests {
         let report = sim
             .run(&trace, Metric::Energy, ThroughputTracker::last_sample())
             .unwrap();
-        for series in report.fixed().iter().chain(std::iter::once(report.dynamic())) {
+        for series in report
+            .fixed()
+            .iter()
+            .chain(std::iter::once(report.dynamic()))
+        {
             for w in series.cumulative.windows(2) {
                 assert!(w[1] >= w[0], "series {} not monotone", series.label);
             }

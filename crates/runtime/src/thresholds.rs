@@ -171,9 +171,12 @@ mod tests {
         for metric in [Metric::Latency, Metric::Energy] {
             let map = DominanceMap::build(&options, metric).unwrap();
             for segment in map.segments() {
-                let range = dominant_range(&options, metric, segment.option_index)
-                    .unwrap_or_else(|| {
-                        panic!("option {} has an envelope segment but no range", segment.option_index)
+                let range =
+                    dominant_range(&options, metric, segment.option_index).unwrap_or_else(|| {
+                        panic!(
+                            "option {} has an envelope segment but no range",
+                            segment.option_index
+                        )
                     });
                 // The envelope segment must sit inside the pairwise range.
                 assert!(range.0 <= segment.from_mbps + 1e-9);
@@ -194,8 +197,8 @@ mod tests {
                             (lo + hi) / 2.0
                         });
                         let winner = &options[map.best_at(probe)];
-                        let diff = options[i].cost(metric).at(probe)
-                            - winner.cost(metric).at(probe);
+                        let diff =
+                            options[i].cost(metric).at(probe) - winner.cost(metric).at(probe);
                         assert!(
                             diff.abs() < 1e-9,
                             "option {i} claims {lo}..{hi} but differs from the envelope winner by {diff}"

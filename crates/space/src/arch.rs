@@ -176,13 +176,41 @@ mod tests {
     fn sample_arch() -> Architecture {
         Architecture::new(
             vec![
-                BlockChoice { num_layers: 2, kernel: 3, filters: 64, pool: true },
-                BlockChoice { num_layers: 1, kernel: 5, filters: 96, pool: true },
-                BlockChoice { num_layers: 3, kernel: 3, filters: 128, pool: true },
-                BlockChoice { num_layers: 1, kernel: 3, filters: 128, pool: false },
-                BlockChoice { num_layers: 2, kernel: 3, filters: 256, pool: true },
+                BlockChoice {
+                    num_layers: 2,
+                    kernel: 3,
+                    filters: 64,
+                    pool: true,
+                },
+                BlockChoice {
+                    num_layers: 1,
+                    kernel: 5,
+                    filters: 96,
+                    pool: true,
+                },
+                BlockChoice {
+                    num_layers: 3,
+                    kernel: 3,
+                    filters: 128,
+                    pool: true,
+                },
+                BlockChoice {
+                    num_layers: 1,
+                    kernel: 3,
+                    filters: 128,
+                    pool: false,
+                },
+                BlockChoice {
+                    num_layers: 2,
+                    kernel: 3,
+                    filters: 256,
+                    pool: true,
+                },
             ],
-            FcStack::Two { first: 1024, second: 512 },
+            FcStack::Two {
+                first: 1024,
+                second: 512,
+            },
         )
     }
 

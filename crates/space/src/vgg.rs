@@ -171,10 +171,7 @@ impl VggSpace {
     fn repair_pools(&self, encoding: &mut Encoding, rng: &mut dyn RngCore) {
         let positions = Self::pool_gene_positions();
         loop {
-            let on = positions
-                .iter()
-                .filter(|&&p| encoding[p] == 1)
-                .count();
+            let on = positions.iter().filter(|&&p| encoding[p] == 1).count();
             if on >= MIN_POOLS {
                 return;
             }

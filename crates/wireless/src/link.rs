@@ -1,7 +1,7 @@
 //! A configured edge→cloud wireless link and the Eq. 3–6 cost computations.
 
 use crate::technology::{UplinkPowerModel, WirelessTechnology};
-use lens_nn::units::{Bytes, Mbps, Millijoules, Milliwatts, Millis};
+use lens_nn::units::{Bytes, Mbps, Millijoules, Millis, Milliwatts};
 use std::fmt;
 
 /// An uplink from the edge device to the cloud: technology, expected

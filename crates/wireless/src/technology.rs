@@ -5,7 +5,7 @@
 //! an affine function of uplink throughput: `P_Tx(t_u) = α_u · t_u + β`.
 //! The α/β values below are the published fits (Table 4 of that paper).
 
-use lens_nn::units::{Mbps, Milliwatts, Millis};
+use lens_nn::units::{Mbps, Millis, Milliwatts};
 use std::fmt;
 
 /// The affine uplink power model `P_Tx = α_u · t_u + β`.

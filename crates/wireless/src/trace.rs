@@ -257,8 +257,12 @@ mod tests {
 
     #[test]
     fn median_roughly_controls_level() {
-        let slow = TraceGenerator::lte_like(Mbps::new(2.0)).with_samples(400).generate(9);
-        let fast = TraceGenerator::lte_like(Mbps::new(20.0)).with_samples(400).generate(9);
+        let slow = TraceGenerator::lte_like(Mbps::new(2.0))
+            .with_samples(400)
+            .generate(9);
+        let fast = TraceGenerator::lte_like(Mbps::new(20.0))
+            .with_samples(400)
+            .generate(9);
         assert!(fast.mean() > slow.mean());
     }
 
@@ -287,7 +291,12 @@ mod tests {
     #[test]
     fn fraction_above_is_consistent() {
         let t = ThroughputTrace::new(
-            vec![Mbps::new(1.0), Mbps::new(5.0), Mbps::new(10.0), Mbps::new(20.0)],
+            vec![
+                Mbps::new(1.0),
+                Mbps::new(5.0),
+                Mbps::new(10.0),
+                Mbps::new(20.0),
+            ],
             Millis::new(1000.0),
         )
         .unwrap();

@@ -104,9 +104,8 @@ fn main() -> Result<(), LensError> {
 
     // Real training: every candidate CNN is trained for 3 epochs on a
     // procedurally generated image dataset (see lens_accuracy::cnn docs).
-    let estimator = Arc::new(
-        lens::accuracy::CnnTrainedAccuracy::new(1234, 1).with_dataset_size(6, 4),
-    );
+    let estimator =
+        Arc::new(lens::accuracy::CnnTrainedAccuracy::new(1234, 1).with_dataset_size(6, 4));
 
     let lens = Lens::builder()
         .spaces(deploy, train)

@@ -14,8 +14,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("AlexNet deployment planning per region (Opensignal 2020 uplinks)\n");
     for (label, profile, tech) in [
-        ("GPU + WiFi", DeviceProfile::jetson_tx2_gpu(), WirelessTechnology::Wifi),
-        ("CPU + LTE", DeviceProfile::jetson_tx2_cpu(), WirelessTechnology::Lte),
+        (
+            "GPU + WiFi",
+            DeviceProfile::jetson_tx2_gpu(),
+            WirelessTechnology::Wifi,
+        ),
+        (
+            "CPU + LTE",
+            DeviceProfile::jetson_tx2_cpu(),
+            WirelessTechnology::Lte,
+        ),
     ] {
         println!("--- {label} ---");
         let perf = profile_network(&analysis, &profile);
@@ -45,7 +53,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .iter()
                 .map(|t| format!("{:.2}", t.get()))
                 .collect();
-            println!("{metric} switching thresholds (Mbps): [{}]", thresholds.join(", "));
+            println!(
+                "{metric} switching thresholds (Mbps): [{}]",
+                thresholds.join(", ")
+            );
         }
         println!();
     }

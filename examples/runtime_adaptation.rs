@@ -13,10 +13,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // with the richest switching structure in Table I).
     let analysis = zoo::alexnet().analyze()?;
     let perf = profile_network(&analysis, &DeviceProfile::jetson_tx2_cpu());
-    let planner = DeploymentPlanner::new(WirelessLink::new(
-        WirelessTechnology::Lte,
-        Mbps::new(8.0),
-    ));
+    let planner =
+        DeploymentPlanner::new(WirelessLink::new(WirelessTechnology::Lte, Mbps::new(8.0)));
     let options = planner.enumerate(&analysis, &perf)?;
 
     // Design-time analysis: the t_u intervals where each option dominates.

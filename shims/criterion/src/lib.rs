@@ -1,0 +1,247 @@
+//! Offline, API-compatible subset of the `criterion` benchmark harness.
+//!
+//! The build environment has no crates.io access, so the four workspace
+//! benches (`alg1_eval`, `gp_fit`, `pareto_update`, `runtime_switch`) link
+//! against this shim instead. It implements the slice of criterion's API the
+//! benches use — `Criterion`, `benchmark_group`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros — with a simple
+//! warmup-then-measure loop that reports min/mean per iteration.
+//!
+//! It is intentionally *much* lighter than real criterion (no statistics,
+//! no HTML reports, no comparison to saved baselines), but the numbers it
+//! prints are honest wall-clock mean/min per iteration — good enough to
+//! rank hot-path optimizations in later PRs.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Target measurement time per benchmark. Overridable via
+/// `LENS_BENCH_MEASURE_MS` so CI smoke runs stay fast.
+fn measurement_budget() -> Duration {
+    let ms = std::env::var("LENS_BENCH_MEASURE_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(300);
+    Duration::from_millis(ms)
+}
+
+/// Entry point object handed to each benchmark function.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one("", &id.into_benchmark_id(), &mut f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes runs by wall-clock
+    /// budget instead of sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&self.name, &id.into_benchmark_id(), &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(
+            &self.name,
+            &id.into_benchmark_id(),
+            &mut |b: &mut Bencher| f(b, input),
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one(group: &str, id: &BenchmarkId, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        total: Duration::ZERO,
+        iters: 0,
+        min: Duration::MAX,
+    };
+    f(&mut bencher);
+    let label = if group.is_empty() {
+        id.label()
+    } else {
+        format!("{group}/{}", id.label())
+    };
+    if bencher.iters == 0 {
+        println!("bench {label:<48} (no iterations recorded)");
+        return;
+    }
+    let mean = bencher.total / bencher.iters as u32;
+    println!(
+        "bench {label:<48} mean {:>12?}  min {:>12?}  ({} iters)",
+        mean, bencher.min, bencher.iters
+    );
+}
+
+/// Identifier for one benchmark, optionally parameterized.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn label(&self) -> String {
+        match &self.parameter {
+            Some(p) if self.function.is_empty() => p.clone(),
+            Some(p) => format!("{}/{p}", self.function),
+            None => self.function.clone(),
+        }
+    }
+}
+
+/// Conversion accepted by `bench_function` — plain strings or full ids.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            function: self.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            function: self,
+            parameter: None,
+        }
+    }
+}
+
+/// Timing loop handle passed to the closure given to `bench_function`.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+    min: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warmup: a few untimed calls so lazy init / caches settle.
+        for _ in 0..3 {
+            std::hint::black_box(routine());
+        }
+        let budget = measurement_budget();
+        let started = Instant::now();
+        while started.elapsed() < budget {
+            let t0 = Instant::now();
+            std::hint::black_box(routine());
+            let dt = t0.elapsed();
+            self.total += dt;
+            self.iters += 1;
+            self.min = self.min.min(dt);
+            if self.iters >= 1_000_000 {
+                break;
+            }
+        }
+    }
+}
+
+/// Re-export so `criterion::black_box` callers keep working.
+pub use std::hint::black_box;
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        std::env::set_var("LENS_BENCH_MEASURE_MS", "5");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        let mut calls = 0u64;
+        group.bench_function("count", |b| b.iter(|| calls += 1));
+        group.bench_with_input(BenchmarkId::new("param", 7), &7, |b, x| b.iter(|| *x * 2));
+        group.finish();
+        assert!(calls > 0);
+    }
+}

@@ -1,0 +1,290 @@
+//! Offline, API-compatible subset of the `proptest` property-testing crate.
+//!
+//! The build environment has no crates.io access, so the property tests in
+//! `lens-num` and `tests/cross_crate_props.rs` link against this shim. It
+//! supports the used surface: the `proptest!` macro (with an optional
+//! `#![proptest_config(..)]` header), range strategies over numeric types,
+//! tuple strategies, `proptest::collection::vec`, and `prop_assert!` /
+//! `prop_assert_eq!`.
+//!
+//! Compared to the real crate there is no shrinking and no persisted failure
+//! database: each generated test runs `cases` deterministic random inputs
+//! (seeded per test so runs are reproducible) and fails on the first
+//! violated assertion, printing the offending case index.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Configuration for a `proptest!` block.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of random values of an associated type.
+pub trait Strategy {
+    type Value;
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// A fixed value is a strategy producing itself — lets plain constants
+/// appear where a strategy is expected (mirrors proptest's `Just` via
+/// `IntoStrategy`-style ergonomics for the cases this workspace uses).
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!((A, B), (A, B, C), (A, B, C, D));
+
+pub mod collection {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Size specification for [`vec`]: a count, `lo..hi`, or `lo..=hi`.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values from an element strategy.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let len = rng.gen_range(self.size.lo..=self.size.hi_inclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+#[doc(hidden)]
+pub mod __rt {
+    pub use rand::rngs::StdRng;
+    pub use rand::SeedableRng;
+}
+
+/// Deterministic per-test seed: FNV-1a over the test's full module path, so
+/// every property sees a stable but distinct input stream across runs.
+pub fn seed_for(test_path: &str) -> u64 {
+    let mut hash: u64 = 0xcbf29ce484222325;
+    for byte in test_path.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{Just, ProptestConfig, Strategy};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_eq!($left, $right, $($fmt)+);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_ne!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_ne!($left, $right, $($fmt)+);
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($pat:pat in $strategy:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $config;
+            let mut __rng = <$crate::__rt::StdRng as $crate::__rt::SeedableRng>::seed_from_u64(
+                $crate::seed_for(concat!(module_path!(), "::", stringify!($name))),
+            );
+            for __case in 0..__config.cases {
+                let __run = || -> () {
+                    $(let $pat = $crate::Strategy::generate(&($strategy), &mut __rng);)+
+                    $body
+                };
+                if let Err(panic) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(__run)) {
+                    eprintln!(
+                        "proptest case {}/{} failed in {}",
+                        __case + 1,
+                        __config.cases,
+                        stringify!($name),
+                    );
+                    std::panic::resume_unwind(panic);
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in -5.0f64..5.0, n in 1usize..10) {
+            prop_assert!((-5.0..5.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+        }
+
+        #[test]
+        fn vec_sizes_respected(xs in collection::vec(0u32..100, 2..6)) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 6);
+            for x in xs {
+                prop_assert!(x < 100);
+            }
+        }
+
+        #[test]
+        fn nested_vec_and_tuples(
+            rows in collection::vec(collection::vec(-1.0f64..1.0, 3), 2..=4),
+            pair in (0u64..10, 0.0f64..1.0),
+        ) {
+            prop_assert!(rows.len() >= 2 && rows.len() <= 4);
+            prop_assert!(rows.iter().all(|r| r.len() == 3));
+            prop_assert!(pair.0 < 10 && pair.1 < 1.0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+        #[test]
+        fn config_header_accepted(x in 0u32..3) {
+            prop_assert!(x < 3);
+        }
+    }
+
+    #[test]
+    fn seeds_differ_by_path() {
+        assert_ne!(crate::seed_for("a::b"), crate::seed_for("a::c"));
+    }
+}

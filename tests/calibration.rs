@@ -10,11 +10,16 @@
 use lens::prelude::*;
 
 /// Enumerate AlexNet's deployment options on a device/technology pair.
-fn alexnet_options(profile: &DeviceProfile, tech: WirelessTechnology) -> Vec<lens::runtime::DeploymentOption> {
+fn alexnet_options(
+    profile: &DeviceProfile,
+    tech: WirelessTechnology,
+) -> Vec<lens::runtime::DeploymentOption> {
     let analysis = zoo::alexnet().analyze().expect("alexnet analyzes");
     let perf = profile_network(&analysis, profile);
     let planner = DeploymentPlanner::new(WirelessLink::new(tech, Mbps::new(3.0)));
-    planner.enumerate(&analysis, &perf).expect("options enumerate")
+    planner
+        .enumerate(&analysis, &perf)
+        .expect("options enumerate")
 }
 
 /// The label of the best option for a metric at a throughput.
@@ -106,11 +111,18 @@ fn fig1_alexnet_structure() {
     assert!((3.5..4.5).contains(&ratio), "pool5 shrink ratio {ratio}");
 
     let viable = analysis.viable_partition_indices();
-    assert_eq!(viable.first(), Some(&pool5.index), "pool5 is the first viable split");
+    assert_eq!(
+        viable.first(),
+        Some(&pool5.index),
+        "pool5 is the first viable split"
+    );
 
     let perf = profile_network(&analysis, &DeviceProfile::jetson_tx2_gpu());
     let fc_share = perf.latency_share(|n| n.starts_with("fc"));
-    assert!((0.40..0.60).contains(&fc_share), "FC latency share {fc_share}");
+    assert!(
+        (0.40..0.60).contains(&fc_share),
+        "FC latency share {fc_share}"
+    );
 }
 
 /// The dominance-map thresholds are consistent with the per-point bests:
@@ -124,8 +136,7 @@ fn dominance_map_consistent_with_pointwise_best() {
         let map = DominanceMap::build(&options, metric).unwrap();
         for tu in [0.7, 3.0, 7.5, 16.1, 22.8, 30.0] {
             let by_map = &options[map.best_at(Mbps::new(tu))];
-            let (by_scan, _) =
-                DeploymentPlanner::best_at(&options, metric, Mbps::new(tu)).unwrap();
+            let (by_scan, _) = DeploymentPlanner::best_at(&options, metric, Mbps::new(tu)).unwrap();
             assert_eq!(by_map.to_string(), by_scan.to_string(), "{metric} at {tu}");
         }
     }
@@ -138,16 +149,44 @@ fn dominance_map_consistent_with_pointwise_best() {
 fn table1_survives_the_performance_predictors() {
     let analysis = zoo::alexnet().analyze().unwrap();
     for (profile, tech, metric, tu, expected) in [
-        (DeviceProfile::jetson_tx2_gpu(), WirelessTechnology::Wifi, Metric::Energy, 7.5, "Split@pool5"),
-        (DeviceProfile::jetson_tx2_gpu(), WirelessTechnology::Wifi, Metric::Latency, 7.5, "All-Edge"),
-        (DeviceProfile::jetson_tx2_cpu(), WirelessTechnology::Lte, Metric::Energy, 16.1, "All-Cloud"),
-        (DeviceProfile::jetson_tx2_cpu(), WirelessTechnology::Lte, Metric::Latency, 0.7, "All-Edge"),
+        (
+            DeviceProfile::jetson_tx2_gpu(),
+            WirelessTechnology::Wifi,
+            Metric::Energy,
+            7.5,
+            "Split@pool5",
+        ),
+        (
+            DeviceProfile::jetson_tx2_gpu(),
+            WirelessTechnology::Wifi,
+            Metric::Latency,
+            7.5,
+            "All-Edge",
+        ),
+        (
+            DeviceProfile::jetson_tx2_cpu(),
+            WirelessTechnology::Lte,
+            Metric::Energy,
+            16.1,
+            "All-Cloud",
+        ),
+        (
+            DeviceProfile::jetson_tx2_cpu(),
+            WirelessTechnology::Lte,
+            Metric::Latency,
+            0.7,
+            "All-Edge",
+        ),
     ] {
         let predictor = PerformancePredictor::train(&profile, 0.05, 7).unwrap();
         let perf = profile_network(&analysis, &predictor);
         let planner = DeploymentPlanner::new(WirelessLink::new(tech, Mbps::new(3.0)));
         let options = planner.enumerate(&analysis, &perf).unwrap();
         let (opt, _) = DeploymentPlanner::best_at(&options, metric, Mbps::new(tu)).unwrap();
-        assert_eq!(opt.to_string(), expected, "{tech} {metric} at {tu} (predicted)");
+        assert_eq!(
+            opt.to_string(),
+            expected,
+            "{tech} {metric} at {tu} (predicted)"
+        );
     }
 }

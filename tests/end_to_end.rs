@@ -23,8 +23,7 @@ fn full_pipeline_reproducible_end_to_end() {
         let lens = build(42, 8, 8);
         let outcome = lens.search().expect("search runs");
         let front = outcome.pareto_front();
-        let objectives: Vec<Vec<f64>> =
-            front.objectives().iter().map(|o| o.to_vec()).collect();
+        let objectives: Vec<Vec<f64>> = front.objectives().iter().map(|o| o.to_vec()).collect();
         objectives
     };
     assert_eq!(run(), run());

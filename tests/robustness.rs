@@ -88,11 +88,12 @@ fn nin_partition_analysis_end_to_end() {
     let eval = evaluator.evaluate(&analysis).expect("evaluates");
     // The GAP output (≈3.9 kB) must be among the candidate split points.
     assert!(
+        eval.options.iter().any(|o| o.to_string() == "Split@gap"),
+        "options: {:?}",
         eval.options
             .iter()
-            .any(|o| o.to_string() == "Split@gap"),
-        "options: {:?}",
-        eval.options.iter().map(|o| o.to_string()).collect::<Vec<_>>()
+            .map(|o| o.to_string())
+            .collect::<Vec<_>>()
     );
     // And the best options never pick an early, bigger-than-input layer.
     for kind in [&eval.best_latency_option, &eval.best_energy_option] {
@@ -168,7 +169,11 @@ fn all_three_estimator_backends_agree_on_contract() {
     let backends: Vec<Box<dyn AccuracyEstimator>> = vec![
         Box::new(SurrogateAccuracy::cifar10()),
         Box::new(TrainedAccuracy::new(3, 2)),
-        Box::new(CnnTrainedAccuracy::new(3, 1).with_channel_cap(3).with_dataset_size(2, 2)),
+        Box::new(
+            CnnTrainedAccuracy::new(3, 1)
+                .with_channel_cap(3)
+                .with_dataset_size(2, 2),
+        ),
     ];
     for (i, backend) in backends.iter().enumerate() {
         let a = backend.test_error(&net).expect("estimates");

@@ -1,0 +1,166 @@
+//! Guards the build system itself: every crate under `crates/` must be a
+//! workspace member, every repo-level test/example must be registered on the
+//! facade, and the four criterion benches must be wired with
+//! `harness = false`. A new crate or test file that is silently left out of
+//! the workspace would otherwise never be compiled by CI.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    // This test is registered on the `lens` facade at crates/lens, so the
+    // workspace root is two levels up from its manifest dir.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lens has a grandparent")
+        .to_path_buf()
+}
+
+fn list_dir(dir: &Path) -> Vec<PathBuf> {
+    fs::read_dir(dir)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", dir.display()))
+        .map(|entry| entry.expect("dir entry").path())
+        .collect()
+}
+
+#[test]
+fn every_crate_dir_is_a_workspace_member() {
+    let root = repo_root();
+    let root_manifest =
+        fs::read_to_string(root.join("Cargo.toml")).expect("root Cargo.toml exists");
+    assert!(
+        root_manifest.contains("\"crates/*\""),
+        "root manifest must glob crates/* as workspace members"
+    );
+    assert!(
+        root_manifest.contains("\"shims/*\""),
+        "root manifest must glob shims/* (offline dependency shims)"
+    );
+
+    // The glob only picks up directories that contain a manifest; make sure
+    // no crate directory is silently skipped for lacking one.
+    for crate_dir in list_dir(&root.join("crates")) {
+        if !crate_dir.is_dir() {
+            continue;
+        }
+        let manifest = crate_dir.join("Cargo.toml");
+        assert!(
+            manifest.is_file(),
+            "{} has no Cargo.toml — it would be silently excluded from the workspace",
+            crate_dir.display()
+        );
+        let body = fs::read_to_string(&manifest).expect("crate manifest readable");
+        let dir_name = crate_dir.file_name().unwrap().to_string_lossy().to_string();
+        let expected = if dir_name == "lens" {
+            "name = \"lens\"".to_string()
+        } else {
+            format!("name = \"lens-{dir_name}\"")
+        };
+        assert!(
+            body.contains(&expected),
+            "{} should declare package {expected}",
+            manifest.display()
+        );
+    }
+}
+
+#[test]
+fn workspace_dependency_table_covers_all_crates() {
+    let root = repo_root();
+    let root_manifest =
+        fs::read_to_string(root.join("Cargo.toml")).expect("root Cargo.toml exists");
+    for crate_dir in list_dir(&root.join("crates")) {
+        if !crate_dir.is_dir() {
+            continue;
+        }
+        let dir_name = crate_dir.file_name().unwrap().to_string_lossy().to_string();
+        let pkg = if dir_name == "lens" {
+            "lens".to_string()
+        } else {
+            format!("lens-{dir_name}")
+        };
+        if pkg == "lens-bench" {
+            // Leaf crate: nothing depends on it, so no workspace.dependencies
+            // entry is required.
+            continue;
+        }
+        assert!(
+            root_manifest.contains(&format!("{pkg} = {{ path = \"crates/{dir_name}\"")),
+            "[workspace.dependencies] is missing {pkg}"
+        );
+    }
+}
+
+#[test]
+fn repo_level_tests_and_examples_are_registered() {
+    let root = repo_root();
+    let facade_manifest =
+        fs::read_to_string(root.join("crates/lens/Cargo.toml")).expect("facade manifest");
+
+    let stems = |dir: &str| -> BTreeSet<String> {
+        list_dir(&root.join(dir))
+            .into_iter()
+            .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+            .map(|p| p.file_stem().unwrap().to_string_lossy().to_string())
+            .collect()
+    };
+
+    // Match on the registered path, not the target name: a [[test]] and a
+    // [[example]] sharing a stem must not mask each other.
+    for test in stems("tests") {
+        assert!(
+            facade_manifest.contains(&format!("path = \"../../tests/{test}.rs\"")),
+            "tests/{test}.rs is not registered as a [[test]] on the lens facade"
+        );
+    }
+    for example in stems("examples") {
+        assert!(
+            facade_manifest.contains(&format!("path = \"../../examples/{example}.rs\"")),
+            "examples/{example}.rs is not registered as a [[example]] on the lens facade"
+        );
+    }
+}
+
+#[test]
+fn criterion_benches_are_registered_without_default_harness() {
+    let root = repo_root();
+    let bench_manifest =
+        fs::read_to_string(root.join("crates/bench/Cargo.toml")).expect("bench manifest");
+    for bench in list_dir(&root.join("crates/bench/benches")) {
+        if bench.extension().is_none_or(|e| e != "rs") {
+            continue;
+        }
+        let stem = bench.file_stem().unwrap().to_string_lossy().to_string();
+        let needle = format!("name = \"{stem}\"");
+        let idx = bench_manifest
+            .find(&needle)
+            .unwrap_or_else(|| panic!("bench {stem} missing from [[bench]] entries"));
+        let after = &bench_manifest[idx..];
+        let entry_end = after[1..].find("[[").map(|i| i + 1).unwrap_or(after.len());
+        assert!(
+            after[..entry_end].contains("harness = false"),
+            "bench {stem} must set harness = false for criterion"
+        );
+    }
+}
+
+#[test]
+fn release_profile_is_tuned_for_benchmarking() {
+    let root = repo_root();
+    let root_manifest =
+        fs::read_to_string(root.join("Cargo.toml")).expect("root Cargo.toml exists");
+    assert!(
+        root_manifest.contains("[profile.release]"),
+        "release profile tuning missing"
+    );
+    assert!(
+        root_manifest.contains("codegen-units = 1"),
+        "release profile should pin codegen-units = 1"
+    );
+    assert!(
+        root_manifest.contains("lto"),
+        "release profile should enable LTO"
+    );
+}
