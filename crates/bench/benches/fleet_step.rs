@@ -1,0 +1,43 @@
+//! Criterion bench: the fleet simulator's hot paths.
+//!
+//! Measures (a) a full small-fleet run — the number that bounds how many
+//! scenario sweeps fit in a workflow — and (b) the per-event cost implied
+//! by a larger run, plus the design-time engine construction (trace
+//! synthesis dominates it).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lens::prelude::*;
+use std::hint::black_box;
+
+fn scenario(population: usize, shards: usize) -> FleetScenario {
+    FleetScenario::builder()
+        .population(population)
+        .horizon(Millis::new(600_000.0)) // 10 minutes, 60 s epochs
+        .cloud(CloudCapacity::new(16, 10.0))
+        .policy(FleetPolicy::Dynamic)
+        .metric(Metric::Energy)
+        .seed(11)
+        .shards(shards)
+        .build()
+        .expect("valid scenario")
+}
+
+fn bench_fleet(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet");
+
+    for population in [1_000usize, 10_000] {
+        let engine = FleetEngine::new(scenario(population, 1)).expect("engine builds");
+        group.bench_with_input(BenchmarkId::new("run", population), &engine, |b, engine| {
+            b.iter(|| black_box(engine.run().expect("run").inferences()))
+        });
+    }
+
+    group.bench_function("engine_build_10k", |b| {
+        b.iter(|| FleetEngine::new(black_box(scenario(10_000, 1))).expect("engine builds"))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fleet);
+criterion_main!(benches);

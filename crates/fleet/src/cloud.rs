@@ -1,0 +1,229 @@
+//! The shared cloud tier: finite concurrent-inference capacity per region.
+//!
+//! The paper idealizes the cloud as infinitely fast (`L_cloud = 0`); at
+//! fleet scale that assumption breaks first. Each region gets a
+//! [`CloudRegionQueue`]: `capacity` concurrent inference slots, each taking
+//! `service_ms` per offloaded inference, behind a FIFO or two-class
+//! priority discipline. The queue is advanced deterministically at epoch
+//! barriers in fluid form — arrivals are admitted as job counts, slots
+//! drain `capacity / service_ms` jobs per millisecond, and the published
+//! wait is the time the current backlog needs to drain ahead of a new
+//! arrival. Shards read that wait for a whole epoch (one-epoch lag), which
+//! is what keeps epochs embarrassingly parallel.
+
+use std::fmt;
+
+/// Queueing discipline for a region's cloud slots.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QueueDiscipline {
+    /// Single class: every offloaded inference waits behind the full
+    /// backlog.
+    Fifo,
+    /// Two classes: the given fraction of devices (chosen per-device,
+    /// seeded) is high-priority and waits only behind other high-priority
+    /// work; everyone else waits behind everything.
+    Priority {
+        /// Fraction of devices in the high-priority class, in `[0, 1]`.
+        high_fraction: f64,
+    },
+}
+
+/// Capacity description for the shared cloud, applied per region.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CloudCapacity {
+    /// Concurrent inference slots per region.
+    pub slots_per_region: usize,
+    /// Cloud-side service time per offloaded inference (ms).
+    pub service_ms: f64,
+    /// Queue discipline.
+    pub discipline: QueueDiscipline,
+}
+
+impl CloudCapacity {
+    /// FIFO capacity with the given slots and per-inference service time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots_per_region` is zero or `service_ms` is not
+    /// positive/finite.
+    pub fn new(slots_per_region: usize, service_ms: f64) -> Self {
+        assert!(slots_per_region > 0, "cloud needs at least one slot");
+        assert!(
+            service_ms.is_finite() && service_ms > 0.0,
+            "service_ms must be positive and finite"
+        );
+        CloudCapacity {
+            slots_per_region,
+            service_ms,
+            discipline: QueueDiscipline::Fifo,
+        }
+    }
+
+    /// Switches to the two-class priority discipline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `high_fraction` is outside `[0, 1]`.
+    pub fn with_priority(mut self, high_fraction: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&high_fraction),
+            "high_fraction must be in [0, 1]"
+        );
+        self.discipline = QueueDiscipline::Priority { high_fraction };
+        self
+    }
+
+    /// Jobs one region can complete per millisecond.
+    pub fn drain_rate_per_ms(&self) -> f64 {
+        self.slots_per_region as f64 / self.service_ms
+    }
+}
+
+/// One region's deterministic cloud queue state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CloudRegionQueue {
+    capacity: CloudCapacity,
+    backlog_high: f64,
+    backlog_low: f64,
+}
+
+impl CloudRegionQueue {
+    /// An empty queue with the given capacity.
+    pub fn new(capacity: CloudCapacity) -> Self {
+        CloudRegionQueue {
+            capacity,
+            backlog_high: 0.0,
+            backlog_low: 0.0,
+        }
+    }
+
+    /// Admits one epoch's offloaded inferences (split by priority class).
+    pub fn admit(&mut self, high: u64, low: u64) {
+        self.backlog_high += high as f64;
+        self.backlog_low += low as f64;
+    }
+
+    /// Drains the queue for `epoch_ms` of wall-clock: high-priority work
+    /// first, then the FIFO backlog.
+    pub fn drain(&mut self, epoch_ms: f64) {
+        let mut budget = self.capacity.drain_rate_per_ms() * epoch_ms;
+        let high_served = self.backlog_high.min(budget);
+        self.backlog_high -= high_served;
+        budget -= high_served;
+        self.backlog_low = (self.backlog_low - budget).max(0.0);
+    }
+
+    /// The wait (ms) a new arrival of the given class experiences: the time
+    /// the backlog ahead of it needs to drain.
+    pub fn wait_ms(&self, high_priority: bool) -> f64 {
+        let ahead = if high_priority {
+            self.backlog_high
+        } else {
+            self.backlog_high + self.backlog_low
+        };
+        ahead / self.capacity.drain_rate_per_ms()
+    }
+
+    /// Total queued jobs.
+    pub fn depth(&self) -> f64 {
+        self.backlog_high + self.backlog_low
+    }
+
+    /// The capacity this queue enforces.
+    pub fn capacity(&self) -> &CloudCapacity {
+        &self.capacity
+    }
+}
+
+impl fmt::Display for CloudRegionQueue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cloud queue: {:.1} jobs queued ({:.1} high), wait {:.1} ms",
+            self.depth(),
+            self.backlog_high,
+            self.wait_ms(false)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn capacity() -> CloudCapacity {
+        CloudCapacity::new(10, 10.0) // 1 job/ms drain rate
+    }
+
+    #[test]
+    fn empty_queue_has_no_wait() {
+        let q = CloudRegionQueue::new(capacity());
+        assert_eq!(q.wait_ms(false), 0.0);
+        assert_eq!(q.depth(), 0.0);
+    }
+
+    #[test]
+    fn overload_accumulates_backlog_and_wait() {
+        let mut q = CloudRegionQueue::new(capacity());
+        // 1 job/ms drain; admit 2000 jobs per 1000 ms epoch -> +1000 backlog.
+        q.admit(0, 2000);
+        q.drain(1000.0);
+        assert!((q.depth() - 1000.0).abs() < 1e-9);
+        assert!((q.wait_ms(false) - 1000.0).abs() < 1e-9);
+        // Underload drains it back down.
+        q.admit(0, 0);
+        q.drain(1000.0);
+        assert_eq!(q.depth(), 0.0);
+    }
+
+    #[test]
+    fn adequate_capacity_keeps_queue_empty() {
+        let mut q = CloudRegionQueue::new(capacity());
+        for _ in 0..10 {
+            q.admit(0, 500); // half the epoch's drain budget
+            q.drain(1000.0);
+            assert_eq!(q.depth(), 0.0);
+        }
+    }
+
+    #[test]
+    fn priority_class_waits_only_behind_high_backlog() {
+        let mut q = CloudRegionQueue::new(capacity());
+        q.admit(300, 3000);
+        // Before draining: high sees 300 jobs ahead, low sees all 3300.
+        assert!((q.wait_ms(true) - 300.0).abs() < 1e-9);
+        assert!((q.wait_ms(false) - 3300.0).abs() < 1e-9);
+        // Draining serves the high class first.
+        q.drain(300.0);
+        assert_eq!(q.wait_ms(true), 0.0);
+        assert!((q.wait_ms(false) - 3000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn drain_is_work_conserving_across_classes() {
+        let mut q = CloudRegionQueue::new(capacity());
+        q.admit(100, 100);
+        q.drain(150.0); // budget 150: 100 high + 50 low
+        assert_eq!(q.wait_ms(true), 0.0);
+        assert!((q.depth() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_slots_rejected() {
+        CloudCapacity::new(0, 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "high_fraction")]
+    fn bad_priority_fraction_rejected() {
+        CloudCapacity::new(1, 5.0).with_priority(1.5);
+    }
+
+    #[test]
+    fn display_shows_state() {
+        let mut q = CloudRegionQueue::new(capacity());
+        q.admit(5, 10);
+        assert!(format!("{q}").contains("15.0 jobs"));
+    }
+}

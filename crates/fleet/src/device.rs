@@ -1,0 +1,340 @@
+//! Per-device sessions and the cohorts that share design-time artifacts.
+//!
+//! Every device composes a synthesized per-device [`ThroughputTrace`], an
+//! online [`ThroughputTracker`], and a deployment policy over its cohort's
+//! shared [`DominanceMap`]. A [`Cohort`] is one (region, technology) cell
+//! of the scenario mix: all its devices see the same deployment options and
+//! dominance structure (those depend only on the network, hardware, and
+//! radio technology), while each device wanders through its own throughput
+//! trajectory.
+
+use crate::scenario::FleetPolicy;
+use crate::FleetError;
+use lens_runtime::{DeploymentOption, DeploymentPlanner, DominanceMap, Metric, ThroughputTracker};
+use lens_wireless::{Region, ThroughputTrace, WirelessTechnology};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One (region, technology) cell of the fleet mix, holding the design-time
+/// artifacts every member device shares.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cohort {
+    /// Index into the scenario's region list.
+    pub region_index: usize,
+    /// The region profile devices synthesize traces around.
+    pub region: Region,
+    /// The radio technology (fixes the power model and RTT).
+    pub technology: WirelessTechnology,
+    /// The enumerated deployment options.
+    pub options: Vec<DeploymentOption>,
+    /// Dominance map over `options` for the scenario metric.
+    pub map: DominanceMap,
+    /// Resolved option index for [`FleetPolicy::Fixed`], if that policy is
+    /// active.
+    pub fixed_index: Option<usize>,
+}
+
+impl Cohort {
+    /// Resolves a fixed deployment kind to its option index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::InvalidScenario`] when no option of this kind
+    /// exists in the cohort.
+    pub fn resolve_fixed(&self, kind: &lens_runtime::DeploymentKind) -> Result<usize, FleetError> {
+        self.options
+            .iter()
+            .position(|o| o.kind() == kind)
+            .ok_or_else(|| {
+                FleetError::InvalidScenario(format!(
+                    "cohort {}/{} has no {kind} option",
+                    self.region.name(),
+                    self.technology
+                ))
+            })
+    }
+}
+
+/// What one served inference cost, for aggregation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct Served {
+    pub latency_ms: f64,
+    pub energy_mj: f64,
+    pub offloaded: bool,
+    pub switched: bool,
+}
+
+/// One device session: trace + tracker + policy state.
+#[derive(Debug, Clone)]
+pub struct Device {
+    pub(crate) cohort: u32,
+    pub(crate) high_priority: bool,
+    pub(crate) trace: ThroughputTrace,
+    pub(crate) tracker: ThroughputTracker,
+    pub(crate) current_option: Option<u32>,
+    pub(crate) next_event_us: u64,
+    pub(crate) rng: StdRng,
+}
+
+impl Device {
+    pub(crate) fn new(
+        cohort: u32,
+        high_priority: bool,
+        trace: ThroughputTrace,
+        tracker_alpha: f64,
+        seed: u64,
+        first_event_us: u64,
+    ) -> Self {
+        Device {
+            cohort,
+            high_priority,
+            trace,
+            tracker: ThroughputTracker::new(tracker_alpha),
+            current_option: None,
+            next_event_us: first_event_us,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The cohort this device belongs to.
+    pub fn cohort_index(&self) -> usize {
+        self.cohort as usize
+    }
+
+    /// Whether this device is in the cloud queue's high-priority class.
+    pub fn high_priority(&self) -> bool {
+        self.high_priority
+    }
+
+    /// The device's synthesized throughput trajectory.
+    pub fn trace(&self) -> &ThroughputTrace {
+        &self.trace
+    }
+
+    /// Draws the next exponential inter-arrival time (µs) for Poisson
+    /// arrivals from the device's own seeded stream.
+    pub(crate) fn draw_interarrival_us(&mut self, mean_us: f64) -> u64 {
+        // Inverse-CDF sampling; u is in [0, 1), so 1-u is in (0, 1].
+        let u: f64 = self.rng.gen();
+        let dt = -mean_us * (1.0 - u).ln();
+        // Never schedule two events at the same microsecond.
+        (dt as u64).max(1)
+    }
+
+    /// Serves one inference at `time_us`: observe the current trace sample,
+    /// select an option per `policy`, and price the inference at the
+    /// *actual* throughput (the tracker only steers the choice, as in the
+    /// Fig 5 loop). `queue_wait_ms` is the region's published cloud wait
+    /// for this epoch (for this device's priority class); it is charged to
+    /// the realized latency of offloaded options, and congestion-aware
+    /// policies also weigh it during selection on the latency metric.
+    pub(crate) fn serve(
+        &mut self,
+        cohort: &Cohort,
+        policy: &FleetPolicy,
+        metric: Metric,
+        queue_wait_ms: f64,
+        time_us: u64,
+        interval_us: u64,
+    ) -> Served {
+        let idx = ((time_us / interval_us) as usize).min(self.trace.len() - 1);
+        let tu = self.trace.samples()[idx];
+        self.tracker.observe(tu);
+        let estimate = self.tracker.estimate().expect("just observed");
+
+        let choice = match policy {
+            FleetPolicy::Fixed(_) => cohort.fixed_index.expect("resolved at engine build"),
+            FleetPolicy::Dynamic => cohort.map.best_at(estimate),
+            FleetPolicy::DynamicCongestionAware => {
+                if metric == Metric::Latency && queue_wait_ms > 0.0 {
+                    DeploymentPlanner::best_at_with_cloud_penalty(
+                        &cohort.options,
+                        metric,
+                        estimate,
+                        queue_wait_ms,
+                    )
+                    .expect("cohort has options")
+                    .0
+                } else {
+                    // Queue waits cost the edge no energy, so the penalty
+                    // only shifts latency-mode selection.
+                    cohort.map.best_at(estimate)
+                }
+            }
+        };
+        let switched = self
+            .current_option
+            .is_some_and(|prev| prev != choice as u32);
+        self.current_option = Some(choice as u32);
+
+        let option = &cohort.options[choice];
+        let offloaded = option.uses_cloud();
+        let mut latency_ms = option.latency_at(tu).get();
+        if offloaded {
+            latency_ms += queue_wait_ms;
+        }
+        Served {
+            latency_ms,
+            energy_mj: option.energy_at(tu).get(),
+            offloaded,
+            switched,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lens_device::{profile_network, DeviceProfile};
+    use lens_nn::units::{Mbps, Millis};
+    use lens_nn::zoo;
+    use lens_runtime::DeploymentKind;
+    use lens_wireless::WirelessLink;
+
+    fn cohort(metric: Metric) -> Cohort {
+        let analysis = zoo::alexnet().analyze().unwrap();
+        let perf = profile_network(&analysis, &DeviceProfile::jetson_tx2_cpu());
+        let planner =
+            DeploymentPlanner::new(WirelessLink::new(WirelessTechnology::Lte, Mbps::new(8.0)));
+        let options = planner.enumerate(&analysis, &perf).unwrap();
+        let map = DominanceMap::build(&options, metric).unwrap();
+        Cohort {
+            region_index: 0,
+            region: Region::new("USA", Mbps::new(7.5)),
+            technology: WirelessTechnology::Lte,
+            options,
+            map,
+            fixed_index: None,
+        }
+    }
+
+    fn flat_trace(mbps: f64, n: usize) -> ThroughputTrace {
+        ThroughputTrace::new(vec![Mbps::new(mbps); n], Millis::new(60_000.0)).unwrap()
+    }
+
+    #[test]
+    fn resolve_fixed_finds_kinds() {
+        let c = cohort(Metric::Energy);
+        assert!(c.resolve_fixed(&DeploymentKind::AllEdge).is_ok());
+        assert!(c.resolve_fixed(&DeploymentKind::AllCloud).is_ok());
+        let missing = DeploymentKind::Split {
+            layer_index: 999,
+            layer_name: "nope".into(),
+        };
+        assert!(matches!(
+            c.resolve_fixed(&missing),
+            Err(FleetError::InvalidScenario(_))
+        ));
+    }
+
+    #[test]
+    fn dynamic_serve_matches_dominance_map() {
+        let c = cohort(Metric::Energy);
+        let mut d = Device::new(0, false, flat_trace(8.0, 4), 1.0, 1, 0);
+        let served = d.serve(
+            &c,
+            &FleetPolicy::Dynamic,
+            Metric::Energy,
+            0.0,
+            0,
+            60_000_000,
+        );
+        let expected = c.map.best_at(Mbps::new(8.0));
+        assert_eq!(d.current_option, Some(expected as u32));
+        let opt = &c.options[expected];
+        assert!((served.energy_mj - opt.energy_at(Mbps::new(8.0)).get()).abs() < 1e-12);
+        assert_eq!(served.offloaded, opt.uses_cloud());
+        assert!(!served.switched, "first inference cannot switch");
+    }
+
+    #[test]
+    fn queue_wait_charged_to_offloaded_latency_only() {
+        let c = cohort(Metric::Latency);
+        let mut fixed_cloud = c.clone();
+        fixed_cloud.fixed_index = Some(
+            fixed_cloud
+                .resolve_fixed(&DeploymentKind::AllCloud)
+                .unwrap(),
+        );
+        let mut fixed_edge = c.clone();
+        fixed_edge.fixed_index = Some(fixed_edge.resolve_fixed(&DeploymentKind::AllEdge).unwrap());
+
+        let policy = FleetPolicy::Fixed(DeploymentKind::AllCloud); // kind irrelevant post-resolve
+        let mut d = Device::new(0, false, flat_trace(8.0, 4), 1.0, 1, 0);
+        let base = d.serve(&fixed_cloud, &policy, Metric::Latency, 0.0, 0, 60_000_000);
+        let mut d = Device::new(0, false, flat_trace(8.0, 4), 1.0, 1, 0);
+        let queued = d.serve(&fixed_cloud, &policy, Metric::Latency, 500.0, 0, 60_000_000);
+        assert!((queued.latency_ms - base.latency_ms - 500.0).abs() < 1e-9);
+        assert!((queued.energy_mj - base.energy_mj).abs() < 1e-12);
+
+        let mut d = Device::new(0, false, flat_trace(8.0, 4), 1.0, 1, 0);
+        let edge = d.serve(&fixed_edge, &policy, Metric::Latency, 500.0, 0, 60_000_000);
+        let mut d = Device::new(0, false, flat_trace(8.0, 4), 1.0, 1, 0);
+        let edge_q = d.serve(&fixed_edge, &policy, Metric::Latency, 0.0, 0, 60_000_000);
+        assert!((edge.latency_ms - edge_q.latency_ms).abs() < 1e-12);
+    }
+
+    #[test]
+    fn congestion_aware_routes_around_saturated_cloud() {
+        let c = cohort(Metric::Latency);
+        // At a high rate the base latency argmin offloads…
+        let mut d = Device::new(0, false, flat_trace(50.0, 4), 1.0, 1, 0);
+        let served = d.serve(
+            &c,
+            &FleetPolicy::DynamicCongestionAware,
+            Metric::Latency,
+            0.0,
+            0,
+            60_000_000,
+        );
+        assert!(served.offloaded, "uncongested fast link should offload");
+        // …but an hour-long queue forces All-Edge.
+        let mut d = Device::new(0, false, flat_trace(50.0, 4), 1.0, 1, 0);
+        let served = d.serve(
+            &c,
+            &FleetPolicy::DynamicCongestionAware,
+            Metric::Latency,
+            3.6e6,
+            0,
+            60_000_000,
+        );
+        assert!(
+            !served.offloaded,
+            "congestion-aware policy must dodge the queue"
+        );
+    }
+
+    #[test]
+    fn switching_is_counted_on_change() {
+        let c = cohort(Metric::Energy);
+        // A trace that jumps between a rate favouring All-Edge and one
+        // favouring offload must produce a switch.
+        let samples = vec![Mbps::new(0.2), Mbps::new(40.0), Mbps::new(0.2)];
+        let trace = ThroughputTrace::new(samples, Millis::new(60_000.0)).unwrap();
+        let mut d = Device::new(0, false, trace, 1.0, 1, 0);
+        let mut switches = 0;
+        for i in 0..3u64 {
+            let s = d.serve(
+                &c,
+                &FleetPolicy::Dynamic,
+                Metric::Energy,
+                0.0,
+                i * 60_000_000,
+                60_000_000,
+            );
+            switches += s.switched as u32;
+        }
+        assert_eq!(switches, 2);
+    }
+
+    #[test]
+    fn poisson_draws_are_positive_and_deterministic() {
+        let mut a = Device::new(0, false, flat_trace(8.0, 4), 1.0, 9, 0);
+        let mut b = Device::new(0, false, flat_trace(8.0, 4), 1.0, 9, 0);
+        for _ in 0..100 {
+            let da = a.draw_interarrival_us(1000.0);
+            assert_eq!(da, b.draw_interarrival_us(1000.0));
+            assert!(da >= 1);
+        }
+    }
+}

@@ -1,0 +1,571 @@
+//! The sharded discrete-event engine.
+//!
+//! [`FleetEngine::new`] does the design-time work once per scenario —
+//! network analysis, per-cohort option enumeration and dominance maps —
+//! and [`FleetEngine::run`] executes the population: devices are split
+//! into contiguous shards, each shard owns an event heap keyed by integer
+//! microseconds, and shards synchronize with the shared cloud only at
+//! epoch barriers (see the crate-level docs for the determinism contract
+//! and the one-epoch contention lag).
+
+use crate::cloud::{CloudRegionQueue, QueueDiscipline};
+use crate::device::Device;
+use crate::report::FleetReport;
+use crate::scenario::{ArrivalModel, FleetPolicy, FleetScenario};
+use crate::{mix_seed, Cohort, FleetError};
+use lens_device::profile_network;
+use lens_runtime::{DeploymentPlanner, DominanceMap};
+use lens_wireless::{ThroughputTrace, WirelessLink};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Latency histogram resolution: 10 ms bins up to 20 s, overflow beyond.
+const LATENCY_BIN_MS: f64 = 10.0;
+/// Energy histogram resolution: 5 mJ bins up to 10 J, overflow beyond.
+const ENERGY_BIN_MJ: f64 = 5.0;
+const NUM_BINS: usize = 2_000;
+
+/// Runs [`FleetScenario`]s. Construction performs the design-time
+/// analysis; [`run`](FleetEngine::run) is stateless and can be called
+/// repeatedly (two runs of the same engine produce identical reports).
+#[derive(Debug, Clone)]
+pub struct FleetEngine {
+    scenario: FleetScenario,
+    cohorts: Vec<Cohort>,
+    /// Cumulative cohort weights over `[0, 1]` for deterministic
+    /// proportional assignment of device ids to cohorts.
+    cumulative: Vec<f64>,
+}
+
+struct ShardState {
+    devices: Vec<Device>,
+    /// Min-heap of (event time µs, local device index).
+    heap: BinaryHeap<Reverse<(u64, u32)>>,
+    report: FleetReport,
+}
+
+impl FleetEngine {
+    /// Builds the design-time artifacts for every (region, technology)
+    /// cohort in the scenario mix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::Network`] if the scenario network fails to
+    /// analyze, [`FleetError::Runtime`] if option enumeration or
+    /// dominance-map construction fails, and
+    /// [`FleetError::InvalidScenario`] if a fixed policy names a
+    /// deployment kind some cohort does not have.
+    pub fn new(scenario: FleetScenario) -> Result<Self, FleetError> {
+        let analysis = scenario
+            .network
+            .analyze()
+            .map_err(|e| FleetError::Network(e.to_string()))?;
+        let perf = profile_network(&analysis, &scenario.device_profile);
+
+        let mut cohorts = Vec::new();
+        let mut weights = Vec::new();
+        for (region_index, share) in scenario.regions.iter().enumerate() {
+            let tech_total: f64 = share.technologies.iter().map(|(_, w)| w).sum();
+            for (tech, tech_weight) in &share.technologies {
+                let planner =
+                    DeploymentPlanner::new(WirelessLink::new(*tech, share.region.uplink()));
+                let options = planner.enumerate(&analysis, &perf)?;
+                let map = DominanceMap::build(&options, scenario.metric)?;
+                let mut cohort = Cohort {
+                    region_index,
+                    region: share.region.clone(),
+                    technology: *tech,
+                    options,
+                    map,
+                    fixed_index: None,
+                };
+                if let FleetPolicy::Fixed(kind) = &scenario.policy {
+                    cohort.fixed_index = Some(cohort.resolve_fixed(kind)?);
+                }
+                cohorts.push(cohort);
+                weights.push(share.weight * tech_weight / tech_total);
+            }
+        }
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        let cumulative = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        Ok(FleetEngine {
+            scenario,
+            cohorts,
+            cumulative,
+        })
+    }
+
+    /// The scenario this engine runs.
+    pub fn scenario(&self) -> &FleetScenario {
+        &self.scenario
+    }
+
+    /// The (region, technology) cohorts, in region-major order.
+    pub fn cohorts(&self) -> &[Cohort] {
+        &self.cohorts
+    }
+
+    /// The cohort a device id belongs to — deterministic proportional
+    /// assignment, independent of the shard count.
+    pub fn cohort_of(&self, device_id: usize) -> usize {
+        let position = (device_id as f64 + 0.5) / self.scenario.population as f64;
+        self.cumulative
+            .iter()
+            .position(|&c| position <= c)
+            .unwrap_or(self.cumulative.len() - 1)
+    }
+
+    fn build_device(&self, device_id: usize, num_samples: usize) -> Device {
+        let scenario = &self.scenario;
+        let cohort_idx = self.cohort_of(device_id);
+        let cohort = &self.cohorts[cohort_idx];
+        let dseed = mix_seed(scenario.seed, device_id as u64);
+        let high_priority = match scenario.cloud.discipline {
+            QueueDiscipline::Fifo => false,
+            QueueDiscipline::Priority { high_fraction } => {
+                (mix_seed(dseed, 0xF00D) as f64 / u64::MAX as f64) < high_fraction
+            }
+        };
+        let trace = ThroughputTrace::synthesize(
+            &cohort.region,
+            cohort.technology,
+            num_samples,
+            scenario.trace_interval,
+            mix_seed(dseed, 1),
+        );
+        let mut device = Device::new(
+            cohort_idx as u32,
+            high_priority,
+            trace,
+            scenario.tracker_alpha,
+            mix_seed(dseed, 2),
+            0,
+        );
+        device.next_event_us = match scenario.arrival {
+            ArrivalModel::Periodic { period } => {
+                let period_us = to_us(period.get());
+                mix_seed(dseed, 3) % period_us
+            }
+            ArrivalModel::Poisson { mean_interarrival } => {
+                device.draw_interarrival_us(mean_interarrival.get() * 1000.0)
+            }
+        };
+        device
+    }
+
+    /// Runs the scenario to completion and returns the merged report.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible after [`FleetEngine::new`] succeeds; the
+    /// `Result` reserves room for resource limits.
+    pub fn run(&self) -> Result<FleetReport, FleetError> {
+        let scenario = &self.scenario;
+        let num_regions = scenario.regions.len();
+        let region_names = scenario.region_names();
+        let horizon_us = to_us(scenario.horizon.get());
+        let epoch_us = to_us(scenario.trace_interval.get());
+        let num_epochs = horizon_us.div_ceil(epoch_us) as usize;
+
+        // Build shards; each constructs its own contiguous slice of the
+        // population (device state depends only on the device id and the
+        // scenario seed, never on the shard).
+        let mut shard_states = self.build_shards(num_epochs);
+
+        let mut queues: Vec<CloudRegionQueue> = (0..num_regions)
+            .map(|_| CloudRegionQueue::new(scenario.cloud))
+            .collect();
+        // (high, low) waits published to the shards, one epoch behind.
+        let mut waits = vec![(0.0f64, 0.0f64); num_regions];
+        let mut depth_series = vec![Vec::with_capacity(num_epochs); num_regions];
+        let mut wait_series = vec![Vec::with_capacity(num_epochs); num_regions];
+
+        for epoch in 0..num_epochs {
+            let epoch_start = epoch as u64 * epoch_us;
+            let epoch_end = ((epoch + 1) as u64 * epoch_us).min(horizon_us);
+            for (region, w) in wait_series.iter_mut().zip(&waits) {
+                region.push(w.1);
+            }
+
+            // Phase A: shards advance independently to the barrier.
+            let arrivals: Vec<Vec<(u64, u64)>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = shard_states
+                    .iter_mut()
+                    .map(|state| {
+                        let waits = &waits;
+                        scope.spawn(move || {
+                            advance_shard(
+                                state,
+                                &self.cohorts,
+                                scenario,
+                                waits,
+                                num_regions,
+                                epoch_end,
+                                horizon_us,
+                                epoch_us,
+                            )
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard worker panicked"))
+                    .collect()
+            });
+
+            // Barrier: merge offload demand (shard order), advance queues,
+            // publish next epoch's waits.
+            let epoch_ms = (epoch_end - epoch_start) as f64 / 1000.0;
+            for (region, queue) in queues.iter_mut().enumerate() {
+                let (high, low) = arrivals
+                    .iter()
+                    .map(|shard| shard[region])
+                    .fold((0, 0), |(h, l), (sh, sl)| (h + sh, l + sl));
+                queue.admit(high, low);
+                depth_series[region].push(queue.depth());
+                queue.drain(epoch_ms);
+                waits[region] = (queue.wait_ms(true), queue.wait_ms(false));
+            }
+        }
+
+        let mut report = FleetReport::empty(LATENCY_BIN_MS, ENERGY_BIN_MJ, NUM_BINS, &region_names);
+        for state in &shard_states {
+            report.merge(&state.report);
+        }
+        report.set_queue_series(depth_series, wait_series);
+        Ok(report)
+    }
+
+    fn build_shards(&self, num_samples: usize) -> Vec<ShardState> {
+        let scenario = &self.scenario;
+        let region_names = scenario.region_names();
+        let population = scenario.population;
+        let shards = scenario.shards;
+        let base = population / shards;
+        let remainder = population % shards;
+        let mut bounds = Vec::with_capacity(shards);
+        let mut start = 0usize;
+        for shard in 0..shards {
+            let len = base + usize::from(shard < remainder);
+            bounds.push((start, start + len));
+            start += len;
+        }
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = bounds
+                .into_iter()
+                .map(|(lo, hi)| {
+                    let region_names = &region_names;
+                    scope.spawn(move || {
+                        let mut devices = Vec::with_capacity(hi - lo);
+                        let mut heap = BinaryHeap::with_capacity(hi - lo);
+                        for (local, id) in (lo..hi).enumerate() {
+                            let device = self.build_device(id, num_samples);
+                            heap.push(Reverse((device.next_event_us, local as u32)));
+                            devices.push(device);
+                        }
+                        ShardState {
+                            devices,
+                            heap,
+                            report: FleetReport::empty(
+                                LATENCY_BIN_MS,
+                                ENERGY_BIN_MJ,
+                                NUM_BINS,
+                                region_names,
+                            ),
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard builder panicked"))
+                .collect()
+        })
+    }
+}
+
+fn to_us(ms: f64) -> u64 {
+    (ms * 1000.0).round() as u64
+}
+
+/// Advances one shard's event heap to `epoch_end`, returning the
+/// per-region (high, low) offload counts this epoch contributed.
+#[allow(clippy::too_many_arguments)]
+fn advance_shard(
+    state: &mut ShardState,
+    cohorts: &[Cohort],
+    scenario: &FleetScenario,
+    waits: &[(f64, f64)],
+    num_regions: usize,
+    epoch_end: u64,
+    horizon_us: u64,
+    epoch_us: u64,
+) -> Vec<(u64, u64)> {
+    let mut arrivals = vec![(0u64, 0u64); num_regions];
+    while let Some(&Reverse((time, local))) = state.heap.peek() {
+        if time >= epoch_end {
+            break;
+        }
+        state.heap.pop();
+        let device = &mut state.devices[local as usize];
+        let cohort = &cohorts[device.cohort_index()];
+        let (wait_high, wait_low) = waits[cohort.region_index];
+        let wait = if device.high_priority() {
+            wait_high
+        } else {
+            wait_low
+        };
+        let served = device.serve(
+            cohort,
+            &scenario.policy,
+            scenario.metric,
+            wait,
+            time,
+            epoch_us,
+        );
+        state.report.record(
+            cohort.region_index,
+            served.latency_ms,
+            served.energy_mj,
+            served.offloaded,
+            served.switched,
+        );
+        if served.offloaded {
+            let slot = &mut arrivals[cohort.region_index];
+            if device.high_priority() {
+                slot.0 += 1;
+            } else {
+                slot.1 += 1;
+            }
+        }
+        let next = time
+            + match scenario.arrival {
+                ArrivalModel::Periodic { period } => to_us(period.get()),
+                ArrivalModel::Poisson { mean_interarrival } => {
+                    device.draw_interarrival_us(mean_interarrival.get() * 1000.0)
+                }
+            };
+        if next < horizon_us {
+            state.heap.push(Reverse((next, local)));
+        }
+    }
+    arrivals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cloud::CloudCapacity;
+    use crate::scenario::RegionShare;
+    use lens_nn::units::{Mbps, Millis};
+    use lens_runtime::{DeploymentKind, Metric};
+    use lens_wireless::{Region, WirelessTechnology};
+
+    fn small_scenario(shards: usize) -> FleetScenario {
+        FleetScenario::builder()
+            .population(300)
+            .horizon(Millis::new(600_000.0))
+            .trace_interval(Millis::new(60_000.0))
+            .cloud(CloudCapacity::new(4, 10.0))
+            .shards(shards)
+            .seed(42)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn same_seed_same_shards_identical_reports() {
+        let engine = FleetEngine::new(small_scenario(3)).unwrap();
+        let a = engine.run().unwrap();
+        let b = engine.run().unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut s1 = small_scenario(2);
+        s1.seed = 1;
+        let mut s2 = small_scenario(2);
+        s2.seed = 2;
+        let a = FleetEngine::new(s1).unwrap().run().unwrap();
+        let b = FleetEngine::new(s2).unwrap().run().unwrap();
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn integer_aggregates_survive_resharding() {
+        // The hard contract fixes the shard count, but integer aggregates
+        // (histogram counts, switches, offloads) are designed to be
+        // shard-count invariant — verify that stronger property.
+        let a = FleetEngine::new(small_scenario(1)).unwrap().run().unwrap();
+        let b = FleetEngine::new(small_scenario(4)).unwrap().run().unwrap();
+        assert_eq!(a.inferences(), b.inferences());
+        assert_eq!(a.offloaded(), b.offloaded());
+        assert_eq!(a.switches(), b.switches());
+        for (ra, rb) in a.regions().iter().zip(b.regions()) {
+            assert_eq!(ra.inferences, rb.inferences);
+            assert_eq!(ra.offloaded, rb.offloaded);
+            assert_eq!(ra.switches, rb.switches);
+        }
+    }
+
+    #[test]
+    fn every_device_serves_every_period() {
+        let engine = FleetEngine::new(small_scenario(2)).unwrap();
+        let report = engine.run().unwrap();
+        // 300 devices × 10 one-minute periods in a 10-minute horizon.
+        assert_eq!(report.inferences(), 3000);
+        assert_eq!(
+            report.regions().iter().map(|r| r.inferences).sum::<u64>(),
+            3000
+        );
+        assert_eq!(report.queue_depth().len(), 3);
+        assert_eq!(report.queue_depth()[0].len(), 10);
+        assert_eq!(report.queue_wait_ms()[0].len(), 10);
+    }
+
+    #[test]
+    fn cohort_assignment_is_proportional() {
+        let engine = FleetEngine::new(small_scenario(1)).unwrap();
+        let mut counts = vec![0usize; engine.cohorts().len()];
+        for id in 0..300 {
+            counts[engine.cohort_of(id)] += 1;
+        }
+        assert_eq!(counts.iter().sum::<usize>(), 300);
+        // Largest region (USA, weight 0.5) × largest tech (LTE 0.6) ≈ 90.
+        let usa_lte = engine
+            .cohorts()
+            .iter()
+            .position(|c| c.region.name() == "USA" && c.technology == WirelessTechnology::Lte)
+            .unwrap();
+        assert!((80..=100).contains(&counts[usa_lte]), "{}", counts[usa_lte]);
+    }
+
+    #[test]
+    fn fixed_all_cloud_congests_small_cloud() {
+        let mut scenario = small_scenario(2);
+        scenario.policy = FleetPolicy::Fixed(DeploymentKind::AllCloud);
+        let report = FleetEngine::new(scenario).unwrap().run().unwrap();
+        assert_eq!(report.offloaded(), report.inferences());
+        // 300 devices per minute against 4 slots × 10 ms builds a backlog…
+        let max_depth = report
+            .queue_depth()
+            .iter()
+            .flat_map(|r| r.iter())
+            .fold(0.0f64, |a, &b| a.max(b));
+        assert!(max_depth > 0.0, "expected queue buildup, got none");
+        // …and queue waits show up in the latency tail but never in energy.
+        assert_eq!(report.switches(), 0);
+    }
+
+    #[test]
+    fn fixed_all_edge_never_touches_cloud() {
+        let mut scenario = small_scenario(2);
+        scenario.policy = FleetPolicy::Fixed(DeploymentKind::AllEdge);
+        let report = FleetEngine::new(scenario).unwrap().run().unwrap();
+        assert_eq!(report.offloaded(), 0);
+        for region in report.queue_depth() {
+            assert!(region.iter().all(|&d| d == 0.0));
+        }
+    }
+
+    #[test]
+    fn dynamic_energy_beats_every_fixed_policy() {
+        let kinds: Vec<DeploymentKind> = {
+            let engine = FleetEngine::new(small_scenario(1)).unwrap();
+            engine.cohorts()[0]
+                .options
+                .iter()
+                .map(|o| o.kind().clone())
+                .collect()
+        };
+        let dynamic = {
+            let mut s = small_scenario(2);
+            s.policy = FleetPolicy::Dynamic;
+            s.metric = Metric::Energy;
+            FleetEngine::new(s).unwrap().run().unwrap()
+        };
+        for kind in kinds {
+            let mut s = small_scenario(2);
+            s.metric = Metric::Energy;
+            s.policy = FleetPolicy::Fixed(kind.clone());
+            let fixed = FleetEngine::new(s).unwrap().run().unwrap();
+            assert!(
+                dynamic.total_energy_mj() <= fixed.total_energy_mj() + 1e-6,
+                "dynamic lost to fixed {kind} on energy"
+            );
+        }
+    }
+
+    #[test]
+    fn priority_class_lowers_fleet_latency_under_congestion() {
+        // 400 all-cloud devices per epoch against 2 slots × 1 s service
+        // (drain budget 120/epoch) saturate the queue hard.
+        let congested = |discipline_priority: bool| {
+            let cloud = if discipline_priority {
+                CloudCapacity::new(2, 1000.0).with_priority(0.2)
+            } else {
+                CloudCapacity::new(2, 1000.0)
+            };
+            let scenario = FleetScenario::builder()
+                .population(400)
+                .horizon(Millis::new(600_000.0))
+                .regions(vec![RegionShare::new(
+                    Region::new("USA", Mbps::new(7.5)),
+                    1.0,
+                )])
+                .cloud(cloud)
+                .policy(FleetPolicy::Fixed(DeploymentKind::AllCloud))
+                .metric(Metric::Latency)
+                .shards(2)
+                .seed(9)
+                .build()
+                .unwrap();
+            FleetEngine::new(scenario).unwrap().run().unwrap()
+        };
+        let fifo = congested(false);
+        let priority = congested(true);
+        let max_wait = fifo.queue_wait_ms()[0]
+            .iter()
+            .fold(0.0f64, |a, &b| a.max(b));
+        assert!(
+            max_wait > 1000.0,
+            "expected congestion, max wait {max_wait}"
+        );
+        // The 20% high-priority class skips the low backlog, so the fleet's
+        // mean latency must drop relative to pure FIFO.
+        assert!(
+            priority.latency().mean() < fifo.latency().mean(),
+            "priority {} !< fifo {}",
+            priority.latency().mean(),
+            fifo.latency().mean()
+        );
+    }
+
+    #[test]
+    fn poisson_arrivals_roughly_match_rate() {
+        let scenario = FleetScenario::builder()
+            .population(500)
+            .horizon(Millis::new(600_000.0))
+            .arrival(ArrivalModel::Poisson {
+                mean_interarrival: Millis::new(60_000.0),
+            })
+            .shards(2)
+            .seed(3)
+            .build()
+            .unwrap();
+        let report = FleetEngine::new(scenario).unwrap().run().unwrap();
+        // Expectation: 500 devices × 10 epochs = 5000 events; Poisson noise
+        // over 5000 draws stays well within ±10%.
+        let n = report.inferences() as f64;
+        assert!((4500.0..=5500.0).contains(&n), "unexpected event count {n}");
+    }
+}

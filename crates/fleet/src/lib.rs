@@ -1,0 +1,157 @@
+//! Population-scale fleet simulation for edge–cloud serving.
+//!
+//! The single-device simulator in `lens-runtime` replays **one** throughput
+//! trace against **one** dominance map (Fig 8). This crate scales that story
+//! to the ROADMAP's north star: **thousands to millions of concurrent device
+//! sessions**, spread over the paper's Table I regions and wireless
+//! technologies, all sharing a **finite-capacity cloud**. That opens the one
+//! scenario axis the single-device view cannot express: *contention*. When
+//! everyone offloads, All-Cloud and the split options stop being free of
+//! each other — their latency now depends on how many other devices chose
+//! them.
+//!
+//! # Architecture
+//!
+//! * [`FleetScenario`] — declarative description of a fleet: population
+//!   size, regional mix, technology mix, arrival model, cloud capacity,
+//!   switching policy, seed ([`scenario`]).
+//! * [`Device`] sessions — a per-device synthesized throughput trace
+//!   (`GaussMarkov` around the region's expected rate), a
+//!   `ThroughputTracker`, and a deployment policy over the cohort's shared
+//!   `DominanceMap` ([`device`]).
+//! * [`CloudRegionQueue`] — finite concurrent-inference slots per region
+//!   behind a FIFO or two-class priority queue ([`cloud`]).
+//! * [`FleetEngine`] — the sharded discrete-event engine ([`engine`]).
+//! * [`FleetReport`] — mergeable aggregates: fixed-bin latency/energy
+//!   histograms with percentiles, switch counts, per-region breakdowns, and
+//!   cloud-queue depth over time ([`report`]).
+//!
+//! # Sharding and the epoch barrier
+//!
+//! Devices are partitioned into contiguous shards, one `std::thread` worker
+//! per shard, each advancing its own event heap. Shards only interact
+//! through the cloud, and the cloud is synchronized at **epoch** boundaries
+//! (one epoch = one trace-sample interval by default): within an epoch every
+//! shard runs independently, counting how many of its inferences offloaded
+//! to each region; at the barrier the engine merges those counts, advances
+//! each region's queue, and publishes the queue waits that offloaded
+//! inferences experience **in the next epoch**. Contention therefore feeds
+//! back with a one-epoch lag — the price of keeping the epoch itself
+//! embarrassingly parallel.
+//!
+//! # Determinism contract
+//!
+//! **Same seed + same shard count ⇒ bit-identical [`FleetReport`].**
+//!
+//! Every source of per-device randomness (trace synthesis, arrival phases,
+//! priority class, Poisson inter-arrival draws) is seeded by mixing the
+//! scenario seed with the stable device id, never from shard-local state,
+//! so device behavior does not depend on which shard runs it. Event time is
+//! integer microseconds (no float comparison in the heap), histogram bins
+//! are integer counts, and shard partials are merged in shard order. Only
+//! floating-point *sums* are sensitive to the merge tree, which is why the
+//! contract fixes the shard count; in practice the integer aggregates
+//! (histograms, switch and offload counts) are identical across shard
+//! counts too.
+//!
+//! # Example
+//!
+//! ```
+//! use lens_fleet::{CloudCapacity, FleetPolicy, FleetScenario};
+//! use lens_nn::units::Millis;
+//! use lens_runtime::Metric;
+//!
+//! # fn main() -> Result<(), lens_fleet::FleetError> {
+//! let scenario = FleetScenario::builder()
+//!     .population(200)
+//!     .horizon(Millis::new(600_000.0)) // 10 minutes
+//!     .cloud(CloudCapacity::new(8, 8.0))
+//!     .policy(FleetPolicy::Dynamic)
+//!     .metric(Metric::Energy)
+//!     .seed(7)
+//!     .shards(2)
+//!     .build()?;
+//! let report = lens_fleet::FleetEngine::new(scenario)?.run()?;
+//! assert!(report.inferences() > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod cloud;
+pub mod device;
+pub mod engine;
+pub mod report;
+pub mod scenario;
+
+pub use cloud::{CloudCapacity, CloudRegionQueue, QueueDiscipline};
+pub use device::{Cohort, Device};
+pub use engine::FleetEngine;
+pub use report::{FleetReport, Histogram, RegionReport};
+pub use scenario::{ArrivalModel, FleetPolicy, FleetScenario, FleetScenarioBuilder, RegionShare};
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the fleet substrate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FleetError {
+    /// The scenario description is contradictory or incomplete.
+    InvalidScenario(String),
+    /// A lower layer (options, dominance maps) failed.
+    Runtime(lens_runtime::RuntimeError),
+    /// The network definition failed to analyze.
+    Network(String),
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::InvalidScenario(why) => write!(f, "invalid fleet scenario: {why}"),
+            FleetError::Runtime(e) => write!(f, "runtime substrate error: {e}"),
+            FleetError::Network(why) => write!(f, "network analysis error: {why}"),
+        }
+    }
+}
+
+impl Error for FleetError {}
+
+impl From<lens_runtime::RuntimeError> for FleetError {
+    fn from(e: lens_runtime::RuntimeError) -> Self {
+        FleetError::Runtime(e)
+    }
+}
+
+/// SplitMix64 finalizer — the stable per-device seed mixer behind the
+/// determinism contract. Mixing the scenario seed with a device id here
+/// (rather than drawing from any shared RNG) is what makes device behavior
+/// independent of shard assignment.
+pub(crate) fn mix_seed(seed: u64, stream: u64) -> u64 {
+    let mut z = seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_seed_separates_streams() {
+        let a = mix_seed(42, 0);
+        let b = mix_seed(42, 1);
+        let c = mix_seed(43, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, mix_seed(42, 0));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = FleetError::InvalidScenario("population is zero".into());
+        assert!(format!("{e}").contains("population is zero"));
+        let e: FleetError = lens_runtime::RuntimeError::NoOptions.into();
+        assert!(format!("{e}").contains("no deployment options"));
+    }
+}

@@ -1,0 +1,538 @@
+//! Mergeable fleet-level aggregates.
+//!
+//! Shards accumulate partial [`FleetReport`]s independently and the engine
+//! merges them in shard order at the end of a run. Distribution statistics
+//! use fixed-bin [`Histogram`]s (integer counts, so merging is exact and
+//! order-independent); only the floating-point sums depend on merge order,
+//! which the engine keeps fixed.
+
+use std::fmt;
+
+/// A fixed-bin histogram over `[0, bin_width · num_bins)` with an overflow
+/// bucket, supporting exact merging and percentile queries.
+///
+/// # Examples
+///
+/// ```
+/// use lens_fleet::Histogram;
+///
+/// let mut h = Histogram::new(10.0, 100);
+/// for v in [5.0, 15.0, 15.0, 2000.0] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert_eq!(h.overflow(), 1);
+/// assert!(h.percentile(50.0) < 20.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    bin_width: f64,
+    counts: Vec<u64>,
+    overflow: u64,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram with `num_bins` bins of `bin_width` each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin_width` is not positive/finite or `num_bins` is zero.
+    pub fn new(bin_width: f64, num_bins: usize) -> Self {
+        assert!(
+            bin_width.is_finite() && bin_width > 0.0,
+            "bin_width must be positive and finite"
+        );
+        assert!(num_bins > 0, "num_bins must be positive");
+        Histogram {
+            bin_width,
+            counts: vec![0; num_bins],
+            overflow: 0,
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one observation. Negative values clamp into the first bin;
+    /// values at or beyond the histogram range land in the overflow bucket
+    /// (still contributing their exact value to `sum`/`min`/`max`).
+    pub fn record(&mut self, value: f64) {
+        let idx = (value / self.bin_width).floor();
+        if idx >= self.counts.len() as f64 {
+            self.overflow += 1;
+        } else {
+            self.counts[idx.max(0.0) as usize] += 1;
+        }
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Merges another histogram into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two histograms have different bin layouts.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.bin_width, other.bin_width, "bin widths differ");
+        assert_eq!(self.counts.len(), other.counts.len(), "bin counts differ");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.overflow += other.overflow;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Observations beyond the binned range.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Sum of all recorded values.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean of all recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest recorded value (∞ when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest recorded value (−∞ when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// The `p`-th percentile (`0 ≤ p ≤ 100`), linearly interpolated within
+    /// the containing bin. Returns 0 for an empty histogram; percentiles
+    /// that fall in the overflow bucket return the exact observed maximum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&p), "percentile must be in [0,100]");
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = p / 100.0 * self.count as f64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let next = seen + c;
+            if rank <= next as f64 {
+                let within = (rank - seen as f64) / c as f64;
+                return (i as f64 + within.clamp(0.0, 1.0)) * self.bin_width;
+            }
+            seen = next;
+        }
+        self.max
+    }
+}
+
+/// Per-region aggregates inside a [`FleetReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionReport {
+    /// Region name (from the scenario's regional mix).
+    pub region: String,
+    /// Inference count served by devices of this region.
+    pub inferences: u64,
+    /// How many of those used the cloud (All-Cloud or a split).
+    pub offloaded: u64,
+    /// Dynamic-policy option switches in this region.
+    pub switches: u64,
+    /// Sum of end-to-end latencies (ms) including queue waits.
+    pub latency_sum_ms: f64,
+    /// Sum of edge energies (mJ).
+    pub energy_sum_mj: f64,
+}
+
+impl RegionReport {
+    pub(crate) fn new(region: &str) -> Self {
+        RegionReport {
+            region: region.to_string(),
+            inferences: 0,
+            offloaded: 0,
+            switches: 0,
+            latency_sum_ms: 0.0,
+            energy_sum_mj: 0.0,
+        }
+    }
+
+    /// Mean latency per inference in this region (0 when empty).
+    pub fn mean_latency_ms(&self) -> f64 {
+        if self.inferences == 0 {
+            0.0
+        } else {
+            self.latency_sum_ms / self.inferences as f64
+        }
+    }
+
+    /// Mean edge energy per inference in this region (0 when empty).
+    pub fn mean_energy_mj(&self) -> f64 {
+        if self.inferences == 0 {
+            0.0
+        } else {
+            self.energy_sum_mj / self.inferences as f64
+        }
+    }
+
+    fn merge(&mut self, other: &RegionReport) {
+        debug_assert_eq!(self.region, other.region);
+        self.inferences += other.inferences;
+        self.offloaded += other.offloaded;
+        self.switches += other.switches;
+        self.latency_sum_ms += other.latency_sum_ms;
+        self.energy_sum_mj += other.energy_sum_mj;
+    }
+}
+
+/// Aggregate outcome of a fleet run: population-wide latency/energy
+/// distributions, switching behavior, per-region breakdowns, and the cloud
+/// queue's depth/wait trajectories.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    latency: Histogram,
+    energy: Histogram,
+    switches: u64,
+    offloaded: u64,
+    per_region: Vec<RegionReport>,
+    /// `[region][epoch]` cloud backlog (jobs) at each epoch barrier.
+    queue_depth: Vec<Vec<f64>>,
+    /// `[region][epoch]` low-priority-class queue wait (ms) — the
+    /// worst-case wait an offloaded inference of that epoch experienced.
+    queue_wait_ms: Vec<Vec<f64>>,
+}
+
+impl FleetReport {
+    pub(crate) fn empty(
+        latency_bin_ms: f64,
+        energy_bin_mj: f64,
+        num_bins: usize,
+        regions: &[String],
+    ) -> Self {
+        FleetReport {
+            latency: Histogram::new(latency_bin_ms, num_bins),
+            energy: Histogram::new(energy_bin_mj, num_bins),
+            switches: 0,
+            offloaded: 0,
+            per_region: regions.iter().map(|r| RegionReport::new(r)).collect(),
+            queue_depth: Vec::new(),
+            queue_wait_ms: Vec::new(),
+        }
+    }
+
+    pub(crate) fn record(
+        &mut self,
+        region_index: usize,
+        latency_ms: f64,
+        energy_mj: f64,
+        offloaded: bool,
+        switched: bool,
+    ) {
+        self.latency.record(latency_ms);
+        self.energy.record(energy_mj);
+        let region = &mut self.per_region[region_index];
+        region.inferences += 1;
+        region.latency_sum_ms += latency_ms;
+        region.energy_sum_mj += energy_mj;
+        if offloaded {
+            self.offloaded += 1;
+            region.offloaded += 1;
+        }
+        if switched {
+            self.switches += 1;
+            region.switches += 1;
+        }
+    }
+
+    /// Merges a shard partial into this report (in shard order, for
+    /// reproducible floating-point sums).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two reports were built from different scenarios
+    /// (histogram layouts or region lists differ).
+    pub fn merge(&mut self, other: &FleetReport) {
+        assert_eq!(
+            self.per_region.len(),
+            other.per_region.len(),
+            "region lists differ"
+        );
+        self.latency.merge(&other.latency);
+        self.energy.merge(&other.energy);
+        self.switches += other.switches;
+        self.offloaded += other.offloaded;
+        for (a, b) in self.per_region.iter_mut().zip(&other.per_region) {
+            a.merge(b);
+        }
+    }
+
+    pub(crate) fn set_queue_series(&mut self, depth: Vec<Vec<f64>>, wait: Vec<Vec<f64>>) {
+        self.queue_depth = depth;
+        self.queue_wait_ms = wait;
+    }
+
+    /// End-to-end latency distribution (ms per inference, queue waits
+    /// included).
+    pub fn latency(&self) -> &Histogram {
+        &self.latency
+    }
+
+    /// Edge-energy distribution (mJ per inference).
+    pub fn energy(&self) -> &Histogram {
+        &self.energy
+    }
+
+    /// Total inferences served by the fleet.
+    pub fn inferences(&self) -> u64 {
+        self.latency.count()
+    }
+
+    /// Inferences that used the cloud.
+    pub fn offloaded(&self) -> u64 {
+        self.offloaded
+    }
+
+    /// Total dynamic-policy option switches.
+    pub fn switches(&self) -> u64 {
+        self.switches
+    }
+
+    /// Per-region breakdowns, in the scenario's region order.
+    pub fn regions(&self) -> &[RegionReport] {
+        &self.per_region
+    }
+
+    /// Cloud backlog (jobs) per region per epoch.
+    pub fn queue_depth(&self) -> &[Vec<f64>] {
+        &self.queue_depth
+    }
+
+    /// Queue wait (ms) per region per epoch for the *low-priority* class —
+    /// the worst case an offloaded inference of that epoch experienced.
+    /// Under [`crate::QueueDiscipline::Fifo`] every device is in this
+    /// class; under the priority discipline, high-priority devices saw a
+    /// shorter (high-class) wait not recorded here.
+    pub fn queue_wait_ms(&self) -> &[Vec<f64>] {
+        &self.queue_wait_ms
+    }
+
+    /// Total edge energy spent by the fleet (mJ).
+    pub fn total_energy_mj(&self) -> f64 {
+        self.energy.sum()
+    }
+
+    /// Total end-to-end latency accumulated by the fleet (ms).
+    pub fn total_latency_ms(&self) -> f64 {
+        self.latency.sum()
+    }
+
+    /// An order-independent digest of the integer aggregates — handy for
+    /// asserting the determinism contract without comparing full structs.
+    pub fn digest(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV offset basis
+        let mut feed = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        };
+        feed(self.inferences());
+        feed(self.offloaded);
+        feed(self.switches);
+        // Exact f64 sums, bit-for-bit.
+        feed(self.latency.sum().to_bits());
+        feed(self.energy.sum().to_bits());
+        for r in &self.per_region {
+            feed(r.inferences);
+            feed(r.offloaded);
+            feed(r.switches);
+            feed(r.latency_sum_ms.to_bits());
+            feed(r.energy_sum_mj.to_bits());
+        }
+        h
+    }
+}
+
+impl fmt::Display for FleetReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "fleet report: {} inferences, {} offloaded ({:.1}%), {} switches",
+            self.inferences(),
+            self.offloaded,
+            if self.inferences() == 0 {
+                0.0
+            } else {
+                100.0 * self.offloaded as f64 / self.inferences() as f64
+            },
+            self.switches
+        )?;
+        writeln!(
+            f,
+            "  latency ms: mean {:.2}  p50 {:.2}  p99 {:.2}  max {:.2}",
+            self.latency.mean(),
+            self.latency.percentile(50.0),
+            self.latency.percentile(99.0),
+            self.latency.max()
+        )?;
+        writeln!(
+            f,
+            "  energy mJ:  mean {:.2}  p50 {:.2}  p99 {:.2}  max {:.2}",
+            self.energy.mean(),
+            self.energy.percentile(50.0),
+            self.energy.percentile(99.0),
+            self.energy.max()
+        )?;
+        for r in &self.per_region {
+            writeln!(
+                f,
+                "  {:<14} {:>9} inf, {:>5.1}% offloaded, mean {:.2} ms / {:.2} mJ",
+                r.region,
+                r.inferences,
+                if r.inferences == 0 {
+                    0.0
+                } else {
+                    100.0 * r.offloaded as f64 / r.inferences as f64
+                },
+                r.mean_latency_ms(),
+                r.mean_energy_mj()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_records_and_queries() {
+        let mut h = Histogram::new(1.0, 10);
+        for v in 0..10 {
+            h.record(v as f64 + 0.5);
+        }
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.overflow(), 0);
+        assert!((h.mean() - 5.0).abs() < 1e-12);
+        assert_eq!(h.min(), 0.5);
+        assert_eq!(h.max(), 9.5);
+        let p50 = h.percentile(50.0);
+        assert!((4.0..=6.0).contains(&p50), "p50 {p50}");
+        assert!(h.percentile(100.0) >= h.percentile(0.0));
+    }
+
+    #[test]
+    fn histogram_overflow_and_negative_clamp() {
+        let mut h = Histogram::new(1.0, 4);
+        h.record(100.0);
+        h.record(-3.0);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), -3.0);
+        assert_eq!(h.max(), 100.0);
+        // The overflow percentile falls back to the exact max.
+        assert_eq!(h.percentile(100.0), 100.0);
+    }
+
+    #[test]
+    fn histogram_merge_equals_combined_stream() {
+        let mut a = Histogram::new(2.0, 50);
+        let mut b = Histogram::new(2.0, 50);
+        let mut whole = Histogram::new(2.0, 50);
+        for i in 0..100 {
+            let v = (i * 7 % 90) as f64;
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.percentile(50.0), whole.percentile(50.0));
+        assert_eq!(a.percentile(99.0), whole.percentile(99.0));
+        assert!((a.sum() - whole.sum()).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "bin widths differ")]
+    fn histogram_merge_rejects_mismatched_layout() {
+        let mut a = Histogram::new(1.0, 10);
+        let b = Histogram::new(2.0, 10);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn empty_histogram_is_benign() {
+        let h = Histogram::new(1.0, 10);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.percentile(99.0), 0.0);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn report_record_and_merge() {
+        let regions = vec!["A".to_string(), "B".to_string()];
+        let mut a = FleetReport::empty(1.0, 1.0, 100, &regions);
+        let mut b = FleetReport::empty(1.0, 1.0, 100, &regions);
+        a.record(0, 10.0, 5.0, true, false);
+        b.record(1, 20.0, 2.0, false, true);
+        a.merge(&b);
+        assert_eq!(a.inferences(), 2);
+        assert_eq!(a.offloaded(), 1);
+        assert_eq!(a.switches(), 1);
+        assert_eq!(a.regions()[0].inferences, 1);
+        assert_eq!(a.regions()[1].switches, 1);
+        assert!((a.total_latency_ms() - 30.0).abs() < 1e-12);
+        assert!((a.total_energy_mj() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn digest_tracks_content() {
+        let regions = vec!["A".to_string()];
+        let mut a = FleetReport::empty(1.0, 1.0, 100, &regions);
+        let mut b = FleetReport::empty(1.0, 1.0, 100, &regions);
+        assert_eq!(a.digest(), b.digest());
+        a.record(0, 1.0, 1.0, false, false);
+        assert_ne!(a.digest(), b.digest());
+        b.record(0, 1.0, 1.0, false, false);
+        assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let regions = vec!["USA".to_string()];
+        let mut r = FleetReport::empty(1.0, 1.0, 100, &regions);
+        r.record(0, 12.0, 3.0, true, true);
+        let s = format!("{r}");
+        assert!(s.contains("fleet report"));
+        assert!(s.contains("USA"));
+    }
+}

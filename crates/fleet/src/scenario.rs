@@ -1,0 +1,462 @@
+//! Declarative fleet-scenario descriptions.
+//!
+//! A [`FleetScenario`] pins down everything a run needs — population size,
+//! the Table I regional mix, the wireless-technology mix, the arrival
+//! model, cloud capacity, the switching policy, and the seed — so that two
+//! engines given the same scenario produce the same [`crate::FleetReport`]
+//! (see the crate-level determinism contract).
+
+use crate::cloud::CloudCapacity;
+use crate::FleetError;
+use lens_device::DeviceProfile;
+use lens_nn::units::{Mbps, Millis};
+use lens_nn::Network;
+use lens_runtime::{DeploymentKind, Metric};
+use lens_wireless::{Region, WirelessTechnology};
+
+/// One region's share of the population, with its wireless-technology mix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionShare {
+    /// The region profile (expected uplink rate).
+    pub region: Region,
+    /// Relative population weight (normalized across the scenario).
+    pub weight: f64,
+    /// Relative technology shares within the region (normalized).
+    pub technologies: Vec<(WirelessTechnology, f64)>,
+}
+
+impl RegionShare {
+    /// A region share with the given weight and a default technology mix
+    /// of 60% LTE / 25% WiFi / 15% 3G.
+    pub fn new(region: Region, weight: f64) -> Self {
+        RegionShare {
+            region,
+            weight,
+            technologies: vec![
+                (WirelessTechnology::Lte, 0.60),
+                (WirelessTechnology::Wifi, 0.25),
+                (WirelessTechnology::ThreeG, 0.15),
+            ],
+        }
+    }
+
+    /// Overrides the technology mix.
+    pub fn with_technologies(mut self, technologies: Vec<(WirelessTechnology, f64)>) -> Self {
+        self.technologies = technologies;
+        self
+    }
+}
+
+/// When devices issue inference requests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalModel {
+    /// Every device infers once per `period`, with a seeded per-device
+    /// phase offset so the fleet does not fire in lockstep.
+    Periodic {
+        /// Inter-inference period.
+        period: Millis,
+    },
+    /// Poisson arrivals: exponentially distributed inter-arrival times
+    /// with the given mean, drawn from a per-device seeded stream.
+    Poisson {
+        /// Mean inter-arrival time.
+        mean_interarrival: Millis,
+    },
+}
+
+impl ArrivalModel {
+    pub(crate) fn mean_period_ms(&self) -> f64 {
+        match self {
+            ArrivalModel::Periodic { period } => period.get(),
+            ArrivalModel::Poisson { mean_interarrival } => mean_interarrival.get(),
+        }
+    }
+}
+
+/// How each device chooses its deployment option per inference.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FleetPolicy {
+    /// Every device always uses the option with this kind (per-cohort
+    /// resolved; the scenario fails to build if a cohort lacks it).
+    Fixed(DeploymentKind),
+    /// Track throughput and re-select the dominant option from the
+    /// design-time dominance map before every inference (Fig 5).
+    Dynamic,
+    /// Like [`FleetPolicy::Dynamic`], but additionally charges the
+    /// region's current cloud-queue wait to every offloaded option when
+    /// selecting on latency — devices route around a congested cloud.
+    DynamicCongestionAware,
+}
+
+/// A complete, validated fleet-run description. Build via
+/// [`FleetScenario::builder`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetScenario {
+    pub(crate) population: usize,
+    pub(crate) regions: Vec<RegionShare>,
+    pub(crate) horizon: Millis,
+    pub(crate) trace_interval: Millis,
+    pub(crate) arrival: ArrivalModel,
+    pub(crate) cloud: CloudCapacity,
+    pub(crate) policy: FleetPolicy,
+    pub(crate) metric: Metric,
+    pub(crate) tracker_alpha: f64,
+    pub(crate) seed: u64,
+    pub(crate) shards: usize,
+    pub(crate) network: Network,
+    pub(crate) device_profile: DeviceProfile,
+}
+
+impl FleetScenario {
+    /// Starts a builder with the defaults: 10 000 devices across the
+    /// paper's Table I regions, 1-hour horizon, 60 s trace interval,
+    /// periodic 60 s arrivals, a 64-slot / 8 ms FIFO cloud per region,
+    /// dynamic switching on energy, last-sample tracking, AlexNet on the
+    /// Jetson TX2 CPU, seed 0, one shard.
+    pub fn builder() -> FleetScenarioBuilder {
+        FleetScenarioBuilder::default()
+    }
+
+    /// Population size.
+    pub fn population(&self) -> usize {
+        self.population
+    }
+
+    /// The regional mix.
+    pub fn regions(&self) -> &[RegionShare] {
+        &self.regions
+    }
+
+    /// Region names, in mix order (the order of
+    /// [`crate::FleetReport::regions`]).
+    pub fn region_names(&self) -> Vec<String> {
+        self.regions
+            .iter()
+            .map(|r| r.region.name().to_string())
+            .collect()
+    }
+
+    /// Simulated wall-clock horizon.
+    pub fn horizon(&self) -> Millis {
+        self.horizon
+    }
+
+    /// The per-device trace sampling interval (also the epoch length).
+    pub fn trace_interval(&self) -> Millis {
+        self.trace_interval
+    }
+
+    /// The arrival model.
+    pub fn arrival(&self) -> ArrivalModel {
+        self.arrival
+    }
+
+    /// Cloud capacity per region.
+    pub fn cloud(&self) -> CloudCapacity {
+        self.cloud
+    }
+
+    /// The switching policy.
+    pub fn policy(&self) -> &FleetPolicy {
+        &self.policy
+    }
+
+    /// The metric the policy optimizes.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// The scenario seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of engine shards (worker threads).
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The deployed network.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// The edge-device hardware profile.
+    pub fn device_profile(&self) -> &DeviceProfile {
+        &self.device_profile
+    }
+
+    /// Expected number of inference events the whole fleet generates.
+    pub fn expected_events(&self) -> u64 {
+        let per_device = self.horizon.get() / self.arrival.mean_period_ms();
+        (self.population as f64 * per_device) as u64
+    }
+}
+
+/// Builder for [`FleetScenario`]; every setter has a sensible default.
+#[derive(Debug, Clone)]
+pub struct FleetScenarioBuilder {
+    population: usize,
+    regions: Vec<RegionShare>,
+    horizon: Millis,
+    trace_interval: Millis,
+    arrival: ArrivalModel,
+    cloud: CloudCapacity,
+    policy: FleetPolicy,
+    metric: Metric,
+    tracker_alpha: f64,
+    seed: u64,
+    shards: usize,
+    network: Option<Network>,
+    device_profile: DeviceProfile,
+}
+
+impl Default for FleetScenarioBuilder {
+    fn default() -> Self {
+        // Table I regions; weights are rough population shares for a
+        // three-region fleet rather than anything the paper prescribes.
+        let regions = vec![
+            RegionShare::new(Region::new("S. Korea", Mbps::new(16.1)), 0.3),
+            RegionShare::new(Region::new("USA", Mbps::new(7.5)), 0.5),
+            RegionShare::new(Region::new("Afghanistan", Mbps::new(0.7)), 0.2),
+        ];
+        FleetScenarioBuilder {
+            population: 10_000,
+            regions,
+            horizon: Millis::new(3_600_000.0),
+            trace_interval: Millis::new(60_000.0),
+            arrival: ArrivalModel::Periodic {
+                period: Millis::new(60_000.0),
+            },
+            cloud: CloudCapacity::new(64, 8.0),
+            policy: FleetPolicy::Dynamic,
+            metric: Metric::Energy,
+            tracker_alpha: 1.0,
+            seed: 0,
+            shards: 1,
+            network: None,
+            device_profile: DeviceProfile::jetson_tx2_cpu(),
+        }
+    }
+}
+
+impl FleetScenarioBuilder {
+    /// Sets the number of device sessions.
+    pub fn population(mut self, population: usize) -> Self {
+        self.population = population;
+        self
+    }
+
+    /// Replaces the regional mix.
+    pub fn regions(mut self, regions: Vec<RegionShare>) -> Self {
+        self.regions = regions;
+        self
+    }
+
+    /// Sets the simulated horizon.
+    pub fn horizon(mut self, horizon: Millis) -> Self {
+        self.horizon = horizon;
+        self
+    }
+
+    /// Sets the trace-sample interval (= epoch length).
+    pub fn trace_interval(mut self, interval: Millis) -> Self {
+        self.trace_interval = interval;
+        self
+    }
+
+    /// Sets the arrival model.
+    pub fn arrival(mut self, arrival: ArrivalModel) -> Self {
+        self.arrival = arrival;
+        self
+    }
+
+    /// Sets the per-region cloud capacity.
+    pub fn cloud(mut self, cloud: CloudCapacity) -> Self {
+        self.cloud = cloud;
+        self
+    }
+
+    /// Sets the switching policy.
+    pub fn policy(mut self, policy: FleetPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the metric the policy optimizes.
+    pub fn metric(mut self, metric: Metric) -> Self {
+        self.metric = metric;
+        self
+    }
+
+    /// Sets the throughput-tracker EWMA factor (1 = last-sample).
+    pub fn tracker_alpha(mut self, alpha: f64) -> Self {
+        self.tracker_alpha = alpha;
+        self
+    }
+
+    /// Sets the scenario seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the shard (worker-thread) count.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Sets the deployed network (default: AlexNet).
+    pub fn network(mut self, network: Network) -> Self {
+        self.network = Some(network);
+        self
+    }
+
+    /// Sets the edge-device hardware profile.
+    pub fn device_profile(mut self, profile: DeviceProfile) -> Self {
+        self.device_profile = profile;
+        self
+    }
+
+    /// Validates and builds the scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::InvalidScenario`] when the description is
+    /// contradictory (zero population, empty/non-positive mixes, zero
+    /// horizon, out-of-range tracker alpha, more shards than devices, …).
+    pub fn build(self) -> Result<FleetScenario, FleetError> {
+        let invalid = |why: &str| Err(FleetError::InvalidScenario(why.to_string()));
+        if self.population == 0 {
+            return invalid("population must be positive");
+        }
+        if self.regions.is_empty() {
+            return invalid("at least one region is required");
+        }
+        for share in &self.regions {
+            if !(share.weight.is_finite() && share.weight > 0.0) {
+                return invalid("region weights must be positive and finite");
+            }
+            if share.technologies.is_empty() {
+                return invalid("every region needs at least one technology");
+            }
+            if share
+                .technologies
+                .iter()
+                .any(|(_, w)| !(w.is_finite() && *w > 0.0))
+            {
+                return invalid("technology shares must be positive and finite");
+            }
+        }
+        if self.horizon.get() <= 0.0 {
+            return invalid("horizon must be positive");
+        }
+        // The engine runs on integer microseconds; durations that round to
+        // zero would divide (or modulo) by zero there.
+        if (self.trace_interval.get() * 1000.0).round() < 1.0 {
+            return invalid("trace interval must be at least one microsecond");
+        }
+        if (self.arrival.mean_period_ms() * 1000.0).round() < 1.0 {
+            return invalid("arrival period must be at least one microsecond");
+        }
+        if !(self.tracker_alpha > 0.0 && self.tracker_alpha <= 1.0) {
+            return invalid("tracker alpha must be in (0, 1]");
+        }
+        if self.shards == 0 {
+            return invalid("at least one shard is required");
+        }
+        if self.shards > self.population {
+            return invalid("more shards than devices");
+        }
+        Ok(FleetScenario {
+            population: self.population,
+            regions: self.regions,
+            horizon: self.horizon,
+            trace_interval: self.trace_interval,
+            arrival: self.arrival,
+            cloud: self.cloud,
+            policy: self.policy,
+            metric: self.metric,
+            tracker_alpha: self.tracker_alpha,
+            seed: self.seed,
+            shards: self.shards,
+            network: self.network.unwrap_or_else(lens_nn::zoo::alexnet),
+            device_profile: self.device_profile,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_build() {
+        let s = FleetScenario::builder().build().unwrap();
+        assert_eq!(s.population(), 10_000);
+        assert_eq!(s.regions().len(), 3);
+        assert_eq!(s.region_names()[1], "USA");
+        assert_eq!(s.shards(), 1);
+        assert_eq!(s.expected_events(), 600_000);
+    }
+
+    #[test]
+    fn invalid_scenarios_rejected() {
+        let cases: Vec<(&str, FleetScenarioBuilder)> = vec![
+            ("population", FleetScenario::builder().population(0)),
+            ("region", FleetScenario::builder().regions(vec![])),
+            (
+                "horizon",
+                FleetScenario::builder().horizon(Millis::new(0.0)),
+            ),
+            (
+                "trace interval",
+                FleetScenario::builder().trace_interval(Millis::new(0.0004)),
+            ),
+            (
+                "arrival period",
+                FleetScenario::builder().arrival(ArrivalModel::Periodic {
+                    period: Millis::new(0.0004),
+                }),
+            ),
+            ("shard", FleetScenario::builder().shards(0)),
+            (
+                "shards than devices",
+                FleetScenario::builder().population(2).shards(3),
+            ),
+            ("alpha", FleetScenario::builder().tracker_alpha(0.0)),
+            (
+                "weights",
+                FleetScenario::builder().regions(vec![RegionShare::new(
+                    Region::new("X", Mbps::new(1.0)),
+                    -1.0,
+                )]),
+            ),
+            (
+                "technology",
+                FleetScenario::builder().regions(vec![RegionShare::new(
+                    Region::new("X", Mbps::new(1.0)),
+                    1.0,
+                )
+                .with_technologies(vec![])]),
+            ),
+        ];
+        for (needle, builder) in cases {
+            match builder.build() {
+                Err(FleetError::InvalidScenario(why)) => {
+                    assert!(why.contains(needle), "{why} should mention {needle}")
+                }
+                other => panic!("expected InvalidScenario({needle}), got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn poisson_arrival_mean() {
+        let a = ArrivalModel::Poisson {
+            mean_interarrival: Millis::new(500.0),
+        };
+        assert_eq!(a.mean_period_ms(), 500.0);
+    }
+}

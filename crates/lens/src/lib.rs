@@ -16,6 +16,7 @@
 //! | [`pareto`] | dominance, frontiers, coverage metrics, hypervolume |
 //! | [`accuracy`] | CIFAR-10 error surrogate + a real MLP trainer |
 //! | [`runtime`] | deployment options, `t_u` thresholds, trace-driven Fig 8 simulator |
+//! | [`fleet`] | sharded discrete-event fleet simulator: device populations vs a finite shared cloud |
 //! | [`num`] | dense linear algebra, ridge regression, distributions |
 //!
 //! # Quickstart
@@ -43,6 +44,7 @@
 pub use lens_accuracy as accuracy;
 pub use lens_core as core;
 pub use lens_device as device;
+pub use lens_fleet as fleet;
 pub use lens_gp as gp;
 pub use lens_nn as nn;
 pub use lens_num as num;
@@ -61,6 +63,10 @@ pub mod prelude {
     pub use lens_device::{
         profile_network, DeviceProfile, LayerPerformanceModel, PerformancePredictor,
     };
+    pub use lens_fleet::{
+        ArrivalModel, CloudCapacity, FleetEngine, FleetPolicy, FleetReport, FleetScenario,
+        QueueDiscipline, RegionShare,
+    };
     pub use lens_nn::units::{Bytes, Mbps, Millijoules, Millis, Milliwatts};
     pub use lens_nn::{zoo, Network, NetworkBuilder, TensorShape};
     pub use lens_pareto::ParetoFront;
@@ -70,7 +76,7 @@ pub mod prelude {
     };
     pub use lens_space::{Architecture, Encoding, SearchSpace, VggSpace};
     pub use lens_wireless::{
-        Region, ThroughputTrace, TraceGenerator, WirelessLink, WirelessTechnology,
+        GaussMarkov, Region, ThroughputTrace, TraceGenerator, WirelessLink, WirelessTechnology,
     };
 }
 
@@ -84,5 +90,6 @@ mod tests {
         let _space: VggSpace = VggSpace::for_cifar10();
         let _tracker = ThroughputTracker::last_sample();
         let _ = Lens::builder();
+        let _ = FleetScenario::builder();
     }
 }

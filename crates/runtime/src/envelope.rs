@@ -265,6 +265,60 @@ mod tests {
     }
 
     #[test]
+    fn lookup_exactly_at_thresholds_is_optimal() {
+        // Segment boundaries are inclusive on the right-hand segment; at the
+        // exact pairwise threshold both options cost the same, so whichever
+        // side the lookup resolves to must still be a pointwise argmin.
+        for metric in [Metric::Latency, Metric::Energy] {
+            let (options, map) = alexnet_map(metric);
+            for threshold in map.thresholds() {
+                let chosen = map.best_at(threshold);
+                assert_eq!(
+                    chosen,
+                    map.segments()
+                        .iter()
+                        .find(|s| s.from_mbps == threshold.get())
+                        .expect("threshold is a segment start")
+                        .option_index,
+                    "{metric}: boundary lookup must land on the upper segment"
+                );
+                let chosen_cost = options[chosen].cost(metric).at(threshold);
+                let brute = argmin_at(&options, metric, threshold.get());
+                let brute_cost = options[brute].cost(metric).at(threshold);
+                assert!(
+                    (chosen_cost - brute_cost).abs() < 1e-9,
+                    "{metric} at threshold {threshold}: {chosen_cost} vs {brute_cost}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_option_yields_one_unbounded_segment() {
+        let (options, _) = alexnet_map(Metric::Latency);
+        let solo = vec![options[0].clone()];
+        let map = DominanceMap::build(&solo, Metric::Latency).unwrap();
+        assert_eq!(map.segments().len(), 1);
+        assert_eq!(map.segments()[0].from_mbps, 0.0);
+        assert!(map.segments()[0].to_mbps.is_infinite());
+        assert!(map.thresholds().is_empty());
+        for tu in [0.01, 1.0, 1e6] {
+            assert_eq!(map.best_at(Mbps::new(tu)), 0);
+        }
+    }
+
+    #[test]
+    fn identical_options_collapse_to_one_segment() {
+        // Duplicated options have no crossovers at all; the map must not
+        // fabricate thresholds.
+        let (options, _) = alexnet_map(Metric::Energy);
+        let twins = vec![options[0].clone(), options[0].clone()];
+        let map = DominanceMap::build(&twins, Metric::Energy).unwrap();
+        assert_eq!(map.segments().len(), 1);
+        assert!(map.thresholds().is_empty());
+    }
+
+    #[test]
     fn display_renders_segments() {
         let (_, map) = alexnet_map(Metric::Latency);
         let s = format!("{map}");

@@ -46,6 +46,16 @@ pub enum DeploymentKind {
     AllEdge,
 }
 
+impl DeploymentKind {
+    /// Whether this scheme sends any work to the cloud tier. All-Cloud and
+    /// every split do; only All-Edge keeps the cloud out of the loop. This
+    /// is the hook fleet-level simulators use to charge contention delay to
+    /// exactly the options that occupy cloud capacity.
+    pub fn uses_cloud(&self) -> bool {
+        !matches!(self, DeploymentKind::AllEdge)
+    }
+}
+
 impl fmt::Display for DeploymentKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -112,6 +122,12 @@ impl DeploymentOption {
             Metric::Latency => self.latency,
             Metric::Energy => self.energy,
         }
+    }
+
+    /// Whether this option occupies cloud capacity (see
+    /// [`DeploymentKind::uses_cloud`]).
+    pub fn uses_cloud(&self) -> bool {
+        self.kind.uses_cloud()
     }
 
     /// Latency at a given throughput.
@@ -266,9 +282,42 @@ impl DeploymentPlanner {
         metric: Metric,
         throughput: Mbps,
     ) -> Result<(&DeploymentOption, f64), RuntimeError> {
+        let (index, cost) = Self::best_at_with_cloud_penalty(options, metric, throughput, 0.0)?;
+        Ok((&options[index], cost))
+    }
+
+    /// The index of the best option for a metric at a throughput, charging
+    /// `cloud_penalty` (in the metric's own unit) to every option that
+    /// [uses the cloud](DeploymentOption::uses_cloud). This is the
+    /// contention-aware selection a shared-cloud simulator needs: a queue
+    /// delay shifts every offloaded option's cost by the same constant, so
+    /// the design-time dominance map no longer applies and the argmin must
+    /// be re-taken over the (few) penalized candidates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::NoOptions`] if `options` is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cloud_penalty` is negative or non-finite.
+    pub fn best_at_with_cloud_penalty(
+        options: &[DeploymentOption],
+        metric: Metric,
+        throughput: Mbps,
+        cloud_penalty: f64,
+    ) -> Result<(usize, f64), RuntimeError> {
+        assert!(
+            cloud_penalty.is_finite() && cloud_penalty >= 0.0,
+            "cloud_penalty must be finite and non-negative, got {cloud_penalty}"
+        );
         options
             .iter()
-            .map(|o| (o, o.cost(metric).at(throughput)))
+            .enumerate()
+            .map(|(i, o)| {
+                let penalty = if o.uses_cloud() { cloud_penalty } else { 0.0 };
+                (i, o.cost(metric).at(throughput) + penalty)
+            })
             .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite costs"))
             .ok_or(RuntimeError::NoOptions)
     }
@@ -394,6 +443,52 @@ mod tests {
             DeploymentPlanner::best_at(&[], Metric::Latency, Mbps::new(1.0)),
             Err(RuntimeError::NoOptions)
         ));
+        assert!(matches!(
+            DeploymentPlanner::best_at_with_cloud_penalty(
+                &[],
+                Metric::Latency,
+                Mbps::new(1.0),
+                0.0
+            ),
+            Err(RuntimeError::NoOptions)
+        ));
+    }
+
+    #[test]
+    fn uses_cloud_only_excludes_all_edge() {
+        let options = alexnet_options(WirelessTechnology::Lte);
+        for o in &options {
+            assert_eq!(o.uses_cloud(), o.kind() != &DeploymentKind::AllEdge, "{o}");
+        }
+    }
+
+    #[test]
+    fn zero_penalty_matches_plain_best_at() {
+        let options = alexnet_options(WirelessTechnology::Lte);
+        for tu in [0.5, 3.0, 7.5, 16.1, 30.0] {
+            let tu = Mbps::new(tu);
+            for metric in [Metric::Latency, Metric::Energy] {
+                let (_, plain) = DeploymentPlanner::best_at(&options, metric, tu).unwrap();
+                let (idx, penalized) =
+                    DeploymentPlanner::best_at_with_cloud_penalty(&options, metric, tu, 0.0)
+                        .unwrap();
+                assert!((plain - penalized).abs() < 1e-12);
+                assert!((options[idx].cost(metric).at(tu) - plain).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn huge_penalty_forces_all_edge() {
+        let options = alexnet_options(WirelessTechnology::Lte);
+        let (idx, _) = DeploymentPlanner::best_at_with_cloud_penalty(
+            &options,
+            Metric::Latency,
+            Mbps::new(50.0),
+            1e9,
+        )
+        .unwrap();
+        assert_eq!(options[idx].kind(), &DeploymentKind::AllEdge);
     }
 
     #[test]

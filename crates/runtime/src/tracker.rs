@@ -127,4 +127,52 @@ mod tests {
     fn zero_alpha_panics() {
         ThroughputTracker::new(0.0);
     }
+
+    #[test]
+    fn step_change_decays_geometrically() {
+        // After a step from 10 to 20 Mbps, the EWMA error must shrink by
+        // exactly (1 - alpha) per observation: e_k = (1-alpha)^k * step.
+        let alpha = 0.3;
+        let mut t = ThroughputTracker::new(alpha);
+        for _ in 0..50 {
+            t.observe(Mbps::new(10.0));
+        }
+        let mut expected_error = 10.0; // the step size
+        for _ in 0..20 {
+            t.observe(Mbps::new(20.0));
+            expected_error *= 1.0 - alpha;
+            let err = 20.0 - t.estimate().unwrap().get();
+            assert!(
+                (err - expected_error).abs() < 1e-9,
+                "error {err} vs expected {expected_error}"
+            );
+        }
+        // After 20 steps the tracker has essentially converged.
+        assert!((t.estimate().unwrap().get() - 20.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn last_sample_tracker_responds_to_step_instantly() {
+        let mut t = ThroughputTracker::last_sample();
+        for _ in 0..10 {
+            t.observe(Mbps::new(2.0));
+        }
+        t.observe(Mbps::new(30.0));
+        assert_eq!(t.estimate().unwrap().get(), 30.0);
+    }
+
+    #[test]
+    fn smaller_alpha_lags_harder_on_a_step() {
+        let step = |alpha: f64| {
+            let mut t = ThroughputTracker::new(alpha);
+            for _ in 0..10 {
+                t.observe(Mbps::new(5.0));
+            }
+            t.observe(Mbps::new(50.0));
+            t.estimate().unwrap().get()
+        };
+        assert!(step(0.1) < step(0.5));
+        assert!(step(0.5) < step(1.0));
+        assert_eq!(step(1.0), 50.0);
+    }
 }

@@ -26,7 +26,7 @@ pub mod trace;
 pub use link::WirelessLink;
 pub use region::Region;
 pub use technology::{UplinkPowerModel, WirelessTechnology};
-pub use trace::{ThroughputTrace, TraceGenerator};
+pub use trace::{GaussMarkov, ThroughputTrace, TraceGenerator};
 
 use std::error::Error;
 use std::fmt;

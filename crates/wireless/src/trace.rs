@@ -8,6 +8,8 @@
 //! rates), fully determined by a seed. Real measurements can be loaded with
 //! [`ThroughputTrace::from_csv`].
 
+use crate::region::Region;
+use crate::technology::WirelessTechnology;
 use crate::WirelessError;
 use lens_nn::units::{Mbps, Millis};
 use lens_num::dist;
@@ -73,6 +75,37 @@ impl ThroughputTrace {
     pub fn fraction_above(&self, threshold: Mbps) -> f64 {
         let above = self.samples.iter().filter(|&&s| s > threshold).count();
         above as f64 / self.samples.len() as f64
+    }
+
+    /// Synthesizes a per-device trace around a region's expected uplink
+    /// rate with a technology-dependent volatility — the fleet-scale
+    /// counterpart of replaying the single measured LTE trace. The process
+    /// is the Gauss–Markov model of [`GaussMarkov`]; every sample is
+    /// strictly positive by construction.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lens_nn::units::{Mbps, Millis};
+    /// use lens_wireless::{Region, ThroughputTrace, WirelessTechnology};
+    ///
+    /// let usa = Region::new("USA", Mbps::new(7.5));
+    /// let t = ThroughputTrace::synthesize(
+    ///     &usa, WirelessTechnology::Lte, 12, Millis::new(300_000.0), 7);
+    /// assert_eq!(t.len(), 12);
+    /// assert!(t.samples().iter().all(|s| s.get() > 0.0));
+    /// ```
+    pub fn synthesize(
+        region: &Region,
+        technology: WirelessTechnology,
+        num_samples: usize,
+        interval: Millis,
+        seed: u64,
+    ) -> ThroughputTrace {
+        GaussMarkov::for_technology(region.uplink(), technology)
+            .with_samples(num_samples)
+            .with_interval(interval)
+            .generate(seed)
     }
 
     /// Serializes to a two-column CSV (`minutes,mbps`) with a header.
@@ -236,6 +269,135 @@ impl TraceGenerator {
     }
 }
 
+/// Seeded Gauss–Markov (linear AR(1)) throughput generator.
+///
+/// Where [`TraceGenerator`] reproduces the *measured* LTE trace's bursty
+/// log-normal shape, `GaussMarkov` is the fleet synthesizer: it wanders
+/// around a target mean rate (a [`Region`]'s expected uplink) with
+/// exponentially decaying autocorrelation,
+///
+/// ```text
+/// x_{t+1} = mean + ar·(x_t − mean) + sigma·sqrt(1 − ar²)·N(0,1)
+/// ```
+///
+/// clamped from below at a small positive floor so rates stay valid
+/// (non-negative, and safe to divide by in the `1/t_u` cost forms).
+///
+/// # Examples
+///
+/// ```
+/// use lens_nn::units::Mbps;
+/// use lens_wireless::{GaussMarkov, WirelessTechnology};
+///
+/// let g = GaussMarkov::for_technology(Mbps::new(7.5), WirelessTechnology::Lte);
+/// let trace = g.generate(3);
+/// assert_eq!(trace, g.generate(3)); // deterministic per seed
+/// assert!(trace.samples().iter().all(|s| s.get() > 0.0));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaussMarkov {
+    mean: Mbps,
+    sigma: f64,
+    ar_coefficient: f64,
+    num_samples: usize,
+    interval: Millis,
+}
+
+impl GaussMarkov {
+    /// Creates a generator with explicit parameters. `sigma` is the
+    /// stationary standard deviation in Mbps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative, `ar_coefficient` is outside `[0, 1)`,
+    /// or `num_samples` is zero.
+    pub fn new(
+        mean: Mbps,
+        sigma: f64,
+        ar_coefficient: f64,
+        num_samples: usize,
+        interval: Millis,
+    ) -> Self {
+        assert!(sigma >= 0.0, "sigma must be non-negative");
+        assert!(
+            (0.0..1.0).contains(&ar_coefficient),
+            "ar_coefficient must be in [0,1)"
+        );
+        assert!(num_samples > 0, "num_samples must be positive");
+        GaussMarkov {
+            mean,
+            sigma,
+            ar_coefficient,
+            num_samples,
+            interval,
+        }
+    }
+
+    /// A generator tuned to a technology's typical volatility around the
+    /// given mean rate: WiFi is steady, LTE moderately bursty, 3G wild.
+    /// Defaults to the paper's measurement cadence (40 samples at 5-minute
+    /// intervals); override with [`with_samples`](Self::with_samples) /
+    /// [`with_interval`](Self::with_interval).
+    pub fn for_technology(mean: Mbps, technology: WirelessTechnology) -> Self {
+        let (rel_sigma, ar) = match technology {
+            WirelessTechnology::Wifi => (0.15, 0.6),
+            WirelessTechnology::Lte => (0.35, 0.45),
+            WirelessTechnology::ThreeG => (0.55, 0.3),
+        };
+        GaussMarkov::new(
+            mean,
+            rel_sigma * mean.get(),
+            ar,
+            40,
+            Millis::new(5.0 * 60_000.0),
+        )
+    }
+
+    /// Overrides the number of samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_samples` is zero.
+    pub fn with_samples(mut self, num_samples: usize) -> Self {
+        assert!(num_samples > 0, "num_samples must be positive");
+        self.num_samples = num_samples;
+        self
+    }
+
+    /// Overrides the sampling interval.
+    pub fn with_interval(mut self, interval: Millis) -> Self {
+        self.interval = interval;
+        self
+    }
+
+    /// The positive floor rates are clamped to: 1% of the mean, but at
+    /// least 0.05 Mbps (the same floor the LTE generator uses).
+    pub fn floor(&self) -> Mbps {
+        Mbps::new((0.01 * self.mean.get()).max(0.05))
+    }
+
+    /// Generates a trace deterministically from `seed`.
+    pub fn generate(&self, seed: u64) -> ThroughputTrace {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mean = self.mean.get();
+        let floor = self.floor().get();
+        // Start from the stationary distribution so short traces are not
+        // biased toward the mean.
+        let mut x = mean + self.sigma * dist::standard_normal(&mut rng);
+        let innovation_scale = self.sigma * (1.0 - self.ar_coefficient.powi(2)).sqrt();
+        let samples = (0..self.num_samples)
+            .map(|_| {
+                let sample = x.max(floor);
+                x = mean
+                    + self.ar_coefficient * (x - mean)
+                    + innovation_scale * dist::standard_normal(&mut rng);
+                Mbps::new(sample)
+            })
+            .collect();
+        ThroughputTrace::new(samples, self.interval).expect("generator produces >=1 sample")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -320,6 +482,60 @@ mod tests {
         assert!(s.contains("40 samples"));
     }
 
+    #[test]
+    fn gauss_markov_is_deterministic_per_seed() {
+        let g = GaussMarkov::for_technology(Mbps::new(7.5), WirelessTechnology::Lte);
+        assert_eq!(g.generate(11), g.generate(11));
+        assert_ne!(g.generate(11), g.generate(12));
+    }
+
+    #[test]
+    fn gauss_markov_tracks_mean() {
+        let g = GaussMarkov::for_technology(Mbps::new(16.1), WirelessTechnology::Wifi)
+            .with_samples(2000);
+        let t = g.generate(1);
+        let m = t.mean().get();
+        assert!((m - 16.1).abs() < 1.5, "mean {m} drifted from 16.1");
+    }
+
+    #[test]
+    fn technology_controls_volatility() {
+        let mean = Mbps::new(10.0);
+        let std_of = |tech| {
+            let t = GaussMarkov::for_technology(mean, tech)
+                .with_samples(2000)
+                .generate(4);
+            let raw: Vec<f64> = t.samples().iter().map(|s| s.get()).collect();
+            lens_num::stats::std_dev(&raw).unwrap()
+        };
+        assert!(std_of(WirelessTechnology::Wifi) < std_of(WirelessTechnology::Lte));
+        assert!(std_of(WirelessTechnology::Lte) < std_of(WirelessTechnology::ThreeG));
+    }
+
+    #[test]
+    fn synthesize_honours_shape_and_floor() {
+        let afghanistan = Region::new("Afghanistan", Mbps::new(0.7));
+        let t = ThroughputTrace::synthesize(
+            &afghanistan,
+            WirelessTechnology::ThreeG,
+            24,
+            Millis::new(60_000.0),
+            5,
+        );
+        assert_eq!(t.len(), 24);
+        assert_eq!(t.interval(), Millis::new(60_000.0));
+        // 3G at 0.7 Mbps mean is wildly volatile; the floor must hold.
+        for s in t.samples() {
+            assert!(s.get() >= 0.05, "sample {s} below floor");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma must be non-negative")]
+    fn gauss_markov_rejects_negative_sigma() {
+        GaussMarkov::new(Mbps::new(5.0), -1.0, 0.5, 10, Millis::new(1000.0));
+    }
+
     proptest! {
         /// Every generated sample is positive and bounded; traces of any
         /// seed/median combination stay valid.
@@ -328,6 +544,23 @@ mod tests {
             let t = TraceGenerator::lte_like(Mbps::new(median)).generate(seed);
             for s in t.samples() {
                 prop_assert!(s.get() >= 0.05 && s.get() <= 200.0);
+            }
+        }
+
+        /// Gauss–Markov rates are always at or above the positive floor,
+        /// whatever the mean, technology, or seed.
+        #[test]
+        fn prop_gauss_markov_non_negative(
+            seed in 0u64..500,
+            mean in 0.1f64..60.0,
+            tech_idx in 0usize..3,
+        ) {
+            let tech = WirelessTechnology::all()[tech_idx];
+            let g = GaussMarkov::for_technology(Mbps::new(mean), tech).with_samples(60);
+            let floor = g.floor();
+            let t = g.generate(seed);
+            for s in t.samples() {
+                prop_assert!(*s >= floor, "sample {s} below floor {floor}");
             }
         }
     }

@@ -92,7 +92,7 @@ pub mod collection {
     use rand::rngs::StdRng;
     use rand::Rng;
 
-    /// Size specification for [`vec`]: a count, `lo..hi`, or `lo..=hi`.
+    /// Size specification for [`fn@vec`]: a count, `lo..hi`, or `lo..=hi`.
     #[derive(Clone, Debug)]
     pub struct SizeRange {
         lo: usize,

@@ -77,6 +77,67 @@ proptest! {
         prop_assert!((by_map - brute).abs() < 1e-9);
     }
 
+    /// Boundary behavior: looking up *exactly* at every pairwise threshold
+    /// of a sampled architecture's dominance map still returns a pointwise
+    /// argmin (at a crossover both sides cost the same; the lookup must not
+    /// fall into a wrong segment).
+    #[test]
+    fn prop_threshold_exact_lookup_is_argmin(seed in 0u64..2000) {
+        let deploy = VggSpace::for_deployment();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let enc = deploy.sample(&mut rng);
+        let analysis = deploy.decode(&enc).unwrap().analyze().unwrap();
+        let eval = perf(PartitionPolicy::WithinOptimization, 3.0).evaluate(&analysis).unwrap();
+
+        for metric in [Metric::Latency, Metric::Energy] {
+            let map = DominanceMap::build(&eval.options, metric).unwrap();
+            for threshold in map.thresholds() {
+                let by_map = eval.options[map.best_at(threshold)].cost(metric).at(threshold);
+                let (_, brute) =
+                    DeploymentPlanner::best_at(&eval.options, metric, threshold).unwrap();
+                prop_assert!((by_map - brute).abs() < 1e-9,
+                    "{metric} at {threshold}: {by_map} vs {brute}");
+            }
+        }
+    }
+
+    /// A tracker fed a step-change trace converges toward the new level
+    /// monotonically, from any alpha, and a single-option dominance map
+    /// never switches whatever the tracker reports.
+    #[test]
+    fn prop_step_trace_tracker_and_degenerate_map(
+        alpha in 0.05f64..1.0,
+        low in 0.5f64..5.0,
+        high in 10.0f64..50.0,
+    ) {
+        let mut tracker = ThroughputTracker::new(alpha);
+        for _ in 0..30 {
+            tracker.observe(Mbps::new(low));
+        }
+        let mut prev = tracker.estimate().unwrap().get();
+        for _ in 0..30 {
+            tracker.observe(Mbps::new(high));
+            let est = tracker.estimate().unwrap().get();
+            prop_assert!(est >= prev - 1e-12, "estimate regressed: {est} < {prev}");
+            prop_assert!(est <= high + 1e-12);
+            prev = est;
+        }
+        // Eventual convergence (30 steps at the smallest alpha ≈ 0.2 of
+        // the gap remaining).
+        prop_assert!(high - prev < (high - low) * (1.0 - alpha).powi(30) + 1e-9);
+
+        let analysis = zoo::alexnet().analyze().unwrap();
+        let perf_profile = profile_network(&analysis, &DeviceProfile::jetson_tx2_cpu());
+        let planner = DeploymentPlanner::new(
+            WirelessLink::new(WirelessTechnology::Lte, Mbps::new(3.0)));
+        let options = planner.enumerate(&analysis, &perf_profile).unwrap();
+        let solo = vec![options[0].clone()];
+        let map = DominanceMap::build(&solo, Metric::Energy).unwrap();
+        prop_assert_eq!(map.segments().len(), 1);
+        prop_assert_eq!(map.best_at(Mbps::new(low)), 0);
+        prop_assert_eq!(map.best_at(Mbps::new(high)), 0);
+    }
+
     /// Trace CSV round-trip composed with the simulator: same trace, same
     /// totals.
     #[test]

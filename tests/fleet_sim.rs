@@ -1,0 +1,131 @@
+//! Repo-level integration tests for the fleet subsystem, driven through
+//! the `lens` facade: the determinism contract, the contention axis, and
+//! the dynamic-vs-fixed policy ordering at (small) population scale.
+
+use lens::prelude::*;
+
+fn congested(population: usize, policy: FleetPolicy, metric: Metric, shards: usize) -> FleetReport {
+    let scenario = FleetScenario::builder()
+        .population(population)
+        .horizon(Millis::new(1_200_000.0)) // 20 minutes
+        .trace_interval(Millis::new(60_000.0))
+        .cloud(CloudCapacity::new(2, 250.0)) // 480 inferences/min drain
+        .policy(policy)
+        .metric(metric)
+        .seed(7)
+        .shards(shards)
+        .build()
+        .expect("valid scenario");
+    FleetEngine::new(scenario)
+        .expect("engine builds")
+        .run()
+        .expect("run succeeds")
+}
+
+#[test]
+fn reports_are_reproducible_bit_for_bit() {
+    let a = congested(1500, FleetPolicy::Dynamic, Metric::Energy, 3);
+    let b = congested(1500, FleetPolicy::Dynamic, Metric::Energy, 3);
+    assert_eq!(a, b);
+    assert_eq!(a.digest(), b.digest());
+    // 1500 devices x 20 one-minute periods.
+    assert_eq!(a.inferences(), 30_000);
+}
+
+#[test]
+fn integer_aggregates_are_shard_count_invariant() {
+    let a = congested(1500, FleetPolicy::Dynamic, Metric::Energy, 1);
+    let b = congested(1500, FleetPolicy::Dynamic, Metric::Energy, 5);
+    assert_eq!(a.inferences(), b.inferences());
+    assert_eq!(a.offloaded(), b.offloaded());
+    assert_eq!(a.switches(), b.switches());
+    assert_eq!(a.latency().percentile(50.0), b.latency().percentile(50.0));
+    assert_eq!(a.energy().percentile(99.0), b.energy().percentile(99.0));
+}
+
+#[test]
+fn dynamic_beats_every_fixed_policy_on_energy_under_congestion() {
+    let dynamic = congested(1500, FleetPolicy::Dynamic, Metric::Energy, 2);
+    assert!(
+        dynamic.switches() > 0,
+        "fleet should switch under bursty traces"
+    );
+    let kinds = {
+        let scenario = FleetScenario::builder()
+            .population(1)
+            .build()
+            .expect("valid scenario");
+        let engine = FleetEngine::new(scenario).expect("engine builds");
+        let kinds: Vec<DeploymentKind> = engine.cohorts()[0]
+            .options
+            .iter()
+            .map(|o| o.kind().clone())
+            .collect();
+        kinds
+    };
+    assert!(kinds.len() >= 3, "AlexNet should enumerate several options");
+    for kind in kinds {
+        let fixed = congested(1500, FleetPolicy::Fixed(kind.clone()), Metric::Energy, 2);
+        assert!(
+            dynamic.total_energy_mj() < fixed.total_energy_mj(),
+            "dynamic ({}) must beat fixed {kind} ({})",
+            dynamic.total_energy_mj(),
+            fixed.total_energy_mj()
+        );
+    }
+}
+
+#[test]
+fn all_cloud_fleet_saturates_the_queue_and_congestion_aware_dodges_it() {
+    let flood = congested(
+        1500,
+        FleetPolicy::Fixed(DeploymentKind::AllCloud),
+        Metric::Latency,
+        2,
+    );
+    let peak: f64 = flood
+        .queue_depth()
+        .iter()
+        .flat_map(|r| r.iter())
+        .fold(0.0, |a, &b| a.max(b));
+    assert!(
+        peak > 100.0,
+        "1500 all-cloud devices must congest 480/min, peak {peak}"
+    );
+
+    let aware = congested(
+        1500,
+        FleetPolicy::DynamicCongestionAware,
+        Metric::Latency,
+        2,
+    );
+    assert!(
+        aware.latency().mean() < flood.latency().mean(),
+        "congestion-aware ({}) must beat all-cloud ({}) on mean latency",
+        aware.latency().mean(),
+        flood.latency().mean()
+    );
+}
+
+#[test]
+fn per_region_breakdown_reflects_the_mix() {
+    let report = congested(2000, FleetPolicy::Dynamic, Metric::Energy, 2);
+    let regions = report.regions();
+    assert_eq!(regions.len(), 3);
+    let by_name = |n: &str| regions.iter().find(|r| r.region == n).expect("region");
+    // Default mix: USA 50%, S. Korea 30%, Afghanistan 20%.
+    assert!(by_name("USA").inferences > by_name("S. Korea").inferences);
+    assert!(by_name("S. Korea").inferences > by_name("Afghanistan").inferences);
+    // Afghanistan (0.7 Mbps) should mostly stay on-device for energy;
+    // S. Korea (16.1 Mbps) should offload far more eagerly.
+    let offload_share = |n: &str| {
+        let r = by_name(n);
+        r.offloaded as f64 / r.inferences as f64
+    };
+    assert!(
+        offload_share("S. Korea") > offload_share("Afghanistan"),
+        "fast region should offload more: {} vs {}",
+        offload_share("S. Korea"),
+        offload_share("Afghanistan")
+    );
+}

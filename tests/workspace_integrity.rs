@@ -146,6 +146,66 @@ fn criterion_benches_are_registered_without_default_harness() {
     }
 }
 
+/// The generic stem-scanning tests above catch *unregistered* files; this
+/// pins the fleet subsystem's surface by name so a rename or accidental
+/// deletion of any piece (crate, facade re-export, bench, example, test)
+/// fails loudly rather than silently shrinking coverage.
+#[test]
+fn fleet_subsystem_is_fully_registered() {
+    let root = repo_root();
+    let read = |p: &str| fs::read_to_string(root.join(p)).unwrap_or_else(|e| panic!("{p}: {e}"));
+
+    let root_manifest = read("Cargo.toml");
+    assert!(
+        root_manifest.contains("lens-fleet = { path = \"crates/fleet\""),
+        "[workspace.dependencies] must carry lens-fleet"
+    );
+
+    let facade_manifest = read("crates/lens/Cargo.toml");
+    assert!(
+        facade_manifest.contains("lens-fleet = { workspace = true }"),
+        "the facade must depend on lens-fleet"
+    );
+    assert!(
+        facade_manifest.contains("path = \"../../examples/fleet_scaleout.rs\""),
+        "fleet_scaleout example must be registered on the facade"
+    );
+    assert!(
+        facade_manifest.contains("path = \"../../tests/fleet_sim.rs\""),
+        "fleet_sim test must be registered on the facade"
+    );
+
+    let facade_lib = read("crates/lens/src/lib.rs");
+    assert!(
+        facade_lib.contains("pub use lens_fleet as fleet;"),
+        "the facade must re-export lens-fleet"
+    );
+
+    let bench_manifest = read("crates/bench/Cargo.toml");
+    assert!(
+        bench_manifest.contains("name = \"fleet_step\""),
+        "fleet_step bench must be registered"
+    );
+}
+
+#[test]
+fn ci_gates_docs_and_fleet_smoke_run() {
+    let root = repo_root();
+    let ci = fs::read_to_string(root.join(".github/workflows/ci.yml")).expect("ci.yml exists");
+    assert!(
+        ci.contains("cargo doc --workspace --no-deps"),
+        "CI must build rustdoc for the workspace"
+    );
+    assert!(
+        ci.contains("RUSTDOCFLAGS: \"-D warnings\""),
+        "CI rustdoc step must deny warnings"
+    );
+    assert!(
+        ci.contains("cargo run --example fleet_scaleout --release"),
+        "CI must smoke-run the fleet_scaleout example in release"
+    );
+}
+
 #[test]
 fn release_profile_is_tuned_for_benchmarking() {
     let root = repo_root();
