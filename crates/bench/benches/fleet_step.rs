@@ -22,6 +22,19 @@ fn scenario(population: usize, shards: usize) -> FleetScenario {
         .expect("valid scenario")
 }
 
+/// A two-backend batched serving tier with admission control — the
+/// heaviest per-epoch barrier configuration.
+fn batched_serving() -> CloudServing {
+    CloudServing::new(vec![
+        BackendConfig::new("gpu", 2, 50.0, 0.25).with_batching(64, 100.0),
+        BackendConfig::new("cpu", 8, 40.0, 40.0).with_batching(8, 100.0),
+    ])
+    .with_admission(AdmissionPolicy::Deadline {
+        max_wait_ms: 2_000.0,
+    })
+    .with_failover(FailoverPolicy::SiblingRegion { penalty_ms: 60.0 })
+}
+
 fn bench_fleet(c: &mut Criterion) {
     let mut group = c.benchmark_group("fleet");
 
@@ -31,6 +44,37 @@ fn bench_fleet(c: &mut Criterion) {
             b.iter(|| black_box(engine.run().expect("run").inferences()))
         });
     }
+
+    // The full run again, with the serving tier exercising batching,
+    // water-fill dispatch, admission, and failover on every event/barrier.
+    let batched = FleetScenario::builder()
+        .population(10_000)
+        .horizon(Millis::new(600_000.0))
+        .serving(batched_serving())
+        .policy(FleetPolicy::Dynamic)
+        .metric(Metric::Energy)
+        .seed(11)
+        .build()
+        .expect("valid scenario");
+    let engine = FleetEngine::new(batched).expect("engine builds");
+    group.bench_function("run_batched/10000", |b| {
+        b.iter(|| black_box(engine.run().expect("run").inferences()))
+    });
+
+    // The barrier path in isolation: one region's admit → water-fill →
+    // batch-close/drain → signal cycle, at a fluid 5k offloads/epoch.
+    let serving = batched_serving();
+    group.bench_function("batch_close", |b| {
+        b.iter(|| {
+            let mut region = RegionServing::new(&serving);
+            for _ in 0..60 {
+                region.admit(500, 4_500);
+                region.drain(60_000.0);
+                black_box(region.signal());
+            }
+            black_box(region.depth())
+        })
+    });
 
     group.bench_function("engine_build_10k", |b| {
         b.iter(|| FleetEngine::new(black_box(scenario(10_000, 1))).expect("engine builds"))

@@ -1,16 +1,36 @@
-//! The shared cloud tier: finite concurrent-inference capacity per region.
+//! The shared cloud tier: a per-region *serving tier* of heterogeneous
+//! batched backends behind an admission controller.
 //!
 //! The paper idealizes the cloud as infinitely fast (`L_cloud = 0`); at
-//! fleet scale that assumption breaks first. Each region gets a
-//! [`CloudRegionQueue`]: `capacity` concurrent inference slots, each taking
-//! `service_ms` per offloaded inference, behind a FIFO or two-class
-//! priority discipline. The queue is advanced deterministically at epoch
-//! barriers in fluid form — arrivals are admitted as job counts, slots
-//! drain `capacity / service_ms` jobs per millisecond, and the published
-//! wait is the time the current backlog needs to drain ahead of a new
-//! arrival. Shards read that wait for a whole epoch (one-epoch lag), which
-//! is what keeps epochs embarrassingly parallel.
+//! fleet scale that assumption breaks first. PR 2 modeled each region as a
+//! single fluid FIFO/priority queue; this module grows that into a serving
+//! tier:
+//!
+//! * [`BackendConfig`] — one pool of identical executors (e.g. a GPU pool
+//!   vs. a CPU pool) with an affine batch cost
+//!   `T(b) = base_service_ms + per_item_ms · b`, so the per-item cost
+//!   `T(b)/b` falls as batches grow — exactly the amortization LCP
+//!   (Hadidi et al. 2020) exploits for communication.
+//! * [`BatchPolicy`] — a dynamic batcher per backend: batches close at
+//!   `max_batch` items or when `linger_ms` expires, whichever comes first.
+//! * [`AdmissionPolicy`] — queue-depth or deadline-based shedding. The
+//!   controller publishes a *shed fraction* at each epoch barrier; devices
+//!   apply it (deterministically, from their own seeded streams) to the
+//!   offloads of the **next** epoch, preserving the one-epoch contention
+//!   lag that keeps epochs embarrassingly parallel.
+//! * [`FailoverPolicy`] — what a shed request does: fail over to the
+//!   least-loaded sibling region (paying an inter-region penalty), or fall
+//!   back to on-device execution, charged at the device's local-only
+//!   deployment option.
+//!
+//! All queue state advances deterministically at epoch barriers in fluid
+//! form: arrivals are admitted as job counts, dispatched across backends by
+//! least-work-left water-filling, and each backend drains at the rate its
+//! current batch size implies. [`CloudCapacity`] — the PR 2 configuration
+//! surface — is kept as the degenerate single-backend, unbatched case and
+//! converts losslessly via [`CloudServing::from`].
 
+use crate::report::Histogram;
 use std::fmt;
 
 /// Queueing discipline for a region's cloud slots.
@@ -28,7 +48,10 @@ pub enum QueueDiscipline {
     },
 }
 
-/// Capacity description for the shared cloud, applied per region.
+/// Capacity description for the PR 2 single-queue cloud, applied per
+/// region. Retained as the simple configuration surface: it converts into
+/// a one-backend, unbatched [`CloudServing`] with identical drain
+/// behavior.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CloudCapacity {
     /// Concurrent inference slots per region.
@@ -79,69 +102,617 @@ impl CloudCapacity {
     }
 }
 
-/// One region's deterministic cloud queue state.
-#[derive(Debug, Clone, PartialEq)]
-pub struct CloudRegionQueue {
-    capacity: CloudCapacity,
-    backlog_high: f64,
-    backlog_low: f64,
+/// When a backend's dynamic batcher closes a batch: at `max_batch` items,
+/// or when the oldest queued item has lingered `linger_ms`, whichever
+/// comes first.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchPolicy {
+    /// Largest batch a single executor runs (≥ 1).
+    pub max_batch: usize,
+    /// Longest a request may wait for its batch to fill (ms, ≥ 0).
+    pub linger_ms: f64,
 }
 
-impl CloudRegionQueue {
-    /// An empty queue with the given capacity.
-    pub fn new(capacity: CloudCapacity) -> Self {
-        CloudRegionQueue {
-            capacity,
-            backlog_high: 0.0,
-            backlog_low: 0.0,
+impl BatchPolicy {
+    /// No batching: every request is its own batch.
+    pub fn none() -> Self {
+        BatchPolicy {
+            max_batch: 1,
+            linger_ms: 0.0,
         }
     }
 
-    /// Admits one epoch's offloaded inferences (split by priority class).
-    pub fn admit(&mut self, high: u64, low: u64) {
-        self.backlog_high += high as f64;
-        self.backlog_low += low as f64;
-    }
-
-    /// Drains the queue for `epoch_ms` of wall-clock: high-priority work
-    /// first, then the FIFO backlog.
-    pub fn drain(&mut self, epoch_ms: f64) {
-        let mut budget = self.capacity.drain_rate_per_ms() * epoch_ms;
-        let high_served = self.backlog_high.min(budget);
-        self.backlog_high -= high_served;
-        budget -= high_served;
-        self.backlog_low = (self.backlog_low - budget).max(0.0);
-    }
-
-    /// The wait (ms) a new arrival of the given class experiences: the time
-    /// the backlog ahead of it needs to drain.
-    pub fn wait_ms(&self, high_priority: bool) -> f64 {
-        let ahead = if high_priority {
-            self.backlog_high
-        } else {
-            self.backlog_high + self.backlog_low
-        };
-        ahead / self.capacity.drain_rate_per_ms()
-    }
-
-    /// Total queued jobs.
-    pub fn depth(&self) -> f64 {
-        self.backlog_high + self.backlog_low
-    }
-
-    /// The capacity this queue enforces.
-    pub fn capacity(&self) -> &CloudCapacity {
-        &self.capacity
+    /// A batcher closing at `max_batch` items or after `linger_ms`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch` is zero or `linger_ms` is negative or
+    /// non-finite.
+    pub fn new(max_batch: usize, linger_ms: f64) -> Self {
+        assert!(max_batch > 0, "max_batch must be at least 1");
+        assert!(
+            linger_ms.is_finite() && linger_ms >= 0.0,
+            "linger_ms must be non-negative and finite"
+        );
+        BatchPolicy {
+            max_batch,
+            linger_ms,
+        }
     }
 }
 
-impl fmt::Display for CloudRegionQueue {
+/// One pool of identical executors inside a region's serving tier, with an
+/// affine batch cost: a batch of `b` items occupies one executor for
+/// `base_service_ms + per_item_ms · b` milliseconds, so the per-item cost
+/// is sub-linear in `b` and large batches amortize the fixed part.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackendConfig {
+    /// Display name (`"gpu"`, `"cpu"`, …), unique within the region.
+    pub name: String,
+    /// Concurrent batch executors in this pool.
+    pub slots: usize,
+    /// Fixed cost per batch (ms) — the part batching amortizes.
+    pub base_service_ms: f64,
+    /// Marginal cost per batched item (ms).
+    pub per_item_ms: f64,
+    /// The dynamic batcher in front of this pool.
+    pub batching: BatchPolicy,
+}
+
+impl BackendConfig {
+    /// An unbatched backend: `slots` executors at
+    /// `base_service_ms + per_item_ms` per single-item request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is zero, either cost is negative or non-finite,
+    /// or the single-item service time `base_service_ms + per_item_ms` is
+    /// not positive.
+    pub fn new(name: &str, slots: usize, base_service_ms: f64, per_item_ms: f64) -> Self {
+        assert!(slots > 0, "backend needs at least one slot");
+        assert!(
+            base_service_ms.is_finite() && base_service_ms >= 0.0,
+            "base_service_ms must be non-negative and finite"
+        );
+        assert!(
+            per_item_ms.is_finite() && per_item_ms >= 0.0,
+            "per_item_ms must be non-negative and finite"
+        );
+        assert!(
+            base_service_ms + per_item_ms > 0.0,
+            "single-item service time must be positive"
+        );
+        BackendConfig {
+            name: name.to_string(),
+            slots,
+            base_service_ms,
+            per_item_ms,
+            batching: BatchPolicy::none(),
+        }
+    }
+
+    /// Puts a dynamic batcher in front of the pool.
+    pub fn with_batching(mut self, max_batch: usize, linger_ms: f64) -> Self {
+        self.batching = BatchPolicy::new(max_batch, linger_ms);
+        self
+    }
+
+    /// Service time of one batch of (fluid) size `b` on one executor (ms).
+    pub fn batch_service_ms(&self, b: f64) -> f64 {
+        self.base_service_ms + self.per_item_ms * b
+    }
+
+    /// Jobs per millisecond this pool completes when every batch closes
+    /// full — the backend's peak throughput, used as its dispatch weight.
+    pub fn full_batch_rate_per_ms(&self) -> f64 {
+        let b = self.batching.max_batch as f64;
+        self.slots as f64 * b / self.batch_service_ms(b)
+    }
+}
+
+/// Load shedding at a region's front door. The controller looks at the
+/// queue state at each epoch barrier and publishes the fraction of the
+/// *next* epoch's offloads to shed, sized so that admitted work drains at
+/// the configured bound in steady state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AdmissionPolicy {
+    /// Admit everything (the PR 2 behavior).
+    Open,
+    /// Shed when the region's total backlog exceeds `max_jobs`.
+    QueueDepth {
+        /// Backlog bound (jobs) above which arrivals are shed.
+        max_jobs: f64,
+    },
+    /// Shed when the low-priority-class wait exceeds `max_wait_ms`.
+    Deadline {
+        /// Wait bound (ms) above which arrivals are shed.
+        max_wait_ms: f64,
+    },
+}
+
+impl AdmissionPolicy {
+    /// The fraction of next-epoch offloads to shed, given the post-drain
+    /// queue state: `0` while within bounds, approaching `1` as the
+    /// overload grows (`1 − bound/observed`, the fluid fraction that
+    /// brings admitted load back to the bound in steady state).
+    pub fn shed_fraction(&self, depth_jobs: f64, wait_low_ms: f64) -> f64 {
+        let overload = |observed: f64, bound: f64| {
+            if observed <= bound || observed <= 0.0 {
+                0.0
+            } else {
+                (1.0 - bound / observed).clamp(0.0, 1.0)
+            }
+        };
+        match *self {
+            AdmissionPolicy::Open => 0.0,
+            AdmissionPolicy::QueueDepth { max_jobs } => overload(depth_jobs, max_jobs),
+            AdmissionPolicy::Deadline { max_wait_ms } => overload(wait_low_ms, max_wait_ms),
+        }
+    }
+}
+
+/// Where a shed request goes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FailoverPolicy {
+    /// Straight back to the device: the request runs the device's
+    /// local-only deployment option (charged at that option's latency and
+    /// energy — see `DeploymentPlanner::local_fallback`).
+    ToDevice,
+    /// Try the sibling region with the smallest published wait first,
+    /// paying `penalty_ms` of inter-region latency; if that region is
+    /// shedding too (per its own published fraction), fall back to the
+    /// device.
+    SiblingRegion {
+        /// Extra round-trip latency charged to failed-over requests (ms).
+        penalty_ms: f64,
+    },
+}
+
+/// A region's full serving-tier description: heterogeneous backends, the
+/// queue discipline, admission control, and failover. Every region in a
+/// scenario hosts one instance of this template.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CloudServing {
+    /// The backend pools (at least one).
+    pub backends: Vec<BackendConfig>,
+    /// Queue discipline, shared by all backends in the region.
+    pub discipline: QueueDiscipline,
+    /// Load shedding at the region's front door.
+    pub admission: AdmissionPolicy,
+    /// Where shed requests go.
+    pub failover: FailoverPolicy,
+}
+
+impl CloudServing {
+    /// A serving tier with the given backends, FIFO discipline, open
+    /// admission, and to-device failover.
+    pub fn new(backends: Vec<BackendConfig>) -> Self {
+        CloudServing {
+            backends,
+            discipline: QueueDiscipline::Fifo,
+            admission: AdmissionPolicy::Open,
+            failover: FailoverPolicy::ToDevice,
+        }
+    }
+
+    /// Switches to the two-class priority discipline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `high_fraction` is outside `[0, 1]`.
+    pub fn with_priority(mut self, high_fraction: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&high_fraction),
+            "high_fraction must be in [0, 1]"
+        );
+        self.discipline = QueueDiscipline::Priority { high_fraction };
+        self
+    }
+
+    /// Sets the admission policy.
+    pub fn with_admission(mut self, admission: AdmissionPolicy) -> Self {
+        self.admission = admission;
+        self
+    }
+
+    /// Sets the failover policy.
+    pub fn with_failover(mut self, failover: FailoverPolicy) -> Self {
+        self.failover = failover;
+        self
+    }
+
+    /// Validates the cross-field constraints a scenario build enforces.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable reason when the tier has no backends,
+    /// duplicate backend names, or a non-positive admission bound or
+    /// failover penalty.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.backends.is_empty() {
+            return Err("serving tier needs at least one backend".to_string());
+        }
+        for (i, b) in self.backends.iter().enumerate() {
+            if self.backends[..i].iter().any(|o| o.name == b.name) {
+                return Err(format!(
+                    "duplicate backend name {:?} in serving tier",
+                    b.name
+                ));
+            }
+        }
+        match self.admission {
+            AdmissionPolicy::QueueDepth { max_jobs }
+                if !(max_jobs.is_finite() && max_jobs > 0.0) =>
+            {
+                return Err("admission max_jobs must be positive and finite".to_string());
+            }
+            AdmissionPolicy::Deadline { max_wait_ms }
+                if !(max_wait_ms.is_finite() && max_wait_ms > 0.0) =>
+            {
+                return Err("admission max_wait_ms must be positive and finite".to_string());
+            }
+            _ => {}
+        }
+        if let FailoverPolicy::SiblingRegion { penalty_ms } = self.failover {
+            if !(penalty_ms.is_finite() && penalty_ms >= 0.0) {
+                return Err("failover penalty_ms must be non-negative and finite".to_string());
+            }
+        }
+        Ok(())
+    }
+}
+
+impl From<CloudCapacity> for CloudServing {
+    /// The PR 2 single-queue cloud as a degenerate serving tier: one
+    /// unbatched backend whose drain rate is exactly
+    /// `slots_per_region / service_ms`.
+    fn from(capacity: CloudCapacity) -> Self {
+        CloudServing {
+            backends: vec![BackendConfig::new(
+                "default",
+                capacity.slots_per_region,
+                capacity.service_ms,
+                0.0,
+            )],
+            discipline: capacity.discipline,
+            admission: AdmissionPolicy::Open,
+            failover: FailoverPolicy::ToDevice,
+        }
+    }
+}
+
+/// The barrier-published state shards read for a whole epoch (one-epoch
+/// contention lag): per-class waits and the admission controller's shed
+/// fraction.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RegionSignal {
+    /// Wait (ms) a high-priority arrival experiences.
+    pub wait_high_ms: f64,
+    /// Wait (ms) a low-priority (FIFO-class) arrival experiences.
+    pub wait_low_ms: f64,
+    /// Fraction of next-epoch offloads the admission controller sheds.
+    pub shed_fraction: f64,
+}
+
+impl RegionSignal {
+    /// The wait for a device's priority class.
+    pub fn wait_ms(&self, high_priority: bool) -> f64 {
+        if high_priority {
+            self.wait_high_ms
+        } else {
+            self.wait_low_ms
+        }
+    }
+}
+
+/// Per-backend fluid queue state.
+#[derive(Debug, Clone, PartialEq)]
+struct BackendQueue {
+    backlog_high: f64,
+    backlog_low: f64,
+    /// Jobs dispatched to this backend in the current epoch (for the
+    /// linger fill-rate estimate).
+    epoch_arrivals: f64,
+    /// Drain rate (jobs/ms) realized in the last [`RegionServing::drain`],
+    /// used to publish waits. Starts at the unbatched rate.
+    rate_per_ms: f64,
+    /// Expected extra wait from the batcher lingering for items (ms),
+    /// realized in the last drain.
+    linger_wait_ms: f64,
+    // Cumulative serving stats.
+    served_jobs: f64,
+    batches: f64,
+    busy_ms: f64,
+    batch_sizes: Histogram,
+}
+
+/// How many bins backend batch-size histograms carry (width 1.0 — batch
+/// sizes above this land in the overflow bucket).
+const BATCH_HIST_BINS: usize = 1_024;
+
+/// Cumulative serving stats for one backend, as accumulated across a
+/// run's epoch barriers ([`RegionServing::backend_stats`]); the engine
+/// stamps these with the region name and horizon-normalized utilization
+/// to form the report's `BackendReport`s.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackendStats {
+    /// Backend name from the serving tier.
+    pub name: String,
+    /// Executor slots in the pool.
+    pub slots: usize,
+    /// Jobs completed (fluid count).
+    pub served_jobs: f64,
+    /// Batches closed (fluid count).
+    pub batches: f64,
+    /// Per-slot busy time accumulated over the run (ms).
+    pub busy_ms: f64,
+    /// Distribution of closed batch sizes (width-1 bins).
+    pub batch_sizes: Histogram,
+}
+
+/// One region's deterministic serving-tier state: per-backend fluid queues
+/// fed by least-work-left dispatch, drained at batch-amortized rates, with
+/// cumulative per-backend stats for the report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionServing {
+    serving: CloudServing,
+    queues: Vec<BackendQueue>,
+    /// EWMA-damped shed fraction: the raw `1 − bound/observed` target
+    /// over-corrects under the one-epoch lag (a fully-shed epoch drains
+    /// the queue, the wait crashes to zero, the next epoch floods —
+    /// bang-bang oscillation); halving toward the target each barrier
+    /// settles near the fluid fixed point instead.
+    shed_fraction: f64,
+}
+
+impl RegionServing {
+    /// An empty serving tier instantiated from the region template.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `serving` fails [`CloudServing::validate`].
+    pub fn new(serving: &CloudServing) -> Self {
+        if let Err(why) = serving.validate() {
+            panic!("invalid serving tier: {why}");
+        }
+        let queues = serving
+            .backends
+            .iter()
+            .map(|b| BackendQueue {
+                backlog_high: 0.0,
+                backlog_low: 0.0,
+                epoch_arrivals: 0.0,
+                rate_per_ms: b.slots as f64 * 1.0 / b.batch_service_ms(1.0),
+                linger_wait_ms: 0.0,
+                served_jobs: 0.0,
+                batches: 0.0,
+                busy_ms: 0.0,
+                batch_sizes: Histogram::new(1.0, BATCH_HIST_BINS),
+            })
+            .collect();
+        RegionServing {
+            serving: serving.clone(),
+            queues,
+            shed_fraction: 0.0,
+        }
+    }
+
+    /// The serving-tier template this region runs.
+    pub fn serving(&self) -> &CloudServing {
+        &self.serving
+    }
+
+    /// Admits one epoch's offloaded inferences (split by priority class)
+    /// and dispatches them across backends by least-work-left
+    /// water-filling: arrivals fill backends so their expected completion
+    /// times equalize, which is what an ideal least-loaded load balancer
+    /// achieves in the fluid limit.
+    pub fn admit(&mut self, high: u64, low: u64) {
+        let total = (high + low) as f64;
+        if total <= 0.0 {
+            return;
+        }
+        let assignments = self.water_fill(total);
+        let high_share = high as f64 / total;
+        for (queue, a) in self.queues.iter_mut().zip(&assignments) {
+            queue.backlog_high += a * high_share;
+            queue.backlog_low += a * (1.0 - high_share);
+            queue.epoch_arrivals += a;
+        }
+    }
+
+    /// Splits `total` arriving jobs across backends so that the resulting
+    /// completion times `(backlog_i + a_i) / capacity_i` equalize where
+    /// possible (classic water-filling over per-backend peak rates).
+    fn water_fill(&self, total: f64) -> Vec<f64> {
+        let caps: Vec<f64> = self
+            .serving
+            .backends
+            .iter()
+            .map(|b| b.full_batch_rate_per_ms())
+            .collect();
+        if caps.len() == 1 {
+            return vec![total];
+        }
+        let depths: Vec<f64> = self
+            .queues
+            .iter()
+            .map(|q| q.backlog_high + q.backlog_low)
+            .collect();
+        // Sort backend indices by current completion time (depth/cap).
+        let mut order: Vec<usize> = (0..caps.len()).collect();
+        order.sort_by(|&a, &b| {
+            (depths[a] / caps[a])
+                .partial_cmp(&(depths[b] / caps[b]))
+                .expect("finite completion times")
+                .then(a.cmp(&b))
+        });
+        // Raise the water level: each step pulls the next backend's
+        // completion time into the active set, until the arrivals are
+        // absorbed. The last step's `next_level` is ∞, so the loop always
+        // terminates with `remaining` fully absorbed.
+        let mut remaining = total;
+        let mut active_cap = 0.0;
+        let mut level = depths[order[0]] / caps[order[0]];
+        for (k, &i) in order.iter().enumerate() {
+            active_cap += caps[i];
+            let next_level = if k + 1 < order.len() {
+                let j = order[k + 1];
+                depths[j] / caps[j]
+            } else {
+                f64::INFINITY
+            };
+            let absorbable = (next_level - level) * active_cap;
+            if absorbable >= remaining {
+                level += remaining / active_cap;
+                break;
+            }
+            remaining -= absorbable;
+            level = next_level;
+        }
+        // Everyone at or below the water level gets topped up to it.
+        let mut assignments: Vec<f64> = (0..caps.len())
+            .map(|j| (caps[j] * level - depths[j]).max(0.0))
+            .collect();
+        // Conserve jobs exactly: hand the float residual (≈ 1 ulp of
+        // rounding per step) to the least-loaded backend.
+        let assigned: f64 = assignments.iter().sum();
+        assignments[order[0]] += total - assigned;
+        assignments
+    }
+
+    /// Drains every backend for `epoch_ms` of wall-clock. Each backend's
+    /// batcher closes batches of the fluid size its backlog and arrival
+    /// rate imply (`min(max_batch, max(1, depth/slots, rate·linger))`),
+    /// serving high-priority work first, and records batch-close and
+    /// utilization stats.
+    pub fn drain(&mut self, epoch_ms: f64) {
+        for (config, queue) in self.serving.backends.iter().zip(&mut self.queues) {
+            let depth = queue.backlog_high + queue.backlog_low;
+            let arrival_rate = queue.epoch_arrivals / epoch_ms;
+            let max_batch = config.batching.max_batch as f64;
+            let b = if config.batching.max_batch <= 1 {
+                1.0
+            } else {
+                // Two fluid regimes: a backlog carried over from earlier
+                // epochs closes batches straight off the queue, while in
+                // the keeping-up regime batches grow to whatever the
+                // arrival flow accumulates within the linger window.
+                let carried = (depth - queue.epoch_arrivals).max(0.0);
+                let backlog_fill = carried / config.slots as f64;
+                let linger_fill = arrival_rate * config.batching.linger_ms;
+                backlog_fill.max(linger_fill).clamp(1.0, max_batch)
+            };
+            let batch_ms = config.batch_service_ms(b);
+            let rate = config.slots as f64 * b / batch_ms;
+            let budget = rate * epoch_ms;
+            let served_high = queue.backlog_high.min(budget);
+            queue.backlog_high -= served_high;
+            let served_low = queue.backlog_low.min(budget - served_high);
+            queue.backlog_low -= served_low;
+            let served = served_high + served_low;
+
+            // The extra wait the batcher itself adds: batches fed from a
+            // standing backlog close instantly, but batches filled from
+            // the arrival flow make items wait on average half the fill
+            // time (bounded by the linger window). Scale by the fraction
+            // of the batch the flow must supply.
+            queue.linger_wait_ms = if config.batching.max_batch <= 1 {
+                0.0
+            } else {
+                let carried = (depth - queue.epoch_arrivals).max(0.0);
+                let from_flow = (1.0 - carried / (b * config.slots as f64)).clamp(0.0, 1.0);
+                let fill_ms = if arrival_rate > 0.0 {
+                    (b / arrival_rate).min(config.batching.linger_ms)
+                } else {
+                    config.batching.linger_ms
+                };
+                from_flow * fill_ms / 2.0
+            };
+
+            let batches = if b > 0.0 { served / b } else { 0.0 };
+            queue.rate_per_ms = rate;
+            queue.served_jobs += served;
+            queue.batches += batches;
+            queue.busy_ms += batches * batch_ms / config.slots as f64;
+            let closed = batches.round() as u64;
+            if closed > 0 {
+                queue.batch_sizes.record_n(b, closed);
+            }
+            queue.epoch_arrivals = 0.0;
+        }
+        let target = self
+            .serving
+            .admission
+            .shed_fraction(self.depth(), self.wait_ms(false));
+        self.shed_fraction = 0.5 * (self.shed_fraction + target);
+        if self.shed_fraction < 1e-6 {
+            // Snap the geometric tail to zero so open tiers publish exact 0.
+            self.shed_fraction = 0.0;
+        }
+    }
+
+    /// The wait (ms) a new arrival of the given class experiences: the
+    /// least-loaded backend's backlog-ahead drain time, plus that
+    /// backend's batcher linger.
+    pub fn wait_ms(&self, high_priority: bool) -> f64 {
+        self.queues
+            .iter()
+            .map(|q| {
+                let ahead = if high_priority {
+                    q.backlog_high
+                } else {
+                    q.backlog_high + q.backlog_low
+                };
+                ahead / q.rate_per_ms + q.linger_wait_ms
+            })
+            .fold(f64::INFINITY, f64::min)
+            .max(0.0)
+    }
+
+    /// Total queued jobs across all backends.
+    pub fn depth(&self) -> f64 {
+        self.queues
+            .iter()
+            .map(|q| q.backlog_high + q.backlog_low)
+            .sum()
+    }
+
+    /// The barrier signal shards read next epoch: per-class waits and the
+    /// admission controller's damped shed fraction.
+    pub fn signal(&self) -> RegionSignal {
+        RegionSignal {
+            wait_high_ms: self.wait_ms(true),
+            wait_low_ms: self.wait_ms(false),
+            shed_fraction: self.shed_fraction,
+        }
+    }
+
+    /// Per-backend cumulative stats, in backend order.
+    pub fn backend_stats(&self) -> Vec<BackendStats> {
+        self.serving
+            .backends
+            .iter()
+            .zip(&self.queues)
+            .map(|(b, q)| BackendStats {
+                name: b.name.clone(),
+                slots: b.slots,
+                served_jobs: q.served_jobs,
+                batches: q.batches,
+                busy_ms: q.busy_ms,
+                batch_sizes: q.batch_sizes.clone(),
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for RegionServing {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "cloud queue: {:.1} jobs queued ({:.1} high), wait {:.1} ms",
+            "serving tier: {} backend(s), {:.1} jobs queued, wait {:.1} ms",
+            self.queues.len(),
             self.depth(),
-            self.backlog_high,
             self.wait_ms(false)
         )
     }
@@ -155,16 +726,20 @@ mod tests {
         CloudCapacity::new(10, 10.0) // 1 job/ms drain rate
     }
 
+    fn single_queue() -> RegionServing {
+        RegionServing::new(&CloudServing::from(capacity()))
+    }
+
     #[test]
-    fn empty_queue_has_no_wait() {
-        let q = CloudRegionQueue::new(capacity());
+    fn empty_tier_has_no_wait() {
+        let q = single_queue();
         assert_eq!(q.wait_ms(false), 0.0);
         assert_eq!(q.depth(), 0.0);
     }
 
     #[test]
     fn overload_accumulates_backlog_and_wait() {
-        let mut q = CloudRegionQueue::new(capacity());
+        let mut q = single_queue();
         // 1 job/ms drain; admit 2000 jobs per 1000 ms epoch -> +1000 backlog.
         q.admit(0, 2000);
         q.drain(1000.0);
@@ -178,7 +753,7 @@ mod tests {
 
     #[test]
     fn adequate_capacity_keeps_queue_empty() {
-        let mut q = CloudRegionQueue::new(capacity());
+        let mut q = single_queue();
         for _ in 0..10 {
             q.admit(0, 500); // half the epoch's drain budget
             q.drain(1000.0);
@@ -188,23 +763,23 @@ mod tests {
 
     #[test]
     fn priority_class_waits_only_behind_high_backlog() {
-        let mut q = CloudRegionQueue::new(capacity());
+        let mut q = single_queue();
         q.admit(300, 3000);
         // Before draining: high sees 300 jobs ahead, low sees all 3300.
         assert!((q.wait_ms(true) - 300.0).abs() < 1e-9);
         assert!((q.wait_ms(false) - 3300.0).abs() < 1e-9);
         // Draining serves the high class first.
         q.drain(300.0);
-        assert_eq!(q.wait_ms(true), 0.0);
+        assert!(q.wait_ms(true) < 1e-9);
         assert!((q.wait_ms(false) - 3000.0).abs() < 1e-9);
     }
 
     #[test]
     fn drain_is_work_conserving_across_classes() {
-        let mut q = CloudRegionQueue::new(capacity());
+        let mut q = single_queue();
         q.admit(100, 100);
         q.drain(150.0); // budget 150: 100 high + 50 low
-        assert_eq!(q.wait_ms(true), 0.0);
+        assert!(q.wait_ms(true) < 1e-9);
         assert!((q.depth() - 50.0).abs() < 1e-9);
     }
 
@@ -221,8 +796,154 @@ mod tests {
     }
 
     #[test]
+    fn capacity_converts_to_equivalent_backend() {
+        let serving = CloudServing::from(capacity().with_priority(0.25));
+        assert_eq!(serving.backends.len(), 1);
+        let b = &serving.backends[0];
+        assert_eq!(b.slots, 10);
+        assert_eq!(b.batching.max_batch, 1);
+        // Peak rate equals the old drain rate bit-for-bit.
+        assert_eq!(b.full_batch_rate_per_ms(), capacity().drain_rate_per_ms());
+        assert_eq!(
+            serving.discipline,
+            QueueDiscipline::Priority {
+                high_fraction: 0.25
+            }
+        );
+    }
+
+    #[test]
+    fn batching_amortizes_base_cost() {
+        // base 32 ms + 1 ms/item, batch 32: per-item cost 2 ms vs 33 ms.
+        let unbatched = BackendConfig::new("gpu", 1, 32.0, 1.0);
+        let batched = unbatched.clone().with_batching(32, 100.0);
+        assert!((unbatched.full_batch_rate_per_ms() - 1.0 / 33.0).abs() < 1e-12);
+        assert!((batched.full_batch_rate_per_ms() - 32.0 / 64.0).abs() < 1e-12);
+
+        // Under the same overload the batched tier drains ~16.5x faster:
+        // two 10 s epochs clear all 10 000 jobs, while the unbatched
+        // backend has served only ~600.
+        let mut plain = RegionServing::new(&CloudServing::new(vec![unbatched]));
+        let mut tier = RegionServing::new(&CloudServing::new(vec![batched]));
+        plain.admit(0, 10_000);
+        tier.admit(0, 10_000);
+        for _ in 0..2 {
+            plain.drain(10_000.0);
+            tier.drain(10_000.0);
+        }
+        assert_eq!(tier.depth(), 0.0, "batched tier should have cleared");
+        assert!(
+            plain.depth() > 9_000.0,
+            "unbatched backlog should persist, got {}",
+            plain.depth()
+        );
+    }
+
+    #[test]
+    fn sparse_traffic_batches_by_linger_fill() {
+        // 0.2 jobs/ms arriving, linger 40 ms => fluid batches of ~8, and
+        // at batch 8 the backend keeps up (rate 8/18 ≈ 0.44 jobs/ms).
+        let config = BackendConfig::new("gpu", 1, 10.0, 1.0).with_batching(64, 40.0);
+        let mut tier = RegionServing::new(&CloudServing::new(vec![config]));
+        tier.admit(0, 200);
+        tier.drain(1000.0);
+        assert_eq!(tier.depth(), 0.0, "batch 8 keeps up with 0.2 jobs/ms");
+        let stats = tier.backend_stats().remove(0);
+        assert_eq!(stats.served_jobs, 200.0);
+        let mean_batch = stats.served_jobs / stats.batches;
+        let hist = stats.batch_sizes;
+        assert!(
+            (7.0..=9.0).contains(&mean_batch),
+            "linger fill should set batch ≈ 8, got {mean_batch}"
+        );
+        assert!(hist.count() > 0);
+        // Sparse batches linger: the published wait includes the linger tax.
+        assert!(tier.wait_ms(false) > 0.0);
+    }
+
+    #[test]
+    fn water_fill_prefers_least_loaded_backend() {
+        let fast = BackendConfig::new("fast", 4, 10.0, 0.0);
+        let slow = BackendConfig::new("slow", 1, 10.0, 0.0);
+        let mut tier = RegionServing::new(&CloudServing::new(vec![fast, slow]));
+        // Equal completion times at start: arrivals split 4:1 by capacity.
+        tier.admit(0, 1000);
+        let depths: Vec<f64> = tier
+            .queues
+            .iter()
+            .map(|q| q.backlog_high + q.backlog_low)
+            .collect();
+        assert!((depths[0] - 800.0).abs() < 1e-6, "fast got {}", depths[0]);
+        assert!((depths[1] - 200.0).abs() < 1e-6, "slow got {}", depths[1]);
+        // Completion times equalize.
+        assert!((depths[0] / 0.4 - depths[1] / 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn water_fill_tops_up_emptier_backend_first() {
+        let a = BackendConfig::new("a", 1, 10.0, 0.0);
+        let b = BackendConfig::new("b", 1, 10.0, 0.0);
+        let mut tier = RegionServing::new(&CloudServing::new(vec![a, b]));
+        tier.admit(0, 100);
+        tier.drain(0.0); // no drain budget; just close the epoch
+                         // Backend queues now hold 50/50. Push one backend ahead by hand.
+        tier.queues[0].backlog_low += 30.0;
+        // The next 30 jobs must all go to the emptier backend.
+        tier.admit(0, 30);
+        let d0 = tier.queues[0].backlog_high + tier.queues[0].backlog_low;
+        let d1 = tier.queues[1].backlog_high + tier.queues[1].backlog_low;
+        assert!((d0 - d1).abs() < 1e-9, "got {d0} vs {d1}");
+    }
+
+    #[test]
+    fn admission_shed_fraction_tracks_overload() {
+        let open = AdmissionPolicy::Open;
+        assert_eq!(open.shed_fraction(1e9, 1e9), 0.0);
+        let depth = AdmissionPolicy::QueueDepth { max_jobs: 100.0 };
+        assert_eq!(depth.shed_fraction(50.0, 0.0), 0.0);
+        assert!((depth.shed_fraction(200.0, 0.0) - 0.5).abs() < 1e-12);
+        let deadline = AdmissionPolicy::Deadline {
+            max_wait_ms: 1000.0,
+        };
+        assert_eq!(deadline.shed_fraction(0.0, 500.0), 0.0);
+        assert!((deadline.shed_fraction(0.0, 4000.0) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn signal_reports_waits_and_shedding() {
+        let config = BackendConfig::new("gpu", 10, 10.0, 0.0);
+        let serving = CloudServing::new(vec![config])
+            .with_admission(AdmissionPolicy::Deadline { max_wait_ms: 100.0 });
+        let mut tier = RegionServing::new(&serving);
+        tier.admit(50, 2000);
+        tier.drain(1000.0);
+        let signal = tier.signal();
+        assert!(signal.wait_low_ms > 100.0);
+        assert!(signal.shed_fraction > 0.0 && signal.shed_fraction < 1.0);
+        assert!(signal.wait_high_ms <= signal.wait_low_ms);
+        assert_eq!(signal.wait_ms(true), signal.wait_high_ms);
+        assert_eq!(signal.wait_ms(false), signal.wait_low_ms);
+    }
+
+    #[test]
+    fn validate_rejects_bad_tiers() {
+        assert!(CloudServing::new(vec![]).validate().is_err());
+        let dup = CloudServing::new(vec![
+            BackendConfig::new("x", 1, 1.0, 0.0),
+            BackendConfig::new("x", 1, 1.0, 0.0),
+        ]);
+        assert!(dup.validate().unwrap_err().contains("duplicate"));
+        let bad_admission = CloudServing::new(vec![BackendConfig::new("x", 1, 1.0, 0.0)])
+            .with_admission(AdmissionPolicy::QueueDepth { max_jobs: 0.0 });
+        assert!(bad_admission.validate().is_err());
+        let bad_failover = CloudServing::new(vec![BackendConfig::new("x", 1, 1.0, 0.0)])
+            .with_failover(FailoverPolicy::SiblingRegion { penalty_ms: -1.0 });
+        assert!(bad_failover.validate().is_err());
+    }
+
+    #[test]
     fn display_shows_state() {
-        let mut q = CloudRegionQueue::new(capacity());
+        let mut q = single_queue();
         q.admit(5, 10);
         assert!(format!("{q}").contains("15.0 jobs"));
     }

@@ -7,9 +7,18 @@
 //! dominance structure (those depend only on the network, hardware, and
 //! radio technology), while each device wanders through its own throughput
 //! trajectory.
+//!
+//! Devices also implement the *execution side* of admission control: when
+//! their region's published [`RegionSignal`] carries a non-zero shed
+//! fraction, each offloading device decides deterministically (from a
+//! stateless per-device hash stream, so shard assignment cannot perturb
+//! it) whether its request is shed — and a shed request either fails over
+//! to the least-loaded sibling region or falls back to the device's
+//! local-only deployment option.
 
+use crate::cloud::{FailoverPolicy, RegionSignal};
 use crate::scenario::FleetPolicy;
-use crate::FleetError;
+use crate::{mix_seed, FleetError};
 use lens_runtime::{DeploymentOption, DeploymentPlanner, DominanceMap, Metric, ThroughputTracker};
 use lens_wireless::{Region, ThroughputTrace, WirelessTechnology};
 use rand::rngs::StdRng;
@@ -32,6 +41,9 @@ pub struct Cohort {
     /// Resolved option index for [`FleetPolicy::Fixed`], if that policy is
     /// active.
     pub fixed_index: Option<usize>,
+    /// The cheapest cloud-free option (All-Edge for every paper network) —
+    /// what a shed request falls back to.
+    pub local_index: Option<usize>,
 }
 
 impl Cohort {
@@ -55,14 +67,40 @@ impl Cohort {
     }
 }
 
+/// The scenario-wide knobs every [`Device::serve`] call needs: the
+/// switching policy, the metric it optimizes, and where shed requests go.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ServeContext<'a> {
+    pub policy: &'a FleetPolicy,
+    pub metric: Metric,
+    pub failover: FailoverPolicy,
+}
+
 /// What one served inference cost, for aggregation.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub(crate) struct Served {
     pub latency_ms: f64,
     pub energy_mj: f64,
+    /// Whether the inference occupied cloud capacity (its own region's or,
+    /// after failover, a sibling's).
     pub offloaded: bool,
     pub switched: bool,
+    /// Admission control shed the offload and the device ran its
+    /// local-only option instead.
+    pub shed_to_local: bool,
+    /// Admission control shed the offload here and a sibling region's
+    /// cloud absorbed it.
+    pub failover_region: Option<u32>,
 }
+
+/// Maps a SplitMix64 output to `[0, 1)` with 53 bits of precision.
+fn unit_from(bits: u64) -> f64 {
+    (bits >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Salt separating the failover draw from the shed draw at the same event
+/// time.
+const FAILOVER_SALT: u64 = 0x51B1_1E57;
 
 /// One device session: trace + tracker + policy state.
 #[derive(Debug, Clone)]
@@ -74,6 +112,10 @@ pub struct Device {
     pub(crate) current_option: Option<u32>,
     pub(crate) next_event_us: u64,
     pub(crate) rng: StdRng,
+    /// Seed of the stateless shed/failover decision stream — hashed with
+    /// the event time rather than drawn from `rng`, so admission decisions
+    /// cannot perturb the arrival stream.
+    pub(crate) shed_seed: u64,
 }
 
 impl Device {
@@ -93,6 +135,7 @@ impl Device {
             current_option: None,
             next_event_us: first_event_us,
             rng: StdRng::seed_from_u64(seed),
+            shed_seed: mix_seed(seed, 0x5EED),
         }
     }
 
@@ -122,18 +165,20 @@ impl Device {
     }
 
     /// Serves one inference at `time_us`: observe the current trace sample,
-    /// select an option per `policy`, and price the inference at the
-    /// *actual* throughput (the tracker only steers the choice, as in the
-    /// Fig 5 loop). `queue_wait_ms` is the region's published cloud wait
-    /// for this epoch (for this device's priority class); it is charged to
-    /// the realized latency of offloaded options, and congestion-aware
-    /// policies also weigh it during selection on the latency metric.
+    /// select an option per `policy`, apply the region's published
+    /// admission signal (shedding to a sibling region or the local-only
+    /// option), and price the inference at the *actual* throughput (the
+    /// tracker only steers the choice, as in the Fig 5 loop).
+    ///
+    /// `signals` is the barrier-published per-region state for this epoch:
+    /// queue waits are charged to the realized latency of offloaded
+    /// options, congestion-aware policies also weigh them during selection
+    /// on the latency metric, and the shed fraction gates admission.
     pub(crate) fn serve(
         &mut self,
         cohort: &Cohort,
-        policy: &FleetPolicy,
-        metric: Metric,
-        queue_wait_ms: f64,
+        ctx: ServeContext<'_>,
+        signals: &[RegionSignal],
         time_us: u64,
         interval_us: u64,
     ) -> Served {
@@ -141,15 +186,17 @@ impl Device {
         let tu = self.trace.samples()[idx];
         self.tracker.observe(tu);
         let estimate = self.tracker.estimate().expect("just observed");
+        let own = &signals[cohort.region_index];
+        let queue_wait_ms = own.wait_ms(self.high_priority);
 
-        let choice = match policy {
+        let choice = match ctx.policy {
             FleetPolicy::Fixed(_) => cohort.fixed_index.expect("resolved at engine build"),
             FleetPolicy::Dynamic => cohort.map.best_at(estimate),
             FleetPolicy::DynamicCongestionAware => {
-                if metric == Metric::Latency && queue_wait_ms > 0.0 {
+                if ctx.metric == Metric::Latency && queue_wait_ms > 0.0 {
                     DeploymentPlanner::best_at_with_cloud_penalty(
                         &cohort.options,
-                        metric,
+                        ctx.metric,
                         estimate,
                         queue_wait_ms,
                     )
@@ -168,16 +215,70 @@ impl Device {
         self.current_option = Some(choice as u32);
 
         let option = &cohort.options[choice];
-        let offloaded = option.uses_cloud();
+        let mut offloaded = option.uses_cloud();
         let mut latency_ms = option.latency_at(tu).get();
+        let mut energy_mj = option.energy_at(tu).get();
+        let mut shed_to_local = false;
+        let mut failover_region = None;
+
         if offloaded {
-            latency_ms += queue_wait_ms;
+            let shed = own.shed_fraction > 0.0
+                && unit_from(mix_seed(self.shed_seed, time_us)) < own.shed_fraction;
+            if !shed {
+                latency_ms += queue_wait_ms;
+            } else {
+                // Shed: try a sibling region if configured, else run local.
+                let sibling = match ctx.failover {
+                    FailoverPolicy::ToDevice => None,
+                    FailoverPolicy::SiblingRegion { penalty_ms } => signals
+                        .iter()
+                        .enumerate()
+                        .filter(|&(r, _)| r != cohort.region_index)
+                        .min_by(|(ra, a), (rb, b)| {
+                            // Ties (several idle siblings at wait 0) are
+                            // spread by a per-device, per-event hash so the
+                            // overflow does not pile onto the lowest index.
+                            a.wait_ms(self.high_priority)
+                                .partial_cmp(&b.wait_ms(self.high_priority))
+                                .expect("finite waits")
+                                .then_with(|| {
+                                    mix_seed(self.shed_seed ^ *ra as u64, time_us)
+                                        .cmp(&mix_seed(self.shed_seed ^ *rb as u64, time_us))
+                                })
+                        })
+                        .filter(|(_, s)| {
+                            // The sibling applies its own admission gate.
+                            s.shed_fraction <= 0.0
+                                || unit_from(mix_seed(self.shed_seed, time_us ^ FAILOVER_SALT))
+                                    >= s.shed_fraction
+                        })
+                        .map(|(r, s)| (r, s.wait_ms(self.high_priority) + penalty_ms)),
+                };
+                match sibling {
+                    Some((dest, extra_ms)) => {
+                        latency_ms += extra_ms;
+                        failover_region = Some(dest as u32);
+                    }
+                    None => {
+                        let local = cohort
+                            .local_index
+                            .expect("validated at engine build: local fallback exists");
+                        let fallback = &cohort.options[local];
+                        latency_ms = fallback.latency_at(tu).get();
+                        energy_mj = fallback.energy_at(tu).get();
+                        offloaded = false;
+                        shed_to_local = true;
+                    }
+                }
+            }
         }
         Served {
             latency_ms,
-            energy_mj: option.energy_at(tu).get(),
+            energy_mj,
             offloaded,
             switched,
+            shed_to_local,
+            failover_region,
         }
     }
 }
@@ -198,6 +299,7 @@ mod tests {
             DeploymentPlanner::new(WirelessLink::new(WirelessTechnology::Lte, Mbps::new(8.0)));
         let options = planner.enumerate(&analysis, &perf).unwrap();
         let map = DominanceMap::build(&options, metric).unwrap();
+        let local_index = DeploymentPlanner::local_fallback(&options, metric, Mbps::new(8.0)).ok();
         Cohort {
             region_index: 0,
             region: Region::new("USA", Mbps::new(7.5)),
@@ -205,11 +307,32 @@ mod tests {
             options,
             map,
             fixed_index: None,
+            local_index,
         }
     }
 
     fn flat_trace(mbps: f64, n: usize) -> ThroughputTrace {
         ThroughputTrace::new(vec![Mbps::new(mbps); n], Millis::new(60_000.0)).unwrap()
+    }
+
+    fn calm(regions: usize) -> Vec<RegionSignal> {
+        vec![RegionSignal::default(); regions]
+    }
+
+    fn waiting(wait_ms: f64) -> Vec<RegionSignal> {
+        vec![RegionSignal {
+            wait_high_ms: wait_ms,
+            wait_low_ms: wait_ms,
+            shed_fraction: 0.0,
+        }]
+    }
+
+    fn shedding(fraction: f64) -> RegionSignal {
+        RegionSignal {
+            wait_high_ms: 0.0,
+            wait_low_ms: 0.0,
+            shed_fraction: fraction,
+        }
     }
 
     #[test]
@@ -233,9 +356,12 @@ mod tests {
         let mut d = Device::new(0, false, flat_trace(8.0, 4), 1.0, 1, 0);
         let served = d.serve(
             &c,
-            &FleetPolicy::Dynamic,
-            Metric::Energy,
-            0.0,
+            ServeContext {
+                policy: &FleetPolicy::Dynamic,
+                metric: Metric::Energy,
+                failover: FailoverPolicy::ToDevice,
+            },
+            &calm(1),
             0,
             60_000_000,
         );
@@ -261,16 +387,56 @@ mod tests {
 
         let policy = FleetPolicy::Fixed(DeploymentKind::AllCloud); // kind irrelevant post-resolve
         let mut d = Device::new(0, false, flat_trace(8.0, 4), 1.0, 1, 0);
-        let base = d.serve(&fixed_cloud, &policy, Metric::Latency, 0.0, 0, 60_000_000);
+        let base = d.serve(
+            &fixed_cloud,
+            ServeContext {
+                policy: &policy,
+                metric: Metric::Latency,
+                failover: FailoverPolicy::ToDevice,
+            },
+            &calm(1),
+            0,
+            60_000_000,
+        );
         let mut d = Device::new(0, false, flat_trace(8.0, 4), 1.0, 1, 0);
-        let queued = d.serve(&fixed_cloud, &policy, Metric::Latency, 500.0, 0, 60_000_000);
+        let queued = d.serve(
+            &fixed_cloud,
+            ServeContext {
+                policy: &policy,
+                metric: Metric::Latency,
+                failover: FailoverPolicy::ToDevice,
+            },
+            &waiting(500.0),
+            0,
+            60_000_000,
+        );
         assert!((queued.latency_ms - base.latency_ms - 500.0).abs() < 1e-9);
         assert!((queued.energy_mj - base.energy_mj).abs() < 1e-12);
 
         let mut d = Device::new(0, false, flat_trace(8.0, 4), 1.0, 1, 0);
-        let edge = d.serve(&fixed_edge, &policy, Metric::Latency, 500.0, 0, 60_000_000);
+        let edge = d.serve(
+            &fixed_edge,
+            ServeContext {
+                policy: &policy,
+                metric: Metric::Latency,
+                failover: FailoverPolicy::ToDevice,
+            },
+            &waiting(500.0),
+            0,
+            60_000_000,
+        );
         let mut d = Device::new(0, false, flat_trace(8.0, 4), 1.0, 1, 0);
-        let edge_q = d.serve(&fixed_edge, &policy, Metric::Latency, 0.0, 0, 60_000_000);
+        let edge_q = d.serve(
+            &fixed_edge,
+            ServeContext {
+                policy: &policy,
+                metric: Metric::Latency,
+                failover: FailoverPolicy::ToDevice,
+            },
+            &calm(1),
+            0,
+            60_000_000,
+        );
         assert!((edge.latency_ms - edge_q.latency_ms).abs() < 1e-12);
     }
 
@@ -281,9 +447,12 @@ mod tests {
         let mut d = Device::new(0, false, flat_trace(50.0, 4), 1.0, 1, 0);
         let served = d.serve(
             &c,
-            &FleetPolicy::DynamicCongestionAware,
-            Metric::Latency,
-            0.0,
+            ServeContext {
+                policy: &FleetPolicy::DynamicCongestionAware,
+                metric: Metric::Latency,
+                failover: FailoverPolicy::ToDevice,
+            },
+            &calm(1),
             0,
             60_000_000,
         );
@@ -292,15 +461,141 @@ mod tests {
         let mut d = Device::new(0, false, flat_trace(50.0, 4), 1.0, 1, 0);
         let served = d.serve(
             &c,
-            &FleetPolicy::DynamicCongestionAware,
-            Metric::Latency,
-            3.6e6,
+            ServeContext {
+                policy: &FleetPolicy::DynamicCongestionAware,
+                metric: Metric::Latency,
+                failover: FailoverPolicy::ToDevice,
+            },
+            &waiting(3.6e6),
             0,
             60_000_000,
         );
         assert!(
             !served.offloaded,
             "congestion-aware policy must dodge the queue"
+        );
+    }
+
+    #[test]
+    fn full_shedding_to_device_runs_the_local_option() {
+        let mut c = cohort(Metric::Latency);
+        c.fixed_index = Some(c.resolve_fixed(&DeploymentKind::AllCloud).unwrap());
+        let local = c.local_index.unwrap();
+        let policy = FleetPolicy::Fixed(DeploymentKind::AllCloud);
+        let signals = vec![shedding(1.0)];
+        let mut d = Device::new(0, false, flat_trace(8.0, 4), 1.0, 1, 0);
+        let served = d.serve(
+            &c,
+            ServeContext {
+                policy: &policy,
+                metric: Metric::Latency,
+                failover: FailoverPolicy::ToDevice,
+            },
+            &signals,
+            0,
+            60_000_000,
+        );
+        assert!(served.shed_to_local);
+        assert!(!served.offloaded);
+        assert_eq!(served.failover_region, None);
+        let fallback = &c.options[local];
+        assert!((served.latency_ms - fallback.latency_at(Mbps::new(8.0)).get()).abs() < 1e-12);
+        assert!((served.energy_mj - fallback.energy_at(Mbps::new(8.0)).get()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_shedding_fails_over_to_least_loaded_sibling() {
+        let mut c = cohort(Metric::Latency);
+        c.fixed_index = Some(c.resolve_fixed(&DeploymentKind::AllCloud).unwrap());
+        let policy = FleetPolicy::Fixed(DeploymentKind::AllCloud);
+        // Own region (index 0) sheds everything; region 2 is least loaded.
+        let signals = vec![shedding(1.0), waiting(900.0)[0], waiting(200.0)[0]];
+        let mut d = Device::new(0, false, flat_trace(8.0, 4), 1.0, 1, 0);
+        let base = {
+            let mut d2 = Device::new(0, false, flat_trace(8.0, 4), 1.0, 1, 0);
+            d2.serve(
+                &c,
+                ServeContext {
+                    policy: &policy,
+                    metric: Metric::Latency,
+                    failover: FailoverPolicy::ToDevice,
+                },
+                &calm(3),
+                0,
+                60_000_000,
+            )
+        };
+        let served = d.serve(
+            &c,
+            ServeContext {
+                policy: &policy,
+                metric: Metric::Latency,
+                failover: FailoverPolicy::SiblingRegion { penalty_ms: 40.0 },
+            },
+            &signals,
+            0,
+            60_000_000,
+        );
+        assert_eq!(served.failover_region, Some(2));
+        assert!(served.offloaded, "failover still occupies cloud capacity");
+        assert!(!served.shed_to_local);
+        // Charged the sibling's wait plus the inter-region penalty.
+        assert!((served.latency_ms - base.latency_ms - 240.0).abs() < 1e-9);
+        assert!((served.energy_mj - base.energy_mj).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shedding_sibling_pushes_failover_back_to_device() {
+        let mut c = cohort(Metric::Latency);
+        c.fixed_index = Some(c.resolve_fixed(&DeploymentKind::AllCloud).unwrap());
+        let policy = FleetPolicy::Fixed(DeploymentKind::AllCloud);
+        let signals = vec![shedding(1.0), shedding(1.0)];
+        let mut d = Device::new(0, false, flat_trace(8.0, 4), 1.0, 1, 0);
+        let served = d.serve(
+            &c,
+            ServeContext {
+                policy: &policy,
+                metric: Metric::Latency,
+                failover: FailoverPolicy::SiblingRegion { penalty_ms: 40.0 },
+            },
+            &signals,
+            0,
+            60_000_000,
+        );
+        assert!(served.shed_to_local, "both regions shedding → local");
+        assert!(!served.offloaded);
+    }
+
+    #[test]
+    fn partial_shedding_is_deterministic_and_proportional() {
+        let mut c = cohort(Metric::Latency);
+        c.fixed_index = Some(c.resolve_fixed(&DeploymentKind::AllCloud).unwrap());
+        let policy = FleetPolicy::Fixed(DeploymentKind::AllCloud);
+        let signals = vec![shedding(0.3)];
+        let run = || {
+            let mut shed = 0u32;
+            for dev in 0..400u64 {
+                let mut d = Device::new(0, false, flat_trace(8.0, 4), 1.0, dev, 0);
+                let s = d.serve(
+                    &c,
+                    ServeContext {
+                        policy: &policy,
+                        metric: Metric::Latency,
+                        failover: FailoverPolicy::ToDevice,
+                    },
+                    &signals,
+                    0,
+                    60_000_000,
+                );
+                shed += s.shed_to_local as u32;
+            }
+            shed
+        };
+        let a = run();
+        assert_eq!(a, run(), "shed decisions must be deterministic");
+        assert!(
+            (60..=180).contains(&a),
+            "≈30% of 400 offloads should shed, got {a}"
         );
     }
 
@@ -316,9 +611,12 @@ mod tests {
         for i in 0..3u64 {
             let s = d.serve(
                 &c,
-                &FleetPolicy::Dynamic,
-                Metric::Energy,
-                0.0,
+                ServeContext {
+                    policy: &FleetPolicy::Dynamic,
+                    metric: Metric::Energy,
+                    failover: FailoverPolicy::ToDevice,
+                },
+                &calm(1),
                 i * 60_000_000,
                 60_000_000,
             );

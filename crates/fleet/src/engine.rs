@@ -7,10 +7,18 @@
 //! microseconds, and shards synchronize with the shared cloud only at
 //! epoch barriers (see the crate-level docs for the determinism contract
 //! and the one-epoch contention lag).
+//!
+//! At each barrier the engine runs the serving tier's **batch-close
+//! events** in fluid form: merged offload counts are admitted per region,
+//! dispatched across that region's backends by least-work-left
+//! water-filling, and each backend closes batches of the size its backlog
+//! and arrival rate imply, draining at the batch-amortized rate. The
+//! barrier then publishes the next epoch's [`RegionSignal`]s — per-class
+//! waits plus the admission controller's shed fraction.
 
-use crate::cloud::{CloudRegionQueue, QueueDiscipline};
-use crate::device::Device;
-use crate::report::FleetReport;
+use crate::cloud::{QueueDiscipline, RegionServing, RegionSignal};
+use crate::device::{Device, ServeContext};
+use crate::report::{BackendReport, FleetReport};
 use crate::scenario::{ArrivalModel, FleetPolicy, FleetScenario};
 use crate::{mix_seed, Cohort, FleetError};
 use lens_device::profile_network;
@@ -54,13 +62,15 @@ impl FleetEngine {
     /// analyze, [`FleetError::Runtime`] if option enumeration or
     /// dominance-map construction fails, and
     /// [`FleetError::InvalidScenario`] if a fixed policy names a
-    /// deployment kind some cohort does not have.
+    /// deployment kind some cohort does not have, or admission control is
+    /// enabled while some cohort has no cloud-free option to shed to.
     pub fn new(scenario: FleetScenario) -> Result<Self, FleetError> {
         let analysis = scenario
             .network
             .analyze()
             .map_err(|e| FleetError::Network(e.to_string()))?;
         let perf = profile_network(&analysis, &scenario.device_profile);
+        let sheds = scenario.serving.admission != crate::cloud::AdmissionPolicy::Open;
 
         let mut cohorts = Vec::new();
         let mut weights = Vec::new();
@@ -71,6 +81,18 @@ impl FleetEngine {
                     DeploymentPlanner::new(WirelessLink::new(*tech, share.region.uplink()));
                 let options = planner.enumerate(&analysis, &perf)?;
                 let map = DominanceMap::build(&options, scenario.metric)?;
+                let local_index = DeploymentPlanner::local_fallback(
+                    &options,
+                    scenario.metric,
+                    share.region.uplink(),
+                )
+                .ok();
+                if sheds && local_index.is_none() {
+                    return Err(FleetError::InvalidScenario(format!(
+                        "admission control needs a local fallback, but cohort {}/{tech} has no cloud-free option",
+                        share.region.name()
+                    )));
+                }
                 let mut cohort = Cohort {
                     region_index,
                     region: share.region.clone(),
@@ -78,6 +100,7 @@ impl FleetEngine {
                     options,
                     map,
                     fixed_index: None,
+                    local_index,
                 };
                 if let FleetPolicy::Fixed(kind) = &scenario.policy {
                     cohort.fixed_index = Some(cohort.resolve_fixed(kind)?);
@@ -127,7 +150,7 @@ impl FleetEngine {
         let cohort_idx = self.cohort_of(device_id);
         let cohort = &self.cohorts[cohort_idx];
         let dseed = mix_seed(scenario.seed, device_id as u64);
-        let high_priority = match scenario.cloud.discipline {
+        let high_priority = match scenario.serving.discipline {
             QueueDiscipline::Fifo => false,
             QueueDiscipline::Priority { high_fraction } => {
                 (mix_seed(dseed, 0xF00D) as f64 / u64::MAX as f64) < high_fraction
@@ -179,19 +202,19 @@ impl FleetEngine {
         // scenario seed, never on the shard).
         let mut shard_states = self.build_shards(num_epochs);
 
-        let mut queues: Vec<CloudRegionQueue> = (0..num_regions)
-            .map(|_| CloudRegionQueue::new(scenario.cloud))
+        let mut servings: Vec<RegionServing> = (0..num_regions)
+            .map(|_| RegionServing::new(&scenario.serving))
             .collect();
-        // (high, low) waits published to the shards, one epoch behind.
-        let mut waits = vec![(0.0f64, 0.0f64); num_regions];
+        // Barrier-published per-region signals, one epoch behind.
+        let mut signals = vec![RegionSignal::default(); num_regions];
         let mut depth_series = vec![Vec::with_capacity(num_epochs); num_regions];
         let mut wait_series = vec![Vec::with_capacity(num_epochs); num_regions];
 
         for epoch in 0..num_epochs {
             let epoch_start = epoch as u64 * epoch_us;
             let epoch_end = ((epoch + 1) as u64 * epoch_us).min(horizon_us);
-            for (region, w) in wait_series.iter_mut().zip(&waits) {
-                region.push(w.1);
+            for (region, s) in wait_series.iter_mut().zip(&signals) {
+                region.push(s.wait_low_ms);
             }
 
             // Phase A: shards advance independently to the barrier.
@@ -199,13 +222,13 @@ impl FleetEngine {
                 let handles: Vec<_> = shard_states
                     .iter_mut()
                     .map(|state| {
-                        let waits = &waits;
+                        let signals = &signals;
                         scope.spawn(move || {
                             advance_shard(
                                 state,
                                 &self.cohorts,
                                 scenario,
-                                waits,
+                                signals,
                                 num_regions,
                                 epoch_end,
                                 horizon_us,
@@ -220,18 +243,19 @@ impl FleetEngine {
                     .collect()
             });
 
-            // Barrier: merge offload demand (shard order), advance queues,
-            // publish next epoch's waits.
+            // Barrier: merge offload demand (integer sums, so the result
+            // is independent of shard count), run the serving tier's
+            // batch-close events, publish next epoch's signals.
             let epoch_ms = (epoch_end - epoch_start) as f64 / 1000.0;
-            for (region, queue) in queues.iter_mut().enumerate() {
+            for (region, serving) in servings.iter_mut().enumerate() {
                 let (high, low) = arrivals
                     .iter()
                     .map(|shard| shard[region])
                     .fold((0, 0), |(h, l), (sh, sl)| (h + sh, l + sl));
-                queue.admit(high, low);
-                depth_series[region].push(queue.depth());
-                queue.drain(epoch_ms);
-                waits[region] = (queue.wait_ms(true), queue.wait_ms(false));
+                serving.admit(high, low);
+                depth_series[region].push(serving.depth());
+                serving.drain(epoch_ms);
+                signals[region] = serving.signal();
             }
         }
 
@@ -240,6 +264,23 @@ impl FleetEngine {
             report.merge(&state.report);
         }
         report.set_queue_series(depth_series, wait_series);
+        let horizon_ms = horizon_us as f64 / 1000.0;
+        let mut backend_reports = Vec::new();
+        for (region, serving) in servings.iter().enumerate() {
+            for stats in serving.backend_stats() {
+                backend_reports.push(BackendReport {
+                    region: region_names[region].clone(),
+                    backend: stats.name,
+                    slots: stats.slots,
+                    served_jobs: stats.served_jobs,
+                    batches: stats.batches,
+                    busy_ms: stats.busy_ms,
+                    utilization: stats.busy_ms / horizon_ms,
+                    batch_sizes: stats.batch_sizes,
+                });
+            }
+        }
+        report.set_backend_reports(backend_reports);
         Ok(report)
     }
 
@@ -296,13 +337,14 @@ fn to_us(ms: f64) -> u64 {
 }
 
 /// Advances one shard's event heap to `epoch_end`, returning the
-/// per-region (high, low) offload counts this epoch contributed.
+/// per-region (high, low) offload counts this epoch contributed — failed
+/// over requests count toward their *destination* region's queue.
 #[allow(clippy::too_many_arguments)]
 fn advance_shard(
     state: &mut ShardState,
     cohorts: &[Cohort],
     scenario: &FleetScenario,
-    waits: &[(f64, f64)],
+    signals: &[RegionSignal],
     num_regions: usize,
     epoch_end: u64,
     horizon_us: u64,
@@ -316,29 +358,23 @@ fn advance_shard(
         state.heap.pop();
         let device = &mut state.devices[local as usize];
         let cohort = &cohorts[device.cohort_index()];
-        let (wait_high, wait_low) = waits[cohort.region_index];
-        let wait = if device.high_priority() {
-            wait_high
-        } else {
-            wait_low
-        };
         let served = device.serve(
             cohort,
-            &scenario.policy,
-            scenario.metric,
-            wait,
+            ServeContext {
+                policy: &scenario.policy,
+                metric: scenario.metric,
+                failover: scenario.serving.failover,
+            },
+            signals,
             time,
             epoch_us,
         );
-        state.report.record(
-            cohort.region_index,
-            served.latency_ms,
-            served.energy_mj,
-            served.offloaded,
-            served.switched,
-        );
+        state.report.record(cohort.region_index, &served);
         if served.offloaded {
-            let slot = &mut arrivals[cohort.region_index];
+            let dest = served
+                .failover_region
+                .map_or(cohort.region_index, |r| r as usize);
+            let slot = &mut arrivals[dest];
             if device.high_priority() {
                 slot.0 += 1;
             } else {
@@ -362,7 +398,9 @@ fn advance_shard(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cloud::CloudCapacity;
+    use crate::cloud::{
+        AdmissionPolicy, BackendConfig, CloudCapacity, CloudServing, FailoverPolicy,
+    };
     use crate::scenario::RegionShare;
     use lens_nn::units::{Mbps, Millis};
     use lens_runtime::{DeploymentKind, Metric};
@@ -401,20 +439,14 @@ mod tests {
     }
 
     #[test]
-    fn integer_aggregates_survive_resharding() {
-        // The hard contract fixes the shard count, but integer aggregates
-        // (histogram counts, switches, offloads) are designed to be
-        // shard-count invariant — verify that stronger property.
+    fn reports_survive_resharding_bit_for_bit() {
+        // The hard contract fixes the shard count, but fixed-point sums
+        // and integer counts make the whole report shard-count invariant —
+        // verify that stronger property end to end.
         let a = FleetEngine::new(small_scenario(1)).unwrap().run().unwrap();
         let b = FleetEngine::new(small_scenario(4)).unwrap().run().unwrap();
-        assert_eq!(a.inferences(), b.inferences());
-        assert_eq!(a.offloaded(), b.offloaded());
-        assert_eq!(a.switches(), b.switches());
-        for (ra, rb) in a.regions().iter().zip(b.regions()) {
-            assert_eq!(ra.inferences, rb.inferences);
-            assert_eq!(ra.offloaded, rb.offloaded);
-            assert_eq!(ra.switches, rb.switches);
-        }
+        assert_eq!(a, b);
+        assert_eq!(a.digest(), b.digest());
     }
 
     #[test]
@@ -430,6 +462,9 @@ mod tests {
         assert_eq!(report.queue_depth().len(), 3);
         assert_eq!(report.queue_depth()[0].len(), 10);
         assert_eq!(report.queue_wait_ms()[0].len(), 10);
+        // One default backend per region, with utilization accounted.
+        assert_eq!(report.backends().len(), 3);
+        assert!(report.backends().iter().all(|b| b.backend == "default"));
     }
 
     #[test]
@@ -475,6 +510,7 @@ mod tests {
         for region in report.queue_depth() {
             assert!(region.iter().all(|&d| d == 0.0));
         }
+        assert!(report.backends().iter().all(|b| b.served_jobs == 0.0));
     }
 
     #[test]
@@ -547,6 +583,131 @@ mod tests {
             "priority {} !< fifo {}",
             priority.latency().mean(),
             fifo.latency().mean()
+        );
+    }
+
+    #[test]
+    fn batching_drains_congestion_a_single_queue_cannot() {
+        // 400 all-cloud devices per minute against 2 slots × 1 s base
+        // service: unbatched drain is 120/epoch (hopeless); a 32-deep
+        // batcher amortizes the base cost to ~1.03 s per 32 jobs.
+        let run = |serving: CloudServing| {
+            let scenario = FleetScenario::builder()
+                .population(400)
+                .horizon(Millis::new(600_000.0))
+                .regions(vec![RegionShare::new(
+                    Region::new("USA", Mbps::new(7.5)),
+                    1.0,
+                )])
+                .serving(serving)
+                .policy(FleetPolicy::Fixed(DeploymentKind::AllCloud))
+                .metric(Metric::Latency)
+                .shards(2)
+                .seed(9)
+                .build()
+                .unwrap();
+            FleetEngine::new(scenario).unwrap().run().unwrap()
+        };
+        let unbatched = run(CloudServing::new(vec![BackendConfig::new(
+            "gpu", 2, 1000.0, 1.0,
+        )]));
+        let batched = run(CloudServing::new(vec![BackendConfig::new(
+            "gpu", 2, 1000.0, 1.0,
+        )
+        .with_batching(32, 250.0)]));
+        assert!(
+            batched.latency().mean() < unbatched.latency().mean() / 2.0,
+            "batched {} !<< unbatched {}",
+            batched.latency().mean(),
+            unbatched.latency().mean()
+        );
+        let b = &batched.backends()[0];
+        assert!(
+            b.mean_batch() > 4.0,
+            "expected real batches, got {}",
+            b.mean_batch()
+        );
+        assert!(b.batch_sizes.count() > 0);
+        assert!(b.utilization > 0.0 && b.utilization <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn deadline_admission_sheds_to_local_and_bounds_latency() {
+        let run = |admission: AdmissionPolicy| {
+            let serving = CloudServing::new(vec![BackendConfig::new("gpu", 2, 1000.0, 1.0)])
+                .with_admission(admission);
+            let scenario = FleetScenario::builder()
+                .population(400)
+                .horizon(Millis::new(600_000.0))
+                .regions(vec![RegionShare::new(
+                    Region::new("USA", Mbps::new(7.5)),
+                    1.0,
+                )])
+                .serving(serving)
+                .policy(FleetPolicy::Fixed(DeploymentKind::AllCloud))
+                .metric(Metric::Latency)
+                .shards(2)
+                .seed(9)
+                .build()
+                .unwrap();
+            FleetEngine::new(scenario).unwrap().run().unwrap()
+        };
+        let open = run(AdmissionPolicy::Open);
+        let shedding = run(AdmissionPolicy::Deadline {
+            max_wait_ms: 5_000.0,
+        });
+        assert_eq!(open.shed_to_local(), 0);
+        assert!(shedding.shed_to_local() > 0, "deadline must shed");
+        assert_eq!(
+            shedding.regions()[0].shed_to_local,
+            shedding.shed_to_local(),
+            "single-region scenario sheds in region 0"
+        );
+        assert!(
+            shedding.latency().mean() < open.latency().mean(),
+            "shedding to local should bound mean latency: {} !< {}",
+            shedding.latency().mean(),
+            open.latency().mean()
+        );
+        // Shed inferences do not occupy cloud capacity.
+        assert!(shedding.offloaded() < open.offloaded());
+    }
+
+    #[test]
+    fn sibling_failover_spills_into_the_least_loaded_region() {
+        // Two regions, only the USA floods (its devices are all-cloud); a
+        // deadline controller with sibling failover must push overflow
+        // into the second region's queue.
+        let serving = CloudServing::new(vec![BackendConfig::new("gpu", 2, 1000.0, 1.0)])
+            .with_admission(AdmissionPolicy::Deadline {
+                max_wait_ms: 5_000.0,
+            })
+            .with_failover(FailoverPolicy::SiblingRegion { penalty_ms: 60.0 });
+        let scenario = FleetScenario::builder()
+            .population(400)
+            .horizon(Millis::new(600_000.0))
+            .regions(vec![
+                RegionShare::new(Region::new("USA", Mbps::new(7.5)), 0.9),
+                RegionShare::new(Region::new("S. Korea", Mbps::new(16.1)), 0.1),
+            ])
+            .serving(serving)
+            .policy(FleetPolicy::Fixed(DeploymentKind::AllCloud))
+            .metric(Metric::Latency)
+            .shards(2)
+            .seed(9)
+            .build()
+            .unwrap();
+        let report = FleetEngine::new(scenario).unwrap().run().unwrap();
+        assert!(report.failed_over() > 0, "expected failover traffic");
+        let usa = &report.regions()[0];
+        let korea = &report.regions()[1];
+        assert!(usa.failed_over > 0);
+        assert_eq!(korea.failover_in, usa.failed_over);
+        assert_eq!(usa.failover_in, korea.failed_over);
+        // Failed-over inferences still count as offloaded.
+        assert_eq!(
+            report.offloaded() + report.shed_to_local(),
+            report.inferences()
         );
     }
 

@@ -12,18 +12,29 @@
 //!
 //! # Architecture
 //!
+//! See `docs/ARCHITECTURE.md` at the repository root for the full
+//! walkthrough (crate DAG, event loop, determinism), and
+//! `docs/PAPER_MAP.md` for the paper-section → module map.
+//!
 //! * [`FleetScenario`] — declarative description of a fleet: population
-//!   size, regional mix, technology mix, arrival model, cloud capacity,
-//!   switching policy, seed ([`scenario`]).
+//!   size, regional mix, technology mix, arrival model, cloud serving
+//!   tier, switching policy, seed ([`scenario`]).
 //! * [`Device`] sessions — a per-device synthesized throughput trace
 //!   (`GaussMarkov` around the region's expected rate), a
 //!   `ThroughputTracker`, and a deployment policy over the cohort's shared
 //!   `DominanceMap` ([`device`]).
-//! * [`CloudRegionQueue`] — finite concurrent-inference slots per region
-//!   behind a FIFO or two-class priority queue ([`cloud`]).
+//! * [`CloudServing`] / [`RegionServing`] — the per-region serving tier:
+//!   heterogeneous [`BackendConfig`] pools (e.g. GPU vs. CPU) with dynamic
+//!   batchers ([`BatchPolicy`]: batches close at `max_batch` items or when
+//!   `linger_ms` expires, and an affine batch cost amortizes the fixed
+//!   part), behind a FIFO/priority queue, an [`AdmissionPolicy`]
+//!   (queue-depth or deadline shedding) and a [`FailoverPolicy`] (shed
+//!   requests fail over to the least-loaded sibling region or fall back to
+//!   the device's local-only option) ([`cloud`]).
 //! * [`FleetEngine`] — the sharded discrete-event engine ([`engine`]).
 //! * [`FleetReport`] — mergeable aggregates: fixed-bin latency/energy
-//!   histograms with percentiles, switch counts, per-region breakdowns, and
+//!   histograms with percentiles, switch/shed/failover counts, per-region
+//!   and per-backend breakdowns (utilization, batch-size histograms), and
 //!   cloud-queue depth over time ([`report`]).
 //!
 //! # Sharding and the epoch barrier
@@ -33,28 +44,33 @@
 //! through the cloud, and the cloud is synchronized at **epoch** boundaries
 //! (one epoch = one trace-sample interval by default): within an epoch every
 //! shard runs independently, counting how many of its inferences offloaded
-//! to each region; at the barrier the engine merges those counts, advances
-//! each region's queue, and publishes the queue waits that offloaded
-//! inferences experience **in the next epoch**. Contention therefore feeds
-//! back with a one-epoch lag — the price of keeping the epoch itself
-//! embarrassingly parallel.
+//! to each region; at the barrier the engine merges those counts, runs each
+//! region's batch-close events (dispatch across backends by least-work-left
+//! water-filling, then drain each backend at its batch-amortized rate), and
+//! publishes the [`RegionSignal`]s — queue waits and shed fractions — that
+//! offloaded inferences experience **in the next epoch**. Contention and
+//! admission control therefore feed back with a one-epoch lag — the price
+//! of keeping the epoch itself embarrassingly parallel.
 //!
 //! # Determinism contract
 //!
 //! **Same seed + same shard count ⇒ bit-identical [`FleetReport`].**
 //!
 //! Every source of per-device randomness (trace synthesis, arrival phases,
-//! priority class, Poisson inter-arrival draws) is seeded by mixing the
-//! scenario seed with the stable device id, never from shard-local state,
-//! so device behavior does not depend on which shard runs it. Event time is
-//! integer microseconds (no float comparison in the heap), histogram bins
-//! are integer counts, and shard partials are merged in shard order. Only
-//! floating-point *sums* are sensitive to the merge tree, which is why the
-//! contract fixes the shard count; in practice the integer aggregates
-//! (histograms, switch and offload counts) are identical across shard
-//! counts too.
+//! priority class, Poisson inter-arrival draws, shed/failover decisions)
+//! is seeded by mixing the scenario seed with the stable device id, never
+//! from shard-local state, so device behavior does not depend on which
+//! shard runs it. Event time is integer microseconds (no float comparison
+//! in the heap), histogram bins are integer counts, and value sums are
+//! accumulated in fixed-point (micro-unit) integers, so merging shard
+//! partials is **exact and order-independent**. In practice the report is
+//! therefore bit-identical across shard counts too (`tests/fleet_sim.rs`
+//! pins 1 vs. 2 vs. 4 shards on a batched multi-backend scenario); the
+//! contract names a fixed shard count as the conservative guarantee.
 //!
-//! # Example
+//! # Examples
+//!
+//! A small dynamic fleet against the default single-backend cloud:
 //!
 //! ```
 //! use lens_fleet::{CloudCapacity, FleetPolicy, FleetScenario};
@@ -76,6 +92,37 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! A batched, multi-backend serving tier with deadline admission and
+//! sibling-region failover:
+//!
+//! ```
+//! use lens_fleet::{
+//!     AdmissionPolicy, BackendConfig, CloudServing, FailoverPolicy, FleetEngine, FleetPolicy,
+//!     FleetScenario,
+//! };
+//! use lens_nn::units::Millis;
+//!
+//! # fn main() -> Result<(), lens_fleet::FleetError> {
+//! let serving = CloudServing::new(vec![
+//!     BackendConfig::new("gpu", 2, 40.0, 1.0).with_batching(32, 50.0),
+//!     BackendConfig::new("cpu", 8, 10.0, 6.0).with_batching(4, 20.0),
+//! ])
+//! .with_admission(AdmissionPolicy::Deadline { max_wait_ms: 2_000.0 })
+//! .with_failover(FailoverPolicy::SiblingRegion { penalty_ms: 60.0 });
+//! let scenario = FleetScenario::builder()
+//!     .population(300)
+//!     .horizon(Millis::new(300_000.0)) // 5 minutes
+//!     .serving(serving)
+//!     .policy(FleetPolicy::Dynamic)
+//!     .seed(11)
+//!     .build()?;
+//! let report = FleetEngine::new(scenario)?.run()?;
+//! // Per-backend utilization and batch sizes are in the report.
+//! assert_eq!(report.backends().len(), 3 * 2); // 3 regions × 2 backends
+//! # Ok(())
+//! # }
+//! ```
 
 pub mod cloud;
 pub mod device;
@@ -83,10 +130,13 @@ pub mod engine;
 pub mod report;
 pub mod scenario;
 
-pub use cloud::{CloudCapacity, CloudRegionQueue, QueueDiscipline};
+pub use cloud::{
+    AdmissionPolicy, BackendConfig, BackendStats, BatchPolicy, CloudCapacity, CloudServing,
+    FailoverPolicy, QueueDiscipline, RegionServing, RegionSignal,
+};
 pub use device::{Cohort, Device};
 pub use engine::FleetEngine;
-pub use report::{FleetReport, Histogram, RegionReport};
+pub use report::{BackendReport, FleetReport, Histogram, RegionReport};
 pub use scenario::{ArrivalModel, FleetPolicy, FleetScenario, FleetScenarioBuilder, RegionShare};
 
 use std::error::Error;

@@ -2,11 +2,24 @@
 //!
 //! Shards accumulate partial [`FleetReport`]s independently and the engine
 //! merges them in shard order at the end of a run. Distribution statistics
-//! use fixed-bin [`Histogram`]s (integer counts, so merging is exact and
-//! order-independent); only the floating-point sums depend on merge order,
-//! which the engine keeps fixed.
+//! use fixed-bin [`Histogram`]s whose counts are integers and whose sums
+//! are fixed-point integers (micro-units), so merging is **exact and
+//! order-independent** — which is what lets a batched multi-backend
+//! scenario produce a bit-identical report across 1, 2, and 4 shards
+//! (`tests/fleet_sim.rs` pins that). Counts saturate at `u64::MAX` rather
+//! than wrapping.
 
 use std::fmt;
+
+/// Fixed-point scale for value sums: micro-units (1e-6 of the recorded
+/// unit), summed exactly in `i128` so merge order cannot perturb them.
+const SUM_FP_SCALE: f64 = 1e6;
+
+fn to_fp(value: f64) -> i128 {
+    // `as` casts saturate at the i128 range (and map NaN to 0), so even
+    // pathological inputs cannot wrap the accumulator.
+    (value * SUM_FP_SCALE).round() as i128
+}
 
 /// A fixed-bin histogram over `[0, bin_width · num_bins)` with an overflow
 /// bucket, supporting exact merging and percentile queries.
@@ -30,7 +43,8 @@ pub struct Histogram {
     counts: Vec<u64>,
     overflow: u64,
     count: u64,
-    sum: f64,
+    /// Exact fixed-point sum of recorded values (micro-units).
+    sum_fp: i128,
     min: f64,
     max: f64,
 }
@@ -52,7 +66,7 @@ impl Histogram {
             counts: vec![0; num_bins],
             overflow: 0,
             count: 0,
-            sum: 0.0,
+            sum_fp: 0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
         }
@@ -62,19 +76,33 @@ impl Histogram {
     /// values at or beyond the histogram range land in the overflow bucket
     /// (still contributing their exact value to `sum`/`min`/`max`).
     pub fn record(&mut self, value: f64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` identical observations at once (the fluid-count entry
+    /// point for barrier-side stats such as batch closes). Counts saturate
+    /// at `u64::MAX` instead of wrapping.
+    pub fn record_n(&mut self, value: f64, n: u64) {
+        if n == 0 {
+            return;
+        }
         let idx = (value / self.bin_width).floor();
         if idx >= self.counts.len() as f64 {
-            self.overflow += 1;
+            self.overflow = self.overflow.saturating_add(n);
         } else {
-            self.counts[idx.max(0.0) as usize] += 1;
+            let slot = &mut self.counts[idx.max(0.0) as usize];
+            *slot = slot.saturating_add(n);
         }
-        self.count += 1;
-        self.sum += value;
+        self.count = self.count.saturating_add(n);
+        self.sum_fp = self
+            .sum_fp
+            .saturating_add(to_fp(value).saturating_mul(n as i128));
         self.min = self.min.min(value);
         self.max = self.max.max(value);
     }
 
-    /// Merges another histogram into this one.
+    /// Merges another histogram into this one. Counts saturate at
+    /// `u64::MAX` rather than silently wrapping.
     ///
     /// # Panics
     ///
@@ -83,11 +111,11 @@ impl Histogram {
         assert_eq!(self.bin_width, other.bin_width, "bin widths differ");
         assert_eq!(self.counts.len(), other.counts.len(), "bin counts differ");
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
-            *a += b;
+            *a = a.saturating_add(*b);
         }
-        self.overflow += other.overflow;
-        self.count += other.count;
-        self.sum += other.sum;
+        self.overflow = self.overflow.saturating_add(other.overflow);
+        self.count = self.count.saturating_add(other.count);
+        self.sum_fp = self.sum_fp.saturating_add(other.sum_fp);
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
     }
@@ -102,9 +130,14 @@ impl Histogram {
         self.overflow
     }
 
-    /// Sum of all recorded values.
+    /// Sum of all recorded values, exact to fixed-point (micro-unit)
+    /// resolution and independent of record/merge order.
     pub fn sum(&self) -> f64 {
-        self.sum
+        self.sum_fp as f64 / SUM_FP_SCALE
+    }
+
+    pub(crate) fn sum_fp(&self) -> i128 {
+        self.sum_fp
     }
 
     /// Mean of all recorded values (0 when empty).
@@ -112,7 +145,7 @@ impl Histogram {
         if self.count == 0 {
             0.0
         } else {
-            self.sum / self.count as f64
+            self.sum() / self.count as f64
         }
     }
 
@@ -162,14 +195,22 @@ pub struct RegionReport {
     pub region: String,
     /// Inference count served by devices of this region.
     pub inferences: u64,
-    /// How many of those used the cloud (All-Cloud or a split).
+    /// How many of those used the cloud (All-Cloud or a split), including
+    /// the ones that failed over to a sibling region.
     pub offloaded: u64,
     /// Dynamic-policy option switches in this region.
     pub switches: u64,
-    /// Sum of end-to-end latencies (ms) including queue waits.
-    pub latency_sum_ms: f64,
-    /// Sum of edge energies (mJ).
-    pub energy_sum_mj: f64,
+    /// Offloads shed by admission control that ran the device's local-only
+    /// option instead.
+    pub shed_to_local: u64,
+    /// Offloads shed here that failed over to a sibling region's cloud.
+    pub failed_over: u64,
+    /// Failed-over offloads this region's cloud absorbed from siblings.
+    pub failover_in: u64,
+    /// Sum of end-to-end latencies (fixed-point micro-ms).
+    latency_sum_fp: i128,
+    /// Sum of edge energies (fixed-point micro-mJ).
+    energy_sum_fp: i128,
 }
 
 impl RegionReport {
@@ -179,9 +220,22 @@ impl RegionReport {
             inferences: 0,
             offloaded: 0,
             switches: 0,
-            latency_sum_ms: 0.0,
-            energy_sum_mj: 0.0,
+            shed_to_local: 0,
+            failed_over: 0,
+            failover_in: 0,
+            latency_sum_fp: 0,
+            energy_sum_fp: 0,
         }
+    }
+
+    /// Sum of end-to-end latencies (ms) including queue waits.
+    pub fn latency_sum_ms(&self) -> f64 {
+        self.latency_sum_fp as f64 / SUM_FP_SCALE
+    }
+
+    /// Sum of edge energies (mJ).
+    pub fn energy_sum_mj(&self) -> f64 {
+        self.energy_sum_fp as f64 / SUM_FP_SCALE
     }
 
     /// Mean latency per inference in this region (0 when empty).
@@ -189,7 +243,7 @@ impl RegionReport {
         if self.inferences == 0 {
             0.0
         } else {
-            self.latency_sum_ms / self.inferences as f64
+            self.latency_sum_ms() / self.inferences as f64
         }
     }
 
@@ -198,7 +252,7 @@ impl RegionReport {
         if self.inferences == 0 {
             0.0
         } else {
-            self.energy_sum_mj / self.inferences as f64
+            self.energy_sum_mj() / self.inferences as f64
         }
     }
 
@@ -207,14 +261,51 @@ impl RegionReport {
         self.inferences += other.inferences;
         self.offloaded += other.offloaded;
         self.switches += other.switches;
-        self.latency_sum_ms += other.latency_sum_ms;
-        self.energy_sum_mj += other.energy_sum_mj;
+        self.shed_to_local += other.shed_to_local;
+        self.failed_over += other.failed_over;
+        self.failover_in += other.failover_in;
+        self.latency_sum_fp = self.latency_sum_fp.saturating_add(other.latency_sum_fp);
+        self.energy_sum_fp = self.energy_sum_fp.saturating_add(other.energy_sum_fp);
+    }
+}
+
+/// Per-backend serving stats inside a [`FleetReport`], produced at the
+/// epoch barrier (they never pass through shard merging).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackendReport {
+    /// Region hosting the backend.
+    pub region: String,
+    /// Backend name from the serving tier (`"gpu"`, `"cpu"`, …).
+    pub backend: String,
+    /// Executor slots in the pool.
+    pub slots: usize,
+    /// Jobs this backend completed (fluid count).
+    pub served_jobs: f64,
+    /// Batches this backend closed (fluid count).
+    pub batches: f64,
+    /// Per-slot busy time accumulated over the run (ms).
+    pub busy_ms: f64,
+    /// `busy_ms / horizon_ms` — the fraction of the run each slot spent
+    /// serving batches.
+    pub utilization: f64,
+    /// Distribution of closed batch sizes (width-1 bins).
+    pub batch_sizes: Histogram,
+}
+
+impl BackendReport {
+    /// Mean items per closed batch (0 when idle).
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches <= 0.0 {
+            0.0
+        } else {
+            self.served_jobs / self.batches
+        }
     }
 }
 
 /// Aggregate outcome of a fleet run: population-wide latency/energy
-/// distributions, switching behavior, per-region breakdowns, and the cloud
-/// queue's depth/wait trajectories.
+/// distributions, switching/shedding behavior, per-region and per-backend
+/// breakdowns, and the cloud queues' depth/wait trajectories.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FleetReport {
     latency: Histogram,
@@ -222,6 +313,8 @@ pub struct FleetReport {
     switches: u64,
     offloaded: u64,
     per_region: Vec<RegionReport>,
+    /// Per-backend serving stats, region-major (set at end of run).
+    backends: Vec<BackendReport>,
     /// `[region][epoch]` cloud backlog (jobs) at each epoch barrier.
     queue_depth: Vec<Vec<f64>>,
     /// `[region][epoch]` low-priority-class queue wait (ms) — the
@@ -242,37 +335,40 @@ impl FleetReport {
             switches: 0,
             offloaded: 0,
             per_region: regions.iter().map(|r| RegionReport::new(r)).collect(),
+            backends: Vec::new(),
             queue_depth: Vec::new(),
             queue_wait_ms: Vec::new(),
         }
     }
 
-    pub(crate) fn record(
-        &mut self,
-        region_index: usize,
-        latency_ms: f64,
-        energy_mj: f64,
-        offloaded: bool,
-        switched: bool,
-    ) {
-        self.latency.record(latency_ms);
-        self.energy.record(energy_mj);
+    pub(crate) fn record(&mut self, region_index: usize, served: &crate::device::Served) {
+        self.latency.record(served.latency_ms);
+        self.energy.record(served.energy_mj);
         let region = &mut self.per_region[region_index];
         region.inferences += 1;
-        region.latency_sum_ms += latency_ms;
-        region.energy_sum_mj += energy_mj;
-        if offloaded {
+        region.latency_sum_fp = region
+            .latency_sum_fp
+            .saturating_add(to_fp(served.latency_ms));
+        region.energy_sum_fp = region.energy_sum_fp.saturating_add(to_fp(served.energy_mj));
+        if served.offloaded {
             self.offloaded += 1;
             region.offloaded += 1;
         }
-        if switched {
+        if served.switched {
             self.switches += 1;
             region.switches += 1;
         }
+        if served.shed_to_local {
+            region.shed_to_local += 1;
+        }
+        if let Some(dest) = served.failover_region {
+            region.failed_over += 1;
+            self.per_region[dest as usize].failover_in += 1;
+        }
     }
 
-    /// Merges a shard partial into this report (in shard order, for
-    /// reproducible floating-point sums).
+    /// Merges a shard partial into this report. Histogram counts and
+    /// fixed-point sums make the result independent of merge order.
     ///
     /// # Panics
     ///
@@ -298,6 +394,10 @@ impl FleetReport {
         self.queue_wait_ms = wait;
     }
 
+    pub(crate) fn set_backend_reports(&mut self, backends: Vec<BackendReport>) {
+        self.backends = backends;
+    }
+
     /// End-to-end latency distribution (ms per inference, queue waits
     /// included).
     pub fn latency(&self) -> &Histogram {
@@ -314,7 +414,7 @@ impl FleetReport {
         self.latency.count()
     }
 
-    /// Inferences that used the cloud.
+    /// Inferences that used the cloud (including failovers).
     pub fn offloaded(&self) -> u64 {
         self.offloaded
     }
@@ -324,9 +424,25 @@ impl FleetReport {
         self.switches
     }
 
+    /// Offloads shed to on-device execution, fleet-wide.
+    pub fn shed_to_local(&self) -> u64 {
+        self.per_region.iter().map(|r| r.shed_to_local).sum()
+    }
+
+    /// Offloads that failed over to a sibling region, fleet-wide.
+    pub fn failed_over(&self) -> u64 {
+        self.per_region.iter().map(|r| r.failed_over).sum()
+    }
+
     /// Per-region breakdowns, in the scenario's region order.
     pub fn regions(&self) -> &[RegionReport] {
         &self.per_region
+    }
+
+    /// Per-backend serving stats, region-major (empty until a run
+    /// completes).
+    pub fn backends(&self) -> &[BackendReport] {
+        &self.backends
     }
 
     /// Cloud backlog (jobs) per region per epoch.
@@ -353,26 +469,44 @@ impl FleetReport {
         self.latency.sum()
     }
 
-    /// An order-independent digest of the integer aggregates — handy for
-    /// asserting the determinism contract without comparing full structs.
+    /// Aggregate energy·delay: total edge energy (mJ) × mean end-to-end
+    /// latency (ms) — the congestion-sensitive figure of merit
+    /// `examples/cloud_batching.rs` sweeps.
+    pub fn energy_delay(&self) -> f64 {
+        self.total_energy_mj() * self.latency.mean()
+    }
+
+    /// An order-independent digest of the aggregates — handy for asserting
+    /// the determinism contract without comparing full structs.
     pub fn digest(&self) -> u64 {
         let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV offset basis
         let mut feed = |v: u64| {
             h ^= v;
             h = h.wrapping_mul(0x0000_0100_0000_01B3);
         };
+        let feed_fp = |h: &mut dyn FnMut(u64), fp: i128| {
+            h(fp as u64);
+            h((fp >> 64) as u64);
+        };
         feed(self.inferences());
         feed(self.offloaded);
         feed(self.switches);
-        // Exact f64 sums, bit-for-bit.
-        feed(self.latency.sum().to_bits());
-        feed(self.energy.sum().to_bits());
+        feed_fp(&mut feed, self.latency.sum_fp());
+        feed_fp(&mut feed, self.energy.sum_fp());
         for r in &self.per_region {
             feed(r.inferences);
             feed(r.offloaded);
             feed(r.switches);
-            feed(r.latency_sum_ms.to_bits());
-            feed(r.energy_sum_mj.to_bits());
+            feed(r.shed_to_local);
+            feed(r.failed_over);
+            feed(r.failover_in);
+            feed_fp(&mut feed, r.latency_sum_fp);
+            feed_fp(&mut feed, r.energy_sum_fp);
+        }
+        for b in &self.backends {
+            feed(b.batch_sizes.count());
+            feed(b.served_jobs.to_bits());
+            feed(b.busy_ms.to_bits());
         }
         h
     }
@@ -382,7 +516,7 @@ impl fmt::Display for FleetReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "fleet report: {} inferences, {} offloaded ({:.1}%), {} switches",
+            "fleet report: {} inferences, {} offloaded ({:.1}%), {} switches, {} shed, {} failed over",
             self.inferences(),
             self.offloaded,
             if self.inferences() == 0 {
@@ -390,7 +524,9 @@ impl fmt::Display for FleetReport {
             } else {
                 100.0 * self.offloaded as f64 / self.inferences() as f64
             },
-            self.switches
+            self.switches,
+            self.shed_to_local(),
+            self.failed_over(),
         )?;
         writeln!(
             f,
@@ -423,6 +559,18 @@ impl fmt::Display for FleetReport {
                 r.mean_energy_mj()
             )?;
         }
+        for b in &self.backends {
+            writeln!(
+                f,
+                "  {:<10}/{:<8} {:>9.0} jobs in {:>8.0} batches (mean {:>5.1}/batch), {:>5.1}% util",
+                b.region,
+                b.backend,
+                b.served_jobs,
+                b.batches,
+                b.mean_batch(),
+                100.0 * b.utilization
+            )?;
+        }
         Ok(())
     }
 }
@@ -430,6 +578,18 @@ impl fmt::Display for FleetReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::device::Served;
+
+    fn served(latency_ms: f64, energy_mj: f64, offloaded: bool, switched: bool) -> Served {
+        Served {
+            latency_ms,
+            energy_mj,
+            offloaded,
+            switched,
+            shed_to_local: false,
+            failover_region: None,
+        }
+    }
 
     #[test]
     fn histogram_records_and_queries() {
@@ -478,7 +638,39 @@ mod tests {
         assert_eq!(a.count(), whole.count());
         assert_eq!(a.percentile(50.0), whole.percentile(50.0));
         assert_eq!(a.percentile(99.0), whole.percentile(99.0));
-        assert!((a.sum() - whole.sum()).abs() < 1e-9);
+        // Fixed-point sums are exact: bitwise equality, not a tolerance.
+        assert_eq!(a.sum(), whole.sum());
+    }
+
+    #[test]
+    fn record_n_matches_repeated_record() {
+        let mut a = Histogram::new(1.0, 10);
+        let mut b = Histogram::new(1.0, 10);
+        a.record_n(3.5, 4);
+        for _ in 0..4 {
+            b.record(3.5);
+        }
+        assert_eq!(a, b);
+        a.record_n(5.0, 0); // no-op
+        assert_eq!(a.count(), 4);
+    }
+
+    #[test]
+    fn merge_saturates_counts_instead_of_wrapping() {
+        let mut a = Histogram::new(1.0, 4);
+        let mut b = Histogram::new(1.0, 4);
+        a.record_n(0.5, u64::MAX - 1);
+        b.record_n(0.5, 2);
+        b.record_n(100.0, u64::MAX); // overflow bucket at the boundary
+        a.merge(&b);
+        assert_eq!(a.count(), u64::MAX, "count must saturate, not wrap");
+        assert_eq!(a.overflow(), u64::MAX);
+        // The first bin itself saturates too.
+        let mut c = Histogram::new(1.0, 4);
+        c.record_n(0.5, u64::MAX);
+        c.record(0.5);
+        assert_eq!(c.count(), u64::MAX);
+        assert!(c.percentile(50.0) <= 1.0);
     }
 
     #[test]
@@ -502,16 +694,37 @@ mod tests {
         let regions = vec!["A".to_string(), "B".to_string()];
         let mut a = FleetReport::empty(1.0, 1.0, 100, &regions);
         let mut b = FleetReport::empty(1.0, 1.0, 100, &regions);
-        a.record(0, 10.0, 5.0, true, false);
-        b.record(1, 20.0, 2.0, false, true);
+        a.record(0, &served(10.0, 5.0, true, false));
+        b.record(1, &served(20.0, 2.0, false, true));
         a.merge(&b);
         assert_eq!(a.inferences(), 2);
         assert_eq!(a.offloaded(), 1);
         assert_eq!(a.switches(), 1);
         assert_eq!(a.regions()[0].inferences, 1);
         assert_eq!(a.regions()[1].switches, 1);
-        assert!((a.total_latency_ms() - 30.0).abs() < 1e-12);
-        assert!((a.total_energy_mj() - 7.0).abs() < 1e-12);
+        assert_eq!(a.total_latency_ms(), 30.0);
+        assert_eq!(a.total_energy_mj(), 7.0);
+        assert_eq!(a.energy_delay(), 7.0 * 15.0);
+    }
+
+    #[test]
+    fn shed_and_failover_are_counted_per_region() {
+        let regions = vec!["A".to_string(), "B".to_string()];
+        let mut r = FleetReport::empty(1.0, 1.0, 100, &regions);
+        let mut shed = served(30.0, 9.0, false, false);
+        shed.shed_to_local = true;
+        r.record(0, &shed);
+        let mut over = served(40.0, 3.0, true, false);
+        over.failover_region = Some(1);
+        r.record(0, &over);
+        assert_eq!(r.regions()[0].shed_to_local, 1);
+        assert_eq!(r.regions()[0].failed_over, 1);
+        assert_eq!(r.regions()[1].failover_in, 1);
+        assert_eq!(r.shed_to_local(), 1);
+        assert_eq!(r.failed_over(), 1);
+        let s = format!("{r}");
+        assert!(s.contains("1 shed"), "{s}");
+        assert!(s.contains("1 failed over"), "{s}");
     }
 
     #[test]
@@ -520,19 +733,57 @@ mod tests {
         let mut a = FleetReport::empty(1.0, 1.0, 100, &regions);
         let mut b = FleetReport::empty(1.0, 1.0, 100, &regions);
         assert_eq!(a.digest(), b.digest());
-        a.record(0, 1.0, 1.0, false, false);
+        a.record(0, &served(1.0, 1.0, false, false));
         assert_ne!(a.digest(), b.digest());
-        b.record(0, 1.0, 1.0, false, false);
+        b.record(0, &served(1.0, 1.0, false, false));
         assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let regions = vec!["A".to_string()];
+        let mut parts = Vec::new();
+        for i in 0..4 {
+            let mut p = FleetReport::empty(1.0, 1.0, 100, &regions);
+            // Values chosen to be non-representable in binary so a float
+            // accumulator would be order-sensitive.
+            p.record(
+                0,
+                &served(0.1 * (i + 1) as f64, 0.3 + i as f64, false, false),
+            );
+            parts.push(p);
+        }
+        let mut fwd = FleetReport::empty(1.0, 1.0, 100, &regions);
+        for p in &parts {
+            fwd.merge(p);
+        }
+        let mut rev = FleetReport::empty(1.0, 1.0, 100, &regions);
+        for p in parts.iter().rev() {
+            rev.merge(p);
+        }
+        assert_eq!(fwd, rev);
+        assert_eq!(fwd.digest(), rev.digest());
     }
 
     #[test]
     fn display_summarizes() {
         let regions = vec!["USA".to_string()];
         let mut r = FleetReport::empty(1.0, 1.0, 100, &regions);
-        r.record(0, 12.0, 3.0, true, true);
+        r.record(0, &served(12.0, 3.0, true, true));
+        r.set_backend_reports(vec![BackendReport {
+            region: "USA".to_string(),
+            backend: "gpu".to_string(),
+            slots: 2,
+            served_jobs: 100.0,
+            batches: 10.0,
+            busy_ms: 500.0,
+            utilization: 0.5,
+            batch_sizes: Histogram::new(1.0, 8),
+        }]);
         let s = format!("{r}");
         assert!(s.contains("fleet report"));
         assert!(s.contains("USA"));
+        assert!(s.contains("gpu"));
+        assert!(s.contains("50.0% util"));
     }
 }

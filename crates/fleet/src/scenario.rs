@@ -2,11 +2,12 @@
 //!
 //! A [`FleetScenario`] pins down everything a run needs — population size,
 //! the Table I regional mix, the wireless-technology mix, the arrival
-//! model, cloud capacity, the switching policy, and the seed — so that two
+//! model, the per-region cloud serving tier (backends, batching, admission
+//! control, failover), the switching policy, and the seed — so that two
 //! engines given the same scenario produce the same [`crate::FleetReport`]
 //! (see the crate-level determinism contract).
 
-use crate::cloud::CloudCapacity;
+use crate::cloud::{CloudCapacity, CloudServing};
 use crate::FleetError;
 use lens_device::DeviceProfile;
 use lens_nn::units::{Mbps, Millis};
@@ -97,7 +98,7 @@ pub struct FleetScenario {
     pub(crate) horizon: Millis,
     pub(crate) trace_interval: Millis,
     pub(crate) arrival: ArrivalModel,
-    pub(crate) cloud: CloudCapacity,
+    pub(crate) serving: CloudServing,
     pub(crate) policy: FleetPolicy,
     pub(crate) metric: Metric,
     pub(crate) tracker_alpha: f64,
@@ -110,9 +111,10 @@ pub struct FleetScenario {
 impl FleetScenario {
     /// Starts a builder with the defaults: 10 000 devices across the
     /// paper's Table I regions, 1-hour horizon, 60 s trace interval,
-    /// periodic 60 s arrivals, a 64-slot / 8 ms FIFO cloud per region,
-    /// dynamic switching on energy, last-sample tracking, AlexNet on the
-    /// Jetson TX2 CPU, seed 0, one shard.
+    /// periodic 60 s arrivals, a single unbatched 64-slot / 8 ms FIFO
+    /// cloud backend per region with open admission, dynamic switching on
+    /// energy, last-sample tracking, AlexNet on the Jetson TX2 CPU, seed
+    /// 0, one shard.
     pub fn builder() -> FleetScenarioBuilder {
         FleetScenarioBuilder::default()
     }
@@ -151,9 +153,9 @@ impl FleetScenario {
         self.arrival
     }
 
-    /// Cloud capacity per region.
-    pub fn cloud(&self) -> CloudCapacity {
-        self.cloud
+    /// The cloud serving tier each region hosts.
+    pub fn serving(&self) -> &CloudServing {
+        &self.serving
     }
 
     /// The switching policy.
@@ -201,7 +203,7 @@ pub struct FleetScenarioBuilder {
     horizon: Millis,
     trace_interval: Millis,
     arrival: ArrivalModel,
-    cloud: CloudCapacity,
+    serving: CloudServing,
     policy: FleetPolicy,
     metric: Metric,
     tracker_alpha: f64,
@@ -228,7 +230,7 @@ impl Default for FleetScenarioBuilder {
             arrival: ArrivalModel::Periodic {
                 period: Millis::new(60_000.0),
             },
-            cloud: CloudCapacity::new(64, 8.0),
+            serving: CloudServing::from(CloudCapacity::new(64, 8.0)),
             policy: FleetPolicy::Dynamic,
             metric: Metric::Energy,
             tracker_alpha: 1.0,
@@ -271,9 +273,19 @@ impl FleetScenarioBuilder {
         self
     }
 
-    /// Sets the per-region cloud capacity.
+    /// Sets the per-region cloud to a single unbatched backend with the
+    /// given capacity (the PR 2 fluid-queue model). For heterogeneous
+    /// backends, batching, admission control, or failover, use
+    /// [`serving`](FleetScenarioBuilder::serving).
     pub fn cloud(mut self, cloud: CloudCapacity) -> Self {
-        self.cloud = cloud;
+        self.serving = CloudServing::from(cloud);
+        self
+    }
+
+    /// Sets the full per-region serving tier: heterogeneous batched
+    /// backends, queue discipline, admission control, and failover.
+    pub fn serving(mut self, serving: CloudServing) -> Self {
+        self.serving = serving;
         self
     }
 
@@ -369,13 +381,16 @@ impl FleetScenarioBuilder {
         if self.shards > self.population {
             return invalid("more shards than devices");
         }
+        if let Err(why) = self.serving.validate() {
+            return invalid(&why);
+        }
         Ok(FleetScenario {
             population: self.population,
             regions: self.regions,
             horizon: self.horizon,
             trace_interval: self.trace_interval,
             arrival: self.arrival,
-            cloud: self.cloud,
+            serving: self.serving,
             policy: self.policy,
             metric: self.metric,
             tracker_alpha: self.tracker_alpha,
@@ -390,6 +405,37 @@ impl FleetScenarioBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cloud::{AdmissionPolicy, BackendConfig, FailoverPolicy};
+
+    #[test]
+    fn serving_builder_accepts_multi_backend_tiers() {
+        let serving = CloudServing::new(vec![
+            BackendConfig::new("gpu", 2, 32.0, 1.0).with_batching(32, 50.0),
+            BackendConfig::new("cpu", 8, 12.0, 6.0).with_batching(4, 20.0),
+        ])
+        .with_admission(AdmissionPolicy::Deadline {
+            max_wait_ms: 2000.0,
+        })
+        .with_failover(FailoverPolicy::SiblingRegion { penalty_ms: 60.0 });
+        let s = FleetScenario::builder()
+            .serving(serving.clone())
+            .build()
+            .unwrap();
+        assert_eq!(s.serving(), &serving);
+        assert_eq!(s.serving().backends.len(), 2);
+    }
+
+    #[test]
+    fn invalid_serving_tier_is_rejected_at_build() {
+        let err = FleetScenario::builder()
+            .serving(CloudServing::new(vec![]))
+            .build()
+            .unwrap_err();
+        match err {
+            FleetError::InvalidScenario(why) => assert!(why.contains("backend"), "{why}"),
+            other => panic!("expected InvalidScenario, got {other:?}"),
+        }
+    }
 
     #[test]
     fn defaults_build() {

@@ -64,8 +64,9 @@ pub mod prelude {
         profile_network, DeviceProfile, LayerPerformanceModel, PerformancePredictor,
     };
     pub use lens_fleet::{
-        ArrivalModel, CloudCapacity, FleetEngine, FleetPolicy, FleetReport, FleetScenario,
-        QueueDiscipline, RegionShare,
+        AdmissionPolicy, ArrivalModel, BackendConfig, BackendReport, BatchPolicy, CloudCapacity,
+        CloudServing, FailoverPolicy, FleetEngine, FleetPolicy, FleetReport, FleetScenario,
+        QueueDiscipline, RegionServing, RegionShare,
     };
     pub use lens_nn::units::{Bytes, Mbps, Millijoules, Millis, Milliwatts};
     pub use lens_nn::{zoo, Network, NetworkBuilder, TensorShape};

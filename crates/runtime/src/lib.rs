@@ -22,6 +22,38 @@
 //! * [`tracker`] — the online throughput tracker of Fig 5.
 //! * [`simulator`] — replay a throughput trace and compare fixed deployment
 //!   options against dynamic switching (Fig 8).
+//!
+//! # Examples
+//!
+//! Enumerate AlexNet's deployment options on a WiFi link, build the
+//! dominance map for latency, and look up the best option at a measured
+//! throughput:
+//!
+//! ```
+//! use lens_runtime::{DeploymentPlanner, DominanceMap, Metric};
+//! use lens_device::{profile_network, DeviceProfile};
+//! use lens_nn::units::Mbps;
+//! use lens_nn::zoo;
+//! use lens_wireless::{WirelessLink, WirelessTechnology};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let analysis = zoo::alexnet().analyze()?;
+//! let perf = profile_network(&analysis, &DeviceProfile::jetson_tx2_gpu());
+//! let planner =
+//!     DeploymentPlanner::new(WirelessLink::new(WirelessTechnology::Wifi, Mbps::new(3.0)));
+//! let options = planner.enumerate(&analysis, &perf)?;
+//! let map = DominanceMap::build(&options, Metric::Latency)?;
+//!
+//! // At 3 Mbps some option (edge, cloud, or a split) dominates…
+//! let best = map.best_at(Mbps::new(3.0));
+//! assert!(best < options.len());
+//! // …and the cheapest cloud-free option backs admission-control
+//! // fallback in fleet-scale simulators.
+//! let local = DeploymentPlanner::local_fallback(&options, Metric::Latency, Mbps::new(3.0))?;
+//! assert!(!options[local].uses_cloud());
+//! # Ok(())
+//! # }
+//! ```
 
 pub mod envelope;
 pub mod options;

@@ -286,6 +286,36 @@ impl DeploymentPlanner {
         Ok((&options[index], cost))
     }
 
+    /// The index of the cheapest option that does **not** use the cloud —
+    /// the fallback-to-local accounting hook for admission control in a
+    /// shared-cloud simulator: when a cloud tier sheds an offloaded
+    /// request back to the device, the request is re-priced at this
+    /// option's latency and energy. For every paper network this resolves
+    /// to All-Edge; since cloud-free options carry no `1/t_u`
+    /// communication term, the choice is the same at every throughput.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::NoOptions`] if no cloud-free option exists.
+    pub fn local_fallback(
+        options: &[DeploymentOption],
+        metric: Metric,
+        throughput: Mbps,
+    ) -> Result<usize, RuntimeError> {
+        options
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| !o.uses_cloud())
+            .min_by(|(_, a), (_, b)| {
+                a.cost(metric)
+                    .at(throughput)
+                    .partial_cmp(&b.cost(metric).at(throughput))
+                    .expect("finite costs")
+            })
+            .map(|(i, _)| i)
+            .ok_or(RuntimeError::NoOptions)
+    }
+
     /// The index of the best option for a metric at a throughput, charging
     /// `cloud_penalty` (in the metric's own unit) to every option that
     /// [uses the cloud](DeploymentOption::uses_cloud). This is the
@@ -476,6 +506,26 @@ mod tests {
                 assert!((options[idx].cost(metric).at(tu) - plain).abs() < 1e-12);
             }
         }
+    }
+
+    #[test]
+    fn local_fallback_is_the_cheapest_cloud_free_option() {
+        let options = alexnet_options(WirelessTechnology::Lte);
+        for metric in [Metric::Latency, Metric::Energy] {
+            for tu in [0.5, 7.5, 50.0] {
+                let idx =
+                    DeploymentPlanner::local_fallback(&options, metric, Mbps::new(tu)).unwrap();
+                assert_eq!(options[idx].kind(), &DeploymentKind::AllEdge);
+                assert!(!options[idx].uses_cloud());
+            }
+        }
+        // A cloud-only option set has nothing to fall back to.
+        let cloud_only: Vec<DeploymentOption> =
+            options.into_iter().filter(|o| o.uses_cloud()).collect();
+        assert!(matches!(
+            DeploymentPlanner::local_fallback(&cloud_only, Metric::Latency, Mbps::new(1.0)),
+            Err(RuntimeError::NoOptions)
+        ));
     }
 
     #[test]

@@ -17,6 +17,31 @@
 //! uplink throughputs (Opensignal 2020, the paper's Table I source) and a
 //! seeded throughput-trace generator standing in for the paper's TestMyNet
 //! LTE measurements (§V.C) — see DESIGN.md substitution #3.
+//!
+//! # Examples
+//!
+//! Price a feature-map transmission on an LTE link (Eq. 3–6), then
+//! synthesize a deterministic per-device throughput trace around a
+//! region's expected uplink:
+//!
+//! ```
+//! use lens_nn::units::{Mbps, Millis};
+//! use lens_nn::Bytes;
+//! use lens_wireless::{Region, ThroughputTrace, WirelessLink, WirelessTechnology};
+//!
+//! let link = WirelessLink::new(WirelessTechnology::Lte, Mbps::new(7.5));
+//! let latency = link.comm_latency(Bytes::new(150_528)); // AlexNet input
+//! let energy = link.comm_energy(Bytes::new(150_528));
+//! assert!(latency.get() > 0.0 && energy.get() > 0.0);
+//!
+//! // Gauss–Markov trace, 60 samples at 60 s — same seed, same trace.
+//! let usa = Region::new("USA", Mbps::new(7.5));
+//! let trace =
+//!     ThroughputTrace::synthesize(&usa, WirelessTechnology::Lte, 60, Millis::new(60_000.0), 42);
+//! let again =
+//!     ThroughputTrace::synthesize(&usa, WirelessTechnology::Lte, 60, Millis::new(60_000.0), 42);
+//! assert_eq!(trace.samples(), again.samples());
+//! ```
 
 pub mod link;
 pub mod region;

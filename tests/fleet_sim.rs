@@ -43,6 +43,62 @@ fn integer_aggregates_are_shard_count_invariant() {
     assert_eq!(a.energy().percentile(99.0), b.energy().percentile(99.0));
 }
 
+/// A congested batched multi-backend scenario with deadline admission and
+/// sibling failover — every serving-tier feature at once.
+fn batched_scenario(shards: usize) -> FleetScenario {
+    // Per-region peak drain ≈ 987 jobs/min (gpu 827 + cpu 160) against an
+    // eager energy-dynamic fleet whose busiest regions offload well above
+    // that — so backlogs build, batches close full, and the deadline
+    // controller sheds into failover and local fallback.
+    let serving = CloudServing::new(vec![
+        BackendConfig::new("gpu", 1, 2000.0, 10.0).with_batching(32, 500.0),
+        BackendConfig::new("cpu", 1, 500.0, 250.0).with_batching(4, 250.0),
+    ])
+    .with_priority(0.2)
+    .with_admission(AdmissionPolicy::Deadline {
+        max_wait_ms: 10_000.0,
+    })
+    .with_failover(FailoverPolicy::SiblingRegion { penalty_ms: 80.0 });
+    FleetScenario::builder()
+        .population(6000)
+        .horizon(Millis::new(1_200_000.0)) // 20 minutes
+        .trace_interval(Millis::new(60_000.0))
+        .serving(serving)
+        .policy(FleetPolicy::Dynamic)
+        .metric(Metric::Energy)
+        .seed(23)
+        .shards(shards)
+        .build()
+        .expect("valid scenario")
+}
+
+#[test]
+fn batched_multi_backend_report_is_bit_identical_across_1_2_4_shards() {
+    // Stronger than the headline contract (which fixes the shard count):
+    // integer event counts plus fixed-point value sums make the merged
+    // report independent of how the population is sharded.
+    let one = FleetEngine::new(batched_scenario(1))
+        .expect("engine builds")
+        .run()
+        .expect("run succeeds");
+    for shards in [2, 4] {
+        let other = FleetEngine::new(batched_scenario(shards))
+            .expect("engine builds")
+            .run()
+            .expect("run succeeds");
+        assert_eq!(one, other, "report differs at {shards} shards");
+        assert_eq!(one.digest(), other.digest());
+    }
+    // And the scenario actually exercises the serving tier: batches close
+    // on both backends, and the admission controller sheds under load.
+    assert_eq!(one.backends().len(), 6, "3 regions x 2 backends");
+    assert!(one.backends().iter().any(|b| b.mean_batch() > 1.5));
+    assert!(
+        one.shed_to_local() + one.failed_over() > 0,
+        "deadline admission should trigger under congestion"
+    );
+}
+
 #[test]
 fn dynamic_beats_every_fixed_policy_on_energy_under_congestion() {
     let dynamic = congested(1500, FleetPolicy::Dynamic, Metric::Energy, 2);

@@ -188,6 +188,66 @@ fn fleet_subsystem_is_fully_registered() {
     );
 }
 
+/// Pins the batched-serving-tier surface added with the docs pass: the
+/// `docs/` directory, its README links, and the `cloud_batching` example.
+#[test]
+fn docs_and_cloud_batching_example_are_pinned() {
+    let root = repo_root();
+    let read = |p: &str| fs::read_to_string(root.join(p)).unwrap_or_else(|e| panic!("{p}: {e}"));
+
+    let architecture = read("docs/ARCHITECTURE.md");
+    assert!(
+        architecture.contains("Determinism contract"),
+        "docs/ARCHITECTURE.md must document the determinism contract"
+    );
+    assert!(
+        architecture.contains("batch-close"),
+        "docs/ARCHITECTURE.md must walk through the serving tier's batch-close events"
+    );
+    let paper_map = read("docs/PAPER_MAP.md");
+    for crate_name in [
+        "lens-num",
+        "lens-nn",
+        "lens-space",
+        "lens-wireless",
+        "lens-device",
+        "lens-gp",
+        "lens-pareto",
+        "lens-accuracy",
+        "lens-runtime",
+        "lens-fleet",
+        "lens-core",
+        "lens-bench",
+    ] {
+        assert!(
+            paper_map.contains(crate_name),
+            "docs/PAPER_MAP.md must cover {crate_name}"
+        );
+    }
+
+    let readme = read("README.md");
+    assert!(
+        readme.contains("docs/ARCHITECTURE.md") && readme.contains("docs/PAPER_MAP.md"),
+        "README must link both docs"
+    );
+    let fleet_lib = read("crates/fleet/src/lib.rs");
+    assert!(
+        fleet_lib.contains("docs/ARCHITECTURE.md"),
+        "lens-fleet rustdoc must point at docs/ARCHITECTURE.md"
+    );
+
+    let facade_manifest = read("crates/lens/Cargo.toml");
+    assert!(
+        facade_manifest.contains("path = \"../../examples/cloud_batching.rs\""),
+        "cloud_batching example must be registered on the facade"
+    );
+    let bench_json = read("crates/bench/benches/BENCH_fleet.json");
+    assert!(
+        bench_json.contains("batch_close"),
+        "BENCH_fleet.json must record the batch_close bench"
+    );
+}
+
 #[test]
 fn ci_gates_docs_and_fleet_smoke_run() {
     let root = repo_root();
@@ -198,11 +258,19 @@ fn ci_gates_docs_and_fleet_smoke_run() {
     );
     assert!(
         ci.contains("RUSTDOCFLAGS: \"-D warnings\""),
-        "CI rustdoc step must deny warnings"
+        "CI rustdoc step must deny warnings (broken intra-doc links fail)"
+    );
+    assert!(
+        ci.contains("cargo test --doc --workspace"),
+        "CI must run doctests explicitly"
     );
     assert!(
         ci.contains("cargo run --example fleet_scaleout --release"),
         "CI must smoke-run the fleet_scaleout example in release"
+    );
+    assert!(
+        ci.contains("cargo run --example cloud_batching --release"),
+        "CI must smoke-run the cloud_batching example in release"
     );
 }
 
