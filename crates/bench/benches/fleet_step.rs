@@ -61,6 +61,24 @@ fn bench_fleet(c: &mut Criterion) {
         b.iter(|| black_box(engine.run().expect("run").inferences()))
     });
 
+    // The same batched serving tier at per-request fidelity: every
+    // offloaded inference becomes a discrete arrival/batch/completion
+    // event in the region microsims — the tail-latency price tag.
+    let per_request = FleetScenario::builder()
+        .population(10_000)
+        .horizon(Millis::new(600_000.0))
+        .serving(batched_serving())
+        .policy(FleetPolicy::Dynamic)
+        .metric(Metric::Energy)
+        .seed(11)
+        .fidelity(CloudSimFidelity::PerRequest)
+        .build()
+        .expect("valid scenario");
+    let engine = FleetEngine::new(per_request).expect("engine builds");
+    group.bench_function("per_request/10000", |b| {
+        b.iter(|| black_box(engine.run().expect("run").inferences()))
+    });
+
     // The barrier path in isolation: one region's admit → water-fill →
     // batch-close/drain → signal cycle, at a fluid 5k offloads/epoch.
     let serving = batched_serving();

@@ -31,7 +31,32 @@
 //! converts losslessly via [`CloudServing::from`].
 
 use crate::report::Histogram;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 use std::fmt;
+
+/// Which cloud model a fleet run uses ([`crate::FleetScenario`]'s
+/// `fidelity` knob).
+///
+/// The fluid mode resolves whole epochs of offloads as job *quantities* at
+/// the barrier — cheap and mean-accurate, but every request of an epoch
+/// sees the same published wait, so the latency distribution has no cloud
+/// tail. The per-request mode replays each offloaded request as its own
+/// discrete event (arrival → queueing → batch admission → service →
+/// completion) inside [`RegionMicrosim`], which is what p95/p99 reporting
+/// needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CloudSimFidelity {
+    /// Epoch-barrier fluid queues (the PR 3 model, and the default):
+    /// arrivals are admitted as counts and drained at batch-amortized
+    /// rates.
+    #[default]
+    Fluid,
+    /// Discrete per-request microsimulation: every offloaded request gets
+    /// its own arrival/batch/service/completion times, and the report
+    /// carries exact per-request sojourn histograms with tail summaries.
+    PerRequest,
+}
 
 /// Queueing discipline for a region's cloud slots.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -251,6 +276,20 @@ impl AdmissionPolicy {
     }
 }
 
+/// EWMA-damps a published shed fraction toward the controller's raw
+/// target: the raw `1 − bound/observed` over-corrects under the one-epoch
+/// lag (bang-bang oscillation), so both fidelities halve toward it each
+/// barrier and snap the geometric tail to zero so open tiers publish
+/// exact 0. Shared so the fluid and per-request controllers cannot drift.
+fn damp_shed_fraction(previous: f64, target: f64) -> f64 {
+    let damped = 0.5 * (previous + target);
+    if damped < 1e-6 {
+        0.0
+    } else {
+        damped
+    }
+}
+
 /// Where a shed request goes.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum FailoverPolicy {
@@ -430,6 +469,12 @@ struct BackendQueue {
 /// sizes above this land in the overflow bucket).
 const BATCH_HIST_BINS: usize = 1_024;
 
+/// Per-request sojourn histogram resolution (ms per bin) — matches the
+/// engine's end-to-end latency binning so tails line up across views.
+pub(crate) const SOJOURN_BIN_MS: f64 = 10.0;
+/// Bins in per-request sojourn histograms (overflow beyond 20 s).
+pub(crate) const SOJOURN_BINS: usize = 2_000;
+
 /// Cumulative serving stats for one backend, as accumulated across a
 /// run's epoch barriers ([`RegionServing::backend_stats`]); the engine
 /// stamps these with the region name and horizon-normalized utilization
@@ -448,6 +493,10 @@ pub struct BackendStats {
     pub busy_ms: f64,
     /// Distribution of closed batch sizes (width-1 bins).
     pub batch_sizes: Histogram,
+    /// Per-request cloud sojourn times (arrival → completion, ms). Only
+    /// the per-request microsimulation populates this; the fluid tier
+    /// leaves it empty (fluid epochs have no per-request times).
+    pub sojourn_ms: Histogram,
 }
 
 /// One region's deterministic serving-tier state: per-backend fluid queues
@@ -645,11 +694,7 @@ impl RegionServing {
             .serving
             .admission
             .shed_fraction(self.depth(), self.wait_ms(false));
-        self.shed_fraction = 0.5 * (self.shed_fraction + target);
-        if self.shed_fraction < 1e-6 {
-            // Snap the geometric tail to zero so open tiers publish exact 0.
-            self.shed_fraction = 0.0;
-        }
+        self.shed_fraction = damp_shed_fraction(self.shed_fraction, target);
     }
 
     /// The wait (ms) a new arrival of the given class experiences: the
@@ -701,6 +746,7 @@ impl RegionServing {
                 batches: q.batches,
                 busy_ms: q.busy_ms,
                 batch_sizes: q.batch_sizes.clone(),
+                sojourn_ms: Histogram::new(SOJOURN_BIN_MS, SOJOURN_BINS),
             })
             .collect()
     }
@@ -714,6 +760,376 @@ impl fmt::Display for RegionServing {
             self.queues.len(),
             self.depth(),
             self.wait_ms(false)
+        )
+    }
+}
+
+/// One offloaded inference inside the per-request microsimulation — the
+/// event a device contributes at its arrival time, plus the bookkeeping
+/// the engine needs to finish the record once the request completes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OffloadRequest {
+    /// Arrival time at the region's front door (µs since run start).
+    pub arrival_us: u64,
+    /// Global device id — with `arrival_us` this forms the unique,
+    /// shard-count-invariant sort key the barrier merges requests by.
+    pub device_id: u64,
+    /// Whether the device is in the high-priority class.
+    pub high_priority: bool,
+    /// Origin region index (for the report's per-region breakdown; it
+    /// differs from the serving region when the request failed over).
+    pub origin_region: u32,
+    /// Whether this request reached the serving region via failover.
+    pub failed_over: bool,
+    /// Device-side latency (ms): comm + compute, *without* any cloud
+    /// queueing — the microsim supplies that part.
+    pub base_latency_ms: f64,
+    /// Edge energy of the inference (mJ).
+    pub energy_mj: f64,
+    /// Whether the device switched deployment options on this inference.
+    pub switched: bool,
+}
+
+/// A finished request from [`RegionMicrosim`]: the original request plus
+/// where and how long it was served.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompletedRequest {
+    /// The request as admitted.
+    pub request: OffloadRequest,
+    /// Index of the backend that served it.
+    pub backend: u32,
+    /// Cloud sojourn (arrival → batch completion, ms).
+    pub sojourn_ms: f64,
+}
+
+/// Timer-event kinds in the microsim heap. Slot-free events sort before
+/// linger expiries at the same microsecond so a freed executor is visible
+/// to the batcher that was waiting on it.
+const EVENT_SLOT_FREE: u8 = 0;
+const EVENT_LINGER: u8 = 1;
+
+/// Per-backend discrete state inside [`RegionMicrosim`].
+#[derive(Debug, Clone)]
+struct MicroBackend {
+    queue_high: VecDeque<OffloadRequest>,
+    queue_low: VecDeque<OffloadRequest>,
+    /// When each executor slot becomes free (µs).
+    slot_free_us: Vec<u64>,
+    // Cumulative serving stats.
+    served_requests: u64,
+    batches: u64,
+    /// Total executor-occupied time across all slots (µs).
+    busy_us: u64,
+    batch_sizes: Histogram,
+    sojourn_ms: Histogram,
+}
+
+impl MicroBackend {
+    fn queued(&self) -> usize {
+        self.queue_high.len() + self.queue_low.len()
+    }
+
+    /// Arrival time of the oldest waiting request (µs), if any.
+    fn oldest_arrival_us(&self) -> Option<u64> {
+        match (self.queue_high.front(), self.queue_low.front()) {
+            (Some(h), Some(l)) => Some(h.arrival_us.min(l.arrival_us)),
+            (Some(h), None) => Some(h.arrival_us),
+            (None, Some(l)) => Some(l.arrival_us),
+            (None, None) => None,
+        }
+    }
+
+    /// The earliest-free slot (ties to the lowest index).
+    fn earliest_slot(&self) -> (usize, u64) {
+        let mut best = 0usize;
+        for (i, &t) in self.slot_free_us.iter().enumerate() {
+            if t < self.slot_free_us[best] {
+                best = i;
+            }
+        }
+        (best, self.slot_free_us[best])
+    }
+}
+
+/// One region's **per-request** serving-tier state: every offloaded
+/// request is a discrete event with its own arrival, queueing,
+/// batch-admission, service-start, and completion times.
+///
+/// The microsim advances through an event heap keyed by integer
+/// microseconds. At equal timestamps, slot-free events run before
+/// arrivals and arrivals before linger expiries, and all same-microsecond
+/// arrivals are enqueued before any batch closes — so simultaneous
+/// arrivals can share a batch and the schedule is a pure function of the
+/// merged, `(arrival_us, device_id)`-sorted request stream (the
+/// shard-count-invariance the determinism contract needs).
+///
+/// Batch assembly per backend: a batch closes when a slot is free **and**
+/// either `max_batch` requests wait or the oldest waiting request has
+/// lingered `linger_ms` (zero linger ⇒ close immediately, so unbatched
+/// backends serve single-request batches). High-priority requests fill
+/// batches first under the priority discipline. A closed batch of `b`
+/// requests occupies its executor for `base_service_ms + per_item_ms · b`,
+/// and every member completes at the batch's completion time.
+#[derive(Debug, Clone)]
+pub struct RegionMicrosim {
+    serving: CloudServing,
+    backends: Vec<MicroBackend>,
+    /// Pending timer events: (time µs, kind, backend index).
+    heap: BinaryHeap<Reverse<(u64, u8, u32)>>,
+    /// EWMA-damped shed fraction, same controller as the fluid tier.
+    shed_fraction: f64,
+}
+
+impl RegionMicrosim {
+    /// An idle per-request tier instantiated from the region template.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `serving` fails [`CloudServing::validate`].
+    pub fn new(serving: &CloudServing) -> Self {
+        if let Err(why) = serving.validate() {
+            panic!("invalid serving tier: {why}");
+        }
+        let backends = serving
+            .backends
+            .iter()
+            .map(|b| MicroBackend {
+                queue_high: VecDeque::new(),
+                queue_low: VecDeque::new(),
+                slot_free_us: vec![0; b.slots],
+                served_requests: 0,
+                batches: 0,
+                busy_us: 0,
+                batch_sizes: Histogram::new(1.0, BATCH_HIST_BINS),
+                sojourn_ms: Histogram::new(SOJOURN_BIN_MS, SOJOURN_BINS),
+            })
+            .collect();
+        RegionMicrosim {
+            serving: serving.clone(),
+            backends,
+            heap: BinaryHeap::new(),
+            shed_fraction: 0.0,
+        }
+    }
+
+    /// The serving-tier template this region runs.
+    pub fn serving(&self) -> &CloudServing {
+        &self.serving
+    }
+
+    /// Runs one epoch: interleaves the merged, sorted arrival stream with
+    /// the pending service events, pushing every completion (including
+    /// completions of requests admitted in earlier epochs) into `out`.
+    /// Timer events at or beyond `epoch_end_us` stay queued for the next
+    /// epoch.
+    ///
+    /// `requests` must be sorted by `(arrival_us, device_id)` with every
+    /// arrival inside the epoch (debug-asserted).
+    pub fn run_epoch(
+        &mut self,
+        requests: &[OffloadRequest],
+        epoch_end_us: u64,
+        out: &mut Vec<CompletedRequest>,
+    ) {
+        debug_assert!(requests
+            .windows(2)
+            .all(|w| (w[0].arrival_us, w[0].device_id) < (w[1].arrival_us, w[1].device_id)));
+        debug_assert!(requests.iter().all(|r| r.arrival_us < epoch_end_us));
+        let mut touched = vec![false; self.backends.len()];
+        let mut i = 0;
+        while i < requests.len() {
+            let now = requests[i].arrival_us;
+            // Timer events strictly before the arrival instant run first.
+            // Events at exactly `now` stay queued: a slot freed at `now`
+            // is already visible through `slot_free_us`, and `dispatch`
+            // re-checks the linger deadline directly — so same-instant
+            // arrivals enqueue *before* any batch at `now` closes and can
+            // board it (the documented ordering).
+            self.run_timers(now, false, out);
+            touched.iter_mut().for_each(|t| *t = false);
+            while i < requests.len() && requests[i].arrival_us == now {
+                let request = requests[i];
+                let backend = self.least_work_backend(now);
+                let queue = if request.high_priority {
+                    &mut self.backends[backend].queue_high
+                } else {
+                    &mut self.backends[backend].queue_low
+                };
+                queue.push_back(request);
+                touched[backend] = true;
+                i += 1;
+            }
+            for (backend, hit) in touched.iter().enumerate() {
+                if *hit {
+                    self.dispatch(backend, now, out);
+                }
+            }
+        }
+        self.run_timers(epoch_end_us, false, out);
+    }
+
+    /// Drains everything still queued or in flight — the cloud keeps
+    /// serving past the horizon so every admitted request completes and
+    /// the tail histograms account for the whole population.
+    pub fn flush(&mut self, out: &mut Vec<CompletedRequest>) {
+        self.run_timers(u64::MAX, true, out);
+        debug_assert!(self.backends.iter().all(|b| b.queued() == 0));
+    }
+
+    /// Processes pending timer events with `time < limit_us` (or
+    /// `<= limit_us` when `inclusive`).
+    fn run_timers(&mut self, limit_us: u64, inclusive: bool, out: &mut Vec<CompletedRequest>) {
+        while let Some(&Reverse((time, _, backend))) = self.heap.peek() {
+            if time > limit_us || (time == limit_us && !inclusive) {
+                break;
+            }
+            self.heap.pop();
+            self.dispatch(backend as usize, time, out);
+        }
+    }
+
+    /// The backend a new arrival joins: least work left, estimated as the
+    /// earliest slot gap plus the queue drained at the backend's peak
+    /// (full-batch) rate — the discrete analogue of the fluid water-fill.
+    /// Ties go to the lowest index.
+    fn least_work_backend(&self, now_us: u64) -> usize {
+        let mut best = 0usize;
+        let mut best_score = f64::INFINITY;
+        for (i, (config, backend)) in self.serving.backends.iter().zip(&self.backends).enumerate() {
+            let (_, free_at) = backend.earliest_slot();
+            let slot_wait_ms = free_at.saturating_sub(now_us) as f64 / 1000.0;
+            let score = slot_wait_ms + backend.queued() as f64 / config.full_batch_rate_per_ms();
+            if score < best_score {
+                best_score = score;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Closes every batch `backend` can start at `now`: while a slot is
+    /// free and the batcher is ready (`max_batch` waiting, or the oldest
+    /// request has lingered out), assemble high-priority-first, occupy the
+    /// slot for the affine batch cost, and complete every member. If the
+    /// batcher is still filling, schedule the linger expiry instead.
+    fn dispatch(&mut self, backend: usize, now_us: u64, out: &mut Vec<CompletedRequest>) {
+        let config = &self.serving.backends[backend];
+        let linger_us = (config.batching.linger_ms * 1000.0).round() as u64;
+        loop {
+            let state = &mut self.backends[backend];
+            let queued = state.queued();
+            if queued == 0 {
+                return;
+            }
+            let (slot, free_at) = state.earliest_slot();
+            if free_at > now_us {
+                // No executor free: the pending slot-free event re-runs
+                // this dispatch when one opens up.
+                return;
+            }
+            let oldest = state.oldest_arrival_us().expect("queue is non-empty");
+            let linger_deadline = oldest.saturating_add(linger_us);
+            if queued < config.batching.max_batch && now_us < linger_deadline {
+                // Still filling: wake up when the oldest request's linger
+                // window closes. Stale wakeups re-check and re-arm.
+                self.heap
+                    .push(Reverse((linger_deadline, EVENT_LINGER, backend as u32)));
+                return;
+            }
+            let size = queued.min(config.batching.max_batch);
+            let service_us = (config.batch_service_ms(size as f64) * 1000.0)
+                .round()
+                .max(1.0) as u64;
+            let completion_us = now_us + service_us;
+            state.slot_free_us[slot] = completion_us;
+            state.batches += 1;
+            state.busy_us += service_us;
+            state.batch_sizes.record(size as f64);
+            for _ in 0..size {
+                let request = match state.queue_high.pop_front() {
+                    Some(r) => r,
+                    None => state.queue_low.pop_front().expect("batch within queue"),
+                };
+                let sojourn_ms = (completion_us - request.arrival_us) as f64 / 1000.0;
+                state.sojourn_ms.record(sojourn_ms);
+                state.served_requests += 1;
+                out.push(CompletedRequest {
+                    request,
+                    backend: backend as u32,
+                    sojourn_ms,
+                });
+            }
+            self.heap
+                .push(Reverse((completion_us, EVENT_SLOT_FREE, backend as u32)));
+        }
+    }
+
+    /// Total requests waiting across all backends.
+    pub fn depth(&self) -> f64 {
+        self.backends.iter().map(|b| b.queued() as f64).sum()
+    }
+
+    /// The wait (ms) a new arrival of the given class would see at
+    /// `now_us`: the least-loaded backend's slot gap plus its queue
+    /// drained at the peak batch rate.
+    pub fn wait_ms(&self, high_priority: bool, now_us: u64) -> f64 {
+        self.serving
+            .backends
+            .iter()
+            .zip(&self.backends)
+            .map(|(config, backend)| {
+                let (_, free_at) = backend.earliest_slot();
+                let slot_wait = free_at.saturating_sub(now_us) as f64 / 1000.0;
+                let ahead = if high_priority {
+                    backend.queue_high.len()
+                } else {
+                    backend.queued()
+                } as f64;
+                slot_wait + ahead / config.full_batch_rate_per_ms()
+            })
+            .fold(f64::INFINITY, f64::min)
+            .max(0.0)
+    }
+
+    /// The barrier signal shards read next epoch; updates the damped shed
+    /// fraction from the tier state observed at `now_us` (the epoch end).
+    pub fn barrier_signal(&mut self, now_us: u64) -> RegionSignal {
+        let wait_low = self.wait_ms(false, now_us);
+        let target = self.serving.admission.shed_fraction(self.depth(), wait_low);
+        self.shed_fraction = damp_shed_fraction(self.shed_fraction, target);
+        RegionSignal {
+            wait_high_ms: self.wait_ms(true, now_us),
+            wait_low_ms: wait_low,
+            shed_fraction: self.shed_fraction,
+        }
+    }
+
+    /// Per-backend cumulative stats, in backend order.
+    pub fn backend_stats(&self) -> Vec<BackendStats> {
+        self.serving
+            .backends
+            .iter()
+            .zip(&self.backends)
+            .map(|(b, q)| BackendStats {
+                name: b.name.clone(),
+                slots: b.slots,
+                served_jobs: q.served_requests as f64,
+                batches: q.batches as f64,
+                busy_ms: q.busy_us as f64 / 1000.0 / b.slots as f64,
+                batch_sizes: q.batch_sizes.clone(),
+                sojourn_ms: q.sojourn_ms.clone(),
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for RegionMicrosim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "per-request tier: {} backend(s), {:.0} requests queued",
+            self.backends.len(),
+            self.depth()
         )
     }
 }
@@ -946,5 +1362,232 @@ mod tests {
         let mut q = single_queue();
         q.admit(5, 10);
         assert!(format!("{q}").contains("15.0 jobs"));
+    }
+
+    // ---- per-request microsimulation ----
+
+    fn request(arrival_us: u64, device_id: u64) -> OffloadRequest {
+        OffloadRequest {
+            arrival_us,
+            device_id,
+            high_priority: false,
+            origin_region: 0,
+            failed_over: false,
+            base_latency_ms: 0.0,
+            energy_mj: 0.0,
+            switched: false,
+        }
+    }
+
+    fn run_all(sim: &mut RegionMicrosim, requests: &[OffloadRequest]) -> Vec<CompletedRequest> {
+        let mut out = Vec::new();
+        let end = requests.last().map_or(1, |r| r.arrival_us + 1);
+        sim.run_epoch(requests, end, &mut out);
+        sim.flush(&mut out);
+        out
+    }
+
+    #[test]
+    fn microsim_zero_linger_serves_single_request_batches() {
+        // Unbatched 10 ms backend: each request is its own batch and an
+        // idle tier serves it immediately — sojourn is exactly the
+        // single-item service time.
+        let serving = CloudServing::new(vec![BackendConfig::new("gpu", 1, 10.0, 0.0)]);
+        let mut sim = RegionMicrosim::new(&serving);
+        let requests: Vec<_> = (0..4).map(|i| request(i * 100_000, i)).collect();
+        let done = run_all(&mut sim, &requests);
+        assert_eq!(done.len(), 4);
+        for c in &done {
+            assert!((c.sojourn_ms - 10.0).abs() < 1e-9, "got {}", c.sojourn_ms);
+        }
+        let stats = sim.backend_stats().remove(0);
+        assert_eq!(stats.batches, 4.0);
+        assert_eq!(stats.batch_sizes.min(), 1.0);
+        assert_eq!(stats.batch_sizes.max(), 1.0);
+        assert_eq!(stats.sojourn_ms.count(), 4);
+        assert!((stats.busy_ms - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn microsim_same_instant_arrivals_share_a_batch() {
+        // Four arrivals at the same microsecond with max_batch 4 close as
+        // one full batch even with zero linger.
+        let serving = CloudServing::new(vec![
+            BackendConfig::new("gpu", 1, 10.0, 1.0).with_batching(4, 0.0)
+        ]);
+        let mut sim = RegionMicrosim::new(&serving);
+        let requests: Vec<_> = (0..4).map(|i| request(5_000, i)).collect();
+        let done = run_all(&mut sim, &requests);
+        assert_eq!(done.len(), 4);
+        let stats = sim.backend_stats().remove(0);
+        assert_eq!(stats.batches, 1.0, "one full batch expected");
+        // Batch of 4: service 10 + 4·1 = 14 ms for every member.
+        for c in &done {
+            assert!((c.sojourn_ms - 14.0).abs() < 1e-9, "got {}", c.sojourn_ms);
+        }
+    }
+
+    #[test]
+    fn microsim_linger_expiry_closes_partial_batches() {
+        // Two arrivals 5 ms apart, max_batch 32, linger 50 ms: the batch
+        // closes 50 ms after the first arrival with both requests aboard.
+        let serving = CloudServing::new(vec![
+            BackendConfig::new("gpu", 1, 10.0, 1.0).with_batching(32, 50.0)
+        ]);
+        let mut sim = RegionMicrosim::new(&serving);
+        let requests = vec![request(0, 0), request(5_000, 1)];
+        let done = run_all(&mut sim, &requests);
+        assert_eq!(done.len(), 2);
+        let stats = sim.backend_stats().remove(0);
+        assert_eq!(stats.batches, 1.0);
+        // Service of batch 2 = 12 ms, started at linger expiry (50 ms).
+        let first = done.iter().find(|c| c.request.device_id == 0).unwrap();
+        let second = done.iter().find(|c| c.request.device_id == 1).unwrap();
+        assert!(
+            (first.sojourn_ms - 62.0).abs() < 1e-9,
+            "{}",
+            first.sojourn_ms
+        );
+        assert!(
+            (second.sojourn_ms - 57.0).abs() < 1e-9,
+            "{}",
+            second.sojourn_ms
+        );
+    }
+
+    #[test]
+    fn microsim_arrival_at_linger_deadline_boards_the_closing_batch() {
+        // The documented intra-epoch ordering: at equal timestamps,
+        // same-microsecond arrivals enqueue before any batch closes. An
+        // arrival landing exactly when the oldest request's linger
+        // expires must therefore share its batch.
+        let serving = CloudServing::new(vec![
+            BackendConfig::new("gpu", 1, 10.0, 1.0).with_batching(32, 50.0)
+        ]);
+        let mut sim = RegionMicrosim::new(&serving);
+        let requests = vec![request(0, 0), request(50_000, 1)];
+        let done = run_all(&mut sim, &requests);
+        assert_eq!(done.len(), 2);
+        let stats = sim.backend_stats().remove(0);
+        assert_eq!(stats.batches, 1.0, "both requests share one batch");
+        // Batch of 2 closes at 50 ms, service 10 + 2·1 = 12 ms.
+        let first = done.iter().find(|c| c.request.device_id == 0).unwrap();
+        let second = done.iter().find(|c| c.request.device_id == 1).unwrap();
+        assert!(
+            (first.sojourn_ms - 62.0).abs() < 1e-9,
+            "{}",
+            first.sojourn_ms
+        );
+        assert!(
+            (second.sojourn_ms - 12.0).abs() < 1e-9,
+            "{}",
+            second.sojourn_ms
+        );
+    }
+
+    #[test]
+    fn microsim_single_slot_fifo_completions_are_monotone() {
+        // One slot + FIFO ⇒ batches run strictly in order, so completion
+        // times are non-decreasing in arrival order.
+        let serving = CloudServing::new(vec![
+            BackendConfig::new("gpu", 1, 25.0, 2.0).with_batching(8, 30.0)
+        ]);
+        let mut sim = RegionMicrosim::new(&serving);
+        let requests: Vec<_> = (0..64u64)
+            .map(|i| request(i.wrapping_mul(0x9E37_79B9) % 200_000, i))
+            .collect();
+        let mut sorted = requests.clone();
+        sorted.sort_unstable_by_key(|r| (r.arrival_us, r.device_id));
+        let done = run_all(&mut sim, &sorted);
+        assert_eq!(done.len(), 64);
+        let mut completion_by_arrival: Vec<(u64, u64, f64)> = done
+            .iter()
+            .map(|c| {
+                let completion = c.request.arrival_us + (c.sojourn_ms * 1000.0).round() as u64;
+                (c.request.arrival_us, c.request.device_id, completion as f64)
+            })
+            .collect();
+        completion_by_arrival.sort_unstable_by_key(|&(a, d, _)| (a, d));
+        for w in completion_by_arrival.windows(2) {
+            assert!(
+                w[0].2 <= w[1].2,
+                "FIFO single-slot completions must be monotone: {w:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn microsim_priority_class_fills_batches_first() {
+        // Saturate a single slot, then queue one high + many low: the
+        // high-priority request must board the next batch.
+        let serving = CloudServing::new(vec![
+            BackendConfig::new("gpu", 1, 100.0, 0.0).with_batching(2, 0.0)
+        ]);
+        let mut sim = RegionMicrosim::new(&serving);
+        let mut requests: Vec<_> = (0..6).map(|i| request(i * 10, i)).collect();
+        requests[5].high_priority = true;
+        let mut high = requests[5];
+        high.arrival_us = 55;
+        requests[5] = high;
+        requests.sort_unstable_by_key(|r| (r.arrival_us, r.device_id));
+        let done = run_all(&mut sim, &requests);
+        let high_done = done.iter().find(|c| c.request.high_priority).unwrap();
+        // First batch (2 requests) starts immediately; the high-priority
+        // arrival boards the second batch ahead of three earlier lows.
+        let high_completion = high_done.request.arrival_us as f64 / 1000.0 + high_done.sojourn_ms;
+        let worst_low = done
+            .iter()
+            .filter(|c| !c.request.high_priority)
+            .map(|c| c.request.arrival_us as f64 / 1000.0 + c.sojourn_ms)
+            .fold(0.0f64, f64::max);
+        assert!(
+            high_completion < worst_low,
+            "high priority must finish before the last low: {high_completion} vs {worst_low}"
+        );
+    }
+
+    #[test]
+    fn microsim_flush_drains_everything_and_signal_sheds() {
+        let serving = CloudServing::new(vec![BackendConfig::new("gpu", 1, 100.0, 0.0)])
+            .with_admission(AdmissionPolicy::QueueDepth { max_jobs: 4.0 });
+        let mut sim = RegionMicrosim::new(&serving);
+        let requests: Vec<_> = (0..50).map(|i| request(i, i)).collect();
+        let mut out = Vec::new();
+        sim.run_epoch(&requests, 1_000, &mut out);
+        assert!(sim.depth() > 4.0, "backlog should persist at the barrier");
+        let signal = sim.barrier_signal(1_000);
+        assert!(signal.shed_fraction > 0.0);
+        assert!(signal.wait_low_ms > 0.0);
+        assert!(signal.wait_high_ms <= signal.wait_low_ms);
+        sim.flush(&mut out);
+        assert_eq!(out.len(), 50, "flush must complete every request");
+        assert_eq!(sim.depth(), 0.0);
+        assert!(format!("{sim}").contains("0 requests queued"));
+    }
+
+    #[test]
+    fn microsim_spreads_arrivals_across_backends() {
+        // Two identical backends: consecutive arrivals with queued work
+        // alternate by least-work-left instead of piling on backend 0.
+        let serving = CloudServing::new(vec![
+            BackendConfig::new("a", 1, 50.0, 0.0),
+            BackendConfig::new("b", 1, 50.0, 0.0),
+        ]);
+        let mut sim = RegionMicrosim::new(&serving);
+        let requests: Vec<_> = (0..8).map(|i| request(i, i)).collect();
+        let done = run_all(&mut sim, &requests);
+        let on_a = done.iter().filter(|c| c.backend == 0).count();
+        let on_b = done.iter().filter(|c| c.backend == 1).count();
+        assert_eq!(
+            on_a, 4,
+            "least-work dispatch should balance, got {on_a}/{on_b}"
+        );
+        assert_eq!(on_b, 4);
+    }
+
+    #[test]
+    fn fidelity_default_is_fluid() {
+        assert_eq!(CloudSimFidelity::default(), CloudSimFidelity::Fluid);
+        assert_ne!(CloudSimFidelity::Fluid, CloudSimFidelity::PerRequest);
     }
 }

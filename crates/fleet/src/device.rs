@@ -16,7 +16,7 @@
 //! to the least-loaded sibling region or falls back to the device's
 //! local-only deployment option.
 
-use crate::cloud::{FailoverPolicy, RegionSignal};
+use crate::cloud::{CloudSimFidelity, FailoverPolicy, RegionSignal};
 use crate::scenario::FleetPolicy;
 use crate::{mix_seed, FleetError};
 use lens_runtime::{DeploymentOption, DeploymentPlanner, DominanceMap, Metric, ThroughputTracker};
@@ -68,12 +68,19 @@ impl Cohort {
 }
 
 /// The scenario-wide knobs every [`Device::serve`] call needs: the
-/// switching policy, the metric it optimizes, and where shed requests go.
+/// switching policy, the metric it optimizes, where shed requests go, and
+/// which cloud model prices the queueing.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct ServeContext<'a> {
     pub policy: &'a FleetPolicy,
     pub metric: Metric,
     pub failover: FailoverPolicy,
+    /// Under [`CloudSimFidelity::Fluid`] the device charges the published
+    /// epoch wait to its offloaded latency; under
+    /// [`CloudSimFidelity::PerRequest`] it leaves the cloud part out — the
+    /// microsimulation supplies the exact per-request sojourn at the
+    /// barrier, and the engine completes the record then.
+    pub fidelity: CloudSimFidelity,
 }
 
 /// What one served inference cost, for aggregation.
@@ -225,7 +232,11 @@ impl Device {
             let shed = own.shed_fraction > 0.0
                 && unit_from(mix_seed(self.shed_seed, time_us)) < own.shed_fraction;
             if !shed {
-                latency_ms += queue_wait_ms;
+                // Per-request fidelity: the microsim computes the exact
+                // sojourn at the barrier instead of the fluid estimate.
+                if ctx.fidelity == CloudSimFidelity::Fluid {
+                    latency_ms += queue_wait_ms;
+                }
             } else {
                 // Shed: try a sibling region if configured, else run local.
                 let sibling = match ctx.failover {
@@ -252,7 +263,17 @@ impl Device {
                                 || unit_from(mix_seed(self.shed_seed, time_us ^ FAILOVER_SALT))
                                     >= s.shed_fraction
                         })
-                        .map(|(r, s)| (r, s.wait_ms(self.high_priority) + penalty_ms)),
+                        .map(|(r, s)| {
+                            // Fluid mode prices the sibling's published
+                            // wait here; per-request mode only charges the
+                            // inter-region penalty — the request joins the
+                            // sibling's microsim queue for the rest.
+                            let wait = match ctx.fidelity {
+                                CloudSimFidelity::Fluid => s.wait_ms(self.high_priority),
+                                CloudSimFidelity::PerRequest => 0.0,
+                            };
+                            (r, wait + penalty_ms)
+                        }),
                 };
                 match sibling {
                     Some((dest, extra_ms)) => {
@@ -360,6 +381,7 @@ mod tests {
                 policy: &FleetPolicy::Dynamic,
                 metric: Metric::Energy,
                 failover: FailoverPolicy::ToDevice,
+                fidelity: CloudSimFidelity::Fluid,
             },
             &calm(1),
             0,
@@ -393,6 +415,7 @@ mod tests {
                 policy: &policy,
                 metric: Metric::Latency,
                 failover: FailoverPolicy::ToDevice,
+                fidelity: CloudSimFidelity::Fluid,
             },
             &calm(1),
             0,
@@ -405,6 +428,7 @@ mod tests {
                 policy: &policy,
                 metric: Metric::Latency,
                 failover: FailoverPolicy::ToDevice,
+                fidelity: CloudSimFidelity::Fluid,
             },
             &waiting(500.0),
             0,
@@ -420,6 +444,7 @@ mod tests {
                 policy: &policy,
                 metric: Metric::Latency,
                 failover: FailoverPolicy::ToDevice,
+                fidelity: CloudSimFidelity::Fluid,
             },
             &waiting(500.0),
             0,
@@ -432,6 +457,7 @@ mod tests {
                 policy: &policy,
                 metric: Metric::Latency,
                 failover: FailoverPolicy::ToDevice,
+                fidelity: CloudSimFidelity::Fluid,
             },
             &calm(1),
             0,
@@ -451,6 +477,7 @@ mod tests {
                 policy: &FleetPolicy::DynamicCongestionAware,
                 metric: Metric::Latency,
                 failover: FailoverPolicy::ToDevice,
+                fidelity: CloudSimFidelity::Fluid,
             },
             &calm(1),
             0,
@@ -465,6 +492,7 @@ mod tests {
                 policy: &FleetPolicy::DynamicCongestionAware,
                 metric: Metric::Latency,
                 failover: FailoverPolicy::ToDevice,
+                fidelity: CloudSimFidelity::Fluid,
             },
             &waiting(3.6e6),
             0,
@@ -490,6 +518,7 @@ mod tests {
                 policy: &policy,
                 metric: Metric::Latency,
                 failover: FailoverPolicy::ToDevice,
+                fidelity: CloudSimFidelity::Fluid,
             },
             &signals,
             0,
@@ -519,6 +548,7 @@ mod tests {
                     policy: &policy,
                     metric: Metric::Latency,
                     failover: FailoverPolicy::ToDevice,
+                    fidelity: CloudSimFidelity::Fluid,
                 },
                 &calm(3),
                 0,
@@ -531,6 +561,7 @@ mod tests {
                 policy: &policy,
                 metric: Metric::Latency,
                 failover: FailoverPolicy::SiblingRegion { penalty_ms: 40.0 },
+                fidelity: CloudSimFidelity::Fluid,
             },
             &signals,
             0,
@@ -557,6 +588,7 @@ mod tests {
                 policy: &policy,
                 metric: Metric::Latency,
                 failover: FailoverPolicy::SiblingRegion { penalty_ms: 40.0 },
+                fidelity: CloudSimFidelity::Fluid,
             },
             &signals,
             0,
@@ -582,6 +614,7 @@ mod tests {
                         policy: &policy,
                         metric: Metric::Latency,
                         failover: FailoverPolicy::ToDevice,
+                        fidelity: CloudSimFidelity::Fluid,
                     },
                     &signals,
                     0,
@@ -615,6 +648,7 @@ mod tests {
                     policy: &FleetPolicy::Dynamic,
                     metric: Metric::Energy,
                     failover: FailoverPolicy::ToDevice,
+                    fidelity: CloudSimFidelity::Fluid,
                 },
                 &calm(1),
                 i * 60_000_000,

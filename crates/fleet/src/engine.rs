@@ -16,9 +16,12 @@
 //! barrier then publishes the next epoch's [`RegionSignal`]s — per-class
 //! waits plus the admission controller's shed fraction.
 
-use crate::cloud::{QueueDiscipline, RegionServing, RegionSignal};
-use crate::device::{Device, ServeContext};
-use crate::report::{BackendReport, FleetReport};
+use crate::cloud::{
+    CloudSimFidelity, CompletedRequest, OffloadRequest, QueueDiscipline, RegionMicrosim,
+    RegionServing, RegionSignal, SOJOURN_BINS, SOJOURN_BIN_MS,
+};
+use crate::device::{Device, ServeContext, Served};
+use crate::report::{BackendReport, FleetReport, Histogram};
 use crate::scenario::{ArrivalModel, FleetPolicy, FleetScenario};
 use crate::{mix_seed, Cohort, FleetError};
 use lens_device::profile_network;
@@ -50,6 +53,18 @@ struct ShardState {
     /// Min-heap of (event time µs, local device index).
     heap: BinaryHeap<Reverse<(u64, u32)>>,
     report: FleetReport,
+    /// Global id of this shard's first device (`local + base_id` is the
+    /// stable, shard-count-invariant device id).
+    base_id: usize,
+}
+
+/// What one shard contributes to an epoch barrier.
+struct ShardEpochOutput {
+    /// Per-region (high, low) offload counts — the fluid tier's feed.
+    arrivals: Vec<(u64, u64)>,
+    /// Per-destination-region offloaded requests, in shard-local event
+    /// order — the per-request microsim's feed (empty under fluid).
+    requests: Vec<Vec<OffloadRequest>>,
 }
 
 impl FleetEngine {
@@ -183,13 +198,23 @@ impl FleetEngine {
         device
     }
 
-    /// Runs the scenario to completion and returns the merged report.
+    /// Runs the scenario to completion and returns the merged report,
+    /// dispatching on the scenario's [`CloudSimFidelity`].
     ///
     /// # Errors
     ///
     /// Currently infallible after [`FleetEngine::new`] succeeds; the
     /// `Result` reserves room for resource limits.
     pub fn run(&self) -> Result<FleetReport, FleetError> {
+        match self.scenario.fidelity {
+            CloudSimFidelity::Fluid => self.run_fluid(),
+            CloudSimFidelity::PerRequest => self.run_per_request(),
+        }
+    }
+
+    /// The fluid path (PR 3): offloads are merged as counts and the
+    /// serving tier drains them as epoch aggregates.
+    fn run_fluid(&self) -> Result<FleetReport, FleetError> {
         let scenario = &self.scenario;
         let num_regions = scenario.regions.len();
         let region_names = scenario.region_names();
@@ -217,40 +242,16 @@ impl FleetEngine {
                 region.push(s.wait_low_ms);
             }
 
-            // Phase A: shards advance independently to the barrier.
-            let arrivals: Vec<Vec<(u64, u64)>> = std::thread::scope(|scope| {
-                let handles: Vec<_> = shard_states
-                    .iter_mut()
-                    .map(|state| {
-                        let signals = &signals;
-                        scope.spawn(move || {
-                            advance_shard(
-                                state,
-                                &self.cohorts,
-                                scenario,
-                                signals,
-                                num_regions,
-                                epoch_end,
-                                horizon_us,
-                                epoch_us,
-                            )
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("shard worker panicked"))
-                    .collect()
-            });
+            let outputs = self.advance_epoch(&mut shard_states, &signals, epoch_end);
 
             // Barrier: merge offload demand (integer sums, so the result
             // is independent of shard count), run the serving tier's
             // batch-close events, publish next epoch's signals.
             let epoch_ms = (epoch_end - epoch_start) as f64 / 1000.0;
             for (region, serving) in servings.iter_mut().enumerate() {
-                let (high, low) = arrivals
+                let (high, low) = outputs
                     .iter()
-                    .map(|shard| shard[region])
+                    .map(|shard| shard.arrivals[region])
                     .fold((0, 0), |(h, l), (sh, sl)| (h + sh, l + sl));
                 serving.admit(high, low);
                 depth_series[region].push(serving.depth());
@@ -277,11 +278,156 @@ impl FleetEngine {
                     busy_ms: stats.busy_ms,
                     utilization: stats.busy_ms / horizon_ms,
                     batch_sizes: stats.batch_sizes,
+                    sojourn_ms: stats.sojourn_ms,
                 });
             }
         }
         report.set_backend_reports(backend_reports);
         Ok(report)
+    }
+
+    /// The per-request path: every offloaded request becomes a discrete
+    /// event inside its serving region's [`RegionMicrosim`].
+    ///
+    /// Shards still advance a whole epoch in parallel — an offload only
+    /// *joins the cloud queue*, it cannot influence any other device
+    /// within the epoch — so at the barrier the engine merges each
+    /// region's requests from all shards, sorts them by the
+    /// shard-count-invariant `(arrival_us, device_id)` key, and replays
+    /// the epoch through the microsim's event heap, interleaving device
+    /// arrival events with batch-close and slot-free events in global
+    /// time order. Completions (whenever they land) finish the deferred
+    /// device records: end-to-end latency = the device-side latency
+    /// captured at arrival + the exact cloud sojourn.
+    fn run_per_request(&self) -> Result<FleetReport, FleetError> {
+        let scenario = &self.scenario;
+        let num_regions = scenario.regions.len();
+        let region_names = scenario.region_names();
+        let horizon_us = to_us(scenario.horizon.get());
+        let epoch_us = to_us(scenario.trace_interval.get());
+        let num_epochs = horizon_us.div_ceil(epoch_us) as usize;
+
+        let mut shard_states = self.build_shards(num_epochs);
+
+        let mut sims: Vec<RegionMicrosim> = (0..num_regions)
+            .map(|_| RegionMicrosim::new(&scenario.serving))
+            .collect();
+        let mut signals = vec![RegionSignal::default(); num_regions];
+        let mut depth_series = vec![Vec::with_capacity(num_epochs); num_regions];
+        let mut wait_series = vec![Vec::with_capacity(num_epochs); num_regions];
+        // Offloaded records are deferred to completion; they accumulate
+        // here and merge with the shard partials at the end (fixed-point
+        // sums make the merge order irrelevant).
+        let mut barrier_report =
+            FleetReport::empty(LATENCY_BIN_MS, ENERGY_BIN_MJ, NUM_BINS, &region_names);
+        let mut region_sojourn: Vec<Histogram> = (0..num_regions)
+            .map(|_| Histogram::new(SOJOURN_BIN_MS, SOJOURN_BINS))
+            .collect();
+        let mut completions: Vec<CompletedRequest> = Vec::new();
+
+        for epoch in 0..num_epochs {
+            let epoch_end = ((epoch + 1) as u64 * epoch_us).min(horizon_us);
+            for (region, s) in wait_series.iter_mut().zip(&signals) {
+                region.push(s.wait_low_ms);
+            }
+
+            let outputs = self.advance_epoch(&mut shard_states, &signals, epoch_end);
+
+            for (region, sim) in sims.iter_mut().enumerate() {
+                let mut requests: Vec<OffloadRequest> = outputs
+                    .iter()
+                    .flat_map(|shard| shard.requests[region].iter().copied())
+                    .collect();
+                requests.sort_unstable_by_key(|r| (r.arrival_us, r.device_id));
+                completions.clear();
+                sim.run_epoch(&requests, epoch_end, &mut completions);
+                record_completions(
+                    &mut barrier_report,
+                    &mut region_sojourn[region],
+                    region,
+                    &completions,
+                );
+                depth_series[region].push(sim.depth());
+                signals[region] = sim.barrier_signal(epoch_end);
+            }
+        }
+
+        // The cloud drains its backlog past the horizon so every admitted
+        // request completes and the tails account for the whole fleet.
+        for (region, sim) in sims.iter_mut().enumerate() {
+            completions.clear();
+            sim.flush(&mut completions);
+            record_completions(
+                &mut barrier_report,
+                &mut region_sojourn[region],
+                region,
+                &completions,
+            );
+        }
+
+        let mut report = FleetReport::empty(LATENCY_BIN_MS, ENERGY_BIN_MJ, NUM_BINS, &region_names);
+        for state in &shard_states {
+            report.merge(&state.report);
+        }
+        report.merge(&barrier_report);
+        report.set_queue_series(depth_series, wait_series);
+        let horizon_ms = horizon_us as f64 / 1000.0;
+        let mut backend_reports = Vec::new();
+        for (region, sim) in sims.iter().enumerate() {
+            for stats in sim.backend_stats() {
+                backend_reports.push(BackendReport {
+                    region: region_names[region].clone(),
+                    backend: stats.name,
+                    slots: stats.slots,
+                    served_jobs: stats.served_jobs,
+                    batches: stats.batches,
+                    busy_ms: stats.busy_ms,
+                    utilization: stats.busy_ms / horizon_ms,
+                    batch_sizes: stats.batch_sizes,
+                    sojourn_ms: stats.sojourn_ms,
+                });
+            }
+        }
+        report.set_backend_reports(backend_reports);
+        report.set_cloud_sojourn(region_sojourn);
+        Ok(report)
+    }
+
+    /// Phase A: every shard advances its event heap to the barrier in
+    /// parallel and returns its epoch contribution.
+    fn advance_epoch(
+        &self,
+        shard_states: &mut [ShardState],
+        signals: &[RegionSignal],
+        epoch_end: u64,
+    ) -> Vec<ShardEpochOutput> {
+        let scenario = &self.scenario;
+        let num_regions = scenario.regions.len();
+        let horizon_us = to_us(scenario.horizon.get());
+        let epoch_us = to_us(scenario.trace_interval.get());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = shard_states
+                .iter_mut()
+                .map(|state| {
+                    scope.spawn(move || {
+                        advance_shard(
+                            state,
+                            &self.cohorts,
+                            scenario,
+                            signals,
+                            num_regions,
+                            epoch_end,
+                            horizon_us,
+                            epoch_us,
+                        )
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        })
     }
 
     fn build_shards(&self, num_samples: usize) -> Vec<ShardState> {
@@ -320,6 +466,7 @@ impl FleetEngine {
                                 NUM_BINS,
                                 region_names,
                             ),
+                            base_id: lo,
                         }
                     })
                 })
@@ -336,9 +483,39 @@ fn to_us(ms: f64) -> u64 {
     (ms * 1000.0).round() as u64
 }
 
+/// Records a batch of microsim completions: each finishes its deferred
+/// device record (end-to-end latency = device-side latency + exact cloud
+/// sojourn) and lands in the serving region's sojourn histogram.
+fn record_completions(
+    report: &mut FleetReport,
+    sojourn: &mut Histogram,
+    serving_region: usize,
+    completions: &[CompletedRequest],
+) {
+    for c in completions {
+        sojourn.record(c.sojourn_ms);
+        let request = &c.request;
+        let served = Served {
+            latency_ms: request.base_latency_ms + c.sojourn_ms,
+            energy_mj: request.energy_mj,
+            offloaded: true,
+            switched: request.switched,
+            shed_to_local: false,
+            failover_region: if request.failed_over {
+                Some(serving_region as u32)
+            } else {
+                None
+            },
+        };
+        report.record(request.origin_region as usize, &served);
+    }
+}
+
 /// Advances one shard's event heap to `epoch_end`, returning the
 /// per-region (high, low) offload counts this epoch contributed — failed
-/// over requests count toward their *destination* region's queue.
+/// over requests count toward their *destination* region's queue — and,
+/// under per-request fidelity, the offloaded requests themselves (their
+/// records are deferred until the microsim completes them).
 #[allow(clippy::too_many_arguments)]
 fn advance_shard(
     state: &mut ShardState,
@@ -349,8 +526,12 @@ fn advance_shard(
     epoch_end: u64,
     horizon_us: u64,
     epoch_us: u64,
-) -> Vec<(u64, u64)> {
-    let mut arrivals = vec![(0u64, 0u64); num_regions];
+) -> ShardEpochOutput {
+    let per_request = scenario.fidelity == CloudSimFidelity::PerRequest;
+    let mut output = ShardEpochOutput {
+        arrivals: vec![(0u64, 0u64); num_regions],
+        requests: vec![Vec::new(); if per_request { num_regions } else { 0 }],
+    };
     while let Some(&Reverse((time, local))) = state.heap.peek() {
         if time >= epoch_end {
             break;
@@ -364,21 +545,37 @@ fn advance_shard(
                 policy: &scenario.policy,
                 metric: scenario.metric,
                 failover: scenario.serving.failover,
+                fidelity: scenario.fidelity,
             },
             signals,
             time,
             epoch_us,
         );
-        state.report.record(cohort.region_index, &served);
+        if !(per_request && served.offloaded) {
+            state.report.record(cohort.region_index, &served);
+        }
         if served.offloaded {
             let dest = served
                 .failover_region
                 .map_or(cohort.region_index, |r| r as usize);
-            let slot = &mut arrivals[dest];
-            if device.high_priority() {
-                slot.0 += 1;
+            if per_request {
+                output.requests[dest].push(OffloadRequest {
+                    arrival_us: time,
+                    device_id: (state.base_id + local as usize) as u64,
+                    high_priority: device.high_priority(),
+                    origin_region: cohort.region_index as u32,
+                    failed_over: served.failover_region.is_some(),
+                    base_latency_ms: served.latency_ms,
+                    energy_mj: served.energy_mj,
+                    switched: served.switched,
+                });
             } else {
-                slot.1 += 1;
+                let slot = &mut output.arrivals[dest];
+                if device.high_priority() {
+                    slot.0 += 1;
+                } else {
+                    slot.1 += 1;
+                }
             }
         }
         let next = time
@@ -392,7 +589,7 @@ fn advance_shard(
             state.heap.push(Reverse((next, local)));
         }
     }
-    arrivals
+    output
 }
 
 #[cfg(test)]
@@ -708,6 +905,97 @@ mod tests {
         assert_eq!(
             report.offloaded() + report.shed_to_local(),
             report.inferences()
+        );
+    }
+
+    fn per_request(mut scenario: FleetScenario) -> FleetScenario {
+        scenario.fidelity = CloudSimFidelity::PerRequest;
+        scenario
+    }
+
+    #[test]
+    fn per_request_same_seed_same_shards_identical_reports() {
+        let engine = FleetEngine::new(per_request(small_scenario(3))).unwrap();
+        let a = engine.run().unwrap();
+        let b = engine.run().unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn per_request_reports_survive_resharding_bit_for_bit() {
+        let a = FleetEngine::new(per_request(small_scenario(1)))
+            .unwrap()
+            .run()
+            .unwrap();
+        let b = FleetEngine::new(per_request(small_scenario(4)))
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn per_request_accounts_every_inference_and_exposes_tails() {
+        let scenario = per_request(small_scenario(2));
+        let report = FleetEngine::new(scenario).unwrap().run().unwrap();
+        // The cloud drains past the horizon, so nothing goes missing.
+        assert_eq!(report.inferences(), 3000);
+        assert_eq!(
+            report.regions().iter().map(|r| r.inferences).sum::<u64>(),
+            3000
+        );
+        // Per-request sojourns exist exactly where offloads landed…
+        let total_sojourns: u64 = report.cloud_sojourn().iter().map(|h| h.count()).sum();
+        assert_eq!(total_sojourns, report.offloaded());
+        assert!(report.offloaded() > 0, "default mix should offload");
+        // …and every tail summary is monotone.
+        for region in 0..report.regions().len() {
+            assert!(report.region_tail(region).is_monotone());
+        }
+        for backend in report.backends() {
+            assert_eq!(backend.sojourn_ms.count(), backend.served_jobs as u64);
+            assert!(backend.tail().is_monotone());
+        }
+    }
+
+    #[test]
+    fn fluid_and_per_request_agree_on_decisions_but_not_tails() {
+        // Open admission + a policy that ignores waits (dynamic on
+        // energy): both fidelities make identical device decisions, so
+        // energy and offload counts match exactly; only the latency
+        // accounting differs.
+        let fluid = FleetEngine::new(small_scenario(2)).unwrap().run().unwrap();
+        let discrete = FleetEngine::new(per_request(small_scenario(2)))
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(fluid.inferences(), discrete.inferences());
+        assert_eq!(fluid.offloaded(), discrete.offloaded());
+        assert_eq!(fluid.switches(), discrete.switches());
+        assert_eq!(fluid.total_energy_mj(), discrete.total_energy_mj());
+        // Fluid mode has no per-request story at all.
+        assert!(fluid.cloud_sojourn().iter().all(|h| h.count() == 0));
+        assert!(discrete.cloud_sojourn().iter().any(|h| h.count() > 0));
+    }
+
+    #[test]
+    fn per_request_contention_builds_a_real_tail() {
+        // USA hosts ~150 all-cloud devices/min against one 300 ms slot —
+        // about 75% utilized. The discrete queue must spread sojourns
+        // well beyond the median: bursts queue behind each other, which
+        // is exactly the structure the fluid model averages away.
+        let mut scenario = small_scenario(2);
+        scenario.policy = FleetPolicy::Fixed(DeploymentKind::AllCloud);
+        scenario.serving = CloudServing::new(vec![BackendConfig::new("gpu", 1, 300.0, 0.0)]);
+        scenario.fidelity = CloudSimFidelity::PerRequest;
+        let report = FleetEngine::new(scenario).unwrap().run().unwrap();
+        let tail = report.region_tail(1); // USA, the most loaded region
+        assert!(tail.is_monotone());
+        assert!(
+            tail.p99 > 2.0 * tail.p50.max(1.0),
+            "contention should stretch the tail: {tail:?}"
         );
     }
 

@@ -31,11 +31,19 @@
 //!   (queue-depth or deadline shedding) and a [`FailoverPolicy`] (shed
 //!   requests fail over to the least-loaded sibling region or fall back to
 //!   the device's local-only option) ([`cloud`]).
+//! * [`CloudSimFidelity`] — how the cloud is simulated:
+//!   [`CloudSimFidelity::Fluid`] (epoch aggregates, the default) or
+//!   [`CloudSimFidelity::PerRequest`], where every offloaded request is a
+//!   discrete event in a [`RegionMicrosim`] — its own arrival, queueing,
+//!   batch-admission, service, and completion times — giving the report
+//!   exact per-request latency histograms with p50/p90/p95/p99 tails per
+//!   region and per backend ([`cloud`]).
 //! * [`FleetEngine`] — the sharded discrete-event engine ([`engine`]).
 //! * [`FleetReport`] — mergeable aggregates: fixed-bin latency/energy
 //!   histograms with percentiles, switch/shed/failover counts, per-region
-//!   and per-backend breakdowns (utilization, batch-size histograms), and
-//!   cloud-queue depth over time ([`report`]).
+//!   and per-backend breakdowns (utilization, batch-size histograms,
+//!   per-request sojourn tails under [`CloudSimFidelity::PerRequest`]),
+//!   and cloud-queue depth over time ([`report`]).
 //!
 //! # Sharding and the epoch barrier
 //!
@@ -67,6 +75,12 @@
 //! therefore bit-identical across shard counts too (`tests/fleet_sim.rs`
 //! pins 1 vs. 2 vs. 4 shards on a batched multi-backend scenario); the
 //! contract names a fixed shard count as the conservative guarantee.
+//!
+//! The per-request microsimulation keeps the contract: at each barrier the
+//! engine merges every region's offloaded requests from all shards and
+//! sorts them by `(arrival_us, device_id)` — a unique, shard-count
+//! invariant key — before replaying them through the region's event heap,
+//! so the cloud schedule is a pure function of the scenario and seed.
 //!
 //! # Examples
 //!
@@ -132,11 +146,12 @@ pub mod scenario;
 
 pub use cloud::{
     AdmissionPolicy, BackendConfig, BackendStats, BatchPolicy, CloudCapacity, CloudServing,
-    FailoverPolicy, QueueDiscipline, RegionServing, RegionSignal,
+    CloudSimFidelity, CompletedRequest, FailoverPolicy, OffloadRequest, QueueDiscipline,
+    RegionMicrosim, RegionServing, RegionSignal,
 };
 pub use device::{Cohort, Device};
 pub use engine::FleetEngine;
-pub use report::{BackendReport, FleetReport, Histogram, RegionReport};
+pub use report::{BackendReport, FleetReport, Histogram, RegionReport, TailSummary};
 pub use scenario::{ArrivalModel, FleetPolicy, FleetScenario, FleetScenarioBuilder, RegionShare};
 
 use std::error::Error;

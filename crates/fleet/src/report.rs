@@ -159,6 +159,18 @@ impl Histogram {
         self.max
     }
 
+    /// The p50/p90/p95/p99 tail summary of this histogram — the
+    /// per-request latency view the fluid cloud model cannot produce
+    /// (every request of a fluid epoch sees the same published wait).
+    pub fn tail_summary(&self) -> TailSummary {
+        TailSummary {
+            p50: self.percentile(50.0),
+            p90: self.percentile(90.0),
+            p95: self.percentile(95.0),
+            p99: self.percentile(99.0),
+        }
+    }
+
     /// The `p`-th percentile (`0 ≤ p ≤ 100`), linearly interpolated within
     /// the containing bin. Returns 0 for an empty histogram; percentiles
     /// that fall in the overflow bucket return the exact observed maximum.
@@ -185,6 +197,38 @@ impl Histogram {
             seen = next;
         }
         self.max
+    }
+}
+
+/// Tail percentiles of a latency [`Histogram`], as reported per region and
+/// per backend by the per-request cloud microsimulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TailSummary {
+    /// Median (ms).
+    pub p50: f64,
+    /// 90th percentile (ms).
+    pub p90: f64,
+    /// 95th percentile (ms).
+    pub p95: f64,
+    /// 99th percentile (ms).
+    pub p99: f64,
+}
+
+impl TailSummary {
+    /// Percentiles are quantiles of one distribution, so they must be
+    /// non-decreasing — the invariant `tests/cross_crate_props.rs` pins.
+    pub fn is_monotone(&self) -> bool {
+        self.p50 <= self.p90 && self.p90 <= self.p95 && self.p95 <= self.p99
+    }
+}
+
+impl fmt::Display for TailSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "p50 {:.1}  p90 {:.1}  p95 {:.1}  p99 {:.1}",
+            self.p50, self.p90, self.p95, self.p99
+        )
     }
 }
 
@@ -286,10 +330,15 @@ pub struct BackendReport {
     /// Per-slot busy time accumulated over the run (ms).
     pub busy_ms: f64,
     /// `busy_ms / horizon_ms` — the fraction of the run each slot spent
-    /// serving batches.
+    /// serving batches. Under the per-request model this can exceed 1
+    /// slightly: the tier keeps draining its backlog past the horizon so
+    /// every admitted request completes.
     pub utilization: f64,
     /// Distribution of closed batch sizes (width-1 bins).
     pub batch_sizes: Histogram,
+    /// Per-request cloud sojourn times (arrival → completion, ms). Empty
+    /// under the fluid model, which has no per-request times.
+    pub sojourn_ms: Histogram,
 }
 
 impl BackendReport {
@@ -300,6 +349,12 @@ impl BackendReport {
         } else {
             self.served_jobs / self.batches
         }
+    }
+
+    /// Tail summary of this backend's per-request sojourns (all zeros
+    /// under the fluid model — [`Histogram::tail_summary`] of empty).
+    pub fn tail(&self) -> TailSummary {
+        self.sojourn_ms.tail_summary()
     }
 }
 
@@ -320,6 +375,10 @@ pub struct FleetReport {
     /// `[region][epoch]` low-priority-class queue wait (ms) — the
     /// worst-case wait an offloaded inference of that epoch experienced.
     queue_wait_ms: Vec<Vec<f64>>,
+    /// Per-region exact per-request cloud sojourn histograms (ms), keyed
+    /// by *serving* region. Populated only by the per-request
+    /// microsimulation; empty histograms under the fluid model.
+    cloud_sojourn: Vec<Histogram>,
 }
 
 impl FleetReport {
@@ -338,6 +397,10 @@ impl FleetReport {
             backends: Vec::new(),
             queue_depth: Vec::new(),
             queue_wait_ms: Vec::new(),
+            cloud_sojourn: regions
+                .iter()
+                .map(|_| Histogram::new(crate::cloud::SOJOURN_BIN_MS, crate::cloud::SOJOURN_BINS))
+                .collect(),
         }
     }
 
@@ -398,6 +461,11 @@ impl FleetReport {
         self.backends = backends;
     }
 
+    pub(crate) fn set_cloud_sojourn(&mut self, sojourn: Vec<Histogram>) {
+        debug_assert_eq!(sojourn.len(), self.per_region.len());
+        self.cloud_sojourn = sojourn;
+    }
+
     /// End-to-end latency distribution (ms per inference, queue waits
     /// included).
     pub fn latency(&self) -> &Histogram {
@@ -445,7 +513,13 @@ impl FleetReport {
         &self.backends
     }
 
-    /// Cloud backlog (jobs) per region per epoch.
+    /// Cloud backlog (jobs) per region per epoch. The sampling point
+    /// differs by fidelity: the fluid tier samples **after admitting** the
+    /// epoch's arrivals but before draining them (the epoch's peak
+    /// backlog), while the per-request microsim samples the **residual**
+    /// queue at the epoch barrier, after the epoch has been served — a
+    /// keeping-up tier therefore reports near-zero depths per-request
+    /// where fluid reports the in-flight epoch load.
     pub fn queue_depth(&self) -> &[Vec<f64>] {
         &self.queue_depth
     }
@@ -457,6 +531,25 @@ impl FleetReport {
     /// shorter (high-class) wait not recorded here.
     pub fn queue_wait_ms(&self) -> &[Vec<f64>] {
         &self.queue_wait_ms
+    }
+
+    /// Exact per-request cloud sojourn histograms (ms), one per *serving*
+    /// region in scenario order. Only the per-request fidelity populates
+    /// these; under the fluid model every histogram is empty (counts 0) —
+    /// the fluid tier resolves epochs as aggregates and has no
+    /// per-request times to record.
+    pub fn cloud_sojourn(&self) -> &[Histogram] {
+        &self.cloud_sojourn
+    }
+
+    /// Tail summary of one region's per-request cloud sojourns (all zeros
+    /// under the fluid model).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `region` is out of range.
+    pub fn region_tail(&self, region: usize) -> TailSummary {
+        self.cloud_sojourn[region].tail_summary()
     }
 
     /// Total edge energy spent by the fleet (mJ).
@@ -507,6 +600,12 @@ impl FleetReport {
             feed(b.batch_sizes.count());
             feed(b.served_jobs.to_bits());
             feed(b.busy_ms.to_bits());
+            feed(b.sojourn_ms.count());
+            feed_fp(&mut feed, b.sojourn_ms.sum_fp());
+        }
+        for s in &self.cloud_sojourn {
+            feed(s.count());
+            feed_fp(&mut feed, s.sum_fp());
         }
         h
     }
@@ -570,6 +669,16 @@ impl fmt::Display for FleetReport {
                 b.mean_batch(),
                 100.0 * b.utilization
             )?;
+        }
+        for (r, s) in self.per_region.iter().zip(&self.cloud_sojourn) {
+            if s.count() > 0 {
+                writeln!(
+                    f,
+                    "  {:<14} cloud sojourn ms: {}",
+                    r.region,
+                    s.tail_summary()
+                )?;
+            }
         }
         Ok(())
     }
@@ -779,11 +888,96 @@ mod tests {
             busy_ms: 500.0,
             utilization: 0.5,
             batch_sizes: Histogram::new(1.0, 8),
+            sojourn_ms: Histogram::new(1.0, 8),
         }]);
         let s = format!("{r}");
         assert!(s.contains("fleet report"));
         assert!(s.contains("USA"));
         assert!(s.contains("gpu"));
         assert!(s.contains("50.0% util"));
+        // Fluid reports carry empty sojourn histograms: no tail lines.
+        assert!(!s.contains("cloud sojourn"), "{s}");
+        let mut sojourn = Histogram::new(10.0, 100);
+        sojourn.record(42.0);
+        r.set_cloud_sojourn(vec![sojourn]);
+        let s = format!("{r}");
+        assert!(s.contains("cloud sojourn"), "{s}");
+    }
+
+    #[test]
+    fn tail_summary_is_monotone_and_displays() {
+        let mut h = Histogram::new(1.0, 100);
+        for i in 0..1000 {
+            h.record((i * 37 % 90) as f64);
+        }
+        let tail = h.tail_summary();
+        assert!(tail.is_monotone(), "{tail:?}");
+        assert!(tail.p99 <= h.max() + 1.0);
+        let s = format!("{tail}");
+        assert!(s.contains("p50") && s.contains("p99"), "{s}");
+        // Empty histograms summarize to all-zeros (the fluid-mode view).
+        let empty = Histogram::new(1.0, 10).tail_summary();
+        assert_eq!(
+            empty,
+            TailSummary {
+                p50: 0.0,
+                p90: 0.0,
+                p95: 0.0,
+                p99: 0.0
+            }
+        );
+        assert!(empty.is_monotone());
+    }
+
+    // The per-request microsim records through the single-observation
+    // `record` path (one request at a time, batch sizes of 1 under a
+    // zero-linger batcher) — pin that this path saturates counts and keeps
+    // exact i128 micro-unit sums just like the fluid `record_n` path.
+
+    #[test]
+    fn single_record_path_saturates_counts() {
+        let mut h = Histogram::new(1.0, 4);
+        h.record_n(0.5, u64::MAX);
+        h.record(0.5); // the per-request entry point on a saturated bin
+        assert_eq!(h.count(), u64::MAX, "count must saturate, not wrap");
+        assert_eq!(h.overflow(), 0);
+        h.record(100.0); // overflow bucket on a saturated total
+        assert_eq!(h.count(), u64::MAX);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.max(), 100.0);
+    }
+
+    #[test]
+    fn single_record_sums_stay_exact_in_micro_units() {
+        // 0.1 ms is not binary-representable; a float accumulator would
+        // drift over many single-request records, the fixed-point sum
+        // cannot. 10_000 × 0.1 must be exactly 1000 µ-units × 10⁶.
+        let mut h = Histogram::new(1.0, 10);
+        for _ in 0..10_000 {
+            h.record(0.1);
+        }
+        assert_eq!(h.sum_fp(), 10_000i128 * 100_000);
+        assert_eq!(h.sum(), 1000.0);
+        // Extreme values saturate the i128 accumulator instead of
+        // wrapping (as casts clamp, saturating_add holds it there).
+        let mut extreme = Histogram::new(1.0, 4);
+        extreme.record(f64::MAX);
+        extreme.record(f64::MAX);
+        assert_eq!(extreme.sum_fp(), i128::MAX);
+        extreme.record(0.5);
+        assert_eq!(extreme.sum_fp(), i128::MAX, "sum must stay saturated");
+        assert_eq!(extreme.count(), 3);
+    }
+
+    #[test]
+    fn zero_width_batches_cannot_occur_but_width_one_bins_do() {
+        // A zero-linger batcher closes batches of exactly 1: the
+        // batch-size histogram must place them in the [1, 2) bin, not the
+        // clamped [0, 1) bin.
+        let mut batch_sizes = Histogram::new(1.0, 8);
+        batch_sizes.record(1.0);
+        assert_eq!(batch_sizes.count(), 1);
+        assert!(batch_sizes.percentile(50.0) >= 1.0);
+        assert_eq!(batch_sizes.min(), 1.0);
     }
 }

@@ -7,7 +7,7 @@
 //! engines given the same scenario produce the same [`crate::FleetReport`]
 //! (see the crate-level determinism contract).
 
-use crate::cloud::{CloudCapacity, CloudServing};
+use crate::cloud::{CloudCapacity, CloudServing, CloudSimFidelity};
 use crate::FleetError;
 use lens_device::DeviceProfile;
 use lens_nn::units::{Mbps, Millis};
@@ -99,6 +99,7 @@ pub struct FleetScenario {
     pub(crate) trace_interval: Millis,
     pub(crate) arrival: ArrivalModel,
     pub(crate) serving: CloudServing,
+    pub(crate) fidelity: CloudSimFidelity,
     pub(crate) policy: FleetPolicy,
     pub(crate) metric: Metric,
     pub(crate) tracker_alpha: f64,
@@ -158,6 +159,12 @@ impl FleetScenario {
         &self.serving
     }
 
+    /// Which cloud model the run uses (fluid epochs or per-request
+    /// microsimulation).
+    pub fn fidelity(&self) -> CloudSimFidelity {
+        self.fidelity
+    }
+
     /// The switching policy.
     pub fn policy(&self) -> &FleetPolicy {
         &self.policy
@@ -204,6 +211,7 @@ pub struct FleetScenarioBuilder {
     trace_interval: Millis,
     arrival: ArrivalModel,
     serving: CloudServing,
+    fidelity: CloudSimFidelity,
     policy: FleetPolicy,
     metric: Metric,
     tracker_alpha: f64,
@@ -231,6 +239,7 @@ impl Default for FleetScenarioBuilder {
                 period: Millis::new(60_000.0),
             },
             serving: CloudServing::from(CloudCapacity::new(64, 8.0)),
+            fidelity: CloudSimFidelity::Fluid,
             policy: FleetPolicy::Dynamic,
             metric: Metric::Energy,
             tracker_alpha: 1.0,
@@ -286,6 +295,15 @@ impl FleetScenarioBuilder {
     /// backends, queue discipline, admission control, and failover.
     pub fn serving(mut self, serving: CloudServing) -> Self {
         self.serving = serving;
+        self
+    }
+
+    /// Sets the cloud simulation fidelity: [`CloudSimFidelity::Fluid`]
+    /// (epoch-barrier fluid queues, the default) or
+    /// [`CloudSimFidelity::PerRequest`] (discrete per-request
+    /// microsimulation with exact tail-latency reporting).
+    pub fn fidelity(mut self, fidelity: CloudSimFidelity) -> Self {
+        self.fidelity = fidelity;
         self
     }
 
@@ -391,6 +409,7 @@ impl FleetScenarioBuilder {
             trace_interval: self.trace_interval,
             arrival: self.arrival,
             serving: self.serving,
+            fidelity: self.fidelity,
             policy: self.policy,
             metric: self.metric,
             tracker_alpha: self.tracker_alpha,
@@ -445,6 +464,16 @@ mod tests {
         assert_eq!(s.region_names()[1], "USA");
         assert_eq!(s.shards(), 1);
         assert_eq!(s.expected_events(), 600_000);
+        assert_eq!(s.fidelity(), CloudSimFidelity::Fluid);
+    }
+
+    #[test]
+    fn fidelity_knob_selects_per_request() {
+        let s = FleetScenario::builder()
+            .fidelity(CloudSimFidelity::PerRequest)
+            .build()
+            .unwrap();
+        assert_eq!(s.fidelity(), CloudSimFidelity::PerRequest);
     }
 
     #[test]

@@ -65,8 +65,9 @@ pub mod prelude {
     };
     pub use lens_fleet::{
         AdmissionPolicy, ArrivalModel, BackendConfig, BackendReport, BatchPolicy, CloudCapacity,
-        CloudServing, FailoverPolicy, FleetEngine, FleetPolicy, FleetReport, FleetScenario,
-        QueueDiscipline, RegionServing, RegionShare,
+        CloudServing, CloudSimFidelity, FailoverPolicy, FleetEngine, FleetPolicy, FleetReport,
+        FleetScenario, OffloadRequest, QueueDiscipline, RegionMicrosim, RegionServing, RegionShare,
+        TailSummary,
     };
     pub use lens_nn::units::{Bytes, Mbps, Millijoules, Millis, Milliwatts};
     pub use lens_nn::{zoo, Network, NetworkBuilder, TensorShape};

@@ -158,6 +158,93 @@ proptest! {
         let rel = (a.dynamic().total() - b.dynamic().total()).abs() / a.dynamic().total();
         prop_assert!(rel < 1e-3, "relative deviation {rel}");
     }
+
+    /// Per-request cloud microsim, single-slot FIFO backend: completion
+    /// times are monotone in arrival order — one executor serves batches
+    /// strictly in sequence and batches fill FIFO, so a later arrival can
+    /// never complete before an earlier one.
+    #[test]
+    fn prop_per_request_fifo_completions_monotone_in_arrival_order(
+        seed in 0u64..10_000,
+        n in 1usize..80,
+        base_ms in 1.0f64..200.0,
+        per_item_ms in 0.0f64..20.0,
+        max_batch in 1usize..16,
+        linger_ms in 0.0f64..200.0,
+    ) {
+        let serving = CloudServing::new(vec![
+            BackendConfig::new("gpu", 1, base_ms, per_item_ms).with_batching(max_batch, linger_ms),
+        ]);
+        let mut sim = RegionMicrosim::new(&serving);
+        // Seeded pseudo-random arrival times (hash-spread, possibly
+        // colliding on the same microsecond).
+        let mut requests: Vec<OffloadRequest> = (0..n as u64)
+            .map(|i| OffloadRequest {
+                arrival_us: (seed ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15)) % 1_000_000,
+                device_id: i,
+                high_priority: false,
+                origin_region: 0,
+                failed_over: false,
+                base_latency_ms: 0.0,
+                energy_mj: 0.0,
+                switched: false,
+            })
+            .collect();
+        requests.sort_unstable_by_key(|r| (r.arrival_us, r.device_id));
+        let mut out = Vec::new();
+        sim.run_epoch(&requests, 1_000_000, &mut out);
+        sim.flush(&mut out);
+        prop_assert_eq!(out.len(), n, "every request must complete");
+        let mut completions: Vec<(u64, u64, f64)> = out
+            .iter()
+            .map(|c| {
+                let completion_ms = c.request.arrival_us as f64 / 1000.0 + c.sojourn_ms;
+                (c.request.arrival_us, c.request.device_id, completion_ms)
+            })
+            .collect();
+        completions.sort_unstable_by_key(|&(arrival, device, _)| (arrival, device));
+        for pair in completions.windows(2) {
+            prop_assert!(
+                pair[0].2 <= pair[1].2 + 1e-9,
+                "FIFO completion order violated: {pair:?}"
+            );
+        }
+    }
+
+    /// Report percentiles are quantiles of one distribution, so every
+    /// tail summary a per-request run produces must be monotone
+    /// (p50 ≤ p90 ≤ p95 ≤ p99) — for arbitrary seeded scenarios.
+    #[test]
+    fn prop_per_request_report_percentiles_monotone(
+        seed in 0u64..10_000,
+        slots in 1usize..4,
+        service_ms in 5.0f64..400.0,
+    ) {
+        let scenario = FleetScenario::builder()
+            .population(60)
+            .horizon(Millis::new(300_000.0)) // 5 minutes
+            .trace_interval(Millis::new(60_000.0))
+            .cloud(CloudCapacity::new(slots, service_ms))
+            .policy(FleetPolicy::Fixed(DeploymentKind::AllCloud))
+            .metric(Metric::Latency)
+            .seed(seed)
+            .shards(2)
+            .fidelity(CloudSimFidelity::PerRequest)
+            .build()
+            .unwrap();
+        let report = FleetEngine::new(scenario).unwrap().run().unwrap();
+        prop_assert_eq!(report.inferences(), 300, "60 devices x 5 periods");
+        prop_assert!(report.latency().tail_summary().is_monotone());
+        prop_assert!(report.energy().tail_summary().is_monotone());
+        for region in 0..report.regions().len() {
+            prop_assert!(report.region_tail(region).is_monotone());
+        }
+        for backend in report.backends() {
+            prop_assert!(backend.tail().is_monotone());
+        }
+        let sojourns: u64 = report.cloud_sojourn().iter().map(|h| h.count()).sum();
+        prop_assert_eq!(sojourns, report.offloaded());
+    }
 }
 
 /// Helper trait used by `prop_alg1_min_is_true_min`: brute-force minimum

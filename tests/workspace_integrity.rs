@@ -248,6 +248,57 @@ fn docs_and_cloud_batching_example_are_pinned() {
     );
 }
 
+/// Pins the per-request microsimulation surface: the fidelity knob, the
+/// tail-reporting docs, the `tail_latency` example, the `per_request`
+/// bench record, and its CI smoke-run.
+#[test]
+fn per_request_microsim_surface_is_pinned() {
+    let root = repo_root();
+    let read = |p: &str| fs::read_to_string(root.join(p)).unwrap_or_else(|e| panic!("{p}: {e}"));
+
+    let architecture = read("docs/ARCHITECTURE.md");
+    assert!(
+        architecture.contains("Cloud fidelity modes"),
+        "docs/ARCHITECTURE.md must document the fidelity modes"
+    );
+    assert!(
+        architecture.contains("PerRequest"),
+        "docs/ARCHITECTURE.md must cover CloudSimFidelity::PerRequest"
+    );
+    assert!(
+        architecture.contains("slot-free events run first"),
+        "docs/ARCHITECTURE.md must document intra-epoch event ordering"
+    );
+    let paper_map = read("docs/PAPER_MAP.md");
+    assert!(
+        paper_map.contains("RegionMicrosim"),
+        "docs/PAPER_MAP.md must map the latency model to the per-request microsim"
+    );
+
+    let facade_manifest = read("crates/lens/Cargo.toml");
+    assert!(
+        facade_manifest.contains("path = \"../../examples/tail_latency.rs\""),
+        "tail_latency example must be registered on the facade"
+    );
+
+    let bench_source = read("crates/bench/benches/fleet_step.rs");
+    assert!(
+        bench_source.contains("per_request/10000"),
+        "fleet_step bench must measure the per-request path"
+    );
+    let bench_json = read("crates/bench/benches/BENCH_fleet.json");
+    assert!(
+        bench_json.contains("per_request/10000"),
+        "BENCH_fleet.json must record the per_request bench"
+    );
+
+    let ci = read(".github/workflows/ci.yml");
+    assert!(
+        ci.contains("cargo run --example tail_latency --release"),
+        "CI must smoke-run the tail_latency example in release"
+    );
+}
+
 #[test]
 fn ci_gates_docs_and_fleet_smoke_run() {
     let root = repo_root();
