@@ -7,39 +7,15 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lens::prelude::*;
+use lens_bench::workloads;
 use std::hint::black_box;
-
-fn scenario(population: usize, shards: usize) -> FleetScenario {
-    FleetScenario::builder()
-        .population(population)
-        .horizon(Millis::new(600_000.0)) // 10 minutes, 60 s epochs
-        .cloud(CloudCapacity::new(16, 10.0))
-        .policy(FleetPolicy::Dynamic)
-        .metric(Metric::Energy)
-        .seed(11)
-        .shards(shards)
-        .build()
-        .expect("valid scenario")
-}
-
-/// A two-backend batched serving tier with admission control — the
-/// heaviest per-epoch barrier configuration.
-fn batched_serving() -> CloudServing {
-    CloudServing::new(vec![
-        BackendConfig::new("gpu", 2, 50.0, 0.25).with_batching(64, 100.0),
-        BackendConfig::new("cpu", 8, 40.0, 40.0).with_batching(8, 100.0),
-    ])
-    .with_admission(AdmissionPolicy::Deadline {
-        max_wait_ms: 2_000.0,
-    })
-    .with_failover(FailoverPolicy::SiblingRegion { penalty_ms: 60.0 })
-}
 
 fn bench_fleet(c: &mut Criterion) {
     let mut group = c.benchmark_group("fleet");
 
     for population in [1_000usize, 10_000] {
-        let engine = FleetEngine::new(scenario(population, 1)).expect("engine builds");
+        let engine =
+            FleetEngine::new(workloads::fleet_scenario(population, 1)).expect("engine builds");
         group.bench_with_input(BenchmarkId::new("run", population), &engine, |b, engine| {
             b.iter(|| black_box(engine.run().expect("run").inferences()))
         });
@@ -47,16 +23,8 @@ fn bench_fleet(c: &mut Criterion) {
 
     // The full run again, with the serving tier exercising batching,
     // water-fill dispatch, admission, and failover on every event/barrier.
-    let batched = FleetScenario::builder()
-        .population(10_000)
-        .horizon(Millis::new(600_000.0))
-        .serving(batched_serving())
-        .policy(FleetPolicy::Dynamic)
-        .metric(Metric::Energy)
-        .seed(11)
-        .build()
-        .expect("valid scenario");
-    let engine = FleetEngine::new(batched).expect("engine builds");
+    let engine = FleetEngine::new(workloads::batched_fleet_scenario(CloudSimFidelity::Fluid))
+        .expect("engine builds");
     group.bench_function("run_batched/10000", |b| {
         b.iter(|| black_box(engine.run().expect("run").inferences()))
     });
@@ -64,38 +32,44 @@ fn bench_fleet(c: &mut Criterion) {
     // The same batched serving tier at per-request fidelity: every
     // offloaded inference becomes a discrete arrival/batch/completion
     // event in the region microsims — the tail-latency price tag.
-    let per_request = FleetScenario::builder()
-        .population(10_000)
-        .horizon(Millis::new(600_000.0))
-        .serving(batched_serving())
-        .policy(FleetPolicy::Dynamic)
-        .metric(Metric::Energy)
-        .seed(11)
-        .fidelity(CloudSimFidelity::PerRequest)
-        .build()
-        .expect("valid scenario");
-    let engine = FleetEngine::new(per_request).expect("engine builds");
+    let engine = FleetEngine::new(workloads::batched_fleet_scenario(
+        CloudSimFidelity::PerRequest,
+    ))
+    .expect("engine builds");
     group.bench_function("per_request/10000", |b| {
         b.iter(|| black_box(engine.run().expect("run").inferences()))
     });
 
+    // The batched tier again with priced, autoscaled backends and
+    // cost-aware dispatch — the per-barrier autoscaler + cost accounting
+    // overhead on the fluid path.
+    let engine = FleetEngine::new(workloads::autoscaled_fleet_scenario()).expect("engine builds");
+    group.bench_function("run_autoscaled/10000", |b| {
+        b.iter(|| black_box(engine.run().expect("run").inferences()))
+    });
+
     // The barrier path in isolation: one region's admit → water-fill →
-    // batch-close/drain → signal cycle, at a fluid 5k offloads/epoch.
-    let serving = batched_serving();
+    // batch-close/drain → scale → publish cycle, at a fluid 5k
+    // offloads/epoch.
+    let serving = workloads::batched_serving();
     group.bench_function("batch_close", |b| {
         b.iter(|| {
             let mut region = RegionServing::new(&serving);
             for _ in 0..60 {
                 region.admit(500, 4_500);
                 region.drain(60_000.0);
-                black_box(region.signal());
+                region.scale(60_000.0);
+                black_box(region.publish());
             }
             black_box(region.depth())
         })
     });
 
     group.bench_function("engine_build_10k", |b| {
-        b.iter(|| FleetEngine::new(black_box(scenario(10_000, 1))).expect("engine builds"))
+        b.iter(|| {
+            FleetEngine::new(black_box(workloads::fleet_scenario(10_000, 1)))
+                .expect("engine builds")
+        })
     });
 
     group.finish();

@@ -3,18 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lens::pareto::{combined_composition, coverage, hypervolume, ParetoFront};
+use lens_bench::workloads::pareto_points as points;
 use std::hint::black_box;
-
-/// Deterministic 3-objective point stream.
-fn points(n: usize) -> Vec<Vec<f64>> {
-    (0..n)
-        .map(|i| {
-            let a = ((i * 37) % 101) as f64 / 100.0;
-            let b = ((i * 53) % 103) as f64 / 102.0;
-            vec![a, b, (2.0 - a - b).max(0.0)]
-        })
-        .collect()
-}
 
 fn bench_pareto(c: &mut Criterion) {
     let mut group = c.benchmark_group("pareto");

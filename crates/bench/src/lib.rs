@@ -10,6 +10,7 @@
 //! `O(n³)` per iteration (§IV.D) and debug builds are ~20× slower.
 
 pub mod plot;
+pub mod workloads;
 
 use lens::prelude::*;
 use std::path::{Path, PathBuf};

@@ -1,0 +1,115 @@
+//! The benchmark workloads shared by the criterion benches and the CI
+//! bench-regression gate (`src/bin/bench_gate.rs`).
+//!
+//! A gate that re-measures a *copy* of a bench's workload can silently
+//! drift from what the bench actually measures; defining each gated
+//! workload exactly once here makes that drift impossible — the bench and
+//! the gate call the same constructor.
+
+use lens::prelude::*;
+
+/// The plain fleet scenario behind `fleet/run/*` and
+/// `fleet/engine_build_10k`: a single unbatched 16-slot / 10 ms cloud
+/// backend per region, dynamic policy on energy.
+pub fn fleet_scenario(population: usize, shards: usize) -> FleetScenario {
+    FleetScenario::builder()
+        .population(population)
+        .horizon(Millis::new(600_000.0)) // 10 minutes, 60 s epochs
+        .cloud(CloudCapacity::new(16, 10.0))
+        .policy(FleetPolicy::Dynamic)
+        .metric(Metric::Energy)
+        .seed(11)
+        .shards(shards)
+        .build()
+        .expect("valid scenario")
+}
+
+/// A two-backend batched serving tier with admission control — the
+/// heaviest per-epoch barrier configuration.
+pub fn batched_serving() -> CloudServing {
+    CloudServing::new(vec![
+        BackendConfig::new("gpu", 2, 50.0, 0.25).with_batching(64, 100.0),
+        BackendConfig::new("cpu", 8, 40.0, 40.0).with_batching(8, 100.0),
+    ])
+    .with_admission(AdmissionPolicy::Deadline {
+        max_wait_ms: 2_000.0,
+    })
+    .with_failover(FailoverPolicy::SiblingRegion { penalty_ms: 60.0 })
+}
+
+/// The batched-tier fleet scenario behind `fleet/run_batched/10000` and
+/// `fleet/per_request/10000` (the latter at
+/// [`CloudSimFidelity::PerRequest`]).
+pub fn batched_fleet_scenario(fidelity: CloudSimFidelity) -> FleetScenario {
+    FleetScenario::builder()
+        .population(10_000)
+        .horizon(Millis::new(600_000.0))
+        .serving(batched_serving())
+        .policy(FleetPolicy::Dynamic)
+        .metric(Metric::Energy)
+        .seed(11)
+        .fidelity(fidelity)
+        .build()
+        .expect("valid scenario")
+}
+
+/// The autoscaled, cost-aware variant behind `fleet/run_autoscaled/10000`:
+/// the batched tier with priced autoscalers on both pools and cost-aware
+/// dispatch.
+pub fn autoscaled_fleet_scenario() -> FleetScenario {
+    let mut serving = batched_serving().with_dispatch(DispatchPolicy::CostAware);
+    serving.backends[0] = serving.backends[0]
+        .clone()
+        .with_price(4.0)
+        .with_energy(2.0)
+        .with_autoscaler(Autoscaler::new(ScalingSignal::Utilization, 0.7, 0.3, 1, 8).with_step(2));
+    serving.backends[1] = serving.backends[1]
+        .clone()
+        .with_price(1.0)
+        .with_energy(1.0)
+        .with_autoscaler(Autoscaler::new(ScalingSignal::QueueDepth, 8.0, 0.5, 1, 16));
+    FleetScenario::builder()
+        .population(10_000)
+        .horizon(Millis::new(600_000.0))
+        .serving(serving)
+        .policy(FleetPolicy::Dynamic)
+        .metric(Metric::Energy)
+        .seed(11)
+        .build()
+        .expect("valid scenario")
+}
+
+/// The deterministic 3-objective point stream behind the `pareto/*`
+/// benches (`build_front`, `coverage`, `combined_composition`,
+/// `hypervolume_3d`).
+pub fn pareto_points(n: usize) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|i| {
+            let a = ((i * 37) % 101) as f64 / 100.0;
+            let b = ((i * 53) % 103) as f64 / 102.0;
+            vec![a, b, (2.0 - a - b).max(0.0)]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_build() {
+        assert_eq!(fleet_scenario(100, 2).population(), 100);
+        assert_eq!(
+            batched_fleet_scenario(CloudSimFidelity::PerRequest).fidelity(),
+            CloudSimFidelity::PerRequest
+        );
+        assert_eq!(batched_serving().backends.len(), 2);
+        let autoscaled = autoscaled_fleet_scenario();
+        assert!(autoscaled
+            .serving()
+            .backends
+            .iter()
+            .all(|b| b.autoscaler.is_some()));
+        assert_eq!(pareto_points(3).len(), 3);
+    }
+}

@@ -19,16 +19,33 @@
 //!   offloads of the **next** epoch, preserving the one-epoch contention
 //!   lag that keeps epochs embarrassingly parallel.
 //! * [`FailoverPolicy`] — what a shed request does: fail over to the
-//!   least-loaded sibling region (paying an inter-region penalty), or fall
-//!   back to on-device execution, charged at the device's local-only
-//!   deployment option.
+//!   least-loaded (or, under cost-aware dispatch, the cheapest viable)
+//!   sibling region (paying an inter-region penalty), or fall back to
+//!   on-device execution, charged at the device's local-only deployment
+//!   option.
+//! * [`Autoscaler`] — per-backend workload autoscaling: an EWMA-damped
+//!   demand signal (utilization or queue depth per slot) is thresholded at
+//!   each epoch barrier and the live slot count steps up or down within
+//!   `[min_slots, max_slots]`, with a cooldown suppressing flapping.
+//!   Provisioned slot-epochs are priced
+//!   ([`BackendConfig::price_per_slot_epoch`]) into the report's
+//!   fixed-point cost totals.
+//! * [`DispatchPolicy`] — how arrivals spread across a region's backends:
+//!   classic least-work-left water-filling, or **cost-aware**
+//!   water-filling that weighs each backend's work-left by
+//!   price × energy ([`BackendConfig::cost_weight`]), pushing load toward
+//!   cheap pools at the cost of perfectly equalized completion times.
 //!
 //! All queue state advances deterministically at epoch barriers in fluid
 //! form: arrivals are admitted as job counts, dispatched across backends by
-//! least-work-left water-filling, and each backend drains at the rate its
-//! current batch size implies. [`CloudCapacity`] — the PR 2 configuration
-//! surface — is kept as the degenerate single-backend, unbatched case and
-//! converts losslessly via [`CloudServing::from`].
+//! (cost-weighted) water-filling, and each backend drains at the rate its
+//! current batch size implies. The barrier phases are strictly ordered:
+//! **drain (serve the epoch) → scale (autoscalers adjust slots) → publish
+//! (waits/shed/cost signals from post-scale state)** — so the signals
+//! devices read next epoch always reflect post-scale capacity.
+//! [`CloudCapacity`] — the PR 2 configuration surface — is kept as the
+//! degenerate single-backend, unbatched case and converts losslessly via
+//! [`CloudServing::from`].
 
 use crate::report::Histogram;
 use std::cmp::Reverse;
@@ -166,6 +183,191 @@ impl BatchPolicy {
     }
 }
 
+/// The demand signal an [`Autoscaler`] damps and thresholds at each epoch
+/// barrier. Both are normalized **per slot**, so the same thresholds keep
+/// meaning as the pool grows or shrinks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalingSignal {
+    /// Fraction of the epoch each slot spent serving batches (target-
+    /// utilization scaling). Can exceed 1 transiently under the
+    /// per-request model, where a batch's whole service time is charged
+    /// at close.
+    Utilization,
+    /// Queued jobs per slot at the barrier (queue-depth scaling).
+    QueueDepth,
+}
+
+/// Per-backend workload autoscaling, evaluated once per epoch barrier
+/// (after the epoch is served, before signals publish).
+///
+/// The state machine per backend: the observed [`ScalingSignal`] is
+/// EWMA-damped (`damped ← α·observed + (1−α)·damped`); while a cooldown
+/// is pending the slot count holds; otherwise `damped > scale_up` steps
+/// the pool up by `step` and `damped < scale_down` steps it down, both
+/// clamped to `[min_slots, max_slots]`, and any applied change re-arms the
+/// cooldown. The per-request tier additionally never retires a busy
+/// executor: scale-down removes idle slots only and retries at later
+/// barriers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Autoscaler {
+    /// Which demand signal drives scaling.
+    pub signal: ScalingSignal,
+    /// Damped-signal threshold above which the pool grows.
+    pub scale_up: f64,
+    /// Damped-signal threshold below which the pool shrinks.
+    pub scale_down: f64,
+    /// Barriers to hold after an applied scaling event (0 = react every
+    /// barrier; larger values suppress flapping).
+    pub cooldown_epochs: u32,
+    /// Smallest slot count the pool may shrink to (≥ 1).
+    pub min_slots: usize,
+    /// Largest slot count the pool may grow to.
+    pub max_slots: usize,
+    /// Slots added or removed per scaling event.
+    pub step: usize,
+    /// EWMA damping factor in `(0, 1]` (1 = undamped, react to the raw
+    /// signal).
+    pub alpha: f64,
+}
+
+impl Autoscaler {
+    /// An autoscaler on the given signal with thresholds and slot bounds;
+    /// defaults: cooldown 1 epoch, step 1 slot, α = 0.5.
+    pub fn new(
+        signal: ScalingSignal,
+        scale_up: f64,
+        scale_down: f64,
+        min_slots: usize,
+        max_slots: usize,
+    ) -> Self {
+        Autoscaler {
+            signal,
+            scale_up,
+            scale_down,
+            cooldown_epochs: 1,
+            min_slots,
+            max_slots,
+            step: 1,
+            alpha: 0.5,
+        }
+    }
+
+    /// Sets the post-scaling cooldown (barriers held after each event).
+    pub fn with_cooldown(mut self, epochs: u32) -> Self {
+        self.cooldown_epochs = epochs;
+        self
+    }
+
+    /// Sets the slots added/removed per scaling event.
+    pub fn with_step(mut self, step: usize) -> Self {
+        self.step = step;
+        self
+    }
+
+    /// Sets the EWMA damping factor.
+    pub fn with_alpha(mut self, alpha: f64) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Validates the autoscaler's own invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable reason on non-finite or inverted
+    /// thresholds, zero `min_slots`/`step`, inverted slot bounds, or an
+    /// out-of-range `alpha`.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.scale_up.is_finite() && self.scale_down.is_finite()) {
+            return Err("autoscaler thresholds must be finite".to_string());
+        }
+        if self.scale_down >= self.scale_up {
+            return Err("autoscaler scale_down must be below scale_up".to_string());
+        }
+        if self.min_slots == 0 {
+            return Err("autoscaler min_slots must be at least 1".to_string());
+        }
+        if self.min_slots > self.max_slots {
+            return Err("autoscaler min_slots must not exceed max_slots".to_string());
+        }
+        if self.step == 0 {
+            return Err("autoscaler step must be at least 1".to_string());
+        }
+        if !(self.alpha > 0.0 && self.alpha <= 1.0) {
+            return Err("autoscaler alpha must be in (0, 1]".to_string());
+        }
+        Ok(())
+    }
+
+    /// EWMA-damps the observed demand signal into the running estimate.
+    fn damp(&self, previous: f64, observed: f64) -> f64 {
+        self.alpha * observed + (1.0 - self.alpha) * previous
+    }
+
+    /// One barrier's shared bookkeeping: damp `observed` into `state`,
+    /// honor a pending cooldown (decrementing it and holding the current
+    /// count), and return the slot count the thresholds ask for. Both
+    /// fidelity tiers run exactly this sequence; only the *application*
+    /// differs (the fluid tier rescales its drain rate, the per-request
+    /// tier retires idle executors only). Callers re-arm the cooldown via
+    /// [`arm`](Autoscaler::arm) for the portion they actually applied.
+    fn step(&self, state: &mut ScalerState, observed: f64, slots: usize) -> usize {
+        state.demand_ewma = self.damp(state.demand_ewma, observed);
+        if state.cooldown > 0 {
+            state.cooldown -= 1;
+            return slots;
+        }
+        self.target_slots(slots, state.demand_ewma)
+    }
+
+    /// Re-arms the cooldown after an applied scaling event.
+    fn arm(&self, state: &mut ScalerState) {
+        state.cooldown = self.cooldown_epochs;
+    }
+
+    /// The slot count the thresholds ask for, given the damped signal —
+    /// the pure decision both fidelity modes share so they cannot drift.
+    fn target_slots(&self, slots: usize, damped: f64) -> usize {
+        if damped > self.scale_up {
+            slots
+                .saturating_add(self.step)
+                .clamp(self.min_slots, self.max_slots)
+        } else if damped < self.scale_down {
+            slots
+                .saturating_sub(self.step)
+                .clamp(self.min_slots, self.max_slots)
+        } else {
+            slots.clamp(self.min_slots, self.max_slots)
+        }
+    }
+}
+
+/// Per-backend autoscaler bookkeeping shared (structurally) by both
+/// fidelity tiers: the EWMA-damped demand estimate and the pending
+/// cooldown. Advanced only through [`Autoscaler::step`] /
+/// [`Autoscaler::arm`], so the fluid and per-request state machines
+/// cannot diverge.
+#[derive(Debug, Clone, PartialEq, Default)]
+struct ScalerState {
+    demand_ewma: f64,
+    cooldown: u32,
+}
+
+/// How a region spreads arrivals across its backends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DispatchPolicy {
+    /// Water-fill so expected completion times equalize (the PR 3
+    /// behavior, and the default).
+    #[default]
+    LeastWorkLeft,
+    /// Water-fill by **price × energy × work-left**: each backend's
+    /// work-left is weighed by [`BackendConfig::cost_weight`], so cheap
+    /// pools absorb more load and the published [`RegionSignal`] carries
+    /// the region's marginal serving cost — which failover then uses to
+    /// shed toward the *cheapest* viable sibling.
+    CostAware,
+}
+
 /// One pool of identical executors inside a region's serving tier, with an
 /// affine batch cost: a batch of `b` items occupies one executor for
 /// `base_service_ms + per_item_ms · b` milliseconds, so the per-item cost
@@ -174,7 +376,8 @@ impl BatchPolicy {
 pub struct BackendConfig {
     /// Display name (`"gpu"`, `"cpu"`, …), unique within the region.
     pub name: String,
-    /// Concurrent batch executors in this pool.
+    /// Concurrent batch executors in this pool (the initial count when an
+    /// autoscaler is attached).
     pub slots: usize,
     /// Fixed cost per batch (ms) — the part batching amortizes.
     pub base_service_ms: f64,
@@ -182,6 +385,15 @@ pub struct BackendConfig {
     pub per_item_ms: f64,
     /// The dynamic batcher in front of this pool.
     pub batching: BatchPolicy,
+    /// Price of keeping one slot provisioned for one epoch (arbitrary
+    /// currency units; 0 = unpriced, the legacy behavior). Accrued into
+    /// the report's fixed-point cost totals every barrier.
+    pub price_per_slot_epoch: f64,
+    /// Cloud-side energy per served job (mJ; 0 = unmodeled). Feeds the
+    /// report's cloud-energy totals and the cost-aware dispatch weight.
+    pub energy_per_job_mj: f64,
+    /// Workload autoscaling for this pool (`None` = static slots).
+    pub autoscaler: Option<Autoscaler>,
 }
 
 impl BackendConfig {
@@ -213,6 +425,9 @@ impl BackendConfig {
             base_service_ms,
             per_item_ms,
             batching: BatchPolicy::none(),
+            price_per_slot_epoch: 0.0,
+            energy_per_job_mj: 0.0,
+            autoscaler: None,
         }
     }
 
@@ -222,16 +437,53 @@ impl BackendConfig {
         self
     }
 
+    /// Prices one provisioned slot-epoch (validated at tier build).
+    pub fn with_price(mut self, price_per_slot_epoch: f64) -> Self {
+        self.price_per_slot_epoch = price_per_slot_epoch;
+        self
+    }
+
+    /// Sets the cloud-side energy per served job (validated at tier
+    /// build).
+    pub fn with_energy(mut self, energy_per_job_mj: f64) -> Self {
+        self.energy_per_job_mj = energy_per_job_mj;
+        self
+    }
+
+    /// Attaches a workload autoscaler to this pool (validated at tier
+    /// build; `slots` becomes the initial count and must sit within the
+    /// autoscaler's bounds).
+    pub fn with_autoscaler(mut self, autoscaler: Autoscaler) -> Self {
+        self.autoscaler = Some(autoscaler);
+        self
+    }
+
     /// Service time of one batch of (fluid) size `b` on one executor (ms).
     pub fn batch_service_ms(&self, b: f64) -> f64 {
         self.base_service_ms + self.per_item_ms * b
     }
 
-    /// Jobs per millisecond this pool completes when every batch closes
-    /// full — the backend's peak throughput, used as its dispatch weight.
-    pub fn full_batch_rate_per_ms(&self) -> f64 {
+    /// Jobs per millisecond **one slot** completes when every batch closes
+    /// full. Live throughput is this times the current slot count.
+    pub fn full_batch_rate_per_slot_ms(&self) -> f64 {
         let b = self.batching.max_batch as f64;
-        self.slots as f64 * b / self.batch_service_ms(b)
+        b / self.batch_service_ms(b)
+    }
+
+    /// Jobs per millisecond this pool completes at its **configured**
+    /// slot count when every batch closes full — the backend's peak
+    /// throughput before any autoscaling.
+    pub fn full_batch_rate_per_ms(&self) -> f64 {
+        self.slots as f64 * self.full_batch_rate_per_slot_ms()
+    }
+
+    /// The cost-aware dispatch weight: price × energy, with unpriced
+    /// (zero) components treated as a neutral 1 — so an unpriced tier
+    /// under [`DispatchPolicy::CostAware`] degenerates to plain
+    /// least-work-left.
+    pub fn cost_weight(&self) -> f64 {
+        let neutral = |v: f64| if v > 0.0 { v } else { 1.0 };
+        neutral(self.price_per_slot_epoch) * neutral(self.energy_per_job_mj)
     }
 }
 
@@ -320,17 +572,20 @@ pub struct CloudServing {
     pub admission: AdmissionPolicy,
     /// Where shed requests go.
     pub failover: FailoverPolicy,
+    /// How arrivals spread across the region's backends.
+    pub dispatch: DispatchPolicy,
 }
 
 impl CloudServing {
     /// A serving tier with the given backends, FIFO discipline, open
-    /// admission, and to-device failover.
+    /// admission, to-device failover, and least-work-left dispatch.
     pub fn new(backends: Vec<BackendConfig>) -> Self {
         CloudServing {
             backends,
             discipline: QueueDiscipline::Fifo,
             admission: AdmissionPolicy::Open,
             failover: FailoverPolicy::ToDevice,
+            dispatch: DispatchPolicy::LeastWorkLeft,
         }
     }
 
@@ -360,13 +615,20 @@ impl CloudServing {
         self
     }
 
+    /// Sets the dispatch policy.
+    pub fn with_dispatch(mut self, dispatch: DispatchPolicy) -> Self {
+        self.dispatch = dispatch;
+        self
+    }
+
     /// Validates the cross-field constraints a scenario build enforces.
     ///
     /// # Errors
     ///
     /// Returns a human-readable reason when the tier has no backends,
-    /// duplicate backend names, or a non-positive admission bound or
-    /// failover penalty.
+    /// duplicate backend names, a non-positive admission bound or failover
+    /// penalty, a non-finite/negative price or energy, or an invalid
+    /// autoscaler (bad thresholds/bounds, or initial slots outside them).
     pub fn validate(&self) -> Result<(), String> {
         if self.backends.is_empty() {
             return Err("serving tier needs at least one backend".to_string());
@@ -377,6 +639,50 @@ impl CloudServing {
                     "duplicate backend name {:?} in serving tier",
                     b.name
                 ));
+            }
+            if !(b.price_per_slot_epoch.is_finite() && b.price_per_slot_epoch >= 0.0) {
+                return Err(format!(
+                    "backend {:?} price_per_slot_epoch must be non-negative and finite",
+                    b.name
+                ));
+            }
+            if !(b.energy_per_job_mj.is_finite() && b.energy_per_job_mj >= 0.0) {
+                return Err(format!(
+                    "backend {:?} energy_per_job_mj must be non-negative and finite",
+                    b.name
+                ));
+            }
+            if let Some(auto) = &b.autoscaler {
+                auto.validate()
+                    .map_err(|why| format!("backend {:?}: {why}", b.name))?;
+                if !(auto.min_slots..=auto.max_slots).contains(&b.slots) {
+                    return Err(format!(
+                        "backend {:?} initial slots {} outside autoscaler bounds [{}, {}]",
+                        b.name, b.slots, auto.min_slots, auto.max_slots
+                    ));
+                }
+            }
+        }
+        // Cost-aware dispatch compares cost weights across backends, and
+        // an unset (zero) component silently counts as the neutral 1 —
+        // real prices must not be ranked against that placeholder, so a
+        // tier prices each component everywhere or nowhere.
+        if self.dispatch == DispatchPolicy::CostAware {
+            type IsSet = fn(&BackendConfig) -> bool;
+            let components: [(&str, IsSet); 2] = [
+                ("price_per_slot_epoch", |b| b.price_per_slot_epoch > 0.0),
+                ("energy_per_job_mj", |b| b.energy_per_job_mj > 0.0),
+            ];
+            for (component, set) in components {
+                let priced = self.backends.iter().filter(|b| set(b)).count();
+                if priced != 0 && priced != self.backends.len() {
+                    return Err(format!(
+                        "cost-aware dispatch needs {component} set on every backend or on none \
+                         ({priced} of {} set): unset components count as the neutral weight 1 \
+                         and would be ranked against real values",
+                        self.backends.len()
+                    ));
+                }
             }
         }
         match self.admission {
@@ -416,13 +722,14 @@ impl From<CloudCapacity> for CloudServing {
             discipline: capacity.discipline,
             admission: AdmissionPolicy::Open,
             failover: FailoverPolicy::ToDevice,
+            dispatch: DispatchPolicy::LeastWorkLeft,
         }
     }
 }
 
 /// The barrier-published state shards read for a whole epoch (one-epoch
-/// contention lag): per-class waits and the admission controller's shed
-/// fraction.
+/// contention lag): per-class waits, the admission controller's shed
+/// fraction, and the region's marginal serving cost.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct RegionSignal {
     /// Wait (ms) a high-priority arrival experiences.
@@ -431,6 +738,15 @@ pub struct RegionSignal {
     pub wait_low_ms: f64,
     /// Fraction of next-epoch offloads the admission controller sheds.
     pub shed_fraction: f64,
+    /// The [`BackendConfig::cost_weight`] of the backend the region's
+    /// *next* arrival would be dispatched to — what one more job costs to
+    /// serve here. Load-dependent: a region whose cheap pool is swamped
+    /// dispatches (and therefore prices) marginal work on its expensive
+    /// pool, so identically configured regions publish different marginal
+    /// costs as their queues diverge. Under
+    /// [`DispatchPolicy::CostAware`], failover sheds to the sibling with
+    /// the smallest marginal cost (wait breaks ties).
+    pub marginal_cost: f64,
 }
 
 impl RegionSignal {
@@ -452,6 +768,14 @@ struct BackendQueue {
     /// Jobs dispatched to this backend in the current epoch (for the
     /// linger fill-rate estimate).
     epoch_arrivals: f64,
+    /// Executor slots currently provisioned (autoscaled within the
+    /// configured bounds; equals the configured count when static).
+    slots_live: usize,
+    /// Shared autoscaler bookkeeping (EWMA estimate + cooldown).
+    scaler: ScalerState,
+    /// Per-slot busy time accumulated in the current epoch (ms) — the
+    /// utilization observation the autoscaler damps.
+    epoch_busy_ms: f64,
     /// Drain rate (jobs/ms) realized in the last [`RegionServing::drain`],
     /// used to publish waits. Starts at the unbatched rate.
     rate_per_ms: f64,
@@ -463,6 +787,10 @@ struct BackendQueue {
     batches: f64,
     busy_ms: f64,
     batch_sizes: Histogram,
+    /// Slot count during each served epoch, recorded at the barrier.
+    slot_timeline: Vec<u32>,
+    /// Applied scaling events (up or down).
+    scale_events: u64,
 }
 
 /// How many bins backend batch-size histograms carry (width 1.0 — batch
@@ -483,7 +811,8 @@ pub(crate) const SOJOURN_BINS: usize = 2_000;
 pub struct BackendStats {
     /// Backend name from the serving tier.
     pub name: String,
-    /// Executor slots in the pool.
+    /// Configured executor slots (the initial count under autoscaling;
+    /// see `slot_timeline` for the live trajectory).
     pub slots: usize,
     /// Jobs completed (fluid count).
     pub served_jobs: f64,
@@ -497,6 +826,17 @@ pub struct BackendStats {
     /// the per-request microsimulation populates this; the fluid tier
     /// leaves it empty (fluid epochs have no per-request times).
     pub sojourn_ms: Histogram,
+    /// Slot count during each served epoch (constant without an
+    /// autoscaler).
+    pub slot_timeline: Vec<u32>,
+    /// Applied autoscaling events over the run.
+    pub scale_events: u64,
+    /// Provisioned cost, exact in fixed-point micro-units:
+    /// `Σ_epochs slots · price_per_slot_epoch`.
+    pub cost_fp: i128,
+    /// Cloud-side energy over the run (mJ):
+    /// `served jobs · energy_per_job_mj`.
+    pub cloud_energy_mj: f64,
 }
 
 /// One region's deterministic serving-tier state: per-backend fluid queues
@@ -531,12 +871,17 @@ impl RegionServing {
                 backlog_high: 0.0,
                 backlog_low: 0.0,
                 epoch_arrivals: 0.0,
+                slots_live: b.slots,
+                scaler: ScalerState::default(),
+                epoch_busy_ms: 0.0,
                 rate_per_ms: b.slots as f64 * 1.0 / b.batch_service_ms(1.0),
                 linger_wait_ms: 0.0,
                 served_jobs: 0.0,
                 batches: 0.0,
                 busy_ms: 0.0,
                 batch_sizes: Histogram::new(1.0, BATCH_HIST_BINS),
+                slot_timeline: Vec::new(),
+                scale_events: 0,
             })
             .collect();
         RegionServing {
@@ -572,13 +917,28 @@ impl RegionServing {
 
     /// Splits `total` arriving jobs across backends so that the resulting
     /// completion times `(backlog_i + a_i) / capacity_i` equalize where
-    /// possible (classic water-filling over per-backend peak rates).
+    /// possible (classic water-filling over per-backend peak rates at the
+    /// **live** slot counts). Under [`DispatchPolicy::CostAware`] each
+    /// backend's capacity is divided by its price × energy
+    /// [`BackendConfig::cost_weight`], which equalizes *cost-weighted*
+    /// completion `w_i · (backlog_i + a_i) / capacity_i` instead — cheap
+    /// backends sit lower in the cost-time landscape and absorb more of
+    /// the flow.
     fn water_fill(&self, total: f64) -> Vec<f64> {
+        let cost_aware = self.serving.dispatch == DispatchPolicy::CostAware;
         let caps: Vec<f64> = self
             .serving
             .backends
             .iter()
-            .map(|b| b.full_batch_rate_per_ms())
+            .zip(&self.queues)
+            .map(|(b, q)| {
+                let cap = q.slots_live as f64 * b.full_batch_rate_per_slot_ms();
+                if cost_aware {
+                    cap / b.cost_weight()
+                } else {
+                    cap
+                }
+            })
             .collect();
         if caps.len() == 1 {
             return vec![total];
@@ -637,6 +997,7 @@ impl RegionServing {
     /// utilization stats.
     pub fn drain(&mut self, epoch_ms: f64) {
         for (config, queue) in self.serving.backends.iter().zip(&mut self.queues) {
+            let slots = queue.slots_live as f64;
             let depth = queue.backlog_high + queue.backlog_low;
             let arrival_rate = queue.epoch_arrivals / epoch_ms;
             let max_batch = config.batching.max_batch as f64;
@@ -648,12 +1009,12 @@ impl RegionServing {
                 // the keeping-up regime batches grow to whatever the
                 // arrival flow accumulates within the linger window.
                 let carried = (depth - queue.epoch_arrivals).max(0.0);
-                let backlog_fill = carried / config.slots as f64;
+                let backlog_fill = carried / slots;
                 let linger_fill = arrival_rate * config.batching.linger_ms;
                 backlog_fill.max(linger_fill).clamp(1.0, max_batch)
             };
             let batch_ms = config.batch_service_ms(b);
-            let rate = config.slots as f64 * b / batch_ms;
+            let rate = slots * b / batch_ms;
             let budget = rate * epoch_ms;
             let served_high = queue.backlog_high.min(budget);
             queue.backlog_high -= served_high;
@@ -670,7 +1031,7 @@ impl RegionServing {
                 0.0
             } else {
                 let carried = (depth - queue.epoch_arrivals).max(0.0);
-                let from_flow = (1.0 - carried / (b * config.slots as f64)).clamp(0.0, 1.0);
+                let from_flow = (1.0 - carried / (b * slots)).clamp(0.0, 1.0);
                 let fill_ms = if arrival_rate > 0.0 {
                     (b / arrival_rate).min(config.batching.linger_ms)
                 } else {
@@ -683,18 +1044,63 @@ impl RegionServing {
             queue.rate_per_ms = rate;
             queue.served_jobs += served;
             queue.batches += batches;
-            queue.busy_ms += batches * batch_ms / config.slots as f64;
+            queue.epoch_busy_ms = batches * batch_ms / slots;
+            queue.busy_ms += queue.epoch_busy_ms;
             let closed = batches.round() as u64;
             if closed > 0 {
                 queue.batch_sizes.record_n(b, closed);
             }
             queue.epoch_arrivals = 0.0;
         }
+    }
+
+    /// Runs the autoscalers at the epoch barrier — **after**
+    /// [`drain`](RegionServing::drain) served the epoch and **before**
+    /// [`publish`](RegionServing::publish), so the published signal
+    /// reflects post-scale capacity. Records the slot-count timeline for
+    /// the epoch just served, EWMA-damps each backend's demand signal,
+    /// and steps the live slot count within the configured bounds
+    /// (honoring the cooldown). The realized drain rate is rescaled with
+    /// the slot count so post-scale waits price the new capacity.
+    pub fn scale(&mut self, epoch_ms: f64) {
+        for (config, queue) in self.serving.backends.iter().zip(&mut self.queues) {
+            queue.slot_timeline.push(queue.slots_live as u32);
+            if let Some(auto) = &config.autoscaler {
+                let observed = match auto.signal {
+                    ScalingSignal::Utilization => {
+                        if epoch_ms > 0.0 {
+                            queue.epoch_busy_ms / epoch_ms
+                        } else {
+                            0.0
+                        }
+                    }
+                    ScalingSignal::QueueDepth => {
+                        (queue.backlog_high + queue.backlog_low) / queue.slots_live as f64
+                    }
+                };
+                let target = auto.step(&mut queue.scaler, observed, queue.slots_live);
+                if target != queue.slots_live {
+                    queue.rate_per_ms *= target as f64 / queue.slots_live as f64;
+                    queue.slots_live = target;
+                    auto.arm(&mut queue.scaler);
+                    queue.scale_events += 1;
+                }
+            }
+            queue.epoch_busy_ms = 0.0;
+        }
+    }
+
+    /// Publishes the barrier signal for the next epoch: updates the
+    /// admission controller's damped shed fraction from the **post-scale**
+    /// queue state (call after [`scale`](RegionServing::scale)) and
+    /// returns the signal.
+    pub fn publish(&mut self) -> RegionSignal {
         let target = self
             .serving
             .admission
             .shed_fraction(self.depth(), self.wait_ms(false));
         self.shed_fraction = damp_shed_fraction(self.shed_fraction, target);
+        self.signal()
     }
 
     /// The wait (ms) a new arrival of the given class experiences: the
@@ -723,14 +1129,42 @@ impl RegionServing {
             .sum()
     }
 
-    /// The barrier signal shards read next epoch: per-class waits and the
-    /// admission controller's damped shed fraction.
+    /// The barrier signal shards read next epoch: per-class waits, the
+    /// admission controller's damped shed fraction, and the region's
+    /// marginal serving cost.
     pub fn signal(&self) -> RegionSignal {
         RegionSignal {
             wait_high_ms: self.wait_ms(true),
             wait_low_ms: self.wait_ms(false),
             shed_fraction: self.shed_fraction,
+            marginal_cost: self.marginal_cost(),
         }
+    }
+
+    /// The price × energy weight of the backend the next arrival would be
+    /// dispatched to: the backend with the lowest (cost-weighted, under
+    /// [`DispatchPolicy::CostAware`]) completion level — the same
+    /// ordering [`water_fill`](Self::water_fill) tops up first. Level
+    /// ties break toward the cheaper backend, so an idle tier publishes
+    /// its cheapest pool's weight.
+    fn marginal_cost(&self) -> f64 {
+        let cost_aware = self.serving.dispatch == DispatchPolicy::CostAware;
+        self.serving
+            .backends
+            .iter()
+            .zip(&self.queues)
+            .map(|(b, q)| {
+                let weight = b.cost_weight();
+                let cap = q.slots_live as f64 * b.full_batch_rate_per_slot_ms();
+                let mut level = (q.backlog_high + q.backlog_low) / cap;
+                if cost_aware {
+                    level *= weight;
+                }
+                (level, weight)
+            })
+            .min_by(|a, b| a.partial_cmp(b).expect("finite levels and weights"))
+            .map(|(_, weight)| weight)
+            .expect("tier has at least one backend")
     }
 
     /// Per-backend cumulative stats, in backend order.
@@ -747,9 +1181,22 @@ impl RegionServing {
                 busy_ms: q.busy_ms,
                 batch_sizes: q.batch_sizes.clone(),
                 sojourn_ms: Histogram::new(SOJOURN_BIN_MS, SOJOURN_BINS),
+                slot_timeline: q.slot_timeline.clone(),
+                scale_events: q.scale_events,
+                cost_fp: provision_cost_fp(&q.slot_timeline, b.price_per_slot_epoch),
+                cloud_energy_mj: q.served_jobs * b.energy_per_job_mj,
             })
             .collect()
     }
+}
+
+/// Exact fixed-point provisioned cost: `Σ_epochs slots · price`, summed
+/// in micro-units so shard merging and reruns are bit-stable.
+fn provision_cost_fp(timeline: &[u32], price_per_slot_epoch: f64) -> i128 {
+    timeline
+        .iter()
+        .map(|&slots| crate::report::to_fp(slots as f64 * price_per_slot_epoch))
+        .fold(0i128, i128::saturating_add)
 }
 
 impl fmt::Display for RegionServing {
@@ -813,8 +1260,14 @@ const EVENT_LINGER: u8 = 1;
 struct MicroBackend {
     queue_high: VecDeque<OffloadRequest>,
     queue_low: VecDeque<OffloadRequest>,
-    /// When each executor slot becomes free (µs).
+    /// When each executor slot becomes free (µs). The vector's length is
+    /// the **live** slot count; autoscaling pushes and pops entries.
     slot_free_us: Vec<u64>,
+    /// Shared autoscaler bookkeeping (EWMA estimate + cooldown).
+    scaler: ScalerState,
+    /// `busy_us` as of the previous barrier — the delta is the epoch's
+    /// utilization observation.
+    busy_us_at_barrier: u64,
     // Cumulative serving stats.
     served_requests: u64,
     batches: u64,
@@ -822,6 +1275,10 @@ struct MicroBackend {
     busy_us: u64,
     batch_sizes: Histogram,
     sojourn_ms: Histogram,
+    /// Slot count during each served epoch, recorded at the barrier.
+    slot_timeline: Vec<u32>,
+    /// Applied scaling events (up or down).
+    scale_events: u64,
 }
 
 impl MicroBackend {
@@ -897,11 +1354,15 @@ impl RegionMicrosim {
                 queue_high: VecDeque::new(),
                 queue_low: VecDeque::new(),
                 slot_free_us: vec![0; b.slots],
+                scaler: ScalerState::default(),
+                busy_us_at_barrier: 0,
                 served_requests: 0,
                 batches: 0,
                 busy_us: 0,
                 batch_sizes: Histogram::new(1.0, BATCH_HIST_BINS),
                 sojourn_ms: Histogram::new(SOJOURN_BIN_MS, SOJOURN_BINS),
+                slot_timeline: Vec::new(),
+                scale_events: 0,
             })
             .collect();
         RegionMicrosim {
@@ -990,15 +1451,27 @@ impl RegionMicrosim {
 
     /// The backend a new arrival joins: least work left, estimated as the
     /// earliest slot gap plus the queue drained at the backend's peak
-    /// (full-batch) rate — the discrete analogue of the fluid water-fill.
-    /// Ties go to the lowest index.
+    /// (full-batch) rate over its **live** slots — the discrete analogue
+    /// of the fluid water-fill. Under [`DispatchPolicy::CostAware`] the
+    /// work-left score is weighed by the backend's price × energy
+    /// [`BackendConfig::cost_weight`], the discrete analogue of the
+    /// cost-weighted water-fill. Ties go to the lowest index.
     fn least_work_backend(&self, now_us: u64) -> usize {
+        let cost_aware = self.serving.dispatch == DispatchPolicy::CostAware;
         let mut best = 0usize;
         let mut best_score = f64::INFINITY;
         for (i, (config, backend)) in self.serving.backends.iter().zip(&self.backends).enumerate() {
             let (_, free_at) = backend.earliest_slot();
             let slot_wait_ms = free_at.saturating_sub(now_us) as f64 / 1000.0;
-            let score = slot_wait_ms + backend.queued() as f64 / config.full_batch_rate_per_ms();
+            let rate = backend.slot_free_us.len() as f64 * config.full_batch_rate_per_slot_ms();
+            let score = if cost_aware {
+                // Include the arriving job's own service so an idle tier
+                // (all work-left 0) still ranks by cost, then weigh by
+                // price × energy.
+                (slot_wait_ms + (backend.queued() + 1) as f64 / rate) * config.cost_weight()
+            } else {
+                slot_wait_ms + backend.queued() as f64 / rate
+            };
             if score < best_score {
                 best_score = score;
                 best = i;
@@ -1085,14 +1558,79 @@ impl RegionMicrosim {
                 } else {
                     backend.queued()
                 } as f64;
-                slot_wait + ahead / config.full_batch_rate_per_ms()
+                let rate = backend.slot_free_us.len() as f64 * config.full_batch_rate_per_slot_ms();
+                slot_wait + ahead / rate
             })
             .fold(f64::INFINITY, f64::min)
             .max(0.0)
     }
 
+    /// Runs the autoscalers at the epoch barrier (`now_us` = the epoch
+    /// end) — **before** [`barrier_signal`](RegionMicrosim::barrier_signal)
+    /// so the published signal reflects post-scale capacity. Scale-up adds
+    /// slots free at `now_us` and arms a slot-free event so queued work
+    /// can board them next epoch; scale-down retires **idle** slots only
+    /// (an in-flight batch is never killed) and retries at later barriers
+    /// if not enough executors are idle.
+    pub fn scale(&mut self, now_us: u64, epoch_us: u64) {
+        let heap = &mut self.heap;
+        for (i, (config, backend)) in self
+            .serving
+            .backends
+            .iter()
+            .zip(self.backends.iter_mut())
+            .enumerate()
+        {
+            backend
+                .slot_timeline
+                .push(backend.slot_free_us.len() as u32);
+            if let Some(auto) = &config.autoscaler {
+                let slots = backend.slot_free_us.len();
+                let observed = match auto.signal {
+                    ScalingSignal::Utilization => {
+                        let epoch_busy = backend.busy_us - backend.busy_us_at_barrier;
+                        if epoch_us > 0 {
+                            epoch_busy as f64 / (slots as f64 * epoch_us as f64)
+                        } else {
+                            0.0
+                        }
+                    }
+                    ScalingSignal::QueueDepth => backend.queued() as f64 / slots as f64,
+                };
+                let target = auto.step(&mut backend.scaler, observed, slots);
+                match target.cmp(&slots) {
+                    std::cmp::Ordering::Greater => {
+                        backend.slot_free_us.resize(target, now_us);
+                        heap.push(Reverse((now_us, EVENT_SLOT_FREE, i as u32)));
+                        auto.arm(&mut backend.scaler);
+                        backend.scale_events += 1;
+                    }
+                    std::cmp::Ordering::Less => {
+                        let mut to_retire = slots - target;
+                        let mut j = backend.slot_free_us.len();
+                        let before = to_retire;
+                        while j > 0 && to_retire > 0 {
+                            j -= 1;
+                            if backend.slot_free_us[j] <= now_us {
+                                backend.slot_free_us.remove(j);
+                                to_retire -= 1;
+                            }
+                        }
+                        if to_retire < before {
+                            auto.arm(&mut backend.scaler);
+                            backend.scale_events += 1;
+                        }
+                    }
+                    std::cmp::Ordering::Equal => {}
+                }
+            }
+            backend.busy_us_at_barrier = backend.busy_us;
+        }
+    }
+
     /// The barrier signal shards read next epoch; updates the damped shed
-    /// fraction from the tier state observed at `now_us` (the epoch end).
+    /// fraction from the tier state observed at `now_us` (the epoch end,
+    /// **after** [`scale`](RegionMicrosim::scale) has run).
     pub fn barrier_signal(&mut self, now_us: u64) -> RegionSignal {
         let wait_low = self.wait_ms(false, now_us);
         let target = self.serving.admission.shed_fraction(self.depth(), wait_low);
@@ -1100,24 +1638,41 @@ impl RegionMicrosim {
         RegionSignal {
             wait_high_ms: self.wait_ms(true, now_us),
             wait_low_ms: wait_low,
+            // The weight of the backend the next arrival would join —
+            // the discrete analogue of the fluid tier's marginal cost.
+            marginal_cost: self.serving.backends[self.least_work_backend(now_us)].cost_weight(),
             shed_fraction: self.shed_fraction,
         }
     }
 
-    /// Per-backend cumulative stats, in backend order.
+    /// Per-backend cumulative stats, in backend order. Per-slot busy time
+    /// is normalized by the run's mean provisioned slot count (= the
+    /// configured count when static).
     pub fn backend_stats(&self) -> Vec<BackendStats> {
         self.serving
             .backends
             .iter()
             .zip(&self.backends)
-            .map(|(b, q)| BackendStats {
-                name: b.name.clone(),
-                slots: b.slots,
-                served_jobs: q.served_requests as f64,
-                batches: q.batches as f64,
-                busy_ms: q.busy_us as f64 / 1000.0 / b.slots as f64,
-                batch_sizes: q.batch_sizes.clone(),
-                sojourn_ms: q.sojourn_ms.clone(),
+            .map(|(b, q)| {
+                let mean_slots = if q.slot_timeline.is_empty() {
+                    b.slots as f64
+                } else {
+                    q.slot_timeline.iter().map(|&s| s as f64).sum::<f64>()
+                        / q.slot_timeline.len() as f64
+                };
+                BackendStats {
+                    name: b.name.clone(),
+                    slots: b.slots,
+                    served_jobs: q.served_requests as f64,
+                    batches: q.batches as f64,
+                    busy_ms: q.busy_us as f64 / 1000.0 / mean_slots,
+                    batch_sizes: q.batch_sizes.clone(),
+                    sojourn_ms: q.sojourn_ms.clone(),
+                    slot_timeline: q.slot_timeline.clone(),
+                    scale_events: q.scale_events,
+                    cost_fp: provision_cost_fp(&q.slot_timeline, b.price_per_slot_epoch),
+                    cloud_energy_mj: q.served_requests as f64 * b.energy_per_job_mj,
+                }
             })
             .collect()
     }
@@ -1333,12 +1888,18 @@ mod tests {
         let mut tier = RegionServing::new(&serving);
         tier.admit(50, 2000);
         tier.drain(1000.0);
-        let signal = tier.signal();
+        // The admission controller acts at publish time (after scaling),
+        // not inside drain — the barrier order is drain → scale → publish.
+        assert_eq!(tier.signal().shed_fraction, 0.0);
+        tier.scale(1000.0);
+        let signal = tier.publish();
         assert!(signal.wait_low_ms > 100.0);
         assert!(signal.shed_fraction > 0.0 && signal.shed_fraction < 1.0);
         assert!(signal.wait_high_ms <= signal.wait_low_ms);
         assert_eq!(signal.wait_ms(true), signal.wait_high_ms);
         assert_eq!(signal.wait_ms(false), signal.wait_low_ms);
+        // An unpriced tier publishes the neutral marginal cost.
+        assert_eq!(signal.marginal_cost, 1.0);
     }
 
     #[test]
@@ -1589,5 +2150,458 @@ mod tests {
     fn fidelity_default_is_fluid() {
         assert_eq!(CloudSimFidelity::default(), CloudSimFidelity::Fluid);
         assert_ne!(CloudSimFidelity::Fluid, CloudSimFidelity::PerRequest);
+    }
+
+    // ---- autoscaling ----
+
+    /// One unbatched 1 ms/job backend with a queue-depth autoscaler
+    /// reacting undamped (α = 1) and no cooldown unless configured.
+    fn autoscaled_backend(auto: Autoscaler) -> CloudServing {
+        CloudServing::new(vec![
+            BackendConfig::new("gpu", 1, 1.0, 0.0).with_autoscaler(auto)
+        ])
+    }
+
+    fn depth_scaler(max_slots: usize) -> Autoscaler {
+        Autoscaler::new(ScalingSignal::QueueDepth, 10.0, 1.0, 1, max_slots)
+            .with_alpha(1.0)
+            .with_cooldown(0)
+    }
+
+    #[test]
+    fn autoscaler_validation_rejects_bad_configs() {
+        let ok = depth_scaler(4);
+        assert!(ok.validate().is_ok());
+        let cases = [
+            (
+                Autoscaler {
+                    scale_up: f64::NAN,
+                    ..ok
+                },
+                "finite",
+            ),
+            (
+                Autoscaler {
+                    scale_down: 20.0,
+                    ..ok
+                },
+                "below scale_up",
+            ),
+            (Autoscaler { min_slots: 0, ..ok }, "min_slots"),
+            (
+                Autoscaler {
+                    min_slots: 8,
+                    max_slots: 4,
+                    ..ok
+                },
+                "max_slots",
+            ),
+            (Autoscaler { step: 0, ..ok }, "step"),
+            (Autoscaler { alpha: 0.0, ..ok }, "alpha"),
+        ];
+        for (auto, needle) in cases {
+            let why = auto.validate().unwrap_err();
+            assert!(why.contains(needle), "{why:?} should mention {needle}");
+        }
+        // Tier-level: initial slots must sit inside the bounds, and
+        // price/energy must be sane.
+        let outside = CloudServing::new(vec![
+            BackendConfig::new("gpu", 9, 1.0, 0.0).with_autoscaler(depth_scaler(4))
+        ]);
+        assert!(outside.validate().unwrap_err().contains("outside"));
+        let bad_price =
+            CloudServing::new(vec![BackendConfig::new("gpu", 1, 1.0, 0.0).with_price(-1.0)]);
+        assert!(bad_price.validate().unwrap_err().contains("price"));
+        let bad_energy = CloudServing::new(vec![
+            BackendConfig::new("gpu", 1, 1.0, 0.0).with_energy(f64::NAN)
+        ]);
+        assert!(bad_energy.validate().unwrap_err().contains("energy"));
+    }
+
+    #[test]
+    fn autoscaler_scales_up_under_load_and_down_when_idle() {
+        let mut tier = RegionServing::new(&autoscaled_backend(depth_scaler(4)));
+        // Flood: 1 slot drains 1000/epoch, 5000 arrive — queue-depth per
+        // slot blows past the threshold every barrier until max.
+        for _ in 0..4 {
+            tier.admit(0, 5000);
+            tier.drain(1000.0);
+            tier.scale(1000.0);
+            tier.publish();
+        }
+        let stats = &tier.backend_stats()[0];
+        assert_eq!(stats.slot_timeline, vec![1, 2, 3, 4]);
+        assert_eq!(stats.scale_events, 3);
+        // Idle: the backlog drains, then the pool walks back to min.
+        for _ in 0..20 {
+            tier.admit(0, 0);
+            tier.drain(1000.0);
+            tier.scale(1000.0);
+            tier.publish();
+        }
+        let stats = &tier.backend_stats()[0];
+        assert_eq!(*stats.slot_timeline.last().unwrap(), 1, "{stats:?}");
+    }
+
+    #[test]
+    fn autoscaler_clamps_to_min_max_bounds() {
+        let mut tier = RegionServing::new(&autoscaled_backend(depth_scaler(3).with_step(10)));
+        // A giant step still lands exactly on max_slots…
+        tier.admit(0, 100_000);
+        tier.drain(1000.0);
+        tier.scale(1000.0);
+        assert_eq!(tier.backend_stats()[0].slot_timeline, vec![1]);
+        tier.admit(0, 0);
+        tier.drain(1000.0);
+        tier.scale(1000.0);
+        let stats = &tier.backend_stats()[0];
+        assert_eq!(stats.slot_timeline, vec![1, 3], "step clamps to max");
+        // …and a giant scale-down lands exactly on min_slots.
+        let mut serving = autoscaled_backend(
+            Autoscaler::new(ScalingSignal::QueueDepth, 10.0, 1.0, 2, 50)
+                .with_alpha(1.0)
+                .with_cooldown(0)
+                .with_step(40),
+        );
+        serving.backends[0].slots = 50;
+        let mut idle = RegionServing::new(&serving);
+        idle.admit(0, 0);
+        idle.drain(1000.0);
+        idle.scale(1000.0);
+        idle.admit(0, 0);
+        idle.drain(1000.0);
+        idle.scale(1000.0);
+        let stats = &idle.backend_stats()[0];
+        assert_eq!(stats.slot_timeline, vec![50, 10]);
+        idle.admit(0, 0);
+        idle.drain(1000.0);
+        idle.scale(1000.0);
+        assert_eq!(*idle.backend_stats()[0].slot_timeline.last().unwrap(), 2);
+    }
+
+    #[test]
+    fn autoscaler_cooldown_suppresses_flapping() {
+        // Alternating flood/idle epochs make an undamped, cooldown-free
+        // scaler flap; a 3-epoch cooldown must strictly reduce the number
+        // of applied scaling events on the same load pattern.
+        let run = |cooldown: u32| {
+            let auto = Autoscaler::new(ScalingSignal::QueueDepth, 2.0, 0.5, 1, 8)
+                .with_alpha(1.0)
+                .with_cooldown(cooldown);
+            let mut tier = RegionServing::new(&autoscaled_backend(auto));
+            for epoch in 0..16 {
+                tier.admit(0, if epoch % 2 == 0 { 5000 } else { 0 });
+                tier.drain(1000.0);
+                tier.scale(1000.0);
+                tier.publish();
+            }
+            tier.backend_stats()[0].scale_events
+        };
+        let flappy = run(0);
+        let damped = run(3);
+        assert!(
+            damped < flappy,
+            "cooldown must suppress flapping: {damped} !< {flappy}"
+        );
+        assert!(flappy >= 8, "undamped scaler should react every barrier");
+    }
+
+    #[test]
+    fn fluid_scale_down_with_backlog_conserves_jobs() {
+        // Queue-depth signal with an over-generous scale-down threshold:
+        // the pool shrinks while jobs still wait. Nothing may be lost —
+        // the backlog just drains slower (and the published wait says so).
+        let auto = Autoscaler::new(ScalingSignal::QueueDepth, 1e9, 500.0, 1, 4)
+            .with_alpha(1.0)
+            .with_cooldown(0);
+        let mut serving = autoscaled_backend(auto);
+        serving.backends[0].slots = 4;
+        let mut tier = RegionServing::new(&serving);
+        tier.admit(0, 4400);
+        tier.drain(100.0); // serves 400 (4 slots × 1 job/ms × 100 ms)
+        let depth_before = tier.depth();
+        assert!((depth_before - 4000.0).abs() < 1e-9);
+        let wait_before_scale = tier.wait_ms(false);
+        tier.scale(100.0); // 4000/4 = 1000 jobs/slot < 500? no: 1000 > 500
+        assert_eq!(
+            tier.backend_stats()[0].slot_timeline,
+            vec![4],
+            "no scale-down above the threshold"
+        );
+        // Drain the queue below the threshold, then the pool shrinks with
+        // work still queued.
+        tier.admit(0, 0);
+        tier.drain(800.0); // serves 3200, 800 left -> 200/slot < 500
+        let remaining = tier.depth();
+        assert!((remaining - 800.0).abs() < 1e-9);
+        tier.scale(800.0);
+        let signal = tier.publish();
+        let stats = &tier.backend_stats()[0];
+        assert_eq!(*stats.slot_timeline.last().unwrap(), 4);
+        assert_eq!(stats.scale_events, 1);
+        assert!(
+            (tier.depth() - remaining).abs() < 1e-12,
+            "scale-down must not lose queued jobs"
+        );
+        // Published wait prices the post-scale (3-slot) capacity:
+        // 800 jobs / 3 jobs-per-ms.
+        assert!(
+            (signal.wait_low_ms - remaining / 3.0).abs() < 1e-6,
+            "wait {} should price 3 slots",
+            signal.wait_low_ms
+        );
+        let _ = wait_before_scale;
+    }
+
+    /// The barrier-ordering regression pin (fluid): scaling events run
+    /// *before* signal publication, so the published wait prices the
+    /// post-scale slot count — not the end-of-epoch queue state at the
+    /// old capacity.
+    #[test]
+    fn fluid_publish_prices_post_scale_capacity() {
+        let mut tier = RegionServing::new(&autoscaled_backend(depth_scaler(2)));
+        tier.admit(0, 2000);
+        tier.drain(1000.0); // 1 slot serves 1000; 1000 remain
+        assert!((tier.wait_ms(false) - 1000.0).abs() < 1e-9);
+        tier.scale(1000.0); // 1000 jobs/slot > 10 → slots double to 2
+        let signal = tier.publish();
+        assert!(
+            (signal.wait_low_ms - 500.0).abs() < 1e-9,
+            "published wait must reflect the post-scale capacity, got {}",
+            signal.wait_low_ms
+        );
+    }
+
+    /// The same pin for the per-request tier: slots added at the barrier
+    /// are visible in the published wait (and serve queued work next
+    /// epoch), and scale-down never retires a busy executor.
+    #[test]
+    fn microsim_publish_prices_post_scale_capacity() {
+        let auto = Autoscaler::new(ScalingSignal::QueueDepth, 4.0, 0.5, 1, 2)
+            .with_alpha(1.0)
+            .with_cooldown(0);
+        let serving = CloudServing::new(vec![
+            BackendConfig::new("gpu", 1, 100.0, 0.0).with_autoscaler(auto)
+        ]);
+        let mut sim = RegionMicrosim::new(&serving);
+        let requests: Vec<_> = (0..10).map(|i| request(i, i)).collect();
+        let mut out = Vec::new();
+        sim.run_epoch(&requests, 1_000, &mut out);
+        let wait_pre_scale = sim.wait_ms(false, 1_000);
+        sim.scale(1_000, 1_000);
+        let signal = sim.barrier_signal(1_000);
+        assert!(
+            signal.wait_low_ms < wait_pre_scale,
+            "post-scale wait {} must undercut pre-scale {}",
+            signal.wait_low_ms,
+            wait_pre_scale
+        );
+        let stats = &sim.backend_stats()[0];
+        assert_eq!(stats.slot_timeline, vec![1]);
+        assert_eq!(stats.scale_events, 1);
+        // The added slot serves queued work from the next epoch on, and
+        // every admitted request still completes.
+        sim.run_epoch(&[], 200_000, &mut out);
+        sim.scale(200_000, 199_000);
+        sim.flush(&mut out);
+        assert_eq!(out.len(), 10, "flush must complete every request");
+        assert_eq!(sim.backend_stats()[0].slot_timeline, vec![1, 2]);
+    }
+
+    #[test]
+    fn microsim_scale_down_never_retires_a_busy_executor() {
+        let auto = Autoscaler::new(ScalingSignal::QueueDepth, 1e9, 0.5, 1, 2)
+            .with_alpha(1.0)
+            .with_cooldown(0);
+        let serving = CloudServing::new(vec![
+            BackendConfig::new("gpu", 2, 10_000.0, 0.0).with_autoscaler(auto)
+        ]);
+        let mut sim = RegionMicrosim::new(&serving);
+        let mut out = Vec::new();
+        // Two requests occupy both 10 s executors well past the barrier.
+        sim.run_epoch(&[request(0, 0), request(0, 1)], 1_000, &mut out);
+        sim.scale(1_000, 1_000);
+        let stats = &sim.backend_stats()[0];
+        assert_eq!(
+            stats.scale_events, 0,
+            "both executors are mid-batch: the scale-down must defer"
+        );
+        assert_eq!(stats.slot_timeline, vec![2]);
+        // Once a batch finishes, the deferred scale-down applies.
+        sim.run_epoch(&[], 20_000_000, &mut out);
+        sim.scale(20_000_000, 19_999_000);
+        let stats = &sim.backend_stats()[0];
+        assert_eq!(stats.scale_events, 1);
+        assert_eq!(*stats.slot_timeline.last().unwrap(), 2);
+        sim.run_epoch(&[], 20_001_000, &mut out);
+        sim.scale(20_001_000, 1_000);
+        assert_eq!(*sim.backend_stats()[0].slot_timeline.last().unwrap(), 1);
+        sim.flush(&mut out);
+        assert_eq!(out.len(), 2);
+    }
+
+    // ---- cost-aware dispatch ----
+
+    #[test]
+    fn cost_weight_is_neutral_when_unpriced() {
+        let plain = BackendConfig::new("gpu", 1, 1.0, 0.0);
+        assert_eq!(plain.cost_weight(), 1.0);
+        assert_eq!(plain.clone().with_price(3.0).cost_weight(), 3.0);
+        assert_eq!(plain.clone().with_energy(0.5).cost_weight(), 0.5);
+        assert_eq!(plain.with_price(3.0).with_energy(0.5).cost_weight(), 1.5);
+    }
+
+    #[test]
+    fn cost_aware_water_fill_prefers_cheap_backends() {
+        let cheap = BackendConfig::new("cheap", 1, 10.0, 0.0)
+            .with_price(1.0)
+            .with_energy(1.0);
+        let pricey = BackendConfig::new("pricey", 1, 10.0, 0.0)
+            .with_price(9.0)
+            .with_energy(1.0);
+        // Least-work-left splits identical backends evenly…
+        let mut lwl = RegionServing::new(&CloudServing::new(vec![cheap.clone(), pricey.clone()]));
+        lwl.admit(0, 100);
+        let d: Vec<f64> = lwl
+            .queues
+            .iter()
+            .map(|q| q.backlog_high + q.backlog_low)
+            .collect();
+        assert!((d[0] - 50.0).abs() < 1e-9 && (d[1] - 50.0).abs() < 1e-9);
+        // …while cost-aware water-filling sends 9× the flow to the pool
+        // that costs 9× less.
+        let mut aware = RegionServing::new(
+            &CloudServing::new(vec![cheap, pricey]).with_dispatch(DispatchPolicy::CostAware),
+        );
+        aware.admit(0, 100);
+        let d: Vec<f64> = aware
+            .queues
+            .iter()
+            .map(|q| q.backlog_high + q.backlog_low)
+            .collect();
+        assert!((d[0] - 90.0).abs() < 1e-6, "cheap got {}", d[0]);
+        assert!((d[1] - 10.0).abs() < 1e-6, "pricey got {}", d[1]);
+        // The published marginal cost is the cheapest backend's weight.
+        assert_eq!(aware.signal().marginal_cost, 1.0);
+    }
+
+    #[test]
+    fn marginal_cost_tracks_congestion_not_just_config() {
+        // The published marginal cost is the weight of the backend the
+        // *next* arrival would join — identically configured regions must
+        // publish different values once their queues diverge, otherwise
+        // cheapest-viable failover could never distinguish siblings.
+        let cheap = BackendConfig::new("cheap", 1, 10.0, 0.0)
+            .with_price(1.0)
+            .with_energy(1.0);
+        let pricey = BackendConfig::new("pricey", 1, 10.0, 0.0)
+            .with_price(9.0)
+            .with_energy(1.0);
+        let serving = CloudServing::new(vec![cheap.clone(), pricey.clone()])
+            .with_dispatch(DispatchPolicy::CostAware);
+
+        // Fluid: idle region prices marginal work on the cheap pool…
+        let mut idle = RegionServing::new(&serving);
+        assert_eq!(idle.signal().marginal_cost, 1.0);
+        // …a region whose cheap pool carries a deep backlog prices it on
+        // the pricey pool.
+        idle.queues[0].backlog_low = 10_000.0;
+        assert_eq!(idle.signal().marginal_cost, 9.0);
+
+        // Per-request: saturate the cheap slot with queued work and the
+        // barrier signal flips to the pricey pool's weight too.
+        let micro_serving = CloudServing::new(vec![
+            BackendConfig::new("cheap", 1, 100_000.0, 0.0)
+                .with_price(1.0)
+                .with_energy(1.0),
+            BackendConfig::new("pricey", 1, 100_000.0, 0.0)
+                .with_price(9.0)
+                .with_energy(1.0),
+        ])
+        .with_dispatch(DispatchPolicy::CostAware);
+        let mut sim = RegionMicrosim::new(&micro_serving);
+        assert_eq!(sim.barrier_signal(0).marginal_cost, 1.0, "idle → cheap");
+        // Swamp the cheap pool: slot busy 100 s out, ten requests queued.
+        // The cost-weighted work-left of the cheap pool now exceeds the
+        // pricey pool's 9× job cost, so the next arrival — and with it
+        // the published marginal cost — lands on the pricey pool.
+        sim.backends[0].slot_free_us[0] = 100_000_000;
+        for i in 0..10 {
+            sim.backends[0].queue_low.push_back(request(0, i));
+        }
+        assert_eq!(
+            sim.barrier_signal(1_000).marginal_cost,
+            9.0,
+            "a swamped cheap pool must price marginal work on the pricey pool"
+        );
+    }
+
+    #[test]
+    fn cost_aware_rejects_partially_priced_tiers() {
+        // One backend priced, the sibling unpriced: the neutral-1
+        // fallback would rank a real price against a placeholder, so the
+        // tier must not validate under cost-aware dispatch…
+        let mixed = CloudServing::new(vec![
+            BackendConfig::new("a", 1, 1.0, 0.0).with_price(0.5),
+            BackendConfig::new("b", 1, 1.0, 0.0),
+        ])
+        .with_dispatch(DispatchPolicy::CostAware);
+        assert!(mixed.validate().unwrap_err().contains("every backend"));
+        let mixed_energy = CloudServing::new(vec![
+            BackendConfig::new("a", 1, 1.0, 0.0).with_energy(2.0),
+            BackendConfig::new("b", 1, 1.0, 0.0),
+        ])
+        .with_dispatch(DispatchPolicy::CostAware);
+        assert!(mixed_energy.validate().is_err());
+        // …while all-set (price everywhere, energy nowhere), all-unset,
+        // and least-work tiers stay valid.
+        let price_only = CloudServing::new(vec![
+            BackendConfig::new("a", 1, 1.0, 0.0).with_price(0.5),
+            BackendConfig::new("b", 1, 1.0, 0.0).with_price(2.0),
+        ])
+        .with_dispatch(DispatchPolicy::CostAware);
+        assert!(price_only.validate().is_ok());
+        let unpriced = CloudServing::new(vec![
+            BackendConfig::new("a", 1, 1.0, 0.0),
+            BackendConfig::new("b", 1, 1.0, 0.0),
+        ])
+        .with_dispatch(DispatchPolicy::CostAware);
+        assert!(unpriced.validate().is_ok());
+        let least_work = CloudServing::new(vec![
+            BackendConfig::new("a", 1, 1.0, 0.0).with_price(0.5),
+            BackendConfig::new("b", 1, 1.0, 0.0),
+        ]);
+        assert!(least_work.validate().is_ok());
+    }
+
+    #[test]
+    fn microsim_cost_aware_dispatch_prefers_cheap_backend() {
+        // `pricey` sits at index 0: under least-work-left an idle tier
+        // ties toward it, while cost-aware dispatch routes to `cheap`
+        // until queueing makes the pricey pool worth its money.
+        let pricey = BackendConfig::new("pricey", 1, 50.0, 0.0)
+            .with_price(8.0)
+            .with_energy(1.0);
+        let cheap = BackendConfig::new("cheap", 1, 50.0, 0.0)
+            .with_price(1.0)
+            .with_energy(1.0);
+        let serving =
+            CloudServing::new(vec![pricey, cheap]).with_dispatch(DispatchPolicy::CostAware);
+        let mut sim = RegionMicrosim::new(&serving);
+        let requests: Vec<_> = (0..4).map(|i| request(i * 100_000, i)).collect();
+        let done = run_all(&mut sim, &requests);
+        assert!(
+            done.iter().all(|c| c.backend == 1),
+            "an uncontended cost-aware tier must serve from the cheap pool"
+        );
+        // Under congestion the pricey pool still takes overflow: 8 same-
+        // instant arrivals cannot all wait 8× on one slot.
+        let mut sim = RegionMicrosim::new(&serving);
+        let burst: Vec<_> = (0..8).map(|i| request(0, i)).collect();
+        let done = run_all(&mut sim, &burst);
+        assert!(
+            done.iter().any(|c| c.backend == 0),
+            "congestion must spill onto the pricey pool"
+        );
     }
 }

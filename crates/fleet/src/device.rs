@@ -16,13 +16,14 @@
 //! to the least-loaded sibling region or falls back to the device's
 //! local-only deployment option.
 
-use crate::cloud::{CloudSimFidelity, FailoverPolicy, RegionSignal};
+use crate::cloud::{CloudSimFidelity, DispatchPolicy, FailoverPolicy, RegionSignal};
 use crate::scenario::FleetPolicy;
 use crate::{mix_seed, FleetError};
 use lens_runtime::{DeploymentOption, DeploymentPlanner, DominanceMap, Metric, ThroughputTracker};
 use lens_wireless::{Region, ThroughputTrace, WirelessTechnology};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::cmp::Ordering;
 
 /// One (region, technology) cell of the fleet mix, holding the design-time
 /// artifacts every member device shares.
@@ -81,6 +82,11 @@ pub(crate) struct ServeContext<'a> {
     /// microsimulation supplies the exact per-request sojourn at the
     /// barrier, and the engine completes the record then.
     pub fidelity: CloudSimFidelity,
+    /// The serving tier's dispatch policy. Under
+    /// [`DispatchPolicy::CostAware`], sibling failover targets the region
+    /// with the smallest published marginal cost (wait breaks ties)
+    /// instead of the smallest wait.
+    pub dispatch: DispatchPolicy,
 }
 
 /// What one served inference cost, for aggregation.
@@ -245,23 +251,43 @@ impl Device {
                         .iter()
                         .enumerate()
                         .filter(|&(r, _)| r != cohort.region_index)
+                        .filter(|(r, s)| {
+                            // Each sibling applies its own admission gate
+                            // *before* selection (per-device, per-region
+                            // stateless draw): a cheapest-but-shedding
+                            // sibling must fall through to the next viable
+                            // one, not block failover entirely.
+                            s.shed_fraction <= 0.0
+                                || unit_from(mix_seed(
+                                    self.shed_seed ^ *r as u64,
+                                    time_us ^ FAILOVER_SALT,
+                                )) >= s.shed_fraction
+                        })
                         .min_by(|(ra, a), (rb, b)| {
-                            // Ties (several idle siblings at wait 0) are
-                            // spread by a per-device, per-event hash so the
-                            // overflow does not pile onto the lowest index.
-                            a.wait_ms(self.high_priority)
-                                .partial_cmp(&b.wait_ms(self.high_priority))
-                                .expect("finite waits")
+                            // Cost-aware tiers shed toward the *cheapest*
+                            // viable sibling (published marginal cost);
+                            // otherwise — and on cost ties — the least
+                            // wait wins. Ties (several idle siblings at
+                            // wait 0) are spread by a per-device,
+                            // per-event hash so the overflow does not
+                            // pile onto the lowest index.
+                            let by_cost = if ctx.dispatch == DispatchPolicy::CostAware {
+                                a.marginal_cost
+                                    .partial_cmp(&b.marginal_cost)
+                                    .expect("finite marginal costs")
+                            } else {
+                                Ordering::Equal
+                            };
+                            by_cost
+                                .then_with(|| {
+                                    a.wait_ms(self.high_priority)
+                                        .partial_cmp(&b.wait_ms(self.high_priority))
+                                        .expect("finite waits")
+                                })
                                 .then_with(|| {
                                     mix_seed(self.shed_seed ^ *ra as u64, time_us)
                                         .cmp(&mix_seed(self.shed_seed ^ *rb as u64, time_us))
                                 })
-                        })
-                        .filter(|(_, s)| {
-                            // The sibling applies its own admission gate.
-                            s.shed_fraction <= 0.0
-                                || unit_from(mix_seed(self.shed_seed, time_us ^ FAILOVER_SALT))
-                                    >= s.shed_fraction
                         })
                         .map(|(r, s)| {
                             // Fluid mode prices the sibling's published
@@ -344,15 +370,14 @@ mod tests {
         vec![RegionSignal {
             wait_high_ms: wait_ms,
             wait_low_ms: wait_ms,
-            shed_fraction: 0.0,
+            ..RegionSignal::default()
         }]
     }
 
     fn shedding(fraction: f64) -> RegionSignal {
         RegionSignal {
-            wait_high_ms: 0.0,
-            wait_low_ms: 0.0,
             shed_fraction: fraction,
+            ..RegionSignal::default()
         }
     }
 
@@ -382,6 +407,7 @@ mod tests {
                 metric: Metric::Energy,
                 failover: FailoverPolicy::ToDevice,
                 fidelity: CloudSimFidelity::Fluid,
+                dispatch: DispatchPolicy::LeastWorkLeft,
             },
             &calm(1),
             0,
@@ -416,6 +442,7 @@ mod tests {
                 metric: Metric::Latency,
                 failover: FailoverPolicy::ToDevice,
                 fidelity: CloudSimFidelity::Fluid,
+                dispatch: DispatchPolicy::LeastWorkLeft,
             },
             &calm(1),
             0,
@@ -429,6 +456,7 @@ mod tests {
                 metric: Metric::Latency,
                 failover: FailoverPolicy::ToDevice,
                 fidelity: CloudSimFidelity::Fluid,
+                dispatch: DispatchPolicy::LeastWorkLeft,
             },
             &waiting(500.0),
             0,
@@ -445,6 +473,7 @@ mod tests {
                 metric: Metric::Latency,
                 failover: FailoverPolicy::ToDevice,
                 fidelity: CloudSimFidelity::Fluid,
+                dispatch: DispatchPolicy::LeastWorkLeft,
             },
             &waiting(500.0),
             0,
@@ -458,6 +487,7 @@ mod tests {
                 metric: Metric::Latency,
                 failover: FailoverPolicy::ToDevice,
                 fidelity: CloudSimFidelity::Fluid,
+                dispatch: DispatchPolicy::LeastWorkLeft,
             },
             &calm(1),
             0,
@@ -478,6 +508,7 @@ mod tests {
                 metric: Metric::Latency,
                 failover: FailoverPolicy::ToDevice,
                 fidelity: CloudSimFidelity::Fluid,
+                dispatch: DispatchPolicy::LeastWorkLeft,
             },
             &calm(1),
             0,
@@ -493,6 +524,7 @@ mod tests {
                 metric: Metric::Latency,
                 failover: FailoverPolicy::ToDevice,
                 fidelity: CloudSimFidelity::Fluid,
+                dispatch: DispatchPolicy::LeastWorkLeft,
             },
             &waiting(3.6e6),
             0,
@@ -519,6 +551,7 @@ mod tests {
                 metric: Metric::Latency,
                 failover: FailoverPolicy::ToDevice,
                 fidelity: CloudSimFidelity::Fluid,
+                dispatch: DispatchPolicy::LeastWorkLeft,
             },
             &signals,
             0,
@@ -549,6 +582,7 @@ mod tests {
                     metric: Metric::Latency,
                     failover: FailoverPolicy::ToDevice,
                     fidelity: CloudSimFidelity::Fluid,
+                    dispatch: DispatchPolicy::LeastWorkLeft,
                 },
                 &calm(3),
                 0,
@@ -562,6 +596,7 @@ mod tests {
                 metric: Metric::Latency,
                 failover: FailoverPolicy::SiblingRegion { penalty_ms: 40.0 },
                 fidelity: CloudSimFidelity::Fluid,
+                dispatch: DispatchPolicy::LeastWorkLeft,
             },
             &signals,
             0,
@@ -573,6 +608,91 @@ mod tests {
         // Charged the sibling's wait plus the inter-region penalty.
         assert!((served.latency_ms - base.latency_ms - 240.0).abs() < 1e-9);
         assert!((served.energy_mj - base.energy_mj).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cost_aware_failover_sheds_to_the_cheapest_viable_sibling() {
+        let mut c = cohort(Metric::Latency);
+        c.fixed_index = Some(c.resolve_fixed(&DeploymentKind::AllCloud).unwrap());
+        let policy = FleetPolicy::Fixed(DeploymentKind::AllCloud);
+        // Own region (0) sheds everything. Sibling 1 is idle but pricey;
+        // sibling 2 carries a 400 ms wait but costs 6× less per job.
+        let pricey = RegionSignal {
+            marginal_cost: 6.0,
+            ..RegionSignal::default()
+        };
+        let cheap_but_busy = RegionSignal {
+            wait_high_ms: 400.0,
+            wait_low_ms: 400.0,
+            marginal_cost: 1.0,
+            ..RegionSignal::default()
+        };
+        let signals = vec![shedding(1.0), pricey, cheap_but_busy];
+        let serve = |dispatch| {
+            let mut d = Device::new(0, false, flat_trace(8.0, 4), 1.0, 1, 0);
+            d.serve(
+                &c,
+                ServeContext {
+                    policy: &policy,
+                    metric: Metric::Latency,
+                    failover: FailoverPolicy::SiblingRegion { penalty_ms: 40.0 },
+                    fidelity: CloudSimFidelity::Fluid,
+                    dispatch,
+                },
+                &signals,
+                0,
+                60_000_000,
+            )
+        };
+        // Least-work dispatch keeps the least-wait choice…
+        let least_work = serve(DispatchPolicy::LeastWorkLeft);
+        assert_eq!(least_work.failover_region, Some(1));
+        // …cost-aware failover pays the wait to shed to the cheap region.
+        let cost_aware = serve(DispatchPolicy::CostAware);
+        assert_eq!(cost_aware.failover_region, Some(2));
+        assert!(cost_aware.offloaded);
+        assert!(
+            cost_aware.latency_ms > least_work.latency_ms,
+            "the cheap sibling charges its 400 ms wait"
+        );
+    }
+
+    #[test]
+    fn fully_shedding_cheapest_sibling_falls_through_to_next_viable() {
+        // Viability gates run *before* selection: when the cheapest
+        // sibling sheds everything, failover must land on the
+        // next-cheapest viable sibling — not collapse to local fallback
+        // because the blocked region kept winning the cost comparison.
+        let mut c = cohort(Metric::Latency);
+        c.fixed_index = Some(c.resolve_fixed(&DeploymentKind::AllCloud).unwrap());
+        let policy = FleetPolicy::Fixed(DeploymentKind::AllCloud);
+        let cheap_but_shedding = RegionSignal {
+            marginal_cost: 1.0,
+            shed_fraction: 1.0,
+            ..RegionSignal::default()
+        };
+        let pricey_but_open = RegionSignal {
+            marginal_cost: 6.0,
+            ..RegionSignal::default()
+        };
+        let signals = vec![shedding(1.0), cheap_but_shedding, pricey_but_open];
+        let mut d = Device::new(0, false, flat_trace(8.0, 4), 1.0, 1, 0);
+        let served = d.serve(
+            &c,
+            ServeContext {
+                policy: &policy,
+                metric: Metric::Latency,
+                failover: FailoverPolicy::SiblingRegion { penalty_ms: 40.0 },
+                fidelity: CloudSimFidelity::Fluid,
+                dispatch: DispatchPolicy::CostAware,
+            },
+            &signals,
+            0,
+            60_000_000,
+        );
+        assert_eq!(served.failover_region, Some(2), "{served:?}");
+        assert!(served.offloaded);
+        assert!(!served.shed_to_local);
     }
 
     #[test]
@@ -589,6 +709,7 @@ mod tests {
                 metric: Metric::Latency,
                 failover: FailoverPolicy::SiblingRegion { penalty_ms: 40.0 },
                 fidelity: CloudSimFidelity::Fluid,
+                dispatch: DispatchPolicy::LeastWorkLeft,
             },
             &signals,
             0,
@@ -615,6 +736,7 @@ mod tests {
                         metric: Metric::Latency,
                         failover: FailoverPolicy::ToDevice,
                         fidelity: CloudSimFidelity::Fluid,
+                        dispatch: DispatchPolicy::LeastWorkLeft,
                     },
                     &signals,
                     0,
@@ -649,6 +771,7 @@ mod tests {
                     metric: Metric::Energy,
                     failover: FailoverPolicy::ToDevice,
                     fidelity: CloudSimFidelity::Fluid,
+                    dispatch: DispatchPolicy::LeastWorkLeft,
                 },
                 &calm(1),
                 i * 60_000_000,

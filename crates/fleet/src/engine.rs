@@ -10,11 +10,14 @@
 //!
 //! At each barrier the engine runs the serving tier's **batch-close
 //! events** in fluid form: merged offload counts are admitted per region,
-//! dispatched across that region's backends by least-work-left
+//! dispatched across that region's backends by (cost-weighted)
 //! water-filling, and each backend closes batches of the size its backlog
 //! and arrival rate imply, draining at the batch-amortized rate. The
-//! barrier then publishes the next epoch's [`RegionSignal`]s — per-class
-//! waits plus the admission controller's shed fraction.
+//! barrier phases are strictly ordered — **drain → scale → publish** —
+//! in both fidelity modes: autoscalers adjust live slot counts *before*
+//! the next epoch's [`RegionSignal`]s (per-class waits, the admission
+//! controller's shed fraction, and the marginal serving cost) are
+//! published, so devices always read post-scale capacity.
 
 use crate::cloud::{
     CloudSimFidelity, CompletedRequest, OffloadRequest, QueueDiscipline, RegionMicrosim,
@@ -246,7 +249,9 @@ impl FleetEngine {
 
             // Barrier: merge offload demand (integer sums, so the result
             // is independent of shard count), run the serving tier's
-            // batch-close events, publish next epoch's signals.
+            // batch-close events, scale, then publish next epoch's
+            // signals — strictly in that order, so published waits and
+            // shed fractions price the post-scale capacity.
             let epoch_ms = (epoch_end - epoch_start) as f64 / 1000.0;
             for (region, serving) in servings.iter_mut().enumerate() {
                 let (high, low) = outputs
@@ -256,7 +261,8 @@ impl FleetEngine {
                 serving.admit(high, low);
                 depth_series[region].push(serving.depth());
                 serving.drain(epoch_ms);
-                signals[region] = serving.signal();
+                serving.scale(epoch_ms);
+                signals[region] = serving.publish();
             }
         }
 
@@ -279,6 +285,10 @@ impl FleetEngine {
                     utilization: stats.busy_ms / horizon_ms,
                     batch_sizes: stats.batch_sizes,
                     sojourn_ms: stats.sojourn_ms,
+                    slot_timeline: stats.slot_timeline,
+                    scaling_events: stats.scale_events,
+                    cost_fp: stats.cost_fp,
+                    cloud_energy_mj: stats.cloud_energy_mj,
                 });
             }
         }
@@ -326,6 +336,7 @@ impl FleetEngine {
         let mut completions: Vec<CompletedRequest> = Vec::new();
 
         for epoch in 0..num_epochs {
+            let epoch_start = epoch as u64 * epoch_us;
             let epoch_end = ((epoch + 1) as u64 * epoch_us).min(horizon_us);
             for (region, s) in wait_series.iter_mut().zip(&signals) {
                 region.push(s.wait_low_ms);
@@ -348,6 +359,8 @@ impl FleetEngine {
                     &completions,
                 );
                 depth_series[region].push(sim.depth());
+                // Scale before publishing, mirroring the fluid barrier.
+                sim.scale(epoch_end, epoch_end - epoch_start);
                 signals[region] = sim.barrier_signal(epoch_end);
             }
         }
@@ -385,6 +398,10 @@ impl FleetEngine {
                     utilization: stats.busy_ms / horizon_ms,
                     batch_sizes: stats.batch_sizes,
                     sojourn_ms: stats.sojourn_ms,
+                    slot_timeline: stats.slot_timeline,
+                    scaling_events: stats.scale_events,
+                    cost_fp: stats.cost_fp,
+                    cloud_energy_mj: stats.cloud_energy_mj,
                 });
             }
         }
@@ -546,6 +563,7 @@ fn advance_shard(
                 metric: scenario.metric,
                 failover: scenario.serving.failover,
                 fidelity: scenario.fidelity,
+                dispatch: scenario.serving.dispatch,
             },
             signals,
             time,
@@ -997,6 +1015,53 @@ mod tests {
             tail.p99 > 2.0 * tail.p50.max(1.0),
             "contention should stretch the tail: {tail:?}"
         );
+    }
+
+    #[test]
+    fn autoscaled_run_reports_timelines_costs_and_reproduces() {
+        // An all-cloud flood against a priced, autoscaled pool: slots must
+        // climb, the report must carry the per-epoch slot timeline,
+        // scaling-event counts, and fixed-point cost/energy totals, and
+        // two runs must agree bit-for-bit — in both fidelity modes.
+        use crate::cloud::{Autoscaler, ScalingSignal};
+        for fidelity in [CloudSimFidelity::Fluid, CloudSimFidelity::PerRequest] {
+            let serving = CloudServing::new(vec![BackendConfig::new("gpu", 1, 400.0, 1.0)
+                .with_price(2.5)
+                .with_energy(0.5)
+                .with_autoscaler(
+                    Autoscaler::new(ScalingSignal::Utilization, 0.7, 0.2, 1, 16)
+                        .with_step(2)
+                        .with_cooldown(0),
+                )]);
+            let mut scenario = small_scenario(2);
+            scenario.policy = FleetPolicy::Fixed(DeploymentKind::AllCloud);
+            scenario.serving = serving;
+            scenario.fidelity = fidelity;
+            let engine = FleetEngine::new(scenario).unwrap();
+            let report = engine.run().unwrap();
+            assert_eq!(report, engine.run().unwrap(), "{fidelity:?}");
+            assert!(report.scaling_events() > 0, "{fidelity:?} never scaled");
+            assert!(report.provision_cost() > 0.0);
+            assert!(report.cloud_energy_mj() > 0.0);
+            assert!(report.price_energy() > 0.0);
+            assert!(
+                report
+                    .backends()
+                    .iter()
+                    .any(|b| b.slot_timeline.iter().max() > Some(&1)),
+                "{fidelity:?}: the loaded region should scale beyond 1 slot"
+            );
+            for b in report.backends() {
+                // One timeline entry per epoch (10 one-minute epochs).
+                assert_eq!(b.slot_timeline.len(), 10, "{fidelity:?}");
+                assert!(*b.slot_timeline.iter().max().unwrap() <= 16);
+                assert_eq!(b.final_slots(), *b.slot_timeline.last().unwrap() as usize);
+                // Cost is exactly Σ slots · price in micro-units.
+                let slot_epochs: u64 = b.slot_timeline.iter().map(|&s| s as u64).sum();
+                assert!((b.provision_cost() - slot_epochs as f64 * 2.5).abs() < 1e-9);
+                assert!((b.cloud_energy_mj() - b.served_jobs * 0.5).abs() < 1e-9);
+            }
+        }
     }
 
     #[test]

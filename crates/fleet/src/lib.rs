@@ -29,8 +29,17 @@
 //!   `linger_ms` expires, and an affine batch cost amortizes the fixed
 //!   part), behind a FIFO/priority queue, an [`AdmissionPolicy`]
 //!   (queue-depth or deadline shedding) and a [`FailoverPolicy`] (shed
-//!   requests fail over to the least-loaded sibling region or fall back to
-//!   the device's local-only option) ([`cloud`]).
+//!   requests fail over to the least-loaded — or, under cost-aware
+//!   dispatch, the cheapest viable — sibling region or fall back to the
+//!   device's local-only option) ([`cloud`]).
+//! * [`Autoscaler`] / [`DispatchPolicy`] — workload autoscaling and
+//!   cost-aware serving: each backend may scale its live slot count at
+//!   epoch barriers from an EWMA-damped utilization or queue-depth signal
+//!   (cooldown, min/max bounds), slots are priced per epoch, and
+//!   [`DispatchPolicy::CostAware`] water-fills by
+//!   price × energy × work-left; the barrier order is strictly
+//!   drain → scale → publish, so published signals always price
+//!   post-scale capacity ([`cloud`]).
 //! * [`CloudSimFidelity`] — how the cloud is simulated:
 //!   [`CloudSimFidelity::Fluid`] (epoch aggregates, the default) or
 //!   [`CloudSimFidelity::PerRequest`], where every offloaded request is a
@@ -145,9 +154,9 @@ pub mod report;
 pub mod scenario;
 
 pub use cloud::{
-    AdmissionPolicy, BackendConfig, BackendStats, BatchPolicy, CloudCapacity, CloudServing,
-    CloudSimFidelity, CompletedRequest, FailoverPolicy, OffloadRequest, QueueDiscipline,
-    RegionMicrosim, RegionServing, RegionSignal,
+    AdmissionPolicy, Autoscaler, BackendConfig, BackendStats, BatchPolicy, CloudCapacity,
+    CloudServing, CloudSimFidelity, CompletedRequest, DispatchPolicy, FailoverPolicy,
+    OffloadRequest, QueueDiscipline, RegionMicrosim, RegionServing, RegionSignal, ScalingSignal,
 };
 pub use device::{Cohort, Device};
 pub use engine::FleetEngine;

@@ -15,7 +15,7 @@ use std::fmt;
 /// unit), summed exactly in `i128` so merge order cannot perturb them.
 const SUM_FP_SCALE: f64 = 1e6;
 
-fn to_fp(value: f64) -> i128 {
+pub(crate) fn to_fp(value: f64) -> i128 {
     // `as` casts saturate at the i128 range (and map NaN to 0), so even
     // pathological inputs cannot wrap the accumulator.
     (value * SUM_FP_SCALE).round() as i128
@@ -339,6 +339,17 @@ pub struct BackendReport {
     /// Per-request cloud sojourn times (arrival → completion, ms). Empty
     /// under the fluid model, which has no per-request times.
     pub sojourn_ms: Histogram,
+    /// Provisioned slot count during each served epoch — constant without
+    /// an autoscaler, a demand-following staircase with one.
+    pub slot_timeline: Vec<u32>,
+    /// Autoscaling events applied over the run (scale-ups + scale-downs).
+    pub scaling_events: u64,
+    /// Provisioned cost in fixed-point micro-units:
+    /// `Σ_epochs slots · price_per_slot_epoch` (exact, merge-order
+    /// independent).
+    pub(crate) cost_fp: i128,
+    /// Cloud-side energy over the run (mJ): served jobs × per-job energy.
+    pub(crate) cloud_energy_mj: f64,
 }
 
 impl BackendReport {
@@ -355,6 +366,26 @@ impl BackendReport {
     /// under the fluid model — [`Histogram::tail_summary`] of empty).
     pub fn tail(&self) -> TailSummary {
         self.sojourn_ms.tail_summary()
+    }
+
+    /// Provisioned cost over the run:
+    /// `Σ_epochs slots · price_per_slot_epoch` (0 for unpriced backends).
+    pub fn provision_cost(&self) -> f64 {
+        self.cost_fp as f64 / SUM_FP_SCALE
+    }
+
+    /// Cloud-side energy spent serving this backend's jobs (mJ; 0 when
+    /// `energy_per_job_mj` is unmodeled).
+    pub fn cloud_energy_mj(&self) -> f64 {
+        self.cloud_energy_mj
+    }
+
+    /// Provisioned slots at the end of the run (the configured count if
+    /// no epoch completed).
+    pub fn final_slots(&self) -> usize {
+        self.slot_timeline
+            .last()
+            .map_or(self.slots, |&s| s as usize)
     }
 }
 
@@ -557,6 +588,35 @@ impl FleetReport {
         self.energy.sum()
     }
 
+    /// Total provisioned cloud cost across all backends:
+    /// `Σ_epochs slots · price_per_slot_epoch` per backend, summed exactly
+    /// in fixed point (0 when no backend is priced).
+    pub fn provision_cost(&self) -> f64 {
+        self.backends
+            .iter()
+            .map(|b| b.cost_fp)
+            .fold(0i128, i128::saturating_add) as f64
+            / SUM_FP_SCALE
+    }
+
+    /// Total cloud-side serving energy across all backends (mJ; 0 when
+    /// unmodeled).
+    pub fn cloud_energy_mj(&self) -> f64 {
+        self.backends.iter().map(|b| b.cloud_energy_mj).sum()
+    }
+
+    /// Total autoscaling events applied across all backends.
+    pub fn scaling_events(&self) -> u64 {
+        self.backends.iter().map(|b| b.scaling_events).sum()
+    }
+
+    /// The price × energy figure of merit the cost-aware serving tier
+    /// minimizes: provisioned cost × cloud serving energy. Zero whenever
+    /// either axis is unmodeled — compare runs only when both are priced.
+    pub fn price_energy(&self) -> f64 {
+        self.provision_cost() * self.cloud_energy_mj()
+    }
+
     /// Total end-to-end latency accumulated by the fleet (ms).
     pub fn total_latency_ms(&self) -> f64 {
         self.latency.sum()
@@ -602,6 +662,12 @@ impl FleetReport {
             feed(b.busy_ms.to_bits());
             feed(b.sojourn_ms.count());
             feed_fp(&mut feed, b.sojourn_ms.sum_fp());
+            feed(b.scaling_events);
+            feed_fp(&mut feed, b.cost_fp);
+            feed(b.cloud_energy_mj.to_bits());
+            for &slots in &b.slot_timeline {
+                feed(slots as u64);
+            }
         }
         for s in &self.cloud_sojourn {
             feed(s.count());
@@ -659,7 +725,7 @@ impl fmt::Display for FleetReport {
             )?;
         }
         for b in &self.backends {
-            writeln!(
+            write!(
                 f,
                 "  {:<10}/{:<8} {:>9.0} jobs in {:>8.0} batches (mean {:>5.1}/batch), {:>5.1}% util",
                 b.region,
@@ -669,6 +735,16 @@ impl fmt::Display for FleetReport {
                 b.mean_batch(),
                 100.0 * b.utilization
             )?;
+            if b.scaling_events > 0 || b.cost_fp != 0 {
+                write!(
+                    f,
+                    ", {} slots ({} scale events), cost {:.2}",
+                    b.final_slots(),
+                    b.scaling_events,
+                    b.provision_cost()
+                )?;
+            }
+            writeln!(f)?;
         }
         for (r, s) in self.per_region.iter().zip(&self.cloud_sojourn) {
             if s.count() > 0 {
@@ -889,6 +965,10 @@ mod tests {
             utilization: 0.5,
             batch_sizes: Histogram::new(1.0, 8),
             sojourn_ms: Histogram::new(1.0, 8),
+            slot_timeline: vec![2, 2, 4],
+            scaling_events: 1,
+            cost_fp: 8_000_000,
+            cloud_energy_mj: 25.0,
         }]);
         let s = format!("{r}");
         assert!(s.contains("fleet report"));

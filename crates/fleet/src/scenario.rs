@@ -292,7 +292,11 @@ impl FleetScenarioBuilder {
     }
 
     /// Sets the full per-region serving tier: heterogeneous batched
-    /// backends, queue discipline, admission control, and failover.
+    /// backends (optionally priced and autoscaled), queue discipline,
+    /// dispatch policy (least-work-left or cost-aware), admission
+    /// control, and failover. Cross-field constraints — including
+    /// autoscaler bounds and price/energy sanity — are checked by
+    /// [`CloudServing::validate`] at [`build`](FleetScenarioBuilder::build).
     pub fn serving(mut self, serving: CloudServing) -> Self {
         self.serving = serving;
         self
@@ -452,6 +456,54 @@ mod tests {
             .unwrap_err();
         match err {
             FleetError::InvalidScenario(why) => assert!(why.contains("backend"), "{why}"),
+            other => panic!("expected InvalidScenario, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn autoscaled_cost_aware_tier_round_trips_through_the_builder() {
+        use crate::cloud::{Autoscaler, DispatchPolicy, ScalingSignal};
+        let serving = CloudServing::new(vec![BackendConfig::new("gpu", 2, 32.0, 1.0)
+            .with_batching(32, 50.0)
+            .with_price(4.0)
+            .with_energy(2.0)
+            .with_autoscaler(
+                Autoscaler::new(ScalingSignal::Utilization, 0.7, 0.3, 1, 8).with_step(2),
+            )])
+        .with_dispatch(DispatchPolicy::CostAware);
+        let s = FleetScenario::builder()
+            .serving(serving.clone())
+            .build()
+            .unwrap();
+        assert_eq!(s.serving(), &serving);
+        assert_eq!(s.serving().dispatch, DispatchPolicy::CostAware);
+        assert!(s.serving().backends[0].autoscaler.is_some());
+    }
+
+    #[test]
+    fn invalid_autoscaler_and_prices_are_rejected_at_build() {
+        use crate::cloud::{Autoscaler, ScalingSignal};
+        // Initial slots outside the autoscaler's bounds…
+        let outside = CloudServing::new(vec![BackendConfig::new("gpu", 16, 32.0, 1.0)
+            .with_autoscaler(Autoscaler::new(ScalingSignal::QueueDepth, 8.0, 0.5, 1, 8))]);
+        let err = FleetScenario::builder()
+            .serving(outside)
+            .build()
+            .unwrap_err();
+        match err {
+            FleetError::InvalidScenario(why) => assert!(why.contains("outside"), "{why}"),
+            other => panic!("expected InvalidScenario, got {other:?}"),
+        }
+        // …and a non-finite price both fail the scenario build.
+        let priced = CloudServing::new(vec![
+            BackendConfig::new("gpu", 2, 32.0, 1.0).with_price(f64::INFINITY)
+        ]);
+        let err = FleetScenario::builder()
+            .serving(priced)
+            .build()
+            .unwrap_err();
+        match err {
+            FleetError::InvalidScenario(why) => assert!(why.contains("price"), "{why}"),
             other => panic!("expected InvalidScenario, got {other:?}"),
         }
     }

@@ -64,10 +64,10 @@ pub mod prelude {
         profile_network, DeviceProfile, LayerPerformanceModel, PerformancePredictor,
     };
     pub use lens_fleet::{
-        AdmissionPolicy, ArrivalModel, BackendConfig, BackendReport, BatchPolicy, CloudCapacity,
-        CloudServing, CloudSimFidelity, FailoverPolicy, FleetEngine, FleetPolicy, FleetReport,
-        FleetScenario, OffloadRequest, QueueDiscipline, RegionMicrosim, RegionServing, RegionShare,
-        TailSummary,
+        AdmissionPolicy, ArrivalModel, Autoscaler, BackendConfig, BackendReport, BatchPolicy,
+        CloudCapacity, CloudServing, CloudSimFidelity, DispatchPolicy, FailoverPolicy, FleetEngine,
+        FleetPolicy, FleetReport, FleetScenario, OffloadRequest, QueueDiscipline, RegionMicrosim,
+        RegionServing, RegionShare, ScalingSignal, TailSummary,
     };
     pub use lens_nn::units::{Bytes, Mbps, Millijoules, Millis, Milliwatts};
     pub use lens_nn::{zoo, Network, NetworkBuilder, TensorShape};

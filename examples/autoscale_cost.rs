@@ -1,0 +1,232 @@
+//! Autoscaling and cost-aware serving under a diurnal load curve.
+//!
+//! PRs 3–4 gave each region a batched, admission-controlled serving tier,
+//! but its backends were *static*: slot counts fixed for the whole run and
+//! dispatch blind to price. Real regions absorb diurnal load by scaling
+//! capacity with demand and by steering work toward cheap pools. This
+//! example exercises both PR 5 features:
+//!
+//! 1. **Autoscaling vs. static peak provisioning** — sweeping a diurnal
+//!    load curve (hour-by-hour population multipliers) against the same
+//!    backend, once provisioned at peak and once behind a
+//!    target-utilization [`Autoscaler`]. The autoscaled tier holds p99
+//!    within the latency budget while paying materially less
+//!    price × energy: off-peak hours run on a fraction of the slots.
+//! 2. **Cost-aware dispatch** — a heterogeneous (pricey GPU + cheap CPU)
+//!    autoscaled tier at the peak hour, dispatched by least-work-left vs.
+//!    [`DispatchPolicy::CostAware`] (price × energy × work-left
+//!    water-filling). Cost-aware dispatch routes flow toward the cheap
+//!    pool, the pricey pool scales down behind it, and the price × energy
+//!    bill drops at comparable tails.
+//! 3. **Determinism** — autoscaler state is barrier-side and
+//!    demand-driven, so the per-request run (slot timelines included)
+//!    reproduces digest-for-digest.
+//!
+//! ```sh
+//! cargo run --release -p lens --example autoscale_cost
+//! ```
+
+use lens::prelude::*;
+use std::time::Instant;
+
+/// Hour-by-hour population multipliers — a stylized diurnal curve with a
+/// nighttime trough and an evening peak.
+const DIURNAL: [(u32, usize); 8] = [
+    (0, 1),
+    (3, 1),
+    (6, 2),
+    (9, 4),
+    (12, 6),
+    (15, 8),
+    (18, 4),
+    (21, 2),
+];
+/// Devices per multiplier unit.
+const BASE_POPULATION: usize = 150;
+/// Slots a static tier must provision to survive the peak hour.
+const PEAK_SLOTS: usize = 8;
+/// The p99 cloud-sojourn budget (ms) both tiers are held to.
+const P99_BUDGET_MS: f64 = 2_000.0;
+
+/// The single-backend pool both provisioning strategies share: a batched
+/// GPU priced per provisioned slot-epoch, with a per-job serving energy.
+fn gpu(slots: usize) -> BackendConfig {
+    BackendConfig::new("gpu", slots, 150.0, 5.0)
+        .with_batching(8, 50.0)
+        .with_price(1.0)
+        .with_energy(0.5)
+}
+
+fn static_peak() -> CloudServing {
+    CloudServing::new(vec![gpu(PEAK_SLOTS)])
+}
+
+fn autoscaled() -> CloudServing {
+    CloudServing::new(vec![gpu(1).with_autoscaler(
+        Autoscaler::new(ScalingSignal::Utilization, 0.65, 0.30, 1, PEAK_SLOTS)
+            .with_step(2)
+            .with_cooldown(0)
+            .with_alpha(0.7),
+    )])
+}
+
+fn run_hour(population: usize, serving: CloudServing, seed: u64) -> FleetReport {
+    let scenario = FleetScenario::builder()
+        .population(population)
+        .horizon(Millis::new(600_000.0)) // one "hour" = 10 simulated min
+        .trace_interval(Millis::new(60_000.0))
+        .regions(vec![RegionShare::new(
+            Region::new("USA", Mbps::new(7.5)),
+            1.0,
+        )])
+        .serving(serving)
+        .policy(FleetPolicy::Fixed(DeploymentKind::AllCloud))
+        .metric(Metric::Latency)
+        .seed(seed)
+        .shards(2)
+        .fidelity(CloudSimFidelity::PerRequest)
+        .build()
+        .expect("valid scenario");
+    FleetEngine::new(scenario)
+        .expect("engine builds")
+        .run()
+        .expect("run succeeds")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let start = Instant::now();
+    println!("== autoscaling & cost-aware serving vs. static peak provisioning ==\n");
+
+    // ---- 1. the diurnal sweep ----
+    println!(
+        "{:>5} {:>8} | {:>10} {:>10} {:>6} | {:>10} {:>10} {:>6}  slot timeline (auto)",
+        "hour", "devices", "static $", "p99 ms", "slots", "auto $", "p99 ms", "slots",
+    );
+    let mut static_cost = 0.0;
+    let mut static_energy = 0.0;
+    let mut auto_cost = 0.0;
+    let mut auto_energy = 0.0;
+    for (hour, multiplier) in DIURNAL {
+        let population = BASE_POPULATION * multiplier;
+        let seed = 1000 + hour as u64;
+        let fixed = run_hour(population, static_peak(), seed);
+        let scaled = run_hour(population, autoscaled(), seed);
+
+        let fixed_tail = fixed.region_tail(0);
+        let scaled_tail = scaled.region_tail(0);
+        assert!(
+            fixed_tail.p99 <= P99_BUDGET_MS && scaled_tail.p99 <= P99_BUDGET_MS,
+            "hour {hour}: p99 budget blown (static {:.0} ms, auto {:.0} ms)",
+            fixed_tail.p99,
+            scaled_tail.p99
+        );
+        // Both tiers serve the identical offered load.
+        assert_eq!(fixed.offloaded(), scaled.offloaded());
+
+        let timeline = &scaled.backends()[0].slot_timeline;
+        println!(
+            "{:>5} {:>8} | {:>10.1} {:>10.1} {:>6} | {:>10.1} {:>10.1} {:>6}  {:?}",
+            hour,
+            population,
+            fixed.provision_cost(),
+            fixed_tail.p99,
+            fixed.backends()[0].final_slots(),
+            scaled.provision_cost(),
+            scaled_tail.p99,
+            scaled.backends()[0].final_slots(),
+            timeline,
+        );
+        static_cost += fixed.provision_cost();
+        static_energy += fixed.cloud_energy_mj();
+        auto_cost += scaled.provision_cost();
+        auto_energy += scaled.cloud_energy_mj();
+    }
+    let static_pe = static_cost * static_energy;
+    let auto_pe = auto_cost * auto_energy;
+    println!(
+        "\nday totals: static cost {static_cost:.0} × energy {static_energy:.0} mJ → price·energy {static_pe:.2e}"
+    );
+    println!(
+        "            auto   cost {auto_cost:.0} × energy {auto_energy:.0} mJ → price·energy {auto_pe:.2e}  ({:.1}× cheaper)",
+        static_pe / auto_pe
+    );
+    assert!(
+        auto_pe < 0.6 * static_pe,
+        "autoscaling must be materially cheaper: {auto_pe:.3e} !< 0.6 × {static_pe:.3e}"
+    );
+
+    // ---- 2. cost-aware dispatch on a heterogeneous tier ----
+    let hetero = |dispatch: DispatchPolicy| {
+        let pricey_gpu = BackendConfig::new("gpu", 2, 100.0, 2.0)
+            .with_batching(16, 50.0)
+            .with_price(6.0)
+            .with_energy(2.0)
+            .with_autoscaler(
+                Autoscaler::new(ScalingSignal::Utilization, 0.65, 0.30, 1, 6)
+                    .with_cooldown(0)
+                    .with_alpha(0.7),
+            );
+        let cheap_cpu = BackendConfig::new("cpu", 2, 120.0, 25.0)
+            .with_batching(4, 25.0)
+            .with_price(1.0)
+            .with_energy(1.0)
+            .with_autoscaler(
+                Autoscaler::new(ScalingSignal::Utilization, 0.65, 0.30, 1, 12)
+                    .with_cooldown(0)
+                    .with_alpha(0.7),
+            );
+        run_hour(
+            BASE_POPULATION * 8,
+            CloudServing::new(vec![pricey_gpu, cheap_cpu]).with_dispatch(dispatch),
+            42,
+        )
+    };
+    let least_work = hetero(DispatchPolicy::LeastWorkLeft);
+    let cost_aware = hetero(DispatchPolicy::CostAware);
+    println!("\npeak-hour heterogeneous tier (pricey gpu + cheap cpu), by dispatch policy:");
+    for (name, report) in [("least-work", &least_work), ("cost-aware", &cost_aware)] {
+        let shares: Vec<String> = report
+            .backends()
+            .iter()
+            .map(|b| {
+                format!(
+                    "{} {:.0}%",
+                    b.backend,
+                    100.0 * b.served_jobs / report.offloaded() as f64
+                )
+            })
+            .collect();
+        println!(
+            "  {name}: cost {:>6.1} × energy {:>7.0} mJ → price·energy {:.3e}, p99 {:>6.1} ms  ({})",
+            report.provision_cost(),
+            report.cloud_energy_mj(),
+            report.price_energy(),
+            report.region_tail(0).p99,
+            shares.join(", "),
+        );
+    }
+    assert!(
+        cost_aware.price_energy() < least_work.price_energy(),
+        "cost-aware dispatch must lower price × energy: {:.3e} !< {:.3e}",
+        cost_aware.price_energy(),
+        least_work.price_energy()
+    );
+    assert!(
+        cost_aware.region_tail(0).p99 <= P99_BUDGET_MS,
+        "cost-aware tails must stay within budget"
+    );
+
+    // ---- 3. determinism, slot timelines included ----
+    let (_, peak_multiplier) = DIURNAL[5];
+    let again = run_hour(BASE_POPULATION * peak_multiplier, autoscaled(), 1015);
+    let first = run_hour(BASE_POPULATION * peak_multiplier, autoscaled(), 1015);
+    assert_eq!(first, again, "determinism contract violated");
+    println!(
+        "\nrepeat-run digest {:#018x} == first-run digest {:#018x}",
+        again.digest(),
+        first.digest()
+    );
+
+    println!("total example time {:.2?}", start.elapsed());
+    Ok(())
+}

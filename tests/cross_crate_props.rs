@@ -245,6 +245,71 @@ proptest! {
         let sojourns: u64 = report.cloud_sojourn().iter().map(|h| h.count()).sum();
         prop_assert_eq!(sojourns, report.offloaded());
     }
+
+    /// Autoscaler slot-count timelines are barrier-side functions of
+    /// merged integer demand, so — like the rest of the report — they
+    /// must be bit-identical across 1/2/4 shards in both fidelity modes,
+    /// for arbitrary seeded autoscaler configurations.
+    #[test]
+    fn prop_autoscaled_slot_timelines_shard_invariant(
+        seed in 0u64..10_000,
+        signal_choice in 0u8..2,
+        scale_up in 0.4f64..4.0,
+        cooldown in 0u32..3,
+        step in 1usize..4,
+        service_ms in 50.0f64..800.0,
+    ) {
+        let auto = Autoscaler::new(
+            if signal_choice == 0 { ScalingSignal::Utilization } else { ScalingSignal::QueueDepth },
+            scale_up,
+            scale_up / 4.0,
+            1,
+            10,
+        )
+        .with_cooldown(cooldown)
+        .with_step(step);
+        let scenario = |shards: usize, fidelity: CloudSimFidelity| {
+            let serving = CloudServing::new(vec![BackendConfig::new("gpu", 1, service_ms, 1.0)
+                .with_price(2.0)
+                .with_energy(0.5)
+                .with_autoscaler(auto)])
+            .with_dispatch(DispatchPolicy::CostAware);
+            FleetScenario::builder()
+                .population(120)
+                .horizon(Millis::new(300_000.0)) // 5 minutes
+                .trace_interval(Millis::new(60_000.0))
+                .serving(serving)
+                .policy(FleetPolicy::Fixed(DeploymentKind::AllCloud))
+                .metric(Metric::Latency)
+                .seed(seed)
+                .shards(shards)
+                .fidelity(fidelity)
+                .build()
+                .unwrap()
+        };
+        for fidelity in [CloudSimFidelity::Fluid, CloudSimFidelity::PerRequest] {
+            let one = FleetEngine::new(scenario(1, fidelity)).unwrap().run().unwrap();
+            for shards in [2usize, 4] {
+                let other = FleetEngine::new(scenario(shards, fidelity)).unwrap().run().unwrap();
+                for (a, b) in one.backends().iter().zip(other.backends()) {
+                    prop_assert_eq!(
+                        &a.slot_timeline,
+                        &b.slot_timeline,
+                        "{:?} timeline differs at {} shards",
+                        fidelity,
+                        shards
+                    );
+                    prop_assert_eq!(a.scaling_events, b.scaling_events);
+                    prop_assert_eq!(a.provision_cost(), b.provision_cost());
+                }
+                prop_assert_eq!(one.digest(), other.digest());
+            }
+            for b in one.backends() {
+                prop_assert_eq!(b.slot_timeline.len(), 5, "one entry per epoch");
+                prop_assert!(b.slot_timeline.iter().all(|&s| (1..=10).contains(&s)));
+            }
+        }
+    }
 }
 
 /// Helper trait used by `prop_alg1_min_is_true_min`: brute-force minimum

@@ -133,6 +133,84 @@ fn per_request_batched_report_is_bit_identical_across_1_2_4_shards() {
     assert!(one.backends().iter().any(|b| b.sojourn_ms.count() > 0));
 }
 
+/// A diurnal-ish congested scenario exercising every PR 5 feature at
+/// once: priced, autoscaled backends (utilization + queue-depth signals),
+/// cost-aware dispatch, deadline admission, and sibling failover.
+fn autoscaled_scenario(shards: usize, fidelity: CloudSimFidelity) -> FleetScenario {
+    let serving = CloudServing::new(vec![
+        BackendConfig::new("gpu", 2, 2000.0, 10.0)
+            .with_batching(32, 500.0)
+            .with_price(4.0)
+            .with_energy(2.0)
+            .with_autoscaler(
+                Autoscaler::new(ScalingSignal::Utilization, 0.7, 0.25, 1, 8)
+                    .with_step(2)
+                    .with_cooldown(1),
+            ),
+        BackendConfig::new("cpu", 2, 500.0, 250.0)
+            .with_batching(4, 250.0)
+            .with_price(1.0)
+            .with_energy(1.0)
+            .with_autoscaler(
+                Autoscaler::new(ScalingSignal::QueueDepth, 8.0, 0.5, 1, 12).with_alpha(0.6),
+            ),
+    ])
+    .with_priority(0.2)
+    .with_dispatch(DispatchPolicy::CostAware)
+    .with_admission(AdmissionPolicy::Deadline {
+        max_wait_ms: 10_000.0,
+    })
+    .with_failover(FailoverPolicy::SiblingRegion { penalty_ms: 80.0 });
+    FleetScenario::builder()
+        .population(6000)
+        .horizon(Millis::new(1_200_000.0)) // 20 minutes
+        .trace_interval(Millis::new(60_000.0))
+        .serving(serving)
+        .policy(FleetPolicy::Dynamic)
+        .metric(Metric::Energy)
+        .seed(23)
+        .shards(shards)
+        .fidelity(fidelity)
+        .build()
+        .expect("valid scenario")
+}
+
+#[test]
+fn autoscaled_cost_aware_report_is_bit_identical_across_1_2_4_shards() {
+    // The PR 5 extension of the shard-invariance pin: autoscaler state
+    // (slot timelines, scaling events) and fixed-point cost totals are
+    // barrier-side functions of merged integer demand, so the full report
+    // — timelines included — cannot depend on sharding, in either
+    // fidelity mode.
+    for fidelity in [CloudSimFidelity::Fluid, CloudSimFidelity::PerRequest] {
+        let one = FleetEngine::new(autoscaled_scenario(1, fidelity))
+            .expect("engine builds")
+            .run()
+            .expect("run succeeds");
+        for shards in [2, 4] {
+            let other = FleetEngine::new(autoscaled_scenario(shards, fidelity))
+                .expect("engine builds")
+                .run()
+                .expect("run succeeds");
+            assert_eq!(one, other, "{fidelity:?} report differs at {shards} shards");
+            assert_eq!(one.digest(), other.digest());
+        }
+        // The scenario genuinely scales and prices the tier.
+        assert!(one.scaling_events() > 0, "{fidelity:?} never scaled");
+        assert!(one.provision_cost() > 0.0);
+        assert!(one.cloud_energy_mj() > 0.0);
+        for b in one.backends() {
+            assert_eq!(b.slot_timeline.len(), 20, "one entry per epoch");
+        }
+        assert!(
+            one.backends()
+                .iter()
+                .any(|b| b.slot_timeline.iter().max() != b.slot_timeline.iter().min()),
+            "{fidelity:?}: some slot timeline should move with demand"
+        );
+    }
+}
+
 /// Fluid-vs-discrete cross-check: on the same congested scenario with
 /// open admission and a wait-blind policy (dynamic on energy), both
 /// fidelities make bit-identical device decisions, so all decision-driven
