@@ -37,6 +37,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod cnn;
 pub mod dataset;
 pub mod surrogate;

@@ -1,0 +1,8 @@
+//! Fixture: `ambient-entropy` must fire exactly once. Every RNG stream
+//! must be derived from the scenario seed; an OS-entropy generator makes
+//! two identically-seeded runs diverge.
+
+pub fn sample() -> u32 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}

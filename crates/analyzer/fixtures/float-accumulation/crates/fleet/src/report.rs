@@ -1,0 +1,11 @@
+//! Fixture: `float-accumulation` must fire exactly once. A raw `f64`
+//! running sum in a report path makes the digest depend on merge order;
+//! real code routes through the `to_fp`/`i128` fixed-point machinery.
+
+pub fn mean_latency(samples: &[f64]) -> f64 {
+    let mut total = 0.0;
+    for sample in samples {
+        total += sample;
+    }
+    total / samples.len() as f64
+}

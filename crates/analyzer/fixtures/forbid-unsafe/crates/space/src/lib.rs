@@ -1,0 +1,7 @@
+//! Fixture: `forbid-unsafe` must fire exactly once — this crate root is
+//! deliberately missing `#![forbid(unsafe_code)]`, the attribute every
+//! non-bench crate must carry.
+
+pub fn answer() -> u64 {
+    42
+}

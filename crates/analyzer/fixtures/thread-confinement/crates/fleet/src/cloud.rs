@@ -1,0 +1,8 @@
+//! Fixture: `thread-confinement` must fire exactly once. Only the
+//! engine's shard module may fork workers — a stray thread here would
+//! race the barrier's deterministic merge order.
+
+pub fn fan_out() -> u64 {
+    let handle = std::thread::spawn(|| 7u64);
+    handle.join().unwrap_or(0)
+}

@@ -1,0 +1,7 @@
+//! Fixture: `truncating-cast` must fire exactly once. A report counter
+//! narrowed with `as` silently wraps at population scale, so the digest
+//! would depend on fleet size instead of behavior.
+
+pub fn narrow_counter(inferences: u64) -> u32 {
+    inferences as u32
+}

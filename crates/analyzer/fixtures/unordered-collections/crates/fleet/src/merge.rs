@@ -1,0 +1,11 @@
+//! Fixture: `unordered-collections` must fire exactly once (line 5).
+//! A merge buffer with randomized iteration order would let shard-merge
+//! sequence leak into the report digest.
+
+pub fn tally(pairs: &[(u64, u64)]) -> usize {
+    let mut counts = std::collections::HashMap::new();
+    for (key, value) in pairs {
+        counts.insert(*key, *value);
+    }
+    counts.len()
+}

@@ -1,0 +1,7 @@
+//! Fixture: `wall-clock` must fire exactly once. Simulated time comes
+//! from the event heap; a host-clock read makes runs irreproducible.
+
+pub fn elapsed_nanos() -> u128 {
+    let started = std::time::Instant::now();
+    started.elapsed().as_nanos()
+}

@@ -1,0 +1,166 @@
+//! Orchestration: walk `crates/*/src/**/*.rs` under a root, run the
+//! rules over each file, and resolve allowlist annotations into a
+//! [`Report`].
+
+use crate::reporting::{AnnotationIssue, Finding, Report};
+use crate::rules::{match_rules, FileLoc, RuleId};
+use crate::scanner::strip;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Scans a single source text as if it lived at `rel_path` under the
+/// workspace root. Pure — this is what the fixture and round-trip tests
+/// drive.
+pub fn scan_str(rel_path: &str, source: &str) -> Report {
+    let mut report = Report {
+        files_scanned: 1,
+        ..Report::default()
+    };
+    scan_into(rel_path, source, &mut report);
+    report
+}
+
+fn scan_into(rel_path: &str, source: &str, report: &mut Report) {
+    let loc = FileLoc::from_rel_path(rel_path);
+    let stripped = strip(source);
+    let source_lines: Vec<&str> = source.lines().collect();
+    for err in &stripped.errors {
+        report.annotation_issues.push(AnnotationIssue {
+            path: rel_path.to_string(),
+            line: err.line,
+            message: err.message.clone(),
+        });
+    }
+    for (rule, line) in match_rules(&loc, &stripped.code) {
+        let allowed = stripped
+            .allows
+            .iter()
+            .find(|a| a.rule == rule && a.target_line == line)
+            .map(|a| a.reason.clone());
+        let snippet = if rule == RuleId::ForbidUnsafe {
+            "missing #![forbid(unsafe_code)] at the crate root".to_string()
+        } else {
+            source_lines
+                .get(line - 1)
+                .map(|l| l.trim().to_string())
+                .unwrap_or_default()
+        };
+        report.findings.push(Finding {
+            rule,
+            path: rel_path.to_string(),
+            line,
+            module_path: loc.module_path(),
+            snippet,
+            allowed,
+        });
+    }
+}
+
+/// Scans every `crates/*/src/**/*.rs` file under `root` (the workspace
+/// root, or a fixture tree mirroring its layout). Files are visited in
+/// sorted order, so reports are deterministic.
+pub fn scan_root(root: &Path) -> io::Result<Report> {
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+        .map(|e| e.map(|e| e.path()))
+        .collect::<io::Result<_>>()?;
+    crate_dirs.sort();
+    let mut report = Report::default();
+    for crate_dir in crate_dirs {
+        let src = crate_dir.join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        collect_rs_files(&src, &mut files)?;
+        files.sort();
+        for file in files {
+            let rel = file
+                .strip_prefix(root)
+                .expect("file is under root")
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect::<Vec<_>>()
+                .join("/");
+            let source = fs::read_to_string(&file)?;
+            scan_into(&rel, &source, &mut report);
+            report.files_scanned += 1;
+        }
+    }
+    // Deterministic finding order regardless of filesystem quirks.
+    report
+        .findings
+        .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    Ok(report)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// The workspace root this analyzer was built in (two levels up from the
+/// crate manifest) — the default scan root for `cargo run -p
+/// lens-analyzer`.
+pub fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/analyzer has a grandparent")
+        .to_path_buf()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_str_finds_and_allows() {
+        let src = "pub fn f() {\n    let m = std::collections::HashMap::<u64, u64>::new();\n    drop(m);\n}\n";
+        let report = scan_str("crates/fleet/src/merge.rs", src);
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].rule, RuleId::UnorderedCollections);
+        assert_eq!(report.findings[0].line, 2);
+        assert_eq!(report.findings[0].module_path, "lens-fleet::merge");
+        assert_eq!(report.exit_code(), 1);
+
+        let annotated = src.replace(
+            "    let m",
+            "    // lens-analyzer: allow(unordered-collections): scratch map, drained via sorted keys\n    let m",
+        );
+        let report = scan_str("crates/fleet/src/merge.rs", &annotated);
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(
+            report.findings[0].allowed.as_deref(),
+            Some("scratch map, drained via sorted keys")
+        );
+        assert_eq!(report.exit_code(), 0);
+    }
+
+    #[test]
+    fn bench_crate_is_exempt_from_wall_clock() {
+        let src = "pub fn t() -> std::time::Instant {\n    std::time::Instant::now()\n}\n";
+        // bench is exempt from both wall-clock and forbid-unsafe:
+        assert!(scan_str("crates/bench/src/lib.rs", src).is_clean());
+        // while the same text in a non-bench crate fires twice (two
+        // Instant lines):
+        let report = scan_str("crates/runtime/src/clock.rs", src);
+        assert_eq!(report.findings.len(), 2);
+        assert!(report.findings.iter().all(|f| f.rule == RuleId::WallClock));
+    }
+
+    #[test]
+    fn workspace_root_points_at_the_repo() {
+        assert!(workspace_root()
+            .join("crates/analyzer/Cargo.toml")
+            .is_file());
+    }
+}

@@ -1,0 +1,41 @@
+//! `lens-analyzer` — the workspace-native determinism auditor.
+//!
+//! The repo's core guarantee is that the same seed produces a
+//! **bit-identical** `FleetReport`, invariant across 1/2/4 shards. The
+//! runtime pins in `tests/fleet_sim.rs` check that *dynamically*; this
+//! crate guards it *statically*, rejecting the hazards that racy
+//! refactors sneak in — unordered iteration, wall-clock reads, raw float
+//! accumulation, truncating counter casts, missing `forbid(unsafe_code)`,
+//! stray thread spawns, and ambient-entropy RNGs — before they ever reach
+//! a determinism test.
+//!
+//! The engine is a lightweight, module-path-aware line/token scanner
+//! (comments and literal contents are lexically stripped first), with no
+//! dependencies at all, consistent with the workspace's offline-shims
+//! constraint. It is not a type checker: the rules trade a small amount
+//! of recall for zero false positives on idiomatic code, and every rule
+//! can be locally waived with a justified annotation:
+//!
+//! ```text
+//! // lens-analyzer: allow(unordered-collections): drained via sorted keys
+//! ```
+//!
+//! Run it over the workspace with `cargo run -p lens-analyzer`
+//! (`-- --format json` for the machine-readable summary; exits nonzero
+//! on any unallowed violation). The rules, their scopes, and what each
+//! one protects are documented in `docs/ARCHITECTURE.md` under
+//! "Determinism rules"; `tests/static_analysis.rs` regression-tests the
+//! analyzer itself against the seeded fixtures in
+//! `crates/analyzer/fixtures/`.
+
+#![forbid(unsafe_code)]
+
+mod analyze;
+mod reporting;
+mod rules;
+mod scanner;
+
+pub use analyze::{scan_root, scan_str, workspace_root};
+pub use reporting::{AnnotationIssue, Finding, Report};
+pub use rules::{FileLoc, RuleId};
+pub use scanner::{Allow, AnnotationError, Stripped};

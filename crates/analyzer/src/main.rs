@@ -1,0 +1,68 @@
+//! CLI for the determinism auditor.
+//!
+//! ```text
+//! cargo run -p lens-analyzer                       # human diagnostics
+//! cargo run -p lens-analyzer -- --format json      # machine-readable
+//! cargo run -p lens-analyzer -- --root <dir>       # scan another tree
+//! ```
+//!
+//! Exit codes: 0 = clean (allowed findings are fine), 1 = at least one
+//! unallowed violation or malformed annotation, 2 = usage or I/O error.
+
+#![forbid(unsafe_code)]
+
+use lens_analyzer::{scan_root, workspace_root};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+enum Format {
+    Human,
+    Json,
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut format = Format::Human;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage("--root needs a directory"),
+            },
+            "--format" => match args.next().as_deref() {
+                Some("human") => format = Format::Human,
+                Some("json") => format = Format::Json,
+                other => {
+                    return usage(&format!(
+                        "--format must be `human` or `json`, got {other:?}"
+                    ))
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: lens-analyzer [--root <dir>] [--format human|json]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    let root = root.unwrap_or_else(workspace_root);
+    let report = match scan_root(&root) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("lens-analyzer: cannot scan {}: {err}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    match format {
+        Format::Human => print!("{}", report.render_human()),
+        Format::Json => print!("{}", report.to_json()),
+    }
+    ExitCode::from(u8::try_from(report.exit_code()).unwrap_or(1))
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("lens-analyzer: {msg}");
+    eprintln!("usage: lens-analyzer [--root <dir>] [--format human|json]");
+    ExitCode::from(2)
+}

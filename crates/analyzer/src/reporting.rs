@@ -1,0 +1,259 @@
+//! Findings, scan reports, and the human/JSON renderers.
+
+use crate::rules::RuleId;
+use std::collections::BTreeMap;
+
+/// One rule hit, after allowlist resolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Which rule fired.
+    pub rule: RuleId,
+    /// Repo-relative path (forward slashes).
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rustdoc-style module path (`lens-fleet::report`).
+    pub module_path: String,
+    /// The offending source line, trimmed (or a synthesized message for
+    /// whole-file rules).
+    pub snippet: String,
+    /// `Some(reason)` when an `allow` annotation suppresses the finding.
+    pub allowed: Option<String>,
+}
+
+/// A malformed allowlist annotation, located in a file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnnotationIssue {
+    /// Repo-relative path.
+    pub path: String,
+    /// 1-based line number of the annotation.
+    pub line: usize,
+    /// What was wrong.
+    pub message: String,
+}
+
+/// The result of scanning a tree (or a single source text).
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Every rule hit, allowed or not, in (path, line) order.
+    pub findings: Vec<Finding>,
+    /// Malformed annotations (these fail the scan).
+    pub annotation_issues: Vec<AnnotationIssue>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Findings not suppressed by an allow annotation.
+    pub fn unallowed(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.allowed.is_none())
+    }
+
+    /// `(unallowed, allowed)` counts per rule, every rule present.
+    pub fn rule_counts(&self) -> BTreeMap<&'static str, (usize, usize)> {
+        let mut counts: BTreeMap<&'static str, (usize, usize)> =
+            RuleId::ALL.iter().map(|r| (r.id(), (0, 0))).collect();
+        for f in &self.findings {
+            let entry = counts.entry(f.rule.id()).or_default();
+            if f.allowed.is_none() {
+                entry.0 += 1;
+            } else {
+                entry.1 += 1;
+            }
+        }
+        counts
+    }
+
+    /// True when there is nothing to fail on: no unallowed findings and
+    /// no malformed annotations.
+    pub fn is_clean(&self) -> bool {
+        self.unallowed().next().is_none() && self.annotation_issues.is_empty()
+    }
+
+    /// Process exit code the binary reports: 0 clean, 1 violations.
+    pub fn exit_code(&self) -> i32 {
+        i32::from(!self.is_clean())
+    }
+
+    /// Human-readable diagnostics.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            match &f.allowed {
+                None => {
+                    out.push_str(&format!(
+                        "{}:{}: [{}] {}\n    {}\n    in {}\n",
+                        f.path,
+                        f.line,
+                        f.rule.id(),
+                        f.rule.summary(),
+                        f.snippet,
+                        f.module_path,
+                    ));
+                }
+                Some(reason) => {
+                    out.push_str(&format!(
+                        "{}:{}: [{}] allowed: {}\n",
+                        f.path,
+                        f.line,
+                        f.rule.id(),
+                        reason,
+                    ));
+                }
+            }
+        }
+        for issue in &self.annotation_issues {
+            out.push_str(&format!(
+                "{}:{}: [annotation] {}\n",
+                issue.path, issue.line, issue.message
+            ));
+        }
+        let unallowed = self.unallowed().count();
+        let allowed = self.findings.len() - unallowed;
+        out.push_str(&format!(
+            "lens-analyzer: {} file(s) scanned, {} violation(s), {} allowed, {} annotation issue(s)\n",
+            self.files_scanned,
+            unallowed,
+            allowed,
+            self.annotation_issues.len()
+        ));
+        out
+    }
+
+    /// Machine-readable JSON summary (stable key order; no dependencies,
+    /// hence the by-hand serializer).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        let unallowed = self.unallowed().count();
+        out.push_str(&format!("  \"total_unallowed\": {unallowed},\n"));
+        out.push_str(&format!(
+            "  \"total_allowed\": {},\n",
+            self.findings.len() - unallowed
+        ));
+        out.push_str(&format!(
+            "  \"annotation_issues\": {},\n",
+            self.annotation_issues.len()
+        ));
+        out.push_str("  \"rules\": {\n");
+        let counts = self.rule_counts();
+        let mut first = true;
+        for (rule, (bad, ok)) in &counts {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push_str(&format!(
+                "    {}: {{\"unallowed\": {bad}, \"allowed\": {ok}}}",
+                json_str(rule)
+            ));
+        }
+        out.push_str("\n  },\n");
+        out.push_str("  \"findings\": [\n");
+        let mut first = true;
+        for f in &self.findings {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push_str(&format!(
+                "    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"module\": {}, \"snippet\": {}, \"allowed\": {}}}",
+                json_str(f.rule.id()),
+                json_str(&f.path),
+                f.line,
+                json_str(&f.module_path),
+                json_str(&f.snippet),
+                match &f.allowed {
+                    Some(reason) => json_str(reason),
+                    None => "null".to_string(),
+                }
+            ));
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+/// Minimal JSON string escaping.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: RuleId, allowed: Option<&str>) -> Finding {
+        Finding {
+            rule,
+            path: "crates/x/src/y.rs".to_string(),
+            line: 3,
+            module_path: "lens-x::y".to_string(),
+            snippet: "let m = HashMap::new();".to_string(),
+            allowed: allowed.map(str::to_string),
+        }
+    }
+
+    #[test]
+    fn exit_code_and_counts() {
+        let mut r = Report {
+            findings: vec![finding(RuleId::UnorderedCollections, None)],
+            annotation_issues: vec![],
+            files_scanned: 1,
+        };
+        assert_eq!(r.exit_code(), 1);
+        assert_eq!(
+            r.rule_counts()["unordered-collections"],
+            (1, 0),
+            "one unallowed"
+        );
+        r.findings[0].allowed = Some("sorted on drain".to_string());
+        assert_eq!(r.exit_code(), 0);
+        assert_eq!(r.rule_counts()["unordered-collections"], (0, 1));
+        // every rule key is present even at zero
+        assert_eq!(r.rule_counts().len(), RuleId::ALL.len());
+    }
+
+    #[test]
+    fn annotation_issues_fail_the_scan() {
+        let r = Report {
+            findings: vec![],
+            annotation_issues: vec![AnnotationIssue {
+                path: "crates/x/src/y.rs".to_string(),
+                line: 2,
+                message: "unknown rule".to_string(),
+            }],
+            files_scanned: 1,
+        };
+        assert_eq!(r.exit_code(), 1);
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn json_has_stable_shape() {
+        let r = Report {
+            findings: vec![finding(RuleId::WallClock, Some("bench \"only\""))],
+            annotation_issues: vec![],
+            files_scanned: 2,
+        };
+        let json = r.to_json();
+        assert!(json.contains("\"total_unallowed\": 0"));
+        assert!(json.contains("\"wall-clock\": {\"unallowed\": 0, \"allowed\": 1}"));
+        assert!(json.contains("\"allowed\": \"bench \\\"only\\\"\""));
+        assert!(json.contains("\"files_scanned\": 2"));
+    }
+}

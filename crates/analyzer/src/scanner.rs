@@ -1,0 +1,405 @@
+//! Lexical pass: strips comments and literal contents from Rust source
+//! while preserving line structure, and extracts `lens-analyzer:`
+//! allowlist annotations from `//` comments.
+//!
+//! The rules in [`crate::rules`] match on the *stripped* text, so a
+//! `HashMap` mentioned in a doc comment or inside a string literal (the
+//! analyzer's own pattern tables, for instance) never fires. Blanked
+//! characters are replaced with spaces, so line numbers — and, roughly,
+//! columns — survive into diagnostics.
+
+use crate::rules::RuleId;
+
+/// One `// lens-analyzer: allow(<rule>): <reason>` annotation, resolved
+/// to the code line it suppresses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// The rule being allowed.
+    pub rule: RuleId,
+    /// The justification after the second colon (always non-empty; an
+    /// annotation without a reason is rejected as an annotation error).
+    pub reason: String,
+    /// 1-based line of the annotation comment itself.
+    pub comment_line: usize,
+    /// 1-based line of the code the annotation applies to: the same line
+    /// for a trailing comment, otherwise the next line carrying code.
+    pub target_line: usize,
+}
+
+/// A malformed `lens-analyzer:` annotation. These fail the scan: a typo'd
+/// allowlist entry that silently suppressed nothing would be worse than a
+/// loud error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnnotationError {
+    /// 1-based line of the bad annotation.
+    pub line: usize,
+    /// What was wrong with it.
+    pub message: String,
+}
+
+/// The result of the lexical pass over one file.
+#[derive(Debug)]
+pub struct Stripped {
+    /// Source lines with comments and string/char literal contents
+    /// blanked out (one entry per input line).
+    pub code: Vec<String>,
+    /// Parsed allowlist annotations, resolved to their target lines.
+    pub allows: Vec<Allow>,
+    /// Malformed annotations.
+    pub errors: Vec<AnnotationError>,
+}
+
+/// Strips `source` and parses its allowlist annotations.
+pub fn strip(source: &str) -> Stripped {
+    let chars: Vec<char> = source.chars().collect();
+    let mut code = String::with_capacity(source.len());
+    // (line, comment body) for every `//` comment, in order.
+    let mut comments: Vec<(usize, String)> = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+
+    // Emits `c` into the stripped stream, blanking non-newline chars.
+    macro_rules! blank {
+        ($c:expr) => {
+            if $c == '\n' {
+                code.push('\n');
+                line += 1;
+            } else {
+                code.push(' ');
+            }
+        };
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                // Line comment (incl. doc comments): capture body for
+                // annotation parsing, blank it from the code stream.
+                let start_line = line;
+                let mut body = String::new();
+                while i < chars.len() && chars[i] != '\n' {
+                    body.push(chars[i]);
+                    code.push(' ');
+                    i += 1;
+                }
+                comments.push((start_line, body));
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                // Block comment, with nesting.
+                let mut depth = 0usize;
+                while i < chars.len() {
+                    if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        blank!(chars[i]);
+                        i += 1;
+                        blank!(chars[i]);
+                        i += 1;
+                    } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        blank!(chars[i]);
+                        i += 1;
+                        blank!(chars[i]);
+                        i += 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        blank!(chars[i]);
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                // Ordinary string literal: blank the contents, keep the
+                // delimiters so token boundaries survive.
+                code.push('"');
+                i += 1;
+                while i < chars.len() {
+                    if chars[i] == '\\' {
+                        blank!(chars[i]);
+                        i += 1;
+                        if i < chars.len() {
+                            blank!(chars[i]);
+                            i += 1;
+                        }
+                    } else if chars[i] == '"' {
+                        code.push('"');
+                        i += 1;
+                        break;
+                    } else {
+                        blank!(chars[i]);
+                        i += 1;
+                    }
+                }
+            }
+            'r' | 'b' if is_raw_string_start(&chars, i) => {
+                // Raw (byte) string: r"..", r#".."#, br#".."#, …
+                let mut j = i;
+                while chars.get(j) == Some(&'r') || chars.get(j) == Some(&'b') {
+                    code.push(chars[j]);
+                    j += 1;
+                }
+                let mut hashes = 0usize;
+                while chars.get(j) == Some(&'#') {
+                    code.push('#');
+                    hashes += 1;
+                    j += 1;
+                }
+                code.push('"'); // the opening quote
+                j += 1;
+                // Scan to `"` followed by `hashes` of `#`.
+                while j < chars.len() {
+                    if chars[j] == '"' && (0..hashes).all(|k| chars.get(j + 1 + k) == Some(&'#')) {
+                        code.push('"');
+                        j += 1;
+                        for _ in 0..hashes {
+                            code.push('#');
+                            j += 1;
+                        }
+                        break;
+                    }
+                    blank!(chars[j]);
+                    j += 1;
+                }
+                i = j;
+                continue;
+            }
+            '\'' => {
+                // Char literal vs lifetime: a backslash or a closing quote
+                // two chars ahead means a literal; otherwise keep the tick
+                // (lifetime or loop label) and move on.
+                if chars.get(i + 1) == Some(&'\\') {
+                    code.push('\'');
+                    i += 1;
+                    while i < chars.len() && chars[i] != '\'' {
+                        blank!(chars[i]);
+                        i += 1;
+                    }
+                    if i < chars.len() {
+                        code.push('\'');
+                        i += 1;
+                    }
+                } else if chars.get(i + 2) == Some(&'\'') {
+                    code.push('\'');
+                    blank!(chars[i + 1]);
+                    code.push('\'');
+                    i += 3;
+                } else {
+                    code.push('\'');
+                    i += 1;
+                }
+                continue;
+            }
+            '\n' => {
+                code.push('\n');
+                line += 1;
+                i += 1;
+                continue;
+            }
+            _ => {
+                code.push(c);
+                i += 1;
+                continue;
+            }
+        }
+        // Fall-through for the comment/string arms that used `i` directly.
+    }
+
+    let code_lines: Vec<String> = code.lines().map(str::to_string).collect();
+    let (allows, errors) = parse_annotations(&comments, &code_lines);
+    Stripped {
+        code: code_lines,
+        allows,
+        errors,
+    }
+}
+
+/// Does `chars[i..]` open a raw/byte string (`r"`, `r#`, `br"`, `b"`, …)?
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    // Must not be the tail of an identifier (`for`, `expr` …).
+    if i > 0 && is_word(chars[i - 1]) {
+        return false;
+    }
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) == Some(&'r') {
+        j += 1;
+    } else if j == i + 1 {
+        // plain b"…" byte string
+        return chars.get(j) == Some(&'"');
+    } else {
+        return false;
+    }
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+pub(crate) fn is_word(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+const MARKER: &str = "lens-analyzer:";
+
+/// Parses `lens-analyzer: allow(<rule>): <reason>` out of the collected
+/// `//` comments and resolves each to its target code line.
+fn parse_annotations(
+    comments: &[(usize, String)],
+    code_lines: &[String],
+) -> (Vec<Allow>, Vec<AnnotationError>) {
+    let mut allows = Vec::new();
+    let mut errors = Vec::new();
+    for (line, body) in comments {
+        let text = body.trim_start_matches('/').trim();
+        // The marker must *lead* the comment — prose that merely mentions
+        // the annotation syntax (like this sentence) is not a directive.
+        let Some(rest) = text.strip_prefix(MARKER) else {
+            continue;
+        };
+        let directive = rest.trim();
+        if directive.starts_with("fixture") {
+            // Reserved for fixture metadata; not an allowlist entry.
+            continue;
+        }
+        let Some(rest) = directive.strip_prefix("allow(") else {
+            errors.push(AnnotationError {
+                line: *line,
+                message: format!(
+                    "unrecognized directive {directive:?} (expected `allow(<rule>): <reason>`)"
+                ),
+            });
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            errors.push(AnnotationError {
+                line: *line,
+                message: "unclosed `allow(` annotation".to_string(),
+            });
+            continue;
+        };
+        let rule_name = rest[..close].trim();
+        let Some(rule) = RuleId::parse(rule_name) else {
+            errors.push(AnnotationError {
+                line: *line,
+                message: format!("unknown rule {rule_name:?} in allow annotation"),
+            });
+            continue;
+        };
+        let reason = rest[close + 1..]
+            .trim_start()
+            .strip_prefix(':')
+            .map(str::trim)
+            .unwrap_or("");
+        if reason.is_empty() {
+            errors.push(AnnotationError {
+                line: *line,
+                message: format!(
+                    "allow({}) annotation without a reason — write `allow({}): <why this is deterministic>`",
+                    rule.id(),
+                    rule.id()
+                ),
+            });
+            continue;
+        }
+        allows.push(Allow {
+            rule,
+            reason: reason.to_string(),
+            comment_line: *line,
+            target_line: resolve_target(*line, code_lines),
+        });
+    }
+    (allows, errors)
+}
+
+/// A trailing annotation targets its own line; an annotation on an
+/// otherwise-blank line targets the next line that carries code (runs of
+/// annotation/comment-only lines chain through to the same target).
+fn resolve_target(comment_line: usize, code_lines: &[String]) -> usize {
+    let own = code_lines
+        .get(comment_line - 1)
+        .is_some_and(|l| !l.trim().is_empty());
+    if own {
+        return comment_line;
+    }
+    let mut l = comment_line; // 1-based; start at the next line
+    while let Some(text) = code_lines.get(l) {
+        if !text.trim().is_empty() {
+            return l + 1;
+        }
+        l += 1;
+    }
+    comment_line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_blanked() {
+        let src = "let x = \"HashMap\"; // HashMap in a comment\nlet y = 1;\n";
+        let s = strip(src);
+        assert_eq!(s.code.len(), 2);
+        assert!(!s.code[0].contains("HashMap"), "{:?}", s.code[0]);
+        assert!(s.code[0].contains("let x = "));
+        assert_eq!(s.code[1], "let y = 1;");
+    }
+
+    #[test]
+    fn raw_strings_and_chars_and_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) -> char {\n    let _r = r#\"Instant\"#;\n    let c = 'I';\n    c\n}\n";
+        let s = strip(src);
+        assert!(s.code[1].contains("let _r = r#\""));
+        assert!(!s.code[1].contains("Instant"));
+        assert!(s.code[0].contains("fn f<'a>"));
+        assert!(!s.code[2].contains('I'), "{:?}", s.code[2]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* Instant */ still comment */ let z = 3;\n";
+        let s = strip(src);
+        assert!(!s.code[0].contains("Instant"));
+        assert!(s.code[0].contains("let z = 3;"));
+    }
+
+    #[test]
+    fn trailing_allow_targets_its_own_line() {
+        let src = "let m = foo(); // lens-analyzer: allow(wall-clock): test fixture\n";
+        let s = strip(src);
+        assert_eq!(s.allows.len(), 1);
+        assert_eq!(s.allows[0].rule, RuleId::WallClock);
+        assert_eq!(s.allows[0].target_line, 1);
+        assert_eq!(s.allows[0].reason, "test fixture");
+    }
+
+    #[test]
+    fn standalone_allow_targets_next_code_line() {
+        let src = "\n// lens-analyzer: allow(unordered-collections): drained in sorted order\n\nlet m = make();\n";
+        let s = strip(src);
+        assert_eq!(s.allows.len(), 1);
+        assert_eq!(s.allows[0].target_line, 4);
+    }
+
+    #[test]
+    fn missing_reason_is_an_error() {
+        let src = "// lens-analyzer: allow(wall-clock)\nlet t = now();\n";
+        let s = strip(src);
+        assert!(s.allows.is_empty());
+        assert_eq!(s.errors.len(), 1);
+        assert!(s.errors[0].message.contains("without a reason"));
+    }
+
+    #[test]
+    fn unknown_rule_is_an_error() {
+        let src = "// lens-analyzer: allow(no-such-rule): because\nlet t = 1;\n";
+        let s = strip(src);
+        assert!(s.allows.is_empty());
+        assert_eq!(s.errors.len(), 1);
+        assert!(s.errors[0].message.contains("unknown rule"));
+    }
+}

@@ -1,0 +1,75 @@
+//! End-to-end tests of the `lens-analyzer` binary — the exact artifact
+//! the CI `static-analysis` job runs.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/analyzer has a grandparent")
+        .to_path_buf()
+}
+
+fn run(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_lens-analyzer"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn workspace_scan_is_clean_in_json_mode() {
+    let root = repo_root();
+    let out = run(&["--root", root.to_str().unwrap(), "--format", "json"]);
+    let stdout = String::from_utf8(out.stdout).expect("utf8 json");
+    assert!(
+        out.status.success(),
+        "clean workspace must exit 0; stdout:\n{stdout}"
+    );
+    assert!(stdout.contains("\"total_unallowed\": 0"), "{stdout}");
+    assert!(stdout.contains("\"annotation_issues\": 0"), "{stdout}");
+}
+
+#[test]
+fn default_root_resolves_the_workspace() {
+    // No --root: the binary locates the workspace from its own manifest.
+    let out = run(&[]);
+    assert!(out.status.success(), "default-root scan must be clean");
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(stdout.contains("file(s) scanned"), "{stdout}");
+}
+
+#[test]
+fn every_fixture_fails_the_binary_with_exit_1() {
+    for rule in lens_analyzer::RuleId::ALL {
+        let fixture = repo_root().join("crates/analyzer/fixtures").join(rule.id());
+        let out = run(&["--root", fixture.to_str().unwrap()]);
+        assert_eq!(
+            out.status.code(),
+            Some(1),
+            "fixture {} must fail the audit",
+            rule.id()
+        );
+        let stdout = String::from_utf8(out.stdout).expect("utf8");
+        assert!(
+            stdout.contains(rule.id()),
+            "verdict names the rule: {stdout}"
+        );
+    }
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    let out = run(&["--format", "yaml"]);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "unknown format is a usage error"
+    );
+    let out = run(&["--no-such-flag"]);
+    assert_eq!(out.status.code(), Some(2), "unknown flag is a usage error");
+    let out = run(&["--root", "/nonexistent/path/for/lens-analyzer"]);
+    assert_eq!(out.status.code(), Some(2), "unreadable root is an IO error");
+}

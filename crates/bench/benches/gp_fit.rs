@@ -5,28 +5,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lens::gp::kernel::Matern52;
 use lens::gp::GpRegressor;
+use lens_bench::workloads::gp_training_data as training_data;
 use std::hint::black_box;
-
-/// Deterministic pseudo-random points in [0,1]^23 (the VGG-space embedding
-/// dimension) without pulling an RNG into the measured region.
-fn training_data(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
-    let dim = 23;
-    let xs: Vec<Vec<f64>> = (0..n)
-        .map(|i| {
-            (0..dim)
-                .map(|j| {
-                    let v = ((i * 31 + j * 17) % 97) as f64 / 96.0;
-                    (v * 1.3).fract()
-                })
-                .collect()
-        })
-        .collect();
-    let ys: Vec<f64> = xs
-        .iter()
-        .map(|x| x.iter().map(|v| (v * 3.0).sin()).sum::<f64>())
-        .collect();
-    (xs, ys)
-}
 
 fn bench_gp(c: &mut Criterion) {
     let mut group = c.benchmark_group("gp");

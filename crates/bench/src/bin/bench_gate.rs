@@ -1,10 +1,12 @@
 //! CI bench-regression gate.
 //!
-//! Re-measures the three hot paths whose baselines are checked in under
+//! Re-measures the hot paths whose baselines are checked in under
 //! `crates/bench/benches/BENCH_*.json` — the fluid fleet run
 //! (`fleet/run/10000`), the per-request fleet run
-//! (`fleet/per_request/10000`), and `pareto/hypervolume_3d` — and fails
-//! (exit 1) if any of them regresses beyond a generous noise tolerance.
+//! (`fleet/per_request/10000`), and the search-side paths that gate
+//! fleet-in-the-loop NAS (`pareto/build_front/5000`, `gp/fit/300`,
+//! `pareto/hypervolume_3d`) — and fails (exit 1) if any of them
+//! regresses beyond a generous noise tolerance.
 //!
 //! The gate measures **in-process** (min-of-N wall clock) instead of
 //! parsing bench output, and it builds its workloads from the *same*
@@ -20,6 +22,8 @@
 //!   checked-in baseline (default 3; CI machines differ from the
 //!   recording machine, so this gates *gross* regressions only).
 
+use lens::gp::kernel::Matern52;
+use lens::gp::GpRegressor;
 use lens::pareto::{hypervolume, ParetoFront};
 use lens::prelude::*;
 use lens_bench::workloads;
@@ -148,6 +152,36 @@ fn main() {
             "per_request/10000",
             "after_ns_per_inference_event",
         ) * per_request_events,
+    );
+
+    // pareto/build_front/5000 — frontier maintenance over a full NAS
+    // exploration history (the fleet-in-the-loop search's per-iteration
+    // `Pareto_update` cost, amortized).
+    let pts = workloads::pareto_points(5000);
+    let build_front = measure(|| {
+        let front: ParetoFront<usize> = pts.iter().cloned().enumerate().collect();
+        black_box(front.len());
+    });
+    gate.check(
+        "pareto/build_front/5000",
+        build_front,
+        baseline(&pareto_json, "build_front/5000", "after_ms") * 1e6,
+    );
+
+    // gp/fit/300 — the O(n³) surrogate refit at the paper's full
+    // iteration budget, the other search-side hot path gating
+    // fleet-in-the-loop NAS.
+    let (xs, ys) = workloads::gp_training_data(300);
+    let gp_fit = measure(|| {
+        black_box(
+            GpRegressor::fit(xs.clone(), ys.clone(), Matern52::new(0.8, 1.0), 1e-4)
+                .expect("fit succeeds"),
+        );
+    });
+    gate.check(
+        "gp/fit/300",
+        gp_fit,
+        baseline(&pareto_json, "gp/fit/300", "after_ms") * 1e6,
     );
 
     // pareto/hypervolume_3d — the 2000-point sort-and-sweep.

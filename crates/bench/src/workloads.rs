@@ -79,6 +79,28 @@ pub fn autoscaled_fleet_scenario() -> FleetScenario {
         .expect("valid scenario")
 }
 
+/// Deterministic pseudo-random GP training data in \[0,1\]^23 (the VGG-
+/// space embedding dimension) behind `gp/fit/*` and the gate's
+/// `gp/fit/300` — no RNG in the measured region.
+pub fn gp_training_data(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let dim = 23;
+    let xs: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            (0..dim)
+                .map(|j| {
+                    let v = ((i * 31 + j * 17) % 97) as f64 / 96.0;
+                    (v * 1.3).fract()
+                })
+                .collect()
+        })
+        .collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|x| x.iter().map(|v| (v * 3.0).sin()).sum::<f64>())
+        .collect();
+    (xs, ys)
+}
+
 /// The deterministic 3-objective point stream behind the `pareto/*`
 /// benches (`build_front`, `coverage`, `combined_composition`,
 /// `hypervolume_3d`).

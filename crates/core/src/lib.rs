@@ -38,6 +38,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod evaluate;
 pub mod objectives;
 pub mod report;

@@ -15,7 +15,7 @@ use lens_runtime::DeploymentKind;
 use lens_space::Encoding;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Configuration of one search run (the paper's `{C_init, N_iter}` plus
 /// pool sizes and the MOBO settings).
@@ -123,7 +123,7 @@ pub(crate) fn run_search(
     let space = evaluator.space();
     let mut optimizer = MultiObjectiveOptimizer::new(Objectives::COUNT, config.mobo.clone());
     let mut explored: Vec<ExploredCandidate> = Vec::new();
-    let mut seen: HashSet<Encoding> = HashSet::new();
+    let mut seen: BTreeSet<Encoding> = BTreeSet::new();
     let mut front: ParetoFront<usize> = ParetoFront::new();
 
     let record = |enc: Encoding,
@@ -156,7 +156,7 @@ pub(crate) fn run_search(
     for _ in 0..config.iterations {
         let mut pool: Vec<Encoding> =
             Vec::with_capacity(config.pool_random + config.pool_mutations);
-        let mut pool_seen: HashSet<Encoding> = HashSet::new();
+        let mut pool_seen: BTreeSet<Encoding> = BTreeSet::new();
         for _ in 0..config.pool_random {
             let enc = space.sample(&mut rng);
             if !seen.contains(&enc) && pool_seen.insert(enc.clone()) {
@@ -197,7 +197,7 @@ pub(crate) fn run_search(
 /// if the space is pathologically exhausted).
 fn sample_unseen(
     space: &(dyn lens_space::SearchSpace + Send + Sync),
-    seen: &mut HashSet<Encoding>,
+    seen: &mut BTreeSet<Encoding>,
     rng: &mut StdRng,
 ) -> Encoding {
     for _ in 0..64 {
@@ -248,7 +248,7 @@ mod tests {
     #[test]
     fn explored_encodings_are_unique() {
         let outcome = tiny_lens(2).search().unwrap();
-        let mut set = HashSet::new();
+        let mut set = BTreeSet::new();
         for c in outcome.explored() {
             assert!(set.insert(c.encoding.clone()), "duplicate exploration");
         }

@@ -12,7 +12,7 @@ use std::fmt;
 ///
 /// `Free` layers (flatten, dropout at inference) cost nothing and are not
 /// modeled.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum LayerClass {
     /// Convolutions (with fused activation/normalization).
     Conv,

@@ -36,6 +36,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod cloud;
 pub mod features;
 pub mod ground_truth;

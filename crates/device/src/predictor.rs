@@ -15,7 +15,7 @@ use lens_nn::units::{Millis, Milliwatts};
 use lens_nn::LayerAnalysis;
 use lens_num::ridge::RidgeRegression;
 use lens_num::stats;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Regression-quality metrics for one layer class.
@@ -104,7 +104,7 @@ struct ClassModels {
 #[derive(Debug, Clone, PartialEq)]
 pub struct PerformancePredictor {
     profile_name: String,
-    models: HashMap<LayerClass, ClassModels>,
+    models: BTreeMap<LayerClass, ClassModels>,
     report: PredictorReport,
 }
 
@@ -133,7 +133,7 @@ impl PerformancePredictor {
     /// Returns [`DeviceError`] if a class has no measurements or a fit
     /// fails.
     pub fn from_campaign(campaign: &MeasurementCampaign) -> Result<Self, DeviceError> {
-        let mut models = HashMap::new();
+        let mut models = BTreeMap::new();
         let mut classes = Vec::new();
         for class in LayerClass::modeled() {
             let samples = campaign.of_class(class);

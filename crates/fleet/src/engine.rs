@@ -93,6 +93,7 @@ impl FleetEngine {
         let mut cohorts = Vec::new();
         let mut weights = Vec::new();
         for (region_index, share) in scenario.regions.iter().enumerate() {
+            // lens-analyzer: allow(float-accumulation): build-time fold over the scenario's declared technology order — single-threaded, never merged across shards
             let tech_total: f64 = share.technologies.iter().map(|(_, w)| w).sum();
             for (tech, tech_weight) in &share.technologies {
                 let planner =
@@ -127,11 +128,13 @@ impl FleetEngine {
                 weights.push(share.weight * tech_weight / tech_total);
             }
         }
+        // lens-analyzer: allow(float-accumulation): build-time normalization in fixed region/technology declaration order; the cumulative thresholds are computed once, before any shard forks
         let total: f64 = weights.iter().sum();
         let mut acc = 0.0;
         let cumulative = weights
             .iter()
             .map(|w| {
+                // lens-analyzer: allow(float-accumulation): same build-time prefix sum — sequential by construction, identical for every shard count
                 acc += w / total;
                 acc
             })

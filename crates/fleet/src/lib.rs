@@ -147,6 +147,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod cloud;
 pub mod device;
 pub mod engine;

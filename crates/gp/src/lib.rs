@@ -31,6 +31,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod acquisition;
 pub mod gp;
 pub mod kernel;

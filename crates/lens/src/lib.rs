@@ -41,6 +41,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use lens_accuracy as accuracy;
 pub use lens_core as core;
 pub use lens_device as device;

@@ -30,6 +30,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod dist;
 pub mod linalg;
 pub mod ridge;

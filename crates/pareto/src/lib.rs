@@ -25,6 +25,8 @@
 //! assert!(dominates(&[1.0, 4.0], &[1.5, 5.0]));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod coverage;
 pub mod front;
 pub mod hypervolume;

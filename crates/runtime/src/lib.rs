@@ -55,6 +55,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod envelope;
 pub mod options;
 pub mod simulator;

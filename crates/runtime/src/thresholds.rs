@@ -186,7 +186,7 @@ mod tests {
             // exactly tie the envelope winner over their claimed range
             // (e.g. Split@pool5 and Split@flatten have identical costs —
             // flatten is free and ships the same bytes).
-            let on_envelope: std::collections::HashSet<usize> =
+            let on_envelope: std::collections::BTreeSet<usize> =
                 map.segments().iter().map(|s| s.option_index).collect();
             for i in 0..options.len() {
                 if !on_envelope.contains(&i) {

@@ -30,6 +30,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod arch;
 pub mod encoding;
 pub mod vgg;

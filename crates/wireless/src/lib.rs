@@ -43,6 +43,8 @@
 //! assert_eq!(trace.samples(), again.samples());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod link;
 pub mod region;
 pub mod technology;

@@ -1,0 +1,164 @@
+//! Regression tests for the determinism auditor itself.
+//!
+//! Three contracts: (1) today's workspace is clean — zero unallowed
+//! violations, so the CI `static-analysis` job is a meaningful gate, not
+//! a broken one everyone ignores; (2) every rule actually fires — each
+//! seeded fixture under `crates/analyzer/fixtures/<rule>/` carries
+//! exactly one violation of exactly its rule; (3) the allowlist
+//! round-trips — a justified annotation suppresses a finding (and keeps
+//! the reason), a malformed one fails the scan loudly.
+
+use lens_analyzer::{scan_root, scan_str, RuleId};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    // Registered on the `lens` facade at crates/lens, so the workspace
+    // root is two levels up from its manifest dir.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lens has a grandparent")
+        .to_path_buf()
+}
+
+#[test]
+fn workspace_has_zero_unallowed_violations() {
+    let report = scan_root(&repo_root()).expect("workspace scans");
+    // If the walker silently scanned nothing, a "clean" verdict would be
+    // vacuous — pin a floor on coverage (82 files at the time of writing).
+    assert!(
+        report.files_scanned >= 70,
+        "suspiciously few files scanned: {}",
+        report.files_scanned
+    );
+    let offenders: Vec<String> = report
+        .unallowed()
+        .map(|f| format!("{}:{} [{}] {}", f.path, f.line, f.rule.id(), f.snippet))
+        .collect();
+    assert!(
+        offenders.is_empty(),
+        "determinism violations on the clean workspace:\n{}",
+        offenders.join("\n")
+    );
+    assert!(
+        report.annotation_issues.is_empty(),
+        "malformed allow annotations: {:?}",
+        report.annotation_issues
+    );
+    assert_eq!(report.exit_code(), 0);
+    // Per-rule unallowed counts are all zero (allowed findings — the
+    // justified engine-construction folds — are fine).
+    for (rule, (unallowed, _)) in report.rule_counts() {
+        assert_eq!(unallowed, 0, "rule {rule} fired on the clean workspace");
+    }
+}
+
+#[test]
+fn each_rule_fires_exactly_once_on_its_fixture() {
+    for rule in RuleId::ALL {
+        let fixture_root = repo_root().join("crates/analyzer/fixtures").join(rule.id());
+        let report = scan_root(&fixture_root)
+            .unwrap_or_else(|e| panic!("fixture tree for {} scans: {e}", rule.id()));
+        assert_eq!(report.files_scanned, 1, "one fixture file per rule");
+        assert_eq!(
+            report.findings.len(),
+            1,
+            "fixture for {} must trip exactly its one seeded violation, got {:?}",
+            rule.id(),
+            report.findings
+        );
+        let finding = &report.findings[0];
+        assert_eq!(finding.rule, rule, "fixture fired the wrong rule");
+        assert!(finding.allowed.is_none());
+        assert_ne!(
+            report.exit_code(),
+            0,
+            "analyzer must exit nonzero on the {} fixture",
+            rule.id()
+        );
+    }
+}
+
+#[test]
+fn allow_annotation_round_trips() {
+    let fixture = repo_root()
+        .join("crates/analyzer/fixtures/unordered-collections/crates/fleet/src/merge.rs");
+    let source = fs::read_to_string(&fixture).expect("fixture readable");
+    let rel = "crates/fleet/src/merge.rs";
+
+    // Unannotated: one unallowed finding.
+    let before = scan_str(rel, &source);
+    assert_eq!(before.findings.len(), 1);
+    let line = before.findings[0].line;
+    assert!(before.findings[0].allowed.is_none());
+    assert_eq!(before.exit_code(), 1);
+
+    // Insert a justified allow directly above the violation: the finding
+    // stays visible but is suppressed, and the reason survives into the
+    // JSON summary.
+    let reason = "scratch map is drained via sorted keys before anything reads it";
+    let mut lines: Vec<&str> = source.lines().collect();
+    let annotation = format!("    // lens-analyzer: allow(unordered-collections): {reason}");
+    lines.insert(line - 1, &annotation);
+    let annotated = lines.join("\n");
+    let after = scan_str(rel, &annotated);
+    assert_eq!(after.findings.len(), 1);
+    assert_eq!(after.findings[0].allowed.as_deref(), Some(reason));
+    assert_eq!(
+        after.exit_code(),
+        0,
+        "allowed finding must not fail the scan"
+    );
+    let json = after.to_json();
+    assert!(json.contains("\"total_unallowed\": 0"));
+    assert!(json.contains(reason), "reason must survive into JSON");
+    assert!(json.contains("\"unordered-collections\": {\"unallowed\": 0, \"allowed\": 1}"));
+
+    // A reason-less annotation is a loud error, not a silent waiver.
+    let bare = annotated.replace(&format!(": {reason}"), "");
+    let broken = scan_str(rel, &bare);
+    assert_eq!(broken.findings.len(), 1);
+    assert!(broken.findings[0].allowed.is_none(), "no reason, no waiver");
+    assert_eq!(broken.annotation_issues.len(), 1);
+    assert_eq!(broken.exit_code(), 1);
+}
+
+#[test]
+fn json_summary_reports_per_rule_counts_for_every_rule() {
+    let report = scan_root(&repo_root()).expect("workspace scans");
+    let json = report.to_json();
+    for rule in RuleId::ALL {
+        assert!(
+            json.contains(&format!("\"{}\"", rule.id())),
+            "JSON summary must carry a count for {}",
+            rule.id()
+        );
+    }
+    assert!(json.contains("\"files_scanned\""));
+    assert!(json.contains("\"findings\""));
+}
+
+/// The three engine-construction allows are the only waivers on today's
+/// workspace — pin them so new allows get reviewed rather than slipping
+/// in silently alongside.
+#[test]
+fn workspace_allowlist_is_exactly_the_engine_construction_folds() {
+    let report = scan_root(&repo_root()).expect("workspace scans");
+    let allowed: Vec<&str> = report
+        .findings
+        .iter()
+        .filter(|f| f.allowed.is_some())
+        .map(|f| f.path.as_str())
+        .collect();
+    assert_eq!(
+        allowed,
+        vec!["crates/fleet/src/engine.rs"; 3],
+        "unexpected allowlist drift: {allowed:?}"
+    );
+    assert!(report
+        .findings
+        .iter()
+        .filter(|f| f.allowed.is_some())
+        .all(|f| f.rule == RuleId::FloatAccumulation));
+}

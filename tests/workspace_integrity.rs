@@ -434,6 +434,109 @@ fn autoscaling_and_bench_gate_surface_is_pinned() {
     );
 }
 
+/// Pins the determinism-auditor surface (PR 6): the `lens-analyzer`
+/// crate, its CI job, the workspace-lints table, the forbid(unsafe_code)
+/// attribute in every non-bench crate root, the per-rule fixture trees,
+/// the docs section, and the extended bench-gate paths.
+#[test]
+fn static_analysis_surface_is_pinned() {
+    let root = repo_root();
+    let read = |p: &str| fs::read_to_string(root.join(p)).unwrap_or_else(|e| panic!("{p}: {e}"));
+
+    // CI runs the analyzer as its own job, in JSON mode so the log is
+    // grep-able.
+    let ci = read(".github/workflows/ci.yml");
+    assert!(
+        ci.contains("cargo run -p lens-analyzer --locked -- --format json"),
+        "CI must run the determinism audit"
+    );
+
+    // Workspace lints exist and every crate (and shim) opts in.
+    let root_manifest = read("Cargo.toml");
+    assert!(
+        root_manifest.contains("[workspace.lints.rust]")
+            && root_manifest.contains("unsafe_code = \"deny\""),
+        "root manifest must deny unsafe_code via [workspace.lints]"
+    );
+    assert!(
+        root_manifest.contains("lens-analyzer = { path = \"crates/analyzer\""),
+        "[workspace.dependencies] must carry lens-analyzer"
+    );
+    for crate_dir in list_dir(&root.join("crates")) {
+        if !crate_dir.is_dir() {
+            continue;
+        }
+        let manifest = fs::read_to_string(crate_dir.join("Cargo.toml")).expect("crate manifest");
+        assert!(
+            manifest.contains("[lints]") && manifest.contains("workspace = true"),
+            "{} must opt into [workspace.lints]",
+            crate_dir.display()
+        );
+        // Belt and braces on top of the lint table: the attribute form is
+        // what rule `forbid-unsafe` checks, so a crate cannot re-allow
+        // unsafe locally without tripping the audit.
+        let dir_name = crate_dir.file_name().unwrap().to_string_lossy().to_string();
+        if dir_name != "bench" {
+            let lib = fs::read_to_string(crate_dir.join("src/lib.rs")).expect("crate root");
+            assert!(
+                lib.contains("#![forbid(unsafe_code)]"),
+                "crates/{dir_name}/src/lib.rs must carry #![forbid(unsafe_code)]"
+            );
+        }
+    }
+
+    // One fixture tree per rule, and the analyzer's own test surface.
+    for rule in [
+        "unordered-collections",
+        "wall-clock",
+        "float-accumulation",
+        "truncating-cast",
+        "forbid-unsafe",
+        "thread-confinement",
+        "ambient-entropy",
+    ] {
+        assert!(
+            root.join("crates/analyzer/fixtures").join(rule).is_dir(),
+            "fixture tree for rule {rule} is missing"
+        );
+    }
+    let facade_manifest = read("crates/lens/Cargo.toml");
+    assert!(
+        facade_manifest.contains("path = \"../../tests/static_analysis.rs\""),
+        "static_analysis test must be registered on the facade"
+    );
+    assert!(
+        facade_manifest.contains("lens-analyzer = { workspace = true }"),
+        "the facade must dev-depend on lens-analyzer"
+    );
+
+    // Docs: the rules are user-facing contract, not analyzer trivia.
+    let architecture = read("docs/ARCHITECTURE.md");
+    assert!(
+        architecture.contains("Determinism rules"),
+        "docs/ARCHITECTURE.md must document the audited rules"
+    );
+    assert!(
+        architecture.contains("lens-analyzer: allow("),
+        "docs/ARCHITECTURE.md must document the allowlist syntax"
+    );
+    assert!(
+        read("README.md").contains("lens-analyzer"),
+        "README must point at the determinism auditor"
+    );
+
+    // The extended bench-gate surface: search-side paths are gated too.
+    let gate = read("crates/bench/src/bin/bench_gate.rs");
+    let bench_json = read("crates/bench/benches/BENCH_pareto.json");
+    for needle in ["build_front/5000", "gp/fit/300"] {
+        assert!(gate.contains(needle), "bench_gate must gate {needle}");
+        assert!(
+            bench_json.contains(needle),
+            "BENCH_pareto.json must record a baseline for {needle}"
+        );
+    }
+}
+
 #[test]
 fn release_profile_is_tuned_for_benchmarking() {
     let root = repo_root();
