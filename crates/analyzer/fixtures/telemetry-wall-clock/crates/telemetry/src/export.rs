@@ -1,0 +1,12 @@
+//! Fixture: `wall-clock` must keep firing inside `crates/telemetry`
+//! sources. The observability layer is sim-time-only by contract — a
+//! host-clock timestamp smuggled into an export would break the
+//! bit-identity of the trace across runs and shard counts.
+
+pub fn export_stamp_micros() -> u64 {
+    let stamp = std::time::SystemTime::now();
+    match stamp.duration_since(std::time::UNIX_EPOCH) {
+        Ok(elapsed) => elapsed.as_secs() * 1_000_000 + u64::from(elapsed.subsec_micros()),
+        Err(_) => 0,
+    }
+}

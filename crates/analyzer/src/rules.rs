@@ -165,10 +165,15 @@ impl RuleId {
             // that later feeds a report), so the scope is every non-bench
             // crate, not just the digest-adjacent files.
             RuleId::UnorderedCollections | RuleId::WallClock => !bench,
+            // The telemetry crate is digest-bearing end to end (trace and
+            // metrics digests feed the bit-identity pins), so the
+            // report-path numeric rules cover all of it.
             RuleId::FloatAccumulation => {
-                loc.file_name == "report.rs" || loc.rel_path == "crates/fleet/src/engine.rs"
+                loc.file_name == "report.rs"
+                    || loc.rel_path == "crates/fleet/src/engine.rs"
+                    || loc.crate_dir == "telemetry"
             }
-            RuleId::TruncatingCast => loc.file_name == "report.rs",
+            RuleId::TruncatingCast => loc.file_name == "report.rs" || loc.crate_dir == "telemetry",
             RuleId::ForbidUnsafe => !bench && loc.crate_root,
             RuleId::ThreadConfinement => loc.rel_path != "crates/fleet/src/engine.rs",
             RuleId::AmbientEntropy => true,
@@ -451,6 +456,12 @@ mod tests {
         assert!(!RuleId::ForbidUnsafe.applies(&loc("crates/num/src/stats.rs")));
         assert!(RuleId::FloatAccumulation.applies(&loc("crates/core/src/report.rs")));
         assert!(!RuleId::FloatAccumulation.applies(&loc("crates/core/src/search.rs")));
+        // The digest-bearing telemetry crate is inside the numeric rules'
+        // scope file-by-file, not just in its report module.
+        assert!(RuleId::FloatAccumulation.applies(&loc("crates/telemetry/src/metrics.rs")));
+        assert!(RuleId::TruncatingCast.applies(&loc("crates/telemetry/src/export.rs")));
+        assert!(!RuleId::TruncatingCast.applies(&loc("crates/core/src/search.rs")));
+        assert!(RuleId::WallClock.applies(&loc("crates/telemetry/src/recorder.rs")));
     }
 
     #[test]

@@ -21,6 +21,16 @@ fn bench_fleet(c: &mut Criterion) {
         });
     }
 
+    // The same plain run with the flight recorder attached: every event
+    // and barrier also feeds the telemetry layer (ring buffer, metrics
+    // timelines, phase counters) — the price of observability when it is
+    // switched on. `run` above is the disabled-sink side of the pair: its
+    // telemetry hooks const-fold away.
+    let engine = FleetEngine::new(workloads::fleet_scenario(10_000, 1)).expect("engine builds");
+    group.bench_function("run_traced/10000", |b| {
+        b.iter(|| black_box(engine.run_traced().expect("run").0.inferences()))
+    });
+
     // The full run again, with the serving tier exercising batching,
     // water-fill dispatch, admission, and failover on every event/barrier.
     let engine = FleetEngine::new(workloads::batched_fleet_scenario(CloudSimFidelity::Fluid))

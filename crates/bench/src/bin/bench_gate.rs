@@ -132,6 +132,24 @@ fn main() {
         baseline(&fleet_json, "run/10000", "after_ns_per_inference_event") * events,
     );
 
+    // fleet/run_traced/10000 — the same engine with the flight recorder
+    // attached: the enabled-telemetry price on the identical workload.
+    // The untraced `fleet/run/10000` above doubles as the disabled-sink
+    // overhead check — its hooks const-fold away, so it must stay within
+    // the pre-telemetry baseline's tolerance.
+    let traced = measure(|| {
+        black_box(engine.run_traced().expect("run").0.inferences());
+    });
+    gate.check(
+        "fleet/run_traced/10000",
+        traced,
+        baseline(
+            &fleet_json,
+            "run_traced/10000",
+            "after_ns_per_inference_event",
+        ) * events,
+    );
+
     // fleet/per_request/10000 — the bench's batched two-backend tier at
     // per-request fidelity (the workload the baseline was recorded on).
     let engine = FleetEngine::new(workloads::batched_fleet_scenario(

@@ -48,6 +48,7 @@
 //! [`CloudServing::from`].
 
 use crate::report::Histogram;
+use lens_telemetry::{PhaseProbe, TraceEvent};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 use std::fmt;
@@ -996,7 +997,27 @@ impl RegionServing {
     /// serving high-priority work first, and records batch-close and
     /// utilization stats.
     pub fn drain(&mut self, epoch_ms: f64) {
-        for (config, queue) in self.serving.backends.iter().zip(&mut self.queues) {
+        self.drain_probed(epoch_ms, 0, 0, &mut PhaseProbe::disabled());
+    }
+
+    /// [`drain`](RegionServing::drain) with telemetry: batch closes are
+    /// counted into `probe` and emitted as [`TraceEvent::BatchClose`]
+    /// aggregates stamped at `now_us` (the epoch end — the fluid model
+    /// has no per-batch close instants).
+    pub fn drain_probed(
+        &mut self,
+        epoch_ms: f64,
+        now_us: u64,
+        region: u64,
+        probe: &mut PhaseProbe,
+    ) {
+        for (backend_idx, (config, queue)) in self
+            .serving
+            .backends
+            .iter()
+            .zip(&mut self.queues)
+            .enumerate()
+        {
             let slots = queue.slots_live as f64;
             let depth = queue.backlog_high + queue.backlog_low;
             let arrival_rate = queue.epoch_arrivals / epoch_ms;
@@ -1049,6 +1070,16 @@ impl RegionServing {
             let closed = batches.round() as u64;
             if closed > 0 {
                 queue.batch_sizes.record_n(b, closed);
+                if probe.is_enabled() {
+                    probe.on_batches(closed);
+                    probe.emit(TraceEvent::BatchClose {
+                        time_us: now_us,
+                        region,
+                        backend: backend_idx as u64,
+                        batches: closed,
+                        size_milli: (b * 1000.0).round() as u64,
+                    });
+                }
             }
             queue.epoch_arrivals = 0.0;
         }
@@ -1063,7 +1094,25 @@ impl RegionServing {
     /// (honoring the cooldown). The realized drain rate is rescaled with
     /// the slot count so post-scale waits price the new capacity.
     pub fn scale(&mut self, epoch_ms: f64) {
-        for (config, queue) in self.serving.backends.iter().zip(&mut self.queues) {
+        self.scale_probed(epoch_ms, 0, 0, &mut PhaseProbe::disabled());
+    }
+
+    /// [`scale`](RegionServing::scale) with telemetry: every applied
+    /// autoscaler step is emitted as a [`TraceEvent::ScalingStep`].
+    pub fn scale_probed(
+        &mut self,
+        epoch_ms: f64,
+        now_us: u64,
+        region: u64,
+        probe: &mut PhaseProbe,
+    ) {
+        for (backend_idx, (config, queue)) in self
+            .serving
+            .backends
+            .iter()
+            .zip(&mut self.queues)
+            .enumerate()
+        {
             queue.slot_timeline.push(queue.slots_live as u32);
             if let Some(auto) = &config.autoscaler {
                 let observed = match auto.signal {
@@ -1080,6 +1129,15 @@ impl RegionServing {
                 };
                 let target = auto.step(&mut queue.scaler, observed, queue.slots_live);
                 if target != queue.slots_live {
+                    if probe.is_enabled() {
+                        probe.emit(TraceEvent::ScalingStep {
+                            time_us: now_us,
+                            region,
+                            backend: backend_idx as u64,
+                            from_slots: queue.slots_live as u64,
+                            to_slots: target as u64,
+                        });
+                    }
                     queue.rate_per_ms *= target as f64 / queue.slots_live as f64;
                     queue.slots_live = target;
                     auto.arm(&mut queue.scaler);
@@ -1127,6 +1185,11 @@ impl RegionServing {
             .iter()
             .map(|q| q.backlog_high + q.backlog_low)
             .sum()
+    }
+
+    /// Live slot counts, backend order (metrics sampling).
+    pub fn live_slots(&self) -> Vec<u64> {
+        self.queues.iter().map(|q| q.slots_live as u64).collect()
     }
 
     /// The barrier signal shards read next epoch: per-class waits, the
@@ -1392,6 +1455,21 @@ impl RegionMicrosim {
         epoch_end_us: u64,
         out: &mut Vec<CompletedRequest>,
     ) {
+        self.run_epoch_probed(requests, epoch_end_us, out, 0, &mut PhaseProbe::disabled());
+    }
+
+    /// [`run_epoch`](RegionMicrosim::run_epoch) with telemetry: timer
+    /// pops, heap pushes, and discrete batch closes are counted into
+    /// `probe`, and every batch close is emitted as a
+    /// [`TraceEvent::BatchClose`] at its exact close instant.
+    pub fn run_epoch_probed(
+        &mut self,
+        requests: &[OffloadRequest],
+        epoch_end_us: u64,
+        out: &mut Vec<CompletedRequest>,
+        region: u64,
+        probe: &mut PhaseProbe,
+    ) {
         debug_assert!(requests
             .windows(2)
             .all(|w| (w[0].arrival_us, w[0].device_id) < (w[1].arrival_us, w[1].device_id)));
@@ -1406,7 +1484,7 @@ impl RegionMicrosim {
             // re-checks the linger deadline directly — so same-instant
             // arrivals enqueue *before* any batch at `now` closes and can
             // board it (the documented ordering).
-            self.run_timers(now, false, out);
+            self.run_timers(now, false, out, region, probe);
             touched.iter_mut().for_each(|t| *t = false);
             while i < requests.len() && requests[i].arrival_us == now {
                 let request = requests[i];
@@ -1422,30 +1500,49 @@ impl RegionMicrosim {
             }
             for (backend, hit) in touched.iter().enumerate() {
                 if *hit {
-                    self.dispatch(backend, now, out);
+                    self.dispatch(backend, now, out, region, probe);
                 }
             }
         }
-        self.run_timers(epoch_end_us, false, out);
+        self.run_timers(epoch_end_us, false, out, region, probe);
     }
 
     /// Drains everything still queued or in flight — the cloud keeps
     /// serving past the horizon so every admitted request completes and
     /// the tail histograms account for the whole population.
     pub fn flush(&mut self, out: &mut Vec<CompletedRequest>) {
-        self.run_timers(u64::MAX, true, out);
+        self.flush_probed(out, 0, &mut PhaseProbe::disabled());
+    }
+
+    /// [`flush`](RegionMicrosim::flush) with telemetry (the post-horizon
+    /// drain still closes batches worth recording).
+    pub fn flush_probed(
+        &mut self,
+        out: &mut Vec<CompletedRequest>,
+        region: u64,
+        probe: &mut PhaseProbe,
+    ) {
+        self.run_timers(u64::MAX, true, out, region, probe);
         debug_assert!(self.backends.iter().all(|b| b.queued() == 0));
     }
 
     /// Processes pending timer events with `time < limit_us` (or
     /// `<= limit_us` when `inclusive`).
-    fn run_timers(&mut self, limit_us: u64, inclusive: bool, out: &mut Vec<CompletedRequest>) {
+    fn run_timers(
+        &mut self,
+        limit_us: u64,
+        inclusive: bool,
+        out: &mut Vec<CompletedRequest>,
+        region: u64,
+        probe: &mut PhaseProbe,
+    ) {
         while let Some(&Reverse((time, _, backend))) = self.heap.peek() {
             if time > limit_us || (time == limit_us && !inclusive) {
                 break;
             }
             self.heap.pop();
-            self.dispatch(backend as usize, time, out);
+            probe.on_pop();
+            self.dispatch(backend as usize, time, out, region, probe);
         }
     }
 
@@ -1485,7 +1582,14 @@ impl RegionMicrosim {
     /// request has lingered out), assemble high-priority-first, occupy the
     /// slot for the affine batch cost, and complete every member. If the
     /// batcher is still filling, schedule the linger expiry instead.
-    fn dispatch(&mut self, backend: usize, now_us: u64, out: &mut Vec<CompletedRequest>) {
+    fn dispatch(
+        &mut self,
+        backend: usize,
+        now_us: u64,
+        out: &mut Vec<CompletedRequest>,
+        region: u64,
+        probe: &mut PhaseProbe,
+    ) {
         let config = &self.serving.backends[backend];
         let linger_us = (config.batching.linger_ms * 1000.0).round() as u64;
         loop {
@@ -1507,6 +1611,7 @@ impl RegionMicrosim {
                 // window closes. Stale wakeups re-check and re-arm.
                 self.heap
                     .push(Reverse((linger_deadline, EVENT_LINGER, backend as u32)));
+                probe.on_push();
                 return;
             }
             let size = queued.min(config.batching.max_batch);
@@ -1534,12 +1639,31 @@ impl RegionMicrosim {
             }
             self.heap
                 .push(Reverse((completion_us, EVENT_SLOT_FREE, backend as u32)));
+            if probe.is_enabled() {
+                probe.on_push();
+                probe.on_batches(1);
+                probe.emit(TraceEvent::BatchClose {
+                    time_us: now_us,
+                    region,
+                    backend: backend as u64,
+                    batches: 1,
+                    size_milli: size as u64 * 1000,
+                });
+            }
         }
     }
 
     /// Total requests waiting across all backends.
     pub fn depth(&self) -> f64 {
         self.backends.iter().map(|b| b.queued() as f64).sum()
+    }
+
+    /// Live slot counts, backend order (metrics sampling).
+    pub fn live_slots(&self) -> Vec<u64> {
+        self.backends
+            .iter()
+            .map(|b| b.slot_free_us.len() as u64)
+            .collect()
     }
 
     /// The wait (ms) a new arrival of the given class would see at
@@ -1573,6 +1697,20 @@ impl RegionMicrosim {
     /// (an in-flight batch is never killed) and retries at later barriers
     /// if not enough executors are idle.
     pub fn scale(&mut self, now_us: u64, epoch_us: u64) {
+        self.scale_probed(now_us, epoch_us, 0, &mut PhaseProbe::disabled());
+    }
+
+    /// [`scale`](RegionMicrosim::scale) with telemetry: every *realized*
+    /// slot-count change is emitted as a [`TraceEvent::ScalingStep`]
+    /// (scale-down reports the achieved count when too few executors
+    /// were idle to retire the full step).
+    pub fn scale_probed(
+        &mut self,
+        now_us: u64,
+        epoch_us: u64,
+        region: u64,
+        probe: &mut PhaseProbe,
+    ) {
         let heap = &mut self.heap;
         for (i, (config, backend)) in self
             .serving
@@ -1602,8 +1740,18 @@ impl RegionMicrosim {
                     std::cmp::Ordering::Greater => {
                         backend.slot_free_us.resize(target, now_us);
                         heap.push(Reverse((now_us, EVENT_SLOT_FREE, i as u32)));
+                        probe.on_push();
                         auto.arm(&mut backend.scaler);
                         backend.scale_events += 1;
+                        if probe.is_enabled() {
+                            probe.emit(TraceEvent::ScalingStep {
+                                time_us: now_us,
+                                region,
+                                backend: i as u64,
+                                from_slots: slots as u64,
+                                to_slots: target as u64,
+                            });
+                        }
                     }
                     std::cmp::Ordering::Less => {
                         let mut to_retire = slots - target;
@@ -1619,6 +1767,15 @@ impl RegionMicrosim {
                         if to_retire < before {
                             auto.arm(&mut backend.scaler);
                             backend.scale_events += 1;
+                            if probe.is_enabled() {
+                                probe.emit(TraceEvent::ScalingStep {
+                                    time_us: now_us,
+                                    region,
+                                    backend: i as u64,
+                                    from_slots: slots as u64,
+                                    to_slots: backend.slot_free_us.len() as u64,
+                                });
+                            }
                         }
                     }
                     std::cmp::Ordering::Equal => {}

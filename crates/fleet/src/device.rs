@@ -20,6 +20,7 @@ use crate::cloud::{CloudSimFidelity, DispatchPolicy, FailoverPolicy, RegionSigna
 use crate::scenario::FleetPolicy;
 use crate::{mix_seed, FleetError};
 use lens_runtime::{DeploymentOption, DeploymentPlanner, DominanceMap, Metric, ThroughputTracker};
+use lens_telemetry::TraceEvent;
 use lens_wireless::{Region, ThroughputTrace, WirelessTechnology};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -104,6 +105,47 @@ pub(crate) struct Served {
     /// Admission control shed the offload here and a sibling region's
     /// cloud absorbed it.
     pub failover_region: Option<u32>,
+}
+
+/// Emits the flight-recorder events for one serve outcome. Local serves
+/// that were never shed emit nothing — tracing every periodic local
+/// inference would flood the ring with events that carry no scheduling
+/// information. A failed-over offload emits two events at the same
+/// `(time_us, device_id)` key (failover, then dispatch at the sibling);
+/// the barrier's *stable* merge sort preserves that emission order.
+pub(crate) fn trace_serve_events(
+    served: &Served,
+    device_id: u64,
+    origin_region: u64,
+    high_priority: bool,
+    time_us: u64,
+    out: &mut Vec<TraceEvent>,
+) {
+    if served.shed_to_local {
+        out.push(TraceEvent::Shed {
+            time_us,
+            device_id,
+            region: origin_region,
+        });
+        return;
+    }
+    if let Some(dest) = served.failover_region {
+        out.push(TraceEvent::Failover {
+            time_us,
+            device_id,
+            from_region: origin_region,
+            to_region: u64::from(dest),
+        });
+    }
+    if served.offloaded {
+        out.push(TraceEvent::Dispatch {
+            time_us,
+            device_id,
+            region: served.failover_region.map_or(origin_region, u64::from),
+            high_priority,
+            failed_over: served.failover_region.is_some(),
+        });
+    }
 }
 
 /// Maps a SplitMix64 output to `[0, 1)` with 53 bits of precision.
@@ -791,5 +833,76 @@ mod tests {
             assert_eq!(da, b.draw_interarrival_us(1000.0));
             assert!(da >= 1);
         }
+    }
+
+    #[test]
+    fn serve_outcomes_map_to_the_expected_trace_events() {
+        let base = Served {
+            latency_ms: 10.0,
+            energy_mj: 5.0,
+            offloaded: false,
+            switched: false,
+            shed_to_local: false,
+            failover_region: None,
+        };
+        let events_for = |served: &Served| {
+            let mut out = Vec::new();
+            trace_serve_events(served, 7, 0, true, 1_000, &mut out);
+            out
+        };
+        // Plain local serve: silent.
+        assert!(events_for(&base).is_empty());
+        // Shed to local: one shed event at the origin region.
+        let shed = Served {
+            shed_to_local: true,
+            ..base
+        };
+        assert_eq!(
+            events_for(&shed),
+            [TraceEvent::Shed {
+                time_us: 1_000,
+                device_id: 7,
+                region: 0,
+            }]
+        );
+        // Plain offload: one dispatch at the origin.
+        let offloaded = Served {
+            offloaded: true,
+            ..base
+        };
+        assert_eq!(
+            events_for(&offloaded),
+            [TraceEvent::Dispatch {
+                time_us: 1_000,
+                device_id: 7,
+                region: 0,
+                high_priority: true,
+                failed_over: false,
+            }]
+        );
+        // Failover: failover then dispatch at the sibling, same key.
+        let failed_over = Served {
+            offloaded: true,
+            failover_region: Some(2),
+            ..base
+        };
+        assert_eq!(
+            events_for(&failed_over),
+            [
+                TraceEvent::Failover {
+                    time_us: 1_000,
+                    device_id: 7,
+                    from_region: 0,
+                    to_region: 2,
+                },
+                TraceEvent::Dispatch {
+                    time_us: 1_000,
+                    device_id: 7,
+                    region: 2,
+                    high_priority: true,
+                    failed_over: true,
+                }
+            ]
+        );
     }
 }

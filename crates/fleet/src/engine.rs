@@ -29,6 +29,11 @@ use crate::scenario::{ArrivalModel, FleetPolicy, FleetScenario};
 use crate::{mix_seed, Cohort, FleetError};
 use lens_device::profile_network;
 use lens_runtime::{DeploymentPlanner, DominanceMap};
+use lens_telemetry::metrics::to_fp;
+use lens_telemetry::{
+    BarrierPhase, EngineProfile, FlightRecorder, MetricsRegistry, NullSink, PhaseCounters,
+    PhaseProbe, RunTelemetry, SeriesId, Sink, TraceEvent, METRIC_FP_SCALE,
+};
 use lens_wireless::{ThroughputTrace, WirelessLink};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -68,6 +73,11 @@ struct ShardEpochOutput {
     /// Per-destination-region offloaded requests, in shard-local event
     /// order — the per-request microsim's feed (empty under fluid).
     requests: Vec<Vec<OffloadRequest>>,
+    /// Device-side trace events in shard-local event order (empty when
+    /// untraced); the barrier merges them by `(time_us, device_id)`.
+    events: Vec<TraceEvent>,
+    /// Shard-step work counters (zero when untraced).
+    counters: PhaseCounters,
 }
 
 impl FleetEngine {
@@ -207,20 +217,61 @@ impl FleetEngine {
     /// Runs the scenario to completion and returns the merged report,
     /// dispatching on the scenario's [`CloudSimFidelity`].
     ///
+    /// This is the untraced path: it instantiates the engine with the
+    /// [`NullSink`], whose `ENABLED = false` const-folds every telemetry
+    /// block away, so it costs exactly what it did before the
+    /// observability layer existed. `tests/fleet_sim.rs` pins that this
+    /// report is bit-identical to [`run_traced`](FleetEngine::run_traced)'s.
+    ///
     /// # Errors
     ///
     /// Currently infallible after [`FleetEngine::new`] succeeds; the
     /// `Result` reserves room for resource limits.
     pub fn run(&self) -> Result<FleetReport, FleetError> {
+        Ok(self.run_with(&mut NullSink)?.0)
+    }
+
+    /// Runs the scenario with the flight recorder attached, returning the
+    /// report together with the run's [`RunTelemetry`] (event trace,
+    /// per-epoch metrics timelines, and the per-phase engine profile).
+    ///
+    /// Recording observes the run without perturbing it: the report is
+    /// bit-identical to [`run`](FleetEngine::run)'s, and the telemetry
+    /// artifacts are themselves bit-identical across shard counts.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`run`](FleetEngine::run).
+    pub fn run_traced(&self) -> Result<(FleetReport, RunTelemetry), FleetError> {
+        let mut recorder = FlightRecorder::new(self.scenario.telemetry.event_capacity());
+        let (report, metrics, profile) = self.run_with(&mut recorder)?;
+        Ok((
+            report,
+            RunTelemetry {
+                recorder,
+                metrics,
+                profile,
+            },
+        ))
+    }
+
+    /// The shared run loop, generic over the event sink.
+    fn run_with<S: Sink>(
+        &self,
+        sink: &mut S,
+    ) -> Result<(FleetReport, MetricsRegistry, EngineProfile), FleetError> {
         match self.scenario.fidelity {
-            CloudSimFidelity::Fluid => self.run_fluid(),
-            CloudSimFidelity::PerRequest => self.run_per_request(),
+            CloudSimFidelity::Fluid => self.run_fluid(sink),
+            CloudSimFidelity::PerRequest => self.run_per_request(sink),
         }
     }
 
     /// The fluid path (PR 3): offloads are merged as counts and the
     /// serving tier drains them as epoch aggregates.
-    fn run_fluid(&self) -> Result<FleetReport, FleetError> {
+    fn run_fluid<S: Sink>(
+        &self,
+        sink: &mut S,
+    ) -> Result<(FleetReport, MetricsRegistry, EngineProfile), FleetError> {
         let scenario = &self.scenario;
         let num_regions = scenario.regions.len();
         let region_names = scenario.region_names();
@@ -241,6 +292,11 @@ impl FleetEngine {
         let mut depth_series = vec![Vec::with_capacity(num_epochs); num_regions];
         let mut wait_series = vec![Vec::with_capacity(num_epochs); num_regions];
 
+        let mut metrics = MetricsRegistry::new(epoch_us);
+        let mut profile = EngineProfile::new();
+        let mut probe = self.make_probe::<S>();
+        let series = self.register_series::<S>(&mut metrics, &region_names);
+
         for epoch in 0..num_epochs {
             let epoch_start = epoch as u64 * epoch_us;
             let epoch_end = ((epoch + 1) as u64 * epoch_us).min(horizon_us);
@@ -248,13 +304,19 @@ impl FleetEngine {
                 region.push(s.wait_low_ms);
             }
 
-            let outputs = self.advance_epoch(&mut shard_states, &signals, epoch_end);
+            let mut outputs =
+                self.advance_epoch(&mut shard_states, &signals, epoch_end, S::ENABLED);
+            merge_shard_trace::<S>(sink, &mut profile, &mut outputs, epoch_end, epoch as u64);
 
             // Barrier: merge offload demand (integer sums, so the result
             // is independent of shard count), run the serving tier's
             // batch-close events, scale, then publish next epoch's
             // signals — strictly in that order, so published waits and
-            // shed fractions price the post-scale capacity.
+            // shed fractions price the post-scale capacity. Each phase
+            // sweeps every region before the next phase starts (regions
+            // are independent, so the per-phase sweep is behavior-
+            // preserving) — that is what lets the probe attribute work
+            // and events to a single phase.
             let epoch_ms = (epoch_end - epoch_start) as f64 / 1000.0;
             for (region, serving) in servings.iter_mut().enumerate() {
                 let (high, low) = outputs
@@ -263,9 +325,50 @@ impl FleetEngine {
                     .fold((0, 0), |(h, l), (sh, sl)| (h + sh, l + sl));
                 serving.admit(high, low);
                 depth_series[region].push(serving.depth());
-                serving.drain(epoch_ms);
-                serving.scale(epoch_ms);
+            }
+            for (region, serving) in servings.iter_mut().enumerate() {
+                serving.drain_probed(epoch_ms, epoch_end, region as u64, &mut probe);
+            }
+            flush_probe::<S>(
+                sink,
+                &mut profile,
+                &mut probe,
+                BarrierPhase::Drain,
+                epoch_end,
+                epoch as u64,
+            );
+            for (region, serving) in servings.iter_mut().enumerate() {
+                serving.scale_probed(epoch_ms, epoch_end, region as u64, &mut probe);
+            }
+            flush_probe::<S>(
+                sink,
+                &mut profile,
+                &mut probe,
+                BarrierPhase::Scale,
+                epoch_end,
+                epoch as u64,
+            );
+            for (region, serving) in servings.iter_mut().enumerate() {
                 signals[region] = serving.publish();
+            }
+            flush_probe::<S>(
+                sink,
+                &mut profile,
+                &mut probe,
+                BarrierPhase::Publish,
+                epoch_end,
+                epoch as u64,
+            );
+            if S::ENABLED {
+                profile.bump_epochs();
+                for region in 0..num_regions {
+                    metrics.push(series.depth[region], to_fp(servings[region].depth()));
+                    metrics.push(series.shed[region], to_fp(signals[region].shed_fraction));
+                    for (backend, &id) in series.slots[region].iter().enumerate() {
+                        let live = servings[region].live_slots()[backend];
+                        metrics.push(id, live as i64 * METRIC_FP_SCALE);
+                    }
+                }
             }
         }
 
@@ -296,7 +399,7 @@ impl FleetEngine {
             }
         }
         report.set_backend_reports(backend_reports);
-        Ok(report)
+        Ok((report, metrics, profile))
     }
 
     /// The per-request path: every offloaded request becomes a discrete
@@ -312,7 +415,10 @@ impl FleetEngine {
     /// time order. Completions (whenever they land) finish the deferred
     /// device records: end-to-end latency = the device-side latency
     /// captured at arrival + the exact cloud sojourn.
-    fn run_per_request(&self) -> Result<FleetReport, FleetError> {
+    fn run_per_request<S: Sink>(
+        &self,
+        sink: &mut S,
+    ) -> Result<(FleetReport, MetricsRegistry, EngineProfile), FleetError> {
         let scenario = &self.scenario;
         let num_regions = scenario.regions.len();
         let region_names = scenario.region_names();
@@ -338,6 +444,19 @@ impl FleetEngine {
             .collect();
         let mut completions: Vec<CompletedRequest> = Vec::new();
 
+        let mut metrics = MetricsRegistry::new(epoch_us);
+        let mut profile = EngineProfile::new();
+        let mut probe = self.make_probe::<S>();
+        let series = self.register_series::<S>(&mut metrics, &region_names);
+        let p99_series: Vec<SeriesId> = if S::ENABLED {
+            region_names
+                .iter()
+                .map(|name| metrics.series(&format!("p99_ms/{name}")))
+                .collect()
+        } else {
+            Vec::new()
+        };
+
         for epoch in 0..num_epochs {
             let epoch_start = epoch as u64 * epoch_us;
             let epoch_end = ((epoch + 1) as u64 * epoch_us).min(horizon_us);
@@ -345,16 +464,29 @@ impl FleetEngine {
                 region.push(s.wait_low_ms);
             }
 
-            let outputs = self.advance_epoch(&mut shard_states, &signals, epoch_end);
+            let mut outputs =
+                self.advance_epoch(&mut shard_states, &signals, epoch_end, S::ENABLED);
+            merge_shard_trace::<S>(sink, &mut profile, &mut outputs, epoch_end, epoch as u64);
 
+            // Same per-phase sweeps as the fluid barrier: regions are
+            // independent, so draining every region before scaling any is
+            // behavior-preserving, and it lets the probe attribute work
+            // and events to a single phase.
             for (region, sim) in sims.iter_mut().enumerate() {
                 let mut requests: Vec<OffloadRequest> = outputs
                     .iter()
                     .flat_map(|shard| shard.requests[region].iter().copied())
                     .collect();
                 requests.sort_unstable_by_key(|r| (r.arrival_us, r.device_id));
+                probe.on_merged(requests.len() as u64);
                 completions.clear();
-                sim.run_epoch(&requests, epoch_end, &mut completions);
+                sim.run_epoch_probed(
+                    &requests,
+                    epoch_end,
+                    &mut completions,
+                    region as u64,
+                    &mut probe,
+                );
                 record_completions(
                     &mut barrier_report,
                     &mut region_sojourn[region],
@@ -362,17 +494,68 @@ impl FleetEngine {
                     &completions,
                 );
                 depth_series[region].push(sim.depth());
-                // Scale before publishing, mirroring the fluid barrier.
-                sim.scale(epoch_end, epoch_end - epoch_start);
+            }
+            flush_probe::<S>(
+                sink,
+                &mut profile,
+                &mut probe,
+                BarrierPhase::Drain,
+                epoch_end,
+                epoch as u64,
+            );
+            // Scale before publishing, mirroring the fluid barrier.
+            for (region, sim) in sims.iter_mut().enumerate() {
+                sim.scale_probed(
+                    epoch_end,
+                    epoch_end - epoch_start,
+                    region as u64,
+                    &mut probe,
+                );
+            }
+            flush_probe::<S>(
+                sink,
+                &mut profile,
+                &mut probe,
+                BarrierPhase::Scale,
+                epoch_end,
+                epoch as u64,
+            );
+            for (region, sim) in sims.iter_mut().enumerate() {
                 signals[region] = sim.barrier_signal(epoch_end);
+            }
+            flush_probe::<S>(
+                sink,
+                &mut profile,
+                &mut probe,
+                BarrierPhase::Publish,
+                epoch_end,
+                epoch as u64,
+            );
+            if S::ENABLED {
+                profile.bump_epochs();
+                for region in 0..num_regions {
+                    metrics.push(series.depth[region], to_fp(sims[region].depth()));
+                    metrics.push(series.shed[region], to_fp(signals[region].shed_fraction));
+                    for (backend, &id) in series.slots[region].iter().enumerate() {
+                        let live = sims[region].live_slots()[backend];
+                        metrics.push(id, live as i64 * METRIC_FP_SCALE);
+                    }
+                    // Cumulative tail so far — the closed-loop signal the
+                    // flash-crowd work wants to watch epoch by epoch.
+                    metrics.push(
+                        p99_series[region],
+                        to_fp(region_sojourn[region].percentile(99.0)),
+                    );
+                }
             }
         }
 
         // The cloud drains its backlog past the horizon so every admitted
         // request completes and the tails account for the whole fleet.
+        // The post-horizon work lands in one final drain-phase record.
         for (region, sim) in sims.iter_mut().enumerate() {
             completions.clear();
-            sim.flush(&mut completions);
+            sim.flush_probed(&mut completions, region as u64, &mut probe);
             record_completions(
                 &mut barrier_report,
                 &mut region_sojourn[region],
@@ -380,6 +563,14 @@ impl FleetEngine {
                 &completions,
             );
         }
+        flush_probe::<S>(
+            sink,
+            &mut profile,
+            &mut probe,
+            BarrierPhase::Drain,
+            horizon_us,
+            num_epochs as u64,
+        );
 
         let mut report = FleetReport::empty(LATENCY_BIN_MS, ENERGY_BIN_MJ, NUM_BINS, &region_names);
         for state in &shard_states {
@@ -410,16 +601,64 @@ impl FleetEngine {
         }
         report.set_backend_reports(backend_reports);
         report.set_cloud_sojourn(region_sojourn);
-        Ok(report)
+        Ok((report, metrics, profile))
+    }
+
+    /// The barrier-thread probe: recording iff the sink is enabled.
+    fn make_probe<S: Sink>(&self) -> PhaseProbe {
+        if S::ENABLED {
+            PhaseProbe::enabled()
+        } else {
+            PhaseProbe::disabled()
+        }
+    }
+
+    /// Registers the per-region timelines sampled at every barrier, in
+    /// fixed scenario order (region-major, then backend) so the registry
+    /// layout — and its digest — is independent of the shard count.
+    fn register_series<S: Sink>(
+        &self,
+        metrics: &mut MetricsRegistry,
+        region_names: &[String],
+    ) -> EpochSeries {
+        let mut series = EpochSeries {
+            depth: Vec::new(),
+            shed: Vec::new(),
+            slots: Vec::new(),
+        };
+        if !S::ENABLED {
+            return series;
+        }
+        for name in region_names {
+            series
+                .depth
+                .push(metrics.series(&format!("queue_depth/{name}")));
+            series
+                .shed
+                .push(metrics.series(&format!("shed_fraction/{name}")));
+        }
+        for name in region_names {
+            series.slots.push(
+                self.scenario
+                    .serving
+                    .backends
+                    .iter()
+                    .map(|b| metrics.series(&format!("slots/{name}/{}", b.name)))
+                    .collect(),
+            );
+        }
+        series
     }
 
     /// Phase A: every shard advances its event heap to the barrier in
-    /// parallel and returns its epoch contribution.
+    /// parallel and returns its epoch contribution. `trace` asks shards
+    /// to also emit device events and work counters.
     fn advance_epoch(
         &self,
         shard_states: &mut [ShardState],
         signals: &[RegionSignal],
         epoch_end: u64,
+        trace: bool,
     ) -> Vec<ShardEpochOutput> {
         let scenario = &self.scenario;
         let num_regions = scenario.regions.len();
@@ -439,6 +678,7 @@ impl FleetEngine {
                             epoch_end,
                             horizon_us,
                             epoch_us,
+                            trace,
                         )
                     })
                 })
@@ -503,6 +743,75 @@ fn to_us(ms: f64) -> u64 {
     (ms * 1000.0).round() as u64
 }
 
+/// The barrier-sampled timeline handles, region-major.
+struct EpochSeries {
+    depth: Vec<SeriesId>,
+    shed: Vec<SeriesId>,
+    slots: Vec<Vec<SeriesId>>,
+}
+
+/// Merges the shards' device events into the sink in shard-count-
+/// invariant order and folds their work counters into the shard-step
+/// phase. A no-op (and fully const-folded) when the sink is disabled.
+///
+/// The merge sort is **stable** on `(time_us, device_id)`: equal keys
+/// only ever come from the same device (failover + dispatch at one
+/// instant), and a stable sort preserves that device's emission order
+/// regardless of which shard the device landed in.
+fn merge_shard_trace<S: Sink>(
+    sink: &mut S,
+    profile: &mut EngineProfile,
+    outputs: &mut [ShardEpochOutput],
+    epoch_end: u64,
+    epoch: u64,
+) {
+    if !S::ENABLED {
+        return;
+    }
+    let mut counters = PhaseCounters::default();
+    let mut events: Vec<TraceEvent> = Vec::new();
+    for output in outputs.iter_mut() {
+        counters.add(&output.counters);
+        events.append(&mut output.events);
+    }
+    events.sort_by_key(|e| e.merge_key());
+    for event in events {
+        sink.record(event);
+    }
+    profile.record(BarrierPhase::ShardStep, &counters);
+    sink.record(TraceEvent::Phase {
+        time_us: epoch_end,
+        epoch,
+        phase: BarrierPhase::ShardStep,
+    });
+}
+
+/// Drains the probe into the sink and profile at a phase boundary:
+/// buffered barrier events first, then the phase-transition marker.
+/// A no-op (and fully const-folded) when the sink is disabled.
+fn flush_probe<S: Sink>(
+    sink: &mut S,
+    profile: &mut EngineProfile,
+    probe: &mut PhaseProbe,
+    phase: BarrierPhase,
+    time_us: u64,
+    epoch: u64,
+) {
+    if !S::ENABLED {
+        return;
+    }
+    let (events, counters) = probe.take();
+    for event in events {
+        sink.record(event);
+    }
+    profile.record(phase, &counters);
+    sink.record(TraceEvent::Phase {
+        time_us,
+        epoch,
+        phase,
+    });
+}
+
 /// Records a batch of microsim completions: each finishes its deferred
 /// device record (end-to-end latency = device-side latency + exact cloud
 /// sojourn) and lands in the serving region's sojourn histogram.
@@ -546,17 +855,24 @@ fn advance_shard(
     epoch_end: u64,
     horizon_us: u64,
     epoch_us: u64,
+    trace: bool,
 ) -> ShardEpochOutput {
     let per_request = scenario.fidelity == CloudSimFidelity::PerRequest;
     let mut output = ShardEpochOutput {
         arrivals: vec![(0u64, 0u64); num_regions],
         requests: vec![Vec::new(); if per_request { num_regions } else { 0 }],
+        events: Vec::new(),
+        counters: PhaseCounters::default(),
     };
     while let Some(&Reverse((time, local))) = state.heap.peek() {
         if time >= epoch_end {
             break;
         }
         state.heap.pop();
+        if trace {
+            output.counters.events_popped += 1;
+            output.counters.heap_ops += 1;
+        }
         let device = &mut state.devices[local as usize];
         let cohort = &cohorts[device.cohort_index()];
         let served = device.serve(
@@ -572,6 +888,16 @@ fn advance_shard(
             time,
             epoch_us,
         );
+        if trace {
+            crate::device::trace_serve_events(
+                &served,
+                (state.base_id + local as usize) as u64,
+                cohort.region_index as u64,
+                device.high_priority(),
+                time,
+                &mut output.events,
+            );
+        }
         if !(per_request && served.offloaded) {
             state.report.record(cohort.region_index, &served);
         }
@@ -608,6 +934,9 @@ fn advance_shard(
             };
         if next < horizon_us {
             state.heap.push(Reverse((next, local)));
+            if trace {
+                output.counters.heap_ops += 1;
+            }
         }
     }
     output

@@ -53,6 +53,14 @@
 //!   and per-backend breakdowns (utilization, batch-size histograms,
 //!   per-request sojourn tails under [`CloudSimFidelity::PerRequest`]),
 //!   and cloud-queue depth over time ([`report`]).
+//! * Telemetry — [`FleetEngine::run_traced`] records the run through
+//!   `lens-telemetry`'s deterministic observability layer: a sim-time
+//!   [`FlightRecorder`] of typed [`TraceEvent`]s, fixed-point per-epoch
+//!   [`MetricsRegistry`] timelines, and a per-phase [`EngineProfile`] of
+//!   work counters, bundled as [`RunTelemetry`] with JSON and Chrome
+//!   `trace_event` exports. The untraced [`FleetEngine::run`] uses the
+//!   [`NullSink`], whose disabled recording const-folds to nothing
+//!   (see `docs/ARCHITECTURE.md`, "Observability").
 //!
 //! # Sharding and the epoch barrier
 //!
@@ -164,6 +172,13 @@ pub use device::{Cohort, Device};
 pub use engine::FleetEngine;
 pub use report::{BackendReport, FleetReport, Histogram, RegionReport, TailSummary};
 pub use scenario::{ArrivalModel, FleetPolicy, FleetScenario, FleetScenarioBuilder, RegionShare};
+
+// The observability surface, re-exported so fleet users need no direct
+// `lens-telemetry` dependency to consume a traced run.
+pub use lens_telemetry::{
+    BarrierPhase, EngineProfile, FlightRecorder, MetricsRegistry, NullSink, PhaseCounters,
+    PhaseProbe, RunTelemetry, Sink, TelemetryConfig, TraceEvent,
+};
 
 use std::error::Error;
 use std::fmt;

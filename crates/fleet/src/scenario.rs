@@ -13,6 +13,7 @@ use lens_device::DeviceProfile;
 use lens_nn::units::{Mbps, Millis};
 use lens_nn::Network;
 use lens_runtime::{DeploymentKind, Metric};
+use lens_telemetry::TelemetryConfig;
 use lens_wireless::{Region, WirelessTechnology};
 
 /// One region's share of the population, with its wireless-technology mix.
@@ -107,6 +108,7 @@ pub struct FleetScenario {
     pub(crate) shards: usize,
     pub(crate) network: Network,
     pub(crate) device_profile: DeviceProfile,
+    pub(crate) telemetry: TelemetryConfig,
 }
 
 impl FleetScenario {
@@ -195,6 +197,12 @@ impl FleetScenario {
         &self.device_profile
     }
 
+    /// The flight-recorder configuration used by
+    /// [`crate::FleetEngine::run_traced`].
+    pub fn telemetry(&self) -> &TelemetryConfig {
+        &self.telemetry
+    }
+
     /// Expected number of inference events the whole fleet generates.
     pub fn expected_events(&self) -> u64 {
         let per_device = self.horizon.get() / self.arrival.mean_period_ms();
@@ -219,6 +227,7 @@ pub struct FleetScenarioBuilder {
     shards: usize,
     network: Option<Network>,
     device_profile: DeviceProfile,
+    telemetry: TelemetryConfig,
 }
 
 impl Default for FleetScenarioBuilder {
@@ -247,6 +256,7 @@ impl Default for FleetScenarioBuilder {
             shards: 1,
             network: None,
             device_profile: DeviceProfile::jetson_tx2_cpu(),
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -353,6 +363,12 @@ impl FleetScenarioBuilder {
         self
     }
 
+    /// Sets the flight-recorder configuration for traced runs.
+    pub fn telemetry(mut self, telemetry: TelemetryConfig) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
     /// Validates and builds the scenario.
     ///
     /// # Errors
@@ -406,6 +422,9 @@ impl FleetScenarioBuilder {
         if let Err(why) = self.serving.validate() {
             return invalid(&why);
         }
+        if let Err(why) = self.telemetry.validate() {
+            return invalid(&why);
+        }
         Ok(FleetScenario {
             population: self.population,
             regions: self.regions,
@@ -421,6 +440,7 @@ impl FleetScenarioBuilder {
             shards: self.shards,
             network: self.network.unwrap_or_else(lens_nn::zoo::alexnet),
             device_profile: self.device_profile,
+            telemetry: self.telemetry,
         })
     }
 }

@@ -17,6 +17,7 @@
 //! | [`accuracy`] | CIFAR-10 error surrogate + a real MLP trainer |
 //! | [`runtime`] | deployment options, `t_u` thresholds, trace-driven Fig 8 simulator |
 //! | [`fleet`] | sharded discrete-event fleet simulator: device populations vs a finite shared cloud |
+//! | [`telemetry`] | deterministic observability: sim-time flight recorder, fixed-point metrics timelines, engine profiling |
 //! | [`num`] | dense linear algebra, ridge regression, distributions |
 //!
 //! # Quickstart
@@ -53,6 +54,7 @@ pub use lens_num as num;
 pub use lens_pareto as pareto;
 pub use lens_runtime as runtime;
 pub use lens_space as space;
+pub use lens_telemetry as telemetry;
 pub use lens_wireless as wireless;
 
 /// The most commonly used items, for glob import.
@@ -79,6 +81,10 @@ pub mod prelude {
         ThroughputTracker,
     };
     pub use lens_space::{Architecture, Encoding, SearchSpace, VggSpace};
+    pub use lens_telemetry::{
+        BarrierPhase, EngineProfile, FlightRecorder, MetricsRegistry, RunTelemetry,
+        TelemetryConfig, TraceEvent,
+    };
     pub use lens_wireless::{
         GaussMarkov, Region, ThroughputTrace, TraceGenerator, WirelessLink, WirelessTechnology,
     };
@@ -95,5 +101,6 @@ mod tests {
         let _tracker = ThroughputTracker::last_sample();
         let _ = Lens::builder();
         let _ = FleetScenario::builder();
+        let _ = TelemetryConfig::default();
     }
 }

@@ -1,0 +1,321 @@
+//! Export formats for one run's telemetry.
+//!
+//! [`RunTelemetry`] bundles the flight recorder, the metrics registry,
+//! and the engine profile, and renders two artifacts:
+//!
+//! * [`RunTelemetry::to_json`] — a self-describing JSON document
+//!   (`lens-telemetry-v1`) with the full event list, every fixed-point
+//!   timeline, and the per-phase work counters.
+//! * [`RunTelemetry::to_chrome_trace`] — Chrome `trace_event` format
+//!   (`{"traceEvents": [...]}`): trace events become instants, metric
+//!   timelines become counter tracks, timestamps are simulation µs.
+//!   The file opens directly in `about://tracing` or Perfetto.
+//!
+//! Both renderers are hand-rolled (the crate is dependency-free) and
+//! integer-only: fixed-point samples are formatted with
+//! [`crate::metrics::format_fp`], never through `f64` Display, so the
+//! bytes of an export are as deterministic as the run behind it.
+
+use crate::event::{BarrierPhase, TraceEvent};
+use crate::metrics::{format_fp, MetricsRegistry};
+use crate::profile::EngineProfile;
+use crate::recorder::FlightRecorder;
+
+/// Everything recorded during one traced run
+/// (`FleetEngine::run_traced` returns the report paired with this).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunTelemetry {
+    /// The flight-recorder event ring.
+    pub recorder: FlightRecorder,
+    /// The per-epoch metrics timelines.
+    pub metrics: MetricsRegistry,
+    /// The per-phase work-counter profile.
+    pub profile: EngineProfile,
+}
+
+impl RunTelemetry {
+    /// The flight-recorder trace digest (shard-count invariant).
+    pub fn trace_digest(&self) -> u64 {
+        self.recorder.digest()
+    }
+
+    /// The metrics-timeline digest (shard-count invariant).
+    pub fn metrics_digest(&self) -> u64 {
+        self.metrics.digest()
+    }
+
+    /// Renders the `lens-telemetry-v1` JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4_096);
+        out.push_str("{\"schema\":\"lens-telemetry-v1\"");
+
+        out.push_str(&format!(
+            ",\"trace\":{{\"capacity\":{},\"recorded\":{},\"dropped\":{},\"digest\":\"{:#018x}\",\"events\":[",
+            self.recorder.capacity(),
+            self.recorder.recorded(),
+            self.recorder.dropped(),
+            self.recorder.digest(),
+        ));
+        for (i, event) in self.recorder.events().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"kind\":\"{}\",{}}}",
+                event.kind(),
+                event_fields_json(event)
+            ));
+        }
+        out.push_str("]}");
+
+        out.push_str(&format!(
+            ",\"metrics\":{{\"epoch_us\":{},\"digest\":\"{:#018x}\",\"series\":[",
+            self.metrics.epoch_us(),
+            self.metrics.digest(),
+        ));
+        for (i, (name, points)) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"points_fp\":[",
+                escape_json(name)
+            ));
+            for (j, &point) in points.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&point.to_string());
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+
+        out.push_str(&format!(
+            ",\"profile\":{{\"epochs\":{},\"phases\":[",
+            self.profile.epochs()
+        ));
+        for (i, phase) in BarrierPhase::ALL.into_iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let c = self.profile.phase(phase);
+            out.push_str(&format!(
+                "{{\"phase\":\"{}\",\"events_popped\":{},\"heap_ops\":{},\"records_merged\":{},\"batches_closed\":{}}}",
+                phase.name(),
+                c.events_popped,
+                c.heap_ops,
+                c.records_merged,
+                c.batches_closed,
+            ));
+        }
+        out.push_str("]}}");
+        out
+    }
+
+    /// Renders Chrome `trace_event` JSON. Instant events (`ph:"i"`)
+    /// carry the flight-recorder trace on thread 0; each metric series
+    /// becomes a counter track (`ph:"C"`) sampled at its epoch
+    /// boundaries. Timestamps are simulation microseconds.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut out = String::with_capacity(4_096);
+        out.push_str("{\"traceEvents\":[");
+        let mut first = true;
+        for event in self.recorder.events() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"cat\":\"fleet\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":0,\"tid\":0,\"args\":{{{}}}}}",
+                event.kind(),
+                event.time_us(),
+                event_fields_json(event),
+            ));
+        }
+        let epoch_us = self.metrics.epoch_us();
+        for (name, points) in self.metrics.iter() {
+            for (epoch, &point) in points.iter().enumerate() {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                // Samples are taken at the epoch *barrier*, i.e. the end
+                // of epoch `epoch`.
+                let ts = (epoch as u64 + 1) * epoch_us;
+                out.push_str(&format!(
+                    "{{\"name\":\"{}\",\"cat\":\"metrics\",\"ph\":\"C\",\"ts\":{},\"pid\":0,\"args\":{{\"value\":{}}}}}",
+                    escape_json(name),
+                    ts,
+                    format_fp(point),
+                ));
+            }
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// The `"key":value` field list for one event (no braces), shared by
+/// both export formats. Booleans render as JSON booleans, everything
+/// else is an integer.
+fn event_fields_json(event: &TraceEvent) -> String {
+    match *event {
+        TraceEvent::Dispatch {
+            time_us,
+            device_id,
+            region,
+            high_priority,
+            failed_over,
+        } => format!(
+            "\"time_us\":{time_us},\"device_id\":{device_id},\"region\":{region},\"high_priority\":{high_priority},\"failed_over\":{failed_over}"
+        ),
+        TraceEvent::Shed {
+            time_us,
+            device_id,
+            region,
+        } => format!("\"time_us\":{time_us},\"device_id\":{device_id},\"region\":{region}"),
+        TraceEvent::Failover {
+            time_us,
+            device_id,
+            from_region,
+            to_region,
+        } => format!(
+            "\"time_us\":{time_us},\"device_id\":{device_id},\"from_region\":{from_region},\"to_region\":{to_region}"
+        ),
+        TraceEvent::BatchClose {
+            time_us,
+            region,
+            backend,
+            batches,
+            size_milli,
+        } => format!(
+            "\"time_us\":{time_us},\"region\":{region},\"backend\":{backend},\"batches\":{batches},\"size_milli\":{size_milli}"
+        ),
+        TraceEvent::ScalingStep {
+            time_us,
+            region,
+            backend,
+            from_slots,
+            to_slots,
+        } => format!(
+            "\"time_us\":{time_us},\"region\":{region},\"backend\":{backend},\"from_slots\":{from_slots},\"to_slots\":{to_slots}"
+        ),
+        TraceEvent::Phase {
+            time_us,
+            epoch,
+            phase,
+        } => format!(
+            "\"time_us\":{time_us},\"epoch\":{epoch},\"phase\":\"{}\"",
+            phase.name()
+        ),
+    }
+}
+
+/// Minimal JSON string escaping. Series names are plain identifiers in
+/// practice, but user-supplied backend names flow into them, so quotes,
+/// backslashes, and control characters are handled anyway.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if u32::from(c) < 0x20 => out.push_str(&format!("\\u{:04x}", u32::from(c))),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::to_fp;
+    use crate::profile::PhaseCounters;
+    use crate::sink::Sink;
+
+    fn sample_telemetry() -> RunTelemetry {
+        let mut recorder = FlightRecorder::new(16);
+        recorder.record(TraceEvent::Dispatch {
+            time_us: 1_000,
+            device_id: 7,
+            region: 0,
+            high_priority: true,
+            failed_over: false,
+        });
+        recorder.record(TraceEvent::Phase {
+            time_us: 60_000_000,
+            epoch: 0,
+            phase: BarrierPhase::Drain,
+        });
+        let mut metrics = MetricsRegistry::new(60_000_000);
+        let depth = metrics.series("queue_depth/0");
+        metrics.push(depth, to_fp(2.5));
+        metrics.push(depth, to_fp(3.0));
+        let mut profile = EngineProfile::new();
+        profile.record(
+            BarrierPhase::ShardStep,
+            &PhaseCounters {
+                events_popped: 12,
+                heap_ops: 24,
+                records_merged: 0,
+                batches_closed: 0,
+            },
+        );
+        profile.bump_epochs();
+        RunTelemetry {
+            recorder,
+            metrics,
+            profile,
+        }
+    }
+
+    #[test]
+    fn json_export_carries_all_three_sections() {
+        let telemetry = sample_telemetry();
+        let json = telemetry.to_json();
+        assert!(json.starts_with("{\"schema\":\"lens-telemetry-v1\""));
+        assert!(json.contains("\"kind\":\"dispatch\""));
+        assert!(json.contains("\"phase\":\"drain\""));
+        assert!(json.contains("\"name\":\"queue_depth/0\""));
+        assert!(json.contains("\"points_fp\":[2500000,3000000]"));
+        assert!(json.contains("\"events_popped\":12"));
+        assert!(json.contains(&format!("{:#018x}", telemetry.trace_digest())));
+        assert!(json.contains(&format!("{:#018x}", telemetry.metrics_digest())));
+        assert!(json.ends_with("}"));
+    }
+
+    #[test]
+    fn chrome_trace_has_instants_and_counters() {
+        let telemetry = sample_telemetry();
+        let trace = telemetry.to_chrome_trace();
+        assert!(trace.starts_with("{\"traceEvents\":["));
+        assert!(trace.contains("\"ph\":\"i\""));
+        assert!(trace.contains("\"ph\":\"C\""));
+        // Counter samples land at epoch *ends*: 60 s and 120 s.
+        assert!(trace.contains("\"ts\":60000000,\"pid\":0,\"args\":{\"value\":2.500000}"));
+        assert!(trace.contains("\"ts\":120000000,\"pid\":0,\"args\":{\"value\":3.000000}"));
+        assert!(trace.ends_with("]}"));
+    }
+
+    #[test]
+    fn escaping_handles_hostile_names() {
+        assert_eq!(escape_json("plain"), "plain");
+        assert_eq!(escape_json("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape_json("x\ny"), "x\\ny");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let a = sample_telemetry();
+        let b = sample_telemetry();
+        assert_eq!(a.to_json(), b.to_json());
+        assert_eq!(a.to_chrome_trace(), b.to_chrome_trace());
+        assert_eq!(a.trace_digest(), b.trace_digest());
+    }
+}

@@ -1,0 +1,177 @@
+//! Deterministic observability for the fleet simulator.
+//!
+//! Everything in this crate is keyed to **simulation time, never wall
+//! clock**, so the observability layer lives *inside* the bit-identity
+//! contract instead of beside it: recording a run changes nothing about
+//! the run, and the recorded artifacts are themselves bit-identical
+//! across shard counts (`tests/fleet_sim.rs` pins both properties).
+//! `lens-analyzer` audits this crate under its strictest scopes — the
+//! wall-clock, thread-confinement, float-accumulation, and
+//! truncating-cast rules all apply to every file here — which is why the
+//! crate is integer/fixed-point end to end.
+//!
+//! Three pieces:
+//!
+//! * **Flight recorder** ([`FlightRecorder`]) — a bounded ring buffer of
+//!   typed, sim-time-stamped [`TraceEvent`]s (dispatch, batch close,
+//!   shed, failover, scaling step, barrier phase transitions), fed
+//!   through the [`Sink`] trait. The no-op [`NullSink`] has
+//!   `ENABLED = false`, so every `if S::ENABLED` block in the engine
+//!   const-folds away at monomorphization: an untraced run pays nothing.
+//!   Device-side events are merged at the epoch barrier under the same
+//!   `(time_us, device_id)` key discipline as the per-request microsim,
+//!   so the recorded trace is shard-count invariant.
+//! * **Metrics registry** ([`MetricsRegistry`]) — named per-epoch
+//!   timelines of fixed-point (micro-unit `i64`) samples taken at epoch
+//!   barriers: queue depth, shed fraction, live slot counts, tail
+//!   percentiles. Exportable as JSON and as Chrome `trace_event` counter
+//!   tracks (see [`RunTelemetry`]).
+//! * **Engine profiling hooks** ([`PhaseProbe`], [`EngineProfile`]) —
+//!   deterministic *work counters* per barrier phase (events popped,
+//!   heap operations, records merged, batches closed). No clock is ever
+//!   read: the profile is a pure function of the scenario and seed, and
+//!   it gives an engine rewrite its baseline workload breakdown.
+//!
+//! [`RunTelemetry`] bundles all three for one run and renders the JSON
+//! and Chrome `trace_event` exports (the latter opens directly in
+//! `about://tracing` / Perfetto). See `docs/ARCHITECTURE.md`
+//! ("Observability") for the end-to-end walkthrough.
+
+#![forbid(unsafe_code)]
+
+pub mod event;
+pub mod export;
+pub mod metrics;
+pub mod profile;
+pub mod recorder;
+pub mod sink;
+
+pub use event::{BarrierPhase, TraceEvent};
+pub use export::RunTelemetry;
+pub use metrics::{MetricsRegistry, SeriesId, METRIC_FP_SCALE};
+pub use profile::{EngineProfile, PhaseCounters, PhaseProbe};
+pub use recorder::FlightRecorder;
+pub use sink::{NullSink, Sink};
+
+/// Flight-recorder configuration carried by a `FleetScenario`.
+///
+/// Deliberately tiny: the only knob is the ring-buffer capacity. The
+/// recorder keeps the **most recent** `event_capacity` events and counts
+/// what it dropped, so a congested run degrades gracefully instead of
+/// allocating without bound.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    event_capacity: usize,
+}
+
+impl Default for TelemetryConfig {
+    /// 65 536 events — enough for every barrier event of an hour-long
+    /// default run plus a generous device-event window.
+    fn default() -> Self {
+        TelemetryConfig {
+            event_capacity: 65_536,
+        }
+    }
+}
+
+impl TelemetryConfig {
+    /// The flight-recorder ring-buffer capacity (events).
+    pub fn event_capacity(&self) -> usize {
+        self.event_capacity
+    }
+
+    /// Overrides the ring-buffer capacity.
+    pub fn with_event_capacity(mut self, capacity: usize) -> Self {
+        self.event_capacity = capacity;
+        self
+    }
+
+    /// Validates the configuration (scenario builders call this).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable reason when the capacity is zero — a
+    /// recorder that drops everything it is handed is a configuration
+    /// mistake, not a useful run mode.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.event_capacity == 0 {
+            return Err("telemetry event capacity must be positive".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// FNV-1a, the digest primitive behind [`FlightRecorder::digest`] and
+/// [`MetricsRegistry::digest`] — the same construction `FleetReport`
+/// uses, so "bit-identical trace" is checkable as a single `u64`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+impl Fnv64 {
+    /// The FNV-1a offset basis.
+    pub fn new() -> Self {
+        Fnv64(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Folds one byte slice into the state.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// Folds one `u64` (little-endian) into the state.
+    pub fn write_u64(&mut self, value: u64) {
+        self.write_bytes(&value.to_le_bytes());
+    }
+
+    /// Folds one `i64` (two's complement, little-endian) into the state.
+    pub fn write_i64(&mut self, value: i64) {
+        self.write_bytes(&value.to_le_bytes());
+    }
+
+    /// The current digest value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_defaults_and_validation() {
+        let config = TelemetryConfig::default();
+        assert_eq!(config.event_capacity(), 65_536);
+        assert!(config.validate().is_ok());
+        let tiny = config.with_event_capacity(8);
+        assert_eq!(tiny.event_capacity(), 8);
+        let zero = tiny.with_event_capacity(0);
+        assert!(zero.validate().unwrap_err().contains("capacity"));
+    }
+
+    #[test]
+    fn fnv_is_deterministic_and_order_sensitive() {
+        let mut a = Fnv64::new();
+        a.write_u64(1);
+        a.write_u64(2);
+        let mut b = Fnv64::new();
+        b.write_u64(1);
+        b.write_u64(2);
+        assert_eq!(a.finish(), b.finish());
+        let mut c = Fnv64::new();
+        c.write_u64(2);
+        c.write_u64(1);
+        assert_ne!(a.finish(), c.finish());
+        let mut d = Fnv64::new();
+        d.write_i64(-1);
+        assert_ne!(d.finish(), Fnv64::new().finish());
+    }
+}

@@ -1,0 +1,180 @@
+//! Fixed-point per-epoch metrics timelines.
+//!
+//! Every sample is an `i64` in micro-units ([`METRIC_FP_SCALE`] per
+//! 1.0), the same fixed-point convention `FleetReport` uses for its
+//! cross-shard sums. Storing integers — and converting from `f64`
+//! exactly once, at the sampling site — keeps the timelines inside the
+//! bit-identity contract: no accumulation ever happens in floating
+//! point, so the metrics digest is shard-count invariant.
+
+use crate::Fnv64;
+
+/// Fixed-point scale: micro-units per 1.0.
+pub const METRIC_FP_SCALE: i64 = 1_000_000;
+
+/// Converts a sampled value to fixed point (round-to-nearest). This is
+/// a *conversion*, not accumulation — each sample crosses the float
+/// boundary exactly once.
+pub fn to_fp(value: f64) -> i64 {
+    (value * 1_000_000.0).round() as i64
+}
+
+/// Renders a fixed-point value as a decimal string using integer
+/// arithmetic only (`1_250_000` → `"1.250000"`), so exports never
+/// round-trip through float formatting.
+pub fn format_fp(fp: i64) -> String {
+    let sign = if fp < 0 { "-" } else { "" };
+    let abs = fp.unsigned_abs();
+    format!("{}{}.{:06}", sign, abs / 1_000_000, abs % 1_000_000)
+}
+
+/// Handle to one named timeline inside a [`MetricsRegistry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeriesId(usize);
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Series {
+    name: String,
+    points: Vec<i64>,
+}
+
+/// Named per-epoch timelines of fixed-point samples.
+///
+/// Series are stored in registration order in a `Vec` — never a hash
+/// map — so iteration order (and therefore the digest and both export
+/// formats) is deterministic. The engine registers series in fixed
+/// scenario order (region by region, backend by backend) and samples
+/// each one once per epoch barrier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsRegistry {
+    epoch_us: u64,
+    series: Vec<Series>,
+}
+
+impl MetricsRegistry {
+    /// Creates a registry whose samples are spaced `epoch_us` apart.
+    pub fn new(epoch_us: u64) -> Self {
+        MetricsRegistry {
+            epoch_us,
+            series: Vec::new(),
+        }
+    }
+
+    /// The sampling interval (simulation µs per epoch).
+    pub fn epoch_us(&self) -> u64 {
+        self.epoch_us
+    }
+
+    /// Returns the id for `name`, creating the series on first use.
+    /// Lookup is a linear scan — registries hold tens of series, and a
+    /// hash map would trade that for nondeterministic iteration.
+    pub fn series(&mut self, name: &str) -> SeriesId {
+        if let Some(idx) = self.series.iter().position(|s| s.name == name) {
+            return SeriesId(idx);
+        }
+        self.series.push(Series {
+            name: name.to_string(),
+            points: Vec::new(),
+        });
+        SeriesId(self.series.len() - 1)
+    }
+
+    /// Appends one fixed-point sample to a series.
+    pub fn push(&mut self, id: SeriesId, fp: i64) {
+        self.series[id.0].points.push(fp);
+    }
+
+    /// Number of registered series.
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Whether no series have been registered.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// The series name behind `id`.
+    pub fn name(&self, id: SeriesId) -> &str {
+        &self.series[id.0].name
+    }
+
+    /// The samples recorded for `id`, epoch order.
+    pub fn points(&self, id: SeriesId) -> &[i64] {
+        &self.series[id.0].points
+    }
+
+    /// All timelines, registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &[i64])> {
+        self.series
+            .iter()
+            .map(|s| (s.name.as_str(), s.points.as_slice()))
+    }
+
+    /// FNV-1a digest over the interval, every series name, and every
+    /// sample — the "metrics timeline is bit-identical" check in
+    /// `tests/fleet_sim.rs` compares this value across shard counts.
+    pub fn digest(&self) -> u64 {
+        let mut hasher = Fnv64::new();
+        hasher.write_u64(self.epoch_us);
+        hasher.write_u64(self.series.len() as u64);
+        for series in &self.series {
+            hasher.write_bytes(series.name.as_bytes());
+            hasher.write_u64(series.points.len() as u64);
+            for &point in &series.points {
+                hasher.write_i64(point);
+            }
+        }
+        hasher.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_point_conversion_and_formatting() {
+        assert_eq!(to_fp(1.25), 1_250_000);
+        assert_eq!(to_fp(-0.5), -500_000);
+        assert_eq!(to_fp(0.0), 0);
+        assert_eq!(format_fp(1_250_000), "1.250000");
+        assert_eq!(format_fp(-500_000), "-0.500000");
+        assert_eq!(format_fp(42), "0.000042");
+        assert_eq!(format_fp(i64::MIN), "-9223372036854.775808");
+    }
+
+    #[test]
+    fn series_are_get_or_create_and_ordered() {
+        let mut reg = MetricsRegistry::new(60_000_000);
+        assert!(reg.is_empty());
+        let depth = reg.series("queue_depth/0");
+        let shed = reg.series("shed_fraction/0");
+        assert_eq!(reg.series("queue_depth/0"), depth);
+        assert_eq!(reg.len(), 2);
+        reg.push(depth, to_fp(3.0));
+        reg.push(shed, to_fp(0.125));
+        reg.push(depth, to_fp(4.0));
+        assert_eq!(reg.points(depth), [3_000_000, 4_000_000]);
+        assert_eq!(reg.name(shed), "shed_fraction/0");
+        let names: Vec<&str> = reg.iter().map(|(name, _)| name).collect();
+        assert_eq!(names, ["queue_depth/0", "shed_fraction/0"]);
+        assert_eq!(reg.epoch_us(), 60_000_000);
+    }
+
+    #[test]
+    fn digest_is_sensitive_to_names_and_points() {
+        let build = |point: i64| {
+            let mut reg = MetricsRegistry::new(1_000);
+            let id = reg.series("a");
+            reg.push(id, point);
+            reg
+        };
+        assert_eq!(build(5).digest(), build(5).digest());
+        assert_ne!(build(5).digest(), build(6).digest());
+        let mut renamed = MetricsRegistry::new(1_000);
+        let id = renamed.series("b");
+        renamed.push(id, 5);
+        assert_ne!(build(5).digest(), renamed.digest());
+    }
+}

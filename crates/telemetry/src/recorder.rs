@@ -1,0 +1,159 @@
+//! The flight recorder: a bounded ring buffer of trace events.
+//!
+//! The recorder keeps the **most recent** `capacity` events. When the
+//! ring is full the oldest event is evicted and counted in `dropped`, so
+//! a congested run degrades gracefully (and visibly) instead of growing
+//! without bound. Because eviction depends only on the deterministic
+//! event stream, a truncated trace is still bit-identical across shard
+//! counts.
+
+use std::collections::VecDeque;
+
+use crate::event::TraceEvent;
+use crate::sink::Sink;
+use crate::Fnv64;
+
+/// A bounded, sim-time-ordered event ring. The engine's traced run mode
+/// (`FleetEngine::run_traced`) records into one of these.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightRecorder {
+    capacity: usize,
+    events: VecDeque<TraceEvent>,
+    recorded: u64,
+    dropped: u64,
+}
+
+impl FlightRecorder {
+    /// Creates a recorder holding at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero — `TelemetryConfig::validate`
+    /// rejects that configuration before an engine is ever built.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "flight recorder capacity must be positive");
+        FlightRecorder {
+            capacity,
+            events: VecDeque::with_capacity(capacity.min(4_096)),
+            recorded: 0,
+            dropped: 0,
+        }
+    }
+
+    /// The configured ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total events ever recorded, including evicted ones.
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// FNV-1a digest over the lifetime counters and every retained
+    /// event, in order. Two runs whose digests match recorded the same
+    /// trace bit for bit — the shard-invariance pin in
+    /// `tests/fleet_sim.rs` compares exactly this value.
+    pub fn digest(&self) -> u64 {
+        let mut hasher = Fnv64::new();
+        hasher.write_u64(self.recorded);
+        hasher.write_u64(self.dropped);
+        for event in &self.events {
+            event.hash_into(&mut hasher);
+        }
+        hasher.finish()
+    }
+}
+
+impl Sink for FlightRecorder {
+    const ENABLED: bool = true;
+
+    fn record(&mut self, event: TraceEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+        self.recorded += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shed_at(time_us: u64) -> TraceEvent {
+        TraceEvent::Shed {
+            time_us,
+            device_id: time_us,
+            region: 0,
+        }
+    }
+
+    #[test]
+    fn records_in_order_up_to_capacity() {
+        let mut rec = FlightRecorder::new(8);
+        assert!(rec.is_empty());
+        for t in 0..5 {
+            rec.record(shed_at(t));
+        }
+        assert_eq!(rec.len(), 5);
+        assert_eq!(rec.recorded(), 5);
+        assert_eq!(rec.dropped(), 0);
+        let times: Vec<u64> = rec.events().map(|e| e.time_us()).collect();
+        assert_eq!(times, [0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn full_ring_evicts_oldest_and_counts_drops() {
+        let mut rec = FlightRecorder::new(3);
+        for t in 0..5 {
+            rec.record(shed_at(t));
+        }
+        assert_eq!(rec.len(), 3);
+        assert_eq!(rec.capacity(), 3);
+        assert_eq!(rec.recorded(), 5);
+        assert_eq!(rec.dropped(), 2);
+        let times: Vec<u64> = rec.events().map(|e| e.time_us()).collect();
+        assert_eq!(times, [2, 3, 4]);
+    }
+
+    #[test]
+    fn digest_tracks_content_and_drop_history() {
+        let mut a = FlightRecorder::new(4);
+        let mut b = FlightRecorder::new(4);
+        for t in 0..4 {
+            a.record(shed_at(t));
+            b.record(shed_at(t));
+        }
+        assert_eq!(a.digest(), b.digest());
+        b.record(shed_at(9));
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = FlightRecorder::new(0);
+    }
+}

@@ -1,0 +1,53 @@
+//! The event sink abstraction the engine records through.
+//!
+//! The engine is generic over `S: Sink` and guards every recording code
+//! path with `if S::ENABLED`. Because `ENABLED` is an associated
+//! *constant*, the guard is resolved at monomorphization: the untraced
+//! engine instantiated with [`NullSink`] contains no telemetry code at
+//! all, which is what lets `fleet/run` hold its bench-gate baseline with
+//! the observability layer wired in.
+
+use crate::event::TraceEvent;
+
+/// A consumer of flight-recorder events.
+///
+/// Implementations must be deterministic: `record` may only depend on
+/// the events themselves (no clocks, no I/O, no ambient state), because
+/// the engine feeds it inside the bit-identity contract.
+pub trait Sink {
+    /// Whether this sink records anything. `false` lets the engine's
+    /// `if S::ENABLED` guards const-fold to nothing.
+    const ENABLED: bool;
+
+    /// Accepts one event. Called in shard-invariant merge order.
+    fn record(&mut self, event: TraceEvent);
+}
+
+/// The do-nothing sink: `ENABLED = false`, `record` is an empty inline
+/// function. Running the engine with this sink is the untraced path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn record(&mut self, _event: TraceEvent) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_sink_is_disabled_and_inert() {
+        const { assert!(!NullSink::ENABLED) };
+        let mut sink = NullSink;
+        sink.record(TraceEvent::Shed {
+            time_us: 0,
+            device_id: 0,
+            region: 0,
+        });
+        assert_eq!(sink, NullSink);
+    }
+}

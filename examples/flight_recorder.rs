@@ -1,0 +1,172 @@
+//! Recording a congested autoscaled run with the deterministic flight
+//! recorder.
+//!
+//! The fleet simulator's only output used to be the final `FleetReport` —
+//! a run was a black box between `run()` and its aggregates. This example
+//! exercises the observability layer (`lens-telemetry`) end to end:
+//!
+//! 1. **Flight recording** — an under-provisioned, autoscaled, batched
+//!    tier under per-request fidelity, run through
+//!    [`FleetEngine::run_traced`]: every dispatch, shed, failover, batch
+//!    close, scaling step, and barrier phase transition lands in a
+//!    bounded sim-time event ring.
+//! 2. **Per-epoch metrics timelines** — queue depth, shed fraction, live
+//!    slots, and the cumulative p99 per region, sampled at every epoch
+//!    barrier in fixed point.
+//! 3. **Engine profiling** — deterministic work counters per barrier
+//!    phase (events popped, heap ops, records merged, batches closed):
+//!    the parallel-rewrite baseline, with no clock anywhere.
+//! 4. **Exports** — the run is dumped as `lens-telemetry-v1` JSON and as
+//!    Chrome `trace_event` JSON under `target/flight_recorder/`; the
+//!    latter opens directly in `about://tracing` or Perfetto.
+//!
+//! Everything printed here is keyed to *simulation* time, so the output
+//! is bit-identical run to run and across shard counts.
+//!
+//! ```sh
+//! cargo run --release -p lens --example flight_recorder
+//! ```
+
+use lens::prelude::*;
+use std::fs;
+
+/// A deliberately congested autoscaled tier: a small priced GPU pool and
+/// a cheap CPU pool, both autoscaled, behind deadline admission with
+/// sibling-region failover.
+fn congested_serving() -> CloudServing {
+    CloudServing::new(vec![
+        BackendConfig::new("gpu", 1, 100.0, 10.0)
+            .with_batching(8, 50.0)
+            .with_price(4.0)
+            .with_energy(2.0)
+            .with_autoscaler(
+                Autoscaler::new(ScalingSignal::Utilization, 0.6, 0.2, 1, 6).with_step(2),
+            ),
+        BackendConfig::new("cpu", 1, 80.0, 40.0)
+            .with_batching(4, 50.0)
+            .with_price(1.0)
+            .with_energy(1.0)
+            .with_autoscaler(Autoscaler::new(ScalingSignal::QueueDepth, 4.0, 0.5, 1, 10)),
+    ])
+    .with_admission(AdmissionPolicy::Deadline {
+        max_wait_ms: 1_500.0,
+    })
+    .with_failover(FailoverPolicy::SiblingRegion { penalty_ms: 60.0 })
+    .with_dispatch(DispatchPolicy::CostAware)
+}
+
+fn main() {
+    // ~4k devices against ~3 starting slots per region: the opening
+    // epochs shed and fail over hard, then the autoscalers catch up —
+    // exactly the "flash crowd → scale-up → retreat" arc the closed-loop
+    // work needs to see.
+    let scenario = FleetScenario::builder()
+        .population(12_000)
+        .horizon(Millis::new(900_000.0)) // 15 minutes, 60 s epochs
+        .serving(congested_serving())
+        .fidelity(CloudSimFidelity::PerRequest)
+        .policy(FleetPolicy::Dynamic)
+        .metric(Metric::Energy)
+        .seed(23)
+        .shards(2)
+        .telemetry(TelemetryConfig::default().with_event_capacity(200_000))
+        .build()
+        .expect("valid scenario");
+
+    let engine = FleetEngine::new(scenario).expect("engine builds");
+    let (report, telemetry) = engine.run_traced().expect("traced run");
+
+    println!("=== flight_recorder: a traced congested autoscaled run ===");
+    println!();
+    println!(
+        "fleet: {} inferences, {:.1}% shed, {} failovers, {} scaling steps, report digest {:#018x}",
+        report.inferences(),
+        report.shed_to_local() as f64 / report.inferences() as f64 * 100.0,
+        report.failed_over(),
+        report.scaling_events(),
+        report.digest(),
+    );
+
+    // --- 1. the event ring -------------------------------------------
+    let recorder = &telemetry.recorder;
+    println!();
+    println!(
+        "trace: {} events recorded ({} retained, {} evicted), digest {:#018x}",
+        recorder.recorded(),
+        recorder.len(),
+        recorder.dropped(),
+        telemetry.trace_digest(),
+    );
+    let mut by_kind: Vec<(&str, u64)> = Vec::new();
+    for event in recorder.events() {
+        match by_kind.iter_mut().find(|(k, _)| *k == event.kind()) {
+            Some((_, n)) => *n += 1,
+            None => by_kind.push((event.kind(), 1)),
+        }
+    }
+    for (kind, count) in &by_kind {
+        println!("  {kind:<14} {count}");
+    }
+
+    // --- 2. metrics timelines ----------------------------------------
+    println!();
+    println!(
+        "metrics: {} series × {} epochs, digest {:#018x}",
+        telemetry.metrics.len(),
+        telemetry.profile.epochs(),
+        telemetry.metrics_digest(),
+    );
+    for (name, points) in telemetry.metrics.iter().take(4) {
+        let last = points.last().copied().unwrap_or(0);
+        println!(
+            "  {name:<28} {} samples, final {}.{:06}",
+            points.len(),
+            last / 1_000_000,
+            last.unsigned_abs() % 1_000_000,
+        );
+    }
+
+    // --- 3. the per-phase work profile -------------------------------
+    println!();
+    println!("profile ({} epochs):", telemetry.profile.epochs());
+    println!(
+        "  {:<12} {:>12} {:>12} {:>14} {:>14}",
+        "phase", "events_pop", "heap_ops", "records_merged", "batches_closed"
+    );
+    for phase in BarrierPhase::ALL {
+        let c = telemetry.profile.phase(phase);
+        println!(
+            "  {:<12} {:>12} {:>12} {:>14} {:>14}",
+            phase.name(),
+            c.events_popped,
+            c.heap_ops,
+            c.records_merged,
+            c.batches_closed
+        );
+    }
+
+    // --- 4. exports ---------------------------------------------------
+    let dir = "target/flight_recorder";
+    fs::create_dir_all(dir).expect("create export dir");
+    let json = telemetry.to_json();
+    let chrome = telemetry.to_chrome_trace();
+    fs::write(format!("{dir}/metrics.json"), &json).expect("write metrics.json");
+    fs::write(format!("{dir}/trace.json"), &chrome).expect("write trace.json");
+    println!();
+    println!(
+        "exports: {dir}/metrics.json ({} bytes), {dir}/trace.json ({} bytes — open in about://tracing or Perfetto)",
+        json.len(),
+        chrome.len(),
+    );
+
+    // The recorder observes without perturbing: the untraced run's report
+    // digest must match bit for bit.
+    let untraced = engine.run().expect("untraced run");
+    assert_eq!(
+        untraced.digest(),
+        report.digest(),
+        "telemetry must not perturb the run"
+    );
+    println!();
+    println!("determinism: untraced report digest matches the traced run bit for bit");
+}

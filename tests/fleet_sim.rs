@@ -211,6 +211,74 @@ fn autoscaled_cost_aware_report_is_bit_identical_across_1_2_4_shards() {
     }
 }
 
+#[test]
+fn flight_recorder_trace_is_bit_identical_across_1_2_4_shards() {
+    // The observability extension of the shard-invariance pin: the
+    // barrier merges every shard's trace events on the same
+    // (time µs, device id) key the microsim uses — a stable sort, so one
+    // device's same-key events keep their emission order — which makes
+    // the flight-recorder digest and the per-epoch metrics timelines a
+    // pure function of the scenario, in either fidelity mode.
+    for fidelity in [CloudSimFidelity::Fluid, CloudSimFidelity::PerRequest] {
+        let (one_report, one) = FleetEngine::new(batched_scenario_at(1, fidelity))
+            .expect("engine builds")
+            .run_traced()
+            .expect("run succeeds");
+        for shards in [2, 4] {
+            let (report, telemetry) = FleetEngine::new(batched_scenario_at(shards, fidelity))
+                .expect("engine builds")
+                .run_traced()
+                .expect("run succeeds");
+            assert_eq!(one_report.digest(), report.digest());
+            assert_eq!(
+                one.trace_digest(),
+                telemetry.trace_digest(),
+                "{fidelity:?} trace differs at {shards} shards"
+            );
+            assert_eq!(
+                one.metrics_digest(),
+                telemetry.metrics_digest(),
+                "{fidelity:?} metrics timeline differs at {shards} shards"
+            );
+            // The work profile is merged from per-shard counters, so the
+            // totals cannot depend on sharding either.
+            assert_eq!(one.profile.total(), telemetry.profile.total());
+        }
+        // The pin is not vacuous: the congested scenario records real
+        // traffic in every section.
+        assert!(one.recorder.recorded() > 0, "{fidelity:?} recorded nothing");
+        assert!(one.recorder.dropped() == 0 || one.recorder.len() == one.recorder.capacity());
+        assert!(!one.metrics.is_empty());
+        assert_eq!(one.profile.epochs(), 20);
+    }
+}
+
+#[test]
+fn telemetry_does_not_perturb_the_run() {
+    // run() and run_traced() must produce bit-identical reports: the
+    // recorder observes the simulation, it does not participate in it.
+    // Pinned on the autoscaled scenario so the scale phase is live too.
+    for fidelity in [CloudSimFidelity::Fluid, CloudSimFidelity::PerRequest] {
+        let engine = FleetEngine::new(autoscaled_scenario(2, fidelity)).expect("engine builds");
+        let untraced = engine.run().expect("run succeeds");
+        let (traced, telemetry) = engine.run_traced().expect("run succeeds");
+        assert_eq!(
+            untraced, traced,
+            "{fidelity:?}: telemetry perturbed the run"
+        );
+        assert_eq!(untraced.digest(), traced.digest());
+        assert!(telemetry.recorder.recorded() > 0);
+        // Scaling activity shows up in the trace, not just the report.
+        assert!(
+            telemetry
+                .recorder
+                .events()
+                .any(|e| e.kind() == "scaling_step"),
+            "{fidelity:?}: autoscaler steps must be traced"
+        );
+    }
+}
+
 /// Fluid-vs-discrete cross-check: on the same congested scenario with
 /// open admission and a wait-blind policy (dynamic on energy), both
 /// fidelities make bit-identical device decisions, so all decision-driven

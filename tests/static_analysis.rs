@@ -139,6 +139,41 @@ fn json_summary_reports_per_rule_counts_for_every_rule() {
     assert!(json.contains("\"findings\""));
 }
 
+/// The telemetry crate sits inside the rule surface: wall-clock reads
+/// still fire in its sources, and the digest-bearing numeric rules
+/// (float accumulation, truncating casts) cover every telemetry file —
+/// not just `report.rs` — because the trace and metrics digests feed the
+/// cross-shard bit-identity pins.
+#[test]
+fn telemetry_sources_are_inside_the_rule_surface() {
+    // Seeded fixture: a SystemTime stamp in a telemetry export path must
+    // trip wall-clock exactly once.
+    let fixture_root = repo_root().join("crates/analyzer/fixtures/telemetry-wall-clock");
+    let report = scan_root(&fixture_root).expect("telemetry fixture tree scans");
+    assert_eq!(report.files_scanned, 1, "one seeded telemetry fixture file");
+    assert_eq!(report.findings.len(), 1, "exactly the seeded violation");
+    assert_eq!(report.findings[0].rule, RuleId::WallClock);
+    assert!(report.findings[0].allowed.is_none());
+    assert_ne!(report.exit_code(), 0);
+
+    // Scope checks: the same snippet fires the numeric rules at a
+    // telemetry path but stays clean in an unscoped module.
+    let snippet = "pub fn digest_points(points: &[f64]) -> u64 {\n\
+                   \x20   let total: f64 = points.iter().sum();\n\
+                   \x20   (total * 1e6) as u32 as u64\n\
+                   }\n";
+    let inside = scan_str("crates/telemetry/src/metrics.rs", snippet);
+    let rules: Vec<RuleId> = inside.findings.iter().map(|f| f.rule).collect();
+    assert!(rules.contains(&RuleId::FloatAccumulation), "got {rules:?}");
+    assert!(rules.contains(&RuleId::TruncatingCast), "got {rules:?}");
+    let outside = scan_str("crates/core/src/search.rs", snippet);
+    assert!(
+        outside.findings.is_empty(),
+        "numeric rules must not fire outside their scope: {:?}",
+        outside.findings
+    );
+}
+
 /// The three engine-construction allows are the only waivers on today's
 /// workspace — pin them so new allows get reviewed rather than slipping
 /// in silently alongside.

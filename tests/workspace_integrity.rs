@@ -537,6 +537,121 @@ fn static_analysis_surface_is_pinned() {
     }
 }
 
+/// Pins the observability surface (PR 7): the `lens-telemetry` crate,
+/// its wiring through the fleet engine, the `flight_recorder` example,
+/// the analyzer's extended rule scope + fixture, the traced bench-gate
+/// entry, the docs section, and the CI trace-validation step.
+#[test]
+fn observability_surface_is_pinned() {
+    let root = repo_root();
+    let read = |p: &str| fs::read_to_string(root.join(p)).unwrap_or_else(|e| panic!("{p}: {e}"));
+
+    // The crate exists, is dependency-free, and is wired into the fleet.
+    let telemetry_manifest = read("crates/telemetry/Cargo.toml");
+    assert!(
+        telemetry_manifest.contains("name = \"lens-telemetry\""),
+        "crates/telemetry must declare package lens-telemetry"
+    );
+    assert!(
+        read("Cargo.toml").contains("lens-telemetry = { path = \"crates/telemetry\""),
+        "[workspace.dependencies] must carry lens-telemetry"
+    );
+    assert!(
+        read("crates/fleet/Cargo.toml").contains("lens-telemetry = { workspace = true }"),
+        "lens-fleet must depend on lens-telemetry"
+    );
+    let fleet_lib = read("crates/fleet/src/lib.rs");
+    assert!(
+        fleet_lib.contains("pub use lens_telemetry::"),
+        "lens-fleet must re-export the telemetry surface"
+    );
+    let facade_lib = read("crates/lens/src/lib.rs");
+    assert!(
+        facade_lib.contains("pub use lens_telemetry as telemetry;"),
+        "the facade must re-export lens-telemetry"
+    );
+
+    // The example records a run and dumps both export formats.
+    let facade_manifest = read("crates/lens/Cargo.toml");
+    assert!(
+        facade_manifest.contains("path = \"../../examples/flight_recorder.rs\""),
+        "flight_recorder example must be registered on the facade"
+    );
+    let example = read("examples/flight_recorder.rs");
+    assert!(
+        example.contains("run_traced") && example.contains("to_chrome_trace"),
+        "flight_recorder must exercise run_traced and the Chrome export"
+    );
+
+    // The analyzer's rule surface covers the telemetry crate, with its
+    // own seeded fixture proving wall-clock still fires there.
+    assert!(
+        read("crates/analyzer/src/rules.rs").contains("loc.crate_dir == \"telemetry\""),
+        "the numeric analyzer rules must scope to crates/telemetry"
+    );
+    assert!(
+        root.join("crates/analyzer/fixtures/telemetry-wall-clock")
+            .is_dir(),
+        "telemetry wall-clock fixture tree is missing"
+    );
+
+    // Benches: the traced run is measured and gated, and the untraced
+    // run keeps its (disabled-sink) baseline entry.
+    assert!(
+        read("crates/bench/benches/fleet_step.rs").contains("run_traced/10000"),
+        "fleet_step bench must measure the traced path"
+    );
+    let gate = read("crates/bench/src/bin/bench_gate.rs");
+    assert!(
+        gate.contains("fleet/run_traced/10000"),
+        "bench_gate must gate the traced run"
+    );
+    let bench_json = read("crates/bench/benches/BENCH_fleet.json");
+    for section in ["run/10000", "run_traced/10000"] {
+        let at = bench_json
+            .find(&format!("\"{section}\""))
+            .unwrap_or_else(|| panic!("BENCH_fleet.json missing {section}"));
+        assert!(
+            bench_json[at..bench_json[at..].find('}').unwrap() + at]
+                .contains("after_ns_per_inference_event"),
+            "BENCH_fleet.json {section} must carry the gate's ns/event key"
+        );
+    }
+
+    // Docs and the shard-invariance pins.
+    let architecture = read("docs/ARCHITECTURE.md");
+    assert!(
+        architecture.contains("## Observability"),
+        "docs/ARCHITECTURE.md must document the observability layer"
+    );
+    for needle in ["Sink", "FlightRecorder", "trace_event", "PhaseProbe"] {
+        assert!(
+            architecture.contains(needle),
+            "docs/ARCHITECTURE.md Observability section must mention {needle}"
+        );
+    }
+    assert!(
+        read("README.md").contains("lens-telemetry"),
+        "README must point at the telemetry crate"
+    );
+    assert!(
+        read("docs/PAPER_MAP.md").contains("lens-telemetry"),
+        "docs/PAPER_MAP.md must cover lens-telemetry"
+    );
+    let fleet_sim = read("tests/fleet_sim.rs");
+    assert!(
+        fleet_sim.contains("trace_digest") && fleet_sim.contains("metrics_digest"),
+        "tests/fleet_sim.rs must pin the trace and metrics digests"
+    );
+
+    // CI validates the emitted Chrome trace after the example loop.
+    let ci = read(".github/workflows/ci.yml");
+    assert!(
+        ci.contains("target/flight_recorder/trace.json"),
+        "CI must validate the flight_recorder Chrome trace output"
+    );
+}
+
 #[test]
 fn release_profile_is_tuned_for_benchmarking() {
     let root = repo_root();
