@@ -1,0 +1,19 @@
+//! Seeded fixture: a workload curve evaluated by accumulating raw `f64`
+//! multipliers. Curve multipliers gate every offload draw, so this shape
+//! would perturb the report digest with merge order — the
+//! float-accumulation rule must catch it now that
+//! `crates/fleet/src/scenario.rs` sits inside its scope.
+
+pub struct WorkloadCurve {
+    phases: Vec<(u64, f64)>,
+}
+
+impl WorkloadCurve {
+    pub fn mean_multiplier(&self) -> f64 {
+        let mut total: f64 = 0.0;
+        for &(_, multiplier) in &self.phases {
+            total += multiplier;
+        }
+        total / self.phases.len() as f64
+    }
+}

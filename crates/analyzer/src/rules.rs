@@ -167,10 +167,13 @@ impl RuleId {
             RuleId::UnorderedCollections | RuleId::WallClock => !bench,
             // The telemetry crate is digest-bearing end to end (trace and
             // metrics digests feed the bit-identity pins), so the
-            // report-path numeric rules cover all of it.
+            // report-path numeric rules cover all of it. Scenario code is
+            // in scope too: workload-curve multipliers gate every offload
+            // draw, so a float accumulated there perturbs the digest.
             RuleId::FloatAccumulation => {
                 loc.file_name == "report.rs"
                     || loc.rel_path == "crates/fleet/src/engine.rs"
+                    || loc.rel_path == "crates/fleet/src/scenario.rs"
                     || loc.crate_dir == "telemetry"
             }
             RuleId::TruncatingCast => loc.file_name == "report.rs" || loc.crate_dir == "telemetry",
@@ -456,6 +459,10 @@ mod tests {
         assert!(!RuleId::ForbidUnsafe.applies(&loc("crates/num/src/stats.rs")));
         assert!(RuleId::FloatAccumulation.applies(&loc("crates/core/src/report.rs")));
         assert!(!RuleId::FloatAccumulation.applies(&loc("crates/core/src/search.rs")));
+        // Workload curves live in scenario.rs and gate offload draws, so
+        // float accumulation is scoped there too — but only for fleet.
+        assert!(RuleId::FloatAccumulation.applies(&loc("crates/fleet/src/scenario.rs")));
+        assert!(!RuleId::FloatAccumulation.applies(&loc("crates/core/src/scenario.rs")));
         // The digest-bearing telemetry crate is inside the numeric rules'
         // scope file-by-file, not just in its report module.
         assert!(RuleId::FloatAccumulation.applies(&loc("crates/telemetry/src/metrics.rs")));

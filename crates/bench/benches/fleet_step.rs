@@ -50,6 +50,15 @@ fn bench_fleet(c: &mut Criterion) {
         b.iter(|| black_box(engine.run().expect("run").inferences()))
     });
 
+    // The closed tail-latency loop end to end: a flash-crowd workload
+    // curve modulating offload intent, a tail-latency autoscaler stepping
+    // at the barrier, and deadline-driven device retreats — the
+    // per-request price of the measured-tail feedback path.
+    let engine = FleetEngine::new(workloads::flash_crowd_fleet_scenario()).expect("engine builds");
+    group.bench_function("run_flash_crowd/10000", |b| {
+        b.iter(|| black_box(engine.run().expect("run").inferences()))
+    });
+
     // The batched tier again with priced, autoscaled backends and
     // cost-aware dispatch — the per-barrier autoscaler + cost accounting
     // overhead on the fluid path.

@@ -3,7 +3,8 @@
 //! Re-measures the hot paths whose baselines are checked in under
 //! `crates/bench/benches/BENCH_*.json` — the fluid fleet run
 //! (`fleet/run/10000`), the per-request fleet run
-//! (`fleet/per_request/10000`), and the search-side paths that gate
+//! (`fleet/per_request/10000`), the closed tail-latency loop
+//! (`fleet/run_flash_crowd/10000`), and the search-side paths that gate
 //! fleet-in-the-loop NAS (`pareto/build_front/5000`, `gp/fit/300`,
 //! `pareto/hypervolume_3d`) — and fails (exit 1) if any of them
 //! regresses beyond a generous noise tolerance.
@@ -170,6 +171,24 @@ fn main() {
             "per_request/10000",
             "after_ns_per_inference_event",
         ) * per_request_events,
+    );
+
+    // fleet/run_flash_crowd/10000 — the closed tail-latency loop
+    // (workload curve + tail-targeting autoscaler + deadline-driven
+    // device retreats) at per-request fidelity.
+    let engine = FleetEngine::new(workloads::flash_crowd_fleet_scenario()).expect("engine builds");
+    let flash_crowd = measure(|| {
+        black_box(engine.run().expect("run").inferences());
+    });
+    let flash_crowd_events = engine.scenario().expected_events() as f64;
+    gate.check(
+        "fleet/run_flash_crowd/10000",
+        flash_crowd,
+        baseline(
+            &fleet_json,
+            "run_flash_crowd/10000",
+            "after_ns_per_inference_event",
+        ) * flash_crowd_events,
     );
 
     // pareto/build_front/5000 — frontier maintenance over a full NAS

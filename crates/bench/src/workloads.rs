@@ -79,6 +79,42 @@ pub fn autoscaled_fleet_scenario() -> FleetScenario {
         .expect("valid scenario")
 }
 
+/// The closed-loop scenario behind `fleet/run_flash_crowd/10000`: a
+/// flash-crowd [`WorkloadCurve`] modulating offload intent, a
+/// tail-latency-targeting autoscaler stepping at the barrier, and a
+/// device-side tail deadline driving retreats — every stage of the
+/// measured-tail feedback loop on the per-request hot path.
+pub fn flash_crowd_fleet_scenario() -> FleetScenario {
+    let serving = CloudServing::new(vec![BackendConfig::new("gpu", 2, 100.0, 2.0)
+        .with_batching(16, 50.0)
+        .with_autoscaler(
+            Autoscaler::new(
+                ScalingSignal::TailLatency { target_us: 500_000 },
+                1.0,
+                0.25,
+                1,
+                8,
+            )
+            .with_alpha(0.6)
+            .with_cooldown(1),
+        )]);
+    FleetScenario::builder()
+        .population(10_000)
+        .horizon(Millis::new(600_000.0))
+        .serving(serving)
+        .policy(FleetPolicy::Dynamic)
+        .metric(Metric::Latency)
+        .seed(11)
+        .fidelity(CloudSimFidelity::PerRequest)
+        .workload(WorkloadCurve::flash_crowd(
+            Millis::new(180_000.0),
+            Millis::new(120_000.0),
+        ))
+        .tail_deadline(Millis::new(2_000.0))
+        .build()
+        .expect("valid scenario")
+}
+
 /// Deterministic pseudo-random GP training data in \[0,1\]^23 (the VGG-
 /// space embedding dimension) behind `gp/fit/*` and the gate's
 /// `gp/fit/300` — no RNG in the measured region.
@@ -132,6 +168,8 @@ mod tests {
             .backends
             .iter()
             .all(|b| b.autoscaler.is_some()));
+        let flash = flash_crowd_fleet_scenario();
+        assert!(flash.workload().is_some() && flash.tail_deadline().is_some());
         assert_eq!(pareto_points(3).len(), 3);
     }
 }

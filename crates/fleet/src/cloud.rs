@@ -196,6 +196,17 @@ pub enum ScalingSignal {
     Utilization,
     /// Queued jobs per slot at the barrier (queue-depth scaling).
     QueueDepth,
+    /// Tail-latency targeting: the backend's **epoch-windowed** p99 cloud
+    /// sojourn, normalized by the target (`p99 / target`), so the usual
+    /// thresholds (e.g. up above 1.0, down below 0.5) read as fractions
+    /// of the tail budget. Only the per-request microsim measures
+    /// sojourns; the fluid tier degrades gracefully to the
+    /// [`ScalingSignal::QueueDepth`] observation (fluid epochs have no
+    /// per-request times to take a percentile of).
+    TailLatency {
+        /// The p99 sojourn target (µs, ≥ 1).
+        target_us: u64,
+    },
 }
 
 /// Per-backend workload autoscaling, evaluated once per epoch barrier
@@ -297,6 +308,11 @@ impl Autoscaler {
         if !(self.alpha > 0.0 && self.alpha <= 1.0) {
             return Err("autoscaler alpha must be in (0, 1]".to_string());
         }
+        if let ScalingSignal::TailLatency { target_us } = self.signal {
+            if target_us == 0 {
+                return Err("autoscaler tail-latency target_us must be at least 1".to_string());
+            }
+        }
         Ok(())
     }
 
@@ -312,7 +328,7 @@ impl Autoscaler {
     /// differs (the fluid tier rescales its drain rate, the per-request
     /// tier retires idle executors only). Callers re-arm the cooldown via
     /// [`arm`](Autoscaler::arm) for the portion they actually applied.
-    fn step(&self, state: &mut ScalerState, observed: f64, slots: usize) -> usize {
+    pub fn step(&self, state: &mut ScalerState, observed: f64, slots: usize) -> usize {
         state.demand_ewma = self.damp(state.demand_ewma, observed);
         if state.cooldown > 0 {
             state.cooldown -= 1;
@@ -322,7 +338,7 @@ impl Autoscaler {
     }
 
     /// Re-arms the cooldown after an applied scaling event.
-    fn arm(&self, state: &mut ScalerState) {
+    pub fn arm(&self, state: &mut ScalerState) {
         state.cooldown = self.cooldown_epochs;
     }
 
@@ -349,9 +365,11 @@ impl Autoscaler {
 /// [`Autoscaler::arm`], so the fluid and per-request state machines
 /// cannot diverge.
 #[derive(Debug, Clone, PartialEq, Default)]
-struct ScalerState {
-    demand_ewma: f64,
-    cooldown: u32,
+pub struct ScalerState {
+    /// The EWMA-damped demand estimate.
+    pub demand_ewma: f64,
+    /// Barriers left before the scaler may act again.
+    pub cooldown: u32,
 }
 
 /// How a region spreads arrivals across its backends.
@@ -748,6 +766,13 @@ pub struct RegionSignal {
     /// [`DispatchPolicy::CostAware`], failover sheds to the sibling with
     /// the smallest marginal cost (wait breaks ties).
     pub marginal_cost: f64,
+    /// The region's **epoch-windowed** p99 cloud sojourn (ms), when the
+    /// tier measured one. Only the per-request microsim has per-request
+    /// sojourn times; the fluid tier publishes `None` — explicitly *no
+    /// signal*, never a stale zero — and device-side tail policies must
+    /// treat `None` as "don't react". An idle microsim epoch (no
+    /// completions) also publishes `None`.
+    pub p99_ms: Option<f64>,
 }
 
 impl RegionSignal {
@@ -1123,7 +1148,10 @@ impl RegionServing {
                             0.0
                         }
                     }
-                    ScalingSignal::QueueDepth => {
+                    // The fluid tier measures no per-request sojourns, so
+                    // tail targeting degrades gracefully to the queue-depth
+                    // observation (same EWMA/cooldown state machine).
+                    ScalingSignal::QueueDepth | ScalingSignal::TailLatency { .. } => {
                         (queue.backlog_high + queue.backlog_low) / queue.slots_live as f64
                     }
                 };
@@ -1201,6 +1229,9 @@ impl RegionServing {
             wait_low_ms: self.wait_ms(false),
             shed_fraction: self.shed_fraction,
             marginal_cost: self.marginal_cost(),
+            // Fluid epochs have no per-request sojourns: the tail channel
+            // is explicitly silent, never a stale zero.
+            p99_ms: None,
         }
     }
 
@@ -1338,6 +1369,11 @@ struct MicroBackend {
     busy_us: u64,
     batch_sizes: Histogram,
     sojourn_ms: Histogram,
+    /// Sojourns completed since the last barrier — the epoch-windowed tail
+    /// the [`ScalingSignal::TailLatency`] autoscaler observes. Reset at
+    /// the end of each backend's barrier pass (the `busy_us_at_barrier`
+    /// idiom for histograms).
+    epoch_sojourn: Histogram,
     /// Slot count during each served epoch, recorded at the barrier.
     slot_timeline: Vec<u32>,
     /// Applied scaling events (up or down).
@@ -1398,6 +1434,10 @@ pub struct RegionMicrosim {
     heap: BinaryHeap<Reverse<(u64, u8, u32)>>,
     /// EWMA-damped shed fraction, same controller as the fluid tier.
     shed_fraction: f64,
+    /// Region-level sojourns completed since the last barrier — the
+    /// epoch-windowed p99 [`barrier_signal`](RegionMicrosim::barrier_signal)
+    /// publishes on [`RegionSignal::p99_ms`], reset after each publish.
+    epoch_sojourn: Histogram,
 }
 
 impl RegionMicrosim {
@@ -1424,6 +1464,7 @@ impl RegionMicrosim {
                 busy_us: 0,
                 batch_sizes: Histogram::new(1.0, BATCH_HIST_BINS),
                 sojourn_ms: Histogram::new(SOJOURN_BIN_MS, SOJOURN_BINS),
+                epoch_sojourn: Histogram::new(SOJOURN_BIN_MS, SOJOURN_BINS),
                 slot_timeline: Vec::new(),
                 scale_events: 0,
             })
@@ -1433,6 +1474,7 @@ impl RegionMicrosim {
             backends,
             heap: BinaryHeap::new(),
             shed_fraction: 0.0,
+            epoch_sojourn: Histogram::new(SOJOURN_BIN_MS, SOJOURN_BINS),
         }
     }
 
@@ -1630,6 +1672,8 @@ impl RegionMicrosim {
                 };
                 let sojourn_ms = (completion_us - request.arrival_us) as f64 / 1000.0;
                 state.sojourn_ms.record(sojourn_ms);
+                state.epoch_sojourn.record(sojourn_ms);
+                self.epoch_sojourn.record(sojourn_ms);
                 state.served_requests += 1;
                 out.push(CompletedRequest {
                     request,
@@ -1734,6 +1778,17 @@ impl RegionMicrosim {
                         }
                     }
                     ScalingSignal::QueueDepth => backend.queued() as f64 / slots as f64,
+                    // The epoch-windowed p99 sojourn over the tail target:
+                    // above 1 the epoch blew its budget. An idle epoch (no
+                    // completions) observes 0, which damps the estimate
+                    // down and lets the pool scale back in.
+                    ScalingSignal::TailLatency { target_us } => {
+                        if backend.epoch_sojourn.count() > 0 {
+                            backend.epoch_sojourn.percentile(99.0) / (target_us as f64 / 1000.0)
+                        } else {
+                            0.0
+                        }
+                    }
                 };
                 let target = auto.step(&mut backend.scaler, observed, slots);
                 match target.cmp(&slots) {
@@ -1782,6 +1837,7 @@ impl RegionMicrosim {
                 }
             }
             backend.busy_us_at_barrier = backend.busy_us;
+            backend.epoch_sojourn.reset();
         }
     }
 
@@ -1792,6 +1848,14 @@ impl RegionMicrosim {
         let wait_low = self.wait_ms(false, now_us);
         let target = self.serving.admission.shed_fraction(self.depth(), wait_low);
         self.shed_fraction = damp_shed_fraction(self.shed_fraction, target);
+        // The epoch-windowed tail: p99 of the sojourns completed since the
+        // last barrier, or explicitly no signal when nothing completed.
+        let p99_ms = if self.epoch_sojourn.count() > 0 {
+            Some(self.epoch_sojourn.percentile(99.0))
+        } else {
+            None
+        };
+        self.epoch_sojourn.reset();
         RegionSignal {
             wait_high_ms: self.wait_ms(true, now_us),
             wait_low_ms: wait_low,
@@ -1799,6 +1863,7 @@ impl RegionMicrosim {
             // the discrete analogue of the fluid tier's marginal cost.
             marginal_cost: self.serving.backends[self.least_work_backend(now_us)].cost_weight(),
             shed_fraction: self.shed_fraction,
+            p99_ms,
         }
     }
 
@@ -2355,6 +2420,13 @@ mod tests {
             ),
             (Autoscaler { step: 0, ..ok }, "step"),
             (Autoscaler { alpha: 0.0, ..ok }, "alpha"),
+            (
+                Autoscaler {
+                    signal: ScalingSignal::TailLatency { target_us: 0 },
+                    ..ok
+                },
+                "target_us",
+            ),
         ];
         for (auto, needle) in cases {
             let why = auto.validate().unwrap_err();
@@ -2461,6 +2533,116 @@ mod tests {
             "cooldown must suppress flapping: {damped} !< {flappy}"
         );
         assert!(flappy >= 8, "undamped scaler should react every barrier");
+    }
+
+    /// The latent-gap pin: fluid epochs have no per-request sojourns, so
+    /// the published tail must be explicitly absent — never a stale zero
+    /// a device policy could mistake for "the cloud is instant".
+    #[test]
+    fn fluid_publishes_no_tail_signal() {
+        let mut tier = RegionServing::new(&autoscaled_backend(depth_scaler(2)));
+        tier.admit(0, 500);
+        tier.drain(1000.0);
+        tier.scale(1000.0);
+        let signal = tier.publish();
+        assert_eq!(signal.p99_ms, None, "fluid mode must publish no tail");
+    }
+
+    /// The microsim publishes the *epoch-windowed* region p99: present
+    /// after an epoch with completions, absent (not stale) after an idle
+    /// one — the window resets at each barrier.
+    #[test]
+    fn microsim_barrier_publishes_epoch_windowed_p99() {
+        let serving = CloudServing::new(vec![BackendConfig::new("gpu", 1, 10.0, 0.0)]);
+        let mut sim = RegionMicrosim::new(&serving);
+        let mut out = Vec::new();
+        let requests: Vec<_> = (0..4).map(|i| request(i * 100_000, i)).collect();
+        sim.run_epoch(&requests, 1_000_000, &mut out);
+        let signal = sim.barrier_signal(1_000_000);
+        let p99 = signal
+            .p99_ms
+            .expect("an epoch with completions publishes its tail");
+        assert!(
+            (p99 - 10.0).abs() < SOJOURN_BIN_MS,
+            "unqueued 10 ms service, got {p99}"
+        );
+        // Idle epoch: nothing completed since the last barrier.
+        sim.run_epoch(&[], 2_000_000, &mut out);
+        let signal = sim.barrier_signal(2_000_000);
+        assert_eq!(
+            signal.p99_ms, None,
+            "an idle epoch publishes no tail, not a stale one"
+        );
+    }
+
+    /// A tail-targeting scaler in the per-request tier: a 10 ms backend
+    /// against a 1 ms p99 target blows the budget every barrier, so the
+    /// pool steps to max; once traffic stops, the zero observation walks
+    /// it back down.
+    #[test]
+    fn microsim_tail_latency_scaler_steps_on_blown_p99() {
+        let auto = Autoscaler::new(
+            ScalingSignal::TailLatency { target_us: 1_000 },
+            2.0,
+            0.5,
+            1,
+            3,
+        )
+        .with_alpha(1.0)
+        .with_cooldown(0);
+        let serving = CloudServing::new(vec![
+            BackendConfig::new("gpu", 1, 10.0, 0.0).with_autoscaler(auto)
+        ]);
+        let mut sim = RegionMicrosim::new(&serving);
+        let mut out = Vec::new();
+        for epoch in 0..3u64 {
+            let start = epoch * 1_000_000;
+            let end = start + 1_000_000;
+            let requests: Vec<_> = (0..8).map(|i| request(start + i * 1_000, i)).collect();
+            sim.run_epoch(&requests, end, &mut out);
+            sim.scale(end, 1_000_000);
+            sim.barrier_signal(end);
+        }
+        let stats = &sim.backend_stats()[0];
+        assert_eq!(
+            stats.slot_timeline,
+            vec![1, 2, 3],
+            "blown tail steps up every barrier"
+        );
+        // Idle epochs observe 0 (no tail to miss) and scale back down.
+        for epoch in 3..6u64 {
+            let end = (epoch + 1) * 1_000_000;
+            sim.run_epoch(&[], end, &mut out);
+            sim.scale(end, 1_000_000);
+            sim.barrier_signal(end);
+        }
+        assert_eq!(*sim.backend_stats()[0].slot_timeline.last().unwrap(), 1);
+    }
+
+    /// The same tail-targeting config in the fluid tier degrades to the
+    /// queue-depth observation (fluid epochs have no per-request times),
+    /// reproducing the depth scaler's trajectory exactly.
+    #[test]
+    fn fluid_tail_latency_scaler_degrades_to_queue_depth() {
+        let auto = Autoscaler::new(
+            ScalingSignal::TailLatency { target_us: 1_000 },
+            10.0,
+            1.0,
+            1,
+            4,
+        )
+        .with_alpha(1.0)
+        .with_cooldown(0);
+        let mut tier = RegionServing::new(&autoscaled_backend(auto));
+        for _ in 0..4 {
+            tier.admit(0, 5000);
+            tier.drain(1000.0);
+            tier.scale(1000.0);
+            tier.publish();
+        }
+        let stats = &tier.backend_stats()[0];
+        assert_eq!(stats.slot_timeline, vec![1, 2, 3, 4]);
+        assert_eq!(stats.scale_events, 3);
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //! local-only deployment option.
 
 use crate::cloud::{CloudSimFidelity, DispatchPolicy, FailoverPolicy, RegionSignal};
-use crate::scenario::FleetPolicy;
+use crate::scenario::{FleetPolicy, WorkloadCurve, CURVE_FP_SCALE};
 use crate::{mix_seed, FleetError};
 use lens_runtime::{DeploymentOption, DeploymentPlanner, DominanceMap, Metric, ThroughputTracker};
 use lens_telemetry::TraceEvent;
@@ -88,6 +88,15 @@ pub(crate) struct ServeContext<'a> {
     /// with the smallest published marginal cost (wait breaks ties)
     /// instead of the smallest wait.
     pub dispatch: DispatchPolicy,
+    /// The scenario's time-varying workload curve, if any: devices
+    /// evaluate it at each request's arrival time and suppress offload
+    /// intent deterministically (a suppressed request runs the local-only
+    /// option).
+    pub curve: Option<&'a WorkloadCurve>,
+    /// The tail deadline budget (ms), if set: while the region's published
+    /// epoch p99 exceeds it, offload-bound requests retreat to the
+    /// local-only option (a hash-spread fraction still probes the tier).
+    pub tail_deadline_ms: Option<f64>,
 }
 
 /// What one served inference cost, for aggregation.
@@ -105,6 +114,10 @@ pub(crate) struct Served {
     /// Admission control shed the offload here and a sibling region's
     /// cloud absorbed it.
     pub failover_region: Option<u32>,
+    /// The device retreated an offload-bound request to its local-only
+    /// option because the region's published epoch p99 exceeded the tail
+    /// deadline budget.
+    pub retreated: bool,
 }
 
 /// Emits the flight-recorder events for one serve outcome. Local serves
@@ -123,6 +136,14 @@ pub(crate) fn trace_serve_events(
 ) {
     if served.shed_to_local {
         out.push(TraceEvent::Shed {
+            time_us,
+            device_id,
+            region: origin_region,
+        });
+        return;
+    }
+    if served.retreated {
+        out.push(TraceEvent::Retreat {
             time_us,
             device_id,
             region: origin_region,
@@ -156,6 +177,18 @@ fn unit_from(bits: u64) -> f64 {
 /// Salt separating the failover draw from the shed draw at the same event
 /// time.
 const FAILOVER_SALT: u64 = 0x51B1_1E57;
+
+/// Salt separating the workload-curve suppression draw from the shed and
+/// failover draws at the same event time.
+const CURVE_SALT: u64 = 0xC0A5_7C04;
+
+/// Salt separating the tail-retreat re-probe draw from every other stream.
+const RETREAT_SALT: u64 = 0x7A11_BAC0;
+
+/// One in this many retreat-bound offloads still probes the tier while the
+/// published p99 exceeds the deadline budget, so the fleet observes the
+/// tail recovering instead of abandoning the region forever.
+const RETREAT_REPROBE_DIV: u64 = 16;
 
 /// One device session: trace + tracker + policy state.
 #[derive(Debug, Clone)]
@@ -275,6 +308,57 @@ impl Device {
         let mut energy_mj = option.energy_at(tu).get();
         let mut shed_to_local = false;
         let mut failover_region = None;
+        let mut retreated = false;
+
+        // Time-varying workload: the curve scales this device's offload
+        // intent at the request's arrival time. A suppressed request runs
+        // the local-only option silently — it never wanted the cloud this
+        // phase, so it is neither a shed nor a retreat. The draw is an
+        // integer comparison in the curve's own micro-unit scale: no float
+        // enters the decision.
+        if offloaded {
+            if let Some(curve) = ctx.curve {
+                let multiplier_fp = curve.multiplier_fp(time_us, cohort.region_index);
+                let suppressed = multiplier_fp < CURVE_FP_SCALE
+                    && mix_seed(mix_seed(self.shed_seed, CURVE_SALT), time_us)
+                        % (CURVE_FP_SCALE as u64)
+                        >= multiplier_fp as u64;
+                if suppressed {
+                    let local = cohort
+                        .local_index
+                        .expect("validated at engine build: local fallback exists");
+                    let fallback = &cohort.options[local];
+                    latency_ms = fallback.latency_at(tu).get();
+                    energy_mj = fallback.energy_at(tu).get();
+                    offloaded = false;
+                }
+            }
+        }
+
+        // Tail retreat: while the region's published epoch p99 exceeds the
+        // deadline budget, offload-bound requests retreat to the local-only
+        // option before admission. A hash-spread 1-in-N still probes the
+        // tier so devices notice when the tail recovers. A `None` p99 (the
+        // fluid tier, or an idle microsim epoch) is *no signal* — never a
+        // stale zero — and must not trigger a retreat.
+        if offloaded {
+            if let (Some(budget_ms), Some(p99_ms)) = (ctx.tail_deadline_ms, own.p99_ms) {
+                if p99_ms > budget_ms {
+                    let probes = mix_seed(self.shed_seed ^ RETREAT_SALT, time_us)
+                        .is_multiple_of(RETREAT_REPROBE_DIV);
+                    if !probes {
+                        let local = cohort
+                            .local_index
+                            .expect("validated at engine build: local fallback exists");
+                        let fallback = &cohort.options[local];
+                        latency_ms = fallback.latency_at(tu).get();
+                        energy_mj = fallback.energy_at(tu).get();
+                        offloaded = false;
+                        retreated = true;
+                    }
+                }
+            }
+        }
 
         if offloaded {
             let shed = own.shed_fraction > 0.0
@@ -368,6 +452,7 @@ impl Device {
             switched,
             shed_to_local,
             failover_region,
+            retreated,
         }
     }
 }
@@ -450,6 +535,8 @@ mod tests {
                 failover: FailoverPolicy::ToDevice,
                 fidelity: CloudSimFidelity::Fluid,
                 dispatch: DispatchPolicy::LeastWorkLeft,
+                curve: None,
+                tail_deadline_ms: None,
             },
             &calm(1),
             0,
@@ -485,6 +572,8 @@ mod tests {
                 failover: FailoverPolicy::ToDevice,
                 fidelity: CloudSimFidelity::Fluid,
                 dispatch: DispatchPolicy::LeastWorkLeft,
+                curve: None,
+                tail_deadline_ms: None,
             },
             &calm(1),
             0,
@@ -499,6 +588,8 @@ mod tests {
                 failover: FailoverPolicy::ToDevice,
                 fidelity: CloudSimFidelity::Fluid,
                 dispatch: DispatchPolicy::LeastWorkLeft,
+                curve: None,
+                tail_deadline_ms: None,
             },
             &waiting(500.0),
             0,
@@ -516,6 +607,8 @@ mod tests {
                 failover: FailoverPolicy::ToDevice,
                 fidelity: CloudSimFidelity::Fluid,
                 dispatch: DispatchPolicy::LeastWorkLeft,
+                curve: None,
+                tail_deadline_ms: None,
             },
             &waiting(500.0),
             0,
@@ -530,6 +623,8 @@ mod tests {
                 failover: FailoverPolicy::ToDevice,
                 fidelity: CloudSimFidelity::Fluid,
                 dispatch: DispatchPolicy::LeastWorkLeft,
+                curve: None,
+                tail_deadline_ms: None,
             },
             &calm(1),
             0,
@@ -551,6 +646,8 @@ mod tests {
                 failover: FailoverPolicy::ToDevice,
                 fidelity: CloudSimFidelity::Fluid,
                 dispatch: DispatchPolicy::LeastWorkLeft,
+                curve: None,
+                tail_deadline_ms: None,
             },
             &calm(1),
             0,
@@ -567,6 +664,8 @@ mod tests {
                 failover: FailoverPolicy::ToDevice,
                 fidelity: CloudSimFidelity::Fluid,
                 dispatch: DispatchPolicy::LeastWorkLeft,
+                curve: None,
+                tail_deadline_ms: None,
             },
             &waiting(3.6e6),
             0,
@@ -594,6 +693,8 @@ mod tests {
                 failover: FailoverPolicy::ToDevice,
                 fidelity: CloudSimFidelity::Fluid,
                 dispatch: DispatchPolicy::LeastWorkLeft,
+                curve: None,
+                tail_deadline_ms: None,
             },
             &signals,
             0,
@@ -625,6 +726,8 @@ mod tests {
                     failover: FailoverPolicy::ToDevice,
                     fidelity: CloudSimFidelity::Fluid,
                     dispatch: DispatchPolicy::LeastWorkLeft,
+                    curve: None,
+                    tail_deadline_ms: None,
                 },
                 &calm(3),
                 0,
@@ -639,6 +742,8 @@ mod tests {
                 failover: FailoverPolicy::SiblingRegion { penalty_ms: 40.0 },
                 fidelity: CloudSimFidelity::Fluid,
                 dispatch: DispatchPolicy::LeastWorkLeft,
+                curve: None,
+                tail_deadline_ms: None,
             },
             &signals,
             0,
@@ -680,6 +785,8 @@ mod tests {
                     failover: FailoverPolicy::SiblingRegion { penalty_ms: 40.0 },
                     fidelity: CloudSimFidelity::Fluid,
                     dispatch,
+                    curve: None,
+                    tail_deadline_ms: None,
                 },
                 &signals,
                 0,
@@ -727,6 +834,8 @@ mod tests {
                 failover: FailoverPolicy::SiblingRegion { penalty_ms: 40.0 },
                 fidelity: CloudSimFidelity::Fluid,
                 dispatch: DispatchPolicy::CostAware,
+                curve: None,
+                tail_deadline_ms: None,
             },
             &signals,
             0,
@@ -752,6 +861,8 @@ mod tests {
                 failover: FailoverPolicy::SiblingRegion { penalty_ms: 40.0 },
                 fidelity: CloudSimFidelity::Fluid,
                 dispatch: DispatchPolicy::LeastWorkLeft,
+                curve: None,
+                tail_deadline_ms: None,
             },
             &signals,
             0,
@@ -779,6 +890,8 @@ mod tests {
                         failover: FailoverPolicy::ToDevice,
                         fidelity: CloudSimFidelity::Fluid,
                         dispatch: DispatchPolicy::LeastWorkLeft,
+                        curve: None,
+                        tail_deadline_ms: None,
                     },
                     &signals,
                     0,
@@ -814,6 +927,8 @@ mod tests {
                     failover: FailoverPolicy::ToDevice,
                     fidelity: CloudSimFidelity::Fluid,
                     dispatch: DispatchPolicy::LeastWorkLeft,
+                    curve: None,
+                    tail_deadline_ms: None,
                 },
                 &calm(1),
                 i * 60_000_000,
@@ -844,6 +959,7 @@ mod tests {
             switched: false,
             shed_to_local: false,
             failover_region: None,
+            retreated: false,
         };
         let events_for = |served: &Served| {
             let mut out = Vec::new();
@@ -904,5 +1020,131 @@ mod tests {
                 }
             ]
         );
+        // Tail retreat: one retreat event at the origin, nothing else.
+        let retreated = Served {
+            retreated: true,
+            ..base
+        };
+        assert_eq!(
+            events_for(&retreated),
+            [TraceEvent::Retreat {
+                time_us: 1_000,
+                device_id: 7,
+                region: 0,
+            }]
+        );
+    }
+
+    fn all_cloud(metric: Metric) -> (Cohort, FleetPolicy) {
+        let mut c = cohort(metric);
+        c.fixed_index = Some(c.resolve_fixed(&DeploymentKind::AllCloud).unwrap());
+        (c, FleetPolicy::Fixed(DeploymentKind::AllCloud))
+    }
+
+    fn ctx_with<'a>(
+        policy: &'a FleetPolicy,
+        curve: Option<&'a WorkloadCurve>,
+        tail_deadline_ms: Option<f64>,
+    ) -> ServeContext<'a> {
+        ServeContext {
+            policy,
+            metric: Metric::Latency,
+            failover: FailoverPolicy::ToDevice,
+            fidelity: CloudSimFidelity::Fluid,
+            dispatch: DispatchPolicy::LeastWorkLeft,
+            curve,
+            tail_deadline_ms,
+        }
+    }
+
+    #[test]
+    fn tail_retreat_pins_each_p99_branch() {
+        let (c, policy) = all_cloud(Metric::Latency);
+        let serve_one = |p99_ms: Option<f64>, deadline: Option<f64>, seed: u64| {
+            let signals = vec![RegionSignal {
+                p99_ms,
+                ..RegionSignal::default()
+            }];
+            let mut d = Device::new(0, false, flat_trace(8.0, 4), 1.0, seed, 0);
+            d.serve(
+                &c,
+                ctx_with(&policy, None, deadline),
+                &signals,
+                0,
+                60_000_000,
+            )
+        };
+        // No published tail (fluid mode, or an idle microsim epoch): the
+        // deadline policy must treat `None` as no signal, never as zero.
+        let s = serve_one(None, Some(50.0), 1);
+        assert!(s.offloaded && !s.retreated, "None p99 must not retreat");
+        // A published tail under budget: no retreat either.
+        let s = serve_one(Some(40.0), Some(50.0), 1);
+        assert!(
+            s.offloaded && !s.retreated,
+            "under-budget p99 must not retreat"
+        );
+        // No deadline configured: even a blown tail changes nothing.
+        let s = serve_one(Some(5_000.0), None, 1);
+        assert!(s.offloaded && !s.retreated, "no deadline means no retreat");
+        // Over budget: most devices retreat, a deterministic hash-spread
+        // fraction still probes the tier so recovery is observable.
+        let run = || {
+            let (mut retreats, mut probes) = (0u32, 0u32);
+            for dev in 0..400u64 {
+                let s = serve_one(Some(5_000.0), Some(50.0), dev);
+                retreats += s.retreated as u32;
+                probes += s.offloaded as u32;
+                assert!(!s.shed_to_local, "retreat is not a shed");
+            }
+            (retreats, probes)
+        };
+        let (retreats, probes) = run();
+        assert_eq!(
+            (retreats, probes),
+            run(),
+            "retreat draws must be deterministic"
+        );
+        assert_eq!(retreats + probes, 400, "every offload retreats or probes");
+        assert!(
+            (1..=80).contains(&probes),
+            "≈1/16 of 400 should re-probe, got {probes}"
+        );
+    }
+
+    #[test]
+    fn workload_curve_suppression_is_deterministic_and_proportional() {
+        let (c, policy) = all_cloud(Metric::Latency);
+        // A single-phase curve at 30% intent: ≈30% of devices offload, the
+        // rest run local — silently (neither shed nor retreated).
+        let curve = WorkloadCurve::from_phases_fp(vec![(0, 300_000)]);
+        let run = |curve: &WorkloadCurve| {
+            let mut offloads = 0u32;
+            for dev in 0..400u64 {
+                let mut d = Device::new(0, false, flat_trace(8.0, 4), 1.0, dev, 0);
+                let s = d.serve(
+                    &c,
+                    ctx_with(&policy, Some(curve), None),
+                    &calm(1),
+                    0,
+                    60_000_000,
+                );
+                assert!(!s.shed_to_local && !s.retreated);
+                offloads += s.offloaded as u32;
+            }
+            offloads
+        };
+        let a = run(&curve);
+        assert_eq!(a, run(&curve), "curve draws must be deterministic");
+        assert!(
+            (60..=180).contains(&a),
+            "≈30% of 400 should keep offloading, got {a}"
+        );
+        // Full intent never suppresses: the draw is skipped entirely.
+        let full = WorkloadCurve::from_phases_fp(vec![(0, CURVE_FP_SCALE)]);
+        assert_eq!(run(&full), 400);
+        // Zero intent suppresses everything.
+        let none = WorkloadCurve::from_phases_fp(vec![(0, 0)]);
+        assert_eq!(run(&none), 0);
     }
 }

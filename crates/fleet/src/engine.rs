@@ -25,7 +25,7 @@ use crate::cloud::{
 };
 use crate::device::{Device, ServeContext, Served};
 use crate::report::{BackendReport, FleetReport, Histogram};
-use crate::scenario::{ArrivalModel, FleetPolicy, FleetScenario};
+use crate::scenario::{ArrivalModel, FleetPolicy, FleetScenario, WorkloadCurve};
 use crate::{mix_seed, Cohort, FleetError};
 use lens_device::profile_network;
 use lens_runtime::{DeploymentPlanner, DominanceMap};
@@ -98,7 +98,12 @@ impl FleetEngine {
             .analyze()
             .map_err(|e| FleetError::Network(e.to_string()))?;
         let perf = profile_network(&analysis, &scenario.device_profile);
-        let sheds = scenario.serving.admission != crate::cloud::AdmissionPolicy::Open;
+        // Admission shedding, workload-curve suppression, and tail
+        // retreats all land requests on the device's local-only option —
+        // each needs the cloud-free fallback to exist.
+        let sheds = scenario.serving.admission != crate::cloud::AdmissionPolicy::Open
+            || scenario.workload().is_some()
+            || scenario.tail_deadline().is_some();
 
         let mut cohorts = Vec::new();
         let mut weights = Vec::new();
@@ -118,7 +123,7 @@ impl FleetEngine {
                 .ok();
                 if sheds && local_index.is_none() {
                     return Err(FleetError::InvalidScenario(format!(
-                        "admission control needs a local fallback, but cohort {}/{tech} has no cloud-free option",
+                        "admission control, workload curves, and tail deadlines need a local fallback, but cohort {}/{tech} has no cloud-free option",
                         share.region.name()
                     )));
                 }
@@ -296,6 +301,7 @@ impl FleetEngine {
         let mut profile = EngineProfile::new();
         let mut probe = self.make_probe::<S>();
         let series = self.register_series::<S>(&mut metrics, &region_names);
+        let mut curve_telemetry = self.register_curve_series::<S>(&mut metrics, &region_names);
 
         for epoch in 0..num_epochs {
             let epoch_start = epoch as u64 * epoch_us;
@@ -369,6 +375,14 @@ impl FleetEngine {
                         metrics.push(id, live as i64 * METRIC_FP_SCALE);
                     }
                 }
+                sample_curve(
+                    sink,
+                    &mut metrics,
+                    &mut curve_telemetry,
+                    self.scenario.workload(),
+                    epoch_start,
+                    epoch_end,
+                );
             }
         }
 
@@ -448,6 +462,7 @@ impl FleetEngine {
         let mut profile = EngineProfile::new();
         let mut probe = self.make_probe::<S>();
         let series = self.register_series::<S>(&mut metrics, &region_names);
+        let mut curve_telemetry = self.register_curve_series::<S>(&mut metrics, &region_names);
         let p99_series: Vec<SeriesId> = if S::ENABLED {
             region_names
                 .iter()
@@ -547,6 +562,14 @@ impl FleetEngine {
                         to_fp(region_sojourn[region].percentile(99.0)),
                     );
                 }
+                sample_curve(
+                    sink,
+                    &mut metrics,
+                    &mut curve_telemetry,
+                    self.scenario.workload(),
+                    epoch_start,
+                    epoch_end,
+                );
             }
         }
 
@@ -650,6 +673,25 @@ impl FleetEngine {
         series
     }
 
+    /// Registers the per-region workload-curve multiplier timelines, or
+    /// `None` when the sink is disabled or the scenario has no curve.
+    fn register_curve_series<S: Sink>(
+        &self,
+        metrics: &mut MetricsRegistry,
+        region_names: &[String],
+    ) -> Option<CurveTelemetry> {
+        if !S::ENABLED || self.scenario.workload().is_none() {
+            return None;
+        }
+        Some(CurveTelemetry {
+            series: region_names
+                .iter()
+                .map(|name| metrics.series(&format!("curve_multiplier_fp/{name}")))
+                .collect(),
+            last: vec![None; region_names.len()],
+        })
+    }
+
     /// Phase A: every shard advances its event heap to the barrier in
     /// parallel and returns its epoch contribution. `trace` asks shards
     /// to also emit device events and work counters.
@@ -750,6 +792,44 @@ struct EpochSeries {
     slots: Vec<Vec<SeriesId>>,
 }
 
+/// Barrier-sampled workload-curve telemetry: one multiplier timeline per
+/// region, plus a [`TraceEvent::CurvePhase`] whenever a region's plateau
+/// moves (the first barrier always records the opening plateau).
+struct CurveTelemetry {
+    series: Vec<SeriesId>,
+    last: Vec<Option<i64>>,
+}
+
+/// Samples the curve at the epoch that just ran (its start instant — the
+/// plateau the epoch's devices drew against, up to a phase boundary inside
+/// the epoch) and emits a phase-change event per region whose plateau
+/// moved. Multipliers are already micro-unit fixed point, so they land in
+/// the metrics timeline unconverted.
+fn sample_curve<S: Sink>(
+    sink: &mut S,
+    metrics: &mut MetricsRegistry,
+    telemetry: &mut Option<CurveTelemetry>,
+    curve: Option<&WorkloadCurve>,
+    epoch_start: u64,
+    epoch_end: u64,
+) {
+    let (Some(t), Some(curve)) = (telemetry.as_mut(), curve) else {
+        return;
+    };
+    for (region, (&id, last)) in t.series.iter().zip(t.last.iter_mut()).enumerate() {
+        let multiplier_fp = curve.multiplier_fp(epoch_start, region);
+        metrics.push(id, multiplier_fp);
+        if *last != Some(multiplier_fp) {
+            *last = Some(multiplier_fp);
+            sink.record(TraceEvent::CurvePhase {
+                time_us: epoch_end,
+                region: region as u64,
+                multiplier_fp: multiplier_fp as u64,
+            });
+        }
+    }
+}
+
 /// Merges the shards' device events into the sink in shard-count-
 /// invariant order and folds their work counters into the shard-step
 /// phase. A no-op (and fully const-folded) when the sink is disabled.
@@ -835,6 +915,9 @@ fn record_completions(
             } else {
                 None
             },
+            // Retreats resolve device-side, before the request ever
+            // reaches the microsim — a completed offload never retreated.
+            retreated: false,
         };
         report.record(request.origin_region as usize, &served);
     }
@@ -883,6 +966,8 @@ fn advance_shard(
                 failover: scenario.serving.failover,
                 fidelity: scenario.fidelity,
                 dispatch: scenario.serving.dispatch,
+                curve: scenario.workload(),
+                tail_deadline_ms: scenario.tail_deadline().map(|d| d.get()),
             },
             signals,
             time,

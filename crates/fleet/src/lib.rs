@@ -40,6 +40,16 @@
 //!   price × energy × work-left; the barrier order is strictly
 //!   drain → scale → publish, so published signals always price
 //!   post-scale capacity ([`cloud`]).
+//! * [`WorkloadCurve`] / [`ScalingSignal::TailLatency`] — the closed
+//!   tail-latency loop: scenarios may carry a piecewise fixed-point
+//!   workload curve that modulates per-device offload intent over sim
+//!   time, the per-request microsim publishes each region's
+//!   epoch-windowed p99 through [`RegionSignal`], tail-targeting
+//!   autoscalers step on it (degrading to queue depth under the fluid
+//!   tier), and devices retreat to their local-only option while the
+//!   published tail exceeds the scenario's deadline budget, re-probing on
+//!   a deterministic hash-spread fraction ([`scenario`], [`cloud`],
+//!   [`device`]).
 //! * [`CloudSimFidelity`] — how the cloud is simulated:
 //!   [`CloudSimFidelity::Fluid`] (epoch aggregates, the default) or
 //!   [`CloudSimFidelity::PerRequest`], where every offloaded request is a
@@ -166,12 +176,16 @@ pub mod scenario;
 pub use cloud::{
     AdmissionPolicy, Autoscaler, BackendConfig, BackendStats, BatchPolicy, CloudCapacity,
     CloudServing, CloudSimFidelity, CompletedRequest, DispatchPolicy, FailoverPolicy,
-    OffloadRequest, QueueDiscipline, RegionMicrosim, RegionServing, RegionSignal, ScalingSignal,
+    OffloadRequest, QueueDiscipline, RegionMicrosim, RegionServing, RegionSignal, ScalerState,
+    ScalingSignal,
 };
 pub use device::{Cohort, Device};
 pub use engine::FleetEngine;
 pub use report::{BackendReport, FleetReport, Histogram, RegionReport, TailSummary};
-pub use scenario::{ArrivalModel, FleetPolicy, FleetScenario, FleetScenarioBuilder, RegionShare};
+pub use scenario::{
+    ArrivalModel, FleetPolicy, FleetScenario, FleetScenarioBuilder, RegionShare, WorkloadCurve,
+    CURVE_FP_SCALE,
+};
 
 // The observability surface, re-exported so fleet users need no direct
 // `lens-telemetry` dependency to consume a traced run.

@@ -120,6 +120,17 @@ impl Histogram {
         self.max = self.max.max(other.max);
     }
 
+    /// Clears every bin in place (keeps the layout): the epoch-windowed
+    /// tail histograms reset at each barrier without reallocating.
+    pub(crate) fn reset(&mut self) {
+        self.counts.iter_mut().for_each(|c| *c = 0);
+        self.overflow = 0;
+        self.count = 0;
+        self.sum_fp = 0;
+        self.min = f64::INFINITY;
+        self.max = f64::NEG_INFINITY;
+    }
+
     /// Number of recorded observations.
     pub fn count(&self) -> u64 {
         self.count
@@ -251,6 +262,10 @@ pub struct RegionReport {
     pub failed_over: u64,
     /// Failed-over offloads this region's cloud absorbed from siblings.
     pub failover_in: u64,
+    /// Offload-bound requests that retreated to the device's local-only
+    /// option because the region's published epoch p99 exceeded the tail
+    /// deadline budget.
+    pub retreated: u64,
     /// Sum of end-to-end latencies (fixed-point micro-ms).
     latency_sum_fp: i128,
     /// Sum of edge energies (fixed-point micro-mJ).
@@ -267,6 +282,7 @@ impl RegionReport {
             shed_to_local: 0,
             failed_over: 0,
             failover_in: 0,
+            retreated: 0,
             latency_sum_fp: 0,
             energy_sum_fp: 0,
         }
@@ -308,6 +324,7 @@ impl RegionReport {
         self.shed_to_local += other.shed_to_local;
         self.failed_over += other.failed_over;
         self.failover_in += other.failover_in;
+        self.retreated += other.retreated;
         self.latency_sum_fp = self.latency_sum_fp.saturating_add(other.latency_sum_fp);
         self.energy_sum_fp = self.energy_sum_fp.saturating_add(other.energy_sum_fp);
     }
@@ -455,6 +472,9 @@ impl FleetReport {
         if served.shed_to_local {
             region.shed_to_local += 1;
         }
+        if served.retreated {
+            region.retreated += 1;
+        }
         if let Some(dest) = served.failover_region {
             region.failed_over += 1;
             self.per_region[dest as usize].failover_in += 1;
@@ -531,6 +551,12 @@ impl FleetReport {
     /// Offloads that failed over to a sibling region, fleet-wide.
     pub fn failed_over(&self) -> u64 {
         self.per_region.iter().map(|r| r.failed_over).sum()
+    }
+
+    /// Offload-bound requests that retreated to local execution because
+    /// the published epoch p99 exceeded the tail deadline, fleet-wide.
+    pub fn retreated(&self) -> u64 {
+        self.per_region.iter().map(|r| r.retreated).sum()
     }
 
     /// Per-region breakdowns, in the scenario's region order.
@@ -653,6 +679,7 @@ impl FleetReport {
             feed(r.shed_to_local);
             feed(r.failed_over);
             feed(r.failover_in);
+            feed(r.retreated);
             feed_fp(&mut feed, r.latency_sum_fp);
             feed_fp(&mut feed, r.energy_sum_fp);
         }
@@ -681,7 +708,7 @@ impl fmt::Display for FleetReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "fleet report: {} inferences, {} offloaded ({:.1}%), {} switches, {} shed, {} failed over",
+            "fleet report: {} inferences, {} offloaded ({:.1}%), {} switches, {} shed, {} failed over, {} retreated",
             self.inferences(),
             self.offloaded,
             if self.inferences() == 0 {
@@ -692,6 +719,7 @@ impl fmt::Display for FleetReport {
             self.switches,
             self.shed_to_local(),
             self.failed_over(),
+            self.retreated(),
         )?;
         writeln!(
             f,
@@ -773,6 +801,7 @@ mod tests {
             switched,
             shed_to_local: false,
             failover_region: None,
+            retreated: false,
         }
     }
 

@@ -75,6 +75,163 @@ impl ArrivalModel {
     }
 }
 
+/// Fixed-point scale of [`WorkloadCurve`] multipliers: `1_000_000`
+/// micro-units = full offload intent.
+pub const CURVE_FP_SCALE: i64 = 1_000_000;
+
+/// A deterministic, piecewise-constant workload curve: fixed-point
+/// offload-intent multipliers keyed to simulation time.
+///
+/// Each phase is `(start_us, multiplier_fp)` with multipliers in
+/// `[0, CURVE_FP_SCALE]` micro-units (`1_000_000` = every offload-capable
+/// request actually offloads, `250_000` = a quarter of them do; the rest
+/// run the device's local-only option). Devices evaluate the curve at each
+/// request's arrival time through their own seeded hash streams, so the
+/// modulation is a pure function of `(device, time)` — independent of
+/// shard count and epoch length, which is what keeps the bit-identity
+/// contract intact.
+///
+/// Evaluation is integer-only (binary search over phase starts plus a
+/// fixed-point multiplier): no float accumulates across epochs, and
+/// `lens-analyzer`'s float-accumulation rule audits this module to keep it
+/// that way.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadCurve {
+    /// `(start_us, multiplier_fp)` phases, strictly increasing starts,
+    /// first start 0.
+    phases: Vec<(u64, i64)>,
+    /// Per-region time shift (µs): region `r` sees the curve delayed by
+    /// `r · region_offset_us` — the "regional wave" that rolls a load
+    /// front across the scenario's regions in mix order.
+    region_offset_us: u64,
+}
+
+impl WorkloadCurve {
+    /// A curve from explicit fixed-point phases (validated at scenario
+    /// build): `(start_us, multiplier_fp)` with the first start at 0,
+    /// strictly increasing starts, and multipliers in
+    /// `[0, CURVE_FP_SCALE]`.
+    pub fn from_phases_fp(phases: Vec<(u64, i64)>) -> Self {
+        WorkloadCurve {
+            phases,
+            region_offset_us: 0,
+        }
+    }
+
+    /// Shifts the curve later by `offset` per region index (the regional
+    /// wave). Region 0 sees the curve as-is, region `r` sees it delayed
+    /// by `r · offset`.
+    pub fn with_region_offset(mut self, offset: Millis) -> Self {
+        self.region_offset_us = (offset.get() * 1000.0).round() as u64;
+        self
+    }
+
+    /// The canonical diurnal profile: eight equal phases over `period`
+    /// tracing a day's ramp — night troughs at 1/8 intent, a morning
+    /// climb, the full-intent afternoon peak, and an evening fall-off
+    /// (the single-run replacement for the hour-by-hour sweep
+    /// `examples/autoscale_cost.rs` used to hand-roll).
+    pub fn diurnal(period: Millis) -> Self {
+        let period_us = (period.get() * 1000.0).round() as u64;
+        let hours: [i64; 8] = [
+            125_000, 125_000, 250_000, 500_000, 750_000, 1_000_000, 500_000, 250_000,
+        ];
+        let phases = hours
+            .iter()
+            .enumerate()
+            .map(|(i, &m)| (i as u64 * (period_us / 8), m))
+            .collect();
+        WorkloadCurve::from_phases_fp(phases)
+    }
+
+    /// The canonical flash crowd: baseline 30% intent, full intent from
+    /// `start` for `duration`, then back to baseline — the curve
+    /// `examples/flash_crowd.rs` drives the closed loop with.
+    pub fn flash_crowd(start: Millis, duration: Millis) -> Self {
+        let start_us = (start.get() * 1000.0).round() as u64;
+        let end_us = start_us + (duration.get() * 1000.0).round() as u64;
+        WorkloadCurve::from_phases_fp(vec![
+            (0, 300_000),
+            (start_us, CURVE_FP_SCALE),
+            (end_us, 300_000),
+        ])
+    }
+
+    /// The canonical regional wave: quiet 25% intent, a full-intent pulse
+    /// of `duration` starting at `duration` (so region 0's pulse is not
+    /// clipped at time 0), delayed by `region_offset` per region index —
+    /// the load front rolls across regions in mix order.
+    pub fn regional_wave(duration: Millis, region_offset: Millis) -> Self {
+        let duration_us = (duration.get() * 1000.0).round() as u64;
+        WorkloadCurve::from_phases_fp(vec![
+            (0, 250_000),
+            (duration_us, CURVE_FP_SCALE),
+            (2 * duration_us, 250_000),
+        ])
+        .with_region_offset(region_offset)
+    }
+
+    /// The phases as configured (`(start_us, multiplier_fp)`).
+    pub fn phases(&self) -> &[(u64, i64)] {
+        &self.phases
+    }
+
+    /// The per-region time shift (µs).
+    pub fn region_offset_us(&self) -> u64 {
+        self.region_offset_us
+    }
+
+    /// The phase index active at `time_us` for `region` — pure integer
+    /// binary search over the (region-shifted) phase starts, so the same
+    /// `(curve, time, region)` always lands in the same phase no matter
+    /// how the run is sharded or how long its epochs are.
+    pub fn phase_index(&self, time_us: u64, region: usize) -> usize {
+        let local = time_us.saturating_sub(region as u64 * self.region_offset_us);
+        match self
+            .phases
+            .binary_search_by_key(&local, |&(start, _)| start)
+        {
+            Ok(i) => i,
+            Err(i) => i.saturating_sub(1),
+        }
+    }
+
+    /// The offload-intent multiplier (micro-units) at `time_us` for
+    /// `region`.
+    pub fn multiplier_fp(&self, time_us: u64, region: usize) -> i64 {
+        self.phases[self.phase_index(time_us, region)].1
+    }
+
+    /// Validates the curve's invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable reason when the curve has no phases, does
+    /// not start at time 0, has non-increasing phase starts, or carries a
+    /// multiplier outside `[0, CURVE_FP_SCALE]`.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.phases.is_empty() {
+            return Err("workload curve needs at least one phase".to_string());
+        }
+        if self.phases[0].0 != 0 {
+            return Err("workload curve must start at time 0".to_string());
+        }
+        if self.phases.windows(2).any(|w| w[0].0 >= w[1].0) {
+            return Err("workload curve phase starts must be strictly increasing".to_string());
+        }
+        if self
+            .phases
+            .iter()
+            .any(|&(_, m)| !(0..=CURVE_FP_SCALE).contains(&m))
+        {
+            return Err(format!(
+                "workload curve multipliers must be in [0, {CURVE_FP_SCALE}] micro-units"
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// How each device chooses its deployment option per inference.
 #[derive(Debug, Clone, PartialEq)]
 pub enum FleetPolicy {
@@ -109,6 +266,8 @@ pub struct FleetScenario {
     pub(crate) network: Network,
     pub(crate) device_profile: DeviceProfile,
     pub(crate) telemetry: TelemetryConfig,
+    pub(crate) workload: Option<WorkloadCurve>,
+    pub(crate) tail_deadline: Option<Millis>,
 }
 
 impl FleetScenario {
@@ -203,6 +362,21 @@ impl FleetScenario {
         &self.telemetry
     }
 
+    /// The time-varying workload curve, if the scenario has one (`None` =
+    /// constant full offload intent, the historical behavior).
+    pub fn workload(&self) -> Option<&WorkloadCurve> {
+        self.workload.as_ref()
+    }
+
+    /// The per-request tail deadline budget, if set: when a region's
+    /// published epoch p99 ([`crate::RegionSignal::p99_ms`]) exceeds this,
+    /// devices retreat offload-bound requests to their local-only option
+    /// (re-probing on a deterministic hash-spread fraction so the tier's
+    /// recovery is still observed).
+    pub fn tail_deadline(&self) -> Option<Millis> {
+        self.tail_deadline
+    }
+
     /// Expected number of inference events the whole fleet generates.
     pub fn expected_events(&self) -> u64 {
         let per_device = self.horizon.get() / self.arrival.mean_period_ms();
@@ -228,6 +402,8 @@ pub struct FleetScenarioBuilder {
     network: Option<Network>,
     device_profile: DeviceProfile,
     telemetry: TelemetryConfig,
+    workload: Option<WorkloadCurve>,
+    tail_deadline: Option<Millis>,
 }
 
 impl Default for FleetScenarioBuilder {
@@ -257,6 +433,8 @@ impl Default for FleetScenarioBuilder {
             network: None,
             device_profile: DeviceProfile::jetson_tx2_cpu(),
             telemetry: TelemetryConfig::default(),
+            workload: None,
+            tail_deadline: None,
         }
     }
 }
@@ -369,6 +547,21 @@ impl FleetScenarioBuilder {
         self
     }
 
+    /// Attaches a time-varying [`WorkloadCurve`] that modulates per-device
+    /// offload intent over the run (validated at
+    /// [`build`](FleetScenarioBuilder::build)).
+    pub fn workload(mut self, curve: WorkloadCurve) -> Self {
+        self.workload = Some(curve);
+        self
+    }
+
+    /// Sets the per-request tail deadline budget: devices retreat to their
+    /// local-only option while the published epoch p99 exceeds it.
+    pub fn tail_deadline(mut self, deadline: Millis) -> Self {
+        self.tail_deadline = Some(deadline);
+        self
+    }
+
     /// Validates and builds the scenario.
     ///
     /// # Errors
@@ -425,6 +618,16 @@ impl FleetScenarioBuilder {
         if let Err(why) = self.telemetry.validate() {
             return invalid(&why);
         }
+        if let Some(curve) = &self.workload {
+            if let Err(why) = curve.validate() {
+                return invalid(&why);
+            }
+        }
+        if let Some(deadline) = self.tail_deadline {
+            if !(deadline.get().is_finite() && deadline.get() > 0.0) {
+                return invalid("tail deadline must be positive and finite");
+            }
+        }
         Ok(FleetScenario {
             population: self.population,
             regions: self.regions,
@@ -441,6 +644,8 @@ impl FleetScenarioBuilder {
             network: self.network.unwrap_or_else(lens_nn::zoo::alexnet),
             device_profile: self.device_profile,
             telemetry: self.telemetry,
+            workload: self.workload,
+            tail_deadline: self.tail_deadline,
         })
     }
 }
@@ -588,6 +793,32 @@ mod tests {
                 )
                 .with_technologies(vec![])]),
             ),
+            (
+                "curve",
+                FleetScenario::builder().workload(WorkloadCurve::from_phases_fp(vec![])),
+            ),
+            (
+                "curve must start at time 0",
+                FleetScenario::builder()
+                    .workload(WorkloadCurve::from_phases_fp(vec![(5, 100_000)])),
+            ),
+            (
+                "strictly increasing",
+                FleetScenario::builder().workload(WorkloadCurve::from_phases_fp(vec![
+                    (0, 100_000),
+                    (10, 200_000),
+                    (10, 300_000),
+                ])),
+            ),
+            (
+                "multipliers",
+                FleetScenario::builder()
+                    .workload(WorkloadCurve::from_phases_fp(vec![(0, CURVE_FP_SCALE + 1)])),
+            ),
+            (
+                "deadline",
+                FleetScenario::builder().tail_deadline(Millis::new(0.0)),
+            ),
         ];
         for (needle, builder) in cases {
             match builder.build() {
@@ -597,6 +828,57 @@ mod tests {
                 other => panic!("expected InvalidScenario({needle}), got {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn workload_curve_evaluates_piecewise_and_shifts_per_region() {
+        let curve = WorkloadCurve::from_phases_fp(vec![(0, 250_000), (1_000, CURVE_FP_SCALE)])
+            .with_region_offset(Millis::new(0.5)); // 500 µs per region
+        curve.validate().unwrap();
+        // Region 0: phase boundary exactly at 1000 µs.
+        assert_eq!(curve.multiplier_fp(0, 0), 250_000);
+        assert_eq!(curve.multiplier_fp(999, 0), 250_000);
+        assert_eq!(curve.multiplier_fp(1_000, 0), CURVE_FP_SCALE);
+        assert_eq!(curve.phase_index(1_000, 0), 1);
+        // Region 2 sees the curve 1000 µs later.
+        assert_eq!(curve.multiplier_fp(1_999, 2), 250_000);
+        assert_eq!(curve.multiplier_fp(2_000, 2), CURVE_FP_SCALE);
+        // Before a shifted region's local time 0 the first phase applies.
+        assert_eq!(curve.multiplier_fp(0, 2), 250_000);
+    }
+
+    #[test]
+    fn canonical_curves_validate_and_round_trip_through_the_builder() {
+        for curve in [
+            WorkloadCurve::diurnal(Millis::new(480_000.0)),
+            WorkloadCurve::flash_crowd(Millis::new(120_000.0), Millis::new(120_000.0)),
+            WorkloadCurve::regional_wave(Millis::new(120_000.0), Millis::new(60_000.0)),
+        ] {
+            curve.validate().unwrap();
+            assert_eq!(curve.phases()[0].0, 0);
+            let s = FleetScenario::builder()
+                .workload(curve.clone())
+                .tail_deadline(Millis::new(2_000.0))
+                .build()
+                .unwrap();
+            assert_eq!(s.workload(), Some(&curve));
+            assert_eq!(s.tail_deadline(), Some(Millis::new(2_000.0)));
+        }
+        // The default carries neither knob.
+        let s = FleetScenario::builder().build().unwrap();
+        assert_eq!(s.workload(), None);
+        assert_eq!(s.tail_deadline(), None);
+    }
+
+    #[test]
+    fn diurnal_curve_peaks_at_full_intent() {
+        let period = Millis::new(480_000.0);
+        let curve = WorkloadCurve::diurnal(period);
+        assert_eq!(curve.phases().len(), 8);
+        let peak = curve.phases().iter().map(|&(_, m)| m).max().unwrap();
+        assert_eq!(peak, CURVE_FP_SCALE);
+        // Trough at the start of the period (night).
+        assert_eq!(curve.multiplier_fp(0, 0), 125_000);
     }
 
     #[test]

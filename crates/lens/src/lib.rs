@@ -71,7 +71,7 @@ pub mod prelude {
         AdmissionPolicy, ArrivalModel, Autoscaler, BackendConfig, BackendReport, BatchPolicy,
         CloudCapacity, CloudServing, CloudSimFidelity, DispatchPolicy, FailoverPolicy, FleetEngine,
         FleetPolicy, FleetReport, FleetScenario, OffloadRequest, QueueDiscipline, RegionMicrosim,
-        RegionServing, RegionShare, ScalingSignal, TailSummary,
+        RegionServing, RegionShare, ScalerState, ScalingSignal, TailSummary, WorkloadCurve,
     };
     pub use lens_nn::units::{Bytes, Mbps, Millijoules, Millis, Milliwatts};
     pub use lens_nn::{zoo, Network, NetworkBuilder, TensorShape};

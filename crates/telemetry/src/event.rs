@@ -133,6 +133,28 @@ pub enum TraceEvent {
         /// Which phase just finished.
         phase: BarrierPhase,
     },
+    /// A device retreated an offload-bound request to its local-only
+    /// option because the region's published epoch p99 exceeded the tail
+    /// deadline budget.
+    Retreat {
+        /// Event time (µs).
+        time_us: u64,
+        /// Global device id.
+        device_id: u64,
+        /// The region whose published tail triggered the retreat.
+        region: u64,
+    },
+    /// A region's workload-curve phase changed: the offload-intent
+    /// multiplier devices draw against moved to a new plateau.
+    CurvePhase {
+        /// The epoch boundary time (µs) at which the engine observed the
+        /// change.
+        time_us: u64,
+        /// Region index (curves may shift per region).
+        region: u64,
+        /// The new multiplier in micro-units (`1_000_000` = full intent).
+        multiplier_fp: u64,
+    },
 }
 
 impl TraceEvent {
@@ -144,7 +166,9 @@ impl TraceEvent {
             | TraceEvent::Failover { time_us, .. }
             | TraceEvent::BatchClose { time_us, .. }
             | TraceEvent::ScalingStep { time_us, .. }
-            | TraceEvent::Phase { time_us, .. } => time_us,
+            | TraceEvent::Phase { time_us, .. }
+            | TraceEvent::Retreat { time_us, .. }
+            | TraceEvent::CurvePhase { time_us, .. } => time_us,
         }
     }
 
@@ -153,7 +177,8 @@ impl TraceEvent {
         match *self {
             TraceEvent::Dispatch { device_id, .. }
             | TraceEvent::Shed { device_id, .. }
-            | TraceEvent::Failover { device_id, .. } => Some(device_id),
+            | TraceEvent::Failover { device_id, .. }
+            | TraceEvent::Retreat { device_id, .. } => Some(device_id),
             _ => None,
         }
     }
@@ -178,6 +203,8 @@ impl TraceEvent {
             TraceEvent::BatchClose { .. } => "batch_close",
             TraceEvent::ScalingStep { .. } => "scaling_step",
             TraceEvent::Phase { .. } => "phase",
+            TraceEvent::Retreat { .. } => "retreat",
+            TraceEvent::CurvePhase { .. } => "curve_phase",
         }
     }
 
@@ -258,6 +285,26 @@ impl TraceEvent {
                 hasher.write_u64(time_us);
                 hasher.write_u64(epoch);
                 hasher.write_u64(phase.index() as u64);
+            }
+            TraceEvent::Retreat {
+                time_us,
+                device_id,
+                region,
+            } => {
+                hasher.write_u64(7);
+                hasher.write_u64(time_us);
+                hasher.write_u64(device_id);
+                hasher.write_u64(region);
+            }
+            TraceEvent::CurvePhase {
+                time_us,
+                region,
+                multiplier_fp,
+            } => {
+                hasher.write_u64(8);
+                hasher.write_u64(time_us);
+                hasher.write_u64(region);
+                hasher.write_u64(multiplier_fp);
             }
         }
     }

@@ -209,6 +209,18 @@ fn event_fields_json(event: &TraceEvent) -> String {
             "\"time_us\":{time_us},\"epoch\":{epoch},\"phase\":\"{}\"",
             phase.name()
         ),
+        TraceEvent::Retreat {
+            time_us,
+            device_id,
+            region,
+        } => format!("\"time_us\":{time_us},\"device_id\":{device_id},\"region\":{region}"),
+        TraceEvent::CurvePhase {
+            time_us,
+            region,
+            multiplier_fp,
+        } => format!(
+            "\"time_us\":{time_us},\"region\":{region},\"multiplier_fp\":{multiplier_fp}"
+        ),
     }
 }
 

@@ -1,0 +1,183 @@
+//! The closed tail-latency loop, end to end, in one run.
+//!
+//! A flash crowd hits a deliberately small region tier and every stage of
+//! the loop fires in sequence:
+//!
+//! 1. **Crowd hits** — a [`WorkloadCurve::flash_crowd`] holds offload
+//!    intent at 30% until minute 6, jumps to 100% for 5 minutes, then
+//!    falls back. The curve gates each device's offload draw inside one
+//!    run — no per-hour re-simulation.
+//! 2. **p99 spikes** — the per-request microsim measures real queueing,
+//!    and the epoch-windowed p99 blows past the autoscaler's 4 s tail
+//!    target.
+//! 3. **Tier scales on tail** — a [`ScalingSignal::TailLatency`]
+//!    autoscaler steps the pool up at the drain → scale → publish
+//!    barrier.
+//! 4. **Devices retreat** — the published [`RegionSignal::p99_ms`]
+//!    exceeds the scenario's 6 s tail deadline, so devices retreat
+//!    offload-bound requests to their local-only option (re-probing with
+//!    a deterministic 1-in-16 hash draw).
+//! 5. **Tail recovers** — added slots plus retreating devices pull the
+//!    tail back under budget; retreats stop *while the crowd is still
+//!    on*, and the pool walks back down once it passes.
+//!
+//! The whole loop is deterministic: the report digest is bit-identical
+//! at 1, 2, and 4 shards.
+//!
+//! ```sh
+//! cargo run --release -p lens --example flash_crowd
+//! ```
+//!
+//! [`RegionSignal::p99_ms`]: lens::fleet::RegionSignal
+
+use lens::prelude::*;
+use std::time::Instant;
+
+/// One barrier epoch (µs of simulated time).
+const EPOCH_US: u64 = 60_000_000;
+/// Epochs in the run (20 simulated minutes).
+const EPOCHS: usize = 20;
+/// The crowd arrives at minute 6 and stays for 5 minutes.
+const CROWD_START_MS: f64 = 360_000.0;
+const CROWD_DURATION_MS: f64 = 300_000.0;
+/// The autoscaler's p99 sojourn target (a full batch costs ~1.1 s, so a
+/// 4 s tail means real queueing, not service time).
+const TAIL_TARGET_US: u64 = 4_000_000;
+/// The device-side tail deadline budget.
+const DEADLINE_MS: f64 = 6_000.0;
+
+fn crowd_curve() -> WorkloadCurve {
+    WorkloadCurve::flash_crowd(Millis::new(CROWD_START_MS), Millis::new(CROWD_DURATION_MS))
+}
+
+fn scenario(shards: usize) -> FleetScenario {
+    // One slot drains ≈ 440 jobs/min (batch of 8 = 1.08 s), so the 30%
+    // baseline (~250 offloads/min) runs quietly on the single slot while
+    // the 100% crowd (~800/min) overwhelms it until the pool scales.
+    let serving = CloudServing::new(vec![BackendConfig::new("gpu", 1, 1000.0, 10.0)
+        .with_batching(8, 250.0)
+        .with_autoscaler(
+            Autoscaler::new(
+                ScalingSignal::TailLatency {
+                    target_us: TAIL_TARGET_US,
+                },
+                1.0,
+                0.5,
+                1,
+                4,
+            )
+            .with_alpha(0.6)
+            .with_cooldown(1),
+        )]);
+    FleetScenario::builder()
+        .population(1200)
+        .horizon(Millis::new(EPOCHS as f64 * 60_000.0))
+        .trace_interval(Millis::new(60_000.0))
+        .regions(vec![RegionShare::new(
+            Region::new("USA", Mbps::new(7.5)),
+            1.0,
+        )])
+        .serving(serving)
+        .policy(FleetPolicy::Dynamic)
+        .metric(Metric::Latency)
+        .seed(11)
+        .shards(shards)
+        .fidelity(CloudSimFidelity::PerRequest)
+        .workload(crowd_curve())
+        .tail_deadline(Millis::new(DEADLINE_MS))
+        .build()
+        .expect("valid scenario")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let start = Instant::now();
+    println!("== flash crowd: the closed tail-latency loop in one run ==\n");
+    let (report, telemetry) = FleetEngine::new(scenario(2))?.run_traced()?;
+
+    // Bucket the flight-recorder trace by epoch: device retreats and
+    // barrier scaling steps tell the loop's story epoch by epoch.
+    let mut retreats = vec![0u64; EPOCHS];
+    let mut scale_steps: Vec<Vec<String>> = vec![Vec::new(); EPOCHS];
+    for event in telemetry.recorder.events() {
+        let epoch = ((event.time_us() / EPOCH_US) as usize).min(EPOCHS - 1);
+        match *event {
+            TraceEvent::Retreat { .. } => retreats[epoch] += 1,
+            TraceEvent::ScalingStep {
+                from_slots,
+                to_slots,
+                ..
+            } => scale_steps[epoch].push(format!("{from_slots}→{to_slots}")),
+            _ => {}
+        }
+    }
+
+    let curve = crowd_curve();
+    let slots = &report.backends()[0].slot_timeline;
+    println!(
+        "{:>5} {:>8} {:>6} {:>9}  scaling",
+        "epoch", "intent%", "slots", "retreats"
+    );
+    for epoch in 0..EPOCHS {
+        let multiplier_fp = curve.multiplier_fp(epoch as u64 * EPOCH_US, 0);
+        println!(
+            "{:>5} {:>7.1}% {:>6} {:>9}  {}",
+            epoch,
+            multiplier_fp as f64 / 10_000.0,
+            slots[epoch],
+            retreats[epoch],
+            if scale_steps[epoch].is_empty() {
+                "-".to_string()
+            } else {
+                scale_steps[epoch].join(", ")
+            },
+        );
+    }
+
+    // The loop actually closed, stage by stage.
+    let crowd_epochs = 6..11usize;
+    let crowd_retreats: u64 = crowd_epochs.clone().map(|e| retreats[e]).sum();
+    let tail_retreats: u64 = retreats[EPOCHS - 3..].iter().sum();
+    assert!(
+        report.scaling_events() > 0 && slots.iter().max() > slots.iter().min(),
+        "the tail-latency autoscaler must step the pool"
+    );
+    assert!(
+        report.retreated() > 0 && crowd_retreats > 0,
+        "the blown tail must push devices to retreat during the crowd"
+    );
+    assert_eq!(
+        tail_retreats, 0,
+        "the tail must recover once the crowd passes: retreats linger {retreats:?}"
+    );
+    assert!(
+        telemetry
+            .recorder
+            .events()
+            .any(|e| e.kind() == "curve_phase"),
+        "curve plateau changes must be traced"
+    );
+    println!(
+        "\ncrowd window (epochs {}-{}): {} retreats; whole run: {} retreats, {} scaling events, {} offloaded, {} shed",
+        crowd_epochs.start,
+        crowd_epochs.end - 1,
+        crowd_retreats,
+        report.retreated(),
+        report.scaling_events(),
+        report.offloaded(),
+        report.shed_to_local(),
+    );
+
+    // Bit-identity: the same closed loop at 1 and 4 shards produces the
+    // same report, digest and all (run() vs run_traced() agree too).
+    let one = FleetEngine::new(scenario(1))?.run()?;
+    let four = FleetEngine::new(scenario(4))?.run()?;
+    assert_eq!(one.digest(), report.digest(), "1-shard digest differs");
+    assert_eq!(four.digest(), report.digest(), "4-shard digest differs");
+    println!(
+        "digest {:#018x} bit-identical at 1/2/4 shards",
+        report.digest()
+    );
+
+    println!("total example time {:.2?}", start.elapsed());
+    Ok(())
+}

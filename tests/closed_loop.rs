@@ -1,0 +1,159 @@
+//! The closed-loop regression suite: time-varying workload curves drive
+//! per-device offload intent, the measured per-request tail drives the
+//! autoscaler, and the published tail drives device retreat — and the
+//! whole loop stays bit-identical across 1/2/4 shards in both fidelity
+//! modes.
+//!
+//! Three canonical curves are replayed: the diurnal profile, a flash
+//! crowd, and a regional wave. For each, the suite pins full-report
+//! equality (digest included), the scaling-event count, and the
+//! device-retreat count against the single-shard run.
+
+use lens::prelude::*;
+
+/// A tail-targeting, tail-deadlined scenario under the given curve: one
+/// deliberately small GPU pool whose p99 blows past both the scaler
+/// target and the device deadline whenever the curve peaks.
+fn closed_loop_scenario(
+    curve: &WorkloadCurve,
+    shards: usize,
+    fidelity: CloudSimFidelity,
+) -> FleetScenario {
+    let serving = CloudServing::new(vec![BackendConfig::new("gpu", 1, 500.0, 10.0)
+        .with_batching(8, 250.0)
+        .with_autoscaler(
+            Autoscaler::new(
+                ScalingSignal::TailLatency { target_us: 500_000 },
+                1.0,
+                0.25,
+                1,
+                6,
+            )
+            .with_alpha(0.6)
+            .with_cooldown(1),
+        )]);
+    FleetScenario::builder()
+        .population(1500)
+        .horizon(Millis::new(1_200_000.0)) // 20 minutes
+        .trace_interval(Millis::new(60_000.0))
+        .serving(serving)
+        .policy(FleetPolicy::Dynamic)
+        .metric(Metric::Latency)
+        .seed(11)
+        .shards(shards)
+        .fidelity(fidelity)
+        .workload(curve.clone())
+        .tail_deadline(Millis::new(1_000.0))
+        .build()
+        .expect("valid scenario")
+}
+
+fn run(curve: &WorkloadCurve, shards: usize, fidelity: CloudSimFidelity) -> FleetReport {
+    FleetEngine::new(closed_loop_scenario(curve, shards, fidelity))
+        .expect("engine builds")
+        .run()
+        .expect("run succeeds")
+}
+
+/// The shared pin: for one curve, both fidelities produce reports that
+/// are bit-identical across 1/2/4 shards, with shard-invariant scaling
+/// and retreat counts; only the per-request run retreats (fluid
+/// publishes no tail, so devices see no signal).
+fn pin_curve(curve: &WorkloadCurve, name: &str) {
+    for fidelity in [CloudSimFidelity::Fluid, CloudSimFidelity::PerRequest] {
+        let one = run(curve, 1, fidelity);
+        for shards in [2, 4] {
+            let other = run(curve, shards, fidelity);
+            assert_eq!(one, other, "{name}/{fidelity:?} differs at {shards} shards");
+            assert_eq!(one.digest(), other.digest());
+            assert_eq!(one.scaling_events(), other.scaling_events());
+            assert_eq!(one.retreated(), other.retreated());
+        }
+        // The loop is live, not vacuous: the curve's peak congests the
+        // deliberately small pool, so the tier scales in both fidelities…
+        assert!(one.scaling_events() > 0, "{name}/{fidelity:?} never scaled");
+        match fidelity {
+            // …and only the per-request run publishes a tail for devices
+            // to retreat from.
+            CloudSimFidelity::PerRequest => assert!(
+                one.retreated() > 0,
+                "{name}: a blown per-request tail must trigger retreats"
+            ),
+            CloudSimFidelity::Fluid => assert_eq!(
+                one.retreated(),
+                0,
+                "{name}: fluid mode has no tail signal, so no retreats"
+            ),
+        }
+    }
+}
+
+#[test]
+fn diurnal_curve_closed_loop_is_bit_identical_across_shards() {
+    pin_curve(&WorkloadCurve::diurnal(Millis::new(1_200_000.0)), "diurnal");
+}
+
+#[test]
+fn flash_crowd_closed_loop_is_bit_identical_across_shards() {
+    pin_curve(
+        &WorkloadCurve::flash_crowd(Millis::new(360_000.0), Millis::new(300_000.0)),
+        "flash_crowd",
+    );
+}
+
+#[test]
+fn regional_wave_closed_loop_is_bit_identical_across_shards() {
+    pin_curve(
+        &WorkloadCurve::regional_wave(Millis::new(300_000.0), Millis::new(120_000.0)),
+        "regional_wave",
+    );
+}
+
+#[test]
+fn closed_loop_telemetry_is_bit_identical_across_shards() {
+    // The observability face of the loop: curve-phase and retreat events
+    // land in the flight recorder, the curve multiplier lands in the
+    // metrics timelines, and both digests stay shard-invariant.
+    let curve = WorkloadCurve::flash_crowd(Millis::new(360_000.0), Millis::new(300_000.0));
+    let traced = |shards: usize| {
+        FleetEngine::new(closed_loop_scenario(
+            &curve,
+            shards,
+            CloudSimFidelity::PerRequest,
+        ))
+        .expect("engine builds")
+        .run_traced()
+        .expect("run succeeds")
+    };
+    let (one_report, one) = traced(1);
+    for shards in [2, 4] {
+        let (report, telemetry) = traced(shards);
+        assert_eq!(one_report.digest(), report.digest());
+        assert_eq!(
+            one.trace_digest(),
+            telemetry.trace_digest(),
+            "trace differs at {shards} shards"
+        );
+        assert_eq!(
+            one.metrics_digest(),
+            telemetry.metrics_digest(),
+            "metrics timeline differs at {shards} shards"
+        );
+    }
+    let kinds: Vec<&str> = one.recorder.events().map(|e| e.kind()).collect();
+    assert!(
+        kinds.contains(&"curve_phase"),
+        "curve plateaus must be traced"
+    );
+    assert!(kinds.contains(&"retreat"), "device retreats must be traced");
+    assert!(
+        kinds.contains(&"scaling_step"),
+        "tail-driven scaling must be traced"
+    );
+    assert!(
+        one.metrics
+            .iter()
+            .any(|(name, points)| name.starts_with("curve_multiplier_fp/") && !points.is_empty()),
+        "the curve multiplier must be sampled per epoch"
+    );
+}

@@ -310,6 +310,95 @@ proptest! {
             }
         }
     }
+
+    /// The tail-targeting autoscaler's state machine under arbitrary p99
+    /// sequences: it never changes the slot count while a cooldown is
+    /// pending, and the count it asks for never leaves
+    /// `[min_slots, max_slots]`.
+    #[test]
+    fn prop_tail_scaler_honors_cooldown_and_bounds(
+        p99s in proptest::collection::vec(0.0f64..50_000.0, 1..60),
+        target_us in 1u64..5_000_000,
+        scale_up in 0.5f64..4.0,
+        cooldown in 0u32..4,
+        step in 1usize..4,
+        min_slots in 1usize..3,
+        extra in 0usize..8,
+        alpha in 0.05f64..1.0,
+    ) {
+        let max_slots = min_slots + extra;
+        let auto = Autoscaler::new(
+            ScalingSignal::TailLatency { target_us },
+            scale_up,
+            scale_up / 4.0,
+            min_slots,
+            max_slots,
+        )
+        .with_cooldown(cooldown)
+        .with_step(step)
+        .with_alpha(alpha);
+        prop_assert!(auto.validate().is_ok());
+        let mut state = ScalerState::default();
+        let mut slots = min_slots;
+        for p99_ms in p99s {
+            // The observation both tiers feed the scaler: p99 as a
+            // fraction of the tail budget.
+            let observed = p99_ms / (target_us as f64 / 1000.0);
+            let pending = state.cooldown > 0;
+            let next = auto.step(&mut state, observed, slots);
+            if pending {
+                prop_assert_eq!(next, slots, "scaled during cooldown");
+            }
+            prop_assert!(
+                (min_slots..=max_slots).contains(&next),
+                "slot count {} left [{}, {}]", next, min_slots, max_slots
+            );
+            if next != slots {
+                auto.arm(&mut state);
+                slots = next;
+            }
+        }
+    }
+
+    /// Workload-curve evaluation is a pure function of (curve, sim time,
+    /// region): the binary-search lookup agrees with a linear reference
+    /// scan at arbitrary times, a structurally identical curve agrees
+    /// everywhere, and slicing time into epochs of any length cannot
+    /// change what a given boundary evaluates to — the property that
+    /// makes curve draws shard- and epoch-length-invariant.
+    #[test]
+    fn prop_workload_curve_evaluation_is_phase_consistent(
+        raw in proptest::collection::vec((0u64..10_000_000, 0i64..=1_000_000), 1..8),
+        times in proptest::collection::vec(0u64..20_000_000, 1..32),
+        offset_ms in 0u64..5_000,
+        region in 0usize..4,
+        epoch_us in 1u64..1_000_000,
+    ) {
+        let mut phases: Vec<(u64, i64)> = raw;
+        phases.sort_unstable_by_key(|&(start, _)| start);
+        phases.dedup_by_key(|&mut (start, _)| start);
+        phases[0].0 = 0;
+        let curve = WorkloadCurve::from_phases_fp(phases.clone())
+            .with_region_offset(Millis::new(offset_ms as f64));
+        let offset_us = offset_ms * 1000;
+        let reference = |t: u64| {
+            let local = t.saturating_sub(region as u64 * offset_us);
+            phases.iter().rev().find(|&&(start, _)| start <= local).unwrap().1
+        };
+        for &t in &times {
+            let expected = reference(t);
+            prop_assert_eq!(curve.multiplier_fp(t, region), expected);
+            prop_assert_eq!(curve.phases()[curve.phase_index(t, region)].1, expected);
+            // A clone built from the same phases agrees at every time…
+            let clone = WorkloadCurve::from_phases_fp(phases.clone())
+                .with_region_offset(Millis::new(offset_ms as f64));
+            prop_assert_eq!(clone.multiplier_fp(t, region), expected);
+            // …and the epoch boundary at/below t evaluates by the same
+            // rule, whatever the epoch length.
+            let epoch_start = (t / epoch_us) * epoch_us;
+            prop_assert_eq!(curve.multiplier_fp(epoch_start, region), reference(epoch_start));
+        }
+    }
 }
 
 /// Helper trait used by `prop_alg1_min_is_true_min`: brute-force minimum

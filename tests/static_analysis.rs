@@ -174,6 +174,27 @@ fn telemetry_sources_are_inside_the_rule_surface() {
     );
 }
 
+/// Scenario code is inside the float-accumulation scope: workload-curve
+/// multipliers gate every offload draw, so a raw `f64` accumulated in
+/// `crates/fleet/src/scenario.rs` perturbs the digest. The seeded
+/// curve-shaped fixture must trip exactly that rule, exactly once.
+#[test]
+fn workload_curve_fixture_fires_float_accumulation_in_scenario_scope() {
+    let fixture_root = repo_root().join("crates/analyzer/fixtures/workload-curve");
+    let report = scan_root(&fixture_root).expect("workload-curve fixture tree scans");
+    assert_eq!(report.files_scanned, 1, "one seeded fixture file");
+    assert_eq!(
+        report.findings.len(),
+        1,
+        "exactly the seeded violation, got {:?}",
+        report.findings
+    );
+    assert_eq!(report.findings[0].rule, RuleId::FloatAccumulation);
+    assert_eq!(report.findings[0].path, "crates/fleet/src/scenario.rs");
+    assert!(report.findings[0].allowed.is_none());
+    assert_ne!(report.exit_code(), 0);
+}
+
 /// The three engine-construction allows are the only waivers on today's
 /// workspace — pin them so new allows get reviewed rather than slipping
 /// in silently alongside.

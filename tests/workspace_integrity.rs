@@ -652,6 +652,96 @@ fn observability_surface_is_pinned() {
     );
 }
 
+/// Pins the closed tail-latency loop surface (PR 8): the workload-curve
+/// scenario knob, the tail-targeting scaling signal, the published p99 +
+/// device retreat path, the `closed_loop` regression suite, the
+/// `flash_crowd` example, the bench + gate entries, the analyzer scope
+/// extension, the docs sections, and the CI release-determinism step.
+#[test]
+fn closed_loop_surface_is_pinned() {
+    let root = repo_root();
+    let read = |p: &str| fs::read_to_string(root.join(p)).unwrap_or_else(|e| panic!("{p}: {e}"));
+
+    // The three pieces of the loop live where the map says they do.
+    let scenario = read("crates/fleet/src/scenario.rs");
+    assert!(
+        scenario.contains("pub struct WorkloadCurve") && scenario.contains("CURVE_FP_SCALE"),
+        "crates/fleet/src/scenario.rs must define the fixed-point WorkloadCurve"
+    );
+    assert!(
+        read("crates/fleet/src/cloud.rs").contains("TailLatency"),
+        "crates/fleet/src/cloud.rs must define ScalingSignal::TailLatency"
+    );
+    let device = read("crates/fleet/src/device.rs");
+    assert!(
+        device.contains("RETREAT_SALT") && device.contains("CURVE_SALT"),
+        "device-side curve/retreat draws must use their own salted hash streams"
+    );
+
+    // Regression suite + example are registered and CI runs both.
+    let facade_manifest = read("crates/lens/Cargo.toml");
+    assert!(
+        facade_manifest.contains("path = \"../../tests/closed_loop.rs\""),
+        "closed_loop test must be registered on the facade"
+    );
+    assert!(
+        facade_manifest.contains("path = \"../../examples/flash_crowd.rs\""),
+        "flash_crowd example must be registered on the facade"
+    );
+    let ci = read(".github/workflows/ci.yml");
+    assert!(
+        ci.contains("cargo test --release -q --locked -p lens --test closed_loop"),
+        "CI must run the closed-loop suite in release mode"
+    );
+
+    // Bench + gate price the loop against a checked-in baseline.
+    assert!(
+        read("crates/bench/benches/fleet_step.rs").contains("run_flash_crowd/10000"),
+        "fleet_step bench must measure the closed loop"
+    );
+    assert!(
+        read("crates/bench/src/bin/bench_gate.rs").contains("run_flash_crowd/10000"),
+        "bench_gate must gate the closed loop"
+    );
+    let bench_json = read("crates/bench/benches/BENCH_fleet.json");
+    let at = bench_json
+        .find("\"run_flash_crowd/10000\"")
+        .expect("BENCH_fleet.json missing run_flash_crowd/10000");
+    assert!(
+        bench_json[at..bench_json[at..].find('}').unwrap() + at]
+            .contains("after_ns_per_inference_event"),
+        "BENCH_fleet.json run_flash_crowd/10000 must carry the gate's ns/event key"
+    );
+
+    // The analyzer's float-accumulation scope covers the curve code.
+    assert!(
+        read("crates/analyzer/src/rules.rs").contains("crates/fleet/src/scenario.rs"),
+        "the float-accumulation rule must scope to crates/fleet/src/scenario.rs"
+    );
+    assert!(
+        root.join("crates/analyzer/fixtures/workload-curve")
+            .is_dir(),
+        "workload-curve fixture tree is missing"
+    );
+
+    // Docs walk the loop end to end.
+    let architecture = read("docs/ARCHITECTURE.md");
+    assert!(
+        architecture.contains("The closed tail-latency loop"),
+        "docs/ARCHITECTURE.md must document the closed loop"
+    );
+    for needle in ["WorkloadCurve", "TailLatency", "p99_ms", "retreat"] {
+        assert!(
+            architecture.contains(needle),
+            "docs/ARCHITECTURE.md closed-loop section must mention {needle}"
+        );
+    }
+    assert!(
+        read("docs/PAPER_MAP.md").contains("WorkloadCurve"),
+        "docs/PAPER_MAP.md must map the closed loop"
+    );
+}
+
 #[test]
 fn release_profile_is_tuned_for_benchmarking() {
     let root = repo_root();
