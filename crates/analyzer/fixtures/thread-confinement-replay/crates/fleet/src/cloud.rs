@@ -1,0 +1,8 @@
+//! Fixture sibling: the replay carve-out must not leak to the rest of
+//! the fleet crate — a stray thread here still races the barrier's
+//! deterministic merge order, so `thread-confinement` fires once.
+
+pub fn fan_out() -> u64 {
+    let handle = std::thread::spawn(|| 7u64);
+    handle.join().unwrap_or(0)
+}

@@ -1,0 +1,12 @@
+//! Fixture: the barrier replay module is a sanctioned concurrency site.
+//! Scoped threads here are joined in fixed region order by the engine,
+//! so `thread-confinement` must stay silent on this path — while the
+//! sibling `cloud.rs` in this tree still fires.
+
+pub fn replay_regions(values: &mut [u64]) {
+    std::thread::scope(|scope| {
+        for value in values.iter_mut() {
+            scope.spawn(move || *value += 1);
+        }
+    });
+}

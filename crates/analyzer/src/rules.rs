@@ -86,13 +86,18 @@ pub enum RuleId {
     FloatAccumulation,
     /// Truncating `as` casts to narrow integers in report paths: a
     /// counter that silently wraps produces a digest that depends on
-    /// population scale.
+    /// population scale. Also fires on a fixed-point accumulator
+    /// (`*_fp` identifier) cast straight to `f64`: above 2^53
+    /// micro-units that conversion silently drops low bits even though
+    /// the integer sum stays exact — route through the saturating
+    /// report helper instead.
     TruncatingCast,
     /// Every non-bench crate root must carry `#![forbid(unsafe_code)]`:
     /// unsafe code could smuggle in any of the hazards above.
     ForbidUnsafe,
-    /// Thread spawning outside the engine's shard module: the barrier's
-    /// merge discipline only covers threads the engine itself forked.
+    /// Thread spawning outside the engine's shard-step and
+    /// barrier-replay modules: the barrier's merge discipline only
+    /// covers threads the engine itself forked.
     ThreadConfinement,
     /// Ambient-entropy RNG construction (`thread_rng`, `from_entropy`,
     /// `OsRng`, `getrandom`): every stream must derive from the scenario
@@ -143,11 +148,11 @@ impl RuleId {
                 "raw f64 accumulation in a report/digest path; route through the to_fp/i128 fixed-point sums"
             }
             RuleId::TruncatingCast => {
-                "truncating integer cast in a report path; counters must not wrap with population scale"
+                "truncating integer cast in a report path; counters must not wrap with population scale, and fixed-point sums must not be cast straight to f64"
             }
             RuleId::ForbidUnsafe => "crate root is missing #![forbid(unsafe_code)]",
             RuleId::ThreadConfinement => {
-                "thread spawning outside the engine's shard module escapes the barrier's merge discipline"
+                "thread spawning outside the engine's shard-step/replay modules escapes the barrier's merge discipline"
             }
             RuleId::AmbientEntropy => {
                 "ambient-entropy RNG construction; every stream must be derived from the scenario seed"
@@ -178,7 +183,13 @@ impl RuleId {
             }
             RuleId::TruncatingCast => loc.file_name == "report.rs" || loc.crate_dir == "telemetry",
             RuleId::ForbidUnsafe => !bench && loc.crate_root,
-            RuleId::ThreadConfinement => loc.rel_path != "crates/fleet/src/engine.rs",
+            // The shard step (engine.rs) and the barrier replay pool
+            // (replay.rs) are the two sanctioned concurrency sites; both
+            // sit behind the barrier's fixed merge order.
+            RuleId::ThreadConfinement => {
+                loc.rel_path != "crates/fleet/src/engine.rs"
+                    && loc.rel_path != "crates/fleet/src/replay.rs"
+            }
             RuleId::AmbientEntropy => true,
         }
     }
@@ -407,13 +418,15 @@ fn float_accumulation(line: &str, f64_names: &BTreeSet<String>) -> bool {
     false
 }
 
-/// A cast to a narrower integer type (`as u32` & friends).
+/// A cast to a narrower integer type (`as u32` & friends), or a
+/// fixed-point accumulator (an `*_fp`-suffixed identifier) cast straight
+/// to `f64` — exact in `i128`, silently lossy past 2^53 micro-units.
 fn truncating_cast(line: &str) -> bool {
     const NARROW: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
     let mut from = 0usize;
     while let Some(at) = line[from..].find(" as ") {
-        let after = &line[from + at + 4..];
-        let ty: String = after
+        let start = from + at;
+        let ty: String = line[start + 4..]
             .trim_start()
             .chars()
             .take_while(|&c| is_word(c))
@@ -421,7 +434,10 @@ fn truncating_cast(line: &str) -> bool {
         if NARROW.contains(&ty.as_str()) {
             return true;
         }
-        from += at + 1;
+        if ty == "f64" && ident_ending_at(line, start).is_some_and(|name| name.ends_with("_fp")) {
+            return true;
+        }
+        from = start + 1;
     }
     false
 }
@@ -453,7 +469,11 @@ mod tests {
         assert!(RuleId::WallClock.applies(&loc("crates/fleet/src/engine.rs")));
         assert!(!RuleId::WallClock.applies(&loc("crates/bench/src/bin/bench_gate.rs")));
         assert!(!RuleId::ThreadConfinement.applies(&loc("crates/fleet/src/engine.rs")));
+        // The barrier replay pool is the second sanctioned concurrency
+        // site — scoped threads joined in fixed region order.
+        assert!(!RuleId::ThreadConfinement.applies(&loc("crates/fleet/src/replay.rs")));
         assert!(RuleId::ThreadConfinement.applies(&loc("crates/fleet/src/cloud.rs")));
+        assert!(RuleId::ThreadConfinement.applies(&loc("crates/telemetry/src/replay.rs")));
         assert!(RuleId::AmbientEntropy.applies(&loc("crates/bench/src/lib.rs")));
         assert!(RuleId::ForbidUnsafe.applies(&loc("crates/num/src/lib.rs")));
         assert!(!RuleId::ForbidUnsafe.applies(&loc("crates/num/src/stats.rs")));
@@ -516,6 +536,13 @@ mod tests {
         assert!(!truncating_cast("let x = n as i128;"));
         assert!(!truncating_cast("let x = n as f64;"));
         assert!(!truncating_cast("fn widen(x: u32) -> u64 { x.into() }"));
+        // Fixed-point sums cast straight to f64 lose low bits past 2^53
+        // micro-units; the saturating report helper is the sanctioned
+        // conversion.
+        assert!(truncating_cast("self.sum_fp as f64 / SUM_FP_SCALE"));
+        assert!(truncating_cast("(b.cost_fp as f64) / 1e6"));
+        assert!(!truncating_cast("let w = weight as f64;"));
+        assert!(!truncating_cast("fp_sum_to_f64(self.sum_fp)"));
     }
 
     #[test]

@@ -13,7 +13,10 @@
 //! parsing bench output, and it builds its workloads from the *same*
 //! constructors the criterion benches use (`lens_bench::workloads`), so
 //! gate and bench cannot drift apart silently;
-//! `tests/workspace_integrity.rs` pins the wiring.
+//! `tests/workspace_integrity.rs` pins the wiring. A first pass beyond
+//! the limit earns exactly one re-measure before the gate fails — one
+//! scheduler spike on a shared runner should not page anyone, while a
+//! real regression fails both passes.
 //!
 //! Knobs (environment):
 //! * `LENS_BENCH_MEASURE_MS` — wall-clock budget per benchmark
@@ -95,9 +98,20 @@ struct Gate {
 }
 
 impl Gate {
-    fn check(&mut self, name: &str, measured: Duration, baseline_ns: f64) {
-        let measured_ns = measured.as_nanos() as f64;
+    /// Measures `workload` and compares against the tolerance-scaled
+    /// baseline. A first pass over the limit triggers exactly one
+    /// re-measure (keeping the better minimum) before the gate fails:
+    /// shared CI runners throw one-off noise spikes a whole budget long,
+    /// and a real regression is slow on both passes anyway.
+    fn check<F: FnMut()>(&mut self, name: &str, mut workload: F, baseline_ns: f64) {
         let limit_ns = baseline_ns * self.tolerance;
+        let mut measured = measure(&mut workload);
+        let mut note = "";
+        if measured.as_nanos() as f64 > limit_ns {
+            measured = measured.min(measure(&mut workload));
+            note = "  [re-measured]";
+        }
+        let measured_ns = measured.as_nanos() as f64;
         let verdict = if measured_ns <= limit_ns {
             "ok"
         } else {
@@ -105,7 +119,7 @@ impl Gate {
             "REGRESSION"
         };
         println!(
-            "gate {name:<28} min {measured_ns:>14.0} ns  baseline {baseline_ns:>14.0} ns  limit {limit_ns:>14.0} ns  {verdict}"
+            "gate {name:<28} min {measured_ns:>14.0} ns  baseline {baseline_ns:>14.0} ns  limit {limit_ns:>14.0} ns  {verdict}{note}"
         );
     }
 }
@@ -123,13 +137,12 @@ fn main() {
     // fleet/run/10000 — 100k fluid inference events per iteration, on
     // the bench's plain scenario.
     let engine = FleetEngine::new(workloads::fleet_scenario(10_000, 1)).expect("engine builds");
-    let run = measure(|| {
-        black_box(engine.run().expect("run").inferences());
-    });
     let events = engine.scenario().expected_events() as f64;
     gate.check(
         "fleet/run/10000",
-        run,
+        || {
+            black_box(engine.run().expect("run").inferences());
+        },
         baseline(&fleet_json, "run/10000", "after_ns_per_inference_event") * events,
     );
 
@@ -138,12 +151,11 @@ fn main() {
     // The untraced `fleet/run/10000` above doubles as the disabled-sink
     // overhead check — its hooks const-fold away, so it must stay within
     // the pre-telemetry baseline's tolerance.
-    let traced = measure(|| {
-        black_box(engine.run_traced().expect("run").0.inferences());
-    });
     gate.check(
         "fleet/run_traced/10000",
-        traced,
+        || {
+            black_box(engine.run_traced().expect("run").0.inferences());
+        },
         baseline(
             &fleet_json,
             "run_traced/10000",
@@ -157,15 +169,14 @@ fn main() {
         CloudSimFidelity::PerRequest,
     ))
     .expect("engine builds");
-    let per_request = measure(|| {
-        black_box(engine.run().expect("run").inferences());
-    });
     // Event count recomputed from the engine under test — the batched
     // scenario may be retuned independently of the plain one.
     let per_request_events = engine.scenario().expected_events() as f64;
     gate.check(
         "fleet/per_request/10000",
-        per_request,
+        || {
+            black_box(engine.run().expect("run").inferences());
+        },
         baseline(
             &fleet_json,
             "per_request/10000",
@@ -177,13 +188,12 @@ fn main() {
     // (workload curve + tail-targeting autoscaler + deadline-driven
     // device retreats) at per-request fidelity.
     let engine = FleetEngine::new(workloads::flash_crowd_fleet_scenario()).expect("engine builds");
-    let flash_crowd = measure(|| {
-        black_box(engine.run().expect("run").inferences());
-    });
     let flash_crowd_events = engine.scenario().expected_events() as f64;
     gate.check(
         "fleet/run_flash_crowd/10000",
-        flash_crowd,
+        || {
+            black_box(engine.run().expect("run").inferences());
+        },
         baseline(
             &fleet_json,
             "run_flash_crowd/10000",
@@ -195,13 +205,12 @@ fn main() {
     // exploration history (the fleet-in-the-loop search's per-iteration
     // `Pareto_update` cost, amortized).
     let pts = workloads::pareto_points(5000);
-    let build_front = measure(|| {
-        let front: ParetoFront<usize> = pts.iter().cloned().enumerate().collect();
-        black_box(front.len());
-    });
     gate.check(
         "pareto/build_front/5000",
-        build_front,
+        || {
+            let front: ParetoFront<usize> = pts.iter().cloned().enumerate().collect();
+            black_box(front.len());
+        },
         baseline(&pareto_json, "build_front/5000", "after_ms") * 1e6,
     );
 
@@ -209,15 +218,14 @@ fn main() {
     // iteration budget, the other search-side hot path gating
     // fleet-in-the-loop NAS.
     let (xs, ys) = workloads::gp_training_data(300);
-    let gp_fit = measure(|| {
-        black_box(
-            GpRegressor::fit(xs.clone(), ys.clone(), Matern52::new(0.8, 1.0), 1e-4)
-                .expect("fit succeeds"),
-        );
-    });
     gate.check(
         "gp/fit/300",
-        gp_fit,
+        || {
+            black_box(
+                GpRegressor::fit(xs.clone(), ys.clone(), Matern52::new(0.8, 1.0), 1e-4)
+                    .expect("fit succeeds"),
+            );
+        },
         baseline(&pareto_json, "gp/fit/300", "after_ms") * 1e6,
     );
 
@@ -227,12 +235,11 @@ fn main() {
         .enumerate()
         .collect();
     let objectives = front.objectives();
-    let hv = measure(|| {
-        black_box(hypervolume(black_box(&objectives), &[2.0, 2.0, 2.0]));
-    });
     gate.check(
         "pareto/hypervolume_3d",
-        hv,
+        || {
+            black_box(hypervolume(black_box(&objectives), &[2.0, 2.0, 2.0]));
+        },
         baseline(&pareto_json, "hypervolume_3d", "optimized_mean_us") * 1_000.0,
     );
 

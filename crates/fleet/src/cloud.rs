@@ -771,7 +771,10 @@ pub struct RegionSignal {
     /// sojourn times; the fluid tier publishes `None` — explicitly *no
     /// signal*, never a stale zero — and device-side tail policies must
     /// treat `None` as "don't react". An idle microsim epoch (no
-    /// completions) also publishes `None`.
+    /// completions) republishes the last *measured* p99 as hysteresis: a
+    /// region that shed its whole crowd keeps warning retreated devices
+    /// instead of inviting the herd back at once. `None` therefore means
+    /// "never measured", not "idle lately".
     pub p99_ms: Option<f64>,
 }
 
@@ -1354,9 +1357,17 @@ const EVENT_LINGER: u8 = 1;
 struct MicroBackend {
     queue_high: VecDeque<OffloadRequest>,
     queue_low: VecDeque<OffloadRequest>,
-    /// When each executor slot becomes free (µs). The vector's length is
-    /// the **live** slot count; autoscaling pushes and pops entries.
-    slot_free_us: Vec<u64>,
+    /// When each executor slot becomes free (µs), as a min-heap of
+    /// `(free_us, slot_id)`: the heap's size is the **live** slot count,
+    /// its peek the earliest-free executor, and autoscaling pushes and
+    /// pops entries. Ids only break same-microsecond ties (and do so
+    /// deterministically); capacity semantics live entirely in the times
+    /// and the count, so every per-arrival question — "when does the
+    /// next executor open?" — is a peek instead of the linear scan that
+    /// used to dominate large autoscaled tiers.
+    slot_heap: BinaryHeap<Reverse<(u64, u32)>>,
+    /// Next id to hand a scale-up slot (monotone, never reused).
+    next_slot_id: u32,
     /// Shared autoscaler bookkeeping (EWMA estimate + cooldown).
     scaler: ScalerState,
     /// `busy_us` as of the previous barrier — the delta is the epoch's
@@ -1370,10 +1381,27 @@ struct MicroBackend {
     batch_sizes: Histogram,
     sojourn_ms: Histogram,
     /// Sojourns completed since the last barrier — the epoch-windowed tail
-    /// the [`ScalingSignal::TailLatency`] autoscaler observes. Reset at
-    /// the end of each backend's barrier pass (the `busy_us_at_barrier`
-    /// idiom for histograms).
+    /// the [`ScalingSignal::TailLatency`] autoscaler observes, and the
+    /// *only* histogram the dispatch hot loop records into; the barrier
+    /// folds it into the cumulative and region-level views, then resets
+    /// it (the `busy_us_at_barrier` idiom for histograms).
     epoch_sojourn: Histogram,
+    /// [`BackendConfig::full_batch_rate_per_slot_ms`], cached — the value
+    /// is a pure function of the static config, and the per-arrival
+    /// least-work scan would otherwise recompute its divisions for every
+    /// backend on every offload.
+    rate_per_slot_ms: f64,
+    /// The batcher's linger window in µs, cached off the static config
+    /// for the same reason.
+    linger_us: u64,
+    /// Time of this backend's pending linger wakeup (`u64::MAX` = none).
+    /// At most one is ever in flight: the linger deadline only moves
+    /// later (FIFO queue fronts only advance), so an armed earlier
+    /// wakeup always fires in time to re-check and re-arm — and without
+    /// the dedup every arrival into a still-filling batcher would push
+    /// another stale wakeup, scaling timer pops with the arrival rate
+    /// instead of the batch rate.
+    linger_event_us: u64,
     /// Slot count during each served epoch, recorded at the barrier.
     slot_timeline: Vec<u32>,
     /// Applied scaling events (up or down).
@@ -1395,15 +1423,49 @@ impl MicroBackend {
         }
     }
 
-    /// The earliest-free slot (ties to the lowest index).
-    fn earliest_slot(&self) -> (usize, u64) {
-        let mut best = 0usize;
-        for (i, &t) in self.slot_free_us.iter().enumerate() {
-            if t < self.slot_free_us[best] {
-                best = i;
-            }
+    /// Live executor count (autoscaling adds and retires entries).
+    fn live_slots(&self) -> usize {
+        self.slot_heap.len()
+    }
+
+    /// When the earliest-free executor opens up (µs).
+    fn earliest_free_us(&self) -> u64 {
+        self.slot_heap
+            .peek()
+            .expect("a backend keeps ≥ 1 slot")
+            .0
+             .0
+    }
+
+    /// Occupies the earliest-free executor until `completion_us`.
+    fn occupy_earliest(&mut self, completion_us: u64) {
+        let Reverse((_, id)) = self.slot_heap.pop().expect("a backend keeps ≥ 1 slot");
+        self.slot_heap.push(Reverse((completion_us, id)));
+    }
+
+    /// Adds `n` executors, free at `now_us`.
+    fn add_slots(&mut self, n: usize, now_us: u64) {
+        for _ in 0..n {
+            self.slot_heap.push(Reverse((now_us, self.next_slot_id)));
+            self.next_slot_id += 1;
         }
-        (best, self.slot_free_us[best])
+    }
+
+    /// Retires up to `max` **idle** executors (free at or before
+    /// `now_us`) and returns how many actually went — an in-flight batch
+    /// is never killed, so a busy tier may retire fewer than asked.
+    fn retire_idle(&mut self, max: usize, now_us: u64) -> usize {
+        let mut retired = 0;
+        while retired < max
+            && self
+                .slot_heap
+                .peek()
+                .is_some_and(|&Reverse((t, _))| t <= now_us)
+        {
+            self.slot_heap.pop();
+            retired += 1;
+        }
+        retired
     }
 }
 
@@ -1438,6 +1500,19 @@ pub struct RegionMicrosim {
     /// epoch-windowed p99 [`barrier_signal`](RegionMicrosim::barrier_signal)
     /// publishes on [`RegionSignal::p99_ms`], reset after each publish.
     epoch_sojourn: Histogram,
+    /// Cumulative region-level sojourns — the fold of every barrier's
+    /// epoch window (plus the post-horizon flush), bit-identical to
+    /// recording each completion directly and what
+    /// [`FleetReport::region_tail`](crate::report::FleetReport::region_tail)
+    /// ultimately exposes.
+    region_sojourn: Histogram,
+    /// The last *measured* epoch p99, held across idle epochs so a tier
+    /// that completed nothing (a fully shed or fully retreated epoch)
+    /// keeps publishing its last observation instead of dropping to "no
+    /// signal" — which would stampede every retreated device back at
+    /// once and oscillate (see
+    /// [`barrier_signal`](RegionMicrosim::barrier_signal)).
+    held_p99_ms: Option<f64>,
 }
 
 impl RegionMicrosim {
@@ -1456,7 +1531,8 @@ impl RegionMicrosim {
             .map(|b| MicroBackend {
                 queue_high: VecDeque::new(),
                 queue_low: VecDeque::new(),
-                slot_free_us: vec![0; b.slots],
+                slot_heap: (0..b.slots as u32).map(|id| Reverse((0, id))).collect(),
+                next_slot_id: b.slots as u32,
                 scaler: ScalerState::default(),
                 busy_us_at_barrier: 0,
                 served_requests: 0,
@@ -1467,6 +1543,9 @@ impl RegionMicrosim {
                 epoch_sojourn: Histogram::new(SOJOURN_BIN_MS, SOJOURN_BINS),
                 slot_timeline: Vec::new(),
                 scale_events: 0,
+                rate_per_slot_ms: b.full_batch_rate_per_slot_ms(),
+                linger_us: (b.batching.linger_ms * 1000.0).round() as u64,
+                linger_event_us: u64::MAX,
             })
             .collect();
         RegionMicrosim {
@@ -1475,7 +1554,24 @@ impl RegionMicrosim {
             heap: BinaryHeap::new(),
             shed_fraction: 0.0,
             epoch_sojourn: Histogram::new(SOJOURN_BIN_MS, SOJOURN_BINS),
+            region_sojourn: Histogram::new(SOJOURN_BIN_MS, SOJOURN_BINS),
+            held_p99_ms: None,
         }
+    }
+
+    /// The cumulative region-level per-request sojourn distribution, as
+    /// of the last barrier (or flush). The engine folds this into the
+    /// report's `cloud_sojourn` slot at the end of a run.
+    pub fn region_sojourn(&self) -> &Histogram {
+        &self.region_sojourn
+    }
+
+    /// Consumes the region-level sojourn histogram (end of run).
+    pub fn take_region_sojourn(&mut self) -> Histogram {
+        std::mem::replace(
+            &mut self.region_sojourn,
+            Histogram::new(SOJOURN_BIN_MS, SOJOURN_BINS),
+        )
     }
 
     /// The serving-tier template this region runs.
@@ -1522,7 +1618,7 @@ impl RegionMicrosim {
             let now = requests[i].arrival_us;
             // Timer events strictly before the arrival instant run first.
             // Events at exactly `now` stay queued: a slot freed at `now`
-            // is already visible through `slot_free_us`, and `dispatch`
+            // is already visible through the slot heap, and `dispatch`
             // re-checks the linger deadline directly — so same-instant
             // arrivals enqueue *before* any batch at `now` closes and can
             // board it (the documented ordering).
@@ -1565,7 +1661,20 @@ impl RegionMicrosim {
         probe: &mut PhaseProbe,
     ) {
         self.run_timers(u64::MAX, true, out, region, probe);
+        // Fold the post-horizon completions into the cumulative
+        // histograms — the final barrier never runs after a flush.
+        let RegionMicrosim {
+            backends,
+            region_sojourn,
+            ..
+        } = &mut *self;
+        for backend in backends.iter_mut() {
+            backend.sojourn_ms.merge(&backend.epoch_sojourn);
+            region_sojourn.merge(&backend.epoch_sojourn);
+            backend.epoch_sojourn.reset();
+        }
         debug_assert!(self.backends.iter().all(|b| b.queued() == 0));
+        debug_assert!(self.backends.iter().all(|b| b.linger_event_us == u64::MAX));
     }
 
     /// Processes pending timer events with `time < limit_us` (or
@@ -1578,12 +1687,18 @@ impl RegionMicrosim {
         region: u64,
         probe: &mut PhaseProbe,
     ) {
-        while let Some(&Reverse((time, _, backend))) = self.heap.peek() {
+        while let Some(&Reverse((time, kind, backend))) = self.heap.peek() {
             if time > limit_us || (time == limit_us && !inclusive) {
                 break;
             }
             self.heap.pop();
             probe.on_pop();
+            if kind == EVENT_LINGER {
+                // The backend's one pending linger wakeup just fired;
+                // `dispatch` re-arms if the batcher is still filling.
+                debug_assert_eq!(self.backends[backend as usize].linger_event_us, time);
+                self.backends[backend as usize].linger_event_us = u64::MAX;
+            }
             self.dispatch(backend as usize, time, out, region, probe);
         }
     }
@@ -1600,9 +1715,9 @@ impl RegionMicrosim {
         let mut best = 0usize;
         let mut best_score = f64::INFINITY;
         for (i, (config, backend)) in self.serving.backends.iter().zip(&self.backends).enumerate() {
-            let (_, free_at) = backend.earliest_slot();
+            let free_at = backend.earliest_free_us();
             let slot_wait_ms = free_at.saturating_sub(now_us) as f64 / 1000.0;
-            let rate = backend.slot_free_us.len() as f64 * config.full_batch_rate_per_slot_ms();
+            let rate = backend.live_slots() as f64 * backend.rate_per_slot_ms;
             let score = if cost_aware {
                 // Include the arriving job's own service so an idle tier
                 // (all work-left 0) still ranks by cost, then weigh by
@@ -1633,14 +1748,14 @@ impl RegionMicrosim {
         probe: &mut PhaseProbe,
     ) {
         let config = &self.serving.backends[backend];
-        let linger_us = (config.batching.linger_ms * 1000.0).round() as u64;
+        let linger_us = self.backends[backend].linger_us;
         loop {
             let state = &mut self.backends[backend];
             let queued = state.queued();
             if queued == 0 {
                 return;
             }
-            let (slot, free_at) = state.earliest_slot();
+            let free_at = state.earliest_free_us();
             if free_at > now_us {
                 // No executor free: the pending slot-free event re-runs
                 // this dispatch when one opens up.
@@ -1650,10 +1765,16 @@ impl RegionMicrosim {
             let linger_deadline = oldest.saturating_add(linger_us);
             if queued < config.batching.max_batch && now_us < linger_deadline {
                 // Still filling: wake up when the oldest request's linger
-                // window closes. Stale wakeups re-check and re-arm.
-                self.heap
-                    .push(Reverse((linger_deadline, EVENT_LINGER, backend as u32)));
-                probe.on_push();
+                // window closes — unless a wakeup is already in flight.
+                // The pending one can only be *earlier* (the deadline is
+                // monotone), and an early wakeup re-checks and re-arms,
+                // so one event per backend covers every filling batch.
+                if state.linger_event_us == u64::MAX {
+                    state.linger_event_us = linger_deadline;
+                    self.heap
+                        .push(Reverse((linger_deadline, EVENT_LINGER, backend as u32)));
+                    probe.on_push();
+                }
                 return;
             }
             let size = queued.min(config.batching.max_batch);
@@ -1661,7 +1782,7 @@ impl RegionMicrosim {
                 .round()
                 .max(1.0) as u64;
             let completion_us = now_us + service_us;
-            state.slot_free_us[slot] = completion_us;
+            state.occupy_earliest(completion_us);
             state.batches += 1;
             state.busy_us += service_us;
             state.batch_sizes.record(size as f64);
@@ -1671,9 +1792,11 @@ impl RegionMicrosim {
                     None => state.queue_low.pop_front().expect("batch within queue"),
                 };
                 let sojourn_ms = (completion_us - request.arrival_us) as f64 / 1000.0;
-                state.sojourn_ms.record(sojourn_ms);
+                // One record per completion on the hot path; the barrier
+                // folds this epoch window into the cumulative and
+                // region-level histograms with exact merges instead
+                // ([`barrier_signal`](RegionMicrosim::barrier_signal)).
                 state.epoch_sojourn.record(sojourn_ms);
-                self.epoch_sojourn.record(sojourn_ms);
                 state.served_requests += 1;
                 out.push(CompletedRequest {
                     request,
@@ -1706,7 +1829,7 @@ impl RegionMicrosim {
     pub fn live_slots(&self) -> Vec<u64> {
         self.backends
             .iter()
-            .map(|b| b.slot_free_us.len() as u64)
+            .map(|b| b.live_slots() as u64)
             .collect()
     }
 
@@ -1714,19 +1837,16 @@ impl RegionMicrosim {
     /// `now_us`: the least-loaded backend's slot gap plus its queue
     /// drained at the peak batch rate.
     pub fn wait_ms(&self, high_priority: bool, now_us: u64) -> f64 {
-        self.serving
-            .backends
+        self.backends
             .iter()
-            .zip(&self.backends)
-            .map(|(config, backend)| {
-                let (_, free_at) = backend.earliest_slot();
-                let slot_wait = free_at.saturating_sub(now_us) as f64 / 1000.0;
+            .map(|backend| {
+                let slot_wait = backend.earliest_free_us().saturating_sub(now_us) as f64 / 1000.0;
                 let ahead = if high_priority {
                     backend.queue_high.len()
                 } else {
                     backend.queued()
                 } as f64;
-                let rate = backend.slot_free_us.len() as f64 * config.full_batch_rate_per_slot_ms();
+                let rate = backend.live_slots() as f64 * backend.rate_per_slot_ms;
                 slot_wait + ahead / rate
             })
             .fold(f64::INFINITY, f64::min)
@@ -1763,11 +1883,9 @@ impl RegionMicrosim {
             .zip(self.backends.iter_mut())
             .enumerate()
         {
-            backend
-                .slot_timeline
-                .push(backend.slot_free_us.len() as u32);
+            backend.slot_timeline.push(backend.live_slots() as u32);
             if let Some(auto) = &config.autoscaler {
-                let slots = backend.slot_free_us.len();
+                let slots = backend.live_slots();
                 let observed = match auto.signal {
                     ScalingSignal::Utilization => {
                         let epoch_busy = backend.busy_us - backend.busy_us_at_barrier;
@@ -1793,7 +1911,7 @@ impl RegionMicrosim {
                 let target = auto.step(&mut backend.scaler, observed, slots);
                 match target.cmp(&slots) {
                     std::cmp::Ordering::Greater => {
-                        backend.slot_free_us.resize(target, now_us);
+                        backend.add_slots(target - slots, now_us);
                         heap.push(Reverse((now_us, EVENT_SLOT_FREE, i as u32)));
                         probe.on_push();
                         auto.arm(&mut backend.scaler);
@@ -1809,17 +1927,8 @@ impl RegionMicrosim {
                         }
                     }
                     std::cmp::Ordering::Less => {
-                        let mut to_retire = slots - target;
-                        let mut j = backend.slot_free_us.len();
-                        let before = to_retire;
-                        while j > 0 && to_retire > 0 {
-                            j -= 1;
-                            if backend.slot_free_us[j] <= now_us {
-                                backend.slot_free_us.remove(j);
-                                to_retire -= 1;
-                            }
-                        }
-                        if to_retire < before {
+                        let retired = backend.retire_idle(slots - target, now_us);
+                        if retired > 0 {
                             auto.arm(&mut backend.scaler);
                             backend.scale_events += 1;
                             if probe.is_enabled() {
@@ -1828,7 +1937,7 @@ impl RegionMicrosim {
                                     region,
                                     backend: i as u64,
                                     from_slots: slots as u64,
-                                    to_slots: backend.slot_free_us.len() as u64,
+                                    to_slots: backend.live_slots() as u64,
                                 });
                             }
                         }
@@ -1837,7 +1946,6 @@ impl RegionMicrosim {
                 }
             }
             backend.busy_us_at_barrier = backend.busy_us;
-            backend.epoch_sojourn.reset();
         }
     }
 
@@ -1845,15 +1953,47 @@ impl RegionMicrosim {
     /// fraction from the tier state observed at `now_us` (the epoch end,
     /// **after** [`scale`](RegionMicrosim::scale) has run).
     pub fn barrier_signal(&mut self, now_us: u64) -> RegionSignal {
+        // Incremental histogram merge: the dispatch hot loop records each
+        // completion exactly once (into its backend's epoch window); the
+        // barrier folds those windows into the cumulative per-backend
+        // histogram and the region-level epoch window in one exact,
+        // hot-bin-bounded merge pass — bit-identical to per-completion
+        // records, at a fraction of the hot-path cost. The epoch windows
+        // consumed here are reset here, closing the window this signal
+        // publishes ([`scale`](RegionMicrosim::scale) reads the same
+        // window just before, at the documented scale-then-signal
+        // barrier cadence).
+        let RegionMicrosim {
+            backends,
+            epoch_sojourn,
+            region_sojourn,
+            ..
+        } = &mut *self;
+        for backend in backends.iter_mut() {
+            backend.sojourn_ms.merge(&backend.epoch_sojourn);
+            epoch_sojourn.merge(&backend.epoch_sojourn);
+            backend.epoch_sojourn.reset();
+        }
+        region_sojourn.merge(epoch_sojourn);
         let wait_low = self.wait_ms(false, now_us);
         let target = self.serving.admission.shed_fraction(self.depth(), wait_low);
         self.shed_fraction = damp_shed_fraction(self.shed_fraction, target);
-        // The epoch-windowed tail: p99 of the sojourns completed since the
-        // last barrier, or explicitly no signal when nothing completed.
+        // The epoch-windowed tail: p99 of the sojourns completed since
+        // the last barrier. An idle epoch (nothing completed) re-publishes
+        // the last *measured* p99 instead of clearing the signal: a
+        // region that shed or retreated 100% of a flash crowd completes
+        // nothing, and publishing `None` then would release every
+        // retreated device at once, re-saturate the tier, and oscillate.
+        // Holding keeps retreat armed until a fresh measurement — the
+        // deterministic 1-in-16 retreat re-probes keep those coming —
+        // actually clears the budget. A tier that has never completed
+        // anything still publishes `None` (no signal, not a stale zero).
         let p99_ms = if self.epoch_sojourn.count() > 0 {
-            Some(self.epoch_sojourn.percentile(99.0))
+            let fresh = self.epoch_sojourn.percentile(99.0);
+            self.held_p99_ms = Some(fresh);
+            Some(fresh)
         } else {
-            None
+            self.held_p99_ms
         };
         self.epoch_sojourn.reset();
         RegionSignal {
@@ -2548,17 +2688,28 @@ mod tests {
         assert_eq!(signal.p99_ms, None, "fluid mode must publish no tail");
     }
 
-    /// The microsim publishes the *epoch-windowed* region p99: present
-    /// after an epoch with completions, absent (not stale) after an idle
-    /// one — the window resets at each barrier.
+    /// The microsim publishes the epoch-windowed region p99 with
+    /// hysteresis: present after an epoch with completions, *held* across
+    /// idle epochs (so a region that shed its entire crowd keeps warning
+    /// retreated devices instead of inviting them all back at once), and
+    /// absent only while no epoch has ever completed anything.
     #[test]
-    fn microsim_barrier_publishes_epoch_windowed_p99() {
+    fn microsim_barrier_holds_last_measured_p99_across_idle_epochs() {
         let serving = CloudServing::new(vec![BackendConfig::new("gpu", 1, 10.0, 0.0)]);
         let mut sim = RegionMicrosim::new(&serving);
         let mut out = Vec::new();
-        let requests: Vec<_> = (0..4).map(|i| request(i * 100_000, i)).collect();
-        sim.run_epoch(&requests, 1_000_000, &mut out);
+        // Never-measured: an idle first epoch publishes no tail at all.
+        sim.run_epoch(&[], 1_000_000, &mut out);
         let signal = sim.barrier_signal(1_000_000);
+        assert_eq!(
+            signal.p99_ms, None,
+            "a tier that never completed anything has no tail to report"
+        );
+        let requests: Vec<_> = (0..4)
+            .map(|i| request(1_000_000 + i * 100_000, i))
+            .collect();
+        sim.run_epoch(&requests, 2_000_000, &mut out);
+        let signal = sim.barrier_signal(2_000_000);
         let p99 = signal
             .p99_ms
             .expect("an epoch with completions publishes its tail");
@@ -2566,12 +2717,14 @@ mod tests {
             (p99 - 10.0).abs() < SOJOURN_BIN_MS,
             "unqueued 10 ms service, got {p99}"
         );
-        // Idle epoch: nothing completed since the last barrier.
-        sim.run_epoch(&[], 2_000_000, &mut out);
-        let signal = sim.barrier_signal(2_000_000);
+        // Idle epoch: nothing completed since the last barrier, but the
+        // last *measured* tail is held so retreat stays armed.
+        sim.run_epoch(&[], 3_000_000, &mut out);
+        let signal = sim.barrier_signal(3_000_000);
         assert_eq!(
-            signal.p99_ms, None,
-            "an idle epoch publishes no tail, not a stale one"
+            signal.p99_ms,
+            Some(p99),
+            "an idle epoch republishes the held tail, not None"
         );
     }
 
@@ -2864,7 +3017,7 @@ mod tests {
         // The cost-weighted work-left of the cheap pool now exceeds the
         // pricey pool's 9× job cost, so the next arrival — and with it
         // the published marginal cost — lands on the pricey pool.
-        sim.backends[0].slot_free_us[0] = 100_000_000;
+        sim.backends[0].occupy_earliest(100_000_000);
         for i in 0..10 {
             sim.backends[0].queue_low.push_back(request(0, i));
         }

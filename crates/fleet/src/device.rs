@@ -19,6 +19,7 @@
 use crate::cloud::{CloudSimFidelity, DispatchPolicy, FailoverPolicy, RegionSignal};
 use crate::scenario::{FleetPolicy, WorkloadCurve, CURVE_FP_SCALE};
 use crate::{mix_seed, FleetError};
+use lens_nn::units::Mbps;
 use lens_runtime::{DeploymentOption, DeploymentPlanner, DominanceMap, Metric, ThroughputTracker};
 use lens_telemetry::TraceEvent;
 use lens_wireless::{Region, ThroughputTrace, WirelessTechnology};
@@ -262,6 +263,11 @@ impl Device {
     /// queue waits are charged to the realized latency of offloaded
     /// options, congestion-aware policies also weigh them during selection
     /// on the latency metric, and the shed fraction gates admission.
+    ///
+    /// The engine feeds samples from its epoch-major arena via
+    /// [`Device::serve_with_sample`]; this per-device lookup wrapper
+    /// remains for unit tests exercising a single device.
+    #[cfg(test)]
     pub(crate) fn serve(
         &mut self,
         cohort: &Cohort,
@@ -272,6 +278,23 @@ impl Device {
     ) -> Served {
         let idx = ((time_us / interval_us) as usize).min(self.trace.len() - 1);
         let tu = self.trace.samples()[idx];
+        self.serve_with_sample(cohort, ctx, signals, time_us, tu)
+    }
+
+    /// [`Device::serve`] with the trace sample supplied by the caller.
+    ///
+    /// The engine's shard step keeps every device's samples in one
+    /// epoch-major arena (all of an epoch's reads land in one contiguous
+    /// row) and feeds the sample in directly, instead of chasing each
+    /// device's own trace allocation per event.
+    pub(crate) fn serve_with_sample(
+        &mut self,
+        cohort: &Cohort,
+        ctx: ServeContext<'_>,
+        signals: &[RegionSignal],
+        time_us: u64,
+        tu: Mbps,
+    ) -> Served {
         self.tracker.observe(tu);
         let estimate = self.tracker.estimate().expect("just observed");
         let own = &signals[cohort.region_index];

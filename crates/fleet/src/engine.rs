@@ -3,10 +3,12 @@
 //! [`FleetEngine::new`] does the design-time work once per scenario —
 //! network analysis, per-cohort option enumeration and dominance maps —
 //! and [`FleetEngine::run`] executes the population: devices are split
-//! into contiguous shards, each shard owns an event heap keyed by integer
-//! microseconds, and shards synchronize with the shared cloud only at
-//! epoch barriers (see the crate-level docs for the determinism contract
-//! and the one-epoch contention lag).
+//! into contiguous shards, each shard owns an event queue keyed by
+//! integer microseconds (an O(1) sorted ring under periodic arrivals, a
+//! binary heap under Poisson — `EventQueue` below) plus an epoch-major
+//! arena of its devices' throughput samples, and shards synchronize with
+//! the shared cloud only at epoch barriers (see the crate-level docs for
+//! the determinism contract and the one-epoch contention lag).
 //!
 //! At each barrier the engine runs the serving tier's **batch-close
 //! events** in fluid form: merged offload counts are admitted per region,
@@ -17,17 +19,22 @@
 //! in both fidelity modes: autoscalers adjust live slot counts *before*
 //! the next epoch's [`RegionSignal`]s (per-class waits, the admission
 //! controller's shed fraction, and the marginal serving cost) are
-//! published, so devices always read post-scale capacity.
+//! published, so devices always read post-scale capacity. Regions are
+//! independent between the shard drain and the publish, so each region
+//! replays its barrier on its own worker — in parallel when the
+//! scenario's [`ReplayMode`](crate::scenario::ReplayMode) resolves so —
+//! with results merged in fixed region order (see `src/replay.rs`).
 
-use crate::cloud::{
-    CloudSimFidelity, CompletedRequest, OffloadRequest, QueueDiscipline, RegionMicrosim,
-    RegionServing, RegionSignal, SOJOURN_BINS, SOJOURN_BIN_MS,
+use crate::cloud::{CloudSimFidelity, OffloadRequest, QueueDiscipline, RegionSignal};
+use crate::device::{Device, ServeContext};
+use crate::replay::{
+    replay_in_parallel, run_barrier, FluidRegionReplay, PerRequestRegionReplay, RegionBarrierOutput,
 };
-use crate::device::{Device, ServeContext, Served};
-use crate::report::{BackendReport, FleetReport, Histogram};
+use crate::report::{BackendReport, FleetReport};
 use crate::scenario::{ArrivalModel, FleetPolicy, FleetScenario, WorkloadCurve};
 use crate::{mix_seed, Cohort, FleetError};
 use lens_device::profile_network;
+use lens_nn::units::Mbps;
 use lens_runtime::{DeploymentPlanner, DominanceMap};
 use lens_telemetry::metrics::to_fp;
 use lens_telemetry::{
@@ -36,7 +43,7 @@ use lens_telemetry::{
 };
 use lens_wireless::{ThroughputTrace, WirelessLink};
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// Latency histogram resolution: 10 ms bins up to 20 s, overflow beyond.
 const LATENCY_BIN_MS: f64 = 10.0;
@@ -58,26 +65,127 @@ pub struct FleetEngine {
 
 struct ShardState {
     devices: Vec<Device>,
-    /// Min-heap of (event time µs, local device index).
-    heap: BinaryHeap<Reverse<(u64, u32)>>,
+    /// Pending events keyed by (event time µs, local device index).
+    queue: EventQueue,
+    /// Epoch-major throughput-sample arena: `samples[e * n + local]` is
+    /// device `local`'s sample for epoch `e`, so all of one epoch's reads
+    /// land in a single contiguous row instead of chasing every device's
+    /// own trace allocation per event.
+    samples: Vec<Mbps>,
     report: FleetReport,
     /// Global id of this shard's first device (`local + base_id` is the
     /// stable, shard-count-invariant device id).
     base_id: usize,
+    /// Reusable per-epoch scratch, cleared and refilled in place by
+    /// `advance_shard` so the request/event buffers stay warm.
+    epoch: ShardEpochOutput,
 }
 
 /// What one shard contributes to an epoch barrier.
-struct ShardEpochOutput {
+pub(crate) struct ShardEpochOutput {
     /// Per-region (high, low) offload counts — the fluid tier's feed.
-    arrivals: Vec<(u64, u64)>,
+    pub(crate) arrivals: Vec<(u64, u64)>,
     /// Per-destination-region offloaded requests, in shard-local event
-    /// order — the per-request microsim's feed (empty under fluid).
-    requests: Vec<Vec<OffloadRequest>>,
+    /// order — each run is therefore already sorted by the unique
+    /// `(arrival_us, device_id)` key, which is what lets the barrier
+    /// k-way merge runs instead of re-sorting
+    /// ([`crate::replay::merge_requests`]). Empty under fluid fidelity.
+    pub(crate) requests: Vec<Vec<OffloadRequest>>,
     /// Device-side trace events in shard-local event order (empty when
     /// untraced); the barrier merges them by `(time_us, device_id)`.
-    events: Vec<TraceEvent>,
+    pub(crate) events: Vec<TraceEvent>,
     /// Shard-step work counters (zero when untraced).
-    counters: PhaseCounters,
+    pub(crate) counters: PhaseCounters,
+}
+
+/// A shard's pending-event queue, keyed on `(time µs, local index)`.
+///
+/// Periodic arrivals admit the degenerate radix case: every live device
+/// keeps exactly one pending event and re-arms it exactly one period `P`
+/// later, so a ring sorted by the key stays sorted under pop-front /
+/// push-back. When `(t₀, l₀)` pops, every event still pending was armed
+/// by a pop at or before `(t₀, l₀)` (or is an initial offset `< P`), so
+/// its time is at most `t₀ + P`, and ties at exactly `t₀ + P` were armed
+/// in ascending local order — the re-armed `(t₀ + P, l₀)` always belongs
+/// at the back. Every heap op becomes an O(1) ring op on contiguous
+/// memory. Poisson re-arms by variable draws, so it keeps the heap.
+enum EventQueue {
+    Ring(VecDeque<(u64, u32)>),
+    Heap(BinaryHeap<Reverse<(u64, u32)>>),
+}
+
+impl EventQueue {
+    fn new(arrival: &ArrivalModel, mut seeds: Vec<(u64, u32)>) -> Self {
+        match arrival {
+            ArrivalModel::Periodic { .. } => {
+                seeds.sort_unstable();
+                EventQueue::Ring(VecDeque::from(seeds))
+            }
+            ArrivalModel::Poisson { .. } => {
+                EventQueue::Heap(seeds.into_iter().map(Reverse).collect())
+            }
+        }
+    }
+
+    /// Pops the earliest pending event strictly before `bound`, if any.
+    #[inline]
+    fn pop_before(&mut self, bound: u64) -> Option<(u64, u32)> {
+        match self {
+            EventQueue::Ring(ring) => match ring.front() {
+                Some(&key) if key.0 < bound => ring.pop_front(),
+                _ => None,
+            },
+            EventQueue::Heap(heap) => match heap.peek() {
+                Some(&Reverse(key)) if key.0 < bound => {
+                    heap.pop();
+                    Some(key)
+                }
+                _ => None,
+            },
+        }
+    }
+
+    /// Schedules `key`. Ring pushes must respect the sort invariant —
+    /// guaranteed by the fixed re-arm period, asserted in debug builds.
+    #[inline]
+    fn push(&mut self, key: (u64, u32)) {
+        match self {
+            EventQueue::Ring(ring) => {
+                debug_assert!(ring.back().is_none_or(|&back| back < key));
+                ring.push_back(key);
+            }
+            EventQueue::Heap(heap) => heap.push(Reverse(key)),
+        }
+    }
+}
+
+/// The per-event re-arm step, resolved once per epoch instead of once
+/// per event (the periodic ms→µs conversion is loop-invariant).
+#[derive(Clone, Copy)]
+enum ArrivalStep {
+    /// Periodic arrivals: a fixed integer-µs step.
+    Fixed(u64),
+    /// Poisson arrivals: a fresh exponential draw per event (mean µs).
+    Poisson(f64),
+}
+
+impl ArrivalStep {
+    fn of(arrival: &ArrivalModel) -> Self {
+        match *arrival {
+            ArrivalModel::Periodic { period } => ArrivalStep::Fixed(to_us(period.get())),
+            ArrivalModel::Poisson { mean_interarrival } => {
+                ArrivalStep::Poisson(mean_interarrival.get() * 1000.0)
+            }
+        }
+    }
+
+    #[inline]
+    fn next(self, device: &mut Device) -> u64 {
+        match self {
+            ArrivalStep::Fixed(period_us) => period_us,
+            ArrivalStep::Poisson(mean_us) => device.draw_interarrival_us(mean_us),
+        }
+    }
 }
 
 impl FleetEngine {
@@ -289,17 +397,16 @@ impl FleetEngine {
         // scenario seed, never on the shard).
         let mut shard_states = self.build_shards(num_epochs);
 
-        let mut servings: Vec<RegionServing> = (0..num_regions)
-            .map(|_| RegionServing::new(&scenario.serving))
+        let parallel = replay_in_parallel(scenario.replay(), num_regions);
+        let mut workers: Vec<FluidRegionReplay> = (0..num_regions)
+            .map(|_| FluidRegionReplay::new(&scenario.serving, num_epochs))
             .collect();
         // Barrier-published per-region signals, one epoch behind.
         let mut signals = vec![RegionSignal::default(); num_regions];
-        let mut depth_series = vec![Vec::with_capacity(num_epochs); num_regions];
         let mut wait_series = vec![Vec::with_capacity(num_epochs); num_regions];
 
         let mut metrics = MetricsRegistry::new(epoch_us);
         let mut profile = EngineProfile::new();
-        let mut probe = self.make_probe::<S>();
         let series = self.register_series::<S>(&mut metrics, &region_names);
         let mut curve_telemetry = self.register_curve_series::<S>(&mut metrics, &region_names);
 
@@ -310,68 +417,44 @@ impl FleetEngine {
                 region.push(s.wait_low_ms);
             }
 
-            let mut outputs =
-                self.advance_epoch(&mut shard_states, &signals, epoch_end, S::ENABLED);
-            merge_shard_trace::<S>(sink, &mut profile, &mut outputs, epoch_end, epoch as u64);
+            self.advance_epoch(&mut shard_states, &signals, epoch, epoch_end, S::ENABLED);
+            merge_shard_trace::<S>(
+                sink,
+                &mut profile,
+                &mut shard_states,
+                epoch_end,
+                epoch as u64,
+            );
 
-            // Barrier: merge offload demand (integer sums, so the result
-            // is independent of shard count), run the serving tier's
-            // batch-close events, scale, then publish next epoch's
-            // signals — strictly in that order, so published waits and
-            // shed fractions price the post-scale capacity. Each phase
-            // sweeps every region before the next phase starts (regions
-            // are independent, so the per-phase sweep is behavior-
-            // preserving) — that is what lets the probe attribute work
-            // and events to a single phase.
+            // Barrier: each region's worker admits the merged offload
+            // demand (integer sums, so the result is independent of the
+            // shard count), runs the serving tier's batch-close events,
+            // scales, then publishes next epoch's signal — strictly in
+            // that order, so published waits and shed fractions price the
+            // post-scale capacity. Regions are independent between the
+            // shard drain and the publish, so the workers replay
+            // region-major — in parallel when the replay mode resolves so
+            // — and buffer telemetry per (region, phase); the flush below
+            // re-serializes it phase-major in fixed region order,
+            // bit-identical to a sequential per-phase sweep.
             let epoch_ms = (epoch_end - epoch_start) as f64 / 1000.0;
-            for (region, serving) in servings.iter_mut().enumerate() {
-                let (high, low) = outputs
-                    .iter()
-                    .map(|shard| shard.arrivals[region])
-                    .fold((0, 0), |(h, l), (sh, sl)| (h + sh, l + sl));
-                serving.admit(high, low);
-                depth_series[region].push(serving.depth());
+            let shard_epochs: Vec<&ShardEpochOutput> =
+                shard_states.iter().map(|state| &state.epoch).collect();
+            let mut outputs = run_barrier(&mut workers, parallel, |region, worker| {
+                worker.barrier(region, &shard_epochs, epoch_ms, epoch_end, S::ENABLED)
+            });
+            flush_barrier_outputs::<S>(sink, &mut profile, &mut outputs, epoch_end, epoch as u64);
+            for (signal, output) in signals.iter_mut().zip(&outputs) {
+                *signal = output.signal;
             }
-            for (region, serving) in servings.iter_mut().enumerate() {
-                serving.drain_probed(epoch_ms, epoch_end, region as u64, &mut probe);
-            }
-            flush_probe::<S>(
-                sink,
-                &mut profile,
-                &mut probe,
-                BarrierPhase::Drain,
-                epoch_end,
-                epoch as u64,
-            );
-            for (region, serving) in servings.iter_mut().enumerate() {
-                serving.scale_probed(epoch_ms, epoch_end, region as u64, &mut probe);
-            }
-            flush_probe::<S>(
-                sink,
-                &mut profile,
-                &mut probe,
-                BarrierPhase::Scale,
-                epoch_end,
-                epoch as u64,
-            );
-            for (region, serving) in servings.iter_mut().enumerate() {
-                signals[region] = serving.publish();
-            }
-            flush_probe::<S>(
-                sink,
-                &mut profile,
-                &mut probe,
-                BarrierPhase::Publish,
-                epoch_end,
-                epoch as u64,
-            );
             if S::ENABLED {
                 profile.bump_epochs();
                 for region in 0..num_regions {
-                    metrics.push(series.depth[region], to_fp(servings[region].depth()));
+                    let serving = &workers[region].serving;
+                    metrics.push(series.depth[region], to_fp(serving.depth()));
                     metrics.push(series.shed[region], to_fp(signals[region].shed_fraction));
                     for (backend, &id) in series.slots[region].iter().enumerate() {
-                        let live = servings[region].live_slots()[backend];
+                        let live = serving.live_slots()[backend];
                         metrics.push(id, live as i64 * METRIC_FP_SCALE);
                     }
                 }
@@ -390,11 +473,15 @@ impl FleetEngine {
         for state in &shard_states {
             report.merge(&state.report);
         }
+        let depth_series = workers
+            .iter_mut()
+            .map(|worker| std::mem::take(&mut worker.depth_series))
+            .collect();
         report.set_queue_series(depth_series, wait_series);
         let horizon_ms = horizon_us as f64 / 1000.0;
         let mut backend_reports = Vec::new();
-        for (region, serving) in servings.iter().enumerate() {
-            for stats in serving.backend_stats() {
+        for (region, worker) in workers.iter().enumerate() {
+            for stats in worker.serving.backend_stats() {
                 backend_reports.push(BackendReport {
                     region: region_names[region].clone(),
                     backend: stats.name,
@@ -442,21 +529,19 @@ impl FleetEngine {
 
         let mut shard_states = self.build_shards(num_epochs);
 
-        let mut sims: Vec<RegionMicrosim> = (0..num_regions)
-            .map(|_| RegionMicrosim::new(&scenario.serving))
+        let parallel = replay_in_parallel(scenario.replay(), num_regions);
+        // Offloaded records are deferred to completion; each region's
+        // worker accumulates its own report partial and sojourn histogram,
+        // merged with the shard partials at the end (fixed-point sums make
+        // the merge order irrelevant — even for failovers, which land a
+        // record in another region's partial).
+        let empty_report =
+            FleetReport::empty(LATENCY_BIN_MS, ENERGY_BIN_MJ, NUM_BINS, &region_names);
+        let mut workers: Vec<PerRequestRegionReplay> = (0..num_regions)
+            .map(|_| PerRequestRegionReplay::new(&scenario.serving, &empty_report, num_epochs))
             .collect();
         let mut signals = vec![RegionSignal::default(); num_regions];
-        let mut depth_series = vec![Vec::with_capacity(num_epochs); num_regions];
         let mut wait_series = vec![Vec::with_capacity(num_epochs); num_regions];
-        // Offloaded records are deferred to completion; they accumulate
-        // here and merge with the shard partials at the end (fixed-point
-        // sums make the merge order irrelevant).
-        let mut barrier_report =
-            FleetReport::empty(LATENCY_BIN_MS, ENERGY_BIN_MJ, NUM_BINS, &region_names);
-        let mut region_sojourn: Vec<Histogram> = (0..num_regions)
-            .map(|_| Histogram::new(SOJOURN_BIN_MS, SOJOURN_BINS))
-            .collect();
-        let mut completions: Vec<CompletedRequest> = Vec::new();
 
         let mut metrics = MetricsRegistry::new(epoch_us);
         let mut profile = EngineProfile::new();
@@ -479,87 +564,46 @@ impl FleetEngine {
                 region.push(s.wait_low_ms);
             }
 
-            let mut outputs =
-                self.advance_epoch(&mut shard_states, &signals, epoch_end, S::ENABLED);
-            merge_shard_trace::<S>(sink, &mut profile, &mut outputs, epoch_end, epoch as u64);
+            self.advance_epoch(&mut shard_states, &signals, epoch, epoch_end, S::ENABLED);
+            merge_shard_trace::<S>(
+                sink,
+                &mut profile,
+                &mut shard_states,
+                epoch_end,
+                epoch as u64,
+            );
 
-            // Same per-phase sweeps as the fluid barrier: regions are
-            // independent, so draining every region before scaling any is
-            // behavior-preserving, and it lets the probe attribute work
-            // and events to a single phase.
-            for (region, sim) in sims.iter_mut().enumerate() {
-                let mut requests: Vec<OffloadRequest> = outputs
-                    .iter()
-                    .flat_map(|shard| shard.requests[region].iter().copied())
-                    .collect();
-                requests.sort_unstable_by_key(|r| (r.arrival_us, r.device_id));
-                probe.on_merged(requests.len() as u64);
-                completions.clear();
-                sim.run_epoch_probed(
-                    &requests,
-                    epoch_end,
-                    &mut completions,
-                    region as u64,
-                    &mut probe,
-                );
-                record_completions(
-                    &mut barrier_report,
-                    &mut region_sojourn[region],
-                    region,
-                    &completions,
-                );
-                depth_series[region].push(sim.depth());
+            // Barrier: each region's worker k-way merges the shards'
+            // request runs, replays them through its microsim, scales,
+            // then publishes — region-major, in parallel when the replay
+            // mode resolves so. Regions are independent between the shard
+            // drain and the publish, so this is behavior-preserving, and
+            // the phase-major flush below reproduces the sequential
+            // sweep's telemetry stream bit for bit.
+            let shard_epochs: Vec<&ShardEpochOutput> =
+                shard_states.iter().map(|state| &state.epoch).collect();
+            let mut outputs = run_barrier(&mut workers, parallel, |region, worker| {
+                worker.barrier(region, &shard_epochs, epoch_start, epoch_end, S::ENABLED)
+            });
+            flush_barrier_outputs::<S>(sink, &mut profile, &mut outputs, epoch_end, epoch as u64);
+            for (signal, output) in signals.iter_mut().zip(&outputs) {
+                *signal = output.signal;
             }
-            flush_probe::<S>(
-                sink,
-                &mut profile,
-                &mut probe,
-                BarrierPhase::Drain,
-                epoch_end,
-                epoch as u64,
-            );
-            // Scale before publishing, mirroring the fluid barrier.
-            for (region, sim) in sims.iter_mut().enumerate() {
-                sim.scale_probed(
-                    epoch_end,
-                    epoch_end - epoch_start,
-                    region as u64,
-                    &mut probe,
-                );
-            }
-            flush_probe::<S>(
-                sink,
-                &mut profile,
-                &mut probe,
-                BarrierPhase::Scale,
-                epoch_end,
-                epoch as u64,
-            );
-            for (region, sim) in sims.iter_mut().enumerate() {
-                signals[region] = sim.barrier_signal(epoch_end);
-            }
-            flush_probe::<S>(
-                sink,
-                &mut profile,
-                &mut probe,
-                BarrierPhase::Publish,
-                epoch_end,
-                epoch as u64,
-            );
             if S::ENABLED {
                 profile.bump_epochs();
                 for region in 0..num_regions {
-                    metrics.push(series.depth[region], to_fp(sims[region].depth()));
+                    let worker = &workers[region];
+                    metrics.push(series.depth[region], to_fp(worker.sim.depth()));
                     metrics.push(series.shed[region], to_fp(signals[region].shed_fraction));
                     for (backend, &id) in series.slots[region].iter().enumerate() {
-                        let live = sims[region].live_slots()[backend];
+                        let live = worker.sim.live_slots()[backend];
                         metrics.push(id, live as i64 * METRIC_FP_SCALE);
                     }
                     // Cumulative tail so far — the closed-loop signal the
                     // flash-crowd work wants to watch epoch by epoch.
                     metrics.push(
                         p99_series[region],
-                        to_fp(region_sojourn[region].percentile(99.0)),
+                        to_fp(worker.sim.region_sojourn().percentile(99.0)),
                     );
                 }
                 sample_curve(
@@ -575,16 +619,10 @@ impl FleetEngine {
 
         // The cloud drains its backlog past the horizon so every admitted
         // request completes and the tails account for the whole fleet.
-        // The post-horizon work lands in one final drain-phase record.
-        for (region, sim) in sims.iter_mut().enumerate() {
-            completions.clear();
-            sim.flush_probed(&mut completions, region as u64, &mut probe);
-            record_completions(
-                &mut barrier_report,
-                &mut region_sojourn[region],
-                region,
-                &completions,
-            );
+        // The post-horizon work lands in one final drain-phase record
+        // (sequential: it is one sweep, not per-epoch work).
+        for (region, worker) in workers.iter_mut().enumerate() {
+            worker.flush(region, &mut probe);
         }
         flush_probe::<S>(
             sink,
@@ -599,12 +637,18 @@ impl FleetEngine {
         for state in &shard_states {
             report.merge(&state.report);
         }
-        report.merge(&barrier_report);
+        for worker in &workers {
+            report.merge(&worker.report);
+        }
+        let depth_series = workers
+            .iter_mut()
+            .map(|worker| std::mem::take(&mut worker.depth_series))
+            .collect();
         report.set_queue_series(depth_series, wait_series);
         let horizon_ms = horizon_us as f64 / 1000.0;
         let mut backend_reports = Vec::new();
-        for (region, sim) in sims.iter().enumerate() {
-            for stats in sim.backend_stats() {
+        for (region, worker) in workers.iter().enumerate() {
+            for stats in worker.sim.backend_stats() {
                 backend_reports.push(BackendReport {
                     region: region_names[region].clone(),
                     backend: stats.name,
@@ -623,7 +667,12 @@ impl FleetEngine {
             }
         }
         report.set_backend_reports(backend_reports);
-        report.set_cloud_sojourn(region_sojourn);
+        report.set_cloud_sojourn(
+            workers
+                .into_iter()
+                .map(|mut worker| worker.sim.take_region_sojourn())
+                .collect(),
+        );
         Ok((report, metrics, profile))
     }
 
@@ -692,49 +741,74 @@ impl FleetEngine {
         })
     }
 
-    /// Phase A: every shard advances its event heap to the barrier in
-    /// parallel and returns its epoch contribution. `trace` asks shards
-    /// to also emit device events and work counters.
+    /// Phase A: every shard advances its event queue to the barrier in
+    /// parallel, filling its reusable epoch scratch in place. `trace`
+    /// asks shards to also emit device events and work counters.
     fn advance_epoch(
         &self,
         shard_states: &mut [ShardState],
         signals: &[RegionSignal],
+        epoch_index: usize,
         epoch_end: u64,
         trace: bool,
-    ) -> Vec<ShardEpochOutput> {
+    ) {
         let scenario = &self.scenario;
         let num_regions = scenario.regions.len();
         let horizon_us = to_us(scenario.horizon.get());
-        let epoch_us = to_us(scenario.trace_interval.get());
+        let step = ArrivalStep::of(&scenario.arrival);
+        // Loop-invariant serve context, built once per epoch instead of
+        // once per event.
+        let ctx = ServeContext {
+            policy: &scenario.policy,
+            metric: scenario.metric,
+            failover: scenario.serving.failover,
+            fidelity: scenario.fidelity,
+            dispatch: scenario.serving.dispatch,
+            curve: scenario.workload(),
+            tail_deadline_ms: scenario.tail_deadline().map(|d| d.get()),
+        };
+        if let [state] = shard_states {
+            // Single shard: skip the per-epoch spawn/join round trip —
+            // the loop body is identical either way.
+            advance_shard(
+                state,
+                &self.cohorts,
+                ctx,
+                signals,
+                num_regions,
+                epoch_index,
+                epoch_end,
+                horizon_us,
+                step,
+                trace,
+            );
+            return;
+        }
         std::thread::scope(|scope| {
-            let handles: Vec<_> = shard_states
-                .iter_mut()
-                .map(|state| {
-                    scope.spawn(move || {
-                        advance_shard(
-                            state,
-                            &self.cohorts,
-                            scenario,
-                            signals,
-                            num_regions,
-                            epoch_end,
-                            horizon_us,
-                            epoch_us,
-                            trace,
-                        )
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("shard worker panicked"))
-                .collect()
-        })
+            for state in shard_states.iter_mut() {
+                scope.spawn(move || {
+                    advance_shard(
+                        state,
+                        &self.cohorts,
+                        ctx,
+                        signals,
+                        num_regions,
+                        epoch_index,
+                        epoch_end,
+                        horizon_us,
+                        step,
+                        trace,
+                    )
+                });
+            }
+        });
     }
 
     fn build_shards(&self, num_samples: usize) -> Vec<ShardState> {
         let scenario = &self.scenario;
         let region_names = scenario.region_names();
+        let num_regions = scenario.regions.len();
+        let per_request = scenario.fidelity == CloudSimFidelity::PerRequest;
         let population = scenario.population;
         let shards = scenario.shards;
         let base = population / shards;
@@ -752,16 +826,24 @@ impl FleetEngine {
                 .map(|(lo, hi)| {
                     let region_names = &region_names;
                     scope.spawn(move || {
-                        let mut devices = Vec::with_capacity(hi - lo);
-                        let mut heap = BinaryHeap::with_capacity(hi - lo);
+                        let n = hi - lo;
+                        let mut devices = Vec::with_capacity(n);
+                        let mut seeds = Vec::with_capacity(n);
                         for (local, id) in (lo..hi).enumerate() {
                             let device = self.build_device(id, num_samples);
-                            heap.push(Reverse((device.next_event_us, local as u32)));
+                            seeds.push((device.next_event_us, local as u32));
                             devices.push(device);
+                        }
+                        // Epoch-major sample arena: row `e` holds every
+                        // device's sample for epoch `e`, contiguously.
+                        let mut samples = Vec::with_capacity(num_samples * n);
+                        for e in 0..num_samples {
+                            samples.extend(devices.iter().map(|d| d.trace().samples()[e]));
                         }
                         ShardState {
                             devices,
-                            heap,
+                            queue: EventQueue::new(&scenario.arrival, seeds),
+                            samples,
                             report: FleetReport::empty(
                                 LATENCY_BIN_MS,
                                 ENERGY_BIN_MJ,
@@ -769,6 +851,15 @@ impl FleetEngine {
                                 region_names,
                             ),
                             base_id: lo,
+                            epoch: ShardEpochOutput {
+                                arrivals: vec![(0, 0); num_regions],
+                                requests: vec![
+                                    Vec::new();
+                                    if per_request { num_regions } else { 0 }
+                                ],
+                                events: Vec::new(),
+                                counters: PhaseCounters::default(),
+                            },
                         }
                     })
                 })
@@ -781,7 +872,17 @@ impl FleetEngine {
     }
 }
 
+/// Converts scenario milliseconds to integer event-clock microseconds.
+///
+/// Scenario validation rejects non-finite or negative durations at build
+/// time, so a bad value reaching this cast is an engine bug — fail loudly
+/// instead of letting `as u64` silently saturate a NaN or a negative
+/// duration to 0 µs (which would quietly collapse the event clock).
 fn to_us(ms: f64) -> u64 {
+    assert!(
+        ms.is_finite() && ms >= 0.0,
+        "duration must be a finite, non-negative ms value, got {ms}"
+    );
     (ms * 1000.0).round() as u64
 }
 
@@ -841,7 +942,7 @@ fn sample_curve<S: Sink>(
 fn merge_shard_trace<S: Sink>(
     sink: &mut S,
     profile: &mut EngineProfile,
-    outputs: &mut [ShardEpochOutput],
+    states: &mut [ShardState],
     epoch_end: u64,
     epoch: u64,
 ) {
@@ -850,9 +951,9 @@ fn merge_shard_trace<S: Sink>(
     }
     let mut counters = PhaseCounters::default();
     let mut events: Vec<TraceEvent> = Vec::new();
-    for output in outputs.iter_mut() {
-        counters.add(&output.counters);
-        events.append(&mut output.events);
+    for state in states.iter_mut() {
+        counters.add(&state.epoch.counters);
+        events.append(&mut state.epoch.events);
     }
     events.sort_by_key(|e| e.merge_key());
     for event in events {
@@ -892,91 +993,105 @@ fn flush_probe<S: Sink>(
     });
 }
 
-/// Records a batch of microsim completions: each finishes its deferred
-/// device record (end-to-end latency = device-side latency + exact cloud
-/// sojourn) and lands in the serving region's sojourn histogram.
-fn record_completions(
-    report: &mut FleetReport,
-    sojourn: &mut Histogram,
-    serving_region: usize,
-    completions: &[CompletedRequest],
+/// Flushes the barrier workers' buffered telemetry phase-major — every
+/// region's drain output, then every region's scale output, then the
+/// publish marker — in fixed region order. That re-serialization makes
+/// the event stream and phase counters byte-identical to the sequential
+/// per-phase sweeps the engine used to run, independent of shard count
+/// and replay mode. A no-op (fully const-folded) when the sink is
+/// disabled.
+fn flush_barrier_outputs<S: Sink>(
+    sink: &mut S,
+    profile: &mut EngineProfile,
+    outputs: &mut [RegionBarrierOutput],
+    epoch_end: u64,
+    epoch: u64,
 ) {
-    for c in completions {
-        sojourn.record(c.sojourn_ms);
-        let request = &c.request;
-        let served = Served {
-            latency_ms: request.base_latency_ms + c.sojourn_ms,
-            energy_mj: request.energy_mj,
-            offloaded: true,
-            switched: request.switched,
-            shed_to_local: false,
-            failover_region: if request.failed_over {
-                Some(serving_region as u32)
-            } else {
-                None
-            },
-            // Retreats resolve device-side, before the request ever
-            // reaches the microsim — a completed offload never retreated.
-            retreated: false,
-        };
-        report.record(request.origin_region as usize, &served);
+    if !S::ENABLED {
+        return;
     }
+    for phase in [BarrierPhase::Drain, BarrierPhase::Scale] {
+        let mut counters = PhaseCounters::default();
+        for output in outputs.iter_mut() {
+            let buffered = match phase {
+                BarrierPhase::Drain => &mut output.drain,
+                _ => &mut output.scale,
+            };
+            counters.add(&buffered.1);
+            for event in buffered.0.drain(..) {
+                sink.record(event);
+            }
+        }
+        profile.record(phase, &counters);
+        sink.record(TraceEvent::Phase {
+            time_us: epoch_end,
+            epoch,
+            phase,
+        });
+    }
+    // Publishing emits no probe work — it copies signals — but the
+    // profile and trace still record the phase boundary.
+    profile.record(BarrierPhase::Publish, &PhaseCounters::default());
+    sink.record(TraceEvent::Phase {
+        time_us: epoch_end,
+        epoch,
+        phase: BarrierPhase::Publish,
+    });
 }
 
-/// Advances one shard's event heap to `epoch_end`, returning the
-/// per-region (high, low) offload counts this epoch contributed — failed
-/// over requests count toward their *destination* region's queue — and,
-/// under per-request fidelity, the offloaded requests themselves (their
-/// records are deferred until the microsim completes them).
+/// Advances one shard's event queue to `epoch_end`, filling the shard's
+/// epoch scratch with the per-region (high, low) offload counts this
+/// epoch contributed — failed over requests count toward their
+/// *destination* region's queue — and, under per-request fidelity, the
+/// offloaded requests themselves (their records are deferred until the
+/// microsim completes them).
 #[allow(clippy::too_many_arguments)]
 fn advance_shard(
     state: &mut ShardState,
     cohorts: &[Cohort],
-    scenario: &FleetScenario,
+    ctx: ServeContext<'_>,
     signals: &[RegionSignal],
     num_regions: usize,
+    epoch_index: usize,
     epoch_end: u64,
     horizon_us: u64,
-    epoch_us: u64,
+    step: ArrivalStep,
     trace: bool,
-) -> ShardEpochOutput {
-    let per_request = scenario.fidelity == CloudSimFidelity::PerRequest;
-    let mut output = ShardEpochOutput {
-        arrivals: vec![(0u64, 0u64); num_regions],
-        requests: vec![Vec::new(); if per_request { num_regions } else { 0 }],
-        events: Vec::new(),
-        counters: PhaseCounters::default(),
-    };
-    while let Some(&Reverse((time, local))) = state.heap.peek() {
-        if time >= epoch_end {
-            break;
-        }
-        state.heap.pop();
+) {
+    let per_request = ctx.fidelity == CloudSimFidelity::PerRequest;
+    let ShardState {
+        devices,
+        queue,
+        samples,
+        report,
+        base_id,
+        epoch: output,
+    } = state;
+    debug_assert_eq!(output.arrivals.len(), num_regions);
+    output.arrivals.fill((0, 0));
+    for requests in &mut output.requests {
+        requests.clear();
+    }
+    output.events.clear();
+    output.counters = PhaseCounters::default();
+    let n = devices.len();
+    // Every event in this epoch reads the same trace-sample row: the
+    // sample index is `time_us / interval_us`, the interval *is* the
+    // epoch length, and the queue never holds an event before the
+    // current epoch — so the division is loop-invariant.
+    let row = &samples[epoch_index * n..(epoch_index + 1) * n];
+    while let Some((time, local)) = queue.pop_before(epoch_end) {
         if trace {
             output.counters.events_popped += 1;
             output.counters.heap_ops += 1;
         }
-        let device = &mut state.devices[local as usize];
+        let device = &mut devices[local as usize];
         let cohort = &cohorts[device.cohort_index()];
-        let served = device.serve(
-            cohort,
-            ServeContext {
-                policy: &scenario.policy,
-                metric: scenario.metric,
-                failover: scenario.serving.failover,
-                fidelity: scenario.fidelity,
-                dispatch: scenario.serving.dispatch,
-                curve: scenario.workload(),
-                tail_deadline_ms: scenario.tail_deadline().map(|d| d.get()),
-            },
-            signals,
-            time,
-            epoch_us,
-        );
+        let served = device.serve_with_sample(cohort, ctx, signals, time, row[local as usize]);
         if trace {
             crate::device::trace_serve_events(
                 &served,
-                (state.base_id + local as usize) as u64,
+                (*base_id + local as usize) as u64,
                 cohort.region_index as u64,
                 device.high_priority(),
                 time,
@@ -984,7 +1099,7 @@ fn advance_shard(
             );
         }
         if !(per_request && served.offloaded) {
-            state.report.record(cohort.region_index, &served);
+            report.record(cohort.region_index, &served);
         }
         if served.offloaded {
             let dest = served
@@ -993,7 +1108,7 @@ fn advance_shard(
             if per_request {
                 output.requests[dest].push(OffloadRequest {
                     arrival_us: time,
-                    device_id: (state.base_id + local as usize) as u64,
+                    device_id: (*base_id + local as usize) as u64,
                     high_priority: device.high_priority(),
                     origin_region: cohort.region_index as u32,
                     failed_over: served.failover_region.is_some(),
@@ -1010,21 +1125,14 @@ fn advance_shard(
                 }
             }
         }
-        let next = time
-            + match scenario.arrival {
-                ArrivalModel::Periodic { period } => to_us(period.get()),
-                ArrivalModel::Poisson { mean_interarrival } => {
-                    device.draw_interarrival_us(mean_interarrival.get() * 1000.0)
-                }
-            };
+        let next = time + step.next(device);
         if next < horizon_us {
-            state.heap.push(Reverse((next, local)));
+            queue.push((next, local));
             if trace {
                 output.counters.heap_ops += 1;
             }
         }
     }
-    output
 }
 
 #[cfg(test)]
@@ -1498,5 +1606,71 @@ mod tests {
         // over 5000 draws stays well within ±10%.
         let n = report.inferences() as f64;
         assert!((4500.0..=5500.0).contains(&n), "unexpected event count {n}");
+    }
+
+    #[test]
+    fn to_us_rounds_to_integer_microseconds() {
+        assert_eq!(to_us(60_000.0), 60_000_000);
+        assert_eq!(to_us(0.0015), 2);
+        assert_eq!(to_us(0.0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite, non-negative")]
+    fn to_us_rejects_nan() {
+        to_us(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite, non-negative")]
+    fn to_us_rejects_negative_durations() {
+        to_us(-60_000.0);
+    }
+
+    #[test]
+    fn ring_queue_pops_in_heap_order_under_periodic_rearm() {
+        // The ring's sort invariant: pop-front/push-back under a fixed
+        // re-arm period must reproduce the binary heap's (time, local)
+        // pop order exactly, including ties resolved by local index.
+        let period = 1_000u64;
+        let horizon = 10_000u64;
+        let seeds: Vec<(u64, u32)> = (0..32u32)
+            .map(|local| (mix_seed(7, local as u64) % period, local))
+            .collect();
+        let mut ring = EventQueue::new(
+            &ArrivalModel::Periodic {
+                period: Millis::new(1.0),
+            },
+            seeds.clone(),
+        );
+        let mut heap = EventQueue::Heap(seeds.into_iter().map(Reverse).collect());
+        loop {
+            let a = ring.pop_before(horizon);
+            let b = heap.pop_before(horizon);
+            assert_eq!(a, b);
+            let Some((time, local)) = a else { break };
+            let next = time + period;
+            if next < horizon {
+                ring.push((next, local));
+                heap.push((next, local));
+            }
+        }
+    }
+
+    #[test]
+    fn replay_modes_are_bit_identical_in_both_fidelities() {
+        use crate::scenario::ReplayMode;
+        for fidelity in [CloudSimFidelity::Fluid, CloudSimFidelity::PerRequest] {
+            let mut sequential = small_scenario(2);
+            sequential.fidelity = fidelity;
+            sequential.replay = ReplayMode::Sequential;
+            let mut forced = small_scenario(2);
+            forced.fidelity = fidelity;
+            forced.replay = ReplayMode::Parallel;
+            let a = FleetEngine::new(sequential).unwrap().run().unwrap();
+            let b = FleetEngine::new(forced).unwrap().run().unwrap();
+            assert_eq!(a, b, "{fidelity:?}");
+            assert_eq!(a.digest(), b.digest());
+        }
     }
 }

@@ -104,10 +104,15 @@
 //! contract names a fixed shard count as the conservative guarantee.
 //!
 //! The per-request microsimulation keeps the contract: at each barrier the
-//! engine merges every region's offloaded requests from all shards and
-//! sorts them by `(arrival_us, device_id)` — a unique, shard-count
-//! invariant key — before replaying them through the region's event heap,
-//! so the cloud schedule is a pure function of the scenario and seed.
+//! engine k-way merges every region's offloaded requests from the shards'
+//! already-sorted runs into the `(arrival_us, device_id)` total order — a
+//! unique, shard-count-invariant key — before replaying them through the
+//! region's event heap, so the cloud schedule is a pure function of the
+//! scenario and seed. The barrier itself fans out one replay worker per
+//! region ([`ReplayMode`], `src/replay.rs`): workers read
+//! only immutable shard outputs and mutate only region-local state, and
+//! their outputs merge in fixed region order, so parallel and sequential
+//! replay are bit-identical too.
 //!
 //! # Examples
 //!
@@ -170,6 +175,7 @@
 pub mod cloud;
 pub mod device;
 pub mod engine;
+pub(crate) mod replay;
 pub mod report;
 pub mod scenario;
 
@@ -183,8 +189,8 @@ pub use device::{Cohort, Device};
 pub use engine::FleetEngine;
 pub use report::{BackendReport, FleetReport, Histogram, RegionReport, TailSummary};
 pub use scenario::{
-    ArrivalModel, FleetPolicy, FleetScenario, FleetScenarioBuilder, RegionShare, WorkloadCurve,
-    CURVE_FP_SCALE,
+    ArrivalModel, FleetPolicy, FleetScenario, FleetScenarioBuilder, RegionShare, ReplayMode,
+    WorkloadCurve, CURVE_FP_SCALE,
 };
 
 // The observability surface, re-exported so fleet users need no direct

@@ -1,0 +1,299 @@
+//! Parallel barrier replay.
+//!
+//! Between the shard-step drain and the signal publish, every region's
+//! serving tier is **independent**: a [`RegionServing`]/[`RegionMicrosim`]
+//! touches only its own queues, its own backends, and the requests
+//! addressed to it. The engine therefore owns one *replay worker* per
+//! region and, at each epoch barrier, runs all workers — drain → scale →
+//! publish, region-major — either sequentially or fanned out over a
+//! scoped thread pool ([`run_barrier`]).
+//!
+//! Determinism holds by construction, not by luck:
+//!
+//! * Each worker reads only shared **immutable** shard outputs (offload
+//!   counts / request runs) and mutates only region-local state, so the
+//!   interleaving of workers cannot influence any result.
+//! * Each region's requests are assembled by a k-way merge of per-shard
+//!   runs that are already sorted by the shard-count-invariant
+//!   `(arrival_us, device_id)` key ([`merge_requests`]), reproducing the
+//!   exact total order a global sort would produce.
+//! * Telemetry is buffered per region inside [`RegionBarrierOutput`] and
+//!   flushed by the engine in fixed region order, phase-major, so the
+//!   event stream and phase counters are bit-identical to a sequential
+//!   sweep — and independent of both the shard count and the replay mode
+//!   (`tests/cross_crate_props.rs` pins Sequential vs. Parallel).
+
+use crate::cloud::{
+    CloudServing, CompletedRequest, OffloadRequest, RegionMicrosim, RegionServing, RegionSignal,
+};
+use crate::device::Served;
+use crate::engine::ShardEpochOutput;
+use crate::report::FleetReport;
+use crate::scenario::ReplayMode;
+use lens_telemetry::{PhaseCounters, PhaseProbe, TraceEvent};
+
+/// Resolves a scenario's [`ReplayMode`] against the machine: `Auto`
+/// parallelizes only when there is more than one region to replay *and*
+/// more than one hardware thread to replay it on. The result never
+/// affects simulation output — only which threads compute it.
+pub(crate) fn replay_in_parallel(mode: ReplayMode, num_regions: usize) -> bool {
+    match mode {
+        ReplayMode::Sequential => false,
+        ReplayMode::Parallel => num_regions > 1,
+        ReplayMode::Auto => {
+            num_regions > 1 && std::thread::available_parallelism().is_ok_and(|n| n.get() > 1)
+        }
+    }
+}
+
+/// What one region's replay worker hands back from an epoch barrier: the
+/// signal to publish and the region's buffered telemetry, split by phase
+/// so the engine can flush all regions' drains before any scale.
+pub(crate) struct RegionBarrierOutput {
+    pub(crate) signal: RegionSignal,
+    pub(crate) drain: (Vec<TraceEvent>, PhaseCounters),
+    pub(crate) scale: (Vec<TraceEvent>, PhaseCounters),
+}
+
+/// Runs one barrier across all region workers in fixed region order —
+/// on the caller's thread, or one scoped thread per region when
+/// `parallel`. Outputs come back indexed by region either way; the two
+/// paths are bit-identical because workers share nothing mutable.
+pub(crate) fn run_barrier<W, F>(workers: &mut [W], parallel: bool, f: F) -> Vec<RegionBarrierOutput>
+where
+    W: Send,
+    F: Fn(usize, &mut W) -> RegionBarrierOutput + Sync,
+{
+    if parallel && workers.len() > 1 {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = workers
+                .iter_mut()
+                .enumerate()
+                .map(|(region, worker)| {
+                    let f = &f;
+                    scope.spawn(move || f(region, worker))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("region replay worker panicked"))
+                .collect()
+        })
+    } else {
+        workers
+            .iter_mut()
+            .enumerate()
+            .map(|(region, worker)| f(region, worker))
+            .collect()
+    }
+}
+
+/// The fluid tier's per-region replay worker.
+pub(crate) struct FluidRegionReplay {
+    pub(crate) serving: RegionServing,
+    pub(crate) depth_series: Vec<f64>,
+}
+
+impl FluidRegionReplay {
+    pub(crate) fn new(serving: &CloudServing, num_epochs: usize) -> Self {
+        FluidRegionReplay {
+            serving: RegionServing::new(serving),
+            depth_series: Vec::with_capacity(num_epochs),
+        }
+    }
+
+    /// One epoch barrier for this region: admit the merged offload
+    /// counts, run the batch-close drain, scale, publish — buffering
+    /// per-phase telemetry instead of writing to a shared sink.
+    pub(crate) fn barrier(
+        &mut self,
+        region: usize,
+        shards: &[&ShardEpochOutput],
+        epoch_ms: f64,
+        epoch_end: u64,
+        traced: bool,
+    ) -> RegionBarrierOutput {
+        let (high, low) = shards
+            .iter()
+            .map(|shard| shard.arrivals[region])
+            .fold((0, 0), |(h, l), (sh, sl)| (h + sh, l + sl));
+        self.serving.admit(high, low);
+        self.depth_series.push(self.serving.depth());
+        let mut probe = region_probe(traced);
+        self.serving
+            .drain_probed(epoch_ms, epoch_end, region as u64, &mut probe);
+        let drain = probe.take();
+        self.serving
+            .scale_probed(epoch_ms, epoch_end, region as u64, &mut probe);
+        let scale = probe.take();
+        RegionBarrierOutput {
+            signal: self.serving.publish(),
+            drain,
+            scale,
+        }
+    }
+}
+
+/// The per-request tier's replay worker: the region's microsim plus the
+/// region-local accumulators the barrier feeds — the deferred-completion
+/// report partial (fixed-point sums, so merging the partials at the end
+/// is exact and order-independent) and pooled merge/completion buffers
+/// reused across epochs. The region-level sojourn histogram lives inside
+/// the microsim, folded incrementally from the per-backend epoch windows
+/// at each barrier.
+pub(crate) struct PerRequestRegionReplay {
+    pub(crate) sim: RegionMicrosim,
+    pub(crate) report: FleetReport,
+    pub(crate) depth_series: Vec<f64>,
+    merged: Vec<OffloadRequest>,
+    completions: Vec<CompletedRequest>,
+}
+
+impl PerRequestRegionReplay {
+    pub(crate) fn new(
+        serving: &CloudServing,
+        empty_report: &FleetReport,
+        num_epochs: usize,
+    ) -> Self {
+        PerRequestRegionReplay {
+            sim: RegionMicrosim::new(serving),
+            report: empty_report.clone(),
+            depth_series: Vec::with_capacity(num_epochs),
+            merged: Vec::new(),
+            completions: Vec::new(),
+        }
+    }
+
+    /// One epoch barrier for this region: k-way merge the shards'
+    /// request runs, replay them through the microsim, record the
+    /// completions, scale, publish the (hysteresis-held) tail signal.
+    pub(crate) fn barrier(
+        &mut self,
+        region: usize,
+        shards: &[&ShardEpochOutput],
+        epoch_start: u64,
+        epoch_end: u64,
+        traced: bool,
+    ) -> RegionBarrierOutput {
+        merge_requests(shards, region, &mut self.merged);
+        let mut probe = region_probe(traced);
+        probe.on_merged(self.merged.len() as u64);
+        self.completions.clear();
+        self.sim.run_epoch_probed(
+            &self.merged,
+            epoch_end,
+            &mut self.completions,
+            region as u64,
+            &mut probe,
+        );
+        record_completions(&mut self.report, region, &self.completions);
+        self.depth_series.push(self.sim.depth());
+        let drain = probe.take();
+        self.sim.scale_probed(
+            epoch_end,
+            epoch_end - epoch_start,
+            region as u64,
+            &mut probe,
+        );
+        let scale = probe.take();
+        RegionBarrierOutput {
+            signal: self.sim.barrier_signal(epoch_end),
+            drain,
+            scale,
+        }
+    }
+
+    /// Post-horizon drain: the cloud keeps serving until every admitted
+    /// request completes. Runs sequentially on the engine thread (it is
+    /// one final sweep, not per-epoch work).
+    pub(crate) fn flush(&mut self, region: usize, probe: &mut PhaseProbe) {
+        self.completions.clear();
+        self.sim
+            .flush_probed(&mut self.completions, region as u64, probe);
+        record_completions(&mut self.report, region, &self.completions);
+    }
+}
+
+/// The barrier-thread probe for one region: recording iff tracing.
+fn region_probe(traced: bool) -> PhaseProbe {
+    if traced {
+        PhaseProbe::enabled()
+    } else {
+        PhaseProbe::disabled()
+    }
+}
+
+/// Assembles one region's epoch requests by k-way merging the per-shard
+/// runs. Each run is already sorted by `(arrival_us, device_id)` — shard
+/// events pop in `(time, local)` order and a shard's device ids are a
+/// contiguous ascending range — and the key is unique fleet-wide, so the
+/// merge reproduces exactly the total order the old global
+/// `sort_unstable_by_key` produced, in O(total · shards) with no
+/// comparison sort and no allocation after warm-up.
+pub(crate) fn merge_requests(
+    shards: &[&ShardEpochOutput],
+    region: usize,
+    out: &mut Vec<OffloadRequest>,
+) {
+    out.clear();
+    let mut runs: Vec<&[OffloadRequest]> = shards
+        .iter()
+        .map(|shard| shard.requests[region].as_slice())
+        .filter(|run| !run.is_empty())
+        .collect();
+    debug_assert!(runs.iter().all(|run| run
+        .windows(2)
+        .all(|w| (w[0].arrival_us, w[0].device_id) < (w[1].arrival_us, w[1].device_id))));
+    if runs.len() == 1 {
+        out.extend_from_slice(runs[0]);
+        return;
+    }
+    out.reserve(runs.iter().map(|run| run.len()).sum());
+    while let Some(first) = runs.first() {
+        let mut best = 0;
+        let mut best_key = (first[0].arrival_us, first[0].device_id);
+        for (i, run) in runs.iter().enumerate().skip(1) {
+            let key = (run[0].arrival_us, run[0].device_id);
+            if key < best_key {
+                best = i;
+                best_key = key;
+            }
+        }
+        out.push(runs[best][0]);
+        runs[best] = &runs[best][1..];
+        if runs[best].is_empty() {
+            runs.swap_remove(best);
+        }
+    }
+}
+
+/// Records a batch of microsim completions: each finishes its deferred
+/// device record (end-to-end latency = device-side latency + exact cloud
+/// sojourn). The sojourn histograms are *not* touched here — the microsim
+/// records each completion once into its backend's epoch window and the
+/// barrier folds those windows into the cumulative histograms.
+pub(crate) fn record_completions(
+    report: &mut FleetReport,
+    serving_region: usize,
+    completions: &[CompletedRequest],
+) {
+    for c in completions {
+        let request = &c.request;
+        let served = Served {
+            latency_ms: request.base_latency_ms + c.sojourn_ms,
+            energy_mj: request.energy_mj,
+            offloaded: true,
+            switched: request.switched,
+            shed_to_local: false,
+            failover_region: if request.failed_over {
+                Some(serving_region as u32)
+            } else {
+                None
+            },
+            // Retreats resolve device-side, before the request ever
+            // reaches the microsim — a completed offload never retreated.
+            retreated: false,
+        };
+        report.record(request.origin_region as usize, &served);
+    }
+}

@@ -15,10 +15,36 @@ use std::fmt;
 /// unit), summed exactly in `i128` so merge order cannot perturb them.
 const SUM_FP_SCALE: f64 = 1e6;
 
+/// `SUM_FP_SCALE` as the exact integer it is, for integer-space division.
+const SUM_FP_UNIT: i128 = 1_000_000;
+
 pub(crate) fn to_fp(value: f64) -> i128 {
     // `as` casts saturate at the i128 range (and map NaN to 0), so even
     // pathological inputs cannot wrap the accumulator.
     (value * SUM_FP_SCALE).round() as i128
+}
+
+/// Converts an exact fixed-point (micro-unit) sum into `f64` units.
+///
+/// Casting the raw micro-unit sum (`sum_fp as f64`) silently drops low
+/// bits once the sum exceeds 2^53 micro-units — ~9.0e9 unit-ms, which a
+/// million-device day blows through while the digest stays exact.
+/// Dividing in integer space first keeps the conversion exact (to one
+/// final rounding) for any sum whose *unit* magnitude fits 2^53 — a
+/// window 10^6 wider — and beyond that saturates explicitly instead of
+/// quietly degrading.
+pub(crate) fn fp_sum_to_f64(sum: i128) -> f64 {
+    /// Largest integer `f64` represents exactly: 2^53 units.
+    const EXACT_UNITS: i128 = 1 << 53;
+    let units = sum / SUM_FP_UNIT;
+    let micros = sum % SUM_FP_UNIT;
+    if units >= EXACT_UNITS {
+        EXACT_UNITS as f64
+    } else if units <= -EXACT_UNITS {
+        -(EXACT_UNITS as f64)
+    } else {
+        units as f64 + micros as f64 / SUM_FP_SCALE
+    }
 }
 
 /// A fixed-bin histogram over `[0, bin_width · num_bins)` with an overflow
@@ -47,6 +73,12 @@ pub struct Histogram {
     sum_fp: i128,
     min: f64,
     max: f64,
+    /// Watermark: bins at `hot_bins` and beyond are all zero. Keeps
+    /// per-barrier resets and percentile scans proportional to the bins
+    /// actually touched, not the configured range. Always equals
+    /// last-nonzero-bin + 1 (0 when empty), so the derived `PartialEq`
+    /// stays consistent with the counts it summarizes.
+    hot_bins: usize,
 }
 
 impl Histogram {
@@ -69,6 +101,7 @@ impl Histogram {
             sum_fp: 0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
+            hot_bins: 0,
         }
     }
 
@@ -90,8 +123,9 @@ impl Histogram {
         if idx >= self.counts.len() as f64 {
             self.overflow = self.overflow.saturating_add(n);
         } else {
-            let slot = &mut self.counts[idx.max(0.0) as usize];
-            *slot = slot.saturating_add(n);
+            let idx = idx.max(0.0) as usize;
+            self.counts[idx] = self.counts[idx].saturating_add(n);
+            self.hot_bins = self.hot_bins.max(idx + 1);
         }
         self.count = self.count.saturating_add(n);
         self.sum_fp = self
@@ -110,9 +144,13 @@ impl Histogram {
     pub fn merge(&mut self, other: &Histogram) {
         assert_eq!(self.bin_width, other.bin_width, "bin widths differ");
         assert_eq!(self.counts.len(), other.counts.len(), "bin counts differ");
-        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+        for (a, b) in self.counts[..other.hot_bins]
+            .iter_mut()
+            .zip(&other.counts[..other.hot_bins])
+        {
             *a = a.saturating_add(*b);
         }
+        self.hot_bins = self.hot_bins.max(other.hot_bins);
         self.overflow = self.overflow.saturating_add(other.overflow);
         self.count = self.count.saturating_add(other.count);
         self.sum_fp = self.sum_fp.saturating_add(other.sum_fp);
@@ -123,7 +161,10 @@ impl Histogram {
     /// Clears every bin in place (keeps the layout): the epoch-windowed
     /// tail histograms reset at each barrier without reallocating.
     pub(crate) fn reset(&mut self) {
-        self.counts.iter_mut().for_each(|c| *c = 0);
+        // Only the hot window can hold nonzero counts — an epoch-windowed
+        // histogram pays for the bins it touched, not its configured span.
+        self.counts[..self.hot_bins].iter_mut().for_each(|c| *c = 0);
+        self.hot_bins = 0;
         self.overflow = 0;
         self.count = 0;
         self.sum_fp = 0;
@@ -144,7 +185,7 @@ impl Histogram {
     /// Sum of all recorded values, exact to fixed-point (micro-unit)
     /// resolution and independent of record/merge order.
     pub fn sum(&self) -> f64 {
-        self.sum_fp as f64 / SUM_FP_SCALE
+        fp_sum_to_f64(self.sum_fp)
     }
 
     pub(crate) fn sum_fp(&self) -> i128 {
@@ -196,7 +237,7 @@ impl Histogram {
         }
         let rank = p / 100.0 * self.count as f64;
         let mut seen = 0u64;
-        for (i, &c) in self.counts.iter().enumerate() {
+        for (i, &c) in self.counts[..self.hot_bins].iter().enumerate() {
             if c == 0 {
                 continue;
             }
@@ -290,12 +331,12 @@ impl RegionReport {
 
     /// Sum of end-to-end latencies (ms) including queue waits.
     pub fn latency_sum_ms(&self) -> f64 {
-        self.latency_sum_fp as f64 / SUM_FP_SCALE
+        fp_sum_to_f64(self.latency_sum_fp)
     }
 
     /// Sum of edge energies (mJ).
     pub fn energy_sum_mj(&self) -> f64 {
-        self.energy_sum_fp as f64 / SUM_FP_SCALE
+        fp_sum_to_f64(self.energy_sum_fp)
     }
 
     /// Mean latency per inference in this region (0 when empty).
@@ -388,7 +429,7 @@ impl BackendReport {
     /// Provisioned cost over the run:
     /// `Σ_epochs slots · price_per_slot_epoch` (0 for unpriced backends).
     pub fn provision_cost(&self) -> f64 {
-        self.cost_fp as f64 / SUM_FP_SCALE
+        fp_sum_to_f64(self.cost_fp)
     }
 
     /// Cloud-side energy spent serving this backend's jobs (mJ; 0 when
@@ -618,11 +659,12 @@ impl FleetReport {
     /// `Σ_epochs slots · price_per_slot_epoch` per backend, summed exactly
     /// in fixed point (0 when no backend is priced).
     pub fn provision_cost(&self) -> f64 {
-        self.backends
-            .iter()
-            .map(|b| b.cost_fp)
-            .fold(0i128, i128::saturating_add) as f64
-            / SUM_FP_SCALE
+        fp_sum_to_f64(
+            self.backends
+                .iter()
+                .map(|b| b.cost_fp)
+                .fold(0i128, i128::saturating_add),
+        )
     }
 
     /// Total cloud-side serving energy across all backends (mJ; 0 when
@@ -1076,6 +1118,45 @@ mod tests {
         extreme.record(0.5);
         assert_eq!(extreme.sum_fp(), i128::MAX, "sum must stay saturated");
         assert_eq!(extreme.count(), 3);
+    }
+
+    #[test]
+    fn fp_sums_convert_exactly_and_saturate_explicitly() {
+        // Small sums round-trip to the micro-unit.
+        assert_eq!(fp_sum_to_f64(0), 0.0);
+        assert_eq!(fp_sum_to_f64(1_234_567), 1.234567);
+        assert_eq!(fp_sum_to_f64(-1_234_567), -1.234567);
+        // A million-device day of latency sums: ~1.44e17 µ-ms, past the
+        // 2^53 µ-unit window where the old raw `as f64` cast started
+        // dropping bits. Integer-space division keeps the unit part
+        // exact and the fraction within one rounding.
+        let day = 144_000_000_000_123_456i128;
+        assert!((fp_sum_to_f64(day) - (144e9 + 0.123456)).abs() < 1e-4);
+        // Beyond 2^53 *units* the conversion saturates explicitly
+        // instead of silently degrading.
+        let limit = (1i128 << 53) as f64;
+        assert_eq!(fp_sum_to_f64(i128::MAX), limit);
+        assert_eq!(fp_sum_to_f64(i128::MIN), -limit);
+    }
+
+    #[test]
+    fn reset_is_indistinguishable_from_a_fresh_histogram() {
+        // The hot-bin watermark makes reset O(touched bins); it must
+        // still clear everything observable (derived PartialEq covers
+        // the watermark itself, so a stale count would show here).
+        let mut h = Histogram::new(1.0, 1024);
+        h.record(3.5);
+        h.record(700.25);
+        h.record(5000.0); // overflow bucket
+        let empty = Histogram::new(1.0, 1024);
+        assert_ne!(h, empty);
+        h.reset();
+        assert_eq!(h, empty);
+        h.record(2.0);
+        let mut again = Histogram::new(1.0, 1024);
+        again.record(2.0);
+        assert_eq!(h, again, "post-reset records must match a fresh start");
+        assert_eq!(h.percentile(99.0), again.percentile(99.0));
     }
 
     #[test]

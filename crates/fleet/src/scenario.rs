@@ -232,6 +232,27 @@ impl WorkloadCurve {
     }
 }
 
+/// How the engine replays regions at the epoch barrier.
+///
+/// Regions are independent between the shard step and the signal
+/// publish, so the barrier can fan them out over scoped worker threads
+/// and merge the results in fixed region order. The report, telemetry,
+/// and digests are bit-identical across all three modes — the knob only
+/// changes wall-clock time (and exists so tests can pin that claim).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReplayMode {
+    /// Parallel when the host has more than one core and the scenario
+    /// more than one region; sequential otherwise.
+    #[default]
+    Auto,
+    /// Always fan regions out over scoped worker threads (still
+    /// sequential for a single-region scenario, which has nothing to
+    /// fan out).
+    Parallel,
+    /// Always replay regions on the barrier thread, in region order.
+    Sequential,
+}
+
 /// How each device chooses its deployment option per inference.
 #[derive(Debug, Clone, PartialEq)]
 pub enum FleetPolicy {
@@ -268,6 +289,7 @@ pub struct FleetScenario {
     pub(crate) telemetry: TelemetryConfig,
     pub(crate) workload: Option<WorkloadCurve>,
     pub(crate) tail_deadline: Option<Millis>,
+    pub(crate) replay: ReplayMode,
 }
 
 impl FleetScenario {
@@ -377,6 +399,12 @@ impl FleetScenario {
         self.tail_deadline
     }
 
+    /// How the barrier replays regions (parallel fan-out or sequential
+    /// sweep — bit-identical either way).
+    pub fn replay(&self) -> ReplayMode {
+        self.replay
+    }
+
     /// Expected number of inference events the whole fleet generates.
     pub fn expected_events(&self) -> u64 {
         let per_device = self.horizon.get() / self.arrival.mean_period_ms();
@@ -404,6 +432,7 @@ pub struct FleetScenarioBuilder {
     telemetry: TelemetryConfig,
     workload: Option<WorkloadCurve>,
     tail_deadline: Option<Millis>,
+    replay: ReplayMode,
 }
 
 impl Default for FleetScenarioBuilder {
@@ -435,6 +464,7 @@ impl Default for FleetScenarioBuilder {
             telemetry: TelemetryConfig::default(),
             workload: None,
             tail_deadline: None,
+            replay: ReplayMode::Auto,
         }
     }
 }
@@ -562,6 +592,15 @@ impl FleetScenarioBuilder {
         self
     }
 
+    /// Sets how the barrier replays regions. The default,
+    /// [`ReplayMode::Auto`], fans regions out over scoped worker threads
+    /// when the host has more than one core; results are bit-identical
+    /// in every mode, so this is purely a wall-clock knob.
+    pub fn replay(mut self, replay: ReplayMode) -> Self {
+        self.replay = replay;
+        self
+    }
+
     /// Validates and builds the scenario.
     ///
     /// # Errors
@@ -592,11 +631,14 @@ impl FleetScenarioBuilder {
                 return invalid("technology shares must be positive and finite");
             }
         }
-        if self.horizon.get() <= 0.0 {
-            return invalid("horizon must be positive");
+        // The engine runs on an integer-microsecond clock. `Millis`
+        // already rejects NaN/∞/negative at construction, but zero and
+        // sub-microsecond durations are representable and would round to
+        // 0 µs inside the engine's checked ms→µs cast — collapsing the
+        // event clock (and dividing by zero at the epoch barrier).
+        if (self.horizon.get() * 1000.0).round() < 1.0 {
+            return invalid("horizon must be at least one microsecond");
         }
-        // The engine runs on integer microseconds; durations that round to
-        // zero would divide (or modulo) by zero there.
         if (self.trace_interval.get() * 1000.0).round() < 1.0 {
             return invalid("trace interval must be at least one microsecond");
         }
@@ -646,6 +688,7 @@ impl FleetScenarioBuilder {
             telemetry: self.telemetry,
             workload: self.workload,
             tail_deadline: self.tail_deadline,
+            replay: self.replay,
         })
     }
 }
@@ -819,6 +862,25 @@ mod tests {
                 "deadline",
                 FleetScenario::builder().tail_deadline(Millis::new(0.0)),
             ),
+            // `Millis::new` already panics on NaN/∞/negative, so those
+            // can never reach the builder — but zero and sub-microsecond
+            // durations *are* representable and used to slip through to
+            // the engine's ms→µs cast, silently rounding to 0 µs. All
+            // are build errors now.
+            (
+                "horizon",
+                FleetScenario::builder().horizon(Millis::new(0.0004)),
+            ),
+            (
+                "trace interval",
+                FleetScenario::builder().trace_interval(Millis::new(0.0)),
+            ),
+            (
+                "arrival period",
+                FleetScenario::builder().arrival(ArrivalModel::Poisson {
+                    mean_interarrival: Millis::new(0.0),
+                }),
+            ),
         ];
         for (needle, builder) in cases {
             match builder.build() {
@@ -879,6 +941,20 @@ mod tests {
         assert_eq!(peak, CURVE_FP_SCALE);
         // Trough at the start of the period (night).
         assert_eq!(curve.multiplier_fp(0, 0), 125_000);
+    }
+
+    #[test]
+    fn replay_mode_defaults_to_auto_and_round_trips() {
+        let s = FleetScenario::builder().build().unwrap();
+        assert_eq!(s.replay(), ReplayMode::Auto);
+        for mode in [
+            ReplayMode::Auto,
+            ReplayMode::Parallel,
+            ReplayMode::Sequential,
+        ] {
+            let s = FleetScenario::builder().replay(mode).build().unwrap();
+            assert_eq!(s.replay(), mode);
+        }
     }
 
     #[test]

@@ -71,7 +71,8 @@ pub mod prelude {
         AdmissionPolicy, ArrivalModel, Autoscaler, BackendConfig, BackendReport, BatchPolicy,
         CloudCapacity, CloudServing, CloudSimFidelity, DispatchPolicy, FailoverPolicy, FleetEngine,
         FleetPolicy, FleetReport, FleetScenario, OffloadRequest, QueueDiscipline, RegionMicrosim,
-        RegionServing, RegionShare, ScalerState, ScalingSignal, TailSummary, WorkloadCurve,
+        RegionServing, RegionShare, ReplayMode, ScalerState, ScalingSignal, TailSummary,
+        WorkloadCurve,
     };
     pub use lens_nn::units::{Bytes, Mbps, Millijoules, Millis, Milliwatts};
     pub use lens_nn::{zoo, Network, NetworkBuilder, TensorShape};
@@ -101,6 +102,7 @@ mod tests {
         let _tracker = ThroughputTracker::last_sample();
         let _ = Lens::builder();
         let _ = FleetScenario::builder();
+        let _mode: ReplayMode = ReplayMode::Auto;
         let _ = TelemetryConfig::default();
     }
 }

@@ -109,6 +109,73 @@ fn regional_wave_closed_loop_is_bit_identical_across_shards() {
     );
 }
 
+/// The no-thundering-herd pin: the microsim holds its last *measured*
+/// p99 across idle epochs, so a retreated fleet is not stampeded back
+/// the moment the tier goes quiet. The curve carves a dead zone (zero
+/// offload intent) into the middle of the run: the tier completes
+/// nothing for four straight epochs, and without the hold the barrier
+/// would publish "no signal", releasing every retreated device at once
+/// in the first epoch after the gap — re-saturating the 1-slot tier and
+/// oscillating. With the hold, retreat stays armed straight through.
+#[test]
+fn held_tail_signal_prevents_a_thundering_herd_after_idle_epochs() {
+    const EPOCH_US: u64 = 60_000_000;
+    // Offload intent: full for 8 epochs, dead for 4, full for 8. The
+    // 810 ms unloaded service time alone blows the 500 ms tail budget,
+    // so every *measured* epoch keeps retreat armed — the only way the
+    // herd can come back is a barrier that publishes no signal at all.
+    let curve = WorkloadCurve::from_phases_fp(vec![
+        (0, 1_000_000),
+        (8 * EPOCH_US, 0),
+        (12 * EPOCH_US, 1_000_000),
+    ]);
+    let serving = CloudServing::new(vec![BackendConfig::new("gpu", 1, 800.0, 10.0)])
+        .with_admission(AdmissionPolicy::Deadline {
+            max_wait_ms: 2_000.0,
+        });
+    let scenario = FleetScenario::builder()
+        .population(400)
+        .horizon(Millis::new(1_200_000.0)) // 20 epochs
+        .trace_interval(Millis::new(60_000.0))
+        .serving(serving)
+        .policy(FleetPolicy::Fixed(DeploymentKind::AllCloud))
+        .metric(Metric::Latency)
+        .seed(11)
+        .shards(2)
+        .fidelity(CloudSimFidelity::PerRequest)
+        .workload(curve)
+        .tail_deadline(Millis::new(500.0))
+        .build()
+        .expect("valid scenario");
+    let (_, telemetry) = FleetEngine::new(scenario)
+        .expect("engine builds")
+        .run_traced()
+        .expect("run succeeds");
+
+    let mut retreats_per_epoch = [0u64; 20];
+    for event in telemetry.recorder.events() {
+        if let TraceEvent::Retreat { time_us, .. } = event {
+            retreats_per_epoch[(time_us / EPOCH_US) as usize] += 1;
+        }
+    }
+    // Epoch 0 runs before the first barrier publishes any tail; the dead
+    // zone (epochs 8–11) draws no offloads at all, so neither can
+    // retreat. Every other epoch must — the one that matters being
+    // epoch 12, the first full-intent epoch after the idle gap, where a
+    // dropped signal would instead admit the whole herd.
+    for (epoch, &retreats) in retreats_per_epoch.iter().enumerate() {
+        if epoch == 0 || (8..12).contains(&epoch) {
+            assert_eq!(retreats, 0, "epoch {epoch} cannot retreat: {retreats}");
+        } else {
+            assert!(
+                retreats > 0,
+                "epoch {epoch} must keep retreating (held tail signal); \
+                 a zero here is the thundering herd"
+            );
+        }
+    }
+}
+
 #[test]
 fn closed_loop_telemetry_is_bit_identical_across_shards() {
     // The observability face of the loop: curve-phase and retreat events

@@ -360,6 +360,66 @@ proptest! {
         }
     }
 
+    /// Parallel barrier replay is a wall-clock knob, not a semantics
+    /// knob: for arbitrary seeded multi-region scenarios, forcing the
+    /// region replay onto scoped worker threads produces a report
+    /// bit-identical to the forced-sequential sweep — in both cloud
+    /// fidelities. This is the contract that lets `ReplayMode::Auto`
+    /// pick per-host without perturbing any digest.
+    #[test]
+    fn prop_parallel_replay_bit_identical_to_sequential(
+        seed in 0u64..10_000,
+        population in 40usize..160,
+        share in 0.2f64..0.8,
+        slots in 1usize..4,
+        service_ms in 50.0f64..800.0,
+        max_batch in 1usize..16,
+        shards in 1usize..4,
+    ) {
+        let scenario = |replay: ReplayMode, fidelity: CloudSimFidelity| {
+            let serving = CloudServing::new(vec![BackendConfig::new(
+                "gpu", slots, service_ms, 2.0,
+            )
+            .with_batching(max_batch, 100.0)])
+            .with_admission(AdmissionPolicy::Deadline { max_wait_ms: 4_000.0 })
+            .with_failover(FailoverPolicy::SiblingRegion { penalty_ms: 60.0 });
+            FleetScenario::builder()
+                .population(population)
+                .horizon(Millis::new(300_000.0)) // 5 minutes
+                .trace_interval(Millis::new(60_000.0))
+                .regions(vec![
+                    RegionShare::new(Region::new("USA", Mbps::new(7.5)), share),
+                    RegionShare::new(Region::new("S. Korea", Mbps::new(16.1)), 1.0 - share),
+                ])
+                .serving(serving)
+                .policy(FleetPolicy::Fixed(DeploymentKind::AllCloud))
+                .metric(Metric::Latency)
+                .seed(seed)
+                .shards(shards)
+                .fidelity(fidelity)
+                .replay(replay)
+                .build()
+                .unwrap()
+        };
+        for fidelity in [CloudSimFidelity::Fluid, CloudSimFidelity::PerRequest] {
+            let sequential = FleetEngine::new(scenario(ReplayMode::Sequential, fidelity))
+                .unwrap()
+                .run()
+                .unwrap();
+            let parallel = FleetEngine::new(scenario(ReplayMode::Parallel, fidelity))
+                .unwrap()
+                .run()
+                .unwrap();
+            prop_assert_eq!(
+                sequential.digest(),
+                parallel.digest(),
+                "{:?}: parallel replay diverged from sequential",
+                fidelity
+            );
+            prop_assert_eq!(sequential.inferences(), population as u64 * 5);
+        }
+    }
+
     /// Workload-curve evaluation is a pure function of (curve, sim time,
     /// region): the binary-search lookup agrees with a linear reference
     /// scan at arbitrary times, a structurally identical curve agrees

@@ -195,6 +195,29 @@ fn workload_curve_fixture_fires_float_accumulation_in_scenario_scope() {
     assert_ne!(report.exit_code(), 0);
 }
 
+/// The barrier replay pool (`crates/fleet/src/replay.rs`) is the second
+/// sanctioned concurrency site next to the engine's shard step: its
+/// scoped threads are joined in fixed region order, so thread-confinement
+/// stays silent there — and only there. The seeded two-file fixture pins
+/// both halves: the replay-path file scans clean, the sibling still fires.
+#[test]
+fn replay_module_sits_inside_the_thread_confinement_carve_out() {
+    let fixture_root = repo_root().join("crates/analyzer/fixtures/thread-confinement-replay");
+    let report = scan_root(&fixture_root).expect("replay fixture tree scans");
+    assert_eq!(report.files_scanned, 2, "replay file plus one sibling");
+    assert_eq!(
+        report.findings.len(),
+        1,
+        "exactly the sibling's seeded violation, got {:?}",
+        report.findings
+    );
+    let finding = &report.findings[0];
+    assert_eq!(finding.rule, RuleId::ThreadConfinement);
+    assert_eq!(finding.path, "crates/fleet/src/cloud.rs");
+    assert!(finding.allowed.is_none());
+    assert_ne!(report.exit_code(), 0);
+}
+
 /// The three engine-construction allows are the only waivers on today's
 /// workspace — pin them so new allows get reviewed rather than slipping
 /// in silently alongside.

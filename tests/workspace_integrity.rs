@@ -760,3 +760,78 @@ fn release_profile_is_tuned_for_benchmarking() {
         "release profile should enable LTO"
     );
 }
+
+/// Pins the parallel-barrier-replay / million-device-scale surface
+/// (PR 9): the replay module and its doc section, the `ReplayMode`
+/// knob, the scale row in the paper map, the `million_fleet` example
+/// (CI smoke at 100 k devices rides the matrixed examples loop), and
+/// the bench gate's single-retry policy.
+#[test]
+fn parallel_replay_and_scale_surface_is_pinned() {
+    let root = repo_root();
+    let read = |p: &str| fs::read_to_string(root.join(p)).unwrap_or_else(|e| panic!("{p}: {e}"));
+
+    // The replay worker module exists and owns the scoped fan-out.
+    let replay = read("crates/fleet/src/replay.rs");
+    assert!(
+        replay.contains("std::thread::scope"),
+        "replay.rs must fan regions out over a scoped thread pool"
+    );
+    assert!(
+        read("crates/fleet/src/scenario.rs").contains("pub enum ReplayMode"),
+        "the ReplayMode knob must live on the scenario"
+    );
+
+    // Docs: the ARCHITECTURE section and the PAPER_MAP scale row.
+    let architecture = read("docs/ARCHITECTURE.md");
+    assert!(
+        architecture.contains("Parallel barrier replay"),
+        "docs/ARCHITECTURE.md must document the parallel barrier replay"
+    );
+    for needle in [
+        "ReplayMode",
+        "fixed region order",
+        "crates/fleet/src/replay.rs",
+    ] {
+        assert!(
+            architecture.contains(needle),
+            "docs/ARCHITECTURE.md replay section must mention {needle}"
+        );
+    }
+    let paper_map = read("docs/PAPER_MAP.md");
+    assert!(
+        paper_map.contains("million devices") && paper_map.contains("ReplayMode"),
+        "docs/PAPER_MAP.md must carry the million-device scale row"
+    );
+
+    // The analyzer admits exactly the two sanctioned concurrency sites.
+    let rules = read("crates/analyzer/src/rules.rs");
+    assert!(
+        rules.contains("crates/fleet/src/engine.rs")
+            && rules.contains("crates/fleet/src/replay.rs"),
+        "thread-confinement must carve out engine.rs and replay.rs"
+    );
+
+    // The flagship scale example is registered and self-describing.
+    assert!(
+        read("crates/lens/Cargo.toml").contains("path = \"../../examples/million_fleet.rs\""),
+        "million_fleet example must be registered on the facade"
+    );
+    let example = read("examples/million_fleet.rs");
+    assert!(
+        example.contains("LENS_MILLION_FLEET_POP"),
+        "million_fleet must scale its population via LENS_MILLION_FLEET_POP"
+    );
+
+    // The proptest pin: parallel replay ≡ sequential replay.
+    assert!(
+        read("tests/cross_crate_props.rs").contains("ReplayMode::Sequential"),
+        "cross_crate_props must pin parallel vs sequential replay"
+    );
+
+    // bench_gate earns one re-measure before failing.
+    assert!(
+        read("crates/bench/src/bin/bench_gate.rs").contains("re-measured"),
+        "bench_gate must re-measure once before declaring a regression"
+    );
+}
