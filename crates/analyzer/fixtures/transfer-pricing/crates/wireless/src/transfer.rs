@@ -1,0 +1,25 @@
+//! Seeded fixture: a staged-transfer pricer that totals its hop costs by
+//! accumulating raw `f64` milliseconds. Transfer prices shift integer
+//! arrival stamps in the per-request replay, so
+//! `crates/wireless/src/transfer.rs` sits inside the float-accumulation
+//! scope and the rule must catch this exactly once. The real module
+//! quantizes the link rate once and folds hop costs in integer
+//! microseconds; floats are derived from the integers at the end.
+
+pub struct HopPricer {
+    hop_ms: Vec<f64>,
+}
+
+impl HopPricer {
+    pub fn new(hop_ms: Vec<f64>) -> Self {
+        Self { hop_ms }
+    }
+
+    pub fn total_ms(&self) -> f64 {
+        let mut total: f64 = 0.0;
+        for &hop in &self.hop_ms {
+            total += hop;
+        }
+        total
+    }
+}

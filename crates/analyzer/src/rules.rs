@@ -175,10 +175,16 @@ impl RuleId {
             // report-path numeric rules cover all of it. Scenario code is
             // in scope too: workload-curve multipliers gate every offload
             // draw, so a float accumulated there perturbs the digest.
+            // Pipeline transfer pricing is digest-bearing too: an
+            // inter-stage hop priced with a float would shift integer
+            // arrival stamps, so the quantize-once integer paths in
+            // wireless/transfer.rs and fleet/pipeline.rs stay in scope.
             RuleId::FloatAccumulation => {
                 loc.file_name == "report.rs"
                     || loc.rel_path == "crates/fleet/src/engine.rs"
                     || loc.rel_path == "crates/fleet/src/scenario.rs"
+                    || loc.rel_path == "crates/fleet/src/pipeline.rs"
+                    || loc.rel_path == "crates/wireless/src/transfer.rs"
                     || loc.crate_dir == "telemetry"
             }
             RuleId::TruncatingCast => loc.file_name == "report.rs" || loc.crate_dir == "telemetry",
@@ -483,6 +489,11 @@ mod tests {
         // float accumulation is scoped there too — but only for fleet.
         assert!(RuleId::FloatAccumulation.applies(&loc("crates/fleet/src/scenario.rs")));
         assert!(!RuleId::FloatAccumulation.applies(&loc("crates/core/src/scenario.rs")));
+        // Staged-pipeline transfer pricing shifts integer arrival stamps,
+        // so its two homes are in scope — but not the rest of wireless.
+        assert!(RuleId::FloatAccumulation.applies(&loc("crates/fleet/src/pipeline.rs")));
+        assert!(RuleId::FloatAccumulation.applies(&loc("crates/wireless/src/transfer.rs")));
+        assert!(!RuleId::FloatAccumulation.applies(&loc("crates/wireless/src/link.rs")));
         // The digest-bearing telemetry crate is inside the numeric rules'
         // scope file-by-file, not just in its report module.
         assert!(RuleId::FloatAccumulation.applies(&loc("crates/telemetry/src/metrics.rs")));

@@ -59,6 +59,15 @@ fn bench_fleet(c: &mut Criterion) {
         b.iter(|| black_box(engine.run().expect("run").inferences()))
     });
 
+    // The batched tier with a three-stage split-inference pipeline at
+    // per-request fidelity: every offload replays as a chain of stage
+    // requests with integer-priced inter-stage transfers — the deepest
+    // per-offload barrier workload.
+    let engine = FleetEngine::new(workloads::pipeline_fleet_scenario()).expect("engine builds");
+    group.bench_function("pipeline/10000", |b| {
+        b.iter(|| black_box(engine.run().expect("run").inferences()))
+    });
+
     // The batched tier again with priced, autoscaled backends and
     // cost-aware dispatch — the per-barrier autoscaler + cost accounting
     // overhead on the fluid path.

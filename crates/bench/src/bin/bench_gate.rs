@@ -4,7 +4,8 @@
 //! `crates/bench/benches/BENCH_*.json` — the fluid fleet run
 //! (`fleet/run/10000`), the per-request fleet run
 //! (`fleet/per_request/10000`), the closed tail-latency loop
-//! (`fleet/run_flash_crowd/10000`), and the search-side paths that gate
+//! (`fleet/run_flash_crowd/10000`), the staged split-inference pipeline
+//! (`fleet/pipeline/10000`), and the search-side paths that gate
 //! fleet-in-the-loop NAS (`pareto/build_front/5000`, `gp/fit/300`,
 //! `pareto/hypervolume_3d`) — and fails (exit 1) if any of them
 //! regresses beyond a generous noise tolerance.
@@ -199,6 +200,24 @@ fn main() {
             "run_flash_crowd/10000",
             "after_ns_per_inference_event",
         ) * flash_crowd_events,
+    );
+
+    // fleet/pipeline/10000 — the batched tier with a three-stage
+    // split-inference pipeline at per-request fidelity: every offload
+    // replays as a chain of stage requests with integer-priced
+    // inter-stage transfers.
+    let engine = FleetEngine::new(workloads::pipeline_fleet_scenario()).expect("engine builds");
+    let pipeline_events = engine.scenario().expected_events() as f64;
+    gate.check(
+        "fleet/pipeline/10000",
+        || {
+            black_box(engine.run().expect("run").inferences());
+        },
+        baseline(
+            &fleet_json,
+            "pipeline/10000",
+            "after_ns_per_inference_event",
+        ) * pipeline_events,
     );
 
     // pareto/build_front/5000 — frontier maintenance over a full NAS

@@ -115,6 +115,27 @@ pub fn flash_crowd_fleet_scenario() -> FleetScenario {
         .expect("valid scenario")
 }
 
+/// The staged-pipeline scenario behind `fleet/pipeline/10000`: the
+/// batched tier at per-request fidelity with a three-stage
+/// device → edge → cloud pipeline, so every offload replays as a chain
+/// of stage requests with integer-priced inter-stage transfers — the
+/// deepest per-offload barrier workload the engine supports today.
+pub fn pipeline_fleet_scenario() -> FleetScenario {
+    FleetScenario::builder()
+        .population(10_000)
+        .horizon(Millis::new(600_000.0))
+        .serving(batched_serving())
+        .policy(FleetPolicy::Dynamic)
+        .metric(Metric::Energy)
+        .seed(11)
+        .fidelity(CloudSimFidelity::PerRequest)
+        // AlexNet-shaped staging: conv-tower activation to the edge
+        // stage, pooled features to the cloud stage.
+        .pipeline(PipelineSpec::new(vec![186_624, 43_264]))
+        .build()
+        .expect("valid scenario")
+}
+
 /// Deterministic pseudo-random GP training data in \[0,1\]^23 (the VGG-
 /// space embedding dimension) behind `gp/fit/*` and the gate's
 /// `gp/fit/300` — no RNG in the measured region.
@@ -170,6 +191,8 @@ mod tests {
             .all(|b| b.autoscaler.is_some()));
         let flash = flash_crowd_fleet_scenario();
         assert!(flash.workload().is_some() && flash.tail_deadline().is_some());
+        let pipelined = pipeline_fleet_scenario();
+        assert!(pipelined.pipeline().is_some_and(|p| p.depth() == 3));
         assert_eq!(pareto_points(3).len(), 3);
     }
 }

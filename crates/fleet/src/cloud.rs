@@ -1315,9 +1315,20 @@ impl fmt::Display for RegionServing {
 pub struct OffloadRequest {
     /// Arrival time at the region's front door (µs since run start).
     pub arrival_us: u64,
-    /// Global device id — with `arrival_us` this forms the unique,
-    /// shard-count-invariant sort key the barrier merges requests by.
+    /// Global device id — with `arrival_us` and `stage` this forms the
+    /// unique, shard-count-invariant sort key the barrier merges
+    /// requests by.
     pub device_id: u64,
+    /// Pipeline stage (1-based). Shards always emit stage 1; the
+    /// barrier spawns stages 2.. when the scenario carries a staged
+    /// [`crate::PipelineSpec`]. Monolithic scenarios only ever see 1.
+    /// Stage-1 keys are unique fleet-wide, and the stage disambiguates
+    /// a chained arrival landing on the same `(arrival_us, device_id)`
+    /// as a fresh stage-1 request; the one remaining tie — two
+    /// same-device requests finishing in the same batch and chaining to
+    /// identical arrivals — is resolved FIFO by the barrier's stable
+    /// sort, in shard-invariant completion order.
+    pub stage: u32,
     /// Whether the device is in the high-priority class.
     pub high_priority: bool,
     /// Origin region index (for the report's per-region breakdown; it
@@ -1344,6 +1355,10 @@ pub struct CompletedRequest {
     pub backend: u32,
     /// Cloud sojourn (arrival → batch completion, ms).
     pub sojourn_ms: f64,
+    /// Batch completion instant (µs since run start) — the integer the
+    /// barrier chains the next pipeline stage's arrival from
+    /// (`sojourn_ms` is derived from it, never the other way around).
+    pub completion_us: u64,
 }
 
 /// Timer-event kinds in the microsim heap. Slot-free events sort before
@@ -1608,9 +1623,16 @@ impl RegionMicrosim {
         region: u64,
         probe: &mut PhaseProbe,
     ) {
-        debug_assert!(requests
-            .windows(2)
-            .all(|w| (w[0].arrival_us, w[0].device_id) < (w[1].arrival_us, w[1].device_id)));
+        // Stage-1 keys are unique fleet-wide; chained stages (> 1) may
+        // tie when two in-flight requests from one device finish in the
+        // same batch and chain to identical next-stage arrivals — those
+        // serve FIFO in slice order, which the barrier keeps
+        // shard-invariant with a stable sort.
+        debug_assert!(requests.windows(2).all(|w| {
+            let a = (w[0].arrival_us, w[0].device_id, w[0].stage);
+            let b = (w[1].arrival_us, w[1].device_id, w[1].stage);
+            a < b || (a == b && w[0].stage > 1)
+        }));
         debug_assert!(requests.iter().all(|r| r.arrival_us < epoch_end_us));
         let mut touched = vec![false; self.backends.len()];
         let mut i = 0;
@@ -1675,6 +1697,23 @@ impl RegionMicrosim {
         }
         debug_assert!(self.backends.iter().all(|b| b.queued() == 0));
         debug_assert!(self.backends.iter().all(|b| b.linger_event_us == u64::MAX));
+    }
+
+    /// Re-arms one slot-free wakeup per executor slot. A flush pops
+    /// every pending event while executors may stay occupied into the
+    /// future; a post-flush **wave** of chained stage arrivals (staged
+    /// pipelines, [`crate::PipelineSpec`]) that queues behind such a
+    /// slot would otherwise never be re-dispatched — no event, no
+    /// wakeup. Spurious wakeups are harmless (`dispatch` on an empty or
+    /// blocked queue is a no-op), so this re-arms unconditionally.
+    pub(crate) fn rearm_slot_events(&mut self, probe: &mut PhaseProbe) {
+        for (i, backend) in self.backends.iter().enumerate() {
+            for &Reverse((free_us, _slot)) in backend.slot_heap.iter() {
+                self.heap
+                    .push(Reverse((free_us, EVENT_SLOT_FREE, i as u32)));
+                probe.on_push();
+            }
+        }
     }
 
     /// Processes pending timer events with `time < limit_us` (or
@@ -1802,6 +1841,7 @@ impl RegionMicrosim {
                     request,
                     backend: backend as u32,
                     sojourn_ms,
+                    completion_us,
                 });
             }
             self.heap
@@ -2293,6 +2333,7 @@ mod tests {
         OffloadRequest {
             arrival_us,
             device_id,
+            stage: 1,
             high_priority: false,
             origin_region: 0,
             failed_over: false,

@@ -98,6 +98,13 @@ pub(crate) struct ServeContext<'a> {
     /// epoch p99 exceeds it, offload-bound requests retreat to the
     /// local-only option (a hash-spread fraction still probes the tier).
     pub tail_deadline_ms: Option<f64>,
+    /// Staged-pipeline pricing for the **fluid** tier, when the scenario
+    /// stages offloads: `(depth, per-origin-region total transfer ms)`.
+    /// A fluid offload then charges the published wait once per stage
+    /// plus its origin region's summed hop transfers. `None` under the
+    /// per-request fidelity even when the scenario is staged — there the
+    /// barrier chains real stage requests and prices each hop exactly.
+    pub pipeline: Option<(u32, &'a [f64])>,
 }
 
 /// What one served inference cost, for aggregation.
@@ -299,6 +306,13 @@ impl Device {
         let estimate = self.tracker.estimate().expect("just observed");
         let own = &signals[cohort.region_index];
         let queue_wait_ms = own.wait_ms(self.high_priority);
+        // Fluid staged pipelines experience the published wait once per
+        // stage; `1.0` (monolithic, or per-request fidelity) multiplies
+        // exactly, so the historical arithmetic is bit-identical.
+        let fluid_stages = match ctx.pipeline {
+            Some((depth, _)) if ctx.fidelity == CloudSimFidelity::Fluid => f64::from(depth),
+            _ => 1.0,
+        };
 
         let choice = match ctx.policy {
             FleetPolicy::Fixed(_) => cohort.fixed_index.expect("resolved at engine build"),
@@ -390,7 +404,7 @@ impl Device {
                 // Per-request fidelity: the microsim computes the exact
                 // sojourn at the barrier instead of the fluid estimate.
                 if ctx.fidelity == CloudSimFidelity::Fluid {
-                    latency_ms += queue_wait_ms;
+                    latency_ms += queue_wait_ms * fluid_stages;
                 }
             } else {
                 // Shed: try a sibling region if configured, else run local.
@@ -447,7 +461,10 @@ impl Device {
                                 CloudSimFidelity::Fluid => s.wait_ms(self.high_priority),
                                 CloudSimFidelity::PerRequest => 0.0,
                             };
-                            (r, wait + penalty_ms)
+                            // Staged fluid offloads wait at every stage;
+                            // the inter-region penalty is paid once (the
+                            // whole chain serves in the sibling).
+                            (r, wait * fluid_stages + penalty_ms)
                         }),
                 };
                 match sibling {
@@ -465,6 +482,16 @@ impl Device {
                         offloaded = false;
                         shed_to_local = true;
                     }
+                }
+            }
+        }
+        // A staged fluid offload also pays its origin region's summed
+        // inter-stage transfers (priced on the origin uplink even after
+        // failover — the activations leave the device's network).
+        if offloaded {
+            if let Some((_, transfer_total_ms)) = ctx.pipeline {
+                if ctx.fidelity == CloudSimFidelity::Fluid {
+                    latency_ms += transfer_total_ms[cohort.region_index];
                 }
             }
         }
@@ -560,6 +587,7 @@ mod tests {
                 dispatch: DispatchPolicy::LeastWorkLeft,
                 curve: None,
                 tail_deadline_ms: None,
+                pipeline: None,
             },
             &calm(1),
             0,
@@ -597,6 +625,7 @@ mod tests {
                 dispatch: DispatchPolicy::LeastWorkLeft,
                 curve: None,
                 tail_deadline_ms: None,
+                pipeline: None,
             },
             &calm(1),
             0,
@@ -613,6 +642,7 @@ mod tests {
                 dispatch: DispatchPolicy::LeastWorkLeft,
                 curve: None,
                 tail_deadline_ms: None,
+                pipeline: None,
             },
             &waiting(500.0),
             0,
@@ -632,6 +662,7 @@ mod tests {
                 dispatch: DispatchPolicy::LeastWorkLeft,
                 curve: None,
                 tail_deadline_ms: None,
+                pipeline: None,
             },
             &waiting(500.0),
             0,
@@ -648,6 +679,7 @@ mod tests {
                 dispatch: DispatchPolicy::LeastWorkLeft,
                 curve: None,
                 tail_deadline_ms: None,
+                pipeline: None,
             },
             &calm(1),
             0,
@@ -671,6 +703,7 @@ mod tests {
                 dispatch: DispatchPolicy::LeastWorkLeft,
                 curve: None,
                 tail_deadline_ms: None,
+                pipeline: None,
             },
             &calm(1),
             0,
@@ -689,6 +722,7 @@ mod tests {
                 dispatch: DispatchPolicy::LeastWorkLeft,
                 curve: None,
                 tail_deadline_ms: None,
+                pipeline: None,
             },
             &waiting(3.6e6),
             0,
@@ -718,6 +752,7 @@ mod tests {
                 dispatch: DispatchPolicy::LeastWorkLeft,
                 curve: None,
                 tail_deadline_ms: None,
+                pipeline: None,
             },
             &signals,
             0,
@@ -751,6 +786,7 @@ mod tests {
                     dispatch: DispatchPolicy::LeastWorkLeft,
                     curve: None,
                     tail_deadline_ms: None,
+                    pipeline: None,
                 },
                 &calm(3),
                 0,
@@ -767,6 +803,7 @@ mod tests {
                 dispatch: DispatchPolicy::LeastWorkLeft,
                 curve: None,
                 tail_deadline_ms: None,
+                pipeline: None,
             },
             &signals,
             0,
@@ -810,6 +847,7 @@ mod tests {
                     dispatch,
                     curve: None,
                     tail_deadline_ms: None,
+                    pipeline: None,
                 },
                 &signals,
                 0,
@@ -859,6 +897,7 @@ mod tests {
                 dispatch: DispatchPolicy::CostAware,
                 curve: None,
                 tail_deadline_ms: None,
+                pipeline: None,
             },
             &signals,
             0,
@@ -886,6 +925,7 @@ mod tests {
                 dispatch: DispatchPolicy::LeastWorkLeft,
                 curve: None,
                 tail_deadline_ms: None,
+                pipeline: None,
             },
             &signals,
             0,
@@ -915,6 +955,7 @@ mod tests {
                         dispatch: DispatchPolicy::LeastWorkLeft,
                         curve: None,
                         tail_deadline_ms: None,
+                        pipeline: None,
                     },
                     &signals,
                     0,
@@ -952,6 +993,7 @@ mod tests {
                     dispatch: DispatchPolicy::LeastWorkLeft,
                     curve: None,
                     tail_deadline_ms: None,
+                    pipeline: None,
                 },
                 &calm(1),
                 i * 60_000_000,
@@ -1077,6 +1119,7 @@ mod tests {
             dispatch: DispatchPolicy::LeastWorkLeft,
             curve,
             tail_deadline_ms,
+            pipeline: None,
         }
     }
 
@@ -1133,6 +1176,45 @@ mod tests {
             (1..=80).contains(&probes),
             "≈1/16 of 400 should re-probe, got {probes}"
         );
+    }
+
+    #[test]
+    fn fluid_pipeline_charges_per_stage_waits_and_origin_transfers() {
+        let (c, policy) = all_cloud(Metric::Latency);
+        let transfer_total_ms = [12.5f64];
+        let serve_one = |pipeline: Option<(u32, &[f64])>, signals: &[RegionSignal]| {
+            let mut d = Device::new(0, false, flat_trace(8.0, 4), 1.0, 1, 0);
+            d.serve(
+                &c,
+                ServeContext {
+                    policy: &policy,
+                    metric: Metric::Latency,
+                    failover: FailoverPolicy::ToDevice,
+                    fidelity: CloudSimFidelity::Fluid,
+                    dispatch: DispatchPolicy::LeastWorkLeft,
+                    curve: None,
+                    tail_deadline_ms: None,
+                    pipeline,
+                },
+                signals,
+                0,
+                60_000_000,
+            )
+        };
+        // Idle tier: the staged offload only pays its transfers.
+        let mono = serve_one(None, &calm(1));
+        let staged = serve_one(Some((3, &transfer_total_ms)), &calm(1));
+        assert!(staged.offloaded && mono.offloaded);
+        assert!((staged.latency_ms - mono.latency_ms - 12.5).abs() < 1e-9);
+        // A 100 ms published wait is charged once per stage (3×), plus
+        // the transfers; the monolithic path pays it once.
+        let mono_q = serve_one(None, &waiting(100.0));
+        let staged_q = serve_one(Some((3, &transfer_total_ms)), &waiting(100.0));
+        assert!((mono_q.latency_ms - mono.latency_ms - 100.0).abs() < 1e-9);
+        assert!((staged_q.latency_ms - staged.latency_ms - 300.0).abs() < 1e-9);
+        // Depth 1 with zero transfers is bit-identical to monolithic.
+        let degenerate = serve_one(Some((1, &[0.0])), &waiting(100.0));
+        assert_eq!(degenerate, mono_q);
     }
 
     #[test]

@@ -27,6 +27,7 @@
 
 use crate::cloud::{CloudSimFidelity, OffloadRequest, QueueDiscipline, RegionSignal};
 use crate::device::{Device, ServeContext};
+use crate::pipeline::PipelinePricing;
 use crate::replay::{
     replay_in_parallel, run_barrier, FluidRegionReplay, PerRequestRegionReplay, RegionBarrierOutput,
 };
@@ -87,7 +88,7 @@ pub(crate) struct ShardEpochOutput {
     pub(crate) arrivals: Vec<(u64, u64)>,
     /// Per-destination-region offloaded requests, in shard-local event
     /// order — each run is therefore already sorted by the unique
-    /// `(arrival_us, device_id)` key, which is what lets the barrier
+    /// `(arrival_us, device_id, stage)` key, which is what lets the barrier
     /// k-way merge runs instead of re-sorting
     /// ([`crate::replay::merge_requests`]). Empty under fluid fidelity.
     pub(crate) requests: Vec<Vec<OffloadRequest>>,
@@ -396,6 +397,7 @@ impl FleetEngine {
         // population (device state depends only on the device id and the
         // scenario seed, never on the shard).
         let mut shard_states = self.build_shards(num_epochs);
+        let pricing = self.pipeline_pricing();
 
         let parallel = replay_in_parallel(scenario.replay(), num_regions);
         let mut workers: Vec<FluidRegionReplay> = (0..num_regions)
@@ -417,7 +419,14 @@ impl FleetEngine {
                 region.push(s.wait_low_ms);
             }
 
-            self.advance_epoch(&mut shard_states, &signals, epoch, epoch_end, S::ENABLED);
+            self.advance_epoch(
+                &mut shard_states,
+                &signals,
+                pricing.as_ref(),
+                epoch,
+                epoch_end,
+                S::ENABLED,
+            );
             merge_shard_trace::<S>(
                 sink,
                 &mut profile,
@@ -510,7 +519,7 @@ impl FleetEngine {
     /// *joins the cloud queue*, it cannot influence any other device
     /// within the epoch — so at the barrier the engine merges each
     /// region's requests from all shards, sorts them by the
-    /// shard-count-invariant `(arrival_us, device_id)` key, and replays
+    /// shard-count-invariant `(arrival_us, device_id, stage)` key, and replays
     /// the epoch through the microsim's event heap, interleaving device
     /// arrival events with batch-close and slot-free events in global
     /// time order. Completions (whenever they land) finish the deferred
@@ -537,8 +546,16 @@ impl FleetEngine {
         // record in another region's partial).
         let empty_report =
             FleetReport::empty(LATENCY_BIN_MS, ENERGY_BIN_MJ, NUM_BINS, &region_names);
+        let pricing = self.pipeline_pricing();
         let mut workers: Vec<PerRequestRegionReplay> = (0..num_regions)
-            .map(|_| PerRequestRegionReplay::new(&scenario.serving, &empty_report, num_epochs))
+            .map(|_| {
+                PerRequestRegionReplay::new(
+                    &scenario.serving,
+                    &empty_report,
+                    num_epochs,
+                    pricing.clone(),
+                )
+            })
             .collect();
         let mut signals = vec![RegionSignal::default(); num_regions];
         let mut wait_series = vec![Vec::with_capacity(num_epochs); num_regions];
@@ -564,7 +581,14 @@ impl FleetEngine {
                 region.push(s.wait_low_ms);
             }
 
-            self.advance_epoch(&mut shard_states, &signals, epoch, epoch_end, S::ENABLED);
+            self.advance_epoch(
+                &mut shard_states,
+                &signals,
+                pricing.as_ref(),
+                epoch,
+                epoch_end,
+                S::ENABLED,
+            );
             merge_shard_trace::<S>(
                 sink,
                 &mut profile,
@@ -583,7 +607,14 @@ impl FleetEngine {
             let shard_epochs: Vec<&ShardEpochOutput> =
                 shard_states.iter().map(|state| &state.epoch).collect();
             let mut outputs = run_barrier(&mut workers, parallel, |region, worker| {
-                worker.barrier(region, &shard_epochs, epoch_start, epoch_end, S::ENABLED)
+                worker.barrier(
+                    region,
+                    &shard_epochs,
+                    epoch_start,
+                    epoch_end,
+                    epoch + 1 == num_epochs,
+                    S::ENABLED,
+                )
             });
             flush_barrier_outputs::<S>(sink, &mut profile, &mut outputs, epoch_end, epoch as u64);
             for (signal, output) in signals.iter_mut().zip(&outputs) {
@@ -676,6 +707,21 @@ impl FleetEngine {
         Ok((report, metrics, profile))
     }
 
+    /// Transfer prices for the scenario's staged pipeline, if it has one
+    /// that actually stages work (depth > 1): integer microseconds per
+    /// `(origin region, boundary)`, from each region's Table I uplink.
+    fn pipeline_pricing(&self) -> Option<PipelinePricing> {
+        self.scenario.staged_pipeline().map(|spec| {
+            let uplinks: Vec<Mbps> = self
+                .scenario
+                .regions
+                .iter()
+                .map(|share| share.region.uplink())
+                .collect();
+            PipelinePricing::new(spec, &uplinks)
+        })
+    }
+
     /// The barrier-thread probe: recording iff the sink is enabled.
     fn make_probe<S: Sink>(&self) -> PhaseProbe {
         if S::ENABLED {
@@ -748,6 +794,7 @@ impl FleetEngine {
         &self,
         shard_states: &mut [ShardState],
         signals: &[RegionSignal],
+        pricing: Option<&PipelinePricing>,
         epoch_index: usize,
         epoch_end: u64,
         trace: bool,
@@ -757,7 +804,9 @@ impl FleetEngine {
         let horizon_us = to_us(scenario.horizon.get());
         let step = ArrivalStep::of(&scenario.arrival);
         // Loop-invariant serve context, built once per epoch instead of
-        // once per event.
+        // once per event. Only the fluid tier prices pipeline stages at
+        // the device (the per-request barrier chains real stage
+        // requests instead).
         let ctx = ServeContext {
             policy: &scenario.policy,
             metric: scenario.metric,
@@ -766,6 +815,9 @@ impl FleetEngine {
             dispatch: scenario.serving.dispatch,
             curve: scenario.workload(),
             tail_deadline_ms: scenario.tail_deadline().map(|d| d.get()),
+            pipeline: pricing
+                .filter(|_| scenario.fidelity == CloudSimFidelity::Fluid)
+                .map(|p| (p.depth, p.total_ms.as_slice())),
         };
         if let [state] = shard_states {
             // Single shard: skip the per-epoch spawn/join round trip —
@@ -1100,6 +1152,19 @@ fn advance_shard(
         }
         if !(per_request && served.offloaded) {
             report.record(cohort.region_index, &served);
+            // Fluid staged offloads resolve their whole chain here: the
+            // device already charged per-stage waits and transfers, so
+            // the stage ledger and transfer total book the same event
+            // (`ctx.pipeline` is `None` under per-request fidelity —
+            // there the barrier books each chained stage exactly).
+            if served.offloaded {
+                if let Some((depth, transfer_total_ms)) = ctx.pipeline {
+                    for stage in 1..=depth {
+                        report.record_stage_completion(stage, None);
+                    }
+                    report.record_transfer_ms(transfer_total_ms[cohort.region_index]);
+                }
+            }
         }
         if served.offloaded {
             let dest = served
@@ -1109,6 +1174,7 @@ fn advance_shard(
                 output.requests[dest].push(OffloadRequest {
                     arrival_us: time,
                     device_id: (*base_id + local as usize) as u64,
+                    stage: 1,
                     high_priority: device.high_priority(),
                     origin_region: cohort.region_index as u32,
                     failed_over: served.failover_region.is_some(),
@@ -1117,11 +1183,15 @@ fn advance_shard(
                     switched: served.switched,
                 });
             } else {
+                // A staged offload occupies the fluid queue once per
+                // stage — the whole chain lands in this epoch's
+                // aggregate demand (stages = 1 when monolithic).
+                let stages = ctx.pipeline.map_or(1u64, |(depth, _)| u64::from(depth));
                 let slot = &mut output.arrivals[dest];
                 if device.high_priority() {
-                    slot.0 += 1;
+                    slot.0 += stages;
                 } else {
-                    slot.1 += 1;
+                    slot.1 += stages;
                 }
             }
         }

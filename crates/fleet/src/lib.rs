@@ -105,14 +105,32 @@
 //!
 //! The per-request microsimulation keeps the contract: at each barrier the
 //! engine k-way merges every region's offloaded requests from the shards'
-//! already-sorted runs into the `(arrival_us, device_id)` total order — a
-//! unique, shard-count-invariant key — before replaying them through the
-//! region's event heap, so the cloud schedule is a pure function of the
-//! scenario and seed. The barrier itself fans out one replay worker per
-//! region ([`ReplayMode`], `src/replay.rs`): workers read
-//! only immutable shard outputs and mutate only region-local state, and
-//! their outputs merge in fixed region order, so parallel and sequential
-//! replay are bit-identical too.
+//! already-sorted runs into the `(arrival_us, device_id, stage)` total
+//! order — a unique, shard-count-invariant key — before replaying them
+//! through the region's event heap, so the cloud schedule is a pure
+//! function of the scenario and seed. The barrier itself fans out one
+//! replay worker per region ([`ReplayMode`], `src/replay.rs`): workers
+//! read only immutable shard outputs and mutate only region-local state,
+//! and their outputs merge in fixed region order, so parallel and
+//! sequential replay are bit-identical too.
+//!
+//! # Staged pipelines
+//!
+//! A scenario may carry a [`PipelineSpec`] (see `src/pipeline.rs` and
+//! docs/PIPELINES.md): every offloaded inference then becomes a chain of
+//! pipeline stages — each a schedulable request on the serving tier —
+//! with the activation transfer between consecutive stages priced in
+//! integer microseconds through `lens_wireless::TransferModel` on the
+//! origin region's uplink. The fluid tier charges per-stage queue waits
+//! and the summed transfers analytically; the per-request tier chains a
+//! stage-`k` completion at `t` into a stage-`k + 1` arrival at
+//! `t + transfer`, replayed **one epoch later at the same epoch
+//! offset** — the same one-epoch lag every contention signal carries —
+//! while the device is charged the stage's actual sojourn plus the
+//! transfer, never the replay shift. The chained requests extend (not
+//! replace) the merge key above with the stage number. A depth-1 spec
+//! is structurally the monolithic path, so pipelining costs nothing
+//! when unused.
 //!
 //! # Examples
 //!
@@ -169,12 +187,38 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! A staged device → edge → cloud pipeline: one boundary (the activation
+//! bytes crossing between the two remote stages) turns every offload into
+//! a two-stage chain, and the report grows a stage ledger:
+//!
+//! ```
+//! use lens_fleet::{FleetEngine, FleetPolicy, FleetScenario, PipelineSpec};
+//! use lens_nn::units::Millis;
+//!
+//! # fn main() -> Result<(), lens_fleet::FleetError> {
+//! let scenario = FleetScenario::builder()
+//!     .population(200)
+//!     .horizon(Millis::new(300_000.0)) // 5 minutes
+//!     .policy(FleetPolicy::Dynamic)
+//!     .pipeline(PipelineSpec::new(vec![150_528])) // one inter-stage hop
+//!     .seed(17)
+//!     .build()?;
+//! let report = FleetEngine::new(scenario)?.run()?;
+//! assert!(report.offloaded() > 0);
+//! // Conservation: every admitted offload completes once per stage.
+//! assert_eq!(report.stage_completions().len(), 2);
+//! assert!(report.transfer_ms() > 0.0); // inter-stage hops were priced
+//! # Ok(())
+//! # }
+//! ```
 
 #![forbid(unsafe_code)]
 
 pub mod cloud;
 pub mod device;
 pub mod engine;
+pub mod pipeline;
 pub(crate) mod replay;
 pub mod report;
 pub mod scenario;
@@ -187,6 +231,7 @@ pub use cloud::{
 };
 pub use device::{Cohort, Device};
 pub use engine::FleetEngine;
+pub use pipeline::{PipelineSpec, MAX_PIPELINE_DEPTH};
 pub use report::{BackendReport, FleetReport, Histogram, RegionReport, TailSummary};
 pub use scenario::{
     ArrivalModel, FleetPolicy, FleetScenario, FleetScenarioBuilder, RegionShare, ReplayMode,

@@ -15,8 +15,12 @@
 //!   interleaving of workers cannot influence any result.
 //! * Each region's requests are assembled by a k-way merge of per-shard
 //!   runs that are already sorted by the shard-count-invariant
-//!   `(arrival_us, device_id)` key ([`merge_requests`]), reproducing the
-//!   exact total order a global sort would produce.
+//!   `(arrival_us, device_id, stage)` key ([`merge_requests`]),
+//!   reproducing the exact total order a global sort would produce.
+//!   Staged pipelines keep the discipline: chained stage arrivals are
+//!   spawned at the barrier from completions whose order is itself
+//!   shard-invariant, and joined to the next epoch's merge with a
+//!   stable sort on the same key.
 //! * Telemetry is buffered per region inside [`RegionBarrierOutput`] and
 //!   flushed by the engine in fixed region order, phase-major, so the
 //!   event stream and phase counters are bit-identical to a sequential
@@ -28,6 +32,7 @@ use crate::cloud::{
 };
 use crate::device::Served;
 use crate::engine::ShardEpochOutput;
+use crate::pipeline::PipelinePricing;
 use crate::report::FleetReport;
 use crate::scenario::ReplayMode;
 use lens_telemetry::{PhaseCounters, PhaseProbe, TraceEvent};
@@ -147,6 +152,20 @@ pub(crate) struct PerRequestRegionReplay {
     pub(crate) depth_series: Vec<f64>,
     merged: Vec<OffloadRequest>,
     completions: Vec<CompletedRequest>,
+    /// Staged-pipeline transfer prices; `None` for monolithic scenarios,
+    /// which keeps every pipeline branch below off the hot path.
+    pricing: Option<PipelinePricing>,
+    /// Chained stage arrivals spawned at a barrier but not yet served:
+    /// a stage-`k` completion at `t` chains into a stage-`k+1` arrival
+    /// at `t + transfer`, **replayed one epoch later at the same epoch
+    /// offset** — the same one-epoch lag every contention signal
+    /// already carries. Shifting (instead of clamping to the barrier)
+    /// keeps the admitted stamps monotone with the previous epoch's
+    /// queue leftovers and preserves the arrival spread the batchers
+    /// see. Latency accounting is lag-free either way: the device is
+    /// charged the stage's actual sojourn plus the transfer, never the
+    /// replay shift.
+    pending: Vec<OffloadRequest>,
 }
 
 impl PerRequestRegionReplay {
@@ -154,6 +173,7 @@ impl PerRequestRegionReplay {
         serving: &CloudServing,
         empty_report: &FleetReport,
         num_epochs: usize,
+        pricing: Option<PipelinePricing>,
     ) -> Self {
         PerRequestRegionReplay {
             sim: RegionMicrosim::new(serving),
@@ -161,22 +181,55 @@ impl PerRequestRegionReplay {
             depth_series: Vec::with_capacity(num_epochs),
             merged: Vec::new(),
             completions: Vec::new(),
+            pricing,
+            pending: Vec::new(),
         }
     }
 
     /// One epoch barrier for this region: k-way merge the shards'
-    /// request runs, replay them through the microsim, record the
-    /// completions, scale, publish the (hysteresis-held) tail signal.
+    /// request runs (joining any chained stage arrivals that came due),
+    /// replay them through the microsim, record the completions —
+    /// spawning next-stage arrivals for staged pipelines — scale,
+    /// publish the (hysteresis-held) tail signal.
+    ///
+    /// `last` marks the horizon's final barrier: chains spawned there
+    /// have no later barrier to shift into, so their stamps clamp to
+    /// the horizon end instead — right where the post-horizon flush
+    /// picks them up, keeping the flush waves' timeline monotone.
     pub(crate) fn barrier(
         &mut self,
         region: usize,
         shards: &[&ShardEpochOutput],
         epoch_start: u64,
         epoch_end: u64,
+        last: bool,
         traced: bool,
     ) -> RegionBarrierOutput {
         merge_requests(shards, region, &mut self.merged);
         let mut probe = region_probe(traced);
+        if !self.pending.is_empty() {
+            // Pull due chained stages into this epoch's batch. The
+            // stable sort keeps completion order for the (rare) ties
+            // where two same-device requests finish in the same batch
+            // and chain to identical next-stage arrivals — completion
+            // order is shard-invariant, so the batch order stays
+            // shard-invariant too.
+            let mut later = Vec::new();
+            let mut due = false;
+            for request in self.pending.drain(..) {
+                if request.arrival_us < epoch_end {
+                    self.merged.push(request);
+                    due = true;
+                } else {
+                    later.push(request);
+                }
+            }
+            self.pending = later;
+            if due {
+                self.merged
+                    .sort_by_key(|r| (r.arrival_us, r.device_id, r.stage));
+            }
+        }
         probe.on_merged(self.merged.len() as u64);
         self.completions.clear();
         self.sim.run_epoch_probed(
@@ -186,7 +239,12 @@ impl PerRequestRegionReplay {
             region as u64,
             &mut probe,
         );
-        record_completions(&mut self.report, region, &self.completions);
+        let (shift_us, floor_us) = if last {
+            (0, epoch_end)
+        } else {
+            (epoch_end - epoch_start, 0)
+        };
+        self.absorb_completions(region, shift_us, floor_us, &mut probe);
         self.depth_series.push(self.sim.depth());
         let drain = probe.take();
         self.sim.scale_probed(
@@ -203,14 +261,100 @@ impl PerRequestRegionReplay {
         }
     }
 
+    /// Books the batch in `self.completions`: monolithic completions go
+    /// straight to the deferred device records; staged completions feed
+    /// the per-stage ledger, then either spawn the next stage's arrival
+    /// at `max(completion + transfer + shift_us, floor_us)` (the hop
+    /// priced on the **origin** region's uplink; the shift is one epoch
+    /// length at a barrier, the floor is the horizon end at the final
+    /// barrier, and both are zero in the flush) or — at the terminal
+    /// stage — finish the device record with the accumulated
+    /// end-to-end latency.
+    fn absorb_completions(
+        &mut self,
+        region: usize,
+        shift_us: u64,
+        floor_us: u64,
+        probe: &mut PhaseProbe,
+    ) {
+        let Some(pricing) = &self.pricing else {
+            record_completions(&mut self.report, region, &self.completions);
+            return;
+        };
+        let depth = pricing.depth;
+        let completions = std::mem::take(&mut self.completions);
+        for c in &completions {
+            self.report
+                .record_stage_completion(c.request.stage, Some(c.sojourn_ms));
+            if c.request.stage < depth {
+                let boundary = (c.request.stage - 1) as usize;
+                let transfer_us = pricing.hop_us(c.request.origin_region as usize, boundary);
+                let mut next = c.request;
+                next.stage += 1;
+                // Charge the device what the hop actually cost — this
+                // stage's sojourn plus the transfer, never the replay
+                // shift. The increments accumulate, so the terminal
+                // record's `base_latency_ms + sojourn_ms` is the exact
+                // end-to-end latency.
+                next.base_latency_ms += c.sojourn_ms + transfer_us as f64 / 1000.0;
+                next.arrival_us = c
+                    .completion_us
+                    .saturating_add(transfer_us)
+                    .saturating_add(shift_us)
+                    .max(floor_us);
+                self.report.record_transfer_ms(transfer_us as f64 / 1000.0);
+                probe.emit(TraceEvent::StageTransition {
+                    time_us: c.completion_us,
+                    device_id: c.request.device_id,
+                    region: region as u64,
+                    from_stage: u64::from(c.request.stage),
+                    to_stage: u64::from(next.stage),
+                    transfer_us,
+                });
+                self.pending.push(next);
+            } else {
+                record_completion(&mut self.report, region, c);
+            }
+        }
+        self.completions = completions;
+    }
+
     /// Post-horizon drain: the cloud keeps serving until every admitted
     /// request completes. Runs sequentially on the engine thread (it is
-    /// one final sweep, not per-epoch work).
+    /// one final sweep, not per-epoch work). Staged pipelines drain in
+    /// **waves**: each flush can spawn next-stage arrivals, which are
+    /// replayed as a fresh batch and flushed again until no stage is
+    /// left in flight — at most `depth - 1` extra waves, since stage
+    /// numbers only climb.
     pub(crate) fn flush(&mut self, region: usize, probe: &mut PhaseProbe) {
-        self.completions.clear();
-        self.sim
-            .flush_probed(&mut self.completions, region as u64, probe);
-        record_completions(&mut self.report, region, &self.completions);
+        loop {
+            self.completions.clear();
+            self.sim
+                .flush_probed(&mut self.completions, region as u64, probe);
+            self.absorb_completions(region, 0, 0, probe);
+            if self.pending.is_empty() {
+                return;
+            }
+            self.merged.clear();
+            self.merged.append(&mut self.pending);
+            self.merged
+                .sort_by_key(|r| (r.arrival_us, r.device_id, r.stage));
+            let wave_end = self.merged.last().map_or(0, |r| r.arrival_us) + 1;
+            self.completions.clear();
+            // The flush above popped every pending event, but executors
+            // may still be occupied into the future — re-arm their
+            // slot-free wakeups or wave arrivals queued behind them
+            // would never re-dispatch.
+            self.sim.rearm_slot_events(probe);
+            self.sim.run_epoch_probed(
+                &self.merged,
+                wave_end,
+                &mut self.completions,
+                region as u64,
+                probe,
+            );
+            self.absorb_completions(region, 0, 0, probe);
+        }
     }
 }
 
@@ -224,12 +368,13 @@ fn region_probe(traced: bool) -> PhaseProbe {
 }
 
 /// Assembles one region's epoch requests by k-way merging the per-shard
-/// runs. Each run is already sorted by `(arrival_us, device_id)` — shard
-/// events pop in `(time, local)` order and a shard's device ids are a
-/// contiguous ascending range — and the key is unique fleet-wide, so the
-/// merge reproduces exactly the total order the old global
-/// `sort_unstable_by_key` produced, in O(total · shards) with no
-/// comparison sort and no allocation after warm-up.
+/// runs. Each run is already sorted by `(arrival_us, device_id, stage)`
+/// — shard events pop in `(time, local)` order, a shard's device ids
+/// are a contiguous ascending range, and shards only ever emit stage 1
+/// — and the key is unique fleet-wide, so the merge reproduces exactly
+/// the total order the old global `sort_unstable_by_key` produced, in
+/// O(total · shards) with no comparison sort and no allocation after
+/// warm-up.
 pub(crate) fn merge_requests(
     shards: &[&ShardEpochOutput],
     region: usize,
@@ -241,9 +386,10 @@ pub(crate) fn merge_requests(
         .map(|shard| shard.requests[region].as_slice())
         .filter(|run| !run.is_empty())
         .collect();
-    debug_assert!(runs.iter().all(|run| run
-        .windows(2)
-        .all(|w| (w[0].arrival_us, w[0].device_id) < (w[1].arrival_us, w[1].device_id))));
+    debug_assert!(runs.iter().all(|run| run.windows(2).all(|w| {
+        (w[0].arrival_us, w[0].device_id, w[0].stage)
+            < (w[1].arrival_us, w[1].device_id, w[1].stage)
+    })));
     if runs.len() == 1 {
         out.extend_from_slice(runs[0]);
         return;
@@ -251,9 +397,9 @@ pub(crate) fn merge_requests(
     out.reserve(runs.iter().map(|run| run.len()).sum());
     while let Some(first) = runs.first() {
         let mut best = 0;
-        let mut best_key = (first[0].arrival_us, first[0].device_id);
+        let mut best_key = (first[0].arrival_us, first[0].device_id, first[0].stage);
         for (i, run) in runs.iter().enumerate().skip(1) {
-            let key = (run[0].arrival_us, run[0].device_id);
+            let key = (run[0].arrival_us, run[0].device_id, run[0].stage);
             if key < best_key {
                 best = i;
                 best_key = key;
@@ -278,22 +424,34 @@ pub(crate) fn record_completions(
     completions: &[CompletedRequest],
 ) {
     for c in completions {
-        let request = &c.request;
-        let served = Served {
-            latency_ms: request.base_latency_ms + c.sojourn_ms,
-            energy_mj: request.energy_mj,
-            offloaded: true,
-            switched: request.switched,
-            shed_to_local: false,
-            failover_region: if request.failed_over {
-                Some(serving_region as u32)
-            } else {
-                None
-            },
-            // Retreats resolve device-side, before the request ever
-            // reaches the microsim — a completed offload never retreated.
-            retreated: false,
-        };
-        report.record(request.origin_region as usize, &served);
+        record_completion(report, serving_region, c);
     }
+}
+
+/// Records one terminal completion's deferred device record. For staged
+/// pipelines `base_latency_ms` has already absorbed every earlier
+/// stage's sojourn and transfer, so the same formula is exact in both
+/// the monolithic and the staged case.
+pub(crate) fn record_completion(
+    report: &mut FleetReport,
+    serving_region: usize,
+    c: &CompletedRequest,
+) {
+    let request = &c.request;
+    let served = Served {
+        latency_ms: request.base_latency_ms + c.sojourn_ms,
+        energy_mj: request.energy_mj,
+        offloaded: true,
+        switched: request.switched,
+        shed_to_local: false,
+        failover_region: if request.failed_over {
+            Some(serving_region as u32)
+        } else {
+            None
+        },
+        // Retreats resolve device-side, before the request ever
+        // reaches the microsim — a completed offload never retreated.
+        retreated: false,
+    };
+    report.record(request.origin_region as usize, &served);
 }

@@ -468,6 +468,22 @@ pub struct FleetReport {
     /// by *serving* region. Populated only by the per-request
     /// microsimulation; empty histograms under the fluid model.
     cloud_sojourn: Vec<Histogram>,
+    /// Completed pipeline-stage requests per stage (index = stage − 1).
+    /// Empty unless the scenario carries a staged
+    /// [`crate::PipelineSpec`]; under a depth-`d` pipeline every
+    /// admitted offload contributes one completion per stage, so
+    /// stage conservation (`tests/split_pipeline.rs`) reads directly
+    /// off this vector.
+    stage_completions: Vec<u64>,
+    /// Per-stage cloud sojourn histograms (ms), same layout as
+    /// [`FleetReport::cloud_sojourn`]. Populated only by the
+    /// per-request fidelity of a staged run; the fluid tier resolves
+    /// stages as aggregates and records none.
+    stage_sojourn: Vec<Histogram>,
+    /// Total inter-stage activation-transfer time charged to the fleet,
+    /// as a fixed-point (micro-unit) ms sum derived from the integer
+    /// microsecond hop costs.
+    transfer_ms_fp: i128,
 }
 
 impl FleetReport {
@@ -490,7 +506,34 @@ impl FleetReport {
                 .iter()
                 .map(|_| Histogram::new(crate::cloud::SOJOURN_BIN_MS, crate::cloud::SOJOURN_BINS))
                 .collect(),
+            stage_completions: Vec::new(),
+            stage_sojourn: Vec::new(),
+            transfer_ms_fp: 0,
         }
+    }
+
+    /// Counts one completed pipeline-stage request (1-based `stage`),
+    /// growing the per-stage vectors on demand. The per-request barrier
+    /// supplies the stage's exact cloud sojourn; the fluid tier, which
+    /// has no per-request times, passes `None`.
+    pub(crate) fn record_stage_completion(&mut self, stage: u32, sojourn_ms: Option<f64>) {
+        let idx = (stage as usize).saturating_sub(1);
+        if self.stage_completions.len() <= idx {
+            self.stage_completions.resize(idx + 1, 0);
+            self.stage_sojourn.resize_with(idx + 1, || {
+                Histogram::new(crate::cloud::SOJOURN_BIN_MS, crate::cloud::SOJOURN_BINS)
+            });
+        }
+        self.stage_completions[idx] += 1;
+        if let Some(ms) = sojourn_ms {
+            self.stage_sojourn[idx].record(ms);
+        }
+    }
+
+    /// Adds one priced inter-stage transfer (ms, derived from the
+    /// integer microsecond hop cost) to the fleet total.
+    pub(crate) fn record_transfer_ms(&mut self, ms: f64) {
+        self.transfer_ms_fp = self.transfer_ms_fp.saturating_add(to_fp(ms));
     }
 
     pub(crate) fn record(&mut self, region_index: usize, served: &crate::device::Served) {
@@ -542,6 +585,27 @@ impl FleetReport {
         for (a, b) in self.per_region.iter_mut().zip(&other.per_region) {
             a.merge(b);
         }
+        // Stage vectors grow on demand, so partials may differ in length
+        // (a shard that saw no deep stage stays short): pad to the max.
+        if self.stage_completions.len() < other.stage_completions.len() {
+            self.stage_completions
+                .resize(other.stage_completions.len(), 0);
+            self.stage_sojourn
+                .resize_with(other.stage_sojourn.len(), || {
+                    Histogram::new(crate::cloud::SOJOURN_BIN_MS, crate::cloud::SOJOURN_BINS)
+                });
+        }
+        for (a, b) in self
+            .stage_completions
+            .iter_mut()
+            .zip(&other.stage_completions)
+        {
+            *a += b;
+        }
+        for (a, b) in self.stage_sojourn.iter_mut().zip(&other.stage_sojourn) {
+            a.merge(b);
+        }
+        self.transfer_ms_fp = self.transfer_ms_fp.saturating_add(other.transfer_ms_fp);
     }
 
     pub(crate) fn set_queue_series(&mut self, depth: Vec<Vec<f64>>, wait: Vec<Vec<f64>>) {
@@ -638,6 +702,26 @@ impl FleetReport {
     /// per-request times to record.
     pub fn cloud_sojourn(&self) -> &[Histogram] {
         &self.cloud_sojourn
+    }
+
+    /// Completed pipeline-stage requests per stage (index = stage − 1).
+    /// Empty for monolithic scenarios; under a staged run every element
+    /// equals the admitted offload count once the run drains — the
+    /// stage-conservation invariant.
+    pub fn stage_completions(&self) -> &[u64] {
+        &self.stage_completions
+    }
+
+    /// Per-stage cloud sojourn histograms (ms), index = stage − 1.
+    /// Populated only by the per-request fidelity of a staged run.
+    pub fn stage_sojourn(&self) -> &[Histogram] {
+        &self.stage_sojourn
+    }
+
+    /// Total inter-stage activation-transfer time charged to the fleet
+    /// (ms; 0 for monolithic scenarios).
+    pub fn transfer_ms(&self) -> f64 {
+        fp_sum_to_f64(self.transfer_ms_fp)
     }
 
     /// Tail summary of one region's per-request cloud sojourns (all zeros
@@ -742,6 +826,20 @@ impl FleetReport {
             feed(s.count());
             feed_fp(&mut feed, s.sum_fp());
         }
+        // Staged runs feed their stage accounting; monolithic runs skip
+        // the block entirely so their digests are unchanged from the
+        // pre-pipeline engine.
+        if !self.stage_completions.is_empty() || self.transfer_ms_fp != 0 {
+            feed(self.stage_completions.len() as u64);
+            for &c in &self.stage_completions {
+                feed(c);
+            }
+            for s in &self.stage_sojourn {
+                feed(s.count());
+                feed_fp(&mut feed, s.sum_fp());
+            }
+            feed_fp(&mut feed, self.transfer_ms_fp);
+        }
         h
     }
 }
@@ -826,6 +924,18 @@ impl fmt::Display for FleetReport {
                 )?;
             }
         }
+        if !self.stage_completions.is_empty() {
+            write!(f, "  pipeline stages:")?;
+            for (i, &c) in self.stage_completions.iter().enumerate() {
+                write!(f, " s{}={}", i + 1, c)?;
+            }
+            writeln!(f, ", transfer {:.1} ms total", self.transfer_ms())?;
+            for (i, s) in self.stage_sojourn.iter().enumerate() {
+                if s.count() > 0 {
+                    writeln!(f, "  stage {} sojourn ms: {}", i + 1, s.tail_summary())?;
+                }
+            }
+        }
         Ok(())
     }
 }
@@ -845,6 +955,43 @@ mod tests {
             failover_region: None,
             retreated: false,
         }
+    }
+
+    #[test]
+    fn stage_accounting_merges_pads_and_guards_the_digest() {
+        let regions = vec!["A".to_string()];
+        let empty = FleetReport::empty(10.0, 5.0, 100, &regions);
+        let monolithic_digest = empty.digest();
+
+        let mut a = empty.clone();
+        let mut b = empty.clone();
+        // `a` saw stages 1 and 2; `b` only stage 1 (shorter vectors).
+        a.record_stage_completion(1, Some(12.0));
+        a.record_stage_completion(2, Some(30.0));
+        a.record_transfer_ms(4.5);
+        b.record_stage_completion(1, None);
+        let a_alone = a.digest();
+
+        // Merge pads the shorter side in either direction.
+        let mut ba = b.clone();
+        ba.merge(&a);
+        a.merge(&b);
+        assert_eq!(a.stage_completions(), &[2, 1]);
+        assert_eq!(ba.stage_completions(), &[2, 1]);
+        assert_eq!(a.stage_sojourn()[0].count(), 1);
+        assert_eq!(a.stage_sojourn()[1].count(), 1);
+        assert!((a.transfer_ms() - 4.5).abs() < 1e-9);
+        assert_eq!(a.digest(), ba.digest(), "merge must be order-independent");
+        assert_ne!(a.digest(), a_alone);
+
+        // Monolithic reports never enter the stage block: digest is the
+        // pre-pipeline value and the accessors stay empty.
+        assert_eq!(empty.digest(), monolithic_digest);
+        assert!(empty.stage_completions().is_empty());
+        assert!(empty.stage_sojourn().is_empty());
+        assert_eq!(empty.transfer_ms(), 0.0);
+        let shown = format!("{a}");
+        assert!(shown.contains("pipeline stages: s1=2 s2=1"), "{shown}");
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! (see the crate-level determinism contract).
 
 use crate::cloud::{CloudCapacity, CloudServing, CloudSimFidelity};
+use crate::pipeline::PipelineSpec;
 use crate::FleetError;
 use lens_device::DeviceProfile;
 use lens_nn::units::{Mbps, Millis};
@@ -290,6 +291,7 @@ pub struct FleetScenario {
     pub(crate) workload: Option<WorkloadCurve>,
     pub(crate) tail_deadline: Option<Millis>,
     pub(crate) replay: ReplayMode,
+    pub(crate) pipeline: Option<PipelineSpec>,
 }
 
 impl FleetScenario {
@@ -405,6 +407,21 @@ impl FleetScenario {
         self.replay
     }
 
+    /// The staged split-inference pipeline, if configured (`None` =
+    /// every offload is a single monolithic request, the historical
+    /// behavior; a depth-1 spec is equivalent).
+    pub fn pipeline(&self) -> Option<&PipelineSpec> {
+        self.pipeline.as_ref()
+    }
+
+    /// The staged pipeline when it actually stages work: `Some` only
+    /// for depth > 1, so every pipeline code path in the engine gates
+    /// on one check and a depth-1 spec is *structurally* the monolithic
+    /// path (the equivalence `tests/split_pipeline.rs` pins).
+    pub(crate) fn staged_pipeline(&self) -> Option<&PipelineSpec> {
+        self.pipeline.as_ref().filter(|p| p.is_staged())
+    }
+
     /// Expected number of inference events the whole fleet generates.
     pub fn expected_events(&self) -> u64 {
         let per_device = self.horizon.get() / self.arrival.mean_period_ms();
@@ -433,6 +450,7 @@ pub struct FleetScenarioBuilder {
     workload: Option<WorkloadCurve>,
     tail_deadline: Option<Millis>,
     replay: ReplayMode,
+    pipeline: Option<PipelineSpec>,
 }
 
 impl Default for FleetScenarioBuilder {
@@ -465,6 +483,7 @@ impl Default for FleetScenarioBuilder {
             workload: None,
             tail_deadline: None,
             replay: ReplayMode::Auto,
+            pipeline: None,
         }
     }
 }
@@ -592,6 +611,18 @@ impl FleetScenarioBuilder {
         self
     }
 
+    /// Attaches a staged split-inference [`PipelineSpec`]: every
+    /// offloaded inference becomes `depth` chained stage requests, with
+    /// each boundary's activation transfer priced on the origin
+    /// region's uplink (validated at
+    /// [`build`](FleetScenarioBuilder::build)). A spec with no
+    /// boundaries (depth 1) is accepted and behaves exactly like no
+    /// pipeline at all.
+    pub fn pipeline(mut self, pipeline: PipelineSpec) -> Self {
+        self.pipeline = Some(pipeline);
+        self
+    }
+
     /// Sets how the barrier replays regions. The default,
     /// [`ReplayMode::Auto`], fans regions out over scoped worker threads
     /// when the host has more than one core; results are bit-identical
@@ -670,6 +701,11 @@ impl FleetScenarioBuilder {
                 return invalid("tail deadline must be positive and finite");
             }
         }
+        if let Some(pipeline) = &self.pipeline {
+            if let Err(why) = pipeline.validate() {
+                return invalid(&why);
+            }
+        }
         Ok(FleetScenario {
             population: self.population,
             regions: self.regions,
@@ -689,6 +725,7 @@ impl FleetScenarioBuilder {
             workload: self.workload,
             tail_deadline: self.tail_deadline,
             replay: self.replay,
+            pipeline: self.pipeline,
         })
     }
 }
@@ -954,6 +991,42 @@ mod tests {
         ] {
             let s = FleetScenario::builder().replay(mode).build().unwrap();
             assert_eq!(s.replay(), mode);
+        }
+    }
+
+    #[test]
+    fn pipeline_spec_round_trips_and_depth_one_is_unstaged() {
+        let s = FleetScenario::builder().build().unwrap();
+        assert_eq!(s.pipeline(), None);
+        assert_eq!(s.staged_pipeline(), None);
+
+        let staged = PipelineSpec::new(vec![86_528, 4_096]);
+        let s = FleetScenario::builder()
+            .pipeline(staged.clone())
+            .build()
+            .unwrap();
+        assert_eq!(s.pipeline(), Some(&staged));
+        assert_eq!(s.staged_pipeline(), Some(&staged));
+
+        // Depth 1 builds but never reaches the engine's pipeline paths.
+        let s = FleetScenario::builder()
+            .pipeline(PipelineSpec::default())
+            .build()
+            .unwrap();
+        assert!(s.pipeline().is_some());
+        assert_eq!(s.staged_pipeline(), None);
+    }
+
+    #[test]
+    fn too_deep_pipeline_is_rejected_at_build() {
+        use crate::pipeline::MAX_PIPELINE_DEPTH;
+        let err = FleetScenario::builder()
+            .pipeline(PipelineSpec::new(vec![1; MAX_PIPELINE_DEPTH]))
+            .build()
+            .unwrap_err();
+        match err {
+            FleetError::InvalidScenario(why) => assert!(why.contains("depth"), "{why}"),
+            other => panic!("expected InvalidScenario, got {other:?}"),
         }
     }
 

@@ -70,9 +70,9 @@ pub mod prelude {
     pub use lens_fleet::{
         AdmissionPolicy, ArrivalModel, Autoscaler, BackendConfig, BackendReport, BatchPolicy,
         CloudCapacity, CloudServing, CloudSimFidelity, DispatchPolicy, FailoverPolicy, FleetEngine,
-        FleetPolicy, FleetReport, FleetScenario, OffloadRequest, QueueDiscipline, RegionMicrosim,
-        RegionServing, RegionShare, ReplayMode, ScalerState, ScalingSignal, TailSummary,
-        WorkloadCurve,
+        FleetPolicy, FleetReport, FleetScenario, OffloadRequest, PipelineSpec, QueueDiscipline,
+        RegionMicrosim, RegionServing, RegionShare, ReplayMode, ScalerState, ScalingSignal,
+        TailSummary, WorkloadCurve, MAX_PIPELINE_DEPTH,
     };
     pub use lens_nn::units::{Bytes, Mbps, Millijoules, Millis, Milliwatts};
     pub use lens_nn::{zoo, Network, NetworkBuilder, TensorShape};
@@ -81,13 +81,17 @@ pub mod prelude {
         DeploymentKind, DeploymentPlanner, DominanceMap, Metric, RuntimeSimulator,
         ThroughputTracker,
     };
-    pub use lens_space::{Architecture, Encoding, SearchSpace, VggSpace};
+    pub use lens_space::{
+        Architecture, Encoding, SearchSpace, StageBoundary, StageSegment, StageTier, StagedPlan,
+        VggSpace,
+    };
     pub use lens_telemetry::{
         BarrierPhase, EngineProfile, FlightRecorder, MetricsRegistry, RunTelemetry,
         TelemetryConfig, TraceEvent,
     };
     pub use lens_wireless::{
-        GaussMarkov, Region, ThroughputTrace, TraceGenerator, WirelessLink, WirelessTechnology,
+        GaussMarkov, Region, ThroughputTrace, TraceGenerator, TransferModel, WirelessLink,
+        WirelessTechnology,
     };
 }
 

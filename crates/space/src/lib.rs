@@ -13,6 +13,12 @@
 //! instantiation and `examples/custom_search_space.rs` shows a different
 //! one.
 //!
+//! Beyond the single split point of the paper, an [`Architecture`] also
+//! compiles to a [`StagedPlan`] — a device → edge → cloud pipeline whose
+//! boundaries carry exact activation-tensor byte sizes, so link models can
+//! price the inter-stage transfers and move the optimal cut with link
+//! quality (see docs/PIPELINES.md).
+//!
 //! # Examples
 //!
 //! ```
@@ -29,15 +35,41 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! Compile a sampled architecture into a two-hop staged pipeline and pick
+//! the transfer-cheapest plan deterministically:
+//!
+//! ```
+//! use lens_nn::TensorShape;
+//! use lens_space::{SearchSpace, StagedPlan, VggSpace};
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let space = VggSpace::for_cifar10();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let arch = space.architecture(&space.sample(&mut rng))?;
+//! let analysis = arch
+//!     .to_network("pipeline", TensorShape::new(3, 32, 32), 10)?
+//!     .analyze()?;
+//! let plans = StagedPlan::enumerate(&analysis, 2); // device → edge → cloud
+//! let best = StagedPlan::best(&plans, |p| u128::from(p.total_transfer_bytes()))
+//!     .expect("the space always admits a viable split");
+//! assert_eq!(best.remote_stages(), 2);
+//! assert!(best.uplink_bytes().unwrap() < analysis.input_bytes().get());
+//! # Ok(())
+//! # }
+//! ```
 
 #![forbid(unsafe_code)]
 
 pub mod arch;
 pub mod encoding;
+pub mod staged;
 pub mod vgg;
 
 pub use arch::{Architecture, BlockChoice, FcStack};
 pub use encoding::{Encoding, SearchSpace};
+pub use staged::{StageBoundary, StageSegment, StageTier, StagedPlan};
 pub use vgg::VggSpace;
 
 use lens_nn::NnError;

@@ -1,0 +1,415 @@
+//! Staged split-inference plans: device → edge → cloud segments.
+//!
+//! The paper's layer-distribution decision picks *one* partition point and
+//! ships everything after it to the cloud. Related work (Lin & Wang 2021's
+//! communication-efficient separable networks; LCP's low-communication
+//! parallelization) generalizes the cut to a *pipeline*: the network is
+//! sliced into consecutive segments, the first runs on the device, the rest
+//! ride successive serving tiers (edge, then cloud), and what dominates
+//! placement is the activation tensor crossing each boundary — not the
+//! compute inside a segment.
+//!
+//! [`StagedPlan`] is that pipeline, compiled from a
+//! [`NetworkAnalysis`] by choosing an ascending
+//! set of cut layers. Each boundary carries the exact byte size of the
+//! activation tensor that crosses it ([`LayerAnalysis::output_bytes`]), so a
+//! link model can price the transfers and move the optimal cut with link
+//! quality — see `lens_wireless::TransferModel` and `docs/PIPELINES.md`.
+
+use lens_nn::{LayerAnalysis, NetworkAnalysis};
+use std::fmt;
+
+use crate::SpaceError;
+
+/// Where a plan segment executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StageTier {
+    /// The edge device itself (segment 0).
+    Device,
+    /// An intermediate serving tier between device and cloud.
+    Edge,
+    /// The final serving tier.
+    Cloud,
+}
+
+impl fmt::Display for StageTier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StageTier::Device => write!(f, "device"),
+            StageTier::Edge => write!(f, "edge"),
+            StageTier::Cloud => write!(f, "cloud"),
+        }
+    }
+}
+
+/// One consecutive run of layers executing on a single tier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageSegment {
+    /// The tier this segment runs on.
+    pub tier: StageTier,
+    /// Index of the first layer in the segment (inclusive).
+    pub first_layer: usize,
+    /// Index of the last layer in the segment (inclusive).
+    pub last_layer: usize,
+    /// Total multiply-accumulates across the segment's layers.
+    pub macs: u64,
+}
+
+impl StageSegment {
+    /// Number of layers in the segment.
+    pub fn num_layers(&self) -> usize {
+        self.last_layer - self.first_layer + 1
+    }
+}
+
+/// One segment boundary: the activation tensor produced by `layer_name`
+/// (layer `after_layer`) must move to the next tier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageBoundary {
+    /// Index of the layer whose output crosses the boundary.
+    pub after_layer: usize,
+    /// Name of that layer.
+    pub layer_name: String,
+    /// Exact wire size of the crossing activation tensor.
+    pub bytes: u64,
+}
+
+/// A compiled staged split-inference plan.
+///
+/// Segment 0 always runs on the device; the remaining segments are the
+/// *remote stages* of the pipeline (1 remote stage reproduces the paper's
+/// single split; 2 gives device → edge → cloud). `boundaries[k]` is the
+/// activation tensor between `segments[k]` and `segments[k+1]` — boundary 0
+/// is the device uplink, boundaries 1.. are inter-stage transfers inside
+/// the serving hierarchy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StagedPlan {
+    segments: Vec<StageSegment>,
+    boundaries: Vec<StageBoundary>,
+}
+
+impl StagedPlan {
+    /// Compiles a plan from a network analysis and an ascending list of cut
+    /// layers: segment `k` ends at `cuts[k]` (inclusive) and the final
+    /// segment runs from the last cut to the end of the network. An empty
+    /// `cuts` yields the fully-local single-segment plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpaceError::ConstraintViolated`] if the cuts are not
+    /// strictly ascending or a cut leaves the final segment empty.
+    pub fn compile(analysis: &NetworkAnalysis, cuts: &[usize]) -> Result<Self, SpaceError> {
+        let layers = analysis.layers();
+        let last = layers.len() - 1;
+        let mut prev: Option<usize> = None;
+        for &cut in cuts {
+            if prev.is_some_and(|p| cut <= p) {
+                return Err(SpaceError::ConstraintViolated(format!(
+                    "cut layers must be strictly ascending, got {cuts:?}"
+                )));
+            }
+            if cut >= last {
+                return Err(SpaceError::ConstraintViolated(format!(
+                    "cut at layer {cut} leaves an empty segment (network has {} layers)",
+                    layers.len()
+                )));
+            }
+            prev = Some(cut);
+        }
+        let num_segments = cuts.len() + 1;
+        let mut segments = Vec::with_capacity(num_segments);
+        let mut boundaries = Vec::with_capacity(cuts.len());
+        let mut first = 0usize;
+        for (k, bound) in cuts.iter().chain(std::iter::once(&last)).enumerate() {
+            let tier = if k == 0 {
+                StageTier::Device
+            } else if k + 1 == num_segments {
+                StageTier::Cloud
+            } else {
+                StageTier::Edge
+            };
+            segments.push(StageSegment {
+                tier,
+                first_layer: first,
+                last_layer: *bound,
+                macs: segment_macs(&layers[first..=*bound]),
+            });
+            if k < cuts.len() {
+                let layer = &layers[*bound];
+                boundaries.push(StageBoundary {
+                    after_layer: *bound,
+                    layer_name: layer.name.clone(),
+                    bytes: layer.output_bytes.get(),
+                });
+            }
+            first = bound + 1;
+        }
+        Ok(StagedPlan {
+            segments,
+            boundaries,
+        })
+    }
+
+    /// Enumerates every plan with exactly `remote_stages` remote segments
+    /// whose *first* cut is viable in the paper's sense (the uplink tensor
+    /// is smaller than the network input — [`viable_partition_indices`]).
+    /// Later cuts range freely over the remaining layers: inside the
+    /// serving hierarchy a larger intermediate tensor is legal, just
+    /// expensive, and the cost model decides. Plans come back in
+    /// deterministic lexicographic cut order.
+    ///
+    /// [`viable_partition_indices`]: NetworkAnalysis::viable_partition_indices
+    pub fn enumerate(analysis: &NetworkAnalysis, remote_stages: usize) -> Vec<StagedPlan> {
+        if remote_stages == 0 {
+            return vec![StagedPlan::compile(analysis, &[]).expect("empty cut list is valid")];
+        }
+        let last = analysis.layers().len() - 1;
+        let first_cuts: Vec<usize> = analysis
+            .viable_partition_indices()
+            .into_iter()
+            .filter(|&c| c + remote_stages <= last)
+            .collect();
+        let mut plans = Vec::new();
+        let mut cuts = Vec::with_capacity(remote_stages);
+        for first in first_cuts {
+            cuts.clear();
+            cuts.push(first);
+            extend_cuts(analysis, &mut cuts, remote_stages, last, &mut plans);
+        }
+        plans
+    }
+
+    /// Picks the plan minimizing an integer cost, first minimum winning —
+    /// deterministic for any cost function, which is why the cost is an
+    /// integer: float scores could tie-break differently across platforms.
+    pub fn best(plans: &[StagedPlan], cost: impl Fn(&StagedPlan) -> u128) -> Option<&StagedPlan> {
+        plans
+            .iter()
+            .map(|p| (cost(p), p))
+            .reduce(|best, cand| if cand.0 < best.0 { cand } else { best })
+            .map(|(_, p)| p)
+    }
+
+    /// All segments, device first.
+    pub fn segments(&self) -> &[StageSegment] {
+        &self.segments
+    }
+
+    /// All boundaries; `boundaries()[0]` is the device uplink.
+    pub fn boundaries(&self) -> &[StageBoundary] {
+        &self.boundaries
+    }
+
+    /// Number of remote stages (segments past the device).
+    pub fn remote_stages(&self) -> usize {
+        self.segments.len() - 1
+    }
+
+    /// The device segment's multiply-accumulates.
+    pub fn device_macs(&self) -> u64 {
+        self.segments[0].macs
+    }
+
+    /// Bytes crossing the device uplink, if the plan offloads at all.
+    pub fn uplink_bytes(&self) -> Option<u64> {
+        self.boundaries.first().map(|b| b.bytes)
+    }
+
+    /// Byte sizes of the transfers *between remote stages* (excluding the
+    /// device uplink) — the quantities a fleet pipeline prices per hop.
+    pub fn remote_transfer_bytes(&self) -> Vec<u64> {
+        self.boundaries.iter().skip(1).map(|b| b.bytes).collect()
+    }
+
+    /// Total bytes moved across every boundary, uplink included.
+    pub fn total_transfer_bytes(&self) -> u64 {
+        self.boundaries.iter().map(|b| b.bytes).sum()
+    }
+
+    /// The cut layer indices, ascending.
+    pub fn cut_layers(&self) -> Vec<usize> {
+        self.boundaries.iter().map(|b| b.after_layer).collect()
+    }
+}
+
+impl fmt::Display for StagedPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, seg) in self.segments.iter().enumerate() {
+            if k > 0 {
+                let b = &self.boundaries[k - 1];
+                write!(f, " ={}B=> ", b.bytes)?;
+            }
+            write!(f, "{}[{}..={}]", seg.tier, seg.first_layer, seg.last_layer)?;
+        }
+        Ok(())
+    }
+}
+
+/// Sums a segment's MACs, saturating rather than wrapping on absurd nets.
+fn segment_macs(layers: &[LayerAnalysis]) -> u64 {
+    layers
+        .iter()
+        .fold(0u64, |acc, l| acc.saturating_add(l.macs))
+}
+
+/// Depth-first extension of a cut prefix to exactly `remote_stages` cuts.
+fn extend_cuts(
+    analysis: &NetworkAnalysis,
+    cuts: &mut Vec<usize>,
+    remote_stages: usize,
+    last: usize,
+    plans: &mut Vec<StagedPlan>,
+) {
+    if cuts.len() == remote_stages {
+        plans.push(StagedPlan::compile(analysis, cuts).expect("enumerated cuts are valid"));
+        return;
+    }
+    let remaining = remote_stages - cuts.len();
+    let start = cuts.last().expect("prefix is never empty") + 1;
+    // Leave room: each remaining cut needs a layer, plus a non-empty tail.
+    for next in start..=(last - remaining) {
+        cuts.push(next);
+        extend_cuts(analysis, cuts, remote_stages, last, plans);
+        cuts.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::{Architecture, BlockChoice, FcStack};
+    use lens_nn::TensorShape;
+
+    fn analysis() -> NetworkAnalysis {
+        Architecture::new(
+            vec![
+                BlockChoice {
+                    num_layers: 2,
+                    kernel: 3,
+                    filters: 64,
+                    pool: true,
+                },
+                BlockChoice {
+                    num_layers: 1,
+                    kernel: 3,
+                    filters: 128,
+                    pool: true,
+                },
+                BlockChoice {
+                    num_layers: 1,
+                    kernel: 3,
+                    filters: 128,
+                    pool: true,
+                },
+            ],
+            FcStack::One { width: 256 },
+        )
+        .to_network("staged-test", TensorShape::new(3, 32, 32), 10)
+        .unwrap()
+        .analyze()
+        .unwrap()
+    }
+
+    #[test]
+    fn compile_partitions_every_layer_exactly_once() {
+        let a = analysis();
+        let plan = StagedPlan::compile(&a, &[3, 5]).unwrap();
+        assert_eq!(plan.remote_stages(), 2);
+        let segs = plan.segments();
+        assert_eq!(segs[0].first_layer, 0);
+        for w in segs.windows(2) {
+            assert_eq!(w[1].first_layer, w[0].last_layer + 1);
+        }
+        assert_eq!(segs.last().unwrap().last_layer, a.layers().len() - 1);
+        let total: u64 = segs.iter().map(|s| s.macs).sum();
+        assert_eq!(total, a.total_macs());
+    }
+
+    #[test]
+    fn boundaries_carry_exact_activation_bytes() {
+        let a = analysis();
+        let plan = StagedPlan::compile(&a, &[3, 5]).unwrap();
+        assert_eq!(plan.boundaries()[0].bytes, a.layers()[3].output_bytes.get());
+        assert_eq!(plan.boundaries()[1].bytes, a.layers()[5].output_bytes.get());
+        assert_eq!(plan.uplink_bytes(), Some(a.layers()[3].output_bytes.get()));
+        assert_eq!(
+            plan.remote_transfer_bytes(),
+            vec![a.layers()[5].output_bytes.get()]
+        );
+    }
+
+    #[test]
+    fn tiers_follow_the_device_edge_cloud_shape() {
+        let a = analysis();
+        let plan = StagedPlan::compile(&a, &[3, 5]).unwrap();
+        let tiers: Vec<_> = plan.segments().iter().map(|s| s.tier).collect();
+        assert_eq!(
+            tiers,
+            vec![StageTier::Device, StageTier::Edge, StageTier::Cloud]
+        );
+        let single = StagedPlan::compile(&a, &[3]).unwrap();
+        let tiers: Vec<_> = single.segments().iter().map(|s| s.tier).collect();
+        assert_eq!(tiers, vec![StageTier::Device, StageTier::Cloud]);
+        let local = StagedPlan::compile(&a, &[]).unwrap();
+        assert_eq!(local.remote_stages(), 0);
+        assert_eq!(local.uplink_bytes(), None);
+    }
+
+    #[test]
+    fn bad_cuts_are_rejected() {
+        let a = analysis();
+        assert!(StagedPlan::compile(&a, &[5, 3]).is_err());
+        assert!(StagedPlan::compile(&a, &[3, 3]).is_err());
+        let last = a.layers().len() - 1;
+        assert!(StagedPlan::compile(&a, &[last]).is_err());
+    }
+
+    #[test]
+    fn enumerate_respects_viability_and_order() {
+        let a = analysis();
+        let viable = a.viable_partition_indices();
+        let plans = StagedPlan::enumerate(&a, 1);
+        assert!(!plans.is_empty());
+        for plan in &plans {
+            assert!(viable.contains(&plan.cut_layers()[0]));
+        }
+        let cuts: Vec<_> = plans.iter().map(|p| p.cut_layers()).collect();
+        let mut sorted = cuts.clone();
+        sorted.sort();
+        assert_eq!(cuts, sorted);
+        // Two remote stages: first cut still viable, second after it.
+        for plan in StagedPlan::enumerate(&a, 2) {
+            let c = plan.cut_layers();
+            assert!(viable.contains(&c[0]));
+            assert!(c[1] > c[0]);
+        }
+    }
+
+    #[test]
+    fn best_prefers_first_minimum_deterministically() {
+        let a = analysis();
+        let plans = StagedPlan::enumerate(&a, 1);
+        // Constant cost: the first plan must win.
+        let best = StagedPlan::best(&plans, |_| 7).unwrap();
+        assert_eq!(best, &plans[0]);
+        // A transfer-dominated cost picks the smallest boundary.
+        let cheapest = StagedPlan::best(&plans, |p| u128::from(p.total_transfer_bytes())).unwrap();
+        let min_bytes = plans
+            .iter()
+            .map(|p| p.total_transfer_bytes())
+            .min()
+            .unwrap();
+        assert_eq!(cheapest.total_transfer_bytes(), min_bytes);
+    }
+
+    #[test]
+    fn display_shows_the_pipeline_shape() {
+        let a = analysis();
+        let plan = StagedPlan::compile(&a, &[3, 5]).unwrap();
+        let s = format!("{plan}");
+        assert!(s.contains("device[0..=3]"));
+        assert!(s.contains("edge[4..=5]"));
+        assert!(s.contains("cloud[6..="));
+        assert!(s.contains("B=>"));
+    }
+}

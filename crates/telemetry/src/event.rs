@@ -155,6 +155,24 @@ pub enum TraceEvent {
         /// The new multiplier in micro-units (`1_000_000` = full intent).
         multiplier_fp: u64,
     },
+    /// A pipelined request finished one remote stage and moved to the
+    /// next: the stage-`from_stage` completion spawned the stage-`to_stage`
+    /// arrival after the priced activation transfer.
+    StageTransition {
+        /// Completion time of the finishing stage (µs).
+        time_us: u64,
+        /// Global device id of the originating request.
+        device_id: u64,
+        /// Serving region carrying the pipeline (all stages of one
+        /// request serve in the same region).
+        region: u64,
+        /// The stage that just completed (1-based).
+        from_stage: u64,
+        /// The stage the request advances to.
+        to_stage: u64,
+        /// Fixed-point transfer cost between the stages (µs).
+        transfer_us: u64,
+    },
 }
 
 impl TraceEvent {
@@ -168,7 +186,8 @@ impl TraceEvent {
             | TraceEvent::ScalingStep { time_us, .. }
             | TraceEvent::Phase { time_us, .. }
             | TraceEvent::Retreat { time_us, .. }
-            | TraceEvent::CurvePhase { time_us, .. } => time_us,
+            | TraceEvent::CurvePhase { time_us, .. }
+            | TraceEvent::StageTransition { time_us, .. } => time_us,
         }
     }
 
@@ -178,7 +197,8 @@ impl TraceEvent {
             TraceEvent::Dispatch { device_id, .. }
             | TraceEvent::Shed { device_id, .. }
             | TraceEvent::Failover { device_id, .. }
-            | TraceEvent::Retreat { device_id, .. } => Some(device_id),
+            | TraceEvent::Retreat { device_id, .. }
+            | TraceEvent::StageTransition { device_id, .. } => Some(device_id),
             _ => None,
         }
     }
@@ -205,6 +225,7 @@ impl TraceEvent {
             TraceEvent::Phase { .. } => "phase",
             TraceEvent::Retreat { .. } => "retreat",
             TraceEvent::CurvePhase { .. } => "curve_phase",
+            TraceEvent::StageTransition { .. } => "stage_transition",
         }
     }
 
@@ -305,6 +326,22 @@ impl TraceEvent {
                 hasher.write_u64(time_us);
                 hasher.write_u64(region);
                 hasher.write_u64(multiplier_fp);
+            }
+            TraceEvent::StageTransition {
+                time_us,
+                device_id,
+                region,
+                from_stage,
+                to_stage,
+                transfer_us,
+            } => {
+                hasher.write_u64(9);
+                hasher.write_u64(time_us);
+                hasher.write_u64(device_id);
+                hasher.write_u64(region);
+                hasher.write_u64(from_stage);
+                hasher.write_u64(to_stage);
+                hasher.write_u64(transfer_us);
             }
         }
     }

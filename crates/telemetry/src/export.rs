@@ -221,6 +221,16 @@ fn event_fields_json(event: &TraceEvent) -> String {
         } => format!(
             "\"time_us\":{time_us},\"region\":{region},\"multiplier_fp\":{multiplier_fp}"
         ),
+        TraceEvent::StageTransition {
+            time_us,
+            device_id,
+            region,
+            from_stage,
+            to_stage,
+            transfer_us,
+        } => format!(
+            "\"time_us\":{time_us},\"device_id\":{device_id},\"region\":{region},\"from_stage\":{from_stage},\"to_stage\":{to_stage},\"transfer_us\":{transfer_us}"
+        ),
     }
 }
 

@@ -18,6 +18,14 @@
 //! seeded throughput-trace generator standing in for the paper's TestMyNet
 //! LTE measurements (§V.C) — see DESIGN.md substitution #3.
 //!
+//! For staged split-inference pipelines the crate adds a second pricing
+//! surface: [`TransferModel`], a **fixed-point** (integer-microsecond)
+//! transfer-cost model used by the fleet simulator to shift event arrival
+//! times between pipeline stages without breaking its bit-identity
+//! contract. The float link model answers "what does this uplink cost in
+//! expectation?"; the transfer model answers "exactly how many microseconds
+//! does this activation tensor take?" — see docs/PIPELINES.md.
+//!
 //! # Examples
 //!
 //! Price a feature-map transmission on an LTE link (Eq. 3–6), then
@@ -42,6 +50,20 @@
 //!     ThroughputTrace::synthesize(&usa, WirelessTechnology::Lte, 60, Millis::new(60_000.0), 42);
 //! assert_eq!(trace.samples(), again.samples());
 //! ```
+//!
+//! Price an inter-stage activation transfer in exact integer microseconds —
+//! link quality moves the cost, and therefore the optimal split point:
+//!
+//! ```
+//! use lens_nn::units::Mbps;
+//! use lens_wireless::TransferModel;
+//!
+//! let poor = TransferModel::new(Mbps::new(0.7)); // Afghanistan, Table I
+//! let good = TransferModel::new(Mbps::new(16.1)); // S. Korea, Table I
+//! let activation = 86_528; // bytes at a mid-network cut
+//! assert!(poor.cost_us(activation) > good.cost_us(activation));
+//! assert_eq!(poor.cost_us(activation), poor.cost_us(activation)); // fixed-point
+//! ```
 
 #![forbid(unsafe_code)]
 
@@ -49,11 +71,13 @@ pub mod link;
 pub mod region;
 pub mod technology;
 pub mod trace;
+pub mod transfer;
 
 pub use link::WirelessLink;
 pub use region::Region;
 pub use technology::{UplinkPowerModel, WirelessTechnology};
 pub use trace::{GaussMarkov, ThroughputTrace, TraceGenerator};
+pub use transfer::TransferModel;
 
 use std::error::Error;
 use std::fmt;

@@ -1,0 +1,164 @@
+//! Fixed-point inter-stage transfer pricing.
+//!
+//! The float-valued [`WirelessLink`](crate::WirelessLink) model answers the
+//! *design-time* question (Eq. 3–6: what does this uplink cost in expectation?).
+//! Staged split-inference pipelines need the *simulation-time* variant: a
+//! transfer cost that shifts discrete event arrival times, and therefore must
+//! be an exact integer number of microseconds — the fleet simulator's
+//! bit-identity contract forbids float accumulation on any path that feeds an
+//! event timestamp. [`TransferModel`] quantizes the link rate **once** at
+//! construction and prices every transfer in pure `u128` integer arithmetic,
+//! so the same `(rate, bytes)` pair yields the same microsecond cost on every
+//! shard layout, replay mode, and machine.
+//!
+//! ```
+//! use lens_nn::units::Mbps;
+//! use lens_wireless::TransferModel;
+//!
+//! // A 7.5 Mbps uplink moving a 150 528-byte activation tensor.
+//! let model = TransferModel::new(Mbps::new(7.5));
+//! let us = model.cost_us(150_528);
+//! assert_eq!(us, 160_564); // ceil(150_528 · 8 · 1e6 / 7_500_000)
+//! // Fixed-point: the price is exact and reproducible, never a float.
+//! assert_eq!(model.cost_us(150_528), us);
+//! ```
+
+use lens_nn::units::{Mbps, Millis};
+
+/// Microseconds per second — the clock base every cost is expressed in.
+const US_PER_SEC: u128 = 1_000_000;
+
+/// An integer-microsecond transfer-cost model for one link.
+///
+/// Construction quantizes the float link rate to bits-per-second once;
+/// after that every [`cost_us`](TransferModel::cost_us) call is integer-only.
+/// Costs round **up** (a transfer is not done until the last bit lands) and
+/// saturate at `u64::MAX` rather than wrapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransferModel {
+    /// Quantized link rate in bits per second (≥ 1).
+    rate_bps: u64,
+    /// Fixed per-transfer latency floor in microseconds (e.g. a round trip).
+    rtt_us: u64,
+}
+
+impl TransferModel {
+    /// Builds a model from a link rate, quantizing it to whole bits per
+    /// second. Non-finite or non-positive rates clamp to 1 bps so the cost
+    /// stays finite and monotone instead of dividing by zero.
+    pub fn new(rate: Mbps) -> Self {
+        let raw = rate.get() * 1e6;
+        let rate_bps = if raw.is_finite() && raw >= 1.0 {
+            // 2^53 bound keeps the round-trip through f64 exact.
+            (raw.round() as u64).min(1 << 53)
+        } else {
+            1
+        };
+        TransferModel {
+            rate_bps,
+            rtt_us: 0,
+        }
+    }
+
+    /// Adds a fixed round-trip floor, quantized to whole microseconds.
+    #[must_use]
+    pub fn with_round_trip(mut self, rtt: Millis) -> Self {
+        let raw = rtt.get() * 1_000.0;
+        self.rtt_us = if raw.is_finite() && raw > 0.0 {
+            (raw.round() as u64).min(1 << 53)
+        } else {
+            0
+        };
+        self
+    }
+
+    /// The quantized link rate in bits per second.
+    pub fn rate_bps(&self) -> u64 {
+        self.rate_bps
+    }
+
+    /// The fixed per-transfer floor in microseconds.
+    pub fn round_trip_us(&self) -> u64 {
+        self.rtt_us
+    }
+
+    /// Prices moving `bytes` over this link, in whole microseconds:
+    /// `ceil(bytes · 8 · 1e6 / rate_bps) + rtt_us`, computed in `u128` so
+    /// the largest representable tensor cannot overflow, saturating at
+    /// `u64::MAX`.
+    pub fn cost_us(&self, bytes: u64) -> u64 {
+        let bits = u128::from(bytes) * 8;
+        let rate = u128::from(self.rate_bps);
+        let tx = (bits * US_PER_SEC).div_ceil(rate);
+        let total = tx.saturating_add(u128::from(self.rtt_us));
+        u64::try_from(total).unwrap_or(u64::MAX)
+    }
+
+    /// The same price as [`cost_us`](TransferModel::cost_us) expressed in
+    /// milliseconds. Derived *from* the integer microsecond cost (not
+    /// recomputed in floats), so it is exactly `cost_us / 1000` and carries
+    /// no extra rounding of its own.
+    pub fn cost_ms(&self, bytes: u64) -> f64 {
+        self.cost_us(bytes) as f64 / 1_000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantizes_rate_once() {
+        let model = TransferModel::new(Mbps::new(7.5));
+        assert_eq!(model.rate_bps(), 7_500_000);
+        assert_eq!(model.round_trip_us(), 0);
+    }
+
+    #[test]
+    fn zero_bytes_costs_only_the_round_trip() {
+        let model = TransferModel::new(Mbps::new(7.5)).with_round_trip(Millis::new(69.0));
+        assert_eq!(model.cost_us(0), 69_000);
+    }
+
+    #[test]
+    fn rounds_up_to_the_last_bit() {
+        // 1 byte at 3 Mbps: 8e6 / 3e6 = 2.67 µs → 3 µs.
+        let model = TransferModel::new(Mbps::new(3.0));
+        assert_eq!(model.cost_us(1), 3);
+    }
+
+    #[test]
+    fn cost_is_monotone_in_bytes_and_antitone_in_rate() {
+        let slow = TransferModel::new(Mbps::new(0.7));
+        let fast = TransferModel::new(Mbps::new(16.1));
+        let mut prev = 0;
+        for bytes in [0u64, 1, 1_000, 150_528, 10_000_000] {
+            let cost = slow.cost_us(bytes);
+            assert!(cost >= prev);
+            assert!(fast.cost_us(bytes) <= cost);
+            prev = cost;
+        }
+    }
+
+    #[test]
+    fn degenerate_rates_clamp_instead_of_dividing_by_zero() {
+        // Mbps::new rejects non-finite and non-positive rates; the clamp
+        // guards the remaining hole — rates that quantize below one bit/s.
+        let model = TransferModel::new(Mbps::new(1e-9));
+        assert_eq!(model.rate_bps(), 1);
+        let _ = model.cost_us(u64::MAX); // must not panic
+    }
+
+    #[test]
+    fn huge_transfers_saturate() {
+        let model = TransferModel::new(Mbps::new(0.7));
+        assert_eq!(model.cost_us(u64::MAX), u64::MAX);
+    }
+
+    #[test]
+    fn ms_view_is_derived_from_the_integer_cost() {
+        let model = TransferModel::new(Mbps::new(7.5));
+        let us = model.cost_us(150_528);
+        assert_eq!(model.cost_ms(150_528), us as f64 / 1_000.0);
+    }
+}

@@ -182,6 +182,7 @@ proptest! {
             .map(|i| OffloadRequest {
                 arrival_us: (seed ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15)) % 1_000_000,
                 device_id: i,
+                stage: 1,
                 high_priority: false,
                 origin_region: 0,
                 failed_over: false,

@@ -195,6 +195,47 @@ fn workload_curve_fixture_fires_float_accumulation_in_scenario_scope() {
     assert_ne!(report.exit_code(), 0);
 }
 
+/// Staged-pipeline transfer pricing is inside the float-accumulation
+/// scope: an inter-stage hop priced through accumulated floats would
+/// shift integer arrival stamps and break the cross-shard bit-identity
+/// pins. The seeded fixture (a pricer totalling raw `f64` hop costs in
+/// `crates/wireless/src/transfer.rs`) must trip exactly that rule,
+/// exactly once — and the same goes for `crates/fleet/src/pipeline.rs`,
+/// while the rest of the wireless crate stays out of scope.
+#[test]
+fn transfer_pricing_fixture_fires_float_accumulation_in_its_scope() {
+    let fixture_root = repo_root().join("crates/analyzer/fixtures/transfer-pricing");
+    let report = scan_root(&fixture_root).expect("transfer-pricing fixture tree scans");
+    assert_eq!(report.files_scanned, 1, "one seeded fixture file");
+    assert_eq!(
+        report.findings.len(),
+        1,
+        "exactly the seeded violation, got {:?}",
+        report.findings
+    );
+    assert_eq!(report.findings[0].rule, RuleId::FloatAccumulation);
+    assert_eq!(report.findings[0].path, "crates/wireless/src/transfer.rs");
+    assert!(report.findings[0].allowed.is_none());
+    assert_ne!(report.exit_code(), 0);
+
+    // Scope checks: the same snippet fires in the pipeline-pricing
+    // module but stays clean in the design-time wireless link model.
+    let snippet = "pub fn total_transfer(hops: &[f64]) -> f64 {\n\
+                   \x20   let mut total: f64 = 0.0;\n\
+                   \x20   for hop in hops { total += hop; }\n\
+                   \x20   total\n\
+                   }\n";
+    let inside = scan_str("crates/fleet/src/pipeline.rs", snippet);
+    assert_eq!(inside.findings.len(), 1, "got {:?}", inside.findings);
+    assert_eq!(inside.findings[0].rule, RuleId::FloatAccumulation);
+    let outside = scan_str("crates/wireless/src/link.rs", snippet);
+    assert!(
+        outside.findings.is_empty(),
+        "float-accumulation must not fire outside its scope: {:?}",
+        outside.findings
+    );
+}
+
 /// The barrier replay pool (`crates/fleet/src/replay.rs`) is the second
 /// sanctioned concurrency site next to the engine's shard step: its
 /// scoped threads are joined in fixed region order, so thread-confinement

@@ -835,3 +835,186 @@ fn parallel_replay_and_scale_surface_is_pinned() {
         "bench_gate must re-measure once before declaring a regression"
     );
 }
+
+/// Pins the staged split-inference pipeline surface (PR 10): the three
+/// implementing modules, the `PIPELINES.md` walkthrough and its links,
+/// the paper-map split-decision rows, the `split_pipeline` test/example
+/// registrations, the `pipeline/10000` bench + gate + baseline, the
+/// analyzer's transfer-pricing scope + fixture, and the CI
+/// release-determinism step.
+#[test]
+fn staged_pipeline_surface_is_pinned() {
+    let root = repo_root();
+    let read = |p: &str| fs::read_to_string(root.join(p)).unwrap_or_else(|e| panic!("{p}: {e}"));
+
+    // The three implementing modules live where the docs say they do.
+    assert!(
+        read("crates/space/src/staged.rs").contains("pub struct StagedPlan"),
+        "crates/space/src/staged.rs must define StagedPlan"
+    );
+    assert!(
+        read("crates/wireless/src/transfer.rs").contains("pub struct TransferModel"),
+        "crates/wireless/src/transfer.rs must define TransferModel"
+    );
+    let pipeline = read("crates/fleet/src/pipeline.rs");
+    assert!(
+        pipeline.contains("pub struct PipelineSpec") && pipeline.contains("MAX_PIPELINE_DEPTH"),
+        "crates/fleet/src/pipeline.rs must define PipelineSpec and its depth cap"
+    );
+
+    // The walkthrough document exists, covers the load-bearing pieces,
+    // and is linked from the README, ARCHITECTURE, and the fleet landing.
+    let pipelines_doc = read("docs/PIPELINES.md");
+    for needle in [
+        "StagedPlan",
+        "TransferModel",
+        "PipelineSpec",
+        "(arrival_us, device_id, stage)",
+        "one epoch later at the same epoch offset",
+        "split_pipeline",
+    ] {
+        assert!(
+            pipelines_doc.contains(needle),
+            "docs/PIPELINES.md must cover {needle}"
+        );
+    }
+    assert!(
+        read("README.md").contains("docs/PIPELINES.md"),
+        "README must link docs/PIPELINES.md"
+    );
+    let architecture = read("docs/ARCHITECTURE.md");
+    assert!(
+        architecture.contains("## Staged pipelines")
+            && architecture.contains("PIPELINES.md")
+            && architecture.contains("PipelineSpec"),
+        "docs/ARCHITECTURE.md must carry the staged-pipelines section"
+    );
+    let fleet_lib = read("crates/fleet/src/lib.rs");
+    assert!(
+        fleet_lib.contains("Staged pipelines") && fleet_lib.contains("PIPELINES.md"),
+        "the lens-fleet landing page must document staged pipelines"
+    );
+
+    // Paper map: the split-decision rows cite the related work that
+    // motivates multi-cut placement.
+    let paper_map = read("docs/PAPER_MAP.md");
+    for needle in ["StagedPlan", "2111.02489", "2003.06464"] {
+        assert!(
+            paper_map.contains(needle),
+            "docs/PAPER_MAP.md split rows must mention {needle}"
+        );
+    }
+
+    // Test + example are registered on the facade.
+    let facade_manifest = read("crates/lens/Cargo.toml");
+    assert!(
+        facade_manifest.contains("path = \"../../tests/split_pipeline.rs\""),
+        "split_pipeline test must be registered on the facade"
+    );
+    assert!(
+        facade_manifest.contains("path = \"../../examples/split_pipeline.rs\""),
+        "split_pipeline example must be registered on the facade"
+    );
+
+    // Bench + gate price the pipelined barrier against a checked-in
+    // same-machine baseline.
+    assert!(
+        read("crates/bench/benches/fleet_step.rs").contains("pipeline/10000"),
+        "fleet_step bench must measure the pipelined path"
+    );
+    assert!(
+        read("crates/bench/src/bin/bench_gate.rs").contains("fleet/pipeline/10000"),
+        "bench_gate must gate the pipelined run"
+    );
+    let bench_json = read("crates/bench/benches/BENCH_fleet.json");
+    let at = bench_json
+        .find("\"pipeline/10000\"")
+        .expect("BENCH_fleet.json missing pipeline/10000");
+    assert!(
+        bench_json[at..bench_json[at..].find('}').unwrap() + at]
+            .contains("after_ns_per_inference_event"),
+        "BENCH_fleet.json pipeline/10000 must carry the gate's ns/event key"
+    );
+
+    // The analyzer covers the two integer-pricing modules, with a seeded
+    // fixture proving float-accumulation fires there.
+    let rules = read("crates/analyzer/src/rules.rs");
+    assert!(
+        rules.contains("crates/wireless/src/transfer.rs")
+            && rules.contains("crates/fleet/src/pipeline.rs"),
+        "float-accumulation must scope to the transfer-pricing modules"
+    );
+    assert!(
+        root.join("crates/analyzer/fixtures/transfer-pricing")
+            .is_dir(),
+        "transfer-pricing fixture tree is missing"
+    );
+
+    // CI runs the determinism suite in release mode (the example smoke
+    // run rides the matrixed examples loop).
+    assert!(
+        read(".github/workflows/ci.yml")
+            .contains("cargo test --release -q --locked -p lens --test split_pipeline"),
+        "CI must run the split-pipeline suite in release mode"
+    );
+}
+
+/// Anti-drift pin for the README's workspace inventory: every crate
+/// directory and every example file must be mentioned by name. A new
+/// crate or example that skips the README fails here instead of rotting
+/// the "N crates / N examples" story the way lens-analyzer and the
+/// example count once did.
+#[test]
+fn readme_names_every_crate_and_example() {
+    let root = repo_root();
+    let readme = fs::read_to_string(root.join("README.md")).expect("README.md exists");
+
+    for crate_dir in list_dir(&root.join("crates")) {
+        if !crate_dir.is_dir() {
+            continue;
+        }
+        let dir_name = crate_dir.file_name().unwrap().to_string_lossy().to_string();
+        let name = if dir_name == "lens" {
+            "`lens`".to_string()
+        } else {
+            format!("lens-{dir_name}")
+        };
+        assert!(
+            readme.contains(&name),
+            "README must name crate {name} (workspace inventory drift)"
+        );
+    }
+
+    for example in list_dir(&root.join("examples")) {
+        if example.extension().is_none_or(|e| e != "rs") {
+            continue;
+        }
+        let stem = example.file_stem().unwrap().to_string_lossy().to_string();
+        assert!(
+            readme.contains(&stem),
+            "README must name example {stem} (example inventory drift)"
+        );
+    }
+
+    // The crate-count sentence must agree with the directory listing,
+    // so the "Fourteen crates" drift cannot recur.
+    let crate_count = list_dir(&root.join("crates"))
+        .iter()
+        .filter(|p| p.is_dir())
+        .count();
+    assert_eq!(
+        crate_count, 15,
+        "crate count changed — update README.md and docs/ARCHITECTURE.md \
+         ('Fifteen crates') and this pin together"
+    );
+    assert!(
+        readme.contains("Fifteen crates"),
+        "README workspace-layout sentence must say 'Fifteen crates'"
+    );
+    assert!(
+        fs::read_to_string(root.join("docs/ARCHITECTURE.md"))
+            .expect("ARCHITECTURE.md exists")
+            .contains("Fifteen crates"),
+        "docs/ARCHITECTURE.md crate-DAG sentence must say 'Fifteen crates'"
+    );
+}
